@@ -1,0 +1,42 @@
+//! Criterion microbenchmarks: weight-placement algorithm cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helm_core::placement::{ModelPlacement, PlacementKind};
+use helm_core::policy::Policy;
+use hetmem::MemoryConfigKind;
+use llm::ModelConfig;
+use std::hint::black_box;
+
+fn bench_placement(c: &mut Criterion) {
+    let model = ModelConfig::opt_175b();
+    let mut group = c.benchmark_group("placement/opt-175b");
+    for kind in [
+        PlacementKind::Baseline,
+        PlacementKind::Helm,
+        PlacementKind::AllCpu,
+    ] {
+        let policy = Policy::paper_default(&model, MemoryConfigKind::NvDram)
+            .with_placement(kind)
+            .with_compression(true);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind),
+            &policy,
+            |b, policy| b.iter(|| ModelPlacement::compute(black_box(&model), black_box(policy))),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("placement/aggregates");
+    let policy = Policy::paper_default(&model, MemoryConfigKind::NvDram).with_compression(true);
+    let placement = ModelPlacement::compute(&model, &policy);
+    group.bench_function("achieved_distribution", |b| {
+        b.iter(|| black_box(&placement).achieved_distribution())
+    });
+    group.bench_function("staging_bytes", |b| {
+        b.iter(|| black_box(&placement).staging_bytes())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks: group-wise quantizer throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use llm::quant::GroupQuant;
+use std::hint::black_box;
+
+fn bench_quant(c: &mut Criterion) {
+    let sizes = [4 << 10, 256 << 10, 4 << 20];
+    let mut group = c.benchmark_group("quant/quantize");
+    for &n in &sizes {
+        let data: Vec<f32> = (0..n).map(|i| ((i * 2654435761usize) % 997) as f32).collect();
+        let q = GroupQuant::default();
+        group.throughput(Throughput::Bytes((n * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| q.quantize(black_box(data)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("quant/dequantize");
+    for &n in &sizes {
+        let data: Vec<f32> = (0..n).map(|i| ((i * 40503) % 1231) as f32).collect();
+        let q = GroupQuant::default();
+        let t = q.quantize(&data);
+        group.throughput(Throughput::Bytes((n * 4) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| q.dequantize(black_box(t)))
+        });
+    }
+    group.finish();
+
+    c.bench_function("quant/size-model", |b| {
+        let q = GroupQuant::default();
+        b.iter(|| q.compressed_bytes(black_box(150_994_944)))
+    });
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

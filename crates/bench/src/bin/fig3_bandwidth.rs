@@ -1,0 +1,56 @@
+//! Figure 3: host/GPU memory-copy bandwidth for buffer sizes from
+//! 256 MB to 32 GB under DRAM, NVDRAM, and Memory Mode on both NUMA
+//! nodes (the `nvbandwidth` characterization).
+
+use bench::{print_comparisons, section, Comparison};
+use xfer::nvbandwidth::{sweep, to_table, SweepMemory};
+use xfer::path::{Direction, PathModel};
+
+fn find(
+    points: &[xfer::nvbandwidth::SweepPoint],
+    memory: SweepMemory,
+    node: usize,
+    direction: Direction,
+    buffer_gb: f64,
+) -> f64 {
+    points
+        .iter()
+        .find(|p| {
+            p.memory == memory
+                && p.node == node
+                && p.direction == direction
+                && (p.buffer.as_gb() - buffer_gb).abs() < 1e-6
+        })
+        .map(|p| p.gbps)
+        .expect("sweep point present")
+}
+
+fn main() {
+    let points = sweep(&PathModel::paper_system());
+
+    section("Fig 3a: host -> GPU bandwidth (GB/s)");
+    print!("{}", to_table(&points, Direction::HostToGpu));
+
+    section("Fig 3b: GPU -> host bandwidth (GB/s)");
+    print!("{}", to_table(&points, Direction::GpuToHost));
+
+    section("Fig 3: paper calibration points");
+    let h2d = Direction::HostToGpu;
+    let d2h = Direction::GpuToHost;
+    let nv4 = find(&points, SweepMemory::NvDram, 0, h2d, 4.096);
+    let nv32 = find(&points, SweepMemory::NvDram, 0, h2d, 32.768);
+    let dram4 = find(&points, SweepMemory::Dram, 0, h2d, 4.096);
+    let dram32 = find(&points, SweepMemory::Dram, 0, h2d, 32.768);
+    let nv_w = find(&points, SweepMemory::NvDram, 1, d2h, 1.024);
+    let dram_w = find(&points, SweepMemory::Dram, 1, d2h, 1.024);
+    let mm4 = find(&points, SweepMemory::MemoryMode, 0, h2d, 4.096);
+    print_comparisons(&[
+        Comparison::new("NVDRAM H2D at 4 GB", 19.91, nv4, "GB/s"),
+        Comparison::new("NVDRAM H2D at 32 GB", 15.52, nv32, "GB/s"),
+        Comparison::new("NVDRAM H2D deficit vs DRAM at 4 GB", 20.0, (1.0 - nv4 / dram4) * 100.0, "%"),
+        Comparison::new("NVDRAM H2D deficit vs DRAM at 32 GB", 37.0, (1.0 - nv32 / dram32) * 100.0, "%"),
+        Comparison::new("NVDRAM D2H peak (node 1, 1 GB)", 3.26, nv_w, "GB/s"),
+        Comparison::new("NVDRAM D2H deficit vs DRAM", 88.0, (1.0 - nv_w / dram_w) * 100.0, "%"),
+        Comparison::new("MM H2D tracks DRAM at 4 GB", 0.0, (mm4 / dram4 - 1.0) * 100.0, "%"),
+    ]);
+}

@@ -1,0 +1,166 @@
+//! Figure 4: TTFT, TBT, and throughput for OPT-30B (batch 1 and 32)
+//! and OPT-175B (batch 1 and 8) across the Table II memory
+//! configurations, uncompressed.
+
+use bench::{print_comparisons, print_table, run_serving, section, Comparison};
+use helm_core::metrics::RunReport;
+use helm_core::placement::PlacementKind;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn run(model: ModelConfig, memory: HostMemoryConfig, batch: u32) -> RunReport {
+    run_serving(
+        model,
+        memory,
+        PlacementKind::Baseline,
+        false,
+        batch,
+        &WorkloadSpec::paper_default(),
+    )
+    .expect("configuration serves")
+}
+
+fn block(model: ModelConfig, configs: Vec<HostMemoryConfig>, batches: [u32; 2]) -> Vec<RunReport> {
+    let mut out = Vec::new();
+    for batch in batches {
+        for cfg in &configs {
+            out.push(run(model.clone(), cfg.clone(), batch));
+        }
+    }
+    out
+}
+
+fn print_block(title: &str, reports: &[RunReport]) {
+    section(title);
+    let rows: Vec<(String, Vec<f64>)> = reports
+        .iter()
+        .map(|r| {
+            (
+                format!("{} b={}", r.config, r.batch),
+                vec![r.ttft_ms(), r.tbt_ms(), r.throughput_tps()],
+            )
+        })
+        .collect();
+    print_table(&["config", "TTFT(ms)", "TBT(ms)", "tok/s"], &rows);
+}
+
+fn get<'a>(reports: &'a [RunReport], config: &str, batch: u32) -> &'a RunReport {
+    reports
+        .iter()
+        .find(|r| r.config == config && r.batch == batch)
+        .expect("report present")
+}
+
+fn main() {
+    let m30 = ModelConfig::opt_30b();
+    let m175 = ModelConfig::opt_175b();
+
+    let r30 = block(m30, HostMemoryConfig::opt30b_set(), [1, 32]);
+    print_block("Fig 4a/4c/4e: OPT-30B", &r30);
+
+    let r175 = block(m175, HostMemoryConfig::opt175b_set(), [1, 8]);
+    print_block("Fig 4b/4d/4f: OPT-175B", &r175);
+
+    section("Fig 4: paper claims (OPT-30B, NVDRAM vs DRAM)");
+    let pct = |a: f64, b: f64| (a / b - 1.0) * 100.0;
+    let d1 = get(&r30, "DRAM", 1);
+    let n1 = get(&r30, "NVDRAM", 1);
+    let d32 = get(&r30, "DRAM", 32);
+    let n32 = get(&r30, "NVDRAM", 32);
+    let mm32 = get(&r30, "MemoryMode", 32);
+    print_comparisons(&[
+        Comparison::new("TTFT increase b=1", 33.03, pct(n1.ttft_ms(), d1.ttft_ms()), "%"),
+        Comparison::new("TTFT increase b=32", 15.05, pct(n32.ttft_ms(), d32.ttft_ms()), "%"),
+        Comparison::new("TBT increase b=1", 33.03, pct(n1.tbt_ms(), d1.tbt_ms()), "%"),
+        Comparison::new("TBT increase b=32", 30.55, pct(n32.tbt_ms(), d32.tbt_ms()), "%"),
+        Comparison::new(
+            "throughput drop b=1",
+            -18.96,
+            pct(n1.throughput_tps(), d1.throughput_tps()),
+            "%",
+        ),
+        Comparison::new(
+            "throughput drop b=32",
+            -22.68,
+            pct(n32.throughput_tps(), d32.throughput_tps()),
+            "%",
+        ),
+        Comparison::new(
+            "MemoryMode matches DRAM (TBT, b=32)",
+            0.0,
+            pct(mm32.tbt_ms(), d32.tbt_ms()),
+            "%",
+        ),
+    ]);
+
+    section("Fig 4: paper claims (OPT-175B)");
+    let ssd1 = get(&r175, "SSD", 1);
+    let dax1 = get(&r175, "FSDAX", 1);
+    let ssd8 = get(&r175, "SSD", 8);
+    let dax8 = get(&r175, "FSDAX", 8);
+    let nv1 = get(&r175, "NVDRAM", 1);
+    let mm1 = get(&r175, "MemoryMode", 1);
+    let nv8 = get(&r175, "NVDRAM", 8);
+    let mm8 = get(&r175, "MemoryMode", 8);
+    print_comparisons(&[
+        Comparison::new(
+            "FSDAX TTFT improvement over SSD b=1",
+            33.46,
+            (1.0 - dax1.ttft_ms() / ssd1.ttft_ms()) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "FSDAX TBT improvement over SSD b=8",
+            33.58,
+            (1.0 - dax8.tbt_ms() / ssd8.tbt_ms()) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "FSDAX throughput gain over SSD b=8",
+            46.68,
+            (dax8.throughput_tps() / ssd8.throughput_tps() - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "MM TTFT improvement over NVDRAM b=1",
+            7.67,
+            (1.0 - mm1.ttft_ms() / nv1.ttft_ms()) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "MM TBT improvement over NVDRAM b=8",
+            8.92,
+            (1.0 - mm8.tbt_ms() / nv8.tbt_ms()) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "MM throughput gain over NVDRAM b=8",
+            7.98,
+            (mm8.throughput_tps() / nv8.throughput_tps() - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "FSDAX below NVDRAM (TBT b=1, sign check)",
+            100.0 * (1.0f64),
+            if dax1.tbt_ms() > nv1.tbt_ms() { 100.0 } else { 0.0 },
+            "%",
+        ),
+    ]);
+
+    section("Fig 4e/4f: near-linear throughput scaling with batch");
+    print_comparisons(&[
+        Comparison::new(
+            "OPT-30B DRAM b=32 / b=1 throughput",
+            26.0,
+            d32.throughput_tps() / d1.throughput_tps(),
+            "x",
+        ),
+        Comparison::new(
+            "OPT-175B NVDRAM b=8 / b=1 throughput",
+            7.6,
+            nv8.throughput_tps() / nv1.throughput_tps(),
+            "x",
+        ),
+    ]);
+}

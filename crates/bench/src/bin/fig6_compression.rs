@@ -1,0 +1,87 @@
+//! Figure 6: compute/communication overlap with group-wise 4-bit
+//! compression for OPT-175B under NVDIMM, MemoryMode, and DRAM.
+//! Compression cuts transfer ~72-74% at the cost of 2.5-13x compute.
+
+use bench::{print_comparisons, print_table, run_serving, section, Comparison};
+use helm_core::metrics::{RunReport, Stage};
+use helm_core::placement::PlacementKind;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn run(memory: HostMemoryConfig, compressed: bool) -> RunReport {
+    run_serving(
+        ModelConfig::opt_175b(),
+        memory,
+        PlacementKind::Baseline,
+        compressed,
+        1,
+        &WorkloadSpec::paper_default(),
+    )
+    .expect("serves")
+}
+
+fn main() {
+    let nv = run(HostMemoryConfig::nvdram(), false);
+    let nv_c = run(HostMemoryConfig::nvdram(), true);
+    let mm = run(HostMemoryConfig::memory_mode(), false);
+    let mm_c = run(HostMemoryConfig::memory_mode(), true);
+    let dram_c = run(HostMemoryConfig::dram(), true);
+
+    section("Fig 6: OPT-175B prefill/decode overlap with compression");
+    let mut rows = Vec::new();
+    for stage in [Stage::Prefill, Stage::Decode] {
+        for (label, r) in [
+            ("NVDIMM", &nv),
+            ("NVDIMM (c)", &nv_c),
+            ("MemoryMode", &mm),
+            ("MemoryMode (c)", &mm_c),
+            ("DRAM (c)", &dram_c),
+        ] {
+            rows.push((
+                format!("{label} {stage}"),
+                vec![
+                    r.avg_hidden_weight_transfer(stage).as_millis(),
+                    r.avg_hidden_compute(stage).as_millis(),
+                ],
+            ));
+        }
+    }
+    print_table(&["config/stage", "xfer(ms)", "compute(ms)"], &rows);
+
+    section("Fig 6: paper claims");
+    let xfer = |r: &RunReport| r.avg_hidden_weight_transfer(Stage::Decode).as_millis();
+    let comp = |r: &RunReport| r.avg_hidden_compute(Stage::Decode).as_millis();
+    print_comparisons(&[
+        Comparison::new(
+            "NVDIMM transfer reduction",
+            72.0,
+            (1.0 - xfer(&nv_c) / xfer(&nv)) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "MemoryMode transfer reduction",
+            74.0,
+            (1.0 - xfer(&mm_c) / xfer(&mm)) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "NVDIMM (c) transfer within of DRAM ideal",
+            25.0,
+            (xfer(&nv_c) / xfer(&dram_c) - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "MemoryMode (c) transfer within of DRAM ideal",
+            6.0,
+            (xfer(&mm_c) / xfer(&dram_c) - 1.0) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "NVDIMM compute increase (within 2.5x-13x)",
+            10.0,
+            comp(&nv_c) / comp(&nv),
+            "x",
+        ),
+    ]);
+}

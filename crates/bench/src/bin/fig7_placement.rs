@@ -1,0 +1,81 @@
+//! Figure 7: (a) per-layer weight load latency for the first 70 of
+//! 194 OPT-175B layers — the baseline allocator's sawtooth — and
+//! (b/c) the achieved MHA/FFN weight distributions under SSD/FSDAX
+//! and NVDRAM/MemoryMode configurations.
+
+use bench::{print_comparisons, print_table, run_serving, section, Comparison};
+use helm_core::placement::{ModelPlacement, PlacementKind};
+use helm_core::policy::Policy;
+use hetmem::{HostMemoryConfig, MemoryConfigKind};
+use llm::layers::LayerKind;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn main() {
+    let model = ModelConfig::opt_175b();
+
+    section("Fig 7a: per-layer load latency, NVDRAM compressed (first 24 of 194)");
+    let report = run_serving(
+        model.clone(),
+        HostMemoryConfig::nvdram(),
+        PlacementKind::Baseline,
+        true,
+        1,
+        &WorkloadSpec::paper_default(),
+    )
+    .expect("serves");
+    println!("{:>6} {:>12}", "layer", "load(ms)");
+    for (layer, load) in report.decode_load_profile().into_iter().take(24) {
+        let bar = "#".repeat((load.as_millis() * 1.2) as usize);
+        println!("{layer:>6} {:>12.2}  {bar}", load.as_millis());
+    }
+
+    for (title, memory, expected_overall) in [
+        (
+            "Fig 7b: SSD/FSDAX (input 65/15/20)",
+            MemoryConfigKind::Ssd,
+            [58.6, 33.1, 8.3],
+        ),
+        (
+            "Fig 7c: NVDRAM/MemoryMode (input 0/80/20)",
+            MemoryConfigKind::NvDram,
+            [0.0, 91.7, 8.3],
+        ),
+    ] {
+        section(title);
+        let policy = Policy::paper_default(&model, memory);
+        let placement = ModelPlacement::compute(&model, &policy);
+        let mha = placement.distribution_for_kind(LayerKind::Mha);
+        let ffn = placement.distribution_for_kind(LayerKind::Ffn);
+        print_table(
+            &["layer kind", "disk %", "cpu %", "gpu %"],
+            &[
+                ("MHA".to_owned(), mha.to_vec()),
+                ("FFN".to_owned(), ffn.to_vec()),
+            ],
+        );
+        let achieved = placement.achieved_distribution();
+        print_comparisons(&[
+            Comparison::new("achieved disk share", expected_overall[0], achieved[0], "%"),
+            Comparison::new("achieved cpu share", expected_overall[1], achieved[1], "%"),
+            Comparison::new("achieved gpu share", expected_overall[2], achieved[2], "%"),
+        ]);
+    }
+
+    section("Fig 7a: sawtooth magnitude");
+    let profile = report.decode_load_profile();
+    let hidden: Vec<f64> = profile
+        .iter()
+        .skip(1)
+        .take(40)
+        .map(|(_, d)| d.as_millis())
+        .collect();
+    let max = hidden.iter().cloned().fold(0.0, f64::max);
+    let min = hidden.iter().cloned().fold(f64::INFINITY, f64::min);
+    print_comparisons(&[Comparison::new(
+        "FFN-ridge / MHA-dip load ratio",
+        2.7,
+        max / min,
+        "x",
+    )]);
+}

@@ -1,0 +1,84 @@
+//! Extension: generalizing beyond OPT (the paper's §VII: "The
+//! presented techniques may be generalized to other models ... by
+//! adapting to their compute schedule and data movement costs").
+//!
+//! LLaMA-family models change two placement-relevant properties:
+//! grouped-query attention shrinks the KV cache (lifting the All-CPU
+//! batch ceiling), and the gated SwiGLU FFN is a three-matrix tensor
+//! list for the allocators to walk.
+
+use bench::{print_table, section};
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn main() {
+    let workload = WorkloadSpec::paper_default();
+    let memory = HostMemoryConfig::nvdram();
+
+    section("All-CPU batch ceilings: GQA lifts the KV wall");
+    let mut rows = Vec::new();
+    for model in [
+        ModelConfig::opt_66b(),
+        ModelConfig::llama_2_70b(),
+        ModelConfig::llama_2_7b(),
+        ModelConfig::llama_3_8b(),
+    ] {
+        let policy = Policy::paper_default(&model, memory.kind())
+            .with_placement(PlacementKind::AllCpu)
+            .with_compression(true);
+        let server = Server::new(SystemConfig::paper_platform(memory.clone()), model.clone(), policy)
+            .expect("fits");
+        let max = server.max_batch(&workload);
+        let kv = llm::kv::kv_bytes_per_sequence(&model, workload.context_len());
+        rows.push((
+            format!(
+                "{} ({} kv-heads)",
+                model.name(),
+                model.num_kv_heads()
+            ),
+            vec![
+                model.weight_bytes_f16().as_gb(),
+                kv.as_mb(),
+                max as f64,
+            ],
+        ));
+    }
+    print_table(&["model", "weights(GB)", "KV/seq(MB)", "max batch"], &rows);
+
+    section("HeLM still balances the pipeline on gated-FFN models");
+    let mut rows = Vec::new();
+    for model in [ModelConfig::opt_66b(), ModelConfig::llama_2_70b()] {
+        let mut tbt = Vec::new();
+        for kind in [PlacementKind::Baseline, PlacementKind::Helm] {
+            let policy = Policy::paper_default(&model, memory.kind())
+                .with_placement(kind)
+                .with_compression(true)
+                .with_batch_size(1);
+            let report = Server::new(
+                SystemConfig::paper_platform(memory.clone()),
+                model.clone(),
+                policy,
+            )
+            .expect("fits")
+            .run(&workload)
+            .expect("serves");
+            tbt.push(report.tbt_ms());
+        }
+        rows.push((
+            model.name().to_owned(),
+            vec![tbt[0], tbt[1], (1.0 - tbt[1] / tbt[0]) * 100.0],
+        ));
+    }
+    print_table(&["model", "base TBT", "HeLM TBT", "gain %"], &rows);
+    println!(
+        "\nReading: OPT-66B (MHA) tops out at far smaller batches than\n\
+         LLaMA-2-70B (GQA) despite similar weight footprints -- the KV\n\
+         cache, not the weights, walls the batch; and HeLM's balance carries\n\
+         over to the three-matrix gated FFN unchanged."
+    );
+}

@@ -1,0 +1,41 @@
+//! Table III: the CXL configurations borrowed from prior work, as
+//! realized by the device models.
+
+use bench::{print_comparisons, section, Comparison};
+use hetmem::cxl::CxlDevice;
+use hetmem::{AccessProfile, MemoryDevice};
+use simcore::units::ByteSize;
+
+fn main() {
+    section("Table III: CXL configurations");
+    let probe = AccessProfile::sequential_read(ByteSize::from_gb(1.0));
+    let fpga = CxlDevice::fpga_ddr4();
+    let asic = CxlDevice::asic_ddr5();
+    println!("{:<12} {:<16} {:>16}", "name", "memory", "bandwidth");
+    for dev in [&fpga, &asic] {
+        println!(
+            "{:<12} {:<16} {:>16}",
+            if dev.name().contains("FPGA") { "CXL-FPGA" } else { "CXL-ASIC" },
+            dev.media(),
+            dev.bandwidth(&probe).to_string(),
+        );
+    }
+    print_comparisons(&[
+        Comparison::new(
+            "CXL-FPGA bandwidth (Sun et al., CXL-C)",
+            5.12,
+            fpga.bandwidth(&probe).as_gb_per_s(),
+            "GB/s",
+        ),
+        Comparison::new(
+            "CXL-ASIC bandwidth (Wang et al., System A)",
+            28.0,
+            asic.bandwidth(&probe).as_gb_per_s(),
+            "GB/s",
+        ),
+    ]);
+    println!(
+        "\nAdded round-trip latency of the CXL hop: >= {} ns (SS II-D)",
+        hetmem::cxl::CXL_ADDED_LATENCY_NS
+    );
+}

@@ -1,0 +1,97 @@
+//! Table IV: compute/communication overlap ratios under NVDRAM and
+//! the two CXL configurations for all three placement policies,
+//! OPT-175B with compression. Ratios below 1 are memory-bound, above
+//! 1 compute-bound.
+
+use bench::{print_comparisons, section, Comparison};
+use helm_core::metrics::Stage;
+use helm_core::placement::PlacementKind;
+use helm_core::projection::{table_iv, OverlapRow};
+use workload::WorkloadSpec;
+
+/// The paper's Table IV, row-major:
+/// (policy, batch, stage, [nv_mha_ffn, fpga, asic, nv_ffn_mha, fpga, asic]).
+const PAPER: &[(&str, u32, &str, [f64; 6])] = &[
+    ("Baseline", 1, "prefill", [0.36, 0.10, 0.56, 1.86, 0.53, 2.90]),
+    ("Baseline", 1, "decode", [0.36, 0.10, 0.55, 1.85, 0.53, 2.88]),
+    ("Baseline", 8, "prefill", [0.52, 0.14, 0.79, 3.07, 0.87, 4.77]),
+    ("Baseline", 8, "decode", [0.36, 0.10, 0.55, 1.85, 0.53, 2.88]),
+    ("HeLM", 1, "prefill", [0.72, 0.20, 1.12, 1.40, 0.40, 2.18]),
+    ("HeLM", 1, "decode", [0.71, 0.20, 1.10, 1.40, 0.40, 2.16]),
+    ("HeLM", 8, "prefill", [0.37, 0.10, 0.56, 1.41, 0.40, 2.18]),
+    ("HeLM", 8, "decode", [0.36, 0.10, 0.55, 1.39, 0.39, 2.16]),
+    ("All-CPU", 44, "prefill", [1.25, 0.37, 2.01, 4.82, 1.43, 7.84]),
+    ("All-CPU", 44, "decode", [0.35, 0.10, 0.57, 1.33, 0.40, 2.16]),
+];
+
+fn cell<'a>(
+    rows: &'a [OverlapRow],
+    policy: PlacementKind,
+    batch: u32,
+    stage: Stage,
+    config: &str,
+) -> &'a OverlapRow {
+    rows.iter()
+        .find(|r| r.policy == policy && r.batch == batch && r.stage == stage && r.config == config)
+        .expect("cell present")
+}
+
+fn main() {
+    let rows = table_iv(&WorkloadSpec::paper_default()).expect("table runs");
+
+    section("Table IV: MHA-compute/FFN-load and FFN-compute/MHA-load ratios");
+    println!(
+        "{:<10} {:>5} {:<8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "policy", "batch", "stage", "NV m/f", "FPGA", "ASIC", "NV f/m", "FPGA", "ASIC"
+    );
+    let mut comparisons = Vec::new();
+    for &(policy_name, batch, stage_name, paper) in PAPER {
+        let policy = match policy_name {
+            "Baseline" => PlacementKind::Baseline,
+            "HeLM" => PlacementKind::Helm,
+            _ => PlacementKind::AllCpu,
+        };
+        let stage = if stage_name == "prefill" {
+            Stage::Prefill
+        } else {
+            Stage::Decode
+        };
+        let mut ours = [0.0f64; 6];
+        for (i, config) in ["NVDRAM", "CXL-FPGA", "CXL-ASIC"].iter().enumerate() {
+            let c = cell(&rows, policy, batch, stage, config);
+            ours[i] = c.mha_compute_over_ffn_load;
+            ours[i + 3] = c.ffn_compute_over_mha_load;
+        }
+        println!(
+            "{policy_name:<10} {batch:>5} {stage_name:<8} | {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2} {:>8.2}",
+            ours[0], ours[1], ours[2], ours[3], ours[4], ours[5]
+        );
+        for (i, label) in [
+            "NV mha/ffn",
+            "FPGA mha/ffn",
+            "ASIC mha/ffn",
+            "NV ffn/mha",
+            "FPGA ffn/mha",
+            "ASIC ffn/mha",
+        ]
+        .iter()
+        .enumerate()
+        {
+            comparisons.push(Comparison::new(
+                format!("{policy_name} b={batch} {stage_name} {label}"),
+                paper[i],
+                ours[i],
+                "x",
+            ));
+        }
+    }
+
+    section("Table IV: paper-vs-measured, every cell");
+    print_comparisons(&comparisons);
+    let within = comparisons.iter().filter(|c| c.within(0.35)).count();
+    println!(
+        "\n{}/{} cells within 35% of the paper's ratio",
+        within,
+        comparisons.len()
+    );
+}

@@ -1,0 +1,430 @@
+//! The `helmsim` subcommands.
+
+use crate::args::{ArgError, Args};
+use crate::select;
+use helm_core::autoplace::{self, Objective};
+use helm_core::energy::assess;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use simcore::units::ByteSize;
+use workload::WorkloadSpec;
+
+const SERVE_FLAGS: &[&str] = &[
+    "model",
+    "memory",
+    "placement",
+    "batch",
+    "gpu-batches",
+    "compress",
+    "kv-offload",
+    "prompt",
+    "gen",
+    "csv",
+];
+
+struct Session {
+    server: Server,
+    workload: WorkloadSpec,
+}
+
+fn session(args: &Args) -> Result<Session, ArgError> {
+    let model = select::model(args.get_or("model", "opt-175b"))?;
+    let memory = select::memory(args.get_or("memory", "nvdram"))?;
+    let placement = select::placement(args.get_or("placement", "baseline"))?;
+    let policy = Policy::paper_default(&model, memory.kind())
+        .with_placement(placement)
+        .with_compression(args.get_bool("compress")?)
+        .with_kv_offload(args.get_bool("kv-offload")?)
+        .with_batch_size(args.get_num("batch", 1u32)?)
+        .with_gpu_batches(args.get_num("gpu-batches", 1u32)?);
+    let workload = WorkloadSpec::new(
+        args.get_num("prompt", 128usize)?,
+        args.get_num("gen", 21usize)?,
+        1,
+    );
+    let server = Server::new(SystemConfig::paper_platform(memory), model, policy)
+        .map_err(|e| ArgError(e.to_string()))?;
+    Ok(Session { server, workload })
+}
+
+/// `helmsim serve`.
+pub fn serve(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(SERVE_FLAGS)?;
+    let Session { server, workload } = session(args)?;
+    let report = server
+        .run(&workload)
+        .map_err(|e| ArgError(e.to_string()))?;
+    println!("{}", report.summary());
+    println!("  TTFT        : {:>12.1} ms", report.ttft_ms());
+    println!("  TBT         : {:>12.1} ms", report.tbt_ms());
+    println!("  throughput  : {:>12.3} tok/s", report.throughput_tps());
+    println!("  H2D traffic : {:>12}", report.total_h2d_bytes());
+    println!("  D2H traffic : {:>12}", report.total_d2h_bytes());
+    let [disk, cpu, gpu] = report.achieved_distribution;
+    println!("  weights     : disk {disk:.1}% / cpu {cpu:.1}% / gpu {gpu:.1}%");
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, report.to_csv())
+            .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        println!("  timeline    : wrote {} steps to {path}", report.records.len());
+    }
+    Ok(())
+}
+
+/// `helmsim maxbatch`.
+pub fn maxbatch(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(SERVE_FLAGS)?;
+    let Session { server, workload } = session(args)?;
+    let costs = server.resident_costs(&workload);
+    println!("GPU-resident weights : {}", costs.weights);
+    println!("prefetch staging     : {}", costs.staging);
+    println!("KV per sequence      : {}", costs.kv_per_sequence);
+    println!("max batch            : {}", server.max_batch(&workload));
+    Ok(())
+}
+
+/// `helmsim autoplace`.
+pub fn autoplace(args: &Args) -> Result<(), ArgError> {
+    let mut allowed = SERVE_FLAGS.to_vec();
+    allowed.push("objective");
+    args.reject_unknown(&allowed)?;
+    let objective = match args.get_or("objective", "latency") {
+        "latency" => Objective::Latency,
+        "throughput" => Objective::Throughput,
+        other => {
+            return Err(ArgError(format!(
+                "unknown objective '{other}'; latency|throughput"
+            )))
+        }
+    };
+    let Session { server, workload } = session(args)?;
+    let result = autoplace::optimize(
+        server.system(),
+        server.model(),
+        server.policy(),
+        &workload,
+        objective,
+    )
+    .map_err(|e| ArgError(e.to_string()))?;
+    println!(
+        "best of {} candidates: MHA {}% / FFN {}% on GPU, batch {}",
+        result.evaluated, result.mha_gpu_percent, result.ffn_gpu_percent, result.batch
+    );
+    println!("{}", result.report.summary());
+    Ok(())
+}
+
+/// `helmsim energy`.
+pub fn energy(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(SERVE_FLAGS)?;
+    let Session { server, workload } = session(args)?;
+    let report = server
+        .run(&workload)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let energy = assess(&report, server.system());
+    println!("{}", report.summary());
+    println!("{energy}");
+    Ok(())
+}
+
+/// `helmsim probe`.
+pub fn probe(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&["what"])?;
+    match args.get_or("what", "bandwidth") {
+        "bandwidth" => {
+            let path = xfer::path::PathModel::paper_system();
+            let points = xfer::nvbandwidth::sweep(&path);
+            println!("host -> GPU (GB/s):");
+            print!(
+                "{}",
+                xfer::nvbandwidth::to_table(&points, xfer::path::Direction::HostToGpu)
+            );
+            println!("\nGPU -> host (GB/s):");
+            print!(
+                "{}",
+                xfer::nvbandwidth::to_table(&points, xfer::path::Direction::GpuToHost)
+            );
+        }
+        "mlc" => {
+            let report = hetmem::mlc::run(
+                &hetmem::numa::NumaTopology::paper_system(),
+                ByteSize::from_gb(1.0),
+            );
+            print!("{}", report.to_table());
+        }
+        other => return Err(ArgError(format!("unknown probe '{other}'; bandwidth|mlc"))),
+    }
+    Ok(())
+}
+
+/// `helmsim explain`: per-layer cost breakdown — the kernel plan and
+/// the transfer costing for one decoder block.
+pub fn explain(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(SERVE_FLAGS)?;
+    let Session { server, workload } = session(args)?;
+    let placement = server.effective_placement(&workload);
+    let policy = server.policy().clone();
+    let inputs = helm_core::exec::PipelineInputs {
+        system: server.system(),
+        model: server.model(),
+        policy: &policy,
+        placement: &placement,
+        workload: &workload,
+    };
+    let cpu_ws = placement.total_on(helm_core::placement::Tier::Cpu);
+    let disk_ws = placement.total_on(helm_core::placement::Tier::Disk);
+    println!(
+        "{} on {} [{} b={}{}], decode step:",
+        server.model().name(),
+        server.system().memory().kind(),
+        policy.placement(),
+        policy.effective_batch(),
+        if policy.compressed() { " (c)" } else { "" },
+    );
+    for lp in placement.layers().iter().skip(1).take(2) {
+        let layer = lp.layer();
+        println!("\n[{}] layer {}", layer.kind(), layer.index());
+        let plan = helm_core::exec::kernel_plan(
+            &inputs,
+            layer,
+            helm_core::metrics::Stage::Decode,
+            1,
+        );
+        for (name, k) in &plan {
+            println!(
+                "  kernel {name:<18} {:>10.3} ms",
+                server.system().gpu().kernel_time(k).as_millis()
+            );
+        }
+        let compute =
+            helm_core::exec::compute_time(&inputs, layer, helm_core::metrics::Stage::Decode, 1);
+        let load = helm_core::exec::load_time(&inputs, lp, cpu_ws, disk_ws);
+        println!("  total compute      {:>10.3} ms", compute.as_millis());
+        println!(
+            "  weight transfer    {:>10.3} ms ({} offloaded)",
+            load.as_millis(),
+            lp.offloaded_bytes(placement.dtype()),
+        );
+        let bound = if load > compute { "memory" } else { "compute" };
+        println!("  -> {bound}-bound when overlapped");
+    }
+    Ok(())
+}
+
+/// `helmsim sweep`: one-axis parameter sweeps.
+pub fn sweep(args: &Args) -> Result<(), ArgError> {
+    let mut allowed = SERVE_FLAGS.to_vec();
+    allowed.push("axis");
+    args.reject_unknown(&allowed)?;
+    let axis = args.get_or("axis", "batch").to_owned();
+    println!("{:<16} {:>12} {:>12} {:>12}", "point", "TTFT(ms)", "TBT(ms)", "tok/s");
+    let print_row = |label: String, r: &helm_core::RunReport| {
+        println!(
+            "{label:<16} {:>12.1} {:>12.1} {:>12.3}",
+            r.ttft_ms(),
+            r.tbt_ms(),
+            r.throughput_tps()
+        );
+    };
+    match axis.as_str() {
+        "batch" => {
+            let Session { server, workload } = session(args)?;
+            let max = server.max_batch(&workload);
+            let mut batch = 1u32;
+            while batch <= max {
+                let s = Server::new(
+                    server.system().clone(),
+                    server.model().clone(),
+                    server.policy().clone().with_batch_size(batch),
+                )
+                .map_err(|e| ArgError(e.to_string()))?;
+                let r = s.run(&workload).map_err(|e| ArgError(e.to_string()))?;
+                print_row(format!("batch {batch}"), &r);
+                if batch == max {
+                    break;
+                }
+                batch = (batch * 2).min(max);
+            }
+        }
+        "prompt" => {
+            for prompt in [64usize, 128, 256, 512, 1024] {
+                let mut forwarded = vec![
+                    "--prompt".to_owned(),
+                    prompt.to_string(),
+                ];
+                forwarded.extend(reconstruct_flags(args, &["prompt"]));
+                let sub = Args::parse(forwarded)?;
+                let Session { server, workload } = session(&sub)?;
+                let r = server
+                    .run(&workload)
+                    .map_err(|e| ArgError(e.to_string()))?;
+                print_row(format!("prompt {prompt}"), &r);
+            }
+        }
+        "cxl" => {
+            for gbps in [4.0, 8.0, 16.0, 28.0, 48.0] {
+                let mut forwarded = vec![
+                    "--memory".to_owned(),
+                    format!("cxl:{gbps}"),
+                ];
+                forwarded.extend(reconstruct_flags(args, &["memory"]));
+                let sub = Args::parse(forwarded)?;
+                let Session { server, workload } = session(&sub)?;
+                let r = server
+                    .run(&workload)
+                    .map_err(|e| ArgError(e.to_string()))?;
+                print_row(format!("cxl {gbps} GB/s"), &r);
+            }
+        }
+        other => return Err(ArgError(format!("unknown axis '{other}'; batch|prompt|cxl"))),
+    }
+    Ok(())
+}
+
+/// Re-serializes the serve flags of `args`, skipping `except`.
+fn reconstruct_flags(args: &Args, except: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    for key in SERVE_FLAGS {
+        if except.contains(key) {
+            continue;
+        }
+        match (*key, args.get(key)) {
+            ("compress" | "kv-offload", _) => {
+                if args.get_bool(key).unwrap_or(false) {
+                    out.push(format!("--{key}"));
+                }
+            }
+            (_, Some(value)) => {
+                out.push(format!("--{key}"));
+                out.push(value.to_owned());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `helmsim list`.
+pub fn list(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&[])?;
+    println!("models     : {}", select::MODELS.join(", "));
+    println!("memories   : {}", select::MEMORIES.join(", "));
+    println!("placements : {}", select::PLACEMENTS.join(", "));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn serve_small_model_end_to_end() {
+        let args = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--gen",
+            "3",
+        ]);
+        serve(&args).unwrap();
+    }
+
+    #[test]
+    fn maxbatch_reports() {
+        let args = parse(&[
+            "--model",
+            "opt-175b",
+            "--memory",
+            "nvdram",
+            "--placement",
+            "all-cpu",
+            "--compress",
+        ]);
+        maxbatch(&args).unwrap();
+    }
+
+    #[test]
+    fn serve_rejects_unknown_flags() {
+        let args = parse(&["--modle", "opt-30b"]);
+        assert!(serve(&args).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_infeasible_configs() {
+        // OPT-175B uncompressed on DRAM.
+        let args = parse(&["--model", "opt-175b", "--memory", "dram"]);
+        let err = serve(&args).unwrap_err();
+        assert!(err.to_string().contains("cpu tier"));
+    }
+
+    #[test]
+    fn energy_runs() {
+        let args = parse(&["--model", "opt-1.3b", "--memory", "nvdram", "--gen", "3"]);
+        energy(&args).unwrap();
+    }
+
+    #[test]
+    fn probe_variants() {
+        probe(&parse(&["--what", "mlc"])).unwrap();
+        probe(&parse(&[])).unwrap();
+        assert!(probe(&parse(&["--what", "tarot"])).is_err());
+    }
+
+    #[test]
+    fn list_prints() {
+        list(&parse(&[])).unwrap();
+        assert!(list(&parse(&["--x", "1"])).is_err());
+    }
+
+    #[test]
+    fn explain_runs_on_small_model() {
+        let args = parse(&["--model", "opt-1.3b", "--memory", "nvdram", "--compress"]);
+        explain(&args).unwrap();
+    }
+
+    #[test]
+    fn sweep_axes_run_and_validate() {
+        let batch = parse(&["--model", "opt-1.3b", "--memory", "dram", "--gen", "2", "--axis", "batch"]);
+        sweep(&batch).unwrap();
+        let cxl = parse(&["--model", "opt-1.3b", "--gen", "2", "--axis", "cxl"]);
+        sweep(&cxl).unwrap();
+        let bad = parse(&["--axis", "sideways"]);
+        assert!(sweep(&bad).is_err());
+    }
+
+    #[test]
+    fn reconstruct_flags_round_trips() {
+        let args = parse(&["--model", "opt-1.3b", "--compress", "--batch", "4"]);
+        let flags = reconstruct_flags(&args, &["batch"]);
+        assert!(flags.contains(&"--model".to_owned()));
+        assert!(flags.contains(&"--compress".to_owned()));
+        assert!(!flags.contains(&"--batch".to_owned()));
+    }
+
+    #[test]
+    fn csv_export_writes_file() {
+        let dir = std::env::temp_dir().join("helmsim-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timeline.csv");
+        let path_str = path.to_str().unwrap();
+        let args = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--gen",
+            "2",
+            "--csv",
+            path_str,
+        ]);
+        serve(&args).unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.starts_with("token,"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,94 @@
+//! `helmsim` — command-line front end to the out-of-core LLM serving
+//! simulator.
+//!
+//! ```text
+//! helmsim serve    --model opt-175b --memory nvdram --placement helm --compress
+//! helmsim maxbatch --model opt-175b --memory nvdram --placement all-cpu --compress
+//! helmsim autoplace --objective throughput --memory nvdram
+//! helmsim energy   --model opt-175b --memory nvdram --placement all-cpu --batch 44
+//! helmsim probe    --what bandwidth
+//! helmsim list
+//! ```
+
+mod args;
+mod commands;
+mod select;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+helmsim — out-of-core LLM inference on heterogeeous memory (simulated)
+
+USAGE:
+  helmsim <command> [flags]
+
+COMMANDS:
+  serve       run one serving configuration, print TTFT/TBT/throughput
+  maxbatch    solve the largest batch GPU memory allows
+  autoplace   search per-layer-kind placements for a QoS objective
+  energy      serve and report the energy breakdown (J/token)
+  explain     per-layer kernel plan + transfer costing breakdown
+  sweep       one-axis sweep (--axis batch|prompt|cxl)
+  probe       platform characterization (--what bandwidth|mlc)
+  list        show accepted model/memory/placement names
+  help        this message
+
+COMMON FLAGS:
+  --model <name>        (default opt-175b)
+  --memory <name>       (default nvdram; cxl:<GB/s> for custom)
+  --placement <name>    (default baseline)
+  --batch <n>           (default 1)
+  --gpu-batches <n>     micro-batches per weight load (default 1)
+  --compress            store weights 4-bit group-quantized
+  --kv-offload          keep the KV cache on the host tier
+  --prompt <n>          input tokens (default 128)
+  --gen <n>             output tokens (default 21)
+  --csv <path>          also write the per-step timeline as CSV
+  --objective <o>       autoplace: latency|throughput (default latency)
+  --what <w>            probe: bandwidth|mlc (default bandwidth)
+  --axis <a>            sweep: batch|prompt|cxl (default batch)
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let parsed = match Args::parse(argv) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(stray) = parsed.positional().first() {
+        eprintln!("error: unexpected argument '{stray}' (flags use --name value)");
+        return ExitCode::FAILURE;
+    }
+    let result = match command.as_str() {
+        "serve" => commands::serve(&parsed),
+        "maxbatch" => commands::maxbatch(&parsed),
+        "autoplace" => commands::autoplace(&parsed),
+        "energy" => commands::energy(&parsed),
+        "probe" => commands::probe(&parsed),
+        "explain" => commands::explain(&parsed),
+        "sweep" => commands::sweep(&parsed),
+        "list" => commands::list(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(args::ArgError(format!(
+            "unknown command '{other}'; try 'helmsim help'"
+        ))),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

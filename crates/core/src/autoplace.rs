@@ -1,0 +1,250 @@
+//! Automatic weight-placement search.
+//!
+//! The paper closes hoping its insights "inform the design of improved
+//! weight placement algorithms that can automatically make
+//! latency/throughput tradeoffs based on desired quality of service
+//! requirements" (§VII). This module is that algorithm over the
+//! simulator: a grid search across per-layer-kind GPU shares
+//! (generalizing HeLM's hand-picked 10%/30%) that
+//!
+//! * for [`Objective::Latency`] minimizes TBT at the policy's batch,
+//! * for [`Objective::Throughput`] maximizes tokens/second, letting
+//!   each candidate use the largest batch its GPU residency allows.
+//!
+//! Each candidate is costed with the same pipeline executor the
+//! serving path uses, so the optimizer sees exactly the
+//! compute/communication overlap the paper analyzes.
+
+use crate::error::ServeError;
+use crate::exec::{run_pipeline, PipelineInputs};
+use crate::metrics::RunReport;
+use crate::placement::{ModelPlacement, Tier};
+use crate::policy::Policy;
+use crate::system::SystemConfig;
+use gpusim::{MemoryBudget, ResidentCosts};
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+/// What the search optimizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize time between tokens at the policy's batch size.
+    Latency,
+    /// Maximize tokens/second, choosing the batch per candidate.
+    Throughput,
+}
+
+/// The outcome of a placement search.
+#[derive(Debug, Clone)]
+pub struct AutoPlacement {
+    /// GPU share chosen for MHA layers (percent).
+    pub mha_gpu_percent: f64,
+    /// GPU share chosen for FFN layers (percent).
+    pub ffn_gpu_percent: f64,
+    /// Batch size the winning evaluation used.
+    pub batch: u32,
+    /// The winning placement.
+    pub placement: ModelPlacement,
+    /// The winning evaluation run.
+    pub report: RunReport,
+    /// Candidates evaluated (after feasibility filtering).
+    pub evaluated: usize,
+}
+
+/// Grid-searches per-kind GPU shares for `objective`.
+///
+/// The search keeps embeddings host-resident (they are a rounding
+/// error of the footprint) and storage unused (matching the paper's
+/// §V setting where compressed weights fit host memory).
+///
+/// # Errors
+///
+/// Returns [`ServeError::CapacityExceeded`] when even the all-host
+/// candidate cannot fit (host tier too small for the model).
+pub fn optimize(
+    system: &SystemConfig,
+    model: &ModelConfig,
+    policy: &Policy,
+    workload: &WorkloadSpec,
+    objective: Objective,
+) -> Result<AutoPlacement, ServeError> {
+    let budget = MemoryBudget::for_gpu(system.gpu());
+    let grid: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+    let mut best: Option<AutoPlacement> = None;
+    let mut evaluated = 0usize;
+
+    for &mha_gpu in &grid {
+        for &ffn_gpu in &grid {
+            let placement = ModelPlacement::compute_custom(
+                model,
+                policy.compressed(),
+                [mha_gpu, 100.0 - mha_gpu, 0.0],
+                [ffn_gpu, 100.0 - ffn_gpu, 0.0],
+                [0.0, 100.0, 0.0],
+            );
+            // Host capacity check.
+            if placement.total_on(Tier::Cpu) > system.tier_capacity(Tier::Cpu) {
+                continue;
+            }
+            let costs = ResidentCosts {
+                weights: placement.total_on(Tier::Gpu),
+                staging: placement.staging_bytes(),
+                kv_per_sequence: llm::kv::kv_bytes_per_sequence(model, workload.context_len()),
+                hidden_per_sequence: llm::kv::hidden_bytes_per_sequence(
+                    model,
+                    workload.context_len(),
+                ),
+            };
+            let batch = match objective {
+                Objective::Latency => {
+                    if !budget.fits(&costs, policy.effective_batch()) {
+                        continue;
+                    }
+                    policy.batch_size()
+                }
+                Objective::Throughput => {
+                    let max = budget.max_batch(&costs);
+                    if max == 0 {
+                        continue;
+                    }
+                    max
+                }
+            };
+            let candidate_policy = policy.clone().with_batch_size(batch);
+            let report = run_pipeline(&PipelineInputs {
+                system,
+                model,
+                policy: &candidate_policy,
+                placement: &placement,
+                workload,
+            });
+            evaluated += 1;
+            let better = match (&best, objective) {
+                (None, _) => true,
+                (Some(b), Objective::Latency) => report.tbt_ms() < b.report.tbt_ms(),
+                (Some(b), Objective::Throughput) => {
+                    report.throughput_tps() > b.report.throughput_tps()
+                }
+            };
+            if better {
+                best = Some(AutoPlacement {
+                    mha_gpu_percent: mha_gpu,
+                    ffn_gpu_percent: ffn_gpu,
+                    batch,
+                    placement: placement.clone(),
+                    report,
+                    evaluated,
+                });
+            }
+        }
+    }
+
+    let mut result = best.ok_or(ServeError::CapacityExceeded {
+        tier: "cpu",
+        requested: ModelPlacement::compute_custom(
+            model,
+            policy.compressed(),
+            [0.0, 100.0, 0.0],
+            [0.0, 100.0, 0.0],
+            [0.0, 100.0, 0.0],
+        )
+        .total_on(Tier::Cpu),
+        capacity: system.tier_capacity(Tier::Cpu),
+    })?;
+    result.evaluated = evaluated;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementKind;
+    use crate::server::Server;
+    use hetmem::HostMemoryConfig;
+
+    fn setup() -> (SystemConfig, ModelConfig, Policy, WorkloadSpec) {
+        let system = SystemConfig::paper_platform(HostMemoryConfig::nvdram());
+        let model = ModelConfig::opt_175b();
+        let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::NvDram)
+            .with_compression(true)
+            .with_batch_size(1);
+        (system, model, policy, WorkloadSpec::paper_default())
+    }
+
+    #[test]
+    fn latency_search_matches_or_beats_helm() {
+        let (system, model, policy, workload) = setup();
+        let auto = optimize(&system, &model, &policy, &workload, Objective::Latency).unwrap();
+        let helm = Server::new(
+            system.clone(),
+            model,
+            policy.with_placement(PlacementKind::Helm),
+        )
+        .unwrap()
+        .run(&workload)
+        .unwrap();
+        assert!(
+            auto.report.tbt_ms() <= helm.tbt_ms() * 1.01,
+            "auto {} vs HeLM {}",
+            auto.report.tbt_ms(),
+            helm.tbt_ms()
+        );
+        assert!(auto.evaluated > 20);
+    }
+
+    #[test]
+    fn latency_search_favors_ffn_offload_relief() {
+        // The winning latency placement should put substantially more
+        // of FFN on the GPU than the baseline's 0% (HeLM's insight).
+        let (system, model, policy, workload) = setup();
+        let auto = optimize(&system, &model, &policy, &workload, Objective::Latency).unwrap();
+        assert!(
+            auto.ffn_gpu_percent >= 30.0,
+            "FFN gpu share {}",
+            auto.ffn_gpu_percent
+        );
+    }
+
+    #[test]
+    fn throughput_search_evicts_weights() {
+        // The throughput optimum trades GPU weight residency for
+        // batch (All-CPU's insight): low GPU shares, big batch.
+        let (system, model, policy, workload) = setup();
+        let auto = optimize(&system, &model, &policy, &workload, Objective::Throughput).unwrap();
+        assert!(auto.batch >= 40, "batch {}", auto.batch);
+        let gpu_bytes = auto.placement.total_on(Tier::Gpu);
+        assert!(
+            gpu_bytes < simcore::units::ByteSize::from_gb(5.0),
+            "GPU-resident {gpu_bytes}"
+        );
+        // And it should at least match the hand-built All-CPU at 44.
+        let all_cpu = Server::new(
+            system.clone(),
+            model,
+            policy
+                .with_placement(PlacementKind::AllCpu)
+                .with_batch_size(44),
+        )
+        .unwrap()
+        .run(&workload)
+        .unwrap();
+        assert!(auto.report.throughput_tps() >= all_cpu.throughput_tps() * 0.99);
+    }
+
+    #[test]
+    fn infeasible_model_is_rejected() {
+        // OPT-175B uncompressed cannot fit a 256 GB DRAM host.
+        let system = SystemConfig::paper_platform(HostMemoryConfig::dram());
+        let model = ModelConfig::opt_175b();
+        let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::Dram);
+        let err = optimize(
+            &system,
+            &model,
+            &policy,
+            &WorkloadSpec::paper_default(),
+            Objective::Latency,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ServeError::CapacityExceeded { .. }));
+    }
+}

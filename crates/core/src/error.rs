@@ -1,0 +1,88 @@
+//! Serving errors.
+
+use simcore::units::ByteSize;
+use std::fmt;
+
+/// Errors raised while configuring or running a serving session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A weight placement does not fit the targeted tier.
+    CapacityExceeded {
+        /// Tier name ("gpu", "cpu", "disk").
+        tier: &'static str,
+        /// Bytes the placement needs there.
+        requested: ByteSize,
+        /// Tier capacity.
+        capacity: ByteSize,
+    },
+    /// The requested batch does not fit GPU memory alongside the
+    /// placement.
+    BatchTooLarge {
+        /// Requested batch size.
+        requested: u32,
+        /// Largest batch that fits.
+        max_batch: u32,
+    },
+    /// A policy placed weights on a storage tier the memory
+    /// configuration does not provide.
+    NoDiskTier,
+    /// Percentages in a policy distribution do not sum to 100.
+    InvalidDistribution {
+        /// The offending (disk, cpu, gpu) percentages.
+        percents: [f64; 3],
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::CapacityExceeded {
+                tier,
+                requested,
+                capacity,
+            } => write!(
+                f,
+                "placement needs {requested} on the {tier} tier but only {capacity} exists"
+            ),
+            ServeError::BatchTooLarge {
+                requested,
+                max_batch,
+            } => write!(
+                f,
+                "batch size {requested} exceeds the maximum of {max_batch} that fits GPU memory"
+            ),
+            ServeError::NoDiskTier => {
+                write!(f, "policy places weights on disk but no storage tier is configured")
+            }
+            ServeError::InvalidDistribution { percents } => write!(
+                f,
+                "distribution ({}, {}, {}) does not sum to 100",
+                percents[0], percents[1], percents[2]
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = ServeError::CapacityExceeded {
+            tier: "cpu",
+            requested: ByteSize::from_gb(300.0),
+            capacity: ByteSize::from_gb(256.0),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("cpu") && msg.contains("300"));
+        assert!(ServeError::NoDiskTier.to_string().contains("disk"));
+        let b = ServeError::BatchTooLarge {
+            requested: 64,
+            max_batch: 44,
+        };
+        assert!(b.to_string().contains("44"));
+    }
+}

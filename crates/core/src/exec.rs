@@ -1,0 +1,501 @@
+//! The zig-zag pipeline executor (paper Listing 1).
+//!
+//! FlexGen's schedule, per generated token `i` and layer `j`:
+//!
+//! ```text
+//! load_weight(i, j+1)   // prefetch the next layer's offloaded weights
+//! compute_layer(i, j)   // while computing the current layer
+//! sync()
+//! ```
+//!
+//! Each step therefore costs `max(compute_j, load_{j+1})` plus a sync
+//! overhead, and the longer-running side of the pipeline sets the
+//! inference latency — the imbalance the paper's §V diagnoses. When a
+//! layer's offloaded weights straddle the host and storage tiers, the
+//! two transfers share the PCIe link ([`xfer::CappedLink`]) with
+//! per-tier rate caps.
+
+use crate::metrics::{LayerStepRecord, RunReport, Stage};
+use crate::placement::{LayerPlacement, ModelPlacement, Tier};
+use crate::policy::Policy;
+use crate::system::SystemConfig;
+use gpusim::KernelProfile;
+use llm::layers::{Layer, LayerKind};
+use llm::weights::{DType, WeightKind};
+use llm::ModelConfig;
+use simcore::stats::SeriesStats;
+use simcore::time::{SimDuration, SimTime};
+use simcore::units::{Bandwidth, ByteSize};
+use workload::WorkloadSpec;
+use xfer::link::CappedLink;
+
+/// Per-layer synchronization and dispatch overhead (stream sync +
+/// Python-side bookkeeping in FlexGen).
+pub const SYNC_OVERHEAD_MS: f64 = 0.25;
+
+/// Everything a pipeline run needs.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineInputs<'a> {
+    /// The platform.
+    pub system: &'a SystemConfig,
+    /// The model being served.
+    pub model: &'a ModelConfig,
+    /// The serving policy.
+    pub policy: &'a Policy,
+    /// The weight placement to execute.
+    pub placement: &'a ModelPlacement,
+    /// The workload shape.
+    pub workload: &'a WorkloadSpec,
+}
+
+/// Runs the full prefill + decode pipeline and reports metrics.
+pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
+    let layers = inp.placement.layers();
+    let num_layers = layers.len();
+    let gen_len = inp.workload.gen_len;
+    let cpu_ws = inp.placement.total_on(Tier::Cpu);
+    let disk_ws = inp.placement.total_on(Tier::Disk);
+
+    let mut records = Vec::with_capacity(num_layers * gen_len);
+    let mut elapsed = SimDuration::ZERO;
+    let mut tbt = SeriesStats::new();
+    let mut ttft = SimDuration::ZERO;
+
+    // Pipeline fill: the first layer's weights stream before any
+    // compute can overlap them.
+    elapsed += load_time(inp, &layers[0], cpu_ws, disk_ws);
+
+    let micro = inp.policy.num_gpu_batches();
+    let effective_batch = inp.policy.effective_batch();
+    let dtype = inp.placement.dtype();
+
+    for token in 0..gen_len {
+        let stage = if token == 0 {
+            Stage::Prefill
+        } else {
+            Stage::Decode
+        };
+        let token_start = elapsed;
+        for (j, lp) in layers.iter().enumerate() {
+            let last_step = token + 1 == gen_len && j + 1 == num_layers;
+            let next_index = (j + 1) % num_layers;
+            let (mut load, next_kind, mut h2d) = if last_step {
+                (SimDuration::ZERO, None, ByteSize::ZERO)
+            } else {
+                let next = &layers[next_index];
+                (
+                    load_time(inp, next, cpu_ws, disk_ws),
+                    Some(next.layer().kind()),
+                    next.offloaded_bytes(dtype),
+                )
+            };
+            // Under KV offloading, the next layer's cache streams in
+            // alongside its weights and shares the same H2D budget.
+            if inp.policy.kv_offload() {
+                if let Some(LayerKind::Mha) = next_kind {
+                    let next = &layers[next_index];
+                    let context = match stage {
+                        Stage::Prefill => 0, // no cache yet at prefill
+                        Stage::Decode => inp.workload.prompt_len + token,
+                    };
+                    let kv_in = next.layer().kv_read_bytes(effective_batch, context);
+                    if kv_in > ByteSize::ZERO {
+                        load += inp
+                            .system
+                            .kv_stream_bandwidth(kv_in, Some(cpu_ws))
+                            .expect("cpu tier")
+                            .time_for(kv_in);
+                        h2d += kv_in;
+                    }
+                }
+            }
+            // Micro-batching amortizes one weight load across several
+            // GPU batches (FlexGen's block schedule).
+            let compute =
+                compute_time(inp, lp.layer(), stage, token) * micro as f64;
+            // KV write-back for the tokens this step produced.
+            let (writeback, d2h) = if inp.policy.kv_offload()
+                && lp.layer().kind() == LayerKind::Mha
+            {
+                let new_tokens = match stage {
+                    Stage::Prefill => inp.workload.prompt_len,
+                    Stage::Decode => 1,
+                };
+                let bytes = ByteSize::from_bytes(
+                    effective_batch as u64
+                        * new_tokens as u64
+                        * llm::kv::kv_bytes_per_token_per_block(inp.model),
+                );
+                let t = inp
+                    .system
+                    .tier_writeback_time(Tier::Cpu, bytes, Some(cpu_ws))
+                    .expect("cpu tier");
+                (t, bytes)
+            } else {
+                (SimDuration::ZERO, ByteSize::ZERO)
+            };
+            let step = compute.max(load).max(writeback)
+                + SimDuration::from_millis(SYNC_OVERHEAD_MS);
+            records.push(LayerStepRecord {
+                token,
+                layer_index: j,
+                kind: lp.layer().kind(),
+                stage,
+                compute,
+                load_next: load,
+                next_kind,
+                h2d_bytes: h2d,
+                d2h_bytes: d2h,
+                step,
+            });
+            elapsed += step;
+        }
+        if token == 0 {
+            ttft = elapsed;
+        } else {
+            tbt.add((elapsed - token_start).as_secs());
+        }
+    }
+
+    RunReport {
+        model: inp.model.name().to_owned(),
+        config: inp.system.memory().kind().to_string(),
+        placement: inp.policy.placement(),
+        batch: effective_batch,
+        compressed: inp.policy.compressed(),
+        ttft,
+        tbt,
+        total_time: elapsed,
+        tokens_generated: inp.workload.tokens_generated(effective_batch),
+        records,
+        achieved_distribution: inp.placement.achieved_distribution(),
+    }
+}
+
+/// Transfer time of one layer's offloaded weights: host and storage
+/// portions stream concurrently over PCIe, each capped by its tier's
+/// effective path rate; fixed costs (DMA setup, device latency,
+/// bounce fill) are paid once per tier, overlapped across tiers.
+pub fn load_time(
+    inp: &PipelineInputs<'_>,
+    lp: &LayerPlacement,
+    cpu_ws: ByteSize,
+    disk_ws: ByteSize,
+) -> SimDuration {
+    let dtype = inp.placement.dtype();
+    let portions: Vec<(Tier, ByteSize, ByteSize)> = [(Tier::Cpu, cpu_ws), (Tier::Disk, disk_ws)]
+        .into_iter()
+        .filter_map(|(tier, ws)| {
+            let bytes = lp.bytes_on(tier, dtype);
+            (bytes > ByteSize::ZERO).then_some((tier, bytes, ws))
+        })
+        .collect();
+    match portions.len() {
+        0 => SimDuration::ZERO,
+        1 => {
+            let (tier, bytes, ws) = portions[0];
+            inp.system
+                .tier_transfer_time(tier, bytes, Some(ws))
+                .expect("tier present (validated at server construction)")
+        }
+        _ => {
+            let total: ByteSize = portions.iter().map(|&(_, b, _)| b).sum();
+            let mut link = CappedLink::new(inp.system.link_capacity(total));
+            let mut fixed = SimDuration::ZERO;
+            for &(tier, bytes, ws) in &portions {
+                let cap: Bandwidth = inp
+                    .system
+                    .tier_bandwidth(tier, bytes, Some(ws))
+                    .expect("tier present");
+                let full = inp
+                    .system
+                    .tier_transfer_time(tier, bytes, Some(ws))
+                    .expect("tier present");
+                // The non-streaming share of the standalone transfer.
+                fixed = fixed.max(full - cap.time_for(bytes));
+                link.start(SimTime::ZERO, bytes.as_f64(), cap);
+            }
+            let mut now = SimTime::ZERO;
+            while let Some((at, id)) = link.next_completion(now) {
+                now = at;
+                link.complete(now, id);
+            }
+            fixed + (now - SimTime::ZERO)
+        }
+    }
+}
+
+/// The named kernel plan one layer issues at one pipeline step —
+/// the decomposition behind [`compute_time`], exposed for
+/// introspection (`helmsim explain`, timeline tooling).
+pub fn kernel_plan(
+    inp: &PipelineInputs<'_>,
+    layer: &Layer,
+    stage: Stage,
+    token: usize,
+) -> Vec<(&'static str, KernelProfile)> {
+    let batch = inp.policy.batch_size();
+    let prompt = inp.workload.prompt_len;
+    let (new_tokens, context) = match stage {
+        Stage::Prefill => (prompt, prompt),
+        Stage::Decode => (1, prompt + token),
+    };
+    let tokens = batch as u64 * new_tokens as u64;
+    let mut kernels: Vec<(&'static str, KernelProfile)> = Vec::with_capacity(3);
+
+    if inp.policy.compressed() {
+        let compressed: ByteSize = layer
+            .weight_specs()
+            .iter()
+            .filter(|s| matches!(s.kind(), WeightKind::Linear | WeightKind::Embedding))
+            .map(|s| s.bytes(DType::Int4Grouped))
+            .sum();
+        if compressed > ByteSize::ZERO {
+            kernels.push(("dequant", KernelProfile::dequant(compressed.as_f64())));
+        }
+    }
+
+    let act = layer.activation_bytes(tokens).as_f64();
+    match layer.kind() {
+        LayerKind::InputEmbed => {
+            // Table lookups: bandwidth over the gathered rows only.
+            kernels.push(("embed-lookup", KernelProfile::elementwise(act)));
+        }
+        LayerKind::Mha => {
+            let flops = layer.matmul_flops(tokens)
+                + layer.attention_flops(batch, new_tokens, context);
+            let bytes = layer.weight_bytes(DType::F16).as_f64()
+                + layer.kv_read_bytes(batch, context).as_f64()
+                + act;
+            kernels.push(("qkv+attention+out", KernelProfile::gemm(flops, bytes)));
+            kernels.push(("norm+residual", KernelProfile::elementwise(act)));
+        }
+        LayerKind::Ffn => {
+            let bytes = layer.weight_bytes(DType::F16).as_f64() + act;
+            kernels.push(("mlp", KernelProfile::gemm(layer.matmul_flops(tokens), bytes)));
+            kernels.push(("norm+residual", KernelProfile::elementwise(act)));
+        }
+        LayerKind::OutputEmbed => {
+            let bytes = layer.weight_bytes(DType::F16).as_f64() + act;
+            kernels.push(("lm-head", KernelProfile::gemm(layer.matmul_flops(tokens), bytes)));
+        }
+    }
+    kernels
+}
+
+/// GPU compute time of one layer at one pipeline step.
+pub fn compute_time(
+    inp: &PipelineInputs<'_>,
+    layer: &Layer,
+    stage: Stage,
+    token: usize,
+) -> SimDuration {
+    inp.system
+        .gpu()
+        .kernels_time(kernel_plan(inp, layer, stage, token).iter().map(|(_, k)| k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementKind;
+    use hetmem::HostMemoryConfig;
+    use llm::ModelConfig;
+
+    fn inputs(
+        memory: HostMemoryConfig,
+        placement_kind: PlacementKind,
+        compressed: bool,
+        batch: u32,
+    ) -> (SystemConfig, ModelConfig, Policy, WorkloadSpec) {
+        let system = SystemConfig::paper_platform(memory.clone());
+        let model = ModelConfig::opt_175b();
+        let policy = Policy::paper_default(&model, memory.kind())
+            .with_placement(placement_kind)
+            .with_compression(compressed)
+            .with_batch_size(batch);
+        (system, model, policy, WorkloadSpec::paper_default())
+    }
+
+    fn run(
+        memory: HostMemoryConfig,
+        kind: PlacementKind,
+        compressed: bool,
+        batch: u32,
+    ) -> RunReport {
+        let (system, model, policy, workload) = inputs(memory, kind, compressed, batch);
+        let placement = ModelPlacement::compute(&model, &policy);
+        run_pipeline(&PipelineInputs {
+            system: &system,
+            model: &model,
+            policy: &policy,
+            placement: &placement,
+            workload: &workload,
+        })
+    }
+
+    #[test]
+    fn decode_steps_cover_all_layers() {
+        let report = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline, true, 1);
+        // 21 tokens x 194 layers.
+        assert_eq!(report.records.len(), 21 * 194);
+        assert_eq!(report.tbt.count(), 20);
+        assert!(report.ttft > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn nvdram_decode_is_memory_bound_at_batch_1() {
+        // Table IV baseline: MHA compute / FFN load ~ 0.36 on NVDRAM.
+        let report = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline, true, 1);
+        let ratio = report.overlap_ratio(Stage::Decode, LayerKind::Mha, LayerKind::Ffn);
+        assert!(
+            (0.25..=0.5).contains(&ratio),
+            "MHA-compute/FFN-load {ratio}"
+        );
+        let ratio2 = report.overlap_ratio(Stage::Decode, LayerKind::Ffn, LayerKind::Mha);
+        assert!(
+            (1.4..=2.4).contains(&ratio2),
+            "FFN-compute/MHA-load {ratio2}"
+        );
+    }
+
+    #[test]
+    fn helm_improves_tbt_by_about_a_quarter() {
+        // Paper §V-B: HeLM improves TBT on NVDRAM by ~27%.
+        let base = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline, true, 1);
+        let helm = run(HostMemoryConfig::nvdram(), PlacementKind::Helm, true, 1);
+        let gain = 1.0 - helm.tbt_ms() / base.tbt_ms();
+        assert!((0.20..=0.35).contains(&gain), "TBT gain {gain}");
+        // And TTFT similarly.
+        let ttft_gain = 1.0 - helm.ttft_ms() / base.ttft_ms();
+        assert!((0.20..=0.35).contains(&ttft_gain), "TTFT gain {ttft_gain}");
+    }
+
+    #[test]
+    fn all_cpu_at_44_is_about_5x_baseline_at_8() {
+        // Paper §V-C: 5x throughput going from baseline b=8 to
+        // All-CPU b=44 on NVDRAM.
+        let base = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline, true, 8);
+        let allcpu = run(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, true, 44);
+        let speedup = allcpu.throughput_tps() / base.throughput_tps();
+        assert!((4.0..=6.5).contains(&speedup), "throughput x{speedup}");
+    }
+
+    #[test]
+    fn sawtooth_visible_in_decode_load_profile() {
+        let report = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline, true, 1);
+        let profile = report.decode_load_profile();
+        // Alternating MHA/FFN loads: ridge/dip ratio > 2 (Fig 7a).
+        let loads: Vec<f64> = profile
+            .iter()
+            .skip(1)
+            .take(20)
+            .map(|(_, d)| d.as_millis())
+            .collect();
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 2.0, "sawtooth ratio {}", max / min);
+    }
+
+    #[test]
+    fn dram_beats_nvdram() {
+        let dram = run(HostMemoryConfig::dram(), PlacementKind::Helm, true, 1);
+        let nv = run(HostMemoryConfig::nvdram(), PlacementKind::Helm, true, 1);
+        assert!(dram.tbt_ms() < nv.tbt_ms());
+        // HeLM brings NVDRAM within ~15% of DRAM (paper: ~9%).
+        let gap = nv.tbt_ms() / dram.tbt_ms() - 1.0;
+        assert!(gap < 0.15, "NVDRAM-vs-DRAM gap {gap}");
+    }
+
+    #[test]
+    fn prefill_compute_grows_with_batch() {
+        let b1 = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline, true, 1);
+        let b8 = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline, true, 8);
+        let c1 = b1.avg_compute(Stage::Prefill, LayerKind::Ffn);
+        let c8 = b8.avg_compute(Stage::Prefill, LayerKind::Ffn);
+        assert!(c8 > c1);
+        // ...but decode compute does not (Table IV).
+        let d1 = b1.avg_compute(Stage::Decode, LayerKind::Ffn);
+        let d8 = b8.avg_compute(Stage::Decode, LayerKind::Ffn);
+        assert!((d8.as_secs() / d1.as_secs() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn micro_batching_amortizes_weight_loads() {
+        // 4 micro-batches of 8 vs a single batch of 8: same per-layer
+        // weight traffic serves 4x the sequences, so throughput rises
+        // while staying below 4x (compute eventually binds).
+        let (system, model, policy, workload) = inputs(
+            HostMemoryConfig::nvdram(),
+            PlacementKind::AllCpu,
+            true,
+            8,
+        );
+        let placement = ModelPlacement::compute(&model, &policy);
+        let single = run_pipeline(&PipelineInputs {
+            system: &system,
+            model: &model,
+            policy: &policy,
+            placement: &placement,
+            workload: &workload,
+        });
+        let micro_policy = policy.clone().with_gpu_batches(4);
+        let micro = run_pipeline(&PipelineInputs {
+            system: &system,
+            model: &model,
+            policy: &micro_policy,
+            placement: &placement,
+            workload: &workload,
+        });
+        assert_eq!(micro.batch, 32);
+        assert_eq!(micro.tokens_generated, 32 * 21);
+        let gain = micro.throughput_tps() / single.throughput_tps();
+        assert!((1.5..4.0).contains(&gain), "micro-batching gain {gain}");
+        // Weight H2D traffic identical: loads amortized.
+        assert_eq!(micro.total_h2d_bytes(), single.total_h2d_bytes());
+    }
+
+    #[test]
+    fn kv_offload_writes_back_over_pcie() {
+        let (system, model, policy, workload) = inputs(
+            HostMemoryConfig::nvdram(),
+            PlacementKind::AllCpu,
+            true,
+            8,
+        );
+        let resident_policy = policy.clone();
+        let offload_policy = policy.with_kv_offload(true);
+        let placement = ModelPlacement::compute(&model, &resident_policy);
+        let resident = run_pipeline(&PipelineInputs {
+            system: &system,
+            model: &model,
+            policy: &resident_policy,
+            placement: &placement,
+            workload: &workload,
+        });
+        let offload = run_pipeline(&PipelineInputs {
+            system: &system,
+            model: &model,
+            policy: &offload_policy,
+            placement: &placement,
+            workload: &workload,
+        });
+        // Resident KV produces no D2H traffic; offloading does.
+        assert_eq!(resident.total_d2h_bytes(), ByteSize::ZERO);
+        assert!(offload.total_d2h_bytes() > ByteSize::ZERO);
+        // And more H2D (cache streams back in each decode step).
+        assert!(offload.total_h2d_bytes() > resident.total_h2d_bytes());
+        // On Optane, write-back is expensive: TBT strictly worse.
+        assert!(offload.tbt_ms() > resident.tbt_ms());
+    }
+
+    #[test]
+    fn split_disk_cpu_load_shares_the_link() {
+        // SSD config: weights straddle disk and DRAM; both portions
+        // stream concurrently and the result is finite and larger
+        // than either portion alone would take at full link rate.
+        let report = run(HostMemoryConfig::ssd(), PlacementKind::Baseline, false, 1);
+        let ffn_load = report.avg_weight_transfer(Stage::Decode, LayerKind::Ffn);
+        assert!(ffn_load.as_millis() > 100.0, "disk-bound load {ffn_load}");
+    }
+}

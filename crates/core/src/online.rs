@@ -1,0 +1,449 @@
+//! Online (request-level) serving simulation.
+//!
+//! The paper evaluates steady-state batches; its conclusion frames
+//! the real deployment question — "automatically make
+//! latency/throughput tradeoffs based on desired quality of service
+//! requirements" (§VII). This module provides the missing serving
+//! layer: requests arrive continuously (Poisson), queue, and are
+//! ground through the pipeline in batches of at most the policy's
+//! batch size. Per-request queueing delay and end-to-end latency then
+//! expose the QoS consequences of each placement policy: a bigger
+//! batch (All-CPU) sustains higher arrival rates, a balanced pipeline
+//! (HeLM) serves each batch faster.
+
+use crate::error::ServeError;
+use crate::server::Server;
+use simcore::rng::SimRng;
+use simcore::stats::SeriesStats;
+use simcore::time::{SimDuration, SimTime};
+use workload::WorkloadSpec;
+
+/// A Poisson arrival process.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    rate_per_s: f64,
+    rng: SimRng,
+}
+
+impl PoissonArrivals {
+    /// Arrivals at `rate_per_s` requests/second, deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the rate is finite and positive.
+    pub fn new(rate_per_s: f64, seed: u64) -> Self {
+        assert!(
+            rate_per_s.is_finite() && rate_per_s > 0.0,
+            "invalid arrival rate"
+        );
+        PoissonArrivals {
+            rate_per_s,
+            rng: SimRng::from_seed_and_stream(seed, "poisson-arrivals"),
+        }
+    }
+
+    /// The first `n` arrival instants.
+    pub fn take(&mut self, n: usize) -> Vec<SimTime> {
+        let mut t = 0.0f64;
+        (0..n)
+            .map(|_| {
+                let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
+                t += -u.ln() / self.rate_per_s;
+                SimTime::from_secs(t)
+            })
+            .collect()
+    }
+}
+
+/// Per-request and aggregate results of an online run.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Requests served.
+    pub served: usize,
+    /// Wall-clock span from first arrival to last completion.
+    pub makespan: SimDuration,
+    /// Queueing delays (arrival → batch start), seconds.
+    pub queue_delay: SeriesStats,
+    /// End-to-end latencies (arrival → last token), seconds.
+    pub e2e_latency: SeriesStats,
+    /// Batch sizes actually formed.
+    pub batch_sizes: Vec<u32>,
+    /// Fraction of the makespan the pipeline was busy.
+    pub utilization: f64,
+    /// Sustained output-token throughput over the makespan.
+    pub tokens_per_s: f64,
+}
+
+impl OnlineReport {
+    /// Mean queueing delay in milliseconds.
+    pub fn mean_queue_delay_ms(&self) -> f64 {
+        self.queue_delay.mean() * 1e3
+    }
+
+    /// A latency percentile (end-to-end) in milliseconds.
+    pub fn e2e_percentile_ms(&self, p: f64) -> f64 {
+        self.e2e_latency.percentile(p).unwrap_or(0.0) * 1e3
+    }
+}
+
+/// Serves `num_requests` Poisson arrivals through `server`, forming
+/// batches of at most the policy's batch size from whatever is queued
+/// when the pipeline frees up (run-to-completion batching, FlexGen
+/// style — no continuous batching).
+///
+/// The per-batch service time is interpolated from two pipeline runs
+/// (batch 1 and the policy batch) rather than re-simulated per batch,
+/// keeping λ-sweeps cheap while preserving the batch-size dependence
+/// of prefill.
+///
+/// # Errors
+///
+/// Propagates batch validation from the underlying [`Server`].
+pub fn run_online(
+    server: &Server,
+    workload: &WorkloadSpec,
+    arrivals: &mut PoissonArrivals,
+    num_requests: usize,
+) -> Result<OnlineReport, ServeError> {
+    let max_batch = server.policy().effective_batch();
+    // Calibrate service times at the batch extremes.
+    let full = server.run(workload)?;
+    let single = if max_batch > 1 {
+        let one = Server::new(
+            server.system().clone(),
+            server.model().clone(),
+            server.policy().clone().with_batch_size(1).with_gpu_batches(1),
+        )?;
+        one.run(workload)?
+    } else {
+        full.clone()
+    };
+    let service_time = |batch: u32| -> SimDuration {
+        if max_batch <= 1 {
+            return full.total_time;
+        }
+        // Linear interpolation in batch between the two calibrated
+        // totals (decode is batch-flat; prefill grows with batch).
+        let t1 = single.total_time.as_secs();
+        let tn = full.total_time.as_secs();
+        let frac = (batch - 1) as f64 / (max_batch - 1) as f64;
+        SimDuration::from_secs(t1 + frac * (tn - t1))
+    };
+
+    let times = arrivals.take(num_requests);
+    let mut queue_delay = SeriesStats::new();
+    let mut e2e = SeriesStats::new();
+    let mut batch_sizes = Vec::new();
+    let mut busy = SimDuration::ZERO;
+
+    let mut next = 0usize;
+    let mut pipeline_free = SimTime::ZERO;
+    let mut last_completion = SimTime::ZERO;
+    while next < times.len() {
+        // The batch starts when the pipeline is free and at least one
+        // request has arrived.
+        let start = pipeline_free.max(times[next]);
+        // Everyone who has arrived by then joins, up to the cap.
+        let mut batch = 0u32;
+        while next < times.len() && times[next] <= start && batch < max_batch {
+            queue_delay.add((start - times[next]).as_secs());
+            batch += 1;
+            next += 1;
+        }
+        let service = service_time(batch);
+        let done = start + service;
+        // All requests in the batch finish together (static batch).
+        for i in 0..batch as usize {
+            e2e.add((done - times[next - batch as usize + i]).as_secs());
+        }
+        busy += service;
+        batch_sizes.push(batch);
+        pipeline_free = done;
+        last_completion = done;
+    }
+
+    let first_arrival = times.first().copied().unwrap_or(SimTime::ZERO);
+    let makespan = last_completion.max(first_arrival) - first_arrival;
+    let tokens = num_requests as u64 * workload.gen_len as u64;
+    Ok(OnlineReport {
+        served: num_requests,
+        makespan,
+        queue_delay,
+        e2e_latency: e2e,
+        batch_sizes,
+        utilization: if makespan > SimDuration::ZERO {
+            (busy / makespan).min(1.0)
+        } else {
+            0.0
+        },
+        tokens_per_s: tokens as f64 / makespan.as_secs().max(f64::MIN_POSITIVE),
+    })
+}
+
+/// Event-driven variant of [`run_online`], built on
+/// [`simcore::Simulator`]: arrivals and batch completions are
+/// scheduled events rather than a hand-rolled loop. Semantically
+/// identical (the test suite cross-validates the two); useful as the
+/// extension point for richer serving policies (deadlines,
+/// preemption, multiple pipelines).
+///
+/// # Errors
+///
+/// Propagates batch validation from the underlying [`Server`].
+pub fn run_online_des(
+    server: &Server,
+    workload: &WorkloadSpec,
+    arrivals: &mut PoissonArrivals,
+    num_requests: usize,
+) -> Result<OnlineReport, ServeError> {
+    use simcore::engine::{Context, Simulator};
+    use std::collections::VecDeque;
+
+    let max_batch = server.policy().effective_batch();
+    let full = server.run(workload)?;
+    let single = if max_batch > 1 {
+        Server::new(
+            server.system().clone(),
+            server.model().clone(),
+            server.policy().clone().with_batch_size(1).with_gpu_batches(1),
+        )?
+        .run(workload)?
+    } else {
+        full.clone()
+    };
+    let t1 = single.total_time.as_secs();
+    let tn = full.total_time.as_secs();
+
+    struct St {
+        queue: VecDeque<SimTime>,
+        idle: bool,
+        max_batch: u32,
+        t1: f64,
+        tn: f64,
+        queue_delay: SeriesStats,
+        e2e: SeriesStats,
+        batch_sizes: Vec<u32>,
+        busy: SimDuration,
+        last_completion: SimTime,
+    }
+
+    fn service(st: &St, batch: u32) -> SimDuration {
+        if st.max_batch <= 1 {
+            return SimDuration::from_secs(st.tn);
+        }
+        let frac = (batch - 1) as f64 / (st.max_batch - 1) as f64;
+        SimDuration::from_secs(st.t1 + frac * (st.tn - st.t1))
+    }
+
+    fn start_batch(ctx: &mut Context<St>, st: &mut St) {
+        debug_assert!(st.idle && !st.queue.is_empty());
+        st.idle = false;
+        let now = ctx.now();
+        let mut members = Vec::new();
+        while members.len() < st.max_batch as usize {
+            match st.queue.pop_front() {
+                Some(at) if at <= now => {
+                    st.queue_delay.add((now - at).as_secs());
+                    members.push(at);
+                }
+                Some(at) => {
+                    st.queue.push_front(at);
+                    break;
+                }
+                None => break,
+            }
+        }
+        let batch = members.len() as u32;
+        st.batch_sizes.push(batch);
+        let dur = service(st, batch);
+        st.busy += dur;
+        ctx.schedule_in(dur, move |ctx, st: &mut St| {
+            let done = ctx.now();
+            for at in &members {
+                st.e2e.add((done - *at).as_secs());
+            }
+            st.last_completion = done;
+            st.idle = true;
+            if !st.queue.is_empty() {
+                start_batch(ctx, st);
+            }
+        });
+    }
+
+    let times = arrivals.take(num_requests);
+    let first_arrival = times.first().copied().unwrap_or(SimTime::ZERO);
+    let mut sim = Simulator::new(St {
+        queue: VecDeque::new(),
+        idle: true,
+        max_batch,
+        t1,
+        tn,
+        queue_delay: SeriesStats::new(),
+        e2e: SeriesStats::new(),
+        batch_sizes: Vec::new(),
+        busy: SimDuration::ZERO,
+        last_completion: SimTime::ZERO,
+    });
+    for &at in &times {
+        sim.schedule_at(at, move |ctx, st: &mut St| {
+            st.queue.push_back(at);
+            if st.idle {
+                start_batch(ctx, st);
+            }
+        });
+    }
+    let st = sim.run();
+    let makespan = st.last_completion.max(first_arrival) - first_arrival;
+    let tokens = num_requests as u64 * workload.gen_len as u64;
+    Ok(OnlineReport {
+        served: num_requests,
+        makespan,
+        queue_delay: st.queue_delay,
+        e2e_latency: st.e2e,
+        batch_sizes: st.batch_sizes,
+        utilization: if makespan > SimDuration::ZERO {
+            (st.busy / makespan).min(1.0)
+        } else {
+            0.0
+        },
+        tokens_per_s: tokens as f64 / makespan.as_secs().max(f64::MIN_POSITIVE),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementKind;
+    use crate::policy::Policy;
+    use crate::system::SystemConfig;
+    use hetmem::HostMemoryConfig;
+    use llm::ModelConfig;
+
+    fn server(placement: PlacementKind, batch: u32) -> Server {
+        let model = ModelConfig::opt_175b();
+        let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::NvDram)
+            .with_placement(placement)
+            .with_compression(true)
+            .with_batch_size(batch);
+        Server::new(
+            SystemConfig::paper_platform(HostMemoryConfig::nvdram()),
+            model,
+            policy,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn poisson_arrivals_have_the_right_rate() {
+        let mut p = PoissonArrivals::new(10.0, 7);
+        let times = p.take(4000);
+        let span = times.last().unwrap().as_secs();
+        let rate = 4000.0 / span;
+        assert!((rate - 10.0).abs() < 0.6, "rate {rate}");
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn light_load_rarely_queues() {
+        let s = server(PlacementKind::AllCpu, 8);
+        // Mean inter-arrival (2000 s) >> service (~135 s): queueing is
+        // the exception (short exponential gaps), not the rule.
+        let mut arrivals = PoissonArrivals::new(1.0 / 2000.0, 1);
+        let r = run_online(&s, &WorkloadSpec::paper_default(), &mut arrivals, 12).unwrap();
+        let service_ms = r.makespan.as_millis() / 12.0;
+        assert!(
+            r.mean_queue_delay_ms() < service_ms * 0.10,
+            "queue {} vs service {service_ms}",
+            r.mean_queue_delay_ms()
+        );
+        assert!(r.utilization < 0.25, "utilization {}", r.utilization);
+        let singles = r.batch_sizes.iter().filter(|&&b| b == 1).count();
+        assert!(singles * 2 > r.batch_sizes.len());
+    }
+
+    #[test]
+    fn heavy_load_queues_and_fills_batches() {
+        let s = server(PlacementKind::AllCpu, 44);
+        // Arrivals far faster than service: batches fill to the cap.
+        let mut arrivals = PoissonArrivals::new(5.0, 2);
+        let r = run_online(&s, &WorkloadSpec::paper_default(), &mut arrivals, 132).unwrap();
+        assert!(r.batch_sizes.iter().skip(1).any(|&b| b == 44));
+        assert!(r.mean_queue_delay_ms() > 1000.0);
+        assert!(r.utilization > 0.95);
+    }
+
+    #[test]
+    fn bigger_batches_sustain_higher_load() {
+        // At an arrival rate the batch-8 baseline cannot sustain, the
+        // batch-44 All-CPU server keeps end-to-end latency bounded.
+        let ws = WorkloadSpec::paper_default();
+        let lambda = 0.15; // req/s
+        let n = 120;
+        let small = run_online(
+            &server(PlacementKind::Baseline, 8),
+            &ws,
+            &mut PoissonArrivals::new(lambda, 3),
+            n,
+        )
+        .unwrap();
+        let large = run_online(
+            &server(PlacementKind::AllCpu, 44),
+            &ws,
+            &mut PoissonArrivals::new(lambda, 3),
+            n,
+        )
+        .unwrap();
+        assert!(
+            large.e2e_percentile_ms(95.0) < small.e2e_percentile_ms(95.0) / 2.0,
+            "p95 {} vs {}",
+            large.e2e_percentile_ms(95.0),
+            small.e2e_percentile_ms(95.0)
+        );
+        assert!(large.tokens_per_s > small.tokens_per_s * 0.9);
+    }
+
+    #[test]
+    fn event_driven_variant_matches_the_loop() {
+        // Two independent implementations of the same queueing
+        // semantics: the hand-rolled loop and the simcore event
+        // engine. They must agree on every statistic.
+        let ws = WorkloadSpec::paper_default();
+        for (placement, batch, lambda) in [
+            (PlacementKind::AllCpu, 44u32, 0.15f64),
+            (PlacementKind::Baseline, 8, 0.05),
+            (PlacementKind::Helm, 4, 0.02),
+        ] {
+            let s = server(placement, batch);
+            let a = run_online(&s, &ws, &mut PoissonArrivals::new(lambda, 11), 60).unwrap();
+            let b =
+                run_online_des(&s, &ws, &mut PoissonArrivals::new(lambda, 11), 60).unwrap();
+            assert_eq!(a.batch_sizes, b.batch_sizes, "{placement} batches");
+            assert!(
+                (a.makespan.as_secs() - b.makespan.as_secs()).abs() < 1e-9,
+                "{placement} makespan"
+            );
+            assert!(
+                (a.mean_queue_delay_ms() - b.mean_queue_delay_ms()).abs() < 1e-6,
+                "{placement} queue delay"
+            );
+            assert!(
+                (a.e2e_percentile_ms(95.0) - b.e2e_percentile_ms(95.0)).abs() < 1e-6,
+                "{placement} p95"
+            );
+        }
+    }
+
+    #[test]
+    fn report_accounting_is_consistent() {
+        let s = server(PlacementKind::Helm, 4);
+        let mut arrivals = PoissonArrivals::new(0.05, 9);
+        let r = run_online(&s, &WorkloadSpec::paper_default(), &mut arrivals, 20).unwrap();
+        assert_eq!(r.served, 20);
+        let batched: u32 = r.batch_sizes.iter().sum();
+        assert_eq!(batched as usize, 20);
+        assert_eq!(r.queue_delay.count(), 20);
+        assert_eq!(r.e2e_latency.count(), 20);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+    }
+}

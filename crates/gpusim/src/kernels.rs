@@ -1,0 +1,200 @@
+//! Kernel cost models in the measured FlexGen regime.
+//!
+//! LLM-serving kernels rarely run at vendor peaks. FlexGen in
+//! particular pays per-layer Python dispatch, non-fused attention,
+//! and — decisive for the paper's Section V — an expensive on-GPU
+//! group-wise dequantization pass when weights are stored 4-bit.
+//! Back-solving the paper's Table IV compute/communication ratios
+//! shows compressed-layer compute time is proportional to compressed
+//! weight bytes at roughly 25–26 GB/s effective throughput; the
+//! constants below encode that regime and the cited observation that
+//! compression raises compute time 2.5–13x (Fig 6).
+
+use crate::spec::GpuSpec;
+use simcore::time::SimDuration;
+
+/// Fraction of peak FP16 tensor FLOPs realized by serving GEMMs.
+pub const GEMM_EFFICIENCY: f64 = 0.45;
+/// Fraction of HBM bandwidth realized by GEMV/attention streaming.
+pub const GEMV_HBM_EFFICIENCY: f64 = 0.60;
+/// Effective group-wise dequantization throughput over *compressed*
+/// bytes. Calibrated to Table IV: baseline batch-1 MHA-compute /
+/// FFN-load = 0.36 on NVDRAM with 4-bit weights.
+pub const DEQUANT_GBPS: f64 = 25.6;
+/// Fraction of HBM bandwidth realized by elementwise kernels
+/// (layernorm, residual adds, activation functions).
+pub const ELEMENTWISE_HBM_EFFICIENCY: f64 = 0.70;
+
+/// The kernel classes the executor issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Dense matrix-matrix multiply (prefill, batched decode FFN).
+    Gemm,
+    /// Matrix-vector multiply (decode with small batch).
+    Gemv,
+    /// Attention score/value computation over the KV cache.
+    Attention,
+    /// Group-wise 4-bit → FP16 dequantization.
+    Dequant,
+    /// Elementwise work (norms, residuals, activations).
+    Elementwise,
+}
+
+/// A kernel's resource demands.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::{GpuSpec, KernelProfile};
+///
+/// let gpu = GpuSpec::a100_40gb();
+/// // Dequantizing 0.302 GB of compressed MHA weights dominates the
+/// // compressed decode step (paper §V).
+/// let t = gpu.kernel_time(&KernelProfile::dequant(0.302e9));
+/// assert!((t.as_millis() - 11.8).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelProfile {
+    /// Kernel class (selects the efficiency model).
+    pub kind: KernelKind,
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes moved through HBM.
+    pub hbm_bytes: f64,
+}
+
+impl KernelProfile {
+    /// A GEMM computing `flops` over `hbm_bytes` of operands.
+    pub fn gemm(flops: f64, hbm_bytes: f64) -> Self {
+        KernelProfile {
+            kind: KernelKind::Gemm,
+            flops,
+            hbm_bytes,
+        }
+    }
+
+    /// A GEMV streaming `hbm_bytes` of weights (2 FLOPs per 2-byte
+    /// element).
+    pub fn gemv(hbm_bytes: f64) -> Self {
+        KernelProfile {
+            kind: KernelKind::Gemv,
+            flops: hbm_bytes, // 2 flops / 2 bytes
+            hbm_bytes,
+        }
+    }
+
+    /// An attention pass streaming `kv_bytes` of cache and computing
+    /// `flops`.
+    pub fn attention(flops: f64, kv_bytes: f64) -> Self {
+        KernelProfile {
+            kind: KernelKind::Attention,
+            flops,
+            hbm_bytes: kv_bytes,
+        }
+    }
+
+    /// A dequantization pass over `compressed_bytes`.
+    pub fn dequant(compressed_bytes: f64) -> Self {
+        KernelProfile {
+            kind: KernelKind::Dequant,
+            flops: 0.0,
+            hbm_bytes: compressed_bytes,
+        }
+    }
+
+    /// An elementwise pass over `hbm_bytes`.
+    pub fn elementwise(hbm_bytes: f64) -> Self {
+        KernelProfile {
+            kind: KernelKind::Elementwise,
+            flops: hbm_bytes,
+            hbm_bytes,
+        }
+    }
+
+    /// Execution time on `gpu`: launch overhead plus the roofline of
+    /// the kind-specific FLOP and bandwidth terms.
+    pub fn time_on(&self, gpu: &GpuSpec) -> SimDuration {
+        let peak_flops = gpu.fp16_tflops() * 1e12;
+        let hbm = gpu.hbm_bandwidth().as_bytes_per_s();
+        let busy = match self.kind {
+            KernelKind::Gemm => {
+                let flop_time = self.flops / (peak_flops * GEMM_EFFICIENCY);
+                let mem_time = self.hbm_bytes / (hbm * GEMV_HBM_EFFICIENCY);
+                flop_time.max(mem_time)
+            }
+            KernelKind::Gemv | KernelKind::Attention => {
+                self.hbm_bytes / (hbm * GEMV_HBM_EFFICIENCY)
+            }
+            KernelKind::Dequant => self.hbm_bytes / (DEQUANT_GBPS * 1e9),
+            KernelKind::Elementwise => self.hbm_bytes / (hbm * ELEMENTWISE_HBM_EFFICIENCY),
+        };
+        gpu.kernel_launch_overhead() + SimDuration::from_secs(busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> GpuSpec {
+        GpuSpec::a100_40gb()
+    }
+
+    #[test]
+    fn gemv_is_bandwidth_bound() {
+        // 2.416 GB of FP16 FFN weights (one OPT-175B block) stream in
+        // ~2.6 ms at 60% of HBM bandwidth.
+        let t = gpu().kernel_time(&KernelProfile::gemv(2.416e9));
+        assert!((t.as_millis() - 2.6).abs() < 0.2, "got {t}");
+    }
+
+    #[test]
+    fn dequant_matches_table_iv_calibration() {
+        // Compressed FFN block: 0.604 GB -> ~23.6 ms.
+        let t = gpu().kernel_time(&KernelProfile::dequant(0.604e9));
+        assert!((t.as_millis() - 23.6).abs() < 0.5, "got {t}");
+    }
+
+    #[test]
+    fn compression_raises_compute_2_5x_to_13x() {
+        // Paper Fig 6: compressed compute is 2.5-13x uncompressed.
+        let g = gpu();
+        let uncompressed = g.kernel_time(&KernelProfile::gemv(2.416e9));
+        let compressed = g.kernel_time(&KernelProfile::dequant(0.604e9))
+            + g.kernel_time(&KernelProfile::gemv(2.416e9));
+        let ratio = compressed.as_secs() / uncompressed.as_secs();
+        assert!(
+            (2.5..=13.0).contains(&ratio),
+            "compression compute blow-up {ratio}"
+        );
+    }
+
+    #[test]
+    fn gemm_rooflines_between_flops_and_bytes() {
+        let g = gpu();
+        // Tiny-M GEMM: memory bound.
+        let mem_bound = KernelProfile::gemm(1e9, 2.416e9);
+        let mb = g.kernel_time(&mem_bound);
+        // Large-M GEMM on the same weights: compute bound.
+        let flop_bound = KernelProfile::gemm(1e15, 2.416e9);
+        let fb = g.kernel_time(&flop_bound);
+        assert!(fb > mb);
+        let expect = 1e15 / (312e12 * GEMM_EFFICIENCY);
+        assert!((fb.as_secs() - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    fn launch_overhead_floors_small_kernels() {
+        let g = gpu();
+        let t = g.kernel_time(&KernelProfile::elementwise(1.0));
+        assert!(t >= g.kernel_launch_overhead());
+    }
+
+    #[test]
+    fn attention_scales_with_kv_bytes() {
+        let g = gpu();
+        let small = g.kernel_time(&KernelProfile::attention(1e6, 50e6));
+        let large = g.kernel_time(&KernelProfile::attention(1e6, 500e6));
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gpusim — GPU performance and capacity models
+//!
+//! The accelerator side of the simulator:
+//!
+//! * [`spec`] — device specifications ([`GpuSpec::a100_40gb`] is the
+//!   paper's card) with peak FLOP rates, HBM bandwidth, and capacity.
+//! * [`kernels`] — cost models for the kernels LLM inference runs:
+//!   GEMM (prefill), GEMV (decode), attention, group-wise
+//!   dequantization, and elementwise work, in the *measured FlexGen
+//!   regime* (efficiencies calibrated to the paper's
+//!   compute/communication ratios in Table IV and Figs 5–6, not
+//!   vendor peaks).
+//! * [`memory`] — a GPU memory budget solver that reproduces the
+//!   paper's maximum batch sizes (8 for the baseline OPT-175B policy,
+//!   44 for All-CPU).
+//!
+//! # Examples
+//!
+//! ```
+//! use gpusim::{GpuSpec, KernelProfile};
+//!
+//! let gpu = GpuSpec::a100_40gb();
+//! // A decode-phase GEMV streaming 1 GB of weights.
+//! let t = gpu.kernel_time(&KernelProfile::gemv(1e9));
+//! assert!(t.as_millis() > 0.5 && t.as_millis() < 5.0);
+//! ```
+
+pub mod kernels;
+pub mod memory;
+pub mod spec;
+
+pub use kernels::{KernelKind, KernelProfile};
+pub use memory::{MemoryBudget, ResidentCosts};
+pub use spec::GpuSpec;

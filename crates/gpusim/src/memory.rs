@@ -1,0 +1,214 @@
+//! GPU memory budgeting and the maximum-batch solver.
+//!
+//! GPU memory holds (paper §V): the GPU-resident share of the model
+//! weights, a double-buffer for in-flight weight prefetches (layer
+//! *j+1* streams while layer *j* computes), a fixed workspace
+//! reserve, and a per-sequence cost (KV cache for the generation
+//! context, hidden state, attention workspace). The largest batch
+//! whose per-sequence costs fit in the remainder is the serving batch
+//! limit — the quantity All-CPU maximizes by evicting all weights
+//! (paper §V-C: 8 → 44 for OPT-175B).
+
+use simcore::units::ByteSize;
+
+/// Multiplier over raw KV-cache bytes covering attention workspace,
+/// allocator alignment, and fragmentation. Calibrated jointly with
+/// [`WORKSPACE_RESERVE`] so the OPT-175B limits land on the paper's
+/// 8 (baseline uncompressed) and 44 (All-CPU compressed) with the
+/// exact-architecture placement sizes.
+pub const KV_OVERHEAD_FACTOR: f64 = 1.24;
+/// Fixed workspace reserve (cuBLAS workspaces, streams, fragmentation
+/// floor).
+pub const WORKSPACE_RESERVE: ByteSize = ByteSize::from_bytes(200_000_000);
+
+/// The resident (batch-independent) and per-sequence costs of a
+/// serving configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidentCosts {
+    /// GPU-resident weight bytes (placement-dependent).
+    pub weights: ByteSize,
+    /// Prefetch staging: twice the largest host-resident layer group.
+    pub staging: ByteSize,
+    /// Raw KV-cache bytes per sequence at the serving context length.
+    pub kv_per_sequence: ByteSize,
+    /// Hidden-state bytes per sequence.
+    pub hidden_per_sequence: ByteSize,
+}
+
+/// A GPU memory budget.
+///
+/// # Examples
+///
+/// All-CPU placement frees weight space for sequences:
+///
+/// ```
+/// use gpusim::{GpuSpec, MemoryBudget, ResidentCosts};
+/// use simcore::units::ByteSize;
+///
+/// let budget = MemoryBudget::for_gpu(&GpuSpec::a100_40gb());
+/// let baseline = ResidentCosts {
+///     weights: ByteSize::from_gb(26.9),
+///     staging: ByteSize::from_gb(4.8),
+///     kv_per_sequence: ByteSize::from_mb(703.0),
+///     hidden_per_sequence: ByteSize::from_mb(3.7),
+/// };
+/// let all_cpu = ResidentCosts { weights: ByteSize::ZERO, ..baseline };
+/// assert!(budget.max_batch(&all_cpu) > budget.max_batch(&baseline) * 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    capacity: ByteSize,
+}
+
+impl MemoryBudget {
+    /// A budget covering the full HBM capacity of `gpu`.
+    pub fn for_gpu(gpu: &crate::spec::GpuSpec) -> Self {
+        MemoryBudget {
+            capacity: gpu.hbm_capacity(),
+        }
+    }
+
+    /// A budget over an explicit capacity.
+    pub fn new(capacity: ByteSize) -> Self {
+        MemoryBudget { capacity }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    /// Per-sequence footprint including the overhead factor.
+    pub fn per_sequence(costs: &ResidentCosts) -> ByteSize {
+        (costs.kv_per_sequence + costs.hidden_per_sequence) * KV_OVERHEAD_FACTOR
+    }
+
+    /// Bytes needed to serve `batch` sequences under `costs`.
+    pub fn required(&self, costs: &ResidentCosts, batch: u32) -> ByteSize {
+        costs.weights + costs.staging + WORKSPACE_RESERVE
+            + Self::per_sequence(costs) * batch as u64
+    }
+
+    /// Whether `batch` sequences fit.
+    pub fn fits(&self, costs: &ResidentCosts, batch: u32) -> bool {
+        self.required(costs, batch) <= self.capacity
+    }
+
+    /// The largest batch that fits; 0 when even the resident costs
+    /// overflow.
+    pub fn max_batch(&self, costs: &ResidentCosts) -> u32 {
+        let resident = costs.weights + costs.staging + WORKSPACE_RESERVE;
+        if resident > self.capacity {
+            return 0;
+        }
+        let free = (self.capacity - resident).as_f64();
+        let per_seq = Self::per_sequence(costs).as_f64();
+        if per_seq <= 0.0 {
+            return u32::MAX;
+        }
+        (free / per_seq).floor() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GpuSpec;
+
+    fn budget() -> MemoryBudget {
+        MemoryBudget::for_gpu(&GpuSpec::a100_40gb())
+    }
+
+    /// OPT-175B per-sequence KV at the paper's serving context
+    /// (128 in + 21 out): 96 blocks x 2 x 149 x 12288 x 2 B.
+    fn opt175b_kv() -> ByteSize {
+        ByteSize::from_bytes(96 * 2 * 149 * 12288 * 2)
+    }
+
+    fn opt175b_hidden() -> ByteSize {
+        ByteSize::from_bytes(149 * 12288 * 2)
+    }
+
+    #[test]
+    fn baseline_opt175b_max_batch_is_8() {
+        // Baseline uncompressed placement: w_out + small tensors of
+        // all 96 blocks on GPU (~29.05 GB), staging for the largest
+        // adjacent offloaded pair (FFN + output embedding, ~3.65 GB).
+        let costs = ResidentCosts {
+            weights: ByteSize::from_bytes(29_048_487_936),
+            staging: ByteSize::from_bytes(3_651_477_504),
+            kv_per_sequence: opt175b_kv(),
+            hidden_per_sequence: opt175b_hidden(),
+        };
+        assert_eq!(budget().max_batch(&costs), 8);
+    }
+
+    #[test]
+    fn all_cpu_opt175b_max_batch_is_44() {
+        // All-CPU compressed: no resident weights, staging for the
+        // largest adjacent compressed pair (~1.03 GB).
+        let costs = ResidentCosts {
+            weights: ByteSize::ZERO,
+            staging: ByteSize::from_bytes(1_027_157_760),
+            kv_per_sequence: opt175b_kv(),
+            hidden_per_sequence: opt175b_hidden(),
+        };
+        assert_eq!(budget().max_batch(&costs), 44);
+    }
+
+    #[test]
+    fn max_batch_is_monotone_in_weights() {
+        let mut last = u32::MAX;
+        for gb in [0.0, 5.0, 10.0, 20.0, 30.0] {
+            let costs = ResidentCosts {
+                weights: ByteSize::from_gb(gb),
+                staging: ByteSize::from_gb(1.0),
+                kv_per_sequence: opt175b_kv(),
+                hidden_per_sequence: opt175b_hidden(),
+            };
+            let b = budget().max_batch(&costs);
+            assert!(b <= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn overflowing_resident_costs_give_zero() {
+        let costs = ResidentCosts {
+            weights: ByteSize::from_gb(50.0),
+            staging: ByteSize::ZERO,
+            kv_per_sequence: opt175b_kv(),
+            hidden_per_sequence: ByteSize::ZERO,
+        };
+        assert_eq!(budget().max_batch(&costs), 0);
+        assert!(!budget().fits(&costs, 1));
+    }
+
+    #[test]
+    fn fits_agrees_with_max_batch() {
+        let costs = ResidentCosts {
+            weights: ByteSize::from_gb(10.0),
+            staging: ByteSize::from_gb(1.0),
+            kv_per_sequence: opt175b_kv(),
+            hidden_per_sequence: opt175b_hidden(),
+        };
+        let b = budget().max_batch(&costs);
+        assert!(budget().fits(&costs, b));
+        assert!(!budget().fits(&costs, b + 1));
+    }
+
+    #[test]
+    fn required_grows_linearly_with_batch() {
+        let costs = ResidentCosts {
+            weights: ByteSize::ZERO,
+            staging: ByteSize::ZERO,
+            kv_per_sequence: ByteSize::from_mb(100.0),
+            hidden_per_sequence: ByteSize::ZERO,
+        };
+        let b = budget();
+        let r1 = b.required(&costs, 1);
+        let r2 = b.required(&costs, 2);
+        let delta = r2 - r1;
+        assert_eq!(delta, MemoryBudget::per_sequence(&costs));
+    }
+}

@@ -1,0 +1,156 @@
+//! GPU device specifications.
+
+use crate::kernels::KernelProfile;
+use simcore::time::SimDuration;
+use simcore::units::{Bandwidth, ByteSize};
+
+/// A GPU device model.
+///
+/// # Examples
+///
+/// ```
+/// use gpusim::GpuSpec;
+///
+/// let a100 = GpuSpec::a100_40gb();
+/// assert_eq!(a100.hbm_bandwidth().as_gb_per_s(), 1555.0);
+/// assert_eq!(a100.hbm_capacity().as_gb(), 40.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    name: String,
+    hbm_capacity: ByteSize,
+    hbm_bandwidth: Bandwidth,
+    fp16_tflops: f64,
+    kernel_launch: SimDuration,
+}
+
+impl GpuSpec {
+    /// The paper's accelerator: NVIDIA A100, 40 GB HBM2 at 1555 GB/s
+    /// (Table I), 312 TFLOPS FP16 tensor peak.
+    pub fn a100_40gb() -> Self {
+        GpuSpec {
+            name: "NVIDIA A100 40GB".to_owned(),
+            hbm_capacity: ByteSize::from_gb(40.0),
+            hbm_bandwidth: Bandwidth::from_gb_per_s(1555.0),
+            fp16_tflops: 312.0,
+            kernel_launch: SimDuration::from_micros(12.0),
+        }
+    }
+
+    /// NVIDIA A100 80 GB (SXM): same compute, doubled HBM at
+    /// 2039 GB/s.
+    pub fn a100_80gb() -> Self {
+        GpuSpec {
+            name: "NVIDIA A100 80GB".to_owned(),
+            hbm_capacity: ByteSize::from_gb(80.0),
+            hbm_bandwidth: Bandwidth::from_gb_per_s(2039.0),
+            fp16_tflops: 312.0,
+            kernel_launch: SimDuration::from_micros(12.0),
+        }
+    }
+
+    /// NVIDIA H100 80 GB (SXM): HBM3 at 3350 GB/s, ~989 TFLOPS FP16.
+    pub fn h100_80gb() -> Self {
+        GpuSpec {
+            name: "NVIDIA H100 80GB".to_owned(),
+            hbm_capacity: ByteSize::from_gb(80.0),
+            hbm_bandwidth: Bandwidth::from_gb_per_s(3350.0),
+            fp16_tflops: 989.0,
+            kernel_launch: SimDuration::from_micros(10.0),
+        }
+    }
+
+    /// A custom device.
+    pub fn new(
+        name: impl Into<String>,
+        hbm_capacity: ByteSize,
+        hbm_bandwidth: Bandwidth,
+        fp16_tflops: f64,
+        kernel_launch: SimDuration,
+    ) -> Self {
+        assert!(fp16_tflops > 0.0, "invalid FLOP rate");
+        GpuSpec {
+            name: name.into(),
+            hbm_capacity,
+            hbm_bandwidth,
+            fp16_tflops,
+            kernel_launch,
+        }
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Onboard memory capacity.
+    pub fn hbm_capacity(&self) -> ByteSize {
+        self.hbm_capacity
+    }
+
+    /// Onboard memory bandwidth.
+    pub fn hbm_bandwidth(&self) -> Bandwidth {
+        self.hbm_bandwidth
+    }
+
+    /// Peak FP16 tensor throughput in TFLOPS.
+    pub fn fp16_tflops(&self) -> f64 {
+        self.fp16_tflops
+    }
+
+    /// Fixed launch/driver overhead per kernel.
+    pub fn kernel_launch_overhead(&self) -> SimDuration {
+        self.kernel_launch
+    }
+
+    /// Execution time of one kernel under this device's calibrated
+    /// efficiency model (see [`crate::kernels`]).
+    pub fn kernel_time(&self, kernel: &KernelProfile) -> SimDuration {
+        kernel.time_on(self)
+    }
+
+    /// Execution time of a sequence of kernels (one launch each).
+    pub fn kernels_time<'a, I>(&self, kernels: I) -> SimDuration
+    where
+        I: IntoIterator<Item = &'a KernelProfile>,
+    {
+        kernels
+            .into_iter()
+            .map(|k| self.kernel_time(k))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_matches_table_i() {
+        let gpu = GpuSpec::a100_40gb();
+        assert!(gpu.name().contains("A100"));
+        assert_eq!(gpu.hbm_capacity(), ByteSize::from_gb(40.0));
+        assert_eq!(gpu.fp16_tflops(), 312.0);
+    }
+
+    #[test]
+    fn kernel_sequence_sums() {
+        let gpu = GpuSpec::a100_40gb();
+        let ks = [KernelProfile::gemv(1e9), KernelProfile::gemv(1e9)];
+        let total = gpu.kernels_time(&ks);
+        let single = gpu.kernel_time(&ks[0]);
+        assert!((total.as_secs() - 2.0 * single.as_secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid FLOP rate")]
+    fn zero_flops_rejected() {
+        let _ = GpuSpec::new(
+            "bad",
+            ByteSize::from_gb(1.0),
+            Bandwidth::from_gb_per_s(1.0),
+            0.0,
+            SimDuration::ZERO,
+        );
+    }
+}

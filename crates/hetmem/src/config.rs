@@ -1,0 +1,306 @@
+//! The memory configurations of Table II (plus the Table III CXL
+//! projections), each bundling the device that backs host-resident
+//! weights ("cpu" tier) and, when present, a storage tier ("disk").
+
+use crate::cxl::CxlDevice;
+use crate::device::{MemoryDevice, Staging};
+use crate::dram::DramDevice;
+use crate::memmode::MemoryModeDevice;
+use crate::optane::OptaneDevice;
+use crate::storage::StorageDevice;
+use simcore::units::{Bandwidth, ByteSize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A shareable device handle.
+pub type DeviceHandle = Arc<dyn MemoryDevice + Send + Sync>;
+
+/// The configuration labels of Table II and the Table III projections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryConfigKind {
+    /// All-DRAM host memory.
+    Dram,
+    /// Optane as flat main memory via Memkind ("NVDRAM").
+    NvDram,
+    /// Optane Memory Mode (DRAM cache in front).
+    MemoryMode,
+    /// DRAM host memory + Optane as a conventional block device.
+    Ssd,
+    /// DRAM host memory + Optane via ext4-DAX.
+    FsDax,
+    /// CXL expander, FPGA controller (Table III).
+    CxlFpga,
+    /// CXL expander, ASIC controller (Table III).
+    CxlAsic,
+    /// CXL expander with custom bandwidth (sensitivity sweeps).
+    CxlCustom,
+    /// DRAM + Optane behind transparent OS page tiering (TPP-style,
+    /// the §VI application-agnostic alternative).
+    TppTiered,
+}
+
+impl fmt::Display for MemoryConfigKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MemoryConfigKind::Dram => "DRAM",
+            MemoryConfigKind::NvDram => "NVDRAM",
+            MemoryConfigKind::MemoryMode => "MemoryMode",
+            MemoryConfigKind::Ssd => "SSD",
+            MemoryConfigKind::FsDax => "FSDAX",
+            MemoryConfigKind::CxlFpga => "CXL-FPGA",
+            MemoryConfigKind::CxlAsic => "CXL-ASIC",
+            MemoryConfigKind::CxlCustom => "CXL-custom",
+            MemoryConfigKind::TppTiered => "TPP-tiered",
+        })
+    }
+}
+
+/// A host memory configuration: the device backing CPU-tier weights
+/// plus an optional storage tier.
+///
+/// # Examples
+///
+/// ```
+/// use hetmem::{HostMemoryConfig, MemoryConfigKind};
+///
+/// let cfg = HostMemoryConfig::nvdram();
+/// assert_eq!(cfg.kind(), MemoryConfigKind::NvDram);
+/// assert!(cfg.disk_device().is_none());
+/// let ssd = HostMemoryConfig::ssd();
+/// assert!(ssd.disk_device().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostMemoryConfig {
+    kind: MemoryConfigKind,
+    cpu: DeviceHandle,
+    disk: Option<DeviceHandle>,
+}
+
+impl HostMemoryConfig {
+    /// All-DRAM host memory (both sockets: 256 GB).
+    pub fn dram() -> Self {
+        HostMemoryConfig {
+            kind: MemoryConfigKind::Dram,
+            cpu: Arc::new(DramDevice::new(
+                ByteSize::from_gib(256.0),
+                Bandwidth::from_gb_per_s(crate::dram::DDR4_2933_SOCKET_READ_GBPS),
+                Bandwidth::from_gb_per_s(crate::dram::PER_STREAM_GBPS),
+            )),
+            disk: None,
+        }
+    }
+
+    /// An all-DRAM host with custom capacity and rates, for what-if
+    /// studies (e.g. the hypothetical 1 TB DRAM system that OPT-175B
+    /// would need without heterogeneous memory).
+    pub fn custom_dram(
+        capacity: ByteSize,
+        socket_read: Bandwidth,
+        per_stream: Bandwidth,
+    ) -> Self {
+        HostMemoryConfig {
+            kind: MemoryConfigKind::Dram,
+            cpu: Arc::new(DramDevice::new(capacity, socket_read, per_stream)),
+            disk: None,
+        }
+    }
+
+    /// Optane as flat main memory via Memkind (both sockets: 1 TB).
+    pub fn nvdram() -> Self {
+        HostMemoryConfig {
+            kind: MemoryConfigKind::NvDram,
+            cpu: Arc::new(OptaneDevice::with_capacity(ByteSize::from_gib(1024.0))),
+            disk: None,
+        }
+    }
+
+    /// Optane Memory Mode: a 256 GB DRAM cache over 1 TB of Optane.
+    pub fn memory_mode() -> Self {
+        HostMemoryConfig {
+            kind: MemoryConfigKind::MemoryMode,
+            cpu: Arc::new(MemoryModeDevice::new(
+                DramDevice::new(
+                    ByteSize::from_gib(256.0),
+                    Bandwidth::from_gb_per_s(crate::dram::DDR4_2933_SOCKET_READ_GBPS),
+                    Bandwidth::from_gb_per_s(crate::dram::PER_STREAM_GBPS),
+                ),
+                OptaneDevice::with_capacity(ByteSize::from_gib(1024.0)),
+            )),
+            disk: None,
+        }
+    }
+
+    /// DRAM host memory plus Optane behind a conventional file system.
+    pub fn ssd() -> Self {
+        let mut cfg = Self::dram();
+        cfg.kind = MemoryConfigKind::Ssd;
+        cfg.disk = Some(Arc::new(StorageDevice::optane_block()) as DeviceHandle);
+        cfg
+    }
+
+    /// DRAM host memory plus Optane behind ext4-DAX.
+    pub fn fsdax() -> Self {
+        let mut cfg = Self::dram();
+        cfg.kind = MemoryConfigKind::FsDax;
+        cfg.disk = Some(Arc::new(StorageDevice::optane_fsdax()) as DeviceHandle);
+        cfg
+    }
+
+    /// DRAM + Optane behind transparent OS page tiering (TPP-style).
+    pub fn tpp_tiered() -> Self {
+        HostMemoryConfig {
+            kind: MemoryConfigKind::TppTiered,
+            cpu: Arc::new(crate::tiering::TppTieredDevice::paper_system()),
+            disk: None,
+        }
+    }
+
+    /// CXL expander with an FPGA controller (Table III).
+    pub fn cxl_fpga() -> Self {
+        HostMemoryConfig {
+            kind: MemoryConfigKind::CxlFpga,
+            cpu: Arc::new(CxlDevice::fpga_ddr4()),
+            disk: None,
+        }
+    }
+
+    /// CXL expander with an ASIC controller (Table III).
+    pub fn cxl_asic() -> Self {
+        HostMemoryConfig {
+            kind: MemoryConfigKind::CxlAsic,
+            cpu: Arc::new(CxlDevice::asic_ddr5()),
+            disk: None,
+        }
+    }
+
+    /// CXL expander with custom read bandwidth, for sweeps across the
+    /// controller design space (paper §V-D).
+    pub fn cxl_custom(read_bw: Bandwidth) -> Self {
+        HostMemoryConfig {
+            kind: MemoryConfigKind::CxlCustom,
+            cpu: Arc::new(CxlDevice::custom(read_bw, ByteSize::from_gib(1024.0))),
+            disk: None,
+        }
+    }
+
+    /// Injects degradation into the CPU-tier device (thermal
+    /// throttling, link downtraining): every bandwidth scaled by
+    /// `bandwidth_factor`, every latency by `latency_factor`. See
+    /// [`crate::fault::ThrottledDevice`].
+    pub fn with_cpu_throttle(mut self, bandwidth_factor: f64, latency_factor: f64) -> Self {
+        self.cpu = Arc::new(crate::fault::ThrottledDevice::new(
+            Arc::clone(&self.cpu),
+            bandwidth_factor,
+            latency_factor,
+        ));
+        self
+    }
+
+    /// The configuration label.
+    pub fn kind(&self) -> MemoryConfigKind {
+        self.kind
+    }
+
+    /// The device backing CPU-tier weights.
+    pub fn cpu_device(&self) -> &DeviceHandle {
+        &self.cpu
+    }
+
+    /// The storage-tier device, when this configuration has one.
+    pub fn disk_device(&self) -> Option<&DeviceHandle> {
+        self.disk.as_ref()
+    }
+
+    /// Whether transfers from the CPU tier must bounce through DRAM.
+    pub fn cpu_needs_bounce(&self) -> bool {
+        self.cpu.staging() == Staging::BounceBuffer
+    }
+
+    /// The Table II configurations applicable to a model that fits in
+    /// DRAM (the OPT-30B set).
+    pub fn opt30b_set() -> Vec<HostMemoryConfig> {
+        vec![Self::dram(), Self::nvdram(), Self::memory_mode()]
+    }
+
+    /// The Table II configurations for a model that outgrows DRAM
+    /// (the OPT-175B set).
+    pub fn opt175b_set() -> Vec<HostMemoryConfig> {
+        vec![
+            Self::ssd(),
+            Self::fsdax(),
+            Self::nvdram(),
+            Self::memory_mode(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{AccessProfile, MemoryTechnology};
+
+    #[test]
+    fn table_ii_sets() {
+        assert_eq!(HostMemoryConfig::opt30b_set().len(), 3);
+        assert_eq!(HostMemoryConfig::opt175b_set().len(), 4);
+    }
+
+    #[test]
+    fn kinds_and_devices_line_up() {
+        assert_eq!(
+            HostMemoryConfig::dram().cpu_device().technology(),
+            MemoryTechnology::Dram
+        );
+        assert_eq!(
+            HostMemoryConfig::nvdram().cpu_device().technology(),
+            MemoryTechnology::Pcm
+        );
+        assert_eq!(
+            HostMemoryConfig::memory_mode().cpu_device().technology(),
+            MemoryTechnology::PcmCached
+        );
+        assert_eq!(
+            HostMemoryConfig::cxl_fpga().cpu_device().technology(),
+            MemoryTechnology::CxlExpander
+        );
+    }
+
+    #[test]
+    fn storage_configs_have_disks_and_dram_cpu_tier() {
+        for cfg in [HostMemoryConfig::ssd(), HostMemoryConfig::fsdax()] {
+            assert!(cfg.disk_device().is_some());
+            assert_eq!(cfg.cpu_device().technology(), MemoryTechnology::Dram);
+            assert!(!cfg.cpu_needs_bounce());
+            assert_eq!(
+                cfg.disk_device().unwrap().staging(),
+                crate::device::Staging::BounceBuffer
+            );
+        }
+    }
+
+    #[test]
+    fn nvdram_capacity_covers_opt175b() {
+        // 324 GB of OPT-175B weights must fit in 1 TB of Optane.
+        let cfg = HostMemoryConfig::nvdram();
+        assert!(cfg.cpu_device().capacity() > ByteSize::from_gb(324.0));
+        // ...but not in 256 GB of DRAM.
+        let dram = HostMemoryConfig::dram();
+        assert!(dram.cpu_device().capacity() < ByteSize::from_gb(324.0));
+    }
+
+    #[test]
+    fn custom_cxl_bandwidth_is_respected() {
+        let cfg = HostMemoryConfig::cxl_custom(Bandwidth::from_gb_per_s(12.0));
+        let bw = cfg
+            .cpu_device()
+            .bandwidth(&AccessProfile::sequential_read(ByteSize::from_gb(1.0)));
+        assert!((bw.as_gb_per_s() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(MemoryConfigKind::NvDram.to_string(), "NVDRAM");
+        assert_eq!(MemoryConfigKind::MemoryMode.to_string(), "MemoryMode");
+        assert_eq!(MemoryConfigKind::FsDax.to_string(), "FSDAX");
+    }
+}

@@ -1,0 +1,199 @@
+//! CXL Type-3 memory expander models.
+//!
+//! The paper projects its placement policies onto two CXL devices
+//! borrowed from prior measurement studies (Table III):
+//!
+//! | Name     | Memory technology | Bandwidth |
+//! |----------|-------------------|-----------|
+//! | CXL-FPGA | DDR4-3200 x1      | 5.12 GB/s |
+//! | CXL-ASIC | DDR5-4800 x1      | 28 GB/s   |
+//!
+//! CXL-FPGA is Sun et al.'s FPGA-controller device ("CXL-C"); CXL-ASIC
+//! is Wang et al.'s commercial ASIC device ("System A"). CXL adds at
+//! least ~70 ns to round-trip latency (§II-D). [`CxlDevice::custom`]
+//! supports the continuous bandwidth spectrum used for sensitivity
+//! sweeps.
+
+use crate::device::{AccessKind, AccessProfile, MemoryDevice, MemoryTechnology};
+use simcore::time::SimDuration;
+use simcore::units::{Bandwidth, ByteSize};
+
+/// Effective bandwidth of the FPGA-controller device (Table III).
+pub const CXL_FPGA_GBPS: f64 = 5.12;
+/// Effective bandwidth of the ASIC-controller device (Table III).
+pub const CXL_ASIC_GBPS: f64 = 28.0;
+/// Minimum added round-trip latency of the CXL hop (§II-D).
+pub const CXL_ADDED_LATENCY_NS: f64 = 70.0;
+/// Base latency of the expander-side memory.
+pub const MEDIA_LATENCY_NS: f64 = 85.0;
+/// Write derating relative to reads across the CXL link.
+pub const WRITE_DERATE: f64 = 0.85;
+/// Random-access derating at the expander.
+pub const RANDOM_DERATE: f64 = 0.35;
+
+/// The controller class of a CXL expander.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CxlController {
+    /// FPGA-based controller (Sun et al., "CXL-C").
+    Fpga,
+    /// Commercial ASIC controller (Wang et al., "System A").
+    Asic,
+    /// A hypothetical controller with custom effective bandwidth.
+    Custom,
+}
+
+/// A CXL Type-3 memory expander.
+///
+/// # Examples
+///
+/// ```
+/// use hetmem::cxl::CxlDevice;
+/// use hetmem::{AccessProfile, MemoryDevice};
+/// use simcore::units::ByteSize;
+///
+/// let fpga = CxlDevice::fpga_ddr4();
+/// let asic = CxlDevice::asic_ddr5();
+/// let p = AccessProfile::sequential_read(ByteSize::from_gb(1.0));
+/// assert!(asic.bandwidth(&p) > fpga.bandwidth(&p));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CxlDevice {
+    controller: CxlController,
+    media: String,
+    capacity: ByteSize,
+    read_bw: Bandwidth,
+}
+
+impl CxlDevice {
+    /// Table III CXL-FPGA: FPGA controller, single-channel DDR4-3200.
+    pub fn fpga_ddr4() -> Self {
+        CxlDevice {
+            controller: CxlController::Fpga,
+            media: "DDR4-3200 x1".to_owned(),
+            capacity: ByteSize::from_gib(512.0),
+            read_bw: Bandwidth::from_gb_per_s(CXL_FPGA_GBPS),
+        }
+    }
+
+    /// Table III CXL-ASIC: commercial ASIC, single-channel DDR5-4800.
+    pub fn asic_ddr5() -> Self {
+        CxlDevice {
+            controller: CxlController::Asic,
+            media: "DDR5-4800 x1".to_owned(),
+            capacity: ByteSize::from_gib(512.0),
+            read_bw: Bandwidth::from_gb_per_s(CXL_ASIC_GBPS),
+        }
+    }
+
+    /// A hypothetical expander with the given effective read
+    /// bandwidth, for sensitivity sweeps over the CXL design space.
+    pub fn custom(read_bw: Bandwidth, capacity: ByteSize) -> Self {
+        CxlDevice {
+            controller: CxlController::Custom,
+            media: format!("custom ({read_bw})"),
+            capacity,
+            read_bw,
+        }
+    }
+
+    /// The controller class.
+    pub fn controller(&self) -> CxlController {
+        self.controller
+    }
+
+    /// Description of the expander-side memory.
+    pub fn media(&self) -> &str {
+        &self.media
+    }
+}
+
+impl MemoryDevice for CxlDevice {
+    fn name(&self) -> String {
+        match self.controller {
+            CxlController::Fpga => format!("CXL-FPGA [{}]", self.media),
+            CxlController::Asic => format!("CXL-ASIC [{}]", self.media),
+            CxlController::Custom => format!("CXL-custom [{}]", self.media),
+        }
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    fn technology(&self) -> MemoryTechnology {
+        MemoryTechnology::CxlExpander
+    }
+
+    fn bandwidth(&self, profile: &AccessProfile) -> Bandwidth {
+        let mut bw = self.read_bw;
+        if !profile.kind.is_read() {
+            bw = bw.scale(WRITE_DERATE);
+        }
+        if !profile.kind.is_sequential() {
+            bw = bw.scale(RANDOM_DERATE);
+        }
+        // The CXL link serializes streams; concurrency neither helps
+        // (the single channel is already saturated) nor collapses.
+        bw
+    }
+
+    fn idle_latency(&self, _kind: AccessKind, remote: bool) -> SimDuration {
+        let upi = if remote { 58.0 } else { 0.0 };
+        SimDuration::from_nanos(MEDIA_LATENCY_NS + CXL_ADDED_LATENCY_NS + upi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> AccessProfile {
+        AccessProfile::sequential_read(ByteSize::from_gb(1.0))
+    }
+
+    #[test]
+    fn table_iii_bandwidths() {
+        assert!((CxlDevice::fpga_ddr4().bandwidth(&p()).as_gb_per_s() - CXL_FPGA_GBPS).abs() < 1e-9);
+        assert!((CxlDevice::asic_ddr5().bandwidth(&p()).as_gb_per_s() - CXL_ASIC_GBPS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_includes_cxl_hop() {
+        let d = CxlDevice::asic_ddr5();
+        let lat = d.idle_latency(AccessKind::RandRead, false);
+        assert!(lat >= SimDuration::from_nanos(CXL_ADDED_LATENCY_NS + MEDIA_LATENCY_NS));
+        assert!(d.idle_latency(AccessKind::RandRead, true) > lat);
+    }
+
+    #[test]
+    fn custom_device_spans_the_spectrum() {
+        let lo = CxlDevice::custom(
+            Bandwidth::from_gb_per_s(2.0),
+            ByteSize::from_gib(256.0),
+        );
+        let hi = CxlDevice::custom(
+            Bandwidth::from_gb_per_s(60.0),
+            ByteSize::from_gib(256.0),
+        );
+        assert!(hi.bandwidth(&p()) > lo.bandwidth(&p()));
+        assert_eq!(lo.controller(), CxlController::Custom);
+    }
+
+    #[test]
+    fn writes_and_random_derated() {
+        let d = CxlDevice::asic_ddr5();
+        let w = d.bandwidth(&AccessProfile::sequential_write(ByteSize::from_gb(1.0)));
+        assert!(w < d.bandwidth(&p()));
+        let mut rp = p();
+        rp.kind = AccessKind::RandRead;
+        assert!(d.bandwidth(&rp) < d.bandwidth(&p()));
+    }
+
+    #[test]
+    fn reports_identity() {
+        let d = CxlDevice::fpga_ddr4();
+        assert_eq!(d.technology(), MemoryTechnology::CxlExpander);
+        assert!(d.name().contains("FPGA"));
+        assert!(d.media().contains("DDR4"));
+    }
+}

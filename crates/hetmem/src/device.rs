@@ -1,0 +1,282 @@
+//! The memory device model trait and access profiles.
+
+use simcore::time::SimDuration;
+use simcore::units::{Bandwidth, ByteSize};
+use std::fmt;
+
+/// The kind of access stream hitting a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Streaming reads (weight loads, DMA reads).
+    SeqRead,
+    /// Streaming writes (KV-cache spills, DMA writes).
+    SeqWrite,
+    /// Pointer-chasing reads (latency probes).
+    RandRead,
+    /// Scattered writes.
+    RandWrite,
+}
+
+impl AccessKind {
+    /// Whether this kind reads from the device.
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::SeqRead | AccessKind::RandRead)
+    }
+
+    /// Whether this kind is sequential.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, AccessKind::SeqRead | AccessKind::SeqWrite)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::SeqRead => "seq-read",
+            AccessKind::SeqWrite => "seq-write",
+            AccessKind::RandRead => "rand-read",
+            AccessKind::RandWrite => "rand-write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A description of the access stream a bandwidth query models.
+///
+/// `buffer` is the size of the working set being streamed in one
+/// operation: Optane-class devices degrade as it grows (address
+/// indirection table thrash, wear-leveling-induced scatter — paper
+/// §IV-A), while DRAM is flat.
+///
+/// # Examples
+///
+/// ```
+/// use hetmem::AccessProfile;
+/// use simcore::units::ByteSize;
+///
+/// let p = AccessProfile::sequential_read(ByteSize::from_mb(256.0));
+/// assert!(!p.remote);
+/// assert_eq!(p.concurrency, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessProfile {
+    /// Read/write, sequential/random.
+    pub kind: AccessKind,
+    /// Size of the streamed working set.
+    pub buffer: ByteSize,
+    /// Number of concurrent request streams (DMA engines, threads).
+    pub concurrency: u32,
+    /// Whether the initiator sits on a different socket than the
+    /// device (crosses the processor interconnect).
+    pub remote: bool,
+    /// Long-run re-reference footprint, when it differs from `buffer`
+    /// (e.g. cycling through all host-resident model weights while
+    /// each individual transfer is one layer). Drives cache hit rates
+    /// (Memory Mode) and address-indirection-table thrash (Optane).
+    pub working_set: Option<ByteSize>,
+}
+
+impl AccessProfile {
+    /// A single local sequential read stream over `buffer`.
+    pub fn sequential_read(buffer: ByteSize) -> Self {
+        AccessProfile {
+            kind: AccessKind::SeqRead,
+            buffer,
+            concurrency: 1,
+            remote: false,
+            working_set: None,
+        }
+    }
+
+    /// A single local sequential write stream over `buffer`.
+    pub fn sequential_write(buffer: ByteSize) -> Self {
+        AccessProfile {
+            kind: AccessKind::SeqWrite,
+            buffer,
+            concurrency: 1,
+            remote: false,
+            working_set: None,
+        }
+    }
+
+    /// Sets the long-run re-reference footprint.
+    pub fn with_working_set(mut self, working_set: ByteSize) -> Self {
+        self.working_set = Some(working_set);
+        self
+    }
+
+    /// The effective footprint: `working_set` if set, else `buffer`.
+    pub fn footprint(&self) -> ByteSize {
+        self.working_set.unwrap_or(self.buffer)
+    }
+
+    /// Marks the profile as crossing the socket interconnect.
+    pub fn remote(mut self) -> Self {
+        self.remote = true;
+        self
+    }
+
+    /// Sets the number of concurrent streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_concurrency(mut self, n: u32) -> Self {
+        assert!(n > 0, "concurrency must be positive");
+        self.concurrency = n;
+        self
+    }
+}
+
+/// Broad technology class of a device; used by the data-path composer
+/// to pick interaction models (e.g. inbound-PCIe mesh contention only
+/// hurts Optane writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryTechnology {
+    /// Conventional DDR DRAM.
+    Dram,
+    /// Phase-change persistent memory (Optane DCPMM).
+    Pcm,
+    /// Optane behind a direct-mapped DRAM cache (Memory Mode).
+    PcmCached,
+    /// Block storage reached through a file system.
+    BlockStorage,
+    /// CXL Type-3 memory expander.
+    CxlExpander,
+}
+
+impl fmt::Display for MemoryTechnology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemoryTechnology::Dram => "DRAM",
+            MemoryTechnology::Pcm => "PCM",
+            MemoryTechnology::PcmCached => "PCM+DRAM-cache",
+            MemoryTechnology::BlockStorage => "block-storage",
+            MemoryTechnology::CxlExpander => "CXL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How data reaches a DMA engine from this device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Staging {
+    /// The device is directly DMA-addressable.
+    Direct,
+    /// Data must be staged through a DRAM bounce buffer first
+    /// (file-system-interfaced tiers: SSD, FSDAX — paper §IV-B).
+    BounceBuffer,
+}
+
+/// A host memory device performance model.
+///
+/// Implementations are pure and cheap: `bandwidth` is called inside
+/// the inner loop of the pipeline simulator.
+pub trait MemoryDevice: fmt::Debug {
+    /// Human-readable device name (e.g. `"DDR4-2933 x8"`).
+    fn name(&self) -> String;
+
+    /// Total capacity.
+    fn capacity(&self) -> ByteSize;
+
+    /// Technology class.
+    fn technology(&self) -> MemoryTechnology;
+
+    /// Achievable bandwidth under `profile`.
+    fn bandwidth(&self, profile: &AccessProfile) -> Bandwidth;
+
+    /// The service-rate mix behind [`MemoryDevice::bandwidth`]:
+    /// `(fraction_of_bytes, rate)` pairs summing to fraction 1.0.
+    ///
+    /// Devices with internal tiers (Memory Mode: DRAM-cache hits vs
+    /// Optane misses) override this so a data-path composer can cap
+    /// each component by the interconnect *before* blending — a hit
+    /// stream capped by PCIe must not mask miss-path stalls.
+    fn service_components(&self, profile: &AccessProfile) -> Vec<(f64, Bandwidth)> {
+        vec![(1.0, self.bandwidth(profile))]
+    }
+
+    /// Unloaded access latency for `kind`, `remote` across sockets.
+    fn idle_latency(&self, kind: AccessKind, remote: bool) -> SimDuration;
+
+    /// Whether DMA can target the device directly or must bounce
+    /// through DRAM.
+    fn staging(&self) -> Staging {
+        Staging::Direct
+    }
+}
+
+impl<D: MemoryDevice + ?Sized> MemoryDevice for std::sync::Arc<D> {
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn capacity(&self) -> ByteSize {
+        (**self).capacity()
+    }
+    fn technology(&self) -> MemoryTechnology {
+        (**self).technology()
+    }
+    fn bandwidth(&self, profile: &AccessProfile) -> Bandwidth {
+        (**self).bandwidth(profile)
+    }
+    fn service_components(&self, profile: &AccessProfile) -> Vec<(f64, Bandwidth)> {
+        (**self).service_components(profile)
+    }
+    fn idle_latency(&self, kind: AccessKind, remote: bool) -> SimDuration {
+        (**self).idle_latency(kind, remote)
+    }
+    fn staging(&self) -> Staging {
+        (**self).staging()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_predicates() {
+        assert!(AccessKind::SeqRead.is_read());
+        assert!(AccessKind::RandRead.is_read());
+        assert!(!AccessKind::SeqWrite.is_read());
+        assert!(AccessKind::SeqWrite.is_sequential());
+        assert!(!AccessKind::RandWrite.is_sequential());
+    }
+
+    #[test]
+    fn profile_builders_compose() {
+        let p = AccessProfile::sequential_write(ByteSize::from_mb(1.0))
+            .remote()
+            .with_concurrency(4);
+        assert_eq!(p.kind, AccessKind::SeqWrite);
+        assert!(p.remote);
+        assert_eq!(p.concurrency, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_concurrency_rejected() {
+        let _ = AccessProfile::sequential_read(ByteSize::ZERO).with_concurrency(0);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        for kind in [
+            AccessKind::SeqRead,
+            AccessKind::SeqWrite,
+            AccessKind::RandRead,
+            AccessKind::RandWrite,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
+        for tech in [
+            MemoryTechnology::Dram,
+            MemoryTechnology::Pcm,
+            MemoryTechnology::PcmCached,
+            MemoryTechnology::BlockStorage,
+            MemoryTechnology::CxlExpander,
+        ] {
+            assert!(!tech.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! DDR DRAM device model.
+//!
+//! Calibrated against Table I and §II-D of the paper: the evaluation
+//! system's DDR4-2933 memory achieves 157 GB/s across 8 channels per
+//! socket. DRAM bandwidth is essentially flat in buffer size, writes
+//! run slightly below reads, random access pays a row-activation
+//! penalty, and remote access is capped by the processor interconnect
+//! (UPI on Ice Lake).
+
+use crate::device::{AccessKind, AccessProfile, MemoryDevice, MemoryTechnology};
+use simcore::time::SimDuration;
+use simcore::units::{Bandwidth, ByteSize};
+
+/// Achieved aggregate sequential-read bandwidth per socket (paper
+/// §II-D: "our DDR4-based evaluation system achieves 157 GB/s across
+/// 8 memory channels").
+pub const DDR4_2933_SOCKET_READ_GBPS: f64 = 157.0;
+/// Sequential-write derating relative to reads (typical DDR4 ~0.9).
+pub const WRITE_DERATE: f64 = 0.90;
+/// Random-access derating relative to streaming.
+pub const RANDOM_DERATE: f64 = 0.30;
+/// Usable cross-socket (UPI) bandwidth cap on Ice Lake (3 links).
+pub const UPI_CAP_GBPS: f64 = 50.0;
+/// Local idle load-to-use latency.
+pub const LOCAL_LATENCY_NS: f64 = 81.0;
+/// Remote (cross-socket) idle latency.
+pub const REMOTE_LATENCY_NS: f64 = 139.0;
+/// Per-stream DMA-class sequential bandwidth before channel-level
+/// parallelism saturates the socket. High enough that a single DMA
+/// stream out of DRAM is never the bottleneck on the PCIe path
+/// (paper Fig 3: DRAM host-to-GPU copies run at the PCIe ceiling).
+pub const PER_STREAM_GBPS: f64 = 40.0;
+
+/// A DDR DRAM device (one socket's worth of channels).
+///
+/// # Examples
+///
+/// ```
+/// use hetmem::dram::DramDevice;
+/// use hetmem::{AccessProfile, MemoryDevice};
+/// use simcore::units::ByteSize;
+///
+/// let dram = DramDevice::ddr4_2933_socket();
+/// let one_stream = dram.bandwidth(&AccessProfile::sequential_read(ByteSize::from_gb(1.0)));
+/// let many = dram.bandwidth(
+///     &AccessProfile::sequential_read(ByteSize::from_gb(1.0)).with_concurrency(16),
+/// );
+/// assert!(many > one_stream);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    capacity: ByteSize,
+    socket_read: Bandwidth,
+    per_stream: Bandwidth,
+}
+
+impl DramDevice {
+    /// The paper's per-socket DRAM: 4 controllers x 2x 16 GB
+    /// DDR4-2933 (128 GB, 157 GB/s).
+    pub fn ddr4_2933_socket() -> Self {
+        DramDevice {
+            capacity: ByteSize::from_gib(128.0),
+            socket_read: Bandwidth::from_gb_per_s(DDR4_2933_SOCKET_READ_GBPS),
+            per_stream: Bandwidth::from_gb_per_s(PER_STREAM_GBPS),
+        }
+    }
+
+    /// A custom DRAM device.
+    pub fn new(capacity: ByteSize, socket_read: Bandwidth, per_stream: Bandwidth) -> Self {
+        DramDevice {
+            capacity,
+            socket_read,
+            per_stream,
+        }
+    }
+}
+
+impl MemoryDevice for DramDevice {
+    fn name(&self) -> String {
+        format!("DDR4-2933 ({})", self.capacity)
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    fn technology(&self) -> MemoryTechnology {
+        MemoryTechnology::Dram
+    }
+
+    fn bandwidth(&self, profile: &AccessProfile) -> Bandwidth {
+        let mut bw = self
+            .per_stream
+            .scale(profile.concurrency as f64)
+            .min(self.socket_read);
+        if !profile.kind.is_read() {
+            bw = bw.scale(WRITE_DERATE);
+        }
+        if !profile.kind.is_sequential() {
+            bw = bw.scale(RANDOM_DERATE);
+        }
+        if profile.remote {
+            bw = bw.min(Bandwidth::from_gb_per_s(UPI_CAP_GBPS));
+        }
+        bw
+    }
+
+    fn idle_latency(&self, _kind: AccessKind, remote: bool) -> SimDuration {
+        if remote {
+            SimDuration::from_nanos(REMOTE_LATENCY_NS)
+        } else {
+            SimDuration::from_nanos(LOCAL_LATENCY_NS)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gb(x: f64) -> ByteSize {
+        ByteSize::from_gb(x)
+    }
+
+    #[test]
+    fn saturates_at_socket_bandwidth() {
+        let d = DramDevice::ddr4_2933_socket();
+        let bw = d.bandwidth(&AccessProfile::sequential_read(gb(1.0)).with_concurrency(64));
+        assert!((bw.as_gb_per_s() - DDR4_2933_SOCKET_READ_GBPS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flat_in_buffer_size() {
+        let d = DramDevice::ddr4_2933_socket();
+        let small = d.bandwidth(&AccessProfile::sequential_read(ByteSize::from_mb(256.0)));
+        let large = d.bandwidth(&AccessProfile::sequential_read(gb(32.0)));
+        assert_eq!(small, large);
+    }
+
+    #[test]
+    fn writes_slower_than_reads() {
+        let d = DramDevice::ddr4_2933_socket();
+        let r = d.bandwidth(&AccessProfile::sequential_read(gb(1.0)));
+        let w = d.bandwidth(&AccessProfile::sequential_write(gb(1.0)));
+        assert!(w < r);
+        assert!((w.as_gb_per_s() / r.as_gb_per_s() - WRITE_DERATE).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_much_slower_than_sequential() {
+        let d = DramDevice::ddr4_2933_socket();
+        let mut p = AccessProfile::sequential_read(gb(1.0));
+        p.kind = AccessKind::RandRead;
+        let rand = d.bandwidth(&p);
+        let seq = d.bandwidth(&AccessProfile::sequential_read(gb(1.0)));
+        assert!(rand < seq.scale(0.5));
+    }
+
+    #[test]
+    fn remote_capped_by_upi() {
+        let d = DramDevice::ddr4_2933_socket();
+        let bw = d.bandwidth(
+            &AccessProfile::sequential_read(gb(1.0))
+                .with_concurrency(64)
+                .remote(),
+        );
+        assert!((bw.as_gb_per_s() - UPI_CAP_GBPS).abs() < 1e-9);
+    }
+
+    #[test]
+    fn remote_latency_exceeds_local() {
+        let d = DramDevice::ddr4_2933_socket();
+        assert!(
+            d.idle_latency(AccessKind::RandRead, true) > d.idle_latency(AccessKind::RandRead, false)
+        );
+    }
+
+    #[test]
+    fn reports_identity() {
+        let d = DramDevice::ddr4_2933_socket();
+        assert_eq!(d.technology(), MemoryTechnology::Dram);
+        assert!(d.name().contains("DDR4"));
+        assert_eq!(d.capacity(), ByteSize::from_gib(128.0));
+    }
+}

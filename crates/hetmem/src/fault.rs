@@ -1,0 +1,178 @@
+//! Failure and degradation injection.
+//!
+//! Real heterogeneous-memory deployments degrade before they fail:
+//! Optane modules thermally throttle (the DIMMs cap at ~15 W and
+//! shed bandwidth under sustained load), CXL expanders drop to
+//! narrower link widths, and DRAM ranks get offlined. The
+//! [`ThrottledDevice`] wrapper injects such degradation into any
+//! [`MemoryDevice`] so tests and what-if studies can check that the
+//! serving stack degrades gracefully instead of mispredicting.
+
+use crate::device::{AccessKind, AccessProfile, MemoryDevice, MemoryTechnology, Staging};
+use simcore::time::SimDuration;
+use simcore::units::{Bandwidth, ByteSize};
+
+/// A degradation wrapper over another memory device.
+///
+/// # Examples
+///
+/// ```
+/// use hetmem::fault::ThrottledDevice;
+/// use hetmem::optane::OptaneDevice;
+/// use hetmem::{AccessProfile, MemoryDevice};
+/// use simcore::units::ByteSize;
+///
+/// let healthy = OptaneDevice::dcpmm_200_socket();
+/// let hot = ThrottledDevice::new(OptaneDevice::dcpmm_200_socket(), 0.5, 2.0);
+/// let p = AccessProfile::sequential_read(ByteSize::from_gb(1.0));
+/// assert_eq!(
+///     hot.bandwidth(&p).as_gb_per_s(),
+///     healthy.bandwidth(&p).as_gb_per_s() * 0.5
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThrottledDevice<D> {
+    inner: D,
+    bandwidth_factor: f64,
+    latency_factor: f64,
+}
+
+impl<D: MemoryDevice> ThrottledDevice<D> {
+    /// Wraps `inner`, scaling every bandwidth by `bandwidth_factor`
+    /// (0 < f ≤ 1) and every idle latency by `latency_factor` (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on factors outside those ranges.
+    pub fn new(inner: D, bandwidth_factor: f64, latency_factor: f64) -> Self {
+        assert!(
+            bandwidth_factor > 0.0 && bandwidth_factor <= 1.0,
+            "bandwidth factor must be in (0, 1]"
+        );
+        assert!(latency_factor >= 1.0, "latency factor must be >= 1");
+        ThrottledDevice {
+            inner,
+            bandwidth_factor,
+            latency_factor,
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Unwraps the device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: MemoryDevice> MemoryDevice for ThrottledDevice<D> {
+    fn name(&self) -> String {
+        format!(
+            "{} [throttled x{:.2}]",
+            self.inner.name(),
+            self.bandwidth_factor
+        )
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.inner.capacity()
+    }
+
+    fn technology(&self) -> MemoryTechnology {
+        self.inner.technology()
+    }
+
+    fn bandwidth(&self, profile: &AccessProfile) -> Bandwidth {
+        self.inner.bandwidth(profile).scale(self.bandwidth_factor)
+    }
+
+    fn service_components(&self, profile: &AccessProfile) -> Vec<(f64, Bandwidth)> {
+        self.inner
+            .service_components(profile)
+            .into_iter()
+            .map(|(frac, bw)| (frac, bw.scale(self.bandwidth_factor)))
+            .collect()
+    }
+
+    fn idle_latency(&self, kind: AccessKind, remote: bool) -> SimDuration {
+        self.inner.idle_latency(kind, remote) * self.latency_factor
+    }
+
+    fn staging(&self) -> Staging {
+        self.inner.staging()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramDevice;
+    use crate::memmode::MemoryModeDevice;
+    use crate::optane::OptaneDevice;
+
+    fn probe() -> AccessProfile {
+        AccessProfile::sequential_read(ByteSize::from_gb(1.0))
+    }
+
+    #[test]
+    fn scales_bandwidth_and_latency_only() {
+        let base = DramDevice::ddr4_2933_socket();
+        let t = ThrottledDevice::new(DramDevice::ddr4_2933_socket(), 0.25, 3.0);
+        assert_eq!(
+            t.bandwidth(&probe()).as_gb_per_s(),
+            base.bandwidth(&probe()).as_gb_per_s() * 0.25
+        );
+        assert_eq!(
+            t.idle_latency(AccessKind::RandRead, false).as_secs(),
+            base.idle_latency(AccessKind::RandRead, false).as_secs() * 3.0
+        );
+        assert_eq!(t.capacity(), base.capacity());
+        assert_eq!(t.technology(), base.technology());
+        assert_eq!(t.staging(), base.staging());
+        assert!(t.name().contains("throttled"));
+    }
+
+    #[test]
+    fn service_components_scale_consistently() {
+        // Blended devices (Memory Mode) stay self-consistent when
+        // throttled: blending the scaled components reproduces the
+        // scaled blend.
+        let t = ThrottledDevice::new(MemoryModeDevice::paper_socket(), 0.5, 1.0);
+        let p = probe().with_working_set(ByteSize::from_gb(300.0));
+        let comps = t.service_components(&p);
+        let inv: f64 = comps
+            .iter()
+            .map(|(f, bw)| f / bw.as_bytes_per_s())
+            .sum();
+        let blended = 1.0 / inv;
+        assert!((blended - t.bandwidth(&p).as_bytes_per_s()).abs() / blended < 1e-9);
+    }
+
+    #[test]
+    fn nested_throttles_compose() {
+        let t = ThrottledDevice::new(
+            ThrottledDevice::new(OptaneDevice::dcpmm_200_socket(), 0.5, 1.0),
+            0.5,
+            1.0,
+        );
+        let base = OptaneDevice::dcpmm_200_socket();
+        let ratio = t.bandwidth(&probe()).as_gb_per_s() / base.bandwidth(&probe()).as_gb_per_s();
+        assert!((ratio - 0.25).abs() < 1e-9);
+        assert_eq!(t.into_inner().inner().capacity(), base.capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth factor")]
+    fn rejects_amplifying_factor() {
+        let _ = ThrottledDevice::new(DramDevice::ddr4_2933_socket(), 1.5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency factor")]
+    fn rejects_latency_speedup() {
+        let _ = ThrottledDevice::new(DramDevice::ddr4_2933_socket(), 1.0, 0.5);
+    }
+}

@@ -1,0 +1,57 @@
+//! # hetmem — heterogeneous host memory models
+//!
+//! Calibrated performance models of every host-side memory technology
+//! evaluated in the paper (§II–§IV): DDR4 DRAM, Intel Optane DCPMM
+//! (both as a flat NUMA tier and in Memory Mode behind a DRAM cache),
+//! Optane exposed through storage interfaces (plain file system and
+//! ext4-DAX), and CXL Type-3 memory expanders (FPGA and ASIC
+//! controller classes from Table III).
+//!
+//! The crate provides:
+//!
+//! * [`MemoryDevice`] — the common device model trait: capacity, idle
+//!   latency, and bandwidth as a function of an [`AccessProfile`]
+//!   (access kind, buffer size, concurrency, locality).
+//! * Concrete devices in [`dram`], [`optane`], [`memmode`],
+//!   [`storage`], and [`cxl`].
+//! * [`numa`] — the dual-socket Ice Lake topology of Table I.
+//! * [`tier`] — a memkind-like tiered allocator with capacity
+//!   accounting.
+//! * [`config`] — the memory configurations of Table II, each bundling
+//!   a weight tier, a working tier, and a staging rule.
+//! * [`mlc`] — an Intel MLC-style measurement harness over the models.
+//!
+//! Every calibration constant carries a provenance note pointing at
+//! the paper figure or the cited measurement study it reproduces.
+//!
+//! # Examples
+//!
+//! ```
+//! use hetmem::{AccessKind, AccessProfile, MemoryDevice};
+//! use hetmem::dram::DramDevice;
+//! use simcore::units::ByteSize;
+//!
+//! let dram = DramDevice::ddr4_2933_socket();
+//! let profile = AccessProfile::sequential_read(ByteSize::from_gb(1.0)).with_concurrency(16);
+//! let bw = dram.bandwidth(&profile);
+//! assert!(bw.as_gb_per_s() > 100.0);
+//! # let _ = AccessKind::SeqRead;
+//! ```
+
+pub mod config;
+pub mod cxl;
+pub mod device;
+pub mod dram;
+pub mod fault;
+pub mod memmode;
+pub mod mlc;
+pub mod numa;
+pub mod optane;
+pub mod storage;
+pub mod tier;
+pub mod tiering;
+
+pub use config::{HostMemoryConfig, MemoryConfigKind};
+pub use device::{AccessKind, AccessProfile, MemoryDevice, MemoryTechnology, Staging};
+pub use numa::{NodeId, NumaTopology};
+pub use tier::{AllocError, TierId, TieredAllocator};

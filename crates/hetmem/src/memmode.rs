@@ -1,0 +1,200 @@
+//! Optane Memory Mode: Optane main memory behind a direct-mapped DRAM
+//! cache (paper §II-C).
+//!
+//! The model blends DRAM-cache hits with Optane misses by working-set
+//! size. When the footprint fits in the DRAM cache, Memory Mode tracks
+//! DRAM performance (paper Fig 3: "MM is able to completely hide this
+//! performance gap ... because the buffer size fits within the DRAM
+//! cache capacity"); once the footprint outgrows the cache, the hit
+//! rate falls toward `cache/footprint` and the miss path pays the
+//! Optane fetch plus fill overhead (OPT-175B weights, 324 GB vs a
+//! 256 GB cache, see MM land between NVDRAM and an ideal all-DRAM
+//! system — paper Fig 4/5).
+
+use crate::device::{AccessKind, AccessProfile, MemoryDevice, MemoryTechnology};
+use crate::dram::DramDevice;
+use crate::optane::OptaneDevice;
+use simcore::time::SimDuration;
+use simcore::units::{Bandwidth, ByteSize};
+
+/// Fraction of nominal cache capacity that behaves as fully resident
+/// before direct-mapped conflicts start producing misses.
+pub const CONFLICT_FREE_FRACTION: f64 = 0.85;
+/// Miss-path derating on the Optane fetch (line fill + metadata
+/// bookkeeping on top of the raw media read). Calibrated so an ideal
+/// all-DRAM system improves average weight-transfer time over
+/// thrashing Memory Mode by the paper's ~22% (Fig 5 discussion).
+pub const MISS_FILL_DERATE: f64 = 0.60;
+/// Hit-path derating relative to raw DRAM (tag checks on DDR-T).
+pub const HIT_DERATE: f64 = 1.0;
+
+/// Optane in Memory Mode: DRAM cache in front of Optane media.
+///
+/// # Examples
+///
+/// ```
+/// use hetmem::memmode::MemoryModeDevice;
+/// use hetmem::{AccessProfile, MemoryDevice};
+/// use simcore::units::ByteSize;
+///
+/// let mm = MemoryModeDevice::paper_socket();
+/// // A 4 GB buffer fits the 128 GB cache: DRAM-like speed.
+/// let cached = mm.bandwidth(&AccessProfile::sequential_read(ByteSize::from_gb(4.0)));
+/// // A 324 GB working set does not: degraded toward Optane.
+/// let thrashed = mm.bandwidth(
+///     &AccessProfile::sequential_read(ByteSize::from_gb(4.0))
+///         .with_working_set(ByteSize::from_gb(324.0)),
+/// );
+/// assert!(thrashed < cached);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryModeDevice {
+    cache: DramDevice,
+    media: OptaneDevice,
+}
+
+impl MemoryModeDevice {
+    /// The paper's per-socket configuration: 128 GB DRAM cache over
+    /// 512 GB Optane.
+    pub fn paper_socket() -> Self {
+        MemoryModeDevice {
+            cache: DramDevice::ddr4_2933_socket(),
+            media: OptaneDevice::dcpmm_200_socket(),
+        }
+    }
+
+    /// A custom cache/media pairing.
+    pub fn new(cache: DramDevice, media: OptaneDevice) -> Self {
+        MemoryModeDevice { cache, media }
+    }
+
+    /// The DRAM cache capacity.
+    pub fn cache_capacity(&self) -> ByteSize {
+        self.cache.capacity()
+    }
+
+    /// Estimated hit rate for a cyclically re-referenced `footprint`.
+    pub fn hit_rate(&self, footprint: ByteSize) -> f64 {
+        let effective_cache = self.cache.capacity().as_f64() * CONFLICT_FREE_FRACTION;
+        let fp = footprint.as_f64();
+        if fp <= effective_cache {
+            1.0
+        } else {
+            (effective_cache / fp).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl MemoryDevice for MemoryModeDevice {
+    fn name(&self) -> String {
+        format!(
+            "MemoryMode (DRAM cache {} / Optane {})",
+            self.cache.capacity(),
+            self.media.capacity()
+        )
+    }
+
+    /// Memory Mode exposes only the Optane capacity; the DRAM cache
+    /// is invisible to software.
+    fn capacity(&self) -> ByteSize {
+        self.media.capacity()
+    }
+
+    fn technology(&self) -> MemoryTechnology {
+        MemoryTechnology::PcmCached
+    }
+
+    fn bandwidth(&self, profile: &AccessProfile) -> Bandwidth {
+        // Time-weighted blend: each byte takes 1/bw at its service tier.
+        let inv: f64 = self
+            .service_components(profile)
+            .iter()
+            .map(|(frac, bw)| frac / bw.as_bytes_per_s())
+            .sum();
+        Bandwidth::from_bytes_per_s(1.0 / inv)
+    }
+
+    fn service_components(&self, profile: &AccessProfile) -> Vec<(f64, Bandwidth)> {
+        let hit = self.hit_rate(profile.footprint());
+        let hit_bw = self.cache.bandwidth(profile).scale(HIT_DERATE);
+        let miss_bw = self.media.bandwidth(profile).scale(MISS_FILL_DERATE);
+        if hit >= 1.0 {
+            vec![(1.0, hit_bw)]
+        } else {
+            vec![(hit, hit_bw), (1.0 - hit, miss_bw)]
+        }
+    }
+
+    fn idle_latency(&self, kind: AccessKind, remote: bool) -> SimDuration {
+        // Unloaded probes hit the DRAM cache; add the tag-check hop.
+        self.cache.idle_latency(kind, remote) + SimDuration::from_nanos(4.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::AccessProfile;
+
+    fn gb(x: f64) -> ByteSize {
+        ByteSize::from_gb(x)
+    }
+
+    #[test]
+    fn tracks_dram_when_footprint_fits() {
+        // Paper Fig 3a: MM overlaps DRAM perfectly for <=32 GB buffers.
+        let mm = MemoryModeDevice::paper_socket();
+        let dram = DramDevice::ddr4_2933_socket();
+        let p = AccessProfile::sequential_read(gb(32.0));
+        let ratio = mm.bandwidth(&p).as_gb_per_s() / dram.bandwidth(&p).as_gb_per_s();
+        assert!(ratio > 0.99, "MM should match DRAM in-cache: {ratio}");
+    }
+
+    #[test]
+    fn degrades_when_footprint_exceeds_cache() {
+        let mm = MemoryModeDevice::paper_socket();
+        let in_cache = mm.bandwidth(&AccessProfile::sequential_read(gb(32.0)));
+        let out = mm.bandwidth(
+            &AccessProfile::sequential_read(gb(1.0)).with_working_set(gb(400.0)),
+        );
+        assert!(out < in_cache);
+    }
+
+    #[test]
+    fn hit_rate_boundaries() {
+        let mm = MemoryModeDevice::paper_socket();
+        assert_eq!(mm.hit_rate(gb(10.0)), 1.0);
+        let big = mm.hit_rate(gb(500.0));
+        assert!(big < 1.0 && big > 0.0);
+        // Monotone non-increasing in footprint.
+        assert!(mm.hit_rate(gb(200.0)) >= mm.hit_rate(gb(400.0)));
+    }
+
+    #[test]
+    fn sits_between_dram_and_optane_when_thrashing() {
+        let mm = MemoryModeDevice::paper_socket();
+        let dram = DramDevice::ddr4_2933_socket();
+        let optane = OptaneDevice::dcpmm_200_socket();
+        let p = AccessProfile::sequential_read(gb(1.0)).with_working_set(gb(324.0));
+        let mm_bw = mm.bandwidth(&p);
+        assert!(mm_bw < dram.bandwidth(&p));
+        assert!(mm_bw > optane.bandwidth(&p).scale(MISS_FILL_DERATE));
+    }
+
+    #[test]
+    fn capacity_is_media_only() {
+        let mm = MemoryModeDevice::paper_socket();
+        assert_eq!(mm.capacity(), ByteSize::from_gib(512.0));
+        assert_eq!(mm.technology(), MemoryTechnology::PcmCached);
+    }
+
+    #[test]
+    fn latency_slightly_above_dram() {
+        let mm = MemoryModeDevice::paper_socket();
+        let dram = DramDevice::ddr4_2933_socket();
+        assert!(
+            mm.idle_latency(AccessKind::RandRead, false)
+                > dram.idle_latency(AccessKind::RandRead, false)
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! An Intel Memory Latency Checker (MLC)-style harness over the
+//! device models.
+//!
+//! The paper uses Intel MLC (§IV-A) to confirm the NUMA behaviour of
+//! Optane and Memory Mode. This module reproduces the classic MLC
+//! output shape — an idle-latency matrix and a bandwidth matrix over
+//! (initiator node, target device) pairs — from the analytic models,
+//! so characterization examples and tests can assert the same
+//! qualitative structure (remote worse than local, Optane worse than
+//! DRAM, writes far worse than reads on Optane).
+
+use crate::device::{AccessKind, AccessProfile, MemoryDevice};
+use crate::numa::NumaTopology;
+use simcore::units::ByteSize;
+
+/// One (initiator, target) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlcRow {
+    /// Socket issuing the accesses.
+    pub initiator: usize,
+    /// Socket owning the memory.
+    pub target: usize,
+    /// Target device name.
+    pub device: String,
+    /// Idle load-to-use latency in nanoseconds.
+    pub idle_latency_ns: f64,
+    /// Sequential read bandwidth in GB/s.
+    pub read_gbps: f64,
+    /// Sequential write bandwidth in GB/s.
+    pub write_gbps: f64,
+}
+
+/// A complete latency/bandwidth characterization.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MlcReport {
+    rows: Vec<MlcRow>,
+}
+
+impl MlcReport {
+    /// All rows, ordered by (initiator, target, device).
+    pub fn rows(&self) -> &[MlcRow] {
+        &self.rows
+    }
+
+    /// Finds the row for a given pair and device-name substring.
+    pub fn find(&self, initiator: usize, target: usize, device: &str) -> Option<&MlcRow> {
+        self.rows
+            .iter()
+            .find(|r| r.initiator == initiator && r.target == target && r.device.contains(device))
+    }
+
+    /// Renders the report as an MLC-like table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from(
+            "init -> target  device                          lat(ns)   read(GB/s)  write(GB/s)\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:>4} -> {:<6}  {:<30}  {:>7.1}   {:>10.2}  {:>11.2}\n",
+                r.initiator, r.target, r.device, r.idle_latency_ns, r.read_gbps, r.write_gbps
+            ));
+        }
+        out
+    }
+}
+
+/// Runs the MLC-style sweep over `topology` with a streaming buffer of
+/// `buffer` per measurement (MLC uses large buffers; 1 GB here).
+pub fn run(topology: &NumaTopology, buffer: ByteSize) -> MlcReport {
+    let mut rows = Vec::new();
+    for initiator in topology.sockets() {
+        for target in topology.sockets() {
+            let remote = initiator.node() != target.node();
+            let mut devices: Vec<&dyn MemoryDevice> = vec![target.dram().as_ref()];
+            if let Some(optane) = target.optane() {
+                devices.push(optane.as_ref());
+            }
+            for device in devices {
+                let read = AccessProfile {
+                    kind: AccessKind::SeqRead,
+                    buffer,
+                    concurrency: 8,
+                    remote,
+                    working_set: None,
+                };
+                let write = AccessProfile {
+                    kind: AccessKind::SeqWrite,
+                    ..read.clone()
+                };
+                rows.push(MlcRow {
+                    initiator: initiator.node().0,
+                    target: target.node().0,
+                    device: device.name(),
+                    idle_latency_ns: device.idle_latency(AccessKind::RandRead, remote).as_secs()
+                        * 1e9,
+                    read_gbps: device.bandwidth(&read).as_gb_per_s(),
+                    write_gbps: device.bandwidth(&write).as_gb_per_s(),
+                });
+            }
+        }
+    }
+    MlcReport { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MlcReport {
+        run(&NumaTopology::paper_system(), ByteSize::from_gb(1.0))
+    }
+
+    #[test]
+    fn covers_all_pairs() {
+        // 2 initiators x 2 targets x 2 devices.
+        assert_eq!(report().rows().len(), 8);
+    }
+
+    #[test]
+    fn remote_latency_exceeds_local() {
+        let r = report();
+        let local = r.find(0, 0, "DDR4").unwrap();
+        let remote = r.find(1, 0, "DDR4").unwrap();
+        assert!(remote.idle_latency_ns > local.idle_latency_ns);
+    }
+
+    #[test]
+    fn optane_slower_than_dram_everywhere() {
+        let r = report();
+        for init in 0..2 {
+            for tgt in 0..2 {
+                let dram = r.find(init, tgt, "DDR4").unwrap();
+                let optane = r.find(init, tgt, "Optane").unwrap();
+                assert!(optane.read_gbps < dram.read_gbps);
+                assert!(optane.idle_latency_ns > dram.idle_latency_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn optane_writes_collapse_remotely() {
+        let r = report();
+        let local = r.find(0, 0, "Optane").unwrap();
+        let remote = r.find(1, 0, "Optane").unwrap();
+        assert!(remote.write_gbps < local.write_gbps);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = report().to_table();
+        assert!(t.contains("Optane"));
+        assert!(t.lines().count() >= 9);
+    }
+}

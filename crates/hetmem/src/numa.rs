@@ -1,0 +1,167 @@
+//! NUMA topology of the evaluation platform (Table I).
+//!
+//! A dual-socket Intel Xeon Gold 6330 (Ice Lake) system; each socket
+//! carries 128 GB of DDR4-2933 DRAM and 512 GB of Optane DCPMM. With
+//! Memkind/KMEM-DAX the Optane DIMMs appear as memory-only NUMA nodes,
+//! giving a flat four-node hierarchy. The GPU hangs off PCIe root
+//! ports local to socket 0 (paper §IV-A).
+
+use crate::device::MemoryDevice;
+use crate::dram::DramDevice;
+use crate::optane::OptaneDevice;
+use simcore::units::Bandwidth;
+use std::sync::Arc;
+
+/// A NUMA node identifier. In the paper's numbering, nodes 0 and 1
+/// are the two CPU/DRAM nodes; Optane memory-only nodes mirror them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// One socket's memory complement.
+#[derive(Debug, Clone)]
+pub struct Socket {
+    node: NodeId,
+    dram: Arc<DramDevice>,
+    optane: Option<Arc<OptaneDevice>>,
+}
+
+impl Socket {
+    /// The socket's CPU/DRAM node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The socket's DRAM device.
+    pub fn dram(&self) -> &Arc<DramDevice> {
+        &self.dram
+    }
+
+    /// The socket's Optane device, if populated.
+    pub fn optane(&self) -> Option<&Arc<OptaneDevice>> {
+        self.optane.as_ref()
+    }
+}
+
+/// The machine topology: sockets, interconnect, and GPU attachment.
+///
+/// # Examples
+///
+/// ```
+/// use hetmem::numa::NumaTopology;
+///
+/// let topo = NumaTopology::paper_system();
+/// assert_eq!(topo.sockets().len(), 2);
+/// assert!(topo.is_remote_from_gpu(topo.sockets()[1].node()));
+/// assert!(!topo.is_remote_from_gpu(topo.sockets()[0].node()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NumaTopology {
+    sockets: Vec<Socket>,
+    gpu_node: NodeId,
+    upi: Bandwidth,
+}
+
+impl NumaTopology {
+    /// The paper's dual-socket Ice Lake + Optane platform, GPU on
+    /// socket 0.
+    pub fn paper_system() -> Self {
+        let sockets = (0..2)
+            .map(|i| Socket {
+                node: NodeId(i),
+                dram: Arc::new(DramDevice::ddr4_2933_socket()),
+                optane: Some(Arc::new(OptaneDevice::dcpmm_200_socket())),
+            })
+            .collect();
+        NumaTopology {
+            sockets,
+            gpu_node: NodeId(0),
+            upi: Bandwidth::from_gb_per_s(crate::dram::UPI_CAP_GBPS),
+        }
+    }
+
+    /// A single-socket DRAM-only topology (for unit scenarios).
+    pub fn single_socket_dram() -> Self {
+        NumaTopology {
+            sockets: vec![Socket {
+                node: NodeId(0),
+                dram: Arc::new(DramDevice::ddr4_2933_socket()),
+                optane: None,
+            }],
+            gpu_node: NodeId(0),
+            upi: Bandwidth::from_gb_per_s(crate::dram::UPI_CAP_GBPS),
+        }
+    }
+
+    /// All sockets.
+    pub fn sockets(&self) -> &[Socket] {
+        &self.sockets
+    }
+
+    /// The node whose PCIe root ports host the GPU.
+    pub fn gpu_node(&self) -> NodeId {
+        self.gpu_node
+    }
+
+    /// Usable cross-socket interconnect bandwidth.
+    pub fn upi_bandwidth(&self) -> Bandwidth {
+        self.upi
+    }
+
+    /// Whether memory on `node` is on a different socket than the GPU.
+    pub fn is_remote_from_gpu(&self, node: NodeId) -> bool {
+        node != self.gpu_node
+    }
+
+    /// Total DRAM capacity across sockets.
+    pub fn total_dram(&self) -> simcore::units::ByteSize {
+        self.sockets.iter().map(|s| s.dram.capacity()).sum()
+    }
+
+    /// Total Optane capacity across sockets.
+    pub fn total_optane(&self) -> simcore::units::ByteSize {
+        self.sockets
+            .iter()
+            .filter_map(|s| s.optane.as_ref().map(|o| o.capacity()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::ByteSize;
+
+    #[test]
+    fn paper_system_matches_table_i() {
+        let topo = NumaTopology::paper_system();
+        assert_eq!(topo.sockets().len(), 2);
+        // 256 GB DRAM and 1 TB Optane across the system.
+        assert_eq!(topo.total_dram(), ByteSize::from_gib(256.0));
+        assert_eq!(topo.total_optane(), ByteSize::from_gib(1024.0));
+    }
+
+    #[test]
+    fn gpu_lives_on_node0() {
+        let topo = NumaTopology::paper_system();
+        assert_eq!(topo.gpu_node(), NodeId(0));
+        assert!(topo.is_remote_from_gpu(NodeId(1)));
+    }
+
+    #[test]
+    fn single_socket_has_no_optane() {
+        let topo = NumaTopology::single_socket_dram();
+        assert_eq!(topo.total_optane(), ByteSize::ZERO);
+        assert!(topo.sockets()[0].optane().is_none());
+    }
+
+    #[test]
+    fn node_display() {
+        assert_eq!(NodeId(1).to_string(), "node1");
+    }
+}

@@ -1,0 +1,231 @@
+//! A memkind-like tiered allocator with capacity accounting.
+//!
+//! The serving engine uses this to place weight tensors, KV cache, and
+//! bounce buffers on named tiers (GPU HBM, DRAM, Optane, storage) and
+//! to fail loudly when a placement exceeds a tier's capacity — the
+//! situation that forces OPT-175B off DRAM and onto Optane or storage
+//! in the first place.
+
+use simcore::units::ByteSize;
+use std::fmt;
+
+/// Identifier of a tier within one [`TieredAllocator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TierId(usize);
+
+/// Identifier of a live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocationId(u64);
+
+/// Error returned when an allocation cannot be satisfied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError {
+    /// The tier that was asked.
+    pub tier: TierId,
+    /// Bytes requested.
+    pub requested: ByteSize,
+    /// Bytes that were still free.
+    pub available: ByteSize,
+    /// Tier name for diagnostics.
+    pub tier_name: String,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tier '{}' cannot satisfy {} (only {} free)",
+            self.tier_name, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[derive(Debug)]
+struct Tier {
+    name: String,
+    capacity: ByteSize,
+    used: ByteSize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Allocation {
+    tier: TierId,
+    bytes: ByteSize,
+    live: bool,
+}
+
+/// A multi-tier capacity-tracking allocator.
+///
+/// # Examples
+///
+/// ```
+/// use hetmem::{TieredAllocator};
+/// use simcore::units::ByteSize;
+///
+/// let mut alloc = TieredAllocator::new();
+/// let dram = alloc.add_tier("dram", ByteSize::from_gb(4.0));
+/// let a = alloc.allocate(dram, ByteSize::from_gb(3.0))?;
+/// assert!(alloc.allocate(dram, ByteSize::from_gb(2.0)).is_err());
+/// alloc.free(a);
+/// assert_eq!(alloc.used(dram), ByteSize::ZERO);
+/// # Ok::<(), hetmem::AllocError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct TieredAllocator {
+    tiers: Vec<Tier>,
+    allocations: Vec<Allocation>,
+}
+
+impl TieredAllocator {
+    /// Creates an allocator with no tiers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tier with the given capacity, returning its id.
+    pub fn add_tier(&mut self, name: impl Into<String>, capacity: ByteSize) -> TierId {
+        self.tiers.push(Tier {
+            name: name.into(),
+            capacity,
+            used: ByteSize::ZERO,
+        });
+        TierId(self.tiers.len() - 1)
+    }
+
+    /// Allocates `bytes` on `tier`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the tier lacks free capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` does not belong to this allocator.
+    pub fn allocate(&mut self, tier: TierId, bytes: ByteSize) -> Result<AllocationId, AllocError> {
+        let t = &mut self.tiers[tier.0];
+        let available = t.capacity.saturating_sub(t.used);
+        if bytes > available {
+            return Err(AllocError {
+                tier,
+                requested: bytes,
+                available,
+                tier_name: t.name.clone(),
+            });
+        }
+        t.used += bytes;
+        self.allocations.push(Allocation {
+            tier,
+            bytes,
+            live: true,
+        });
+        Ok(AllocationId(self.allocations.len() as u64 - 1))
+    }
+
+    /// Releases a live allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id or a double free.
+    pub fn free(&mut self, id: AllocationId) {
+        let a = &mut self.allocations[id.0 as usize];
+        assert!(a.live, "double free of {id:?}");
+        a.live = false;
+        let t = &mut self.tiers[a.tier.0];
+        t.used = t.used - a.bytes;
+    }
+
+    /// Bytes currently allocated on `tier`.
+    pub fn used(&self, tier: TierId) -> ByteSize {
+        self.tiers[tier.0].used
+    }
+
+    /// Bytes still free on `tier`.
+    pub fn available(&self, tier: TierId) -> ByteSize {
+        let t = &self.tiers[tier.0];
+        t.capacity.saturating_sub(t.used)
+    }
+
+    /// The tier's configured capacity.
+    pub fn capacity(&self, tier: TierId) -> ByteSize {
+        self.tiers[tier.0].capacity
+    }
+
+    /// The tier's name.
+    pub fn tier_name(&self, tier: TierId) -> &str {
+        &self.tiers[tier.0].name
+    }
+
+    /// Ids of all registered tiers.
+    pub fn tiers(&self) -> impl Iterator<Item = TierId> + '_ {
+        (0..self.tiers.len()).map(TierId)
+    }
+
+    /// Whether `bytes` would fit on `tier` right now.
+    pub fn would_fit(&self, tier: TierId, bytes: ByteSize) -> bool {
+        bytes <= self.available(tier)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gb(x: f64) -> ByteSize {
+        ByteSize::from_gb(x)
+    }
+
+    #[test]
+    fn allocation_and_accounting() {
+        let mut alloc = TieredAllocator::new();
+        let t = alloc.add_tier("optane", gb(10.0));
+        let a = alloc.allocate(t, gb(4.0)).unwrap();
+        let _b = alloc.allocate(t, gb(5.0)).unwrap();
+        assert_eq!(alloc.used(t), gb(9.0));
+        assert_eq!(alloc.available(t), gb(1.0));
+        alloc.free(a);
+        assert_eq!(alloc.used(t), gb(5.0));
+    }
+
+    #[test]
+    fn over_allocation_reports_detail() {
+        let mut alloc = TieredAllocator::new();
+        let t = alloc.add_tier("dram", gb(1.0));
+        let err = alloc.allocate(t, gb(2.0)).unwrap_err();
+        assert_eq!(err.requested, gb(2.0));
+        assert_eq!(err.available, gb(1.0));
+        assert!(err.to_string().contains("dram"));
+    }
+
+    #[test]
+    fn exact_fit_succeeds() {
+        let mut alloc = TieredAllocator::new();
+        let t = alloc.add_tier("hbm", gb(40.0));
+        assert!(alloc.allocate(t, gb(40.0)).is_ok());
+        assert_eq!(alloc.available(t), ByteSize::ZERO);
+        assert!(!alloc.would_fit(t, ByteSize::from_bytes(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut alloc = TieredAllocator::new();
+        let t = alloc.add_tier("x", gb(1.0));
+        let a = alloc.allocate(t, gb(0.5)).unwrap();
+        alloc.free(a);
+        alloc.free(a);
+    }
+
+    #[test]
+    fn multiple_tiers_are_independent() {
+        let mut alloc = TieredAllocator::new();
+        let a = alloc.add_tier("a", gb(1.0));
+        let b = alloc.add_tier("b", gb(2.0));
+        alloc.allocate(a, gb(1.0)).unwrap();
+        assert_eq!(alloc.available(b), gb(2.0));
+        assert_eq!(alloc.tier_name(a), "a");
+        assert_eq!(alloc.tiers().count(), 2);
+        assert_eq!(alloc.capacity(b), gb(2.0));
+    }
+}

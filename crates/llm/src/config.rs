@@ -1,0 +1,336 @@
+//! Model hyperparameters and presets.
+//!
+//! The OPT family (the paper's models) plus LLaMA-family presets used
+//! by the generalization study: grouped-query attention (GQA) shrinks
+//! the KV cache — directly moving the All-CPU batch ceiling — and the
+//! gated (SwiGLU) FFN changes the tensor list the placement
+//! algorithms walk.
+
+use simcore::units::ByteSize;
+
+/// Hyperparameters of a decoder-only transformer.
+///
+/// # Examples
+///
+/// ```
+/// use llm::ModelConfig;
+///
+/// let m = ModelConfig::opt_30b();
+/// assert_eq!(m.hidden_size(), 7168);
+/// assert_eq!(m.num_blocks(), 48);
+/// let l = ModelConfig::llama_2_70b();
+/// assert_eq!(l.num_kv_heads(), 8); // GQA
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelConfig {
+    name: String,
+    hidden_size: usize,
+    num_heads: usize,
+    num_kv_heads: usize,
+    num_blocks: usize,
+    ffn_intermediate: usize,
+    gated_ffn: bool,
+    biases: bool,
+    vocab_size: usize,
+    max_seq_len: usize,
+}
+
+impl ModelConfig {
+    /// An OPT-style configuration: multi-head attention (no GQA),
+    /// 2-matrix MLP with biases, FFN width `ffn_mult * hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hidden size is not divisible by the head count
+    /// or any dimension is zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        hidden_size: usize,
+        num_heads: usize,
+        num_blocks: usize,
+        ffn_mult: usize,
+        vocab_size: usize,
+        max_seq_len: usize,
+    ) -> Self {
+        Self::custom(
+            name,
+            hidden_size,
+            num_heads,
+            num_heads,
+            num_blocks,
+            ffn_mult * hidden_size,
+            false,
+            true,
+            vocab_size,
+            max_seq_len,
+        )
+    }
+
+    /// A fully general configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero dimensions, a hidden size not divisible by the
+    /// head count, or a head count not divisible by the KV-head count
+    /// (GQA groups must be uniform).
+    #[allow(clippy::too_many_arguments)]
+    pub fn custom(
+        name: impl Into<String>,
+        hidden_size: usize,
+        num_heads: usize,
+        num_kv_heads: usize,
+        num_blocks: usize,
+        ffn_intermediate: usize,
+        gated_ffn: bool,
+        biases: bool,
+        vocab_size: usize,
+        max_seq_len: usize,
+    ) -> Self {
+        assert!(hidden_size > 0 && num_heads > 0 && num_blocks > 0);
+        assert!(num_kv_heads > 0 && ffn_intermediate > 0);
+        assert!(vocab_size > 0 && max_seq_len > 0);
+        assert_eq!(
+            hidden_size % num_heads,
+            0,
+            "hidden size must divide evenly into heads"
+        );
+        assert_eq!(
+            num_heads % num_kv_heads,
+            0,
+            "heads must divide evenly into KV heads"
+        );
+        ModelConfig {
+            name: name.into(),
+            hidden_size,
+            num_heads,
+            num_kv_heads,
+            num_blocks,
+            ffn_intermediate,
+            gated_ffn,
+            biases,
+            vocab_size,
+            max_seq_len,
+        }
+    }
+
+    /// OPT-125M (small smoke-test model).
+    pub fn opt_125m() -> Self {
+        Self::new("OPT-125M", 768, 12, 12, 4, 50272, 2048)
+    }
+
+    /// OPT-1.3B.
+    pub fn opt_1_3b() -> Self {
+        Self::new("OPT-1.3B", 2048, 32, 24, 4, 50272, 2048)
+    }
+
+    /// OPT-6.7B.
+    pub fn opt_6_7b() -> Self {
+        Self::new("OPT-6.7B", 4096, 32, 32, 4, 50272, 2048)
+    }
+
+    /// OPT-13B.
+    pub fn opt_13b() -> Self {
+        Self::new("OPT-13B", 5120, 40, 40, 4, 50272, 2048)
+    }
+
+    /// OPT-30B: 48 decoder blocks, hidden size 7168 (paper §III-B,
+    /// §IV-B).
+    pub fn opt_30b() -> Self {
+        Self::new("OPT-30B", 7168, 56, 48, 4, 50272, 2048)
+    }
+
+    /// OPT-66B.
+    pub fn opt_66b() -> Self {
+        Self::new("OPT-66B", 9216, 72, 64, 4, 50272, 2048)
+    }
+
+    /// OPT-175B: 96 decoder blocks, hidden size 12288 (paper §III-B,
+    /// §IV-B).
+    pub fn opt_175b() -> Self {
+        Self::new("OPT-175B", 12288, 96, 96, 4, 50272, 2048)
+    }
+
+    /// LLaMA-2 7B: gated FFN, full multi-head attention, no biases.
+    pub fn llama_2_7b() -> Self {
+        Self::custom("LLaMA-2-7B", 4096, 32, 32, 32, 11008, true, false, 32000, 4096)
+    }
+
+    /// LLaMA-2 70B: gated FFN with GQA (8 KV heads).
+    pub fn llama_2_70b() -> Self {
+        Self::custom("LLaMA-2-70B", 8192, 64, 8, 80, 28672, true, false, 32000, 4096)
+    }
+
+    /// LLaMA-3 8B: gated FFN with GQA and a large vocabulary.
+    pub fn llama_3_8b() -> Self {
+        Self::custom("LLaMA-3-8B", 4096, 32, 8, 32, 14336, true, false, 128256, 8192)
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Embedding/hidden dimension.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// Attention (query) head count.
+    pub fn num_heads(&self) -> usize {
+        self.num_heads
+    }
+
+    /// KV head count (`== num_heads` without GQA).
+    pub fn num_kv_heads(&self) -> usize {
+        self.num_kv_heads
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden_size / self.num_heads
+    }
+
+    /// Width of the K/V projections (`kv_heads * head_dim`).
+    pub fn kv_dim(&self) -> usize {
+        self.num_kv_heads * self.head_dim()
+    }
+
+    /// Decoder block count.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// FFN inner width.
+    pub fn ffn_intermediate(&self) -> usize {
+        self.ffn_intermediate
+    }
+
+    /// FFN expansion factor rounded to an integer (4 for OPT).
+    pub fn ffn_mult(&self) -> usize {
+        (self.ffn_intermediate as f64 / self.hidden_size as f64).round() as usize
+    }
+
+    /// Whether the FFN is gated (SwiGLU: three matrices).
+    pub fn gated_ffn(&self) -> bool {
+        self.gated_ffn
+    }
+
+    /// Whether linear layers carry bias vectors.
+    pub fn has_biases(&self) -> bool {
+        self.biases
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// Maximum (trained) context length.
+    pub fn max_seq_len(&self) -> usize {
+        self.max_seq_len
+    }
+
+    /// FlexGen's layer count: one input-embedding layer, MHA + FFN
+    /// per block, one output-embedding layer (98 for OPT-30B, 194 for
+    /// OPT-175B — paper §III-B).
+    pub fn num_layers(&self) -> usize {
+        2 * self.num_blocks + 2
+    }
+
+    /// Total parameter count (decoder blocks + embeddings + final
+    /// norm).
+    pub fn total_params(&self) -> u64 {
+        let h = self.hidden_size as u64;
+        let kv = self.kv_dim() as u64;
+        let inter = self.ffn_intermediate as u64;
+        let mha = h * h * 2 + h * kv * 2 + if self.biases { 2 * h + 2 * kv } else { 0 };
+        let ffn_matrices = if self.gated_ffn { 3 } else { 2 };
+        let ffn = ffn_matrices * inter * h
+            + if self.biases { inter + h } else { 0 };
+        let norms = if self.biases { 4 * h } else { 2 * h };
+        let per_block = mha + ffn + norms;
+        let blocks = per_block * self.num_blocks as u64;
+        let embed = (self.vocab_size as u64 + self.max_seq_len as u64 + 2) * h;
+        let final_norm = if self.biases { 2 * h } else { h };
+        blocks + embed + final_norm
+    }
+
+    /// Total weight bytes at FP16.
+    pub fn weight_bytes_f16(&self) -> ByteSize {
+        ByteSize::from_bytes(self.total_params() * 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_presets_match_paper() {
+        let m30 = ModelConfig::opt_30b();
+        assert_eq!(m30.num_layers(), 98);
+        assert_eq!(m30.head_dim(), 128);
+        assert_eq!(m30.kv_dim(), m30.hidden_size()); // no GQA
+        let m175 = ModelConfig::opt_175b();
+        assert_eq!(m175.num_layers(), 194);
+        assert_eq!(m175.head_dim(), 128);
+        assert_eq!(m175.ffn_mult(), 4);
+    }
+
+    #[test]
+    fn parameter_counts_are_plausible() {
+        // Within 10% of the nominal model sizes.
+        let close = |m: ModelConfig, nominal: f64| {
+            let p = m.total_params() as f64;
+            assert!(
+                (p - nominal).abs() / nominal < 0.10,
+                "{}: {p} vs {nominal}",
+                m.name()
+            );
+        };
+        close(ModelConfig::opt_175b(), 175e9);
+        close(ModelConfig::opt_30b(), 30e9);
+        close(ModelConfig::opt_13b(), 13e9);
+        close(ModelConfig::llama_2_7b(), 6.7e9);
+        close(ModelConfig::llama_2_70b(), 69e9);
+        close(ModelConfig::llama_3_8b(), 8.0e9);
+    }
+
+    #[test]
+    fn opt175b_weight_footprint_exceeds_dram() {
+        // The premise of the paper: OPT-175B FP16 weights (~350 GB by
+        // exact math; 324.48 GB by the paper's accounting) outgrow
+        // 256 GB of DRAM but fit in 1 TB of Optane.
+        let bytes = ModelConfig::opt_175b().weight_bytes_f16();
+        assert!(bytes > ByteSize::from_gib(256.0));
+        assert!(bytes < ByteSize::from_gib(1024.0));
+    }
+
+    #[test]
+    fn opt30b_fits_dram_not_gpu() {
+        let bytes = ModelConfig::opt_30b().weight_bytes_f16();
+        assert!(bytes > ByteSize::from_gb(40.0), "exceeds A100 HBM");
+        assert!(bytes < ByteSize::from_gib(256.0), "fits host DRAM");
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_width() {
+        let llama = ModelConfig::llama_2_70b();
+        assert_eq!(llama.kv_dim(), llama.hidden_size() / 8);
+        assert!(llama.gated_ffn());
+        assert!(!llama.has_biases());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn indivisible_heads_rejected() {
+        let _ = ModelConfig::new("bad", 100, 7, 1, 4, 10, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "KV heads")]
+    fn indivisible_kv_groups_rejected() {
+        let _ = ModelConfig::custom("bad", 768, 12, 5, 2, 3072, false, true, 10, 10);
+    }
+}

@@ -1,0 +1,95 @@
+//! KV-cache sizing.
+//!
+//! Each decoder block caches a key and a value vector (hidden-size
+//! elements, FP16) per token per sequence. The paper's §V accounting:
+//! "the KV cache ... occupies 47.98 MB for a batch size of 1 at the
+//! maximum context length of 2048" per block (counting K or V of one
+//! block as one 48 MiB plane), totalling 4.5 GB for all of OPT-175B.
+
+use crate::config::ModelConfig;
+use simcore::units::ByteSize;
+
+/// Bytes of FP16 KV (K + V) one block caches per token per sequence.
+/// Grouped-query attention shrinks this by `heads / kv_heads`.
+pub fn kv_bytes_per_token_per_block(config: &ModelConfig) -> u64 {
+    2 * config.kv_dim() as u64 * 2
+}
+
+/// KV bytes one sequence pins across all blocks at `context_len`.
+pub fn kv_bytes_per_sequence(config: &ModelConfig, context_len: usize) -> ByteSize {
+    ByteSize::from_bytes(
+        config.num_blocks() as u64 * context_len as u64 * kv_bytes_per_token_per_block(config),
+    )
+}
+
+/// KV bytes a whole batch pins at `context_len`.
+pub fn kv_bytes_total(config: &ModelConfig, context_len: usize, batch: u32) -> ByteSize {
+    kv_bytes_per_sequence(config, context_len) * batch as u64
+}
+
+/// Hidden-state bytes one sequence carries between layers at
+/// `context_len` (prefill moves the full sequence; decode one token).
+pub fn hidden_bytes_per_sequence(config: &ModelConfig, context_len: usize) -> ByteSize {
+    ByteSize::from_bytes(context_len as u64 * config.hidden_size() as u64 * 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt175b_matches_paper_accounting() {
+        let cfg = ModelConfig::opt_175b();
+        // Paper: 47.98 MB per self-attention block at context 2048 =
+        // one 2048 x 12288 FP16 plane (K or V), i.e. 48 MiB.
+        let per_block_single_plane =
+            2048u64 * cfg.hidden_size() as u64 * 2;
+        assert!((per_block_single_plane as f64 / (1 << 20) as f64 - 48.0).abs() < 0.01);
+        // Paper: total KV footprint 4.5 GB (per-plane accounting).
+        let total_planes = ByteSize::from_bytes(per_block_single_plane * cfg.num_blocks() as u64);
+        assert!((total_planes.as_gib() - 4.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn kv_scales_linearly() {
+        let cfg = ModelConfig::opt_30b();
+        let one = kv_bytes_per_sequence(&cfg, 149);
+        let batch = kv_bytes_total(&cfg, 149, 32);
+        assert_eq!(batch, one * 32u64);
+        assert_eq!(
+            kv_bytes_per_sequence(&cfg, 298).as_u64(),
+            one.as_u64() * 2
+        );
+    }
+
+    #[test]
+    fn kv_is_orders_of_magnitude_below_weights() {
+        // Paper §V: weights are 72x the KV cache per block at b=1.
+        let cfg = ModelConfig::opt_175b();
+        let kv = kv_bytes_per_sequence(&cfg, 2048).as_f64() / cfg.num_blocks() as f64;
+        let block_weights = 12.0 * (cfg.hidden_size() as f64).powi(2) * 2.0;
+        let ratio = block_weights / (kv / 2.0); // paper counts one plane
+        assert!((ratio - 72.0).abs() < 3.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_by_the_group_factor() {
+        // LLaMA-2-70B: 64 query heads over 8 KV heads -> 8x smaller
+        // cache per token than an MHA model of the same width.
+        let llama = ModelConfig::llama_2_70b();
+        let mha_equiv = ModelConfig::custom(
+            "mha-equiv", 8192, 64, 64, 80, 28672, true, false, 32000, 4096,
+        );
+        assert_eq!(
+            kv_bytes_per_token_per_block(&mha_equiv),
+            8 * kv_bytes_per_token_per_block(&llama)
+        );
+    }
+
+    #[test]
+    fn hidden_state_is_tiny() {
+        let cfg = ModelConfig::opt_175b();
+        let h = hidden_bytes_per_sequence(&cfg, 149);
+        assert!(h < ByteSize::from_mb(4.0));
+    }
+}

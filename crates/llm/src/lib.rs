@@ -1,0 +1,41 @@
+//! # llm — transformer model descriptions and quantization
+//!
+//! Architecture-exact descriptions of the OPT model family (the
+//! paper serves OPT-30B and OPT-175B) and everything placement and
+//! cost models need to know about them:
+//!
+//! * [`config`] — model hyperparameters and presets.
+//! * [`weights`] — per-layer weight-tensor specifications in FlexGen's
+//!   declaration order. Placement fidelity depends on this order: the
+//!   paper's achieved distributions ((0,80,20) → (0,91.7,8.3)) emerge
+//!   from cumulative-midpoint allocation over exactly these lists.
+//! * [`layers`] — the layer sequence (input embedding, alternating
+//!   MHA/FFN, output embedding) with FLOP and byte accounting for
+//!   prefill and decode.
+//! * [`kv`] — KV-cache sizing.
+//! * [`quant`] — group-wise 4-bit quantization: both the *size model*
+//!   used by placement and a real bit-packing implementation with
+//!   round-trip error bounds (property-tested).
+//!
+//! # Examples
+//!
+//! ```
+//! use llm::config::ModelConfig;
+//!
+//! let opt175b = ModelConfig::opt_175b();
+//! assert_eq!(opt175b.num_blocks(), 96);
+//! assert_eq!(opt175b.hidden_size(), 12288);
+//! // 96 x 2 hidden layers + 2 embedding layers = 194 (paper §III-B).
+//! assert_eq!(opt175b.num_layers(), 194);
+//! ```
+
+pub mod config;
+pub mod kv;
+pub mod layers;
+pub mod quant;
+pub mod weights;
+
+pub use config::ModelConfig;
+pub use layers::{Layer, LayerKind};
+pub use quant::GroupQuant;
+pub use weights::{DType, WeightKind, WeightSpec};

@@ -1,0 +1,280 @@
+//! Per-layer weight-tensor specifications.
+//!
+//! The specs mirror FlexGen's OPT implementation (`flex_opt.py`): each
+//! layer owns an ordered list of named tensors, and the allocator in
+//! the serving engine walks that list computing cumulative-size
+//! midpoints (paper Listing 2). **Order matters**: the paper's
+//! achieved distributions — e.g. the output projection being the only
+//! MHA matrix to land on the GPU under (0, 80, 20) — fall out of this
+//! declaration order.
+
+use crate::config::ModelConfig;
+use simcore::units::ByteSize;
+
+/// Element type of a stored tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 16-bit floating point (FlexGen's serving default).
+    F16,
+    /// 32-bit floating point.
+    F32,
+    /// Group-wise 4-bit quantized (see [`crate::quant`]).
+    Int4Grouped,
+}
+
+impl DType {
+    /// Storage bytes for `elems` elements of this type, including
+    /// quantization metadata where applicable.
+    pub fn bytes_for(self, elems: u64) -> u64 {
+        match self {
+            DType::F16 => elems * 2,
+            DType::F32 => elems * 4,
+            DType::Int4Grouped => crate::quant::GroupQuant::default().compressed_bytes(elems),
+        }
+    }
+}
+
+/// Functional class of a weight tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightKind {
+    /// A dense projection matrix.
+    Linear,
+    /// A bias vector.
+    Bias,
+    /// Layer-norm gain/bias.
+    Norm,
+    /// Token or position embedding table.
+    Embedding,
+}
+
+/// One weight tensor of one layer.
+///
+/// # Examples
+///
+/// ```
+/// use llm::{ModelConfig, WeightSpec};
+///
+/// let specs = WeightSpec::mha_specs(&ModelConfig::opt_175b());
+/// assert_eq!(specs.len(), 10); // 4 matrices, 4 biases, 1 layernorm pair
+/// assert_eq!(specs[0].name(), "w_q");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WeightSpec {
+    name: &'static str,
+    elems: u64,
+    kind: WeightKind,
+}
+
+impl WeightSpec {
+    fn new(name: &'static str, elems: u64, kind: WeightKind) -> Self {
+        WeightSpec { name, elems, kind }
+    }
+
+    /// Tensor name (FlexGen naming).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Element count.
+    pub fn elems(&self) -> u64 {
+        self.elems
+    }
+
+    /// Functional class.
+    pub fn kind(&self) -> WeightKind {
+        self.kind
+    }
+
+    /// Storage bytes at `dtype`. Biases and norms stay FP16 under
+    /// compression (FlexGen quantizes matrices only).
+    pub fn bytes(&self, dtype: DType) -> ByteSize {
+        let effective = match (dtype, self.kind) {
+            (DType::Int4Grouped, WeightKind::Linear | WeightKind::Embedding) => {
+                DType::Int4Grouped
+            }
+            (DType::Int4Grouped, _) => DType::F16,
+            (other, _) => other,
+        };
+        ByteSize::from_bytes(effective.bytes_for(self.elems))
+    }
+
+    /// The attention layer's tensors in FlexGen order:
+    /// `w_q, b_q, w_k, b_k, w_v, b_v, w_out, b_out, w_ln, b_ln`.
+    /// Under GQA the K/V projections are `hidden x kv_dim`; bias-free
+    /// models (LLaMA family) omit the bias vectors and the norm bias.
+    pub fn mha_specs(config: &ModelConfig) -> Vec<WeightSpec> {
+        let h = config.hidden_size() as u64;
+        let kv = config.kv_dim() as u64;
+        let mut specs = Vec::with_capacity(10);
+        if config.has_biases() {
+            specs.push(WeightSpec::new("w_q", h * h, WeightKind::Linear));
+            specs.push(WeightSpec::new("b_q", h, WeightKind::Bias));
+            specs.push(WeightSpec::new("w_k", h * kv, WeightKind::Linear));
+            specs.push(WeightSpec::new("b_k", kv, WeightKind::Bias));
+            specs.push(WeightSpec::new("w_v", h * kv, WeightKind::Linear));
+            specs.push(WeightSpec::new("b_v", kv, WeightKind::Bias));
+            specs.push(WeightSpec::new("w_out", h * h, WeightKind::Linear));
+            specs.push(WeightSpec::new("b_out", h, WeightKind::Bias));
+            specs.push(WeightSpec::new("w_ln", h, WeightKind::Norm));
+            specs.push(WeightSpec::new("b_ln", h, WeightKind::Norm));
+        } else {
+            specs.push(WeightSpec::new("w_q", h * h, WeightKind::Linear));
+            specs.push(WeightSpec::new("w_k", h * kv, WeightKind::Linear));
+            specs.push(WeightSpec::new("w_v", h * kv, WeightKind::Linear));
+            specs.push(WeightSpec::new("w_out", h * h, WeightKind::Linear));
+            specs.push(WeightSpec::new("w_ln", h, WeightKind::Norm));
+        }
+        specs
+    }
+
+    /// The feed-forward layer's tensors in FlexGen order. OPT-style
+    /// MLP: `wi, bi, wo, bo, w_ln, b_ln` (`wi`: h→4h, `wo`: 4h→h).
+    /// Gated (SwiGLU): `wg, wi, wo, w_ln` with no biases.
+    pub fn ffn_specs(config: &ModelConfig) -> Vec<WeightSpec> {
+        let h = config.hidden_size() as u64;
+        let inter = config.ffn_intermediate() as u64;
+        if config.gated_ffn() {
+            let mut specs = vec![
+                WeightSpec::new("wg", inter * h, WeightKind::Linear),
+                WeightSpec::new("wi", inter * h, WeightKind::Linear),
+                WeightSpec::new("wo", inter * h, WeightKind::Linear),
+                WeightSpec::new("w_ln", h, WeightKind::Norm),
+            ];
+            if config.has_biases() {
+                specs.push(WeightSpec::new("b_ln", h, WeightKind::Norm));
+            }
+            specs
+        } else {
+            vec![
+                WeightSpec::new("wi", inter * h, WeightKind::Linear),
+                WeightSpec::new("bi", inter, WeightKind::Bias),
+                WeightSpec::new("wo", inter * h, WeightKind::Linear),
+                WeightSpec::new("bo", h, WeightKind::Bias),
+                WeightSpec::new("w_ln", h, WeightKind::Norm),
+                WeightSpec::new("b_ln", h, WeightKind::Norm),
+            ]
+        }
+    }
+
+    /// The input-embedding layer's tensors: token and position tables.
+    pub fn input_embed_specs(config: &ModelConfig) -> Vec<WeightSpec> {
+        let h = config.hidden_size() as u64;
+        vec![
+            WeightSpec::new(
+                "w_token",
+                config.vocab_size() as u64 * h,
+                WeightKind::Embedding,
+            ),
+            WeightSpec::new(
+                "w_pos",
+                (config.max_seq_len() as u64 + 2) * h,
+                WeightKind::Embedding,
+            ),
+        ]
+    }
+
+    /// The output-embedding layer's tensors: final norm + LM head
+    /// (tied to the token table in OPT, but transferred separately by
+    /// FlexGen).
+    pub fn output_embed_specs(config: &ModelConfig) -> Vec<WeightSpec> {
+        let h = config.hidden_size() as u64;
+        vec![
+            WeightSpec::new("w_ln", h, WeightKind::Norm),
+            WeightSpec::new("b_ln", h, WeightKind::Norm),
+            WeightSpec::new(
+                "w_token",
+                config.vocab_size() as u64 * h,
+                WeightKind::Embedding,
+            ),
+        ]
+    }
+
+    /// Total bytes of a spec list at `dtype`.
+    pub fn total_bytes(specs: &[WeightSpec], dtype: DType) -> ByteSize {
+        specs.iter().map(|s| s.bytes(dtype)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mha_is_one_third_of_block_weights() {
+        // MHA: 4h^2 matrices; FFN: 8h^2 -> MHA is ~1/3 of a block.
+        let cfg = ModelConfig::opt_175b();
+        let mha = WeightSpec::total_bytes(&WeightSpec::mha_specs(&cfg), DType::F16);
+        let ffn = WeightSpec::total_bytes(&WeightSpec::ffn_specs(&cfg), DType::F16);
+        let ratio = mha.as_f64() / (mha + ffn).as_f64();
+        assert!((ratio - 1.0 / 3.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn opt175b_block_size_matches_paper_scale() {
+        // Paper §V: a decoder block's weights occupy ~3.38 GB (their
+        // accounting) / 3.62 GB (exact 12 h^2 x 2 B math).
+        let cfg = ModelConfig::opt_175b();
+        let block = WeightSpec::total_bytes(&WeightSpec::mha_specs(&cfg), DType::F16)
+            + WeightSpec::total_bytes(&WeightSpec::ffn_specs(&cfg), DType::F16);
+        assert!((block.as_gb() - 3.62).abs() < 0.02, "block {block}");
+    }
+
+    #[test]
+    fn compression_quarters_matrices_but_not_norms() {
+        let cfg = ModelConfig::opt_175b();
+        let specs = WeightSpec::mha_specs(&cfg);
+        let wq = &specs[0];
+        let ratio = wq.bytes(DType::Int4Grouped).as_f64() / wq.bytes(DType::F16).as_f64();
+        assert!(
+            ratio < 0.30,
+            "matrices compress to ~28% of FP16: {ratio}"
+        );
+        let ln = specs.iter().find(|s| s.name() == "w_ln").unwrap();
+        assert_eq!(ln.bytes(DType::Int4Grouped), ln.bytes(DType::F16));
+    }
+
+    #[test]
+    fn flexgen_declaration_order_is_stable() {
+        let cfg = ModelConfig::opt_30b();
+        let names: Vec<_> = WeightSpec::mha_specs(&cfg)
+            .iter()
+            .map(|s| s.name())
+            .collect();
+        assert_eq!(
+            names,
+            ["w_q", "b_q", "w_k", "b_k", "w_v", "b_v", "w_out", "b_out", "w_ln", "b_ln"]
+        );
+        let ffn: Vec<_> = WeightSpec::ffn_specs(&cfg).iter().map(|s| s.name()).collect();
+        assert_eq!(ffn, ["wi", "bi", "wo", "bo", "w_ln", "b_ln"]);
+    }
+
+    #[test]
+    fn embeddings_dominated_by_token_table() {
+        let cfg = ModelConfig::opt_175b();
+        let specs = WeightSpec::input_embed_specs(&cfg);
+        let token = specs[0].bytes(DType::F16);
+        let pos = specs[1].bytes(DType::F16);
+        assert!(token.as_f64() / pos.as_f64() > 20.0);
+    }
+
+    #[test]
+    fn llama_specs_have_no_biases_and_three_ffn_matrices() {
+        let cfg = ModelConfig::llama_2_70b();
+        let mha = WeightSpec::mha_specs(&cfg);
+        assert!(mha.iter().all(|s| s.kind() != WeightKind::Bias));
+        // GQA: K/V projections are 8x narrower than Q.
+        let wq = mha.iter().find(|s| s.name() == "w_q").unwrap();
+        let wk = mha.iter().find(|s| s.name() == "w_k").unwrap();
+        assert_eq!(wq.elems(), 8 * wk.elems());
+        let ffn = WeightSpec::ffn_specs(&cfg);
+        let linears = ffn.iter().filter(|s| s.kind() == WeightKind::Linear).count();
+        assert_eq!(linears, 3, "SwiGLU gate+up+down");
+    }
+
+    #[test]
+    fn dtype_byte_sizes() {
+        assert_eq!(DType::F16.bytes_for(100), 200);
+        assert_eq!(DType::F32.bytes_for(100), 400);
+        assert!(DType::Int4Grouped.bytes_for(1024) < 600);
+    }
+}

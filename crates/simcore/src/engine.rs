@@ -1,0 +1,238 @@
+//! Closure-driven discrete-event executor.
+//!
+//! [`Simulator`] owns a user state `S` and an [`EventQueue`] of boxed
+//! closures. Each closure receives a [`Context`] (through which it can
+//! read the clock and schedule further events) and `&mut S`. The
+//! executor loops until the queue drains or a configured horizon is
+//! reached.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+type BoxedEvent<S> = Box<dyn FnOnce(&mut Context<S>, &mut S)>;
+
+/// Scheduling handle passed to every event closure.
+///
+/// Events cannot touch the executor directly (it is mid-iteration);
+/// instead they push follow-up events into the context, which the
+/// executor drains after the closure returns.
+pub struct Context<S> {
+    now: SimTime,
+    pending: Vec<(SimTime, BoxedEvent<S>)>,
+}
+
+impl<S> std::fmt::Debug for Context<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<S> Context<S> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, event: F)
+    where
+        F: FnOnce(&mut Context<S>, &mut S) + 'static,
+    {
+        self.pending.push((self.now + delay, Box::new(event)));
+    }
+
+    /// Schedules `event` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut Context<S>, &mut S) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.pending.push((at, Box::new(event)));
+    }
+}
+
+/// A discrete-event simulator over user state `S`.
+///
+/// # Examples
+///
+/// Count how many events fired:
+///
+/// ```
+/// use simcore::{Simulator, SimDuration};
+///
+/// let mut sim = Simulator::new(0u32);
+/// sim.schedule_in(SimDuration::from_secs(1.0), |ctx, n: &mut u32| {
+///     *n += 1;
+///     ctx.schedule_in(SimDuration::from_secs(1.0), |_, n: &mut u32| *n += 1);
+/// });
+/// assert_eq!(sim.run(), 2);
+/// ```
+pub struct Simulator<S> {
+    state: Option<S>,
+    queue: EventQueue<BoxedEvent<S>>,
+    now: SimTime,
+    fired: u64,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Simulator<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("fired", &self.fired)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl<S> Simulator<S> {
+    /// Creates a simulator owning `state`, with the clock at zero.
+    pub fn new(state: S) -> Self {
+        Simulator {
+            state: Some(state),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            fired: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, event: F)
+    where
+        F: FnOnce(&mut Context<S>, &mut S) + 'static,
+    {
+        self.queue.push(self.now + delay, Box::new(event));
+    }
+
+    /// Schedules `event` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut Context<S>, &mut S) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, Box::new(event));
+    }
+
+    /// Runs until the event queue drains, returning the final state.
+    pub fn run(mut self) -> S {
+        self.run_until(SimTime::from_secs(f64::MAX));
+        self.state.take().expect("state present")
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `horizon`; the clock never advances past `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > horizon {
+                break;
+            }
+            let (time, event) = self.queue.pop().expect("peeked");
+            debug_assert!(time >= self.now, "event queue went backwards");
+            self.now = time;
+            self.fired += 1;
+            let mut ctx = Context {
+                now: time,
+                pending: Vec::new(),
+            };
+            let state = self.state.as_mut().expect("state present");
+            event(&mut ctx, state);
+            for (at, ev) in ctx.pending {
+                self.queue.push(at, ev);
+            }
+        }
+    }
+
+    /// Shared access to the state between runs.
+    pub fn state(&self) -> &S {
+        self.state.as_ref().expect("state present")
+    }
+
+    /// Exclusive access to the state between runs.
+    pub fn state_mut(&mut self) -> &mut S {
+        self.state.as_mut().expect("state present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_order_and_chain() {
+        let mut sim = Simulator::new(Vec::new());
+        sim.schedule_in(SimDuration::from_secs(2.0), |_, log: &mut Vec<u32>| {
+            log.push(2)
+        });
+        sim.schedule_in(SimDuration::from_secs(1.0), |ctx, log: &mut Vec<u32>| {
+            log.push(1);
+            ctx.schedule_in(SimDuration::from_secs(0.5), |_, log: &mut Vec<u32>| {
+                log.push(15)
+            });
+        });
+        assert_eq!(sim.run(), vec![1, 15, 2]);
+    }
+
+    #[test]
+    fn clock_tracks_event_times() {
+        let mut sim = Simulator::new(SimTime::ZERO);
+        sim.schedule_in(SimDuration::from_secs(3.0), |ctx, seen: &mut SimTime| {
+            *seen = ctx.now();
+        });
+        let seen = sim.run();
+        assert_eq!(seen, SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulator::new(0u32);
+        for i in 1..=5 {
+            sim.schedule_in(SimDuration::from_secs(i as f64), |_, n: &mut u32| *n += 1);
+        }
+        sim.run_until(SimTime::from_secs(3.0));
+        assert_eq!(*sim.state(), 3);
+        assert_eq!(sim.now(), SimTime::from_secs(3.0));
+        sim.run_until(SimTime::from_secs(10.0));
+        assert_eq!(*sim.state(), 5);
+    }
+
+    #[test]
+    fn fired_counter_counts() {
+        let mut sim = Simulator::new(());
+        sim.schedule_in(SimDuration::ZERO, |ctx, _| {
+            ctx.schedule_in(SimDuration::ZERO, |_, _| {});
+        });
+        sim.run_until(SimTime::from_secs(1.0));
+        assert_eq!(sim.events_fired(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new(());
+        sim.schedule_in(SimDuration::from_secs(1.0), |ctx, _| {
+            ctx.schedule_at(SimTime::ZERO, |_, _| {});
+        });
+        sim.run_until(SimTime::from_secs(2.0));
+    }
+}

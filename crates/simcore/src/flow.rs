@@ -1,0 +1,264 @@
+//! Processor-sharing model of a bandwidth-limited resource.
+//!
+//! A [`FlowScheduler`] models a link (PCIe, a memory channel, a DMA
+//! engine) with a fixed capacity in bytes/second. Any number of flows
+//! may be active at once; capacity is divided among them in proportion
+//! to their weights (plain processor sharing when all weights are 1).
+//!
+//! The model is *analytic*: instead of ticking, the scheduler
+//! recomputes each flow's remaining bytes whenever the set of active
+//! flows changes, and can always report the next completion instant.
+//! The discrete-event executor uses that instant to schedule the
+//! completion event.
+
+use crate::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Identifier of an active flow within one [`FlowScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(u64);
+
+#[derive(Debug, Clone)]
+struct Flow {
+    remaining_bytes: f64,
+    weight: f64,
+}
+
+/// A shared link dividing `capacity` bytes/second among active flows.
+///
+/// # Examples
+///
+/// Two equal flows share the link, so each takes twice as long:
+///
+/// ```
+/// use simcore::{FlowScheduler, SimTime};
+///
+/// let mut link = FlowScheduler::new(100.0); // 100 B/s
+/// let t0 = SimTime::ZERO;
+/// let a = link.start(t0, 100.0, 1.0);
+/// let b = link.start(t0, 100.0, 1.0);
+/// let (t1, first) = link.next_completion(t0).unwrap();
+/// assert_eq!(t1.as_secs(), 2.0); // each gets 50 B/s
+/// link.complete(t1, first);
+/// let (t2, _) = link.next_completion(t1).unwrap();
+/// assert_eq!(t2.as_secs(), 2.0); // b finished simultaneously
+/// # let _ = (a, b);
+/// ```
+#[derive(Debug)]
+pub struct FlowScheduler {
+    capacity_bps: f64,
+    flows: HashMap<FlowId, Flow>,
+    last_update: SimTime,
+    next_id: u64,
+    total_bytes_done: f64,
+}
+
+impl FlowScheduler {
+    /// Creates a scheduler for a link with `capacity_bps` bytes/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not finite and positive.
+    pub fn new(capacity_bps: f64) -> Self {
+        assert!(
+            capacity_bps.is_finite() && capacity_bps > 0.0,
+            "invalid capacity: {capacity_bps}"
+        );
+        FlowScheduler {
+            capacity_bps,
+            flows: HashMap::new(),
+            last_update: SimTime::ZERO,
+            next_id: 0,
+            total_bytes_done: 0.0,
+        }
+    }
+
+    /// Link capacity in bytes/second.
+    pub fn capacity_bps(&self) -> f64 {
+        self.capacity_bps
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Total bytes fully drained through the link so far (progress of
+    /// still-active flows is included as of the last update).
+    pub fn total_bytes_done(&self) -> f64 {
+        self.total_bytes_done
+    }
+
+    /// Starts a new flow of `bytes` at `now` with the given `weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative/NaN, `weight` is not positive, or
+    /// `now` precedes a previous update.
+    pub fn start(&mut self, now: SimTime, bytes: f64, weight: f64) -> FlowId {
+        assert!(bytes >= 0.0 && !bytes.is_nan(), "invalid bytes: {bytes}");
+        assert!(weight > 0.0 && weight.is_finite(), "invalid weight");
+        self.advance_to(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                remaining_bytes: bytes,
+                weight,
+            },
+        );
+        id
+    }
+
+    /// The instant at which the next flow (the one with least
+    /// remaining service) will finish, together with its id; `None`
+    /// when idle. Does not mutate progress.
+    pub fn next_completion(&self, now: SimTime) -> Option<(SimTime, FlowId)> {
+        if self.flows.is_empty() {
+            return None;
+        }
+        debug_assert!(now >= self.last_update);
+        let elapsed = (now - self.last_update).as_secs();
+        let total_weight: f64 = self.flows.values().map(|f| f.weight).sum();
+        let mut best: Option<(f64, FlowId)> = None;
+        for (&id, flow) in &self.flows {
+            let share = self.capacity_bps * flow.weight / total_weight;
+            let progressed = (share * elapsed).min(flow.remaining_bytes);
+            let remaining = flow.remaining_bytes - progressed;
+            let finish_in = remaining / share;
+            let candidate = (finish_in, id);
+            best = Some(match best {
+                None => candidate,
+                Some(b) if candidate.0 < b.0 || (candidate.0 == b.0 && candidate.1 < b.1) => {
+                    candidate
+                }
+                Some(b) => b,
+            });
+        }
+        let (finish_in, id) = best.expect("non-empty");
+        Some((now + SimDuration::from_secs(finish_in.max(0.0)), id))
+    }
+
+    /// Declares `id` complete at `now`, removing it.
+    ///
+    /// The caller obtains `now` from [`FlowScheduler::next_completion`];
+    /// completing a flow early simply forfeits its remaining bytes
+    /// (used to model cancellation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not active.
+    pub fn complete(&mut self, now: SimTime, id: FlowId) {
+        self.advance_to(now);
+        let flow = self.flows.remove(&id).expect("unknown flow id");
+        // Any residue (from cancellation or float fuzz) is forfeited.
+        self.total_bytes_done += flow.remaining_bytes.max(0.0);
+    }
+
+    /// Remaining bytes of an active flow as of `now` (read-only probe).
+    pub fn remaining_bytes(&self, now: SimTime, id: FlowId) -> Option<f64> {
+        let flow = self.flows.get(&id)?;
+        let elapsed = (now - self.last_update).as_secs();
+        let total_weight: f64 = self.flows.values().map(|f| f.weight).sum();
+        let share = self.capacity_bps * flow.weight / total_weight;
+        Some((flow.remaining_bytes - share * elapsed).max(0.0))
+    }
+
+    /// Advances internal progress accounting to `now`.
+    fn advance_to(&mut self, now: SimTime) {
+        assert!(now >= self.last_update, "flow scheduler time went backwards");
+        let elapsed = (now - self.last_update).as_secs();
+        self.last_update = now;
+        if elapsed == 0.0 || self.flows.is_empty() {
+            return;
+        }
+        let total_weight: f64 = self.flows.values().map(|f| f.weight).sum();
+        for flow in self.flows.values_mut() {
+            let share = self.capacity_bps * flow.weight / total_weight;
+            let progressed = (share * elapsed).min(flow.remaining_bytes);
+            flow.remaining_bytes -= progressed;
+            self.total_bytes_done += progressed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_flow_runs_at_full_capacity() {
+        let mut link = FlowScheduler::new(1e9); // 1 GB/s
+        let id = link.start(SimTime::ZERO, 5e8, 1.0);
+        let (done, got) = link.next_completion(SimTime::ZERO).unwrap();
+        assert_eq!(got, id);
+        assert!((done.as_secs() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staggered_flows_share_fairly() {
+        // Flow A: 100 B starting at t=0. Flow B: 100 B starting at t=0.5
+        // on a 100 B/s link. A runs alone for 0.5 s (50 B), then shares
+        // at 50 B/s for its remaining 50 B -> finishes at 1.5 s. B then
+        // runs alone: 50 B remain at 1.5 s -> finishes at 2.0 s.
+        let mut link = FlowScheduler::new(100.0);
+        let a = link.start(t(0.0), 100.0, 1.0);
+        let b = link.start(t(0.5), 100.0, 1.0);
+        let (ta, fa) = link.next_completion(t(0.5)).unwrap();
+        assert_eq!(fa, a);
+        assert!((ta.as_secs() - 1.5).abs() < 1e-12);
+        link.complete(ta, a);
+        let (tb, fb) = link.next_completion(ta).unwrap();
+        assert_eq!(fb, b);
+        assert!((tb.as_secs() - 2.0).abs() < 1e-12);
+        link.complete(tb, b);
+        assert_eq!(link.active_flows(), 0);
+        assert!((link.total_bytes_done() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_bias_shares() {
+        // Weight-3 vs weight-1 on a 100 B/s link: shares are 75/25.
+        let mut link = FlowScheduler::new(100.0);
+        let heavy = link.start(t(0.0), 75.0, 3.0);
+        let _light = link.start(t(0.0), 75.0, 1.0);
+        let (th, fh) = link.next_completion(t(0.0)).unwrap();
+        assert_eq!(fh, heavy);
+        assert!((th.as_secs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remaining_bytes_probe() {
+        let mut link = FlowScheduler::new(100.0);
+        let id = link.start(t(0.0), 100.0, 1.0);
+        assert!((link.remaining_bytes(t(0.25), id).unwrap() - 75.0).abs() < 1e-12);
+        assert_eq!(link.remaining_bytes(t(0.0), FlowId(999)), None);
+    }
+
+    #[test]
+    fn idle_link_reports_none() {
+        let link = FlowScheduler::new(1.0);
+        assert!(link.next_completion(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut link = FlowScheduler::new(100.0);
+        let id = link.start(t(1.0), 0.0, 1.0);
+        let (done, got) = link.next_completion(t(1.0)).unwrap();
+        assert_eq!(got, id);
+        assert_eq!(done, t(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flow id")]
+    fn completing_unknown_flow_panics() {
+        let mut link = FlowScheduler::new(1.0);
+        link.complete(SimTime::ZERO, FlowId(7));
+    }
+}

@@ -1,0 +1,275 @@
+//! Statistic accumulators.
+//!
+//! Two flavours:
+//!
+//! * [`Accumulator`] — streaming count/mean/variance/min/max (Welford).
+//! * [`SeriesStats`] — retains all samples; implements the paper's
+//!   metric rule of reporting the arithmetic mean *discarding the
+//!   first sample* ("to account for cold start effects", §III-C), plus
+//!   percentiles.
+
+/// Streaming moments accumulator (Welford's algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use simcore::Accumulator;
+///
+/// let mut acc = Accumulator::new();
+/// for x in [1.0, 2.0, 3.0] { acc.add(x); }
+/// assert_eq!(acc.mean(), 2.0);
+/// assert_eq!(acc.count(), 3);
+/// assert_eq!(acc.min(), Some(1.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance; 0 when fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+}
+
+impl Extend<f64> for Accumulator {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut acc = Accumulator::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+/// Sample-retaining statistics with the paper's cold-start rule.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::SeriesStats;
+///
+/// let mut s = SeriesStats::new();
+/// s.extend([10.0, 2.0, 4.0]); // first sample is the cold-start outlier
+/// assert_eq!(s.mean_discard_first(), 3.0);
+/// assert_eq!(s.mean(), 16.0 / 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SeriesStats {
+    samples: Vec<f64>,
+}
+
+impl SeriesStats {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        SeriesStats {
+            samples: Vec::new(),
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, x: f64) {
+        self.samples.push(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Arithmetic mean over all samples; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// The paper's metric: arithmetic mean over all samples except the
+    /// first. Falls back to the plain mean when fewer than two samples
+    /// exist.
+    pub fn mean_discard_first(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return self.mean();
+        }
+        self.samples[1..].iter().sum::<f64>() / (self.samples.len() - 1) as f64
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+}
+
+impl Extend<f64> for SeriesStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for SeriesStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        SeriesStats {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_moments() {
+        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(acc.mean(), 5.0);
+        assert_eq!(acc.variance(), 4.0);
+        assert_eq!(acc.std_dev(), 2.0);
+        assert_eq!(acc.min(), Some(2.0));
+        assert_eq!(acc.max(), Some(9.0));
+        assert_eq!(acc.sum(), 40.0);
+    }
+
+    #[test]
+    fn empty_accumulator_is_safe() {
+        let acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.min(), None);
+        assert_eq!(acc.max(), None);
+    }
+
+    #[test]
+    fn discard_first_matches_paper_rule() {
+        let s: SeriesStats = [100.0, 1.0, 2.0, 3.0].into_iter().collect();
+        assert_eq!(s.mean_discard_first(), 2.0);
+    }
+
+    #[test]
+    fn discard_first_with_single_sample_falls_back() {
+        let s: SeriesStats = [42.0].into_iter().collect();
+        assert_eq!(s.mean_discard_first(), 42.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s: SeriesStats = (1..=5).map(|x| x as f64).collect();
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(50.0), Some(3.0));
+        assert_eq!(s.percentile(100.0), Some(5.0));
+        assert_eq!(s.percentile(25.0), Some(2.0));
+        assert_eq!(s.percentile(62.5), Some(3.5));
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        assert_eq!(SeriesStats::new().percentile(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        let s: SeriesStats = [1.0].into_iter().collect();
+        let _ = s.percentile(101.0);
+    }
+}

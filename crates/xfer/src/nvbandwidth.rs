@@ -1,0 +1,232 @@
+//! An `nvbandwidth`-style host/GPU copy-bandwidth sweep.
+//!
+//! NVIDIA's `nvbandwidth` measures memcpy bandwidth between host and
+//! device over a range of buffer sizes. The paper uses it for its
+//! Fig 3 characterization: host→GPU and GPU→host bandwidth for
+//! buffers from 256 MB to 32 GB, for DRAM, Optane-as-NUMA (NVDRAM),
+//! and Optane Memory Mode on both NUMA nodes. This module regenerates
+//! those curves from the path model.
+
+use crate::path::{Direction, HostEndpoint, PathModel, TransferRequest};
+use hetmem::device::MemoryDevice;
+use hetmem::dram::DramDevice;
+use hetmem::memmode::MemoryModeDevice;
+use hetmem::numa::NodeId;
+use hetmem::optane::OptaneDevice;
+use simcore::units::ByteSize;
+
+/// The memory kinds swept in Fig 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepMemory {
+    /// Plain DDR4 DRAM.
+    Dram,
+    /// Optane as a flat NUMA memory tier.
+    NvDram,
+    /// Optane Memory Mode.
+    MemoryMode,
+}
+
+impl SweepMemory {
+    /// All kinds, in the paper's legend order.
+    pub const ALL: [SweepMemory; 3] = [
+        SweepMemory::Dram,
+        SweepMemory::NvDram,
+        SweepMemory::MemoryMode,
+    ];
+
+    /// The paper's legend label (without the node suffix).
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepMemory::Dram => "DRAM",
+            SweepMemory::NvDram => "NVDRAM",
+            SweepMemory::MemoryMode => "MM",
+        }
+    }
+
+    fn device(self) -> Box<dyn MemoryDevice> {
+        match self {
+            SweepMemory::Dram => Box::new(DramDevice::ddr4_2933_socket()),
+            SweepMemory::NvDram => Box::new(OptaneDevice::dcpmm_200_socket()),
+            SweepMemory::MemoryMode => Box::new(MemoryModeDevice::paper_socket()),
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Memory kind.
+    pub memory: SweepMemory,
+    /// NUMA node of the host buffer.
+    pub node: usize,
+    /// Direction of the copy.
+    pub direction: Direction,
+    /// Buffer size.
+    pub buffer: ByteSize,
+    /// Measured bandwidth in GB/s.
+    pub gbps: f64,
+}
+
+impl SweepPoint {
+    /// Legend label in the paper's style, e.g. `"NVDRAM-0"`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.memory.label(), self.node)
+    }
+}
+
+/// The buffer sizes of Fig 3: powers of two from 256 MB to 32 GB.
+pub fn fig3_buffer_sizes() -> Vec<ByteSize> {
+    (0..8)
+        .map(|i| ByteSize::from_mb(256.0 * (1u64 << i) as f64))
+        .collect()
+}
+
+/// Runs the full Fig 3 sweep over `path`.
+pub fn sweep(path: &PathModel) -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for direction in [Direction::HostToGpu, Direction::GpuToHost] {
+        for memory in SweepMemory::ALL {
+            let device = memory.device();
+            for node in 0..2usize {
+                for buffer in fig3_buffer_sizes() {
+                    let req = TransferRequest {
+                        direction,
+                        bytes: buffer,
+                        working_set: None,
+                    };
+                    let ep = HostEndpoint::direct(device.as_ref(), NodeId(node));
+                    let gbps = path.effective_bandwidth(&ep, &req).as_gb_per_s();
+                    out.push(SweepPoint {
+                        memory,
+                        node,
+                        direction,
+                        buffer,
+                        gbps,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders one direction of the sweep as a fixed-width table
+/// (buffer sizes as rows, series as columns).
+pub fn to_table(points: &[SweepPoint], direction: Direction) -> String {
+    let sizes = fig3_buffer_sizes();
+    let mut series: Vec<String> = points
+        .iter()
+        .filter(|p| p.direction == direction)
+        .map(SweepPoint::label)
+        .collect();
+    series.sort();
+    series.dedup();
+    let mut out = format!("{:>10}", "buffer");
+    for s in &series {
+        out.push_str(&format!("  {s:>10}"));
+    }
+    out.push('\n');
+    for size in sizes {
+        out.push_str(&format!("{:>10}", size.to_string()));
+        for s in &series {
+            let v = points
+                .iter()
+                .find(|p| p.direction == direction && p.buffer == size && &p.label() == s)
+                .map(|p| p.gbps)
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!("  {v:>10.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<SweepPoint> {
+        sweep(&PathModel::paper_system())
+    }
+
+    fn find(
+        points: &[SweepPoint],
+        memory: SweepMemory,
+        node: usize,
+        direction: Direction,
+        buffer_gb: f64,
+    ) -> f64 {
+        points
+            .iter()
+            .find(|p| {
+                p.memory == memory
+                    && p.node == node
+                    && p.direction == direction
+                    && (p.buffer.as_gb() - buffer_gb).abs() < 1e-6
+            })
+            .map(|p| p.gbps)
+            .unwrap()
+    }
+
+    #[test]
+    fn sweep_covers_fig3_grid() {
+        // 2 directions x 3 memories x 2 nodes x 8 sizes.
+        assert_eq!(points().len(), 96);
+    }
+
+    #[test]
+    fn h2d_nvdram_suffers_and_mm_hides_it() {
+        let pts = points();
+        let dram = find(&pts, SweepMemory::Dram, 0, Direction::HostToGpu, 4.096);
+        let nv = find(&pts, SweepMemory::NvDram, 0, Direction::HostToGpu, 4.096);
+        let mm = find(&pts, SweepMemory::MemoryMode, 0, Direction::HostToGpu, 4.096);
+        // ~20% deficit at 4 GB (paper: "near constant loss of 20%").
+        let deficit = 1.0 - nv / dram;
+        assert!((deficit - 0.20).abs() < 0.03, "deficit {deficit}");
+        // MM overlaps DRAM.
+        assert!((mm - dram).abs() / dram < 0.01);
+    }
+
+    #[test]
+    fn h2d_nvdram_degrades_to_37_percent_at_32gb() {
+        let pts = points();
+        let dram = find(&pts, SweepMemory::Dram, 0, Direction::HostToGpu, 32.768);
+        let nv = find(&pts, SweepMemory::NvDram, 0, Direction::HostToGpu, 32.768);
+        let deficit = 1.0 - nv / dram;
+        assert!((deficit - 0.37).abs() < 0.04, "deficit {deficit}");
+    }
+
+    #[test]
+    fn d2h_nvdram_88_percent_below_dram() {
+        let pts = points();
+        let dram = find(&pts, SweepMemory::Dram, 1, Direction::GpuToHost, 1.024);
+        let nv = find(&pts, SweepMemory::NvDram, 1, Direction::GpuToHost, 1.024);
+        let deficit = 1.0 - nv / dram;
+        assert!((deficit - 0.88).abs() < 0.03, "deficit {deficit}");
+    }
+
+    #[test]
+    fn d2h_node_asymmetries_match_fig3b() {
+        let pts = points();
+        // NVDRAM: node 1 beats node 0.
+        let nv0 = find(&pts, SweepMemory::NvDram, 0, Direction::GpuToHost, 1.024);
+        let nv1 = find(&pts, SweepMemory::NvDram, 1, Direction::GpuToHost, 1.024);
+        assert!(nv1 > nv0);
+        // MM-1 overlaps DRAM; MM-0 sits below.
+        let dram1 = find(&pts, SweepMemory::Dram, 1, Direction::GpuToHost, 1.024);
+        let mm1 = find(&pts, SweepMemory::MemoryMode, 1, Direction::GpuToHost, 1.024);
+        let mm0 = find(&pts, SweepMemory::MemoryMode, 0, Direction::GpuToHost, 1.024);
+        assert!((mm1 - dram1).abs() / dram1 < 0.01);
+        assert!(mm0 < mm1);
+    }
+
+    #[test]
+    fn table_renders_both_directions() {
+        let pts = points();
+        let t = to_table(&pts, Direction::HostToGpu);
+        assert!(t.contains("NVDRAM-0"));
+        assert!(t.lines().count() == 9);
+        let t2 = to_table(&pts, Direction::GpuToHost);
+        assert!(t2.contains("MM-1"));
+    }
+}

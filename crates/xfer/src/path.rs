@@ -1,0 +1,425 @@
+//! Composed host↔GPU data paths.
+//!
+//! A transfer's effective bandwidth is the bottleneck of the stages it
+//! crosses: the source/destination memory device, an optional DRAM
+//! bounce buffer (storage-interfaced tiers), the PCIe link, and two
+//! NUMA/mesh effects the paper measures in Fig 3:
+//!
+//! * **Remote reads** (device on the non-GPU socket) cross UPI: mild
+//!   derate plus the UPI bandwidth cap. This is why NVDRAM-1 sits a
+//!   hair below NVDRAM-0 in Fig 3a.
+//! * **Local PCM writes** contend with inbound PCIe traffic on the
+//!   GPU socket's mesh: GPU→Optane writes to node 0 are *slower* than
+//!   to remote node 1 (Fig 3b), the opposite of textbook NUMA
+//!   locality. The model applies a mesh-contention derate to writes
+//!   into PCM-class memory on the GPU socket.
+
+use crate::pcie::{LinkDirection, PcieLink};
+use hetmem::device::{AccessKind, AccessProfile, MemoryDevice, MemoryTechnology, Staging};
+use hetmem::numa::NodeId;
+use simcore::time::SimDuration;
+use simcore::units::{Bandwidth, ByteSize};
+
+/// Derate applied to reads that cross the socket interconnect on the
+/// way to the GPU (Fig 3a: NVDRAM node-1 slightly below node-0).
+pub const REMOTE_READ_FACTOR: f64 = 0.97;
+/// Usable UPI bandwidth cap for GPU-bound traffic.
+pub const UPI_CAP_GBPS: f64 = 50.0;
+/// Derate for writes landing in PCM-class memory on the GPU's own
+/// socket, which contend with inbound PCIe traffic on the mesh
+/// (Fig 3b: NVDRAM-0 and MM-0 below NVDRAM-1/MM-1).
+pub const MESH_PCM_WRITE_CONTENTION: f64 = 0.80;
+/// Pipelining efficiency of a chunked bounce-buffer relay.
+pub const BOUNCE_PIPELINE_EFFICIENCY: f64 = 0.95;
+/// Chunk size used for bounce-buffer staging.
+pub const BOUNCE_CHUNK: ByteSize = ByteSize::from_bytes(64 << 20);
+
+/// Direction of a host/GPU transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Host memory → GPU HBM (weight loads).
+    HostToGpu,
+    /// GPU HBM → host memory (KV spills, activations).
+    GpuToHost,
+}
+
+impl Direction {
+    fn link(self) -> LinkDirection {
+        match self {
+            Direction::HostToGpu => LinkDirection::HostToDevice,
+            Direction::GpuToHost => LinkDirection::DeviceToHost,
+        }
+    }
+
+    /// The access kind this direction induces on the host device.
+    pub fn host_access(self) -> AccessKind {
+        match self {
+            Direction::HostToGpu => AccessKind::SeqRead,
+            Direction::GpuToHost => AccessKind::SeqWrite,
+        }
+    }
+}
+
+/// The host-side endpoint of a transfer.
+#[derive(Debug, Clone, Copy)]
+pub struct HostEndpoint<'a> {
+    /// The device holding (or receiving) the data.
+    pub device: &'a dyn MemoryDevice,
+    /// NUMA node the data lives on.
+    pub node: NodeId,
+    /// DRAM device used for bounce staging when the endpoint's
+    /// staging mode requires it. `None` uses a default DRAM model.
+    pub bounce_dram: Option<&'a dyn MemoryDevice>,
+}
+
+impl<'a> HostEndpoint<'a> {
+    /// An endpoint that DMAs directly (no bounce staging), regardless
+    /// of where the device would normally stage.
+    pub fn direct(device: &'a dyn MemoryDevice, node: NodeId) -> Self {
+        HostEndpoint {
+            device,
+            node,
+            bounce_dram: None,
+        }
+    }
+
+    /// An endpoint staged through the given DRAM device.
+    pub fn staged(device: &'a dyn MemoryDevice, node: NodeId, dram: &'a dyn MemoryDevice) -> Self {
+        HostEndpoint {
+            device,
+            node,
+            bounce_dram: Some(dram),
+        }
+    }
+}
+
+/// One transfer to be costed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferRequest {
+    /// Direction over PCIe.
+    pub direction: Direction,
+    /// Payload size.
+    pub bytes: ByteSize,
+    /// Long-run footprint the payload is drawn from (drives Optane
+    /// AIT thrash and Memory Mode hit rates); defaults to `bytes`.
+    pub working_set: Option<ByteSize>,
+}
+
+impl TransferRequest {
+    /// A host→GPU transfer of `bytes`.
+    pub fn host_to_gpu(bytes: ByteSize) -> Self {
+        TransferRequest {
+            direction: Direction::HostToGpu,
+            bytes,
+            working_set: None,
+        }
+    }
+
+    /// A GPU→host transfer of `bytes`.
+    pub fn gpu_to_host(bytes: ByteSize) -> Self {
+        TransferRequest {
+            direction: Direction::GpuToHost,
+            bytes,
+            working_set: None,
+        }
+    }
+
+    /// Sets the long-run footprint.
+    pub fn with_working_set(mut self, ws: ByteSize) -> Self {
+        self.working_set = Some(ws);
+        self
+    }
+}
+
+/// The platform-level path model: PCIe link + GPU attachment point.
+///
+/// # Examples
+///
+/// GPU→host writes into Optane collapse versus DRAM (paper Fig 3b):
+///
+/// ```
+/// use xfer::path::{HostEndpoint, PathModel, TransferRequest};
+/// use hetmem::{dram::DramDevice, optane::OptaneDevice, NodeId};
+/// use simcore::units::ByteSize;
+///
+/// let path = PathModel::paper_system();
+/// let dram = DramDevice::ddr4_2933_socket();
+/// let optane = OptaneDevice::dcpmm_200_socket();
+/// let req = TransferRequest::gpu_to_host(ByteSize::from_gb(1.0));
+/// let to_dram = path.effective_bandwidth(&HostEndpoint::direct(&dram, NodeId(0)), &req);
+/// let to_opt = path.effective_bandwidth(&HostEndpoint::direct(&optane, NodeId(0)), &req);
+/// assert!(to_opt.as_gb_per_s() < to_dram.as_gb_per_s() * 0.15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathModel {
+    pcie: PcieLink,
+    gpu_node: NodeId,
+    default_bounce_dram: hetmem::dram::DramDevice,
+}
+
+impl PathModel {
+    /// The paper's platform: PCIe Gen 4 x16, GPU on node 0.
+    pub fn paper_system() -> Self {
+        PathModel {
+            pcie: PcieLink::gen4_x16(),
+            gpu_node: NodeId(0),
+            default_bounce_dram: hetmem::dram::DramDevice::ddr4_2933_socket(),
+        }
+    }
+
+    /// A custom link/attachment.
+    pub fn new(pcie: PcieLink, gpu_node: NodeId) -> Self {
+        PathModel {
+            pcie,
+            gpu_node,
+            default_bounce_dram: hetmem::dram::DramDevice::ddr4_2933_socket(),
+        }
+    }
+
+    /// The PCIe link.
+    pub fn pcie(&self) -> PcieLink {
+        self.pcie
+    }
+
+    /// The node hosting the GPU's root ports.
+    pub fn gpu_node(&self) -> NodeId {
+        self.gpu_node
+    }
+
+    /// The device-side stage bandwidth (before PCIe), including NUMA
+    /// and mesh effects, blended across the device's service
+    /// components and capped per-component by the PCIe rate.
+    fn device_stage(&self, ep: &HostEndpoint<'_>, req: &TransferRequest) -> Bandwidth {
+        let remote = ep.node != self.gpu_node;
+        let profile = AccessProfile {
+            kind: req.direction.host_access(),
+            buffer: req.bytes,
+            concurrency: 1,
+            // DMA traffic does not pay the CPU-initiator remote
+            // penalty baked into device models; NUMA effects are
+            // applied here at the path level instead.
+            remote: false,
+            working_set: req.working_set,
+        };
+        let pcie_bw = self.pcie.effective(req.direction.link(), req.bytes);
+        // Source-feed derate: reads crossing UPI lose a little steam
+        // before they reach the PCIe stage (invisible when PCIe is
+        // already the bottleneck -- DRAM-0/DRAM-1 overlap in Fig 3a).
+        let feed_factor = if remote && req.direction == Direction::HostToGpu {
+            REMOTE_READ_FACTOR
+        } else {
+            1.0
+        };
+        // Mesh contention throttles the whole inbound path for writes
+        // landing in PCM-class memory on the GPU socket, so it applies
+        // after the PCIe cap (Fig 3b: MM-0 sits below MM-1 even though
+        // both are PCIe-capped on hits).
+        let mesh_factor = if !remote
+            && req.direction == Direction::GpuToHost
+            && matches!(
+                ep.device.technology(),
+                MemoryTechnology::Pcm | MemoryTechnology::PcmCached
+            ) {
+            MESH_PCM_WRITE_CONTENTION
+        } else {
+            1.0
+        };
+        let inv: f64 = ep
+            .device
+            .service_components(&profile)
+            .iter()
+            .map(|(frac, bw)| {
+                let mut capped = bw.scale(feed_factor).min(pcie_bw);
+                if remote {
+                    capped = capped.min(Bandwidth::from_gb_per_s(UPI_CAP_GBPS));
+                }
+                frac / capped.scale(mesh_factor).as_bytes_per_s()
+            })
+            .sum();
+        Bandwidth::from_bytes_per_s(1.0 / inv)
+    }
+
+    /// Effective end-to-end bandwidth for `req` at `ep`.
+    pub fn effective_bandwidth(&self, ep: &HostEndpoint<'_>, req: &TransferRequest) -> Bandwidth {
+        let device_bw = self.device_stage(ep, req);
+        match ep.device.staging() {
+            Staging::Direct => device_bw,
+            Staging::BounceBuffer => {
+                // Chunked relay through DRAM: media<->DRAM stage and
+                // DRAM<->GPU stage run pipelined; the slower stage
+                // dominates, with a pipelining efficiency factor.
+                let dram: &dyn MemoryDevice = ep
+                    .bounce_dram
+                    .unwrap_or(&self.default_bounce_dram as &dyn MemoryDevice);
+                let pcie_bw = self.pcie.effective(req.direction.link(), req.bytes);
+                let (dram_kind_a, dram_kind_b) = match req.direction {
+                    // media -> DRAM (write), DRAM -> GPU (read)
+                    Direction::HostToGpu => (AccessKind::SeqWrite, AccessKind::SeqRead),
+                    // GPU -> DRAM (write), DRAM -> media (read)
+                    Direction::GpuToHost => (AccessKind::SeqWrite, AccessKind::SeqRead),
+                };
+                let chunk_profile = |kind| AccessProfile {
+                    kind,
+                    buffer: BOUNCE_CHUNK.min(req.bytes),
+                    concurrency: 1,
+                    remote: false,
+                    working_set: req.working_set,
+                };
+                let dram_in = dram.bandwidth(&chunk_profile(dram_kind_a));
+                let dram_out = dram.bandwidth(&chunk_profile(dram_kind_b));
+                let media_stage = device_bw.min(dram_in);
+                let link_stage = pcie_bw.min(dram_out);
+                media_stage
+                    .min(link_stage)
+                    .scale(BOUNCE_PIPELINE_EFFICIENCY)
+            }
+        }
+    }
+
+    /// Wall-clock time for `req` at `ep`: DMA setup + device access
+    /// latency + payload streaming (+ one chunk fill when bounced).
+    pub fn transfer_time(&self, ep: &HostEndpoint<'_>, req: &TransferRequest) -> SimDuration {
+        let bw = self.effective_bandwidth(ep, req);
+        let mut t = self.pcie.setup_latency()
+            + ep.device
+                .idle_latency(req.direction.host_access(), ep.node != self.gpu_node)
+            + bw.time_for(req.bytes);
+        if ep.device.staging() == Staging::BounceBuffer {
+            // The relay cannot start forwarding until the first chunk
+            // lands in DRAM.
+            t += self
+                .device_stage(ep, req)
+                .time_for(BOUNCE_CHUNK.min(req.bytes));
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetmem::dram::DramDevice;
+    use hetmem::optane::OptaneDevice;
+    use hetmem::storage::StorageDevice;
+
+    fn gb(x: f64) -> ByteSize {
+        ByteSize::from_gb(x)
+    }
+
+    fn path() -> PathModel {
+        PathModel::paper_system()
+    }
+
+    #[test]
+    fn dram_h2d_hits_pcie_plateau() {
+        let dram = DramDevice::ddr4_2933_socket();
+        let bw = path().effective_bandwidth(
+            &HostEndpoint::direct(&dram, NodeId(0)),
+            &TransferRequest::host_to_gpu(gb(4.0)),
+        );
+        assert!((bw.as_gb_per_s() - 24.9).abs() < 0.2, "got {bw}");
+    }
+
+    #[test]
+    fn nvdram_h2d_matches_fig3a() {
+        let optane = OptaneDevice::dcpmm_200_socket();
+        let p = path();
+        let at4 = p.effective_bandwidth(
+            &HostEndpoint::direct(&optane, NodeId(0)),
+            &TransferRequest::host_to_gpu(gb(4.0)),
+        );
+        assert!((at4.as_gb_per_s() - 19.91).abs() < 0.25, "got {at4}");
+        let at32 = p.effective_bandwidth(
+            &HostEndpoint::direct(&optane, NodeId(0)),
+            &TransferRequest::host_to_gpu(gb(32.0)),
+        );
+        assert!((at32.as_gb_per_s() - 15.52).abs() < 0.25, "got {at32}");
+    }
+
+    #[test]
+    fn nvdram_d2h_node_asymmetry_matches_fig3b() {
+        // Writes to the GPU-local node are SLOWER than to the remote
+        // node -- the paper's counterintuitive mesh-contention result.
+        let optane = OptaneDevice::dcpmm_200_socket();
+        let p = path();
+        let req = TransferRequest::gpu_to_host(gb(1.0));
+        let node0 = p.effective_bandwidth(&HostEndpoint::direct(&optane, NodeId(0)), &req);
+        let node1 = p.effective_bandwidth(&HostEndpoint::direct(&optane, NodeId(1)), &req);
+        assert!(node1 > node0, "node1 {node1} should exceed node0 {node0}");
+        assert!((node1.as_gb_per_s() - 3.26).abs() < 0.1, "peak {node1}");
+    }
+
+    #[test]
+    fn memmode_tracks_dram_in_cache_and_degrades_thrashing() {
+        // System-level Memory Mode: 256 GB DRAM cache (both sockets).
+        let cfg = hetmem::HostMemoryConfig::memory_mode();
+        let mm = cfg.cpu_device();
+        let dram = DramDevice::ddr4_2933_socket();
+        let p = path();
+        let small = TransferRequest::host_to_gpu(gb(4.0));
+        let mm_bw = p.effective_bandwidth(&HostEndpoint::direct(mm.as_ref(), NodeId(0)), &small);
+        let dram_bw = p.effective_bandwidth(&HostEndpoint::direct(&dram, NodeId(0)), &small);
+        assert!((mm_bw.as_gb_per_s() - dram_bw.as_gb_per_s()).abs() < 0.1);
+        // With a 300 GB cyclic working set the DRAM cache thrashes.
+        let thrash = TransferRequest::host_to_gpu(gb(0.3)).with_working_set(gb(300.0));
+        let mm_thrash = p.effective_bandwidth(&HostEndpoint::direct(mm.as_ref(), NodeId(0)), &thrash);
+        assert!(mm_thrash < dram_bw.scale(0.9));
+        // ...but still beats flat Optane.
+        let optane = OptaneDevice::dcpmm_200_socket();
+        let opt_bw = p.effective_bandwidth(&HostEndpoint::direct(&optane, NodeId(0)), &thrash);
+        assert!(mm_thrash > opt_bw);
+    }
+
+    #[test]
+    fn storage_tiers_are_bounce_limited() {
+        let ssd = StorageDevice::optane_block();
+        let dax = StorageDevice::optane_fsdax();
+        let p = path();
+        let req = TransferRequest::host_to_gpu(gb(1.0));
+        let ssd_bw = p.effective_bandwidth(&HostEndpoint::direct(&ssd, NodeId(0)), &req);
+        let dax_bw = p.effective_bandwidth(&HostEndpoint::direct(&dax, NodeId(0)), &req);
+        // FSDAX ~1.5x SSD (paper: ~33% latency reduction).
+        let ratio = dax_bw.as_gb_per_s() / ssd_bw.as_gb_per_s();
+        assert!((ratio - 1.5).abs() < 0.05, "ratio {ratio}");
+        // Both far below NVDRAM.
+        assert!(dax_bw.as_gb_per_s() < 5.0);
+    }
+
+    #[test]
+    fn transfer_time_includes_fixed_costs() {
+        let dram = DramDevice::ddr4_2933_socket();
+        let p = path();
+        let t_small = p.transfer_time(
+            &HostEndpoint::direct(&dram, NodeId(0)),
+            &TransferRequest::host_to_gpu(ByteSize::from_bytes(1)),
+        );
+        assert!(t_small >= p.pcie().setup_latency());
+        let t_big = p.transfer_time(
+            &HostEndpoint::direct(&dram, NodeId(0)),
+            &TransferRequest::host_to_gpu(gb(1.0)),
+        );
+        assert!(t_big > t_small);
+    }
+
+    #[test]
+    fn bounce_adds_fill_latency() {
+        let dax = StorageDevice::optane_fsdax();
+        let dram = DramDevice::ddr4_2933_socket();
+        let p = path();
+        let req = TransferRequest::host_to_gpu(gb(1.0));
+        let t_dax = p.transfer_time(&HostEndpoint::staged(&dax, NodeId(0), &dram), &req);
+        let bw = p.effective_bandwidth(&HostEndpoint::staged(&dax, NodeId(0), &dram), &req);
+        assert!(t_dax > bw.time_for(gb(1.0)));
+    }
+
+    #[test]
+    fn remote_read_slightly_slower() {
+        let optane = OptaneDevice::dcpmm_200_socket();
+        let p = path();
+        let req = TransferRequest::host_to_gpu(gb(4.0));
+        let n0 = p.effective_bandwidth(&HostEndpoint::direct(&optane, NodeId(0)), &req);
+        let n1 = p.effective_bandwidth(&HostEndpoint::direct(&optane, NodeId(1)), &req);
+        assert!(n1 < n0);
+        assert!(n1.as_gb_per_s() / n0.as_gb_per_s() > 0.9);
+    }
+}

@@ -1,0 +1,188 @@
+//! PCIe link model.
+//!
+//! The evaluation platform pairs the A100 with 16 PCIe Gen 4 links for
+//! a theoretical 32.0 GB/s (Table I). Real DMA copies achieve less:
+//! the paper's Fig 3 DRAM curves plateau near 24.9 GB/s host-to-GPU
+//! and 26.1 GB/s GPU-to-host, and small transfers pay a setup/ramp
+//! cost before reaching the plateau.
+
+use simcore::time::SimDuration;
+use simcore::units::{Bandwidth, ByteSize};
+
+/// Plateau DMA efficiency, host-to-GPU (24.9 / 32.0, Fig 3a).
+pub const H2D_EFFICIENCY: f64 = 0.778;
+/// Plateau DMA efficiency, GPU-to-host (26.1 / 32.0, Fig 3b).
+pub const D2H_EFFICIENCY: f64 = 0.816;
+/// Message-size ramp constant: effective = plateau * s/(s + RAMP).
+pub const RAMP_BYTES: f64 = 8.0e6;
+/// Fixed DMA setup cost per transfer (driver + doorbell + engine).
+pub const DMA_SETUP_US: f64 = 12.0;
+
+/// PCI Express generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcieGen {
+    /// 8 GT/s, ~0.985 GB/s per lane.
+    Gen3,
+    /// 16 GT/s, ~1.969 GB/s per lane.
+    Gen4,
+    /// 32 GT/s, ~3.938 GB/s per lane (64 GB/s x16, §II-D).
+    Gen5,
+    /// 64 GT/s (PAM4), ~7.563 GB/s per lane (121 GB/s x16, §II-D).
+    Gen6,
+}
+
+impl PcieGen {
+    /// Theoretical per-lane payload bandwidth in GB/s.
+    pub fn per_lane_gbps(self) -> f64 {
+        match self {
+            PcieGen::Gen3 => 0.985,
+            PcieGen::Gen4 => 2.0,
+            PcieGen::Gen5 => 4.0,
+            PcieGen::Gen6 => 7.563,
+        }
+    }
+}
+
+/// Transfer direction over the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkDirection {
+    /// Host memory to GPU HBM.
+    HostToDevice,
+    /// GPU HBM to host memory.
+    DeviceToHost,
+}
+
+/// A PCIe link of a given generation and width.
+///
+/// # Examples
+///
+/// ```
+/// use xfer::pcie::{PcieGen, PcieLink, LinkDirection};
+/// use simcore::units::ByteSize;
+///
+/// let link = PcieLink::gen4_x16();
+/// assert_eq!(link.theoretical().as_gb_per_s(), 32.0);
+/// let eff = link.effective(LinkDirection::HostToDevice, ByteSize::from_gb(4.0));
+/// assert!(eff.as_gb_per_s() > 24.0 && eff.as_gb_per_s() < 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PcieLink {
+    gen: PcieGen,
+    lanes: u8,
+}
+
+impl PcieLink {
+    /// The platform's link: PCIe Gen 4 x16 (Table I).
+    pub fn gen4_x16() -> Self {
+        PcieLink {
+            gen: PcieGen::Gen4,
+            lanes: 16,
+        }
+    }
+
+    /// An arbitrary link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(gen: PcieGen, lanes: u8) -> Self {
+        assert!(lanes > 0, "lanes must be positive");
+        PcieLink { gen, lanes }
+    }
+
+    /// The link generation.
+    pub fn gen(self) -> PcieGen {
+        self.gen
+    }
+
+    /// The lane count.
+    pub fn lanes(self) -> u8 {
+        self.lanes
+    }
+
+    /// Theoretical payload bandwidth.
+    pub fn theoretical(self) -> Bandwidth {
+        Bandwidth::from_gb_per_s(self.gen.per_lane_gbps() * self.lanes as f64)
+    }
+
+    /// Achievable DMA bandwidth for a transfer of `bytes` in
+    /// `direction`, applying the direction efficiency and the
+    /// message-size ramp.
+    pub fn effective(self, direction: LinkDirection, bytes: ByteSize) -> Bandwidth {
+        let eff = match direction {
+            LinkDirection::HostToDevice => H2D_EFFICIENCY,
+            LinkDirection::DeviceToHost => D2H_EFFICIENCY,
+        };
+        let s = bytes.as_f64().max(1.0);
+        let ramp = s / (s + RAMP_BYTES);
+        self.theoretical().scale(eff * ramp)
+    }
+
+    /// Fixed setup latency for one DMA transfer.
+    pub fn setup_latency(self) -> SimDuration {
+        SimDuration::from_micros(DMA_SETUP_US)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_table() {
+        assert_eq!(PcieLink::gen4_x16().theoretical().as_gb_per_s(), 32.0);
+        assert!(
+            (PcieLink::new(PcieGen::Gen5, 16).theoretical().as_gb_per_s() - 64.0).abs() < 1e-9
+        );
+        let gen6 = PcieLink::new(PcieGen::Gen6, 16).theoretical().as_gb_per_s();
+        assert!((gen6 - 121.0).abs() < 1.0, "PCIe 6 x16 ~121 GB/s: {gen6}");
+    }
+
+    #[test]
+    fn plateau_matches_fig3() {
+        let link = PcieLink::gen4_x16();
+        let h2d = link
+            .effective(LinkDirection::HostToDevice, ByteSize::from_gb(32.0))
+            .as_gb_per_s();
+        let d2h = link
+            .effective(LinkDirection::DeviceToHost, ByteSize::from_gb(32.0))
+            .as_gb_per_s();
+        assert!((h2d - 24.9).abs() < 0.1, "H2D plateau: {h2d}");
+        assert!((d2h - 26.1).abs() < 0.1, "D2H plateau: {d2h}");
+    }
+
+    #[test]
+    fn small_transfers_ramp_up() {
+        let link = PcieLink::gen4_x16();
+        let tiny = link.effective(LinkDirection::HostToDevice, ByteSize::from_mb(1.0));
+        let big = link.effective(LinkDirection::HostToDevice, ByteSize::from_gb(1.0));
+        assert!(tiny < big);
+        // 256 MB (Fig 3's smallest point) is already within 5% of the plateau.
+        let fig3_min = link.effective(LinkDirection::HostToDevice, ByteSize::from_mb(256.0));
+        assert!(fig3_min.as_gb_per_s() / big.as_gb_per_s() > 0.95);
+    }
+
+    #[test]
+    fn d2h_slightly_faster_than_h2d() {
+        let link = PcieLink::gen4_x16();
+        let b = ByteSize::from_gb(1.0);
+        assert!(
+            link.effective(LinkDirection::DeviceToHost, b)
+                > link.effective(LinkDirection::HostToDevice, b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes")]
+    fn zero_lanes_rejected() {
+        let _ = PcieLink::new(PcieGen::Gen4, 0);
+    }
+
+    #[test]
+    fn accessors() {
+        let link = PcieLink::gen4_x16();
+        assert_eq!(link.gen(), PcieGen::Gen4);
+        assert_eq!(link.lanes(), 16);
+        assert!(link.setup_latency().as_micros() > 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Bandwidth probe: the `nvbandwidth`-style host/GPU copy sweep plus
+//! the Intel MLC-style CPU-side characterization — the paper's §IV-A
+//! toolbox over the simulated platform.
+//!
+//! ```text
+//! cargo run --example bandwidth_probe
+//! ```
+
+use hetmem::mlc;
+use hetmem::numa::NumaTopology;
+use simcore::units::ByteSize;
+use xfer::nvbandwidth::{sweep, to_table};
+use xfer::path::{Direction, PathModel};
+
+fn main() {
+    let path = PathModel::paper_system();
+    let points = sweep(&path);
+
+    println!("nvbandwidth-style sweep, host -> GPU (GB/s):");
+    print!("{}", to_table(&points, Direction::HostToGpu));
+    println!();
+    println!("nvbandwidth-style sweep, GPU -> host (GB/s):");
+    print!("{}", to_table(&points, Direction::GpuToHost));
+    println!();
+
+    println!("Intel MLC-style idle latency / bandwidth matrix:");
+    let report = mlc::run(&NumaTopology::paper_system(), ByteSize::from_gb(1.0));
+    print!("{}", report.to_table());
+}

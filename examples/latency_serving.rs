@@ -1,0 +1,66 @@
+//! Latency-sensitive serving: compare the three placement policies on
+//! every memory configuration at batch 1 and pick the best TBT — the
+//! scenario HeLM targets (paper §V-B).
+//!
+//! ```text
+//! cargo run --example latency_serving
+//! ```
+
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn main() -> Result<(), helm_core::ServeError> {
+    let model = ModelConfig::opt_175b();
+    let workload = WorkloadSpec::paper_default();
+    let policies = [
+        PlacementKind::Baseline,
+        PlacementKind::Helm,
+        PlacementKind::AllCpu,
+    ];
+
+    println!(
+        "{:<12} {:<10} {:>12} {:>12} {:>10}",
+        "memory", "placement", "TTFT(ms)", "TBT(ms)", "vs base"
+    );
+    for memory in [
+        HostMemoryConfig::dram(),
+        HostMemoryConfig::memory_mode(),
+        HostMemoryConfig::nvdram(),
+        HostMemoryConfig::fsdax(),
+    ] {
+        let mut base_tbt = None;
+        let mut best: Option<(PlacementKind, f64)> = None;
+        for placement in policies {
+            let policy = Policy::paper_default(&model, memory.kind())
+                .with_compression(true)
+                .with_placement(placement)
+                .with_batch_size(1);
+            let server = Server::new(SystemConfig::paper_platform(memory.clone()), model.clone(), policy)?;
+            let report = server.run(&workload)?;
+            let tbt = report.tbt_ms();
+            if placement == PlacementKind::Baseline {
+                base_tbt = Some(tbt);
+            }
+            let gain = base_tbt.map(|b| (1.0 - tbt / b) * 100.0).unwrap_or(0.0);
+            println!(
+                "{:<12} {:<10} {:>12.1} {:>12.1} {:>+9.1}%",
+                memory.kind().to_string(),
+                placement.to_string(),
+                report.ttft_ms(),
+                tbt,
+                gain,
+            );
+            if best.map(|(_, t)| tbt < t).unwrap_or(true) {
+                best = Some((placement, tbt));
+            }
+        }
+        let (winner, tbt) = best.expect("ran policies");
+        println!("  -> best for latency on {}: {winner} ({tbt:.1} ms)\n", memory.kind());
+    }
+    Ok(())
+}

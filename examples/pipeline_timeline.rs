@@ -1,0 +1,46 @@
+//! Visualize the compute/communication pipeline: ASCII Gantt bars of
+//! one decode pass under the baseline and HeLM placements — the
+//! textual version of the paper's Fig 8/11a overlap story.
+//!
+//! ```text
+//! cargo run --example pipeline_timeline
+//! ```
+
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn main() -> Result<(), helm_core::ServeError> {
+    let model = ModelConfig::opt_175b();
+    let workload = WorkloadSpec::paper_default();
+
+    for placement in [PlacementKind::Baseline, PlacementKind::Helm] {
+        let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::NvDram)
+            .with_compression(true)
+            .with_placement(placement)
+            .with_batch_size(1);
+        let server = Server::new(
+            SystemConfig::paper_platform(HostMemoryConfig::nvdram()),
+            model.clone(),
+            policy,
+        )?;
+        let report = server.run(&workload)?;
+        println!("=== {placement} (decode token 2, layers 1-12) ===");
+        println!("c = this layer's compute, l = next layer's weight transfer\n");
+        let timeline = report.timeline(2, 36);
+        for line in timeline.lines().skip(1).take(12) {
+            println!("{line}");
+        }
+        println!("\nTBT: {:.1} ms\n", report.tbt_ms());
+    }
+    println!(
+        "Under the baseline, every FFN transfer bar dwarfs the MHA compute\n\
+         bar it overlaps (memory-bound); HeLM moves bytes from the FFN\n\
+         transfers into the MHA ones until the bars nearly match."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: serve OPT-175B out-of-core on Optane main memory and
+//! print the paper's three key metrics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn main() -> Result<(), helm_core::ServeError> {
+    // 1. Pick a platform: the paper's dual-socket Ice Lake + A100,
+    //    with Optane DCPMM as flat main memory ("NVDRAM").
+    let memory = HostMemoryConfig::nvdram();
+    let system = SystemConfig::paper_platform(memory);
+
+    // 2. Pick a model that outgrows both GPU and DRAM.
+    let model = ModelConfig::opt_175b();
+
+    // 3. Pick a policy: FlexGen's default distribution, 4-bit
+    //    compression, HeLM placement for latency.
+    let policy = Policy::paper_default(&model, system.memory().kind())
+        .with_compression(true)
+        .with_placement(PlacementKind::Helm)
+        .with_batch_size(1);
+
+    // 4. Serve the paper's workload: 128-token prompts, 21 generated.
+    let server = Server::new(system, model, policy)?;
+    let report = server.run(&WorkloadSpec::paper_default())?;
+
+    println!("{}", report.summary());
+    println!();
+    println!("time to first token : {:>10.1} ms", report.ttft_ms());
+    println!("time between tokens : {:>10.1} ms", report.tbt_ms());
+    println!("throughput          : {:>10.3} tokens/s", report.throughput_tps());
+    let [disk, cpu, gpu] = report.achieved_distribution;
+    println!("weight distribution : disk {disk:.1}% / cpu {cpu:.1}% / gpu {gpu:.1}%");
+    Ok(())
+}

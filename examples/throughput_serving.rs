@@ -1,0 +1,84 @@
+//! Throughput-oriented serving: use the All-CPU placement, solve for
+//! the largest batch GPU memory allows, and sweep batch sizes to show
+//! the near-linear scaling the paper exploits (§V-C: 8 → 44, 5x).
+//!
+//! ```text
+//! cargo run --example throughput_serving
+//! ```
+
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn main() -> Result<(), helm_core::ServeError> {
+    let model = ModelConfig::opt_175b();
+    let workload = WorkloadSpec::paper_default();
+    let memory = HostMemoryConfig::nvdram();
+
+    // Solve for the largest serving batch under All-CPU placement.
+    let policy = Policy::paper_default(&model, memory.kind())
+        .with_compression(true)
+        .with_placement(PlacementKind::AllCpu);
+    let server = Server::new(
+        SystemConfig::paper_platform(memory.clone()),
+        model.clone(),
+        policy.clone(),
+    )?;
+    let max_batch = server.max_batch(&workload);
+    let costs = server.resident_costs(&workload);
+    println!("All-CPU on {}:", memory.kind());
+    println!("  GPU-resident weights : {}", costs.weights);
+    println!("  prefetch staging     : {}", costs.staging);
+    println!("  KV per sequence      : {}", costs.kv_per_sequence);
+    println!("  max batch            : {max_batch}");
+    println!();
+
+    // Sweep batch sizes up to the maximum.
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "batch", "TTFT(ms)", "TBT(ms)", "tok/s"
+    );
+    // Powers of two up to the limit, plus the limit itself.
+    let mut batches: Vec<u32> = std::iter::successors(Some(1u32), |b| Some(b * 2))
+        .take_while(|&b| b < max_batch)
+        .collect();
+    batches.push(max_batch);
+    let mut baseline_tps = None;
+    for &batch in &batches {
+        let server = Server::new(
+            SystemConfig::paper_platform(memory.clone()),
+            model.clone(),
+            policy.clone().with_batch_size(batch),
+        )?;
+        let report = server.run(&workload)?;
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>12.3}",
+            batch,
+            report.ttft_ms(),
+            report.tbt_ms(),
+            report.throughput_tps()
+        );
+        if batch == 1 {
+            baseline_tps = Some(report.throughput_tps());
+        }
+    }
+
+    // Run the maximum explicitly for the summary.
+    let report = Server::new(
+        SystemConfig::paper_platform(memory.clone()),
+        model,
+        policy.with_batch_size(max_batch),
+    )?
+    .run(&workload)?;
+    if let Some(b1) = baseline_tps {
+        println!(
+            "\nbatch {max_batch} achieves {:.1}x the single-request throughput",
+            report.throughput_tps() / b1
+        );
+    }
+    Ok(())
+}

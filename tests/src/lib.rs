@@ -1,0 +1,1 @@
+//! Integration-test-only crate; see the `tests/` directory for the tests.

@@ -1,0 +1,122 @@
+//! Property tests on the memory device models: monotonicity and
+//! ordering invariants that must hold for the serving results to be
+//! meaningful.
+
+use hetmem::cxl::CxlDevice;
+use hetmem::dram::DramDevice;
+use hetmem::memmode::MemoryModeDevice;
+use hetmem::optane::OptaneDevice;
+use hetmem::storage::StorageDevice;
+use hetmem::{AccessKind, AccessProfile, MemoryDevice};
+use proptest::prelude::*;
+use simcore::units::ByteSize;
+
+fn devices() -> Vec<Box<dyn MemoryDevice>> {
+    vec![
+        Box::new(DramDevice::ddr4_2933_socket()),
+        Box::new(OptaneDevice::dcpmm_200_socket()),
+        Box::new(MemoryModeDevice::paper_socket()),
+        Box::new(StorageDevice::optane_block()),
+        Box::new(StorageDevice::optane_fsdax()),
+        Box::new(CxlDevice::fpga_ddr4()),
+        Box::new(CxlDevice::asic_ddr5()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bandwidth is positive and finite for every device and profile.
+    #[test]
+    fn bandwidth_is_positive_finite(
+        buffer_mb in 1.0f64..64_000.0,
+        ws_mb in 1.0f64..1_000_000.0,
+        conc in 1u32..32,
+        kind_sel in 0u8..4,
+        remote in any::<bool>(),
+    ) {
+        let kind = [
+            AccessKind::SeqRead,
+            AccessKind::SeqWrite,
+            AccessKind::RandRead,
+            AccessKind::RandWrite,
+        ][kind_sel as usize];
+        let mut profile = AccessProfile::sequential_read(ByteSize::from_mb(buffer_mb))
+            .with_concurrency(conc)
+            .with_working_set(ByteSize::from_mb(ws_mb.max(buffer_mb)));
+        profile.kind = kind;
+        profile.remote = remote;
+        for d in devices() {
+            let bw = d.bandwidth(&profile).as_gb_per_s();
+            prop_assert!(bw.is_finite() && bw > 0.0, "{}: {bw}", d.name());
+            // Service components blend back to a consistent rate.
+            let comps = d.service_components(&profile);
+            let fsum: f64 = comps.iter().map(|(f, _)| f).sum();
+            prop_assert!((fsum - 1.0).abs() < 1e-9, "{} fractions {fsum}", d.name());
+        }
+    }
+
+    /// Sequential reads never lose to random reads; remote access
+    /// never beats local for CPU initiators.
+    #[test]
+    fn access_kind_and_locality_orderings(buffer_mb in 1.0f64..32_000.0) {
+        let buffer = ByteSize::from_mb(buffer_mb);
+        for d in devices() {
+            let seq = d.bandwidth(&AccessProfile::sequential_read(buffer));
+            let mut rand_profile = AccessProfile::sequential_read(buffer);
+            rand_profile.kind = AccessKind::RandRead;
+            prop_assert!(d.bandwidth(&rand_profile) <= seq, "{}", d.name());
+            let remote = d.bandwidth(&AccessProfile::sequential_read(buffer).remote());
+            prop_assert!(remote <= seq, "{} remote > local", d.name());
+        }
+    }
+
+    /// Optane read bandwidth is monotone non-increasing in both the
+    /// buffer size and the declared working set.
+    #[test]
+    fn optane_reads_degrade_monotonically(
+        small_mb in 1.0f64..16_000.0,
+        grow in 1.0f64..20.0,
+    ) {
+        let d = OptaneDevice::dcpmm_200_socket();
+        let small = ByteSize::from_mb(small_mb);
+        let large = ByteSize::from_mb(small_mb * grow);
+        let by_buffer_small = d.bandwidth(&AccessProfile::sequential_read(small));
+        let by_buffer_large = d.bandwidth(&AccessProfile::sequential_read(large));
+        prop_assert!(by_buffer_large <= by_buffer_small);
+        let by_ws_small =
+            d.bandwidth(&AccessProfile::sequential_read(small).with_working_set(small));
+        let by_ws_large =
+            d.bandwidth(&AccessProfile::sequential_read(small).with_working_set(large));
+        prop_assert!(by_ws_large <= by_ws_small);
+    }
+
+    /// Memory Mode sits between DRAM and derated Optane for any
+    /// working set, and its hit rate is monotone non-increasing.
+    #[test]
+    fn memmode_is_sandwiched(ws_gb in 1.0f64..2_000.0) {
+        let mm = MemoryModeDevice::paper_socket();
+        let dram = DramDevice::ddr4_2933_socket();
+        let p = AccessProfile::sequential_read(ByteSize::from_mb(256.0))
+            .with_working_set(ByteSize::from_gb(ws_gb));
+        prop_assert!(mm.bandwidth(&p) <= dram.bandwidth(&p));
+        prop_assert!(
+            mm.hit_rate(ByteSize::from_gb(ws_gb))
+                >= mm.hit_rate(ByteSize::from_gb(ws_gb * 2.0))
+        );
+    }
+
+    /// Idle latencies order by technology: DRAM < MM < Optane, and
+    /// CXL adds its hop over plain media.
+    #[test]
+    fn latency_orderings(remote in any::<bool>()) {
+        let dram = DramDevice::ddr4_2933_socket();
+        let mm = MemoryModeDevice::paper_socket();
+        let optane = OptaneDevice::dcpmm_200_socket();
+        let kind = AccessKind::RandRead;
+        prop_assert!(dram.idle_latency(kind, remote) < mm.idle_latency(kind, remote));
+        prop_assert!(mm.idle_latency(kind, remote) < optane.idle_latency(kind, remote));
+        let cxl = CxlDevice::asic_ddr5();
+        prop_assert!(cxl.idle_latency(kind, remote) > dram.idle_latency(kind, remote));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests on the shared-link schedulers: byte conservation,
+//! capacity limits, and cap enforcement under random arrival patterns.
+
+use proptest::prelude::*;
+use simcore::units::Bandwidth;
+use simcore::{FlowScheduler, SimTime};
+use xfer::link::CappedLink;
+
+#[derive(Debug, Clone)]
+struct Arrival {
+    at: f64,
+    bytes: f64,
+    cap_gbps: f64,
+}
+
+fn arrivals_strategy() -> impl Strategy<Value = Vec<Arrival>> {
+    prop::collection::vec(
+        (0.0f64..10.0, 1.0f64..5e9, 0.5f64..50.0).prop_map(|(at, bytes, cap_gbps)| Arrival {
+            at,
+            bytes,
+            cap_gbps,
+        }),
+        1..20,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Draining a FlowScheduler completes every flow, and total time
+    /// is at least total-bytes/capacity (capacity is never exceeded).
+    #[test]
+    fn flow_scheduler_conserves_and_respects_capacity(arrivals in arrivals_strategy()) {
+        let capacity = 10e9;
+        let mut link = FlowScheduler::new(capacity);
+        let mut sorted = arrivals.clone();
+        sorted.sort_by(|a, b| a.at.total_cmp(&b.at));
+        let mut now = SimTime::ZERO;
+        let mut pending = sorted.len();
+        let total_bytes: f64 = sorted.iter().map(|a| a.bytes).sum();
+        let mut iter = sorted.into_iter().peekable();
+        let mut finished = 0usize;
+        while pending > 0 || iter.peek().is_some() {
+            // Start every arrival due before the next completion.
+            let next_done = link.next_completion(now);
+            match (iter.peek(), next_done) {
+                (Some(a), Some((done, id))) => {
+                    let at = SimTime::from_secs(a.at);
+                    if at <= done {
+                        let arrival = iter.next().unwrap();
+                        now = now.max(at);
+                        link.start(now, arrival.bytes, 1.0);
+                    } else {
+                        now = done;
+                        link.complete(now, id);
+                        finished += 1;
+                        pending -= 1;
+                    }
+                }
+                (Some(_), None) => {
+                    let a = iter.next().unwrap();
+                    now = now.max(SimTime::from_secs(a.at));
+                    link.start(now, a.bytes, 1.0);
+                }
+                (None, Some((done, id))) => {
+                    now = done;
+                    link.complete(now, id);
+                    finished += 1;
+                    pending -= 1;
+                }
+                (None, None) => break,
+            }
+        }
+        prop_assert_eq!(finished, arrivals.len());
+        prop_assert!(
+            (link.total_bytes_done() - total_bytes).abs() < total_bytes * 1e-6 + 1.0
+        );
+        // The drain cannot beat the link capacity.
+        prop_assert!(
+            now.as_secs() + 1e-9 >= total_bytes / capacity,
+            "finished at {} but {} bytes need {}",
+            now.as_secs(),
+            total_bytes,
+            total_bytes / capacity
+        );
+    }
+
+    /// CappedLink: a flow never finishes earlier than bytes/cap, and
+    /// the whole batch never finishes earlier than bytes/capacity.
+    #[test]
+    fn capped_link_respects_caps_and_capacity(arrivals in arrivals_strategy()) {
+        let capacity_gbps = 25.0;
+        let mut link = CappedLink::new(Bandwidth::from_gb_per_s(capacity_gbps));
+        // Start everything at t=0 for a clean bound.
+        let mut earliest_possible: f64 = 0.0;
+        let mut total_bytes = 0.0;
+        for a in &arrivals {
+            link.start(SimTime::ZERO, a.bytes, Bandwidth::from_gb_per_s(a.cap_gbps));
+            earliest_possible = earliest_possible.max(a.bytes / (a.cap_gbps * 1e9));
+            total_bytes += a.bytes;
+        }
+        earliest_possible = earliest_possible.max(total_bytes / (capacity_gbps * 1e9));
+        let mut now = SimTime::ZERO;
+        let mut completions = 0;
+        while let Some((at, id)) = link.next_completion(now) {
+            now = at;
+            link.complete(now, id);
+            completions += 1;
+        }
+        prop_assert_eq!(completions, arrivals.len());
+        prop_assert!(
+            now.as_secs() + 1e-9 >= earliest_possible,
+            "drained in {} but lower bound is {}",
+            now.as_secs(),
+            earliest_possible
+        );
+    }
+
+    /// Water-filling never hands out more than the link capacity and
+    /// never exceeds any flow's cap.
+    #[test]
+    fn water_filling_rates_are_feasible(arrivals in arrivals_strategy()) {
+        let capacity = Bandwidth::from_gb_per_s(25.0);
+        let mut link = CappedLink::new(capacity);
+        let mut caps = Vec::new();
+        for a in &arrivals {
+            let cap = Bandwidth::from_gb_per_s(a.cap_gbps);
+            let id = link.start(SimTime::ZERO, a.bytes, cap);
+            caps.push((id, cap));
+        }
+        let rates = link.rates();
+        let total: f64 = rates.values().map(|r| r.as_bytes_per_s()).sum();
+        prop_assert!(total <= capacity.as_bytes_per_s() * (1.0 + 1e-9));
+        for (id, cap) in caps {
+            prop_assert!(rates[&id] <= cap.scale(1.0 + 1e-9));
+        }
+    }
+}

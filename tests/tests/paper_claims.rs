@@ -1,0 +1,224 @@
+//! End-to-end assertions of the paper's headline claims, exercised
+//! through the full public API stack (configs → placement → serving →
+//! metrics).
+
+use helm_core::metrics::{RunReport, Stage};
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::layers::LayerKind;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn serve(
+    model: ModelConfig,
+    memory: HostMemoryConfig,
+    placement: PlacementKind,
+    compressed: bool,
+    batch: u32,
+) -> RunReport {
+    let policy = Policy::paper_default(&model, memory.kind())
+        .with_placement(placement)
+        .with_compression(compressed)
+        .with_batch_size(batch);
+    Server::new(SystemConfig::paper_platform(memory), model, policy)
+        .expect("placement fits")
+        .run(&WorkloadSpec::paper_default())
+        .expect("batch fits")
+}
+
+fn opt175(memory: HostMemoryConfig, placement: PlacementKind, batch: u32) -> RunReport {
+    serve(ModelConfig::opt_175b(), memory, placement, true, batch)
+}
+
+/// Abstract §1: "our strategies improve latency and throughput by 27%
+/// and 5x, respectively".
+#[test]
+fn abstract_headline_improvements() {
+    let base1 = opt175(HostMemoryConfig::nvdram(), PlacementKind::Baseline, 1);
+    let helm1 = opt175(HostMemoryConfig::nvdram(), PlacementKind::Helm, 1);
+    let latency_gain = 1.0 - helm1.tbt_ms() / base1.tbt_ms();
+    assert!(
+        (0.22..=0.33).contains(&latency_gain),
+        "HeLM latency gain {latency_gain} (paper: 27%)"
+    );
+
+    let base8 = opt175(HostMemoryConfig::nvdram(), PlacementKind::Baseline, 8);
+    let all44 = opt175(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, 44);
+    let thpt_gain = all44.throughput_tps() / base8.throughput_tps();
+    assert!(
+        (4.2..=6.2).contains(&thpt_gain),
+        "All-CPU throughput gain {thpt_gain}x (paper: 5x)"
+    );
+}
+
+/// Abstract §2: "within 9% and 6% of an all-DRAM system".
+#[test]
+fn abstract_dram_proximity() {
+    let helm_nv = opt175(HostMemoryConfig::nvdram(), PlacementKind::Helm, 1);
+    let helm_dram = opt175(HostMemoryConfig::dram(), PlacementKind::Helm, 1);
+    let tbt_gap = helm_nv.tbt_ms() / helm_dram.tbt_ms() - 1.0;
+    assert!(tbt_gap < 0.12, "HeLM TBT gap to DRAM {tbt_gap} (paper: 9%)");
+
+    let all_nv = opt175(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, 44);
+    let all_dram = opt175(HostMemoryConfig::dram(), PlacementKind::AllCpu, 44);
+    let thpt_gap = 1.0 - all_nv.throughput_tps() / all_dram.throughput_tps();
+    assert!(
+        thpt_gap < 0.15,
+        "All-CPU throughput gap to DRAM {thpt_gap} (paper: 6%)"
+    );
+}
+
+/// §V-C: All-CPU keeps TBT while lifting the batch ("maintaining the
+/// same time between tokens").
+#[test]
+fn all_cpu_tbt_flat_across_batches() {
+    let b1 = opt175(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, 1);
+    let b44 = opt175(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, 44);
+    let ratio = b44.tbt_ms() / b1.tbt_ms();
+    assert!((0.95..=1.15).contains(&ratio), "TBT ratio b44/b1 {ratio}");
+}
+
+/// §IV-B ordering: SSD < FSDAX < NVDRAM < MemoryMode <= DRAM.
+#[test]
+fn memory_configurations_order_as_expected() {
+    let model = ModelConfig::opt_175b();
+    let tbt = |memory: HostMemoryConfig| {
+        serve(model.clone(), memory, PlacementKind::Baseline, false, 1).tbt_ms()
+    };
+    let ssd = tbt(HostMemoryConfig::ssd());
+    let fsdax = tbt(HostMemoryConfig::fsdax());
+    let nv = tbt(HostMemoryConfig::nvdram());
+    let mm = tbt(HostMemoryConfig::memory_mode());
+    assert!(ssd > fsdax, "SSD {ssd} should be slowest (FSDAX {fsdax})");
+    assert!(fsdax > nv, "FSDAX {fsdax} above NVDRAM {nv}");
+    assert!(nv > mm, "NVDRAM {nv} above MemoryMode {mm}");
+}
+
+/// §IV-B: FSDAX improves TTFT/TBT/throughput over SSD by ~33%/33%/35%.
+#[test]
+fn fsdax_improves_ssd_by_a_third() {
+    let model = ModelConfig::opt_175b();
+    let ssd = serve(
+        model.clone(),
+        HostMemoryConfig::ssd(),
+        PlacementKind::Baseline,
+        false,
+        1,
+    );
+    let fsdax = serve(
+        model,
+        HostMemoryConfig::fsdax(),
+        PlacementKind::Baseline,
+        false,
+        1,
+    );
+    let gain = 1.0 - fsdax.ttft_ms() / ssd.ttft_ms();
+    assert!((0.28..=0.38).contains(&gain), "FSDAX TTFT gain {gain}");
+}
+
+/// §IV-B: OPT-30B on NVDRAM pays ~33% TTFT/TBT over DRAM;
+/// MemoryMode hides it completely (weights fit the DRAM cache).
+#[test]
+fn opt30b_nvdram_penalty_and_memorymode_rescue() {
+    let model = ModelConfig::opt_30b();
+    let dram = serve(
+        model.clone(),
+        HostMemoryConfig::dram(),
+        PlacementKind::Baseline,
+        false,
+        1,
+    );
+    let nv = serve(
+        model.clone(),
+        HostMemoryConfig::nvdram(),
+        PlacementKind::Baseline,
+        false,
+        1,
+    );
+    let mm = serve(
+        model,
+        HostMemoryConfig::memory_mode(),
+        PlacementKind::Baseline,
+        false,
+        1,
+    );
+    let penalty = nv.tbt_ms() / dram.tbt_ms() - 1.0;
+    assert!((0.25..=0.40).contains(&penalty), "NVDRAM penalty {penalty}");
+    let mm_gap = (mm.tbt_ms() / dram.tbt_ms() - 1.0).abs();
+    assert!(mm_gap < 0.02, "MemoryMode should match DRAM: {mm_gap}");
+}
+
+/// §V-A: the baseline allocator misses its requested distribution.
+#[test]
+fn requested_vs_achieved_distribution() {
+    let report = opt175(HostMemoryConfig::nvdram(), PlacementKind::Baseline, 1);
+    let [disk, cpu, gpu] = report.achieved_distribution;
+    assert!(disk.abs() < 1e-6);
+    assert!((cpu - 91.7).abs() < 1.0, "cpu {cpu} (requested 80)");
+    assert!((gpu - 8.3).abs() < 1.0, "gpu {gpu} (requested 20)");
+}
+
+/// Fig 6: compression trades ~72-75% less transfer for 2.5-13x more
+/// compute, end to end.
+#[test]
+fn compression_tradeoff_end_to_end() {
+    let raw = opt175_uncompressed();
+    let comp = opt175(HostMemoryConfig::nvdram(), PlacementKind::Baseline, 1);
+    let xfer_cut = 1.0
+        - comp.avg_hidden_weight_transfer(Stage::Decode).as_secs()
+            / raw.avg_hidden_weight_transfer(Stage::Decode).as_secs();
+    assert!((0.65..=0.80).contains(&xfer_cut), "transfer cut {xfer_cut}");
+    let comp_blowup = comp.avg_hidden_compute(Stage::Decode).as_secs()
+        / raw.avg_hidden_compute(Stage::Decode).as_secs();
+    assert!(
+        (2.5..=13.0).contains(&comp_blowup),
+        "compute blow-up {comp_blowup}"
+    );
+    // Net effect is still a large win on NVDRAM.
+    assert!(comp.tbt_ms() < raw.tbt_ms());
+}
+
+fn opt175_uncompressed() -> RunReport {
+    serve(
+        ModelConfig::opt_175b(),
+        HostMemoryConfig::nvdram(),
+        PlacementKind::Baseline,
+        false,
+        1,
+    )
+}
+
+/// Fig 11a: HeLM halves FFN transfer time and raises MHA transfer,
+/// and the raised MHA transfer hides behind FFN compute.
+#[test]
+fn helm_rebalances_the_pipeline() {
+    let base = opt175(HostMemoryConfig::nvdram(), PlacementKind::Baseline, 1);
+    let helm = opt175(HostMemoryConfig::nvdram(), PlacementKind::Helm, 1);
+    let stage = Stage::Decode;
+    let ffn_cut = 1.0
+        - helm.avg_weight_transfer(stage, LayerKind::Ffn).as_secs()
+            / base.avg_weight_transfer(stage, LayerKind::Ffn).as_secs();
+    assert!((0.45..=0.55).contains(&ffn_cut), "FFN cut {ffn_cut}");
+    let mha_rise = helm.avg_weight_transfer(stage, LayerKind::Mha).as_secs()
+        / base.avg_weight_transfer(stage, LayerKind::Mha).as_secs()
+        - 1.0;
+    assert!((0.25..=0.40).contains(&mha_rise), "MHA rise {mha_rise}");
+    // The increased MHA load stays below FFN compute: fully hidden.
+    assert!(
+        helm.avg_weight_transfer(stage, LayerKind::Mha)
+            < helm.avg_compute(stage, LayerKind::Ffn)
+    );
+}
+
+/// Fig 4e/4f: throughput scales nearly linearly with batch while
+/// decode stays memory-bound.
+#[test]
+fn batching_scales_throughput() {
+    let b1 = opt175(HostMemoryConfig::nvdram(), PlacementKind::Baseline, 1);
+    let b8 = opt175(HostMemoryConfig::nvdram(), PlacementKind::Baseline, 8);
+    let scale = b8.throughput_tps() / b1.throughput_tps();
+    assert!((6.5..=8.2).contains(&scale), "b8/b1 throughput {scale}");
+}

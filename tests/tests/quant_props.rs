@@ -1,0 +1,78 @@
+//! Property tests on the group-wise quantizer: round-trip error
+//! bounds, size accounting, idempotence.
+
+use llm::quant::GroupQuant;
+use proptest::prelude::*;
+
+fn data_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e4f32..1e4, 0..600)
+}
+
+fn config_strategy() -> impl Strategy<Value = GroupQuant> {
+    (1u8..=8, 1usize..=128).prop_map(|(bits, group)| GroupQuant::new(bits, group))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reconstruction error never exceeds half a quantization step.
+    #[test]
+    fn round_trip_error_bounded(data in data_strategy(), q in config_strategy()) {
+        let t = q.quantize(&data);
+        let back = q.dequantize(&t);
+        prop_assert_eq!(back.len(), data.len());
+        let bound = t.max_error() * (1.0 + 1e-5) + 1e-6;
+        for (i, (a, b)) in data.iter().zip(&back).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= bound,
+                "elem {i}: {a} vs {b}, bound {bound}"
+            );
+        }
+    }
+
+    /// Packed storage matches the analytic size model exactly.
+    #[test]
+    fn storage_matches_size_model(data in data_strategy(), q in config_strategy()) {
+        let t = q.quantize(&data);
+        prop_assert_eq!(
+            t.storage_bytes() as u64,
+            q.compressed_bytes(data.len() as u64)
+        );
+    }
+
+    /// Quantization is idempotent: re-quantizing the dequantized
+    /// values reproduces them exactly (values are already on grid).
+    #[test]
+    fn quantization_is_idempotent(data in data_strategy(), q in config_strategy()) {
+        let once = q.dequantize(&q.quantize(&data));
+        let twice = q.dequantize(&q.quantize(&once));
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() <= t_eps(*a), "{a} vs {b}");
+        }
+    }
+
+    /// More bits never increase the worst-case error.
+    #[test]
+    fn more_bits_never_hurt(data in data_strategy(), group in 1usize..=128) {
+        let mut last = f32::INFINITY;
+        for bits in [2u8, 4, 8] {
+            let e = GroupQuant::new(bits, group).quantize(&data).max_error();
+            prop_assert!(e <= last * (1.0 + 1e-5) + 1e-6, "bits {bits}: {e} > {last}");
+            last = e;
+        }
+    }
+
+    /// The 4-bit/64-group size model stays near a quarter of FP16 for
+    /// any large tensor.
+    #[test]
+    fn default_ratio_near_quarter(elems in 1024u64..10_000_000) {
+        let ratio = GroupQuant::default().compressed_bytes(elems) as f64 / (elems * 2) as f64;
+        prop_assert!((0.25..0.30).contains(&ratio), "ratio {ratio}");
+    }
+}
+
+/// Tolerance for float re-encode comparisons: one part in 1e5 of
+/// magnitude (grid values re-encode to themselves up to fp rounding).
+fn t_eps(x: f32) -> f32 {
+    x.abs() * 1e-4 + 1e-5
+}

@@ -1,0 +1,179 @@
+//! Exhaustive serving-matrix smoke tests: every sensible
+//! (model, memory, placement, compression, batch) combination builds,
+//! runs, and reports sane metrics — plus cross-cutting monotonicity.
+
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use helm_core::ServeError;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use workload::WorkloadSpec;
+
+fn configs() -> Vec<HostMemoryConfig> {
+    vec![
+        HostMemoryConfig::dram(),
+        HostMemoryConfig::nvdram(),
+        HostMemoryConfig::memory_mode(),
+        HostMemoryConfig::ssd(),
+        HostMemoryConfig::fsdax(),
+        HostMemoryConfig::cxl_fpga(),
+        HostMemoryConfig::cxl_asic(),
+    ]
+}
+
+fn try_serve(
+    model: &ModelConfig,
+    memory: HostMemoryConfig,
+    placement: PlacementKind,
+    compressed: bool,
+    batch: u32,
+) -> Result<helm_core::RunReport, ServeError> {
+    let policy = Policy::paper_default(model, memory.kind())
+        .with_placement(placement)
+        .with_compression(compressed)
+        .with_batch_size(batch);
+    Server::new(SystemConfig::paper_platform(memory), model.clone(), policy)?
+        .run(&WorkloadSpec::paper_default())
+}
+
+#[test]
+fn every_viable_combination_serves_sanely() {
+    let models = [ModelConfig::opt_6_7b(), ModelConfig::opt_30b(), ModelConfig::opt_175b()];
+    let mut ran = 0;
+    let mut rejected = 0;
+    for model in &models {
+        for memory in configs() {
+            for placement in [
+                PlacementKind::Baseline,
+                PlacementKind::Helm,
+                PlacementKind::AllCpu,
+            ] {
+                for compressed in [false, true] {
+                    match try_serve(model, memory.clone(), placement, compressed, 1) {
+                        Ok(report) => {
+                            ran += 1;
+                            assert!(report.ttft_ms() > 0.0, "{}", report.summary());
+                            assert!(report.tbt_ms() > 0.0, "{}", report.summary());
+                            assert!(
+                                report.throughput_tps() > 0.0 && report.throughput_tps() < 1e5,
+                                "{}",
+                                report.summary()
+                            );
+                            assert!(report.total_time >= report.ttft);
+                            let sum: f64 = report.achieved_distribution.iter().sum();
+                            assert!((sum - 100.0).abs() < 1e-6);
+                        }
+                        Err(e) => {
+                            rejected += 1;
+                            // Rejections must be capacity-shaped, not
+                            // internal failures.
+                            assert!(
+                                matches!(
+                                    e,
+                                    ServeError::CapacityExceeded { .. } | ServeError::NoDiskTier
+                                ),
+                                "unexpected rejection: {e}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(ran >= 80, "only {ran} combinations served ({rejected} rejected)");
+    // OPT-175B uncompressed on DRAM must be among the rejections.
+    assert!(rejected >= 1);
+}
+
+#[test]
+fn tbt_is_monotone_in_host_bandwidth() {
+    // Faster host memory never hurts: DRAM <= MM <= NVDRAM <= FSDAX <= SSD.
+    let model = ModelConfig::opt_175b();
+    let order = [
+        HostMemoryConfig::dram(),
+        HostMemoryConfig::memory_mode(),
+        HostMemoryConfig::nvdram(),
+        HostMemoryConfig::fsdax(),
+        HostMemoryConfig::ssd(),
+    ];
+    let mut last = 0.0;
+    for memory in order {
+        let label = memory.kind().to_string();
+        let tbt = try_serve(&model, memory, PlacementKind::Baseline, true, 1)
+            .expect("serves")
+            .tbt_ms();
+        assert!(tbt >= last, "{label}: {tbt} < {last}");
+        last = tbt;
+    }
+}
+
+#[test]
+fn larger_models_are_slower() {
+    let mut last = 0.0;
+    for model in [ModelConfig::opt_6_7b(), ModelConfig::opt_13b(), ModelConfig::opt_30b()] {
+        let tbt = try_serve(
+            &model,
+            HostMemoryConfig::nvdram(),
+            PlacementKind::Baseline,
+            false,
+            1,
+        )
+        .expect("serves")
+        .tbt_ms();
+        assert!(tbt > last, "{}: {tbt}", model.name());
+        last = tbt;
+    }
+}
+
+#[test]
+fn ttft_grows_with_prompt_length() {
+    let model = ModelConfig::opt_30b();
+    let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::Dram)
+        .with_batch_size(16);
+    let server = Server::new(
+        SystemConfig::paper_platform(HostMemoryConfig::dram()),
+        model,
+        policy,
+    )
+    .unwrap();
+    let mut last = 0.0;
+    for prompt in [128usize, 512, 1024] {
+        let ws = WorkloadSpec::new(prompt, 8, 1);
+        let report = server.run(&ws).expect("serves");
+        assert!(
+            report.ttft_ms() >= last,
+            "prompt {prompt}: {} < {last}",
+            report.ttft_ms()
+        );
+        last = report.ttft_ms();
+    }
+}
+
+#[test]
+fn longer_generation_increases_total_time_not_tbt() {
+    let model = ModelConfig::opt_30b();
+    let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::Dram);
+    let server = Server::new(
+        SystemConfig::paper_platform(HostMemoryConfig::dram()),
+        model,
+        policy,
+    )
+    .unwrap();
+    let short = server.run(&WorkloadSpec::new(128, 8, 1)).unwrap();
+    let long = server.run(&WorkloadSpec::new(128, 32, 1)).unwrap();
+    assert!(long.total_time > short.total_time);
+    let drift = (long.tbt_ms() / short.tbt_ms() - 1.0).abs();
+    assert!(drift < 0.05, "TBT drifted {drift} with generation length");
+}
+
+#[test]
+fn deterministic_reports() {
+    let model = ModelConfig::opt_175b();
+    let a = try_serve(&model, HostMemoryConfig::nvdram(), PlacementKind::Helm, true, 4).unwrap();
+    let b = try_serve(&model, HostMemoryConfig::nvdram(), PlacementKind::Helm, true, 4).unwrap();
+    assert_eq!(a.ttft, b.ttft);
+    assert_eq!(a.tbt.samples(), b.tbt.samples());
+    assert_eq!(a.records.len(), b.records.len());
+}
