@@ -17,11 +17,11 @@ fn bench_devices(c: &mut Criterion) {
     let mut group = c.benchmark_group("device/bandwidth-query");
     let optane = OptaneDevice::dcpmm_200_socket();
     group.bench_with_input(BenchmarkId::from_parameter("optane"), &optane, |b, d| {
-        b.iter(|| d.bandwidth(black_box(&profile)))
+        b.iter(|| d.bandwidth(black_box(&profile)));
     });
     let mm = MemoryModeDevice::paper_socket();
     group.bench_with_input(BenchmarkId::from_parameter("memmode"), &mm, |b, d| {
-        b.iter(|| d.bandwidth(black_box(&profile)))
+        b.iter(|| d.bandwidth(black_box(&profile)));
     });
     group.finish();
 
@@ -30,21 +30,21 @@ fn bench_devices(c: &mut Criterion) {
         .with_working_set(ByteSize::from_gb(300.0));
     c.bench_function("path/effective-bandwidth", |b| {
         let ep = HostEndpoint::direct(&optane, NodeId(0));
-        b.iter(|| path.effective_bandwidth(black_box(&ep), black_box(&req)))
+        b.iter(|| path.effective_bandwidth(black_box(&ep), black_box(&req)));
     });
     c.bench_function("path/transfer-time", |b| {
         let ep = HostEndpoint::direct(&optane, NodeId(0));
-        b.iter(|| path.transfer_time(black_box(&ep), black_box(&req)))
+        b.iter(|| path.transfer_time(black_box(&ep), black_box(&req)));
     });
 
     let mut group = c.benchmark_group("sweeps");
     group.sample_size(20);
     group.bench_function("nvbandwidth-fig3", |b| {
-        b.iter(|| nvbandwidth::sweep(black_box(&path)))
+        b.iter(|| nvbandwidth::sweep(black_box(&path)));
     });
     group.bench_function("mlc-matrix", |b| {
         let topo = hetmem::numa::NumaTopology::paper_system();
-        b.iter(|| hetmem::mlc::run(black_box(&topo), ByteSize::from_gb(1.0)))
+        b.iter(|| hetmem::mlc::run(black_box(&topo), ByteSize::from_gb(1.0)));
     });
     group.finish();
 }

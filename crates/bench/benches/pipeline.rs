@@ -35,7 +35,7 @@ fn bench_pipeline(c: &mut Criterion) {
     ] {
         let s = server(model, PlacementKind::Baseline, 1);
         group.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, s| {
-            b.iter(|| s.run_unchecked(black_box(&workload)))
+            b.iter(|| s.run_unchecked(black_box(&workload)));
         });
     }
     group.finish();
@@ -49,22 +49,24 @@ fn bench_pipeline(c: &mut Criterion) {
     ] {
         let s = server(ModelConfig::opt_175b(), kind, 1);
         group.bench_with_input(BenchmarkId::from_parameter(kind), &s, |b, s| {
-            b.iter(|| s.run_unchecked(black_box(&workload)))
+            b.iter(|| s.run_unchecked(black_box(&workload)));
         });
     }
     group.finish();
 
     c.bench_function("pipeline/max-batch-solve", |b| {
         let s = server(ModelConfig::opt_175b(), PlacementKind::AllCpu, 1);
-        b.iter(|| s.max_batch(black_box(&workload)))
+        b.iter(|| s.max_batch(black_box(&workload)));
     });
 
     let mut group = c.benchmark_group("pipeline/des-vs-analytic");
     group.sample_size(20);
     let s = server(ModelConfig::opt_175b(), PlacementKind::AllCpu, 8);
-    group.bench_function("analytic", |b| b.iter(|| s.run_unchecked(black_box(&workload))));
+    group.bench_function("analytic", |b| {
+        b.iter(|| s.run_unchecked(black_box(&workload)));
+    });
     group.bench_function("des", |b| {
-        b.iter(|| s.run_des(black_box(&workload)).expect("fits"))
+        b.iter(|| s.run_des(black_box(&workload)).expect("fits"));
     });
     group.finish();
 
@@ -81,7 +83,7 @@ fn bench_pipeline(c: &mut Criterion) {
                 helm_core::autoplace::Objective::Latency,
             )
             .expect("search succeeds")
-        })
+        });
     });
     group.finish();
 }

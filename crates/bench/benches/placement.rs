@@ -18,11 +18,9 @@ fn bench_placement(c: &mut Criterion) {
         let policy = Policy::paper_default(&model, MemoryConfigKind::NvDram)
             .with_placement(kind)
             .with_compression(true);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind),
-            &policy,
-            |b, policy| b.iter(|| ModelPlacement::compute(black_box(&model), black_box(policy))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &policy, |b, policy| {
+            b.iter(|| ModelPlacement::compute(black_box(&model), black_box(policy)));
+        });
     }
     group.finish();
 
@@ -30,10 +28,10 @@ fn bench_placement(c: &mut Criterion) {
     let policy = Policy::paper_default(&model, MemoryConfigKind::NvDram).with_compression(true);
     let placement = ModelPlacement::compute(&model, &policy);
     group.bench_function("achieved_distribution", |b| {
-        b.iter(|| black_box(&placement).achieved_distribution())
+        b.iter(|| black_box(&placement).achieved_distribution());
     });
     group.bench_function("staging_bytes", |b| {
-        b.iter(|| black_box(&placement).staging_bytes())
+        b.iter(|| black_box(&placement).staging_bytes());
     });
     group.finish();
 }

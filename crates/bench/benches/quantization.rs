@@ -8,11 +8,13 @@ fn bench_quant(c: &mut Criterion) {
     let sizes = [4 << 10, 256 << 10, 4 << 20];
     let mut group = c.benchmark_group("quant/quantize");
     for &n in &sizes {
-        let data: Vec<f32> = (0..n).map(|i| ((i * 2654435761usize) % 997) as f32).collect();
+        let data: Vec<f32> = (0..n)
+            .map(|i| ((i * 2654435761usize) % 997) as f32)
+            .collect();
         let q = GroupQuant::default();
         group.throughput(Throughput::Bytes((n * 4) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
-            b.iter(|| q.quantize(black_box(data)))
+            b.iter(|| q.quantize(black_box(data)));
         });
     }
     group.finish();
@@ -24,14 +26,14 @@ fn bench_quant(c: &mut Criterion) {
         let t = q.quantize(&data);
         group.throughput(Throughput::Bytes((n * 4) as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
-            b.iter(|| q.dequantize(black_box(t)))
+            b.iter(|| q.dequantize(black_box(t)));
         });
     }
     group.finish();
 
     c.bench_function("quant/size-model", |b| {
         let q = GroupQuant::default();
-        b.iter(|| q.compressed_bytes(black_box(150_994_944)))
+        b.iter(|| q.compressed_bytes(black_box(150_994_944)));
     });
 }
 

@@ -31,10 +31,14 @@ fn main() {
         section(&format!("latency objective on {}", memory.kind()));
         let mut rows = Vec::new();
         for kind in [PlacementKind::Baseline, PlacementKind::Helm] {
-            let report = Server::new(system.clone(), model.clone(), policy.clone().with_placement(kind))
-                .expect("fits")
-                .run(&workload)
-                .expect("serves");
+            let report = Server::new(
+                system.clone(),
+                model.clone(),
+                policy.clone().with_placement(kind),
+            )
+            .expect("fits")
+            .run(&workload)
+            .expect("serves");
             rows.push((kind.to_string(), vec![report.tbt_ms(), f64::NAN, f64::NAN]));
         }
         let auto = optimize(&system, &model, &policy, &workload, Objective::Latency)
@@ -53,7 +57,10 @@ fn main() {
         let allcpu = Server::new(
             system.clone(),
             model.clone(),
-            policy.clone().with_placement(PlacementKind::AllCpu).with_batch_size(44),
+            policy
+                .clone()
+                .with_placement(PlacementKind::AllCpu)
+                .with_batch_size(44),
         )
         .expect("fits")
         .run(&workload)
@@ -71,7 +78,7 @@ fn main() {
                     "auto".to_owned(),
                     vec![
                         auto_t.report.throughput_tps(),
-                        auto_t.batch as f64,
+                        f64::from(auto_t.batch),
                         auto_t.ffn_gpu_percent,
                     ],
                 ),

@@ -56,12 +56,18 @@ fn main() {
             let server = Server::new(
                 system.clone(),
                 model.clone(),
-                base_policy.clone().with_batch_size(batch).with_kv_offload(true),
+                base_policy
+                    .clone()
+                    .with_batch_size(batch)
+                    .with_kv_offload(true),
             )
             .expect("fits");
             let max = server.max_batch(&workload);
             if batch > max {
-                rows.push((format!("offloaded KV, b={batch}"), vec![f64::NAN, f64::NAN, f64::NAN]));
+                rows.push((
+                    format!("offloaded KV, b={batch}"),
+                    vec![f64::NAN, f64::NAN, f64::NAN],
+                ));
                 continue;
             }
             let report = server.run(&workload).expect("serves");
@@ -89,17 +95,18 @@ fn main() {
     )
     .expect("fits");
     let report = server.run(&workload).expect("serves");
-    let write_rate = report.total_d2h_bytes().as_f64() / report.total_time.as_secs();
-    let optane = hetmem::optane::OptaneDevice::with_capacity(
-        simcore::units::ByteSize::from_gib(1024.0),
+    let write_rate = simcore::units::Bandwidth::from_bytes_per_s(
+        report.total_d2h_bytes().as_f64() / report.total_time.as_secs(),
     );
+    let optane =
+        hetmem::optane::OptaneDevice::with_capacity(simcore::units::ByteSize::from_tib(1.0));
     println!(
         "sustained KV write-back: {:.2} GB/s -> rated module endurance\n\
          consumed in {:.0} years (paper SS II-C: PCM write endurance is a\n\
          real budget, but serving-scale KV write-back does not threaten it;\n\
          bandwidth, not wear, is the binding constraint).",
-        write_rate / 1e9,
-        optane.endurance_years(write_rate),
+        write_rate.as_gb_per_s(),
+        optane.endurance_years(write_rate.as_bytes_per_s()),
     );
     println!(
         "\nReading: on DRAM the write-back is cheap and giant batches win;\n\

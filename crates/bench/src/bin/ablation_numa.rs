@@ -60,8 +60,16 @@ fn main() {
     for (label, weight_node, kv_node) in [
         ("all GPU-local", NodePolicy::GpuLocal, NodePolicy::GpuLocal),
         ("all remote", NodePolicy::Remote, NodePolicy::Remote),
-        ("weights local / KV remote", NodePolicy::GpuLocal, NodePolicy::Remote),
-        ("weights local / KV interleaved", NodePolicy::GpuLocal, NodePolicy::Interleaved),
+        (
+            "weights local / KV remote",
+            NodePolicy::GpuLocal,
+            NodePolicy::Remote,
+        ),
+        (
+            "weights local / KV interleaved",
+            NodePolicy::GpuLocal,
+            NodePolicy::Interleaved,
+        ),
     ] {
         let r = run_split(weight_node, kv_node, true, 128);
         rows.push((label.to_owned(), vec![r.tbt_ms(), r.throughput_tps()]));

@@ -29,10 +29,7 @@ fn main() {
         .with_batch_size(1);
 
     // HeLM's GPU residency sets the byte budget to match.
-    let helm = ModelPlacement::compute(
-        &model,
-        &policy.clone().with_placement(PlacementKind::Helm),
-    );
+    let helm = ModelPlacement::compute(&model, &policy.clone().with_placement(PlacementKind::Helm));
     let budget = helm.total_on(Tier::Gpu);
     // Find the pinned-prefix count with the closest GPU residency.
     let mut pinned_blocks = 0;
@@ -50,7 +47,10 @@ fn main() {
         &["placement", "GPU bytes (GB)", "host bytes (GB)"],
         &[
             (
-                format!("HeLM (FC1 + small tensors, all {} blocks)", model.num_blocks()),
+                format!(
+                    "HeLM (FC1 + small tensors, all {} blocks)",
+                    model.num_blocks()
+                ),
                 vec![
                     helm.total_on(Tier::Gpu).as_gb(),
                     helm.total_on(Tier::Cpu).as_gb(),
@@ -90,9 +90,18 @@ fn main() {
     print_table(
         &["placement", "TTFT(ms)", "TBT(ms)"],
         &[
-            ("baseline (percent split)".to_owned(), vec![baseline.ttft_ms(), baseline.tbt_ms()]),
-            ("pinned prefix".to_owned(), vec![pinned_run.ttft_ms(), pinned_run.tbt_ms()]),
-            ("HeLM".to_owned(), vec![helm_run.ttft_ms(), helm_run.tbt_ms()]),
+            (
+                "baseline (percent split)".to_owned(),
+                vec![baseline.ttft_ms(), baseline.tbt_ms()],
+            ),
+            (
+                "pinned prefix".to_owned(),
+                vec![pinned_run.ttft_ms(), pinned_run.tbt_ms()],
+            ),
+            (
+                "HeLM".to_owned(),
+                vec![helm_run.ttft_ms(), helm_run.tbt_ms()],
+            ),
         ],
     );
     let gap = pinned_run.tbt_ms() / helm_run.tbt_ms();

@@ -11,8 +11,8 @@
 
 use bench::{print_table, run_serving, section};
 use helm_core::placement::PlacementKind;
-use hetmem::HostMemoryConfig;
 use hetmem::AccessProfile;
+use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use simcore::units::ByteSize;
 use workload::WorkloadSpec;
@@ -45,8 +45,15 @@ fn main() {
         HostMemoryConfig::memory_mode(),
     ] {
         let label = cfg.kind().to_string();
-        let report = run_serving(model.clone(), cfg, PlacementKind::Baseline, false, 1, &workload)
-            .expect("serves");
+        let report = run_serving(
+            model.clone(),
+            cfg,
+            PlacementKind::Baseline,
+            false,
+            1,
+            &workload,
+        )
+        .expect("serves");
         rows.push((label, vec![report.ttft_ms(), report.tbt_ms()]));
     }
     print_table(&["substrate", "TTFT(ms)", "TBT(ms)"], &rows);
@@ -62,7 +69,10 @@ fn main() {
         &workload,
     )
     .expect("serves");
-    rows.push(("TPP, uncompressed".to_owned(), vec![tpp.ttft_ms(), tpp.tbt_ms()]));
+    rows.push((
+        "TPP, uncompressed".to_owned(),
+        vec![tpp.ttft_ms(), tpp.tbt_ms()],
+    ));
     let recipe = run_serving(
         model,
         HostMemoryConfig::nvdram(),

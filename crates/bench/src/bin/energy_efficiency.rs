@@ -13,20 +13,16 @@ use helm_core::placement::PlacementKind;
 use helm_core::policy::Policy;
 use helm_core::server::Server;
 use helm_core::system::SystemConfig;
-use hetmem::dram::{DDR4_2933_SOCKET_READ_GBPS, PER_STREAM_GBPS};
+use hetmem::dram::{DDR4_2933_SOCKET_READ, PER_STREAM};
 use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
-use simcore::units::{Bandwidth, ByteSize};
+use simcore::units::ByteSize;
 use workload::WorkloadSpec;
 
 /// A hypothetical 1 TB all-DRAM host: capacity enough for OPT-175B
 /// uncompressed, at DRAM speed and DRAM static power.
 fn dram_1tb() -> HostMemoryConfig {
-    HostMemoryConfig::custom_dram(
-        ByteSize::from_gib(1024.0),
-        Bandwidth::from_gb_per_s(DDR4_2933_SOCKET_READ_GBPS),
-        Bandwidth::from_gb_per_s(PER_STREAM_GBPS),
-    )
+    HostMemoryConfig::custom_dram(ByteSize::from_tib(1.0), DDR4_2933_SOCKET_READ, PER_STREAM)
 }
 
 fn main() {
@@ -36,19 +32,49 @@ fn main() {
     section("energy per token, OPT-175B (compressed), batch 1 and 44");
     let mut rows = Vec::new();
     for (label, memory, placement, batch) in [
-        ("1TB DRAM, baseline, b=1", dram_1tb(), PlacementKind::Baseline, 1u32),
-        ("NVDRAM, baseline, b=1", HostMemoryConfig::nvdram(), PlacementKind::Baseline, 1),
-        ("NVDRAM, HeLM, b=1", HostMemoryConfig::nvdram(), PlacementKind::Helm, 1),
-        ("1TB DRAM, All-CPU, b=44", dram_1tb(), PlacementKind::AllCpu, 44),
-        ("NVDRAM, All-CPU, b=44", HostMemoryConfig::nvdram(), PlacementKind::AllCpu, 44),
-        ("MemoryMode, All-CPU, b=44", HostMemoryConfig::memory_mode(), PlacementKind::AllCpu, 44),
+        (
+            "1TB DRAM, baseline, b=1",
+            dram_1tb(),
+            PlacementKind::Baseline,
+            1u32,
+        ),
+        (
+            "NVDRAM, baseline, b=1",
+            HostMemoryConfig::nvdram(),
+            PlacementKind::Baseline,
+            1,
+        ),
+        (
+            "NVDRAM, HeLM, b=1",
+            HostMemoryConfig::nvdram(),
+            PlacementKind::Helm,
+            1,
+        ),
+        (
+            "1TB DRAM, All-CPU, b=44",
+            dram_1tb(),
+            PlacementKind::AllCpu,
+            44,
+        ),
+        (
+            "NVDRAM, All-CPU, b=44",
+            HostMemoryConfig::nvdram(),
+            PlacementKind::AllCpu,
+            44,
+        ),
+        (
+            "MemoryMode, All-CPU, b=44",
+            HostMemoryConfig::memory_mode(),
+            PlacementKind::AllCpu,
+            44,
+        ),
     ] {
         let policy = Policy::paper_default(&model, memory.kind())
             .with_placement(placement)
             .with_compression(true)
             .with_batch_size(batch);
-        let server = Server::new(SystemConfig::paper_platform(memory), model.clone(), policy)
-            .expect("fits");
+        let server =
+            Server::new(SystemConfig::paper_platform(memory), model.clone(), policy).expect("fits");
         let report = server.run(&workload).expect("serves");
         let energy = assess(&report, server.system());
         rows.push((

@@ -21,7 +21,11 @@ use xfer::path::PathModel;
 fn write(dir: &Path, name: &str, contents: &str) {
     let path = dir.join(name);
     std::fs::write(&path, contents).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
-    println!("wrote {} ({} lines)", path.display(), contents.lines().count());
+    println!(
+        "wrote {} ({} lines)",
+        path.display(),
+        contents.lines().count()
+    );
 }
 
 fn fig3(dir: &Path) {
@@ -41,12 +45,8 @@ fn fig3(dir: &Path) {
     write(dir, "fig3_bandwidth.csv", &csv);
 }
 
-fn serving_rows(
-    runs: &[(&str, RunReport)],
-) -> String {
-    let mut csv = String::from(
-        "config,placement,batch,compressed,ttft_ms,tbt_ms,tokens_per_s\n",
-    );
+fn serving_rows(runs: &[(&str, RunReport)]) -> String {
+    let mut csv = String::from("config,placement,batch,compressed,ttft_ms,tbt_ms,tokens_per_s\n");
     for (label, r) in runs {
         let _ = writeln!(
             csv,
@@ -84,7 +84,9 @@ fn overlap_rows(runs: &[(&str, RunReport)]) -> String {
 }
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "output".to_owned());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "output".to_owned());
     let dir = Path::new(&out);
     std::fs::create_dir_all(dir).expect("create output dir");
     let ws = WorkloadSpec::paper_default();
@@ -94,8 +96,16 @@ fn main() {
     // Fig 4: uncompressed serving matrix.
     let mut runs = Vec::new();
     for (model, batches, configs) in [
-        (ModelConfig::opt_30b(), vec![1u32, 32], HostMemoryConfig::opt30b_set()),
-        (ModelConfig::opt_175b(), vec![1, 8], HostMemoryConfig::opt175b_set()),
+        (
+            ModelConfig::opt_30b(),
+            vec![1u32, 32],
+            HostMemoryConfig::opt30b_set(),
+        ),
+        (
+            ModelConfig::opt_175b(),
+            vec![1, 8],
+            HostMemoryConfig::opt175b_set(),
+        ),
     ] {
         for batch in batches {
             for cfg in &configs {
@@ -135,15 +145,8 @@ fn main() {
         (HostMemoryConfig::dram(), PlacementKind::AllCpu, 44),
     ] {
         let label = cfg.kind().to_string();
-        let report = run_serving(
-            ModelConfig::opt_175b(),
-            cfg,
-            placement,
-            true,
-            batch,
-            &ws,
-        )
-        .expect("serves");
+        let report =
+            run_serving(ModelConfig::opt_175b(), cfg, placement, true, batch, &ws).expect("serves");
         runs.push((label, report));
     }
     let borrowed: Vec<(&str, RunReport)> =
@@ -161,13 +164,19 @@ fn main() {
 
     // Table IV / Fig 13: projections.
     let rows = helm_core::projection::table_iv(&ws).expect("projects");
-    let mut csv =
-        String::from("policy,batch,stage,config,mha_compute_over_ffn_load,ffn_compute_over_mha_load\n");
+    let mut csv = String::from(
+        "policy,batch,stage,config,mha_compute_over_ffn_load,ffn_compute_over_mha_load\n",
+    );
     for r in &rows {
         let _ = writeln!(
             csv,
             "{},{},{},{},{:.4},{:.4}",
-            r.policy, r.batch, r.stage, r.config, r.mha_compute_over_ffn_load, r.ffn_compute_over_mha_load
+            r.policy,
+            r.batch,
+            r.stage,
+            r.config,
+            r.mha_compute_over_ffn_load,
+            r.ffn_compute_over_mha_load
         );
     }
     write(dir, "table4_overlap.csv", &csv);

@@ -17,7 +17,10 @@ fn main() {
     let placement = ModelPlacement::compute(&model, &policy);
 
     section("Fig 9: HeLM per-tensor placement (one decoder block, compressed sizes)");
-    println!("{:<8} {:<10} {:<6} {:>14}", "layer", "tensor", "tier", "bytes");
+    println!(
+        "{:<8} {:<10} {:<6} {:>14}",
+        "layer", "tensor", "tier", "bytes"
+    );
     for lp in placement.layers().iter().skip(1).take(2) {
         for w in lp.weights() {
             println!(

@@ -40,8 +40,18 @@ fn main() {
     let base_max = max_batch(HostMemoryConfig::nvdram(), PlacementKind::Baseline, false);
     let all_max = max_batch(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, true);
     print_comparisons(&[
-        Comparison::new("baseline (uncompressed) max batch", 8.0, base_max as f64, "seq"),
-        Comparison::new("All-CPU (compressed) max batch", 44.0, all_max as f64, "seq"),
+        Comparison::new(
+            "baseline (uncompressed) max batch",
+            8.0,
+            f64::from(base_max),
+            "seq",
+        ),
+        Comparison::new(
+            "All-CPU (compressed) max batch",
+            44.0,
+            f64::from(all_max),
+            "seq",
+        ),
     ]);
 
     section("Fig 12a-c: TTFT / TBT / throughput");
@@ -104,7 +114,13 @@ fn main() {
         }
     }
     print_table(
-        &["config/stage", "MHA-l(ms)", "FFN-l(ms)", "MHA-c(ms)", "FFN-c(ms)"],
+        &[
+            "config/stage",
+            "MHA-l(ms)",
+            "FFN-l(ms)",
+            "MHA-c(ms)",
+            "FFN-c(ms)",
+        ],
         &rows,
     );
 
@@ -143,8 +159,12 @@ fn main() {
         Comparison::new(
             "decode compute flat from b=8 to b=44 (FFN)",
             0.0,
-            (nv_all44.avg_compute(Stage::Decode, LayerKind::Ffn).as_secs()
-                / nv_base8.avg_compute(Stage::Decode, LayerKind::Ffn).as_secs()
+            (nv_all44
+                .avg_compute(Stage::Decode, LayerKind::Ffn)
+                .as_secs()
+                / nv_base8
+                    .avg_compute(Stage::Decode, LayerKind::Ffn)
+                    .as_secs()
                 - 1.0)
                 * 100.0,
             "%",

@@ -43,7 +43,17 @@ fn main() {
             (fpga_all8 / fpga_b8 - 1.0) * 100.0,
             "%",
         ),
-        Comparison::new("All-CPU 44/baseline 8, CXL-FPGA", 4.74, fpga_44 / fpga_b8, "x"),
-        Comparison::new("All-CPU 44/baseline 8, CXL-ASIC", 5.04, asic_44 / asic_b8, "x"),
+        Comparison::new(
+            "All-CPU 44/baseline 8, CXL-FPGA",
+            4.74,
+            fpga_44 / fpga_b8,
+            "x",
+        ),
+        Comparison::new(
+            "All-CPU 44/baseline 8, CXL-ASIC",
+            5.04,
+            asic_44 / asic_b8,
+            "x",
+        ),
     ]);
 }

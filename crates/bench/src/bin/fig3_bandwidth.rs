@@ -47,10 +47,30 @@ fn main() {
     print_comparisons(&[
         Comparison::new("NVDRAM H2D at 4 GB", 19.91, nv4, "GB/s"),
         Comparison::new("NVDRAM H2D at 32 GB", 15.52, nv32, "GB/s"),
-        Comparison::new("NVDRAM H2D deficit vs DRAM at 4 GB", 20.0, (1.0 - nv4 / dram4) * 100.0, "%"),
-        Comparison::new("NVDRAM H2D deficit vs DRAM at 32 GB", 37.0, (1.0 - nv32 / dram32) * 100.0, "%"),
+        Comparison::new(
+            "NVDRAM H2D deficit vs DRAM at 4 GB",
+            20.0,
+            (1.0 - nv4 / dram4) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "NVDRAM H2D deficit vs DRAM at 32 GB",
+            37.0,
+            (1.0 - nv32 / dram32) * 100.0,
+            "%",
+        ),
         Comparison::new("NVDRAM D2H peak (node 1, 1 GB)", 3.26, nv_w, "GB/s"),
-        Comparison::new("NVDRAM D2H deficit vs DRAM", 88.0, (1.0 - nv_w / dram_w) * 100.0, "%"),
-        Comparison::new("MM H2D tracks DRAM at 4 GB", 0.0, (mm4 / dram4 - 1.0) * 100.0, "%"),
+        Comparison::new(
+            "NVDRAM D2H deficit vs DRAM",
+            88.0,
+            (1.0 - nv_w / dram_w) * 100.0,
+            "%",
+        ),
+        Comparison::new(
+            "MM H2D tracks DRAM at 4 GB",
+            0.0,
+            (mm4 / dram4 - 1.0) * 100.0,
+            "%",
+        ),
     ]);
 }

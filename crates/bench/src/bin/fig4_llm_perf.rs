@@ -70,10 +70,30 @@ fn main() {
     let n32 = get(&r30, "NVDRAM", 32);
     let mm32 = get(&r30, "MemoryMode", 32);
     print_comparisons(&[
-        Comparison::new("TTFT increase b=1", 33.03, pct(n1.ttft_ms(), d1.ttft_ms()), "%"),
-        Comparison::new("TTFT increase b=32", 15.05, pct(n32.ttft_ms(), d32.ttft_ms()), "%"),
-        Comparison::new("TBT increase b=1", 33.03, pct(n1.tbt_ms(), d1.tbt_ms()), "%"),
-        Comparison::new("TBT increase b=32", 30.55, pct(n32.tbt_ms(), d32.tbt_ms()), "%"),
+        Comparison::new(
+            "TTFT increase b=1",
+            33.03,
+            pct(n1.ttft_ms(), d1.ttft_ms()),
+            "%",
+        ),
+        Comparison::new(
+            "TTFT increase b=32",
+            15.05,
+            pct(n32.ttft_ms(), d32.ttft_ms()),
+            "%",
+        ),
+        Comparison::new(
+            "TBT increase b=1",
+            33.03,
+            pct(n1.tbt_ms(), d1.tbt_ms()),
+            "%",
+        ),
+        Comparison::new(
+            "TBT increase b=32",
+            30.55,
+            pct(n32.tbt_ms(), d32.tbt_ms()),
+            "%",
+        ),
         Comparison::new(
             "throughput drop b=1",
             -18.96,
@@ -143,7 +163,11 @@ fn main() {
         Comparison::new(
             "FSDAX below NVDRAM (TBT b=1, sign check)",
             100.0 * (1.0f64),
-            if dax1.tbt_ms() > nv1.tbt_ms() { 100.0 } else { 0.0 },
+            if dax1.tbt_ms() > nv1.tbt_ms() {
+                100.0
+            } else {
+                0.0
+            },
             "%",
         ),
     ]);

@@ -27,8 +27,12 @@ fn main() {
         for stage in [Stage::Prefill, Stage::Decode] {
             let mha_c = report.avg_compute(stage, LayerKind::Mha).as_millis();
             let ffn_c = report.avg_compute(stage, LayerKind::Ffn).as_millis();
-            let mha_l = report.avg_weight_transfer(stage, LayerKind::Mha).as_millis();
-            let ffn_l = report.avg_weight_transfer(stage, LayerKind::Ffn).as_millis();
+            let mha_l = report
+                .avg_weight_transfer(stage, LayerKind::Mha)
+                .as_millis();
+            let ffn_l = report
+                .avg_weight_transfer(stage, LayerKind::Ffn)
+                .as_millis();
             rows.push((
                 format!("b={batch} {stage}"),
                 vec![mha_c, ffn_l, ffn_c, mha_l],
@@ -40,7 +44,13 @@ fn main() {
     }
     section("Fig 8: MHA/FFN compute vs opposite-kind weight transfer (NVDRAM, compressed)");
     print_table(
-        &["batch/stage", "MHA-c(ms)", "FFN-l(ms)", "FFN-c(ms)", "MHA-l(ms)"],
+        &[
+            "batch/stage",
+            "MHA-c(ms)",
+            "FFN-l(ms)",
+            "FFN-c(ms)",
+            "MHA-l(ms)",
+        ],
         &rows,
     );
 

@@ -31,21 +31,17 @@ fn main() {
         let policy = Policy::paper_default(&model, memory.kind())
             .with_placement(PlacementKind::AllCpu)
             .with_compression(true);
-        let server = Server::new(SystemConfig::paper_platform(memory.clone()), model.clone(), policy)
-            .expect("fits");
+        let server = Server::new(
+            SystemConfig::paper_platform(memory.clone()),
+            model.clone(),
+            policy,
+        )
+        .expect("fits");
         let max = server.max_batch(&workload);
         let kv = llm::kv::kv_bytes_per_sequence(&model, workload.context_len());
         rows.push((
-            format!(
-                "{} ({} kv-heads)",
-                model.name(),
-                model.num_kv_heads()
-            ),
-            vec![
-                model.weight_bytes_f16().as_gb(),
-                kv.as_mb(),
-                max as f64,
-            ],
+            format!("{} ({} kv-heads)", model.name(), model.num_kv_heads()),
+            vec![model.weight_bytes_f16().as_gb(), kv.as_mb(), f64::from(max)],
         ));
     }
     print_table(&["model", "weights(GB)", "KV/seq(MB)", "max batch"], &rows);

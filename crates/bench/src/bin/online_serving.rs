@@ -15,6 +15,7 @@ use helm_core::server::Server;
 use helm_core::system::SystemConfig;
 use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
+use simcore::SimDuration;
 use workload::WorkloadSpec;
 
 fn server(placement: PlacementKind, batch: u32) -> Server {
@@ -40,7 +41,9 @@ fn main() {
         ("HeLM b=8", PlacementKind::Helm, 8),
         ("All-CPU b=44", PlacementKind::AllCpu, 44),
     ] {
-        section(&format!("{label} under Poisson load (OPT-175B, NVDRAM, compressed)"));
+        section(&format!(
+            "{label} under Poisson load (OPT-175B, NVDRAM, compressed)"
+        ));
         let s = server(placement, batch);
         let mut rows = Vec::new();
         for lambda in [0.01f64, 0.03, 0.06, 0.10, 0.15, 0.25] {
@@ -49,16 +52,23 @@ fn main() {
             rows.push((
                 format!("{lambda:.2} req/s"),
                 vec![
-                    r.mean_queue_delay_ms() / 1e3,
-                    r.e2e_percentile_ms(50.0) / 1e3,
-                    r.e2e_percentile_ms(95.0) / 1e3,
+                    SimDuration::from_millis(r.mean_queue_delay_ms()).as_secs(),
+                    SimDuration::from_millis(r.e2e_percentile_ms(50.0)).as_secs(),
+                    SimDuration::from_millis(r.e2e_percentile_ms(95.0)).as_secs(),
                     r.tokens_per_s,
                     r.utilization,
                 ],
             ));
         }
         print_table(
-            &["arrival rate", "queue(s)", "p50 e2e(s)", "p95 e2e(s)", "tok/s", "util"],
+            &[
+                "arrival rate",
+                "queue(s)",
+                "p50 e2e(s)",
+                "p95 e2e(s)",
+                "tok/s",
+                "util",
+            ],
             &rows,
         );
     }

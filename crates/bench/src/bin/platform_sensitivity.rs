@@ -39,7 +39,11 @@ fn main() {
 
     section("GPU memory axis (NVDRAM, compressed, PCIe Gen 4)");
     let mut rows = Vec::new();
-    for gpu in [GpuSpec::a100_40gb(), GpuSpec::a100_80gb(), GpuSpec::h100_80gb()] {
+    for gpu in [
+        GpuSpec::a100_40gb(),
+        GpuSpec::a100_80gb(),
+        GpuSpec::h100_80gb(),
+    ] {
         let sys = system(gpu.clone(), PcieGen::Gen4);
         let policy = Policy::paper_default(&model, sys.memory().kind())
             .with_compression(true)
@@ -52,7 +56,7 @@ fn main() {
             .expect("serves");
         rows.push((
             gpu.name().to_owned(),
-            vec![max as f64, best.throughput_tps()],
+            vec![f64::from(max), best.throughput_tps()],
         ));
     }
     print_table(&["GPU", "All-CPU max batch", "tok/s at max"], &rows);
@@ -82,7 +86,10 @@ fn main() {
             vec![tbt[0], tbt[1], (1.0 - tbt[1] / tbt[0]) * 100.0],
         ));
     }
-    print_table(&["link", "base TBT(ms)", "HeLM TBT(ms)", "HeLM gain %"], &rows);
+    print_table(
+        &["link", "base TBT(ms)", "HeLM TBT(ms)", "HeLM gain %"],
+        &rows,
+    );
     println!(
         "\nReading: doubling HBM roughly doubles the All-CPU batch ceiling\n\
          (KV scales with batch); the H100's extra compute barely moves\n\

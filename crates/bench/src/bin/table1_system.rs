@@ -19,15 +19,19 @@ fn main() {
     println!("Sockets  : {}", topo.sockets().len());
     for s in topo.sockets() {
         println!(
-            "  {}: DRAM {} ({}), Optane {} ({})",
+            "  {}: DRAM {} (DDR4-2933, 4 controllers x2 DIMM), Optane {} (DCPMM 200 x4)",
             s.node(),
             s.dram().capacity(),
-            "DDR4-2933, 4 controllers x2 DIMM",
-            s.optane().map(|o| o.capacity()).unwrap_or(ByteSize::ZERO),
-            "DCPMM 200 x4",
+            s.optane()
+                .map(MemoryDevice::capacity)
+                .unwrap_or(ByteSize::ZERO),
         );
     }
-    println!("Total    : DRAM {}, Optane {}", topo.total_dram(), topo.total_optane());
+    println!(
+        "Total    : DRAM {}, Optane {}",
+        topo.total_dram(),
+        topo.total_optane()
+    );
     println!(
         "GPU      : {} | HBM {} @ {} | {:?} x{} = {}",
         gpu.name(),

@@ -15,13 +15,11 @@ fn describe(model: &ModelConfig, configs: &[HostMemoryConfig]) {
         model.num_blocks(),
         model.num_layers(),
         model.weight_bytes_f16(),
-        simcore::units::ByteSize::from_bytes(
-            DType::Int4Grouped.bytes_for(model.total_params())
-        ),
+        simcore::units::ByteSize::from_bytes(DType::Int4Grouped.bytes_for(model.total_params())),
     );
     println!(
-        "{:<12} {:>10} {:>10} {:>8}   {}",
-        "label", "disk", "cpu", "gpu", "fits?"
+        "{:<12} {:>10} {:>10} {:>8}   fits?",
+        "label", "disk", "cpu", "gpu"
     );
     for cfg in configs {
         let policy = Policy::paper_default(model, cfg.kind());

@@ -15,7 +15,11 @@ fn main() {
     for dev in [&fpga, &asic] {
         println!(
             "{:<12} {:<16} {:>16}",
-            if dev.name().contains("FPGA") { "CXL-FPGA" } else { "CXL-ASIC" },
+            if dev.name().contains("FPGA") {
+                "CXL-FPGA"
+            } else {
+                "CXL-ASIC"
+            },
             dev.media(),
             dev.bandwidth(&probe).to_string(),
         );
@@ -36,6 +40,6 @@ fn main() {
     ]);
     println!(
         "\nAdded round-trip latency of the CXL hop: >= {} ns (SS II-D)",
-        hetmem::cxl::CXL_ADDED_LATENCY_NS
+        hetmem::cxl::CXL_ADDED_LATENCY.as_nanos()
     );
 }

@@ -12,16 +12,46 @@ use workload::WorkloadSpec;
 /// The paper's Table IV, row-major:
 /// (policy, batch, stage, [nv_mha_ffn, fpga, asic, nv_ffn_mha, fpga, asic]).
 const PAPER: &[(&str, u32, &str, [f64; 6])] = &[
-    ("Baseline", 1, "prefill", [0.36, 0.10, 0.56, 1.86, 0.53, 2.90]),
-    ("Baseline", 1, "decode", [0.36, 0.10, 0.55, 1.85, 0.53, 2.88]),
-    ("Baseline", 8, "prefill", [0.52, 0.14, 0.79, 3.07, 0.87, 4.77]),
-    ("Baseline", 8, "decode", [0.36, 0.10, 0.55, 1.85, 0.53, 2.88]),
+    (
+        "Baseline",
+        1,
+        "prefill",
+        [0.36, 0.10, 0.56, 1.86, 0.53, 2.90],
+    ),
+    (
+        "Baseline",
+        1,
+        "decode",
+        [0.36, 0.10, 0.55, 1.85, 0.53, 2.88],
+    ),
+    (
+        "Baseline",
+        8,
+        "prefill",
+        [0.52, 0.14, 0.79, 3.07, 0.87, 4.77],
+    ),
+    (
+        "Baseline",
+        8,
+        "decode",
+        [0.36, 0.10, 0.55, 1.85, 0.53, 2.88],
+    ),
     ("HeLM", 1, "prefill", [0.72, 0.20, 1.12, 1.40, 0.40, 2.18]),
     ("HeLM", 1, "decode", [0.71, 0.20, 1.10, 1.40, 0.40, 2.16]),
     ("HeLM", 8, "prefill", [0.37, 0.10, 0.56, 1.41, 0.40, 2.18]),
     ("HeLM", 8, "decode", [0.36, 0.10, 0.55, 1.39, 0.39, 2.16]),
-    ("All-CPU", 44, "prefill", [1.25, 0.37, 2.01, 4.82, 1.43, 7.84]),
-    ("All-CPU", 44, "decode", [0.35, 0.10, 0.57, 1.33, 0.40, 2.16]),
+    (
+        "All-CPU",
+        44,
+        "prefill",
+        [1.25, 0.37, 2.01, 4.82, 1.43, 7.84],
+    ),
+    (
+        "All-CPU",
+        44,
+        "decode",
+        [0.35, 0.10, 0.57, 1.33, 0.40, 2.16],
+    ),
 ];
 
 fn cell<'a>(

@@ -21,6 +21,7 @@ const SERVE_FLAGS: &[&str] = &[
     "prompt",
     "gen",
     "csv",
+    "audit",
 ];
 
 struct Session {
@@ -29,6 +30,11 @@ struct Session {
 }
 
 fn session(args: &Args) -> Result<Session, ArgError> {
+    if args.get_bool("audit")? {
+        // Auditing is a debug-build default; `--audit` extends it to
+        // release binaries for the rest of the process.
+        simaudit::force_enable();
+    }
     let model = select::model(args.get_or("model", "opt-175b"))?;
     let memory = select::memory(args.get_or("memory", "nvdram"))?;
     let placement = select::placement(args.get_or("placement", "baseline"))?;
@@ -52,9 +58,7 @@ fn session(args: &Args) -> Result<Session, ArgError> {
 pub fn serve(args: &Args) -> Result<(), ArgError> {
     args.reject_unknown(SERVE_FLAGS)?;
     let Session { server, workload } = session(args)?;
-    let report = server
-        .run(&workload)
-        .map_err(|e| ArgError(e.to_string()))?;
+    let report = server.run(&workload).map_err(|e| ArgError(e.to_string()))?;
     println!("{}", report.summary());
     println!("  TTFT        : {:>12.1} ms", report.ttft_ms());
     println!("  TBT         : {:>12.1} ms", report.tbt_ms());
@@ -63,10 +67,18 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
     println!("  D2H traffic : {:>12}", report.total_d2h_bytes());
     let [disk, cpu, gpu] = report.achieved_distribution;
     println!("  weights     : disk {disk:.1}% / cpu {cpu:.1}% / gpu {gpu:.1}%");
+    if let Some(audit) = &report.audit {
+        for line in audit.to_string().lines() {
+            println!("  {line}");
+        }
+    }
     if let Some(path) = args.get("csv") {
         std::fs::write(path, report.to_csv())
             .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
-        println!("  timeline    : wrote {} steps to {path}", report.records.len());
+        println!(
+            "  timeline    : wrote {} steps to {path}",
+            report.records.len()
+        );
     }
     Ok(())
 }
@@ -118,9 +130,7 @@ pub fn autoplace(args: &Args) -> Result<(), ArgError> {
 pub fn energy(args: &Args) -> Result<(), ArgError> {
     args.reject_unknown(SERVE_FLAGS)?;
     let Session { server, workload } = session(args)?;
-    let report = server
-        .run(&workload)
-        .map_err(|e| ArgError(e.to_string()))?;
+    let report = server.run(&workload).map_err(|e| ArgError(e.to_string()))?;
     let energy = assess(&report, server.system());
     println!("{}", report.summary());
     println!("{energy}");
@@ -184,12 +194,8 @@ pub fn explain(args: &Args) -> Result<(), ArgError> {
     for lp in placement.layers().iter().skip(1).take(2) {
         let layer = lp.layer();
         println!("\n[{}] layer {}", layer.kind(), layer.index());
-        let plan = helm_core::exec::kernel_plan(
-            &inputs,
-            layer,
-            helm_core::metrics::Stage::Decode,
-            1,
-        );
+        let plan =
+            helm_core::exec::kernel_plan(&inputs, layer, helm_core::metrics::Stage::Decode, 1);
         for (name, k) in &plan {
             println!(
                 "  kernel {name:<18} {:>10.3} ms",
@@ -217,7 +223,10 @@ pub fn sweep(args: &Args) -> Result<(), ArgError> {
     allowed.push("axis");
     args.reject_unknown(&allowed)?;
     let axis = args.get_or("axis", "batch").to_owned();
-    println!("{:<16} {:>12} {:>12} {:>12}", "point", "TTFT(ms)", "TBT(ms)", "tok/s");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "point", "TTFT(ms)", "TBT(ms)", "tok/s"
+    );
     let print_row = |label: String, r: &helm_core::RunReport| {
         println!(
             "{label:<16} {:>12.1} {:>12.1} {:>12.3}",
@@ -248,35 +257,29 @@ pub fn sweep(args: &Args) -> Result<(), ArgError> {
         }
         "prompt" => {
             for prompt in [64usize, 128, 256, 512, 1024] {
-                let mut forwarded = vec![
-                    "--prompt".to_owned(),
-                    prompt.to_string(),
-                ];
+                let mut forwarded = vec!["--prompt".to_owned(), prompt.to_string()];
                 forwarded.extend(reconstruct_flags(args, &["prompt"]));
                 let sub = Args::parse(forwarded)?;
                 let Session { server, workload } = session(&sub)?;
-                let r = server
-                    .run(&workload)
-                    .map_err(|e| ArgError(e.to_string()))?;
+                let r = server.run(&workload).map_err(|e| ArgError(e.to_string()))?;
                 print_row(format!("prompt {prompt}"), &r);
             }
         }
         "cxl" => {
             for gbps in [4.0, 8.0, 16.0, 28.0, 48.0] {
-                let mut forwarded = vec![
-                    "--memory".to_owned(),
-                    format!("cxl:{gbps}"),
-                ];
+                let mut forwarded = vec!["--memory".to_owned(), format!("cxl:{gbps}")];
                 forwarded.extend(reconstruct_flags(args, &["memory"]));
                 let sub = Args::parse(forwarded)?;
                 let Session { server, workload } = session(&sub)?;
-                let r = server
-                    .run(&workload)
-                    .map_err(|e| ArgError(e.to_string()))?;
+                let r = server.run(&workload).map_err(|e| ArgError(e.to_string()))?;
                 print_row(format!("cxl {gbps} GB/s"), &r);
             }
         }
-        other => return Err(ArgError(format!("unknown axis '{other}'; batch|prompt|cxl"))),
+        other => {
+            return Err(ArgError(format!(
+                "unknown axis '{other}'; batch|prompt|cxl"
+            )))
+        }
     }
     Ok(())
 }
@@ -289,10 +292,8 @@ fn reconstruct_flags(args: &Args, except: &[&str]) -> Vec<String> {
             continue;
         }
         match (*key, args.get(key)) {
-            ("compress" | "kv-offload", _) => {
-                if args.get_bool(key).unwrap_or(false) {
-                    out.push(format!("--{key}"));
-                }
+            ("compress" | "kv-offload" | "audit", _) if args.get_bool(key).unwrap_or(false) => {
+                out.push(format!("--{key}"));
             }
             (_, Some(value)) => {
                 out.push(format!("--{key}"));
@@ -323,14 +324,7 @@ mod tests {
 
     #[test]
     fn serve_small_model_end_to_end() {
-        let args = parse(&[
-            "--model",
-            "opt-1.3b",
-            "--memory",
-            "dram",
-            "--gen",
-            "3",
-        ]);
+        let args = parse(&["--model", "opt-1.3b", "--memory", "dram", "--gen", "3"]);
         serve(&args).unwrap();
     }
 
@@ -389,7 +383,9 @@ mod tests {
 
     #[test]
     fn sweep_axes_run_and_validate() {
-        let batch = parse(&["--model", "opt-1.3b", "--memory", "dram", "--gen", "2", "--axis", "batch"]);
+        let batch = parse(&[
+            "--model", "opt-1.3b", "--memory", "dram", "--gen", "2", "--axis", "batch",
+        ]);
         sweep(&batch).unwrap();
         let cxl = parse(&["--model", "opt-1.3b", "--gen", "2", "--axis", "cxl"]);
         sweep(&cxl).unwrap();
@@ -413,14 +409,7 @@ mod tests {
         let path = dir.join("timeline.csv");
         let path_str = path.to_str().unwrap();
         let args = parse(&[
-            "--model",
-            "opt-1.3b",
-            "--memory",
-            "dram",
-            "--gen",
-            "2",
-            "--csv",
-            path_str,
+            "--model", "opt-1.3b", "--memory", "dram", "--gen", "2", "--csv", path_str,
         ]);
         serve(&args).unwrap();
         let contents = std::fs::read_to_string(&path).unwrap();

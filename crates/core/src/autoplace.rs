@@ -15,7 +15,7 @@
 //! serving path uses, so the optimizer sees exactly the
 //! compute/communication overlap the paper analyzes.
 
-use crate::error::ServeError;
+use crate::error::HelmError;
 use crate::exec::{run_pipeline, PipelineInputs};
 use crate::metrics::RunReport;
 use crate::placement::{ModelPlacement, Tier};
@@ -59,7 +59,7 @@ pub struct AutoPlacement {
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::CapacityExceeded`] when even the all-host
+/// Returns [`HelmError::CapacityExceeded`] when even the all-host
 /// candidate cannot fit (host tier too small for the model).
 pub fn optimize(
     system: &SystemConfig,
@@ -67,9 +67,9 @@ pub fn optimize(
     policy: &Policy,
     workload: &WorkloadSpec,
     objective: Objective,
-) -> Result<AutoPlacement, ServeError> {
+) -> Result<AutoPlacement, HelmError> {
     let budget = MemoryBudget::for_gpu(system.gpu());
-    let grid: Vec<f64> = (0..=10).map(|i| i as f64 * 10.0).collect();
+    let grid: Vec<f64> = (0..=10).map(|i| f64::from(i) * 10.0).collect();
     let mut best: Option<AutoPlacement> = None;
     let mut evaluated = 0usize;
 
@@ -139,7 +139,7 @@ pub fn optimize(
         }
     }
 
-    let mut result = best.ok_or(ServeError::CapacityExceeded {
+    let mut result = best.ok_or(HelmError::CapacityExceeded {
         tier: "cpu",
         requested: ModelPlacement::compute_custom(
             model,
@@ -245,6 +245,6 @@ mod tests {
             Objective::Latency,
         )
         .unwrap_err();
-        assert!(matches!(err, ServeError::CapacityExceeded { .. }));
+        assert!(matches!(err, HelmError::CapacityExceeded { .. }));
     }
 }

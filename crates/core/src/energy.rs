@@ -247,7 +247,7 @@ mod tests {
     #[test]
     fn optane_static_power_beats_dram_per_gb() {
         // The substitution argument's foundation.
-        assert!(OPTANE_STATIC_W_PER_GB < DRAM_STATIC_W_PER_GB / 2.0);
+        const { assert!(OPTANE_STATIC_W_PER_GB < DRAM_STATIC_W_PER_GB / 2.0) };
         let dram = tech_energy(MemoryTechnology::Dram);
         let pcm = tech_energy(MemoryTechnology::Pcm);
         assert!(pcm.static_w_per_gb < dram.static_w_per_gb);

@@ -1,11 +1,11 @@
 //! Serving errors.
 
-use simcore::units::ByteSize;
+use simcore::units::{ByteSize, UnitError};
 use std::fmt;
 
 /// Errors raised while configuring or running a serving session.
 #[derive(Debug, Clone, PartialEq)]
-pub enum ServeError {
+pub enum HelmError {
     /// A weight placement does not fit the targeted tier.
     CapacityExceeded {
         /// Tier name ("gpu", "cpu", "disk").
@@ -31,12 +31,23 @@ pub enum ServeError {
         /// The offending (disk, cpu, gpu) percentages.
         percents: [f64; 3],
     },
+    /// A quantity (bytes, bandwidth, time) was NaN or negative.
+    InvalidUnit(UnitError),
 }
 
-impl fmt::Display for ServeError {
+/// Former name of [`HelmError`], kept for source compatibility.
+pub type ServeError = HelmError;
+
+impl From<UnitError> for HelmError {
+    fn from(e: UnitError) -> Self {
+        HelmError::InvalidUnit(e)
+    }
+}
+
+impl fmt::Display for HelmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::CapacityExceeded {
+            HelmError::CapacityExceeded {
                 tier,
                 requested,
                 capacity,
@@ -44,26 +55,37 @@ impl fmt::Display for ServeError {
                 f,
                 "placement needs {requested} on the {tier} tier but only {capacity} exists"
             ),
-            ServeError::BatchTooLarge {
+            HelmError::BatchTooLarge {
                 requested,
                 max_batch,
             } => write!(
                 f,
                 "batch size {requested} exceeds the maximum of {max_batch} that fits GPU memory"
             ),
-            ServeError::NoDiskTier => {
-                write!(f, "policy places weights on disk but no storage tier is configured")
+            HelmError::NoDiskTier => {
+                write!(
+                    f,
+                    "policy places weights on disk but no storage tier is configured"
+                )
             }
-            ServeError::InvalidDistribution { percents } => write!(
+            HelmError::InvalidDistribution { percents } => write!(
                 f,
                 "distribution ({}, {}, {}) does not sum to 100",
                 percents[0], percents[1], percents[2]
             ),
+            HelmError::InvalidUnit(e) => write!(f, "invalid unit value: {e}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for HelmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HelmError::InvalidUnit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -71,18 +93,28 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = ServeError::CapacityExceeded {
+        let e = HelmError::CapacityExceeded {
             tier: "cpu",
             requested: ByteSize::from_gb(300.0),
             capacity: ByteSize::from_gb(256.0),
         };
         let msg = e.to_string();
         assert!(msg.contains("cpu") && msg.contains("300"));
-        assert!(ServeError::NoDiskTier.to_string().contains("disk"));
-        let b = ServeError::BatchTooLarge {
+        assert!(HelmError::NoDiskTier.to_string().contains("disk"));
+        let b = HelmError::BatchTooLarge {
             requested: 64,
             max_batch: 44,
         };
         assert!(b.to_string().contains("44"));
+    }
+
+    #[test]
+    fn unit_errors_convert_and_chain() {
+        let u = UnitError::InvalidBandwidth(-1.0);
+        let e = HelmError::from(u);
+        assert_eq!(e, HelmError::InvalidUnit(u));
+        assert!(e.to_string().contains("invalid"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&HelmError::NoDiskTier).is_none());
     }
 }

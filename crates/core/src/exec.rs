@@ -23,6 +23,7 @@ use gpusim::KernelProfile;
 use llm::layers::{Layer, LayerKind};
 use llm::weights::{DType, WeightKind};
 use llm::ModelConfig;
+use simaudit::Auditor;
 use simcore::stats::SeriesStats;
 use simcore::time::{SimDuration, SimTime};
 use simcore::units::{Bandwidth, ByteSize};
@@ -31,7 +32,7 @@ use xfer::link::CappedLink;
 
 /// Per-layer synchronization and dispatch overhead (stream sync +
 /// Python-side bookkeeping in FlexGen).
-pub const SYNC_OVERHEAD_MS: f64 = 0.25;
+pub const SYNC_OVERHEAD: SimDuration = SimDuration::from_millis_const(0.25);
 
 /// Everything a pipeline run needs.
 #[derive(Debug, Clone, Copy)]
@@ -61,13 +62,16 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
     let mut tbt = SeriesStats::new();
     let mut ttft = SimDuration::ZERO;
 
-    // Pipeline fill: the first layer's weights stream before any
-    // compute can overlap them.
-    elapsed += load_time(inp, &layers[0], cpu_ws, disk_ws);
-
+    let mut audit = Auditor::capture();
+    audit_placement_feasibility(&mut audit, inp);
     let micro = inp.policy.num_gpu_batches();
     let effective_batch = inp.policy.effective_batch();
     let dtype = inp.placement.dtype();
+
+    // Pipeline fill: the first layer's weights stream before any
+    // compute can overlap them.
+    elapsed += load_time(inp, &layers[0], cpu_ws, disk_ws);
+    audit_weight_traffic(&mut audit, &layers[0], dtype);
 
     for token in 0..gen_len {
         let stage = if token == 0 {
@@ -89,6 +93,9 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
                     next.offloaded_bytes(dtype),
                 )
             };
+            if !last_step {
+                audit_weight_traffic(&mut audit, &layers[next_index], dtype);
+            }
             // Under KV offloading, the next layer's cache streams in
             // alongside its weights and shares the same H2D budget.
             if inp.policy.kv_offload() {
@@ -106,23 +113,23 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
                             .expect("cpu tier")
                             .time_for(kv_in);
                         h2d += kv_in;
+                        audit.scheduled("h2d:kv", kv_in);
+                        audit.delivered("h2d:kv", kv_in);
                     }
                 }
             }
             // Micro-batching amortizes one weight load across several
             // GPU batches (FlexGen's block schedule).
-            let compute =
-                compute_time(inp, lp.layer(), stage, token) * micro as f64;
+            let compute = compute_time(inp, lp.layer(), stage, token) * f64::from(micro);
             // KV write-back for the tokens this step produced.
-            let (writeback, d2h) = if inp.policy.kv_offload()
-                && lp.layer().kind() == LayerKind::Mha
+            let (writeback, d2h) = if inp.policy.kv_offload() && lp.layer().kind() == LayerKind::Mha
             {
                 let new_tokens = match stage {
                     Stage::Prefill => inp.workload.prompt_len,
                     Stage::Decode => 1,
                 };
                 let bytes = ByteSize::from_bytes(
-                    effective_batch as u64
+                    u64::from(effective_batch)
                         * new_tokens as u64
                         * llm::kv::kv_bytes_per_token_per_block(inp.model),
                 );
@@ -134,8 +141,14 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
             } else {
                 (SimDuration::ZERO, ByteSize::ZERO)
             };
-            let step = compute.max(load).max(writeback)
-                + SimDuration::from_millis(SYNC_OVERHEAD_MS);
+            if d2h > ByteSize::ZERO {
+                audit.scheduled("d2h:kv", d2h);
+                audit.delivered("d2h:kv", d2h);
+            }
+            let step = compute.max(load).max(writeback) + SYNC_OVERHEAD;
+            audit.check_duration("compute", compute);
+            audit.check_duration("load", load);
+            audit.check_duration("step", step);
             records.push(LayerStepRecord {
                 token,
                 layer_index: j,
@@ -149,6 +162,7 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
                 step,
             });
             elapsed += step;
+            audit.observe_time("analytic", SimTime::ZERO + elapsed);
         }
         if token == 0 {
             ttft = elapsed;
@@ -169,6 +183,42 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
         tokens_generated: inp.workload.tokens_generated(effective_batch),
         records,
         achieved_distribution: inp.placement.achieved_distribution(),
+        audit: audit.finish_if_active(),
+    }
+}
+
+/// Feasibility checks shared by both executors: the achieved percent
+/// split sums to 100 and no tier holds more weight bytes than it has
+/// capacity (the `run_unchecked` path skips server-side validation,
+/// so the auditor re-derives it at execution time).
+pub(crate) fn audit_placement_feasibility(audit: &mut Auditor, inp: &PipelineInputs<'_>) {
+    if !audit.is_active() {
+        return;
+    }
+    audit.check_percent_split("achieved placement", inp.placement.achieved_distribution());
+    for tier in [Tier::Disk, Tier::Cpu, Tier::Gpu] {
+        audit.check_tier_capacity(
+            &tier.to_string(),
+            inp.placement.total_on(tier),
+            inp.system.tier_capacity(tier),
+        );
+    }
+}
+
+/// Ledger entries for one layer's weight transfer. Closed-form
+/// transfers complete within the step that issues them, so scheduling
+/// and delivery are recorded together; the ledger still cross-checks
+/// the per-tier split against the report's traffic totals.
+fn audit_weight_traffic(audit: &mut Auditor, lp: &LayerPlacement, dtype: DType) {
+    if !audit.is_active() {
+        return;
+    }
+    for (tier, channel) in [(Tier::Cpu, "h2d:cpu"), (Tier::Disk, "h2d:disk")] {
+        let bytes = lp.bytes_on(tier, dtype);
+        if bytes > ByteSize::ZERO {
+            audit.scheduled(channel, bytes);
+            audit.delivered(channel, bytes);
+        }
     }
 }
 
@@ -240,7 +290,7 @@ pub fn kernel_plan(
         Stage::Prefill => (prompt, prompt),
         Stage::Decode => (1, prompt + token),
     };
-    let tokens = batch as u64 * new_tokens as u64;
+    let tokens = u64::from(batch) * new_tokens as u64;
     let mut kernels: Vec<(&'static str, KernelProfile)> = Vec::with_capacity(3);
 
     if inp.policy.compressed() {
@@ -262,8 +312,8 @@ pub fn kernel_plan(
             kernels.push(("embed-lookup", KernelProfile::elementwise(act)));
         }
         LayerKind::Mha => {
-            let flops = layer.matmul_flops(tokens)
-                + layer.attention_flops(batch, new_tokens, context);
+            let flops =
+                layer.matmul_flops(tokens) + layer.attention_flops(batch, new_tokens, context);
             let bytes = layer.weight_bytes(DType::F16).as_f64()
                 + layer.kv_read_bytes(batch, context).as_f64()
                 + act;
@@ -272,12 +322,18 @@ pub fn kernel_plan(
         }
         LayerKind::Ffn => {
             let bytes = layer.weight_bytes(DType::F16).as_f64() + act;
-            kernels.push(("mlp", KernelProfile::gemm(layer.matmul_flops(tokens), bytes)));
+            kernels.push((
+                "mlp",
+                KernelProfile::gemm(layer.matmul_flops(tokens), bytes),
+            ));
             kernels.push(("norm+residual", KernelProfile::elementwise(act)));
         }
         LayerKind::OutputEmbed => {
             let bytes = layer.weight_bytes(DType::F16).as_f64() + act;
-            kernels.push(("lm-head", KernelProfile::gemm(layer.matmul_flops(tokens), bytes)));
+            kernels.push((
+                "lm-head",
+                KernelProfile::gemm(layer.matmul_flops(tokens), bytes),
+            ));
         }
     }
     kernels
@@ -425,12 +481,8 @@ mod tests {
         // 4 micro-batches of 8 vs a single batch of 8: same per-layer
         // weight traffic serves 4x the sequences, so throughput rises
         // while staying below 4x (compute eventually binds).
-        let (system, model, policy, workload) = inputs(
-            HostMemoryConfig::nvdram(),
-            PlacementKind::AllCpu,
-            true,
-            8,
-        );
+        let (system, model, policy, workload) =
+            inputs(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, true, 8);
         let placement = ModelPlacement::compute(&model, &policy);
         let single = run_pipeline(&PipelineInputs {
             system: &system,
@@ -457,12 +509,8 @@ mod tests {
 
     #[test]
     fn kv_offload_writes_back_over_pcie() {
-        let (system, model, policy, workload) = inputs(
-            HostMemoryConfig::nvdram(),
-            PlacementKind::AllCpu,
-            true,
-            8,
-        );
+        let (system, model, policy, workload) =
+            inputs(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, true, 8);
         let resident_policy = policy.clone();
         let offload_policy = policy.with_kv_offload(true);
         let placement = ModelPlacement::compute(&model, &resident_policy);

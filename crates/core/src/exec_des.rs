@@ -17,13 +17,15 @@
 //! (no KV offloading, single-tier placement) — a cross-validation
 //! property the test suite pins down — and the DES is never slower.
 
+use crate::exec::{audit_placement_feasibility, compute_time, PipelineInputs, SYNC_OVERHEAD};
 use crate::metrics::{LayerStepRecord, RunReport, Stage};
 use crate::placement::Tier;
-use crate::exec::{compute_time, PipelineInputs, SYNC_OVERHEAD_MS};
 use llm::layers::LayerKind;
+use simaudit::Auditor;
 use simcore::stats::SeriesStats;
 use simcore::time::{SimDuration, SimTime};
 use simcore::units::{Bandwidth, ByteSize};
+use std::collections::HashMap;
 use xfer::link::CappedLink;
 
 /// Runs the pipeline on the discrete-event link models.
@@ -48,11 +50,16 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
     let mut tbt = SeriesStats::new();
     let mut ttft = SimDuration::ZERO;
 
+    let mut audit = Auditor::capture();
+    audit_placement_feasibility(&mut audit, inp);
+
     // A helper that streams a set of flows on a link starting at
     // `start` (each after its fixed setup/latency cost, overlapped
     // across flows as in the analytic model) and returns the drain
-    // instant.
-    let drain = |link: &mut CappedLink, start: SimTime, flows: &[Flow]| {
+    // instant. Each flow's bytes enter the audit ledger when the
+    // transfer starts and leave it when the link reports completion —
+    // a flow the link loses track of shows up as an imbalance.
+    let drain = |link: &mut CappedLink, audit: &mut Auditor, start: SimTime, flows: &[Flow]| {
         if flows.is_empty() {
             return start;
         }
@@ -61,20 +68,28 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
             .map(|f| f.fixed)
             .fold(SimDuration::ZERO, SimDuration::max);
         let begin = start + fixed;
+        let mut inflight: HashMap<_, &Flow> = HashMap::with_capacity(flows.len());
         for f in flows {
-            link.start(begin, f.bytes.as_f64(), f.cap);
+            audit.scheduled(f.channel, f.bytes);
+            audit.check_bandwidth(f.channel, f.cap);
+            audit.check_duration(f.channel, f.fixed);
+            let id = link.start(begin, f.bytes.as_f64(), f.cap);
+            inflight.insert(id, f);
         }
         let mut t = begin;
         while let Some((at, id)) = link.next_completion(t) {
             t = at;
             link.complete(t, id);
+            if let Some(f) = inflight.remove(&id) {
+                audit.delivered(f.channel, f.bytes);
+            }
         }
         t
     };
 
     // Pipeline fill: layer 0's weights stream alone.
     let fill_flows = host_flows(inp, 0, cpu_ws, disk_ws, None);
-    now = drain(&mut h2d, now, &fill_flows);
+    now = drain(&mut h2d, &mut audit, now, &fill_flows);
 
     for token in 0..gen_len {
         let stage = if token == 0 {
@@ -105,14 +120,14 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
                 let flows = host_flows(inp, next_index, cpu_ws, disk_ws, kv_ctx);
                 let bytes = flows.iter().map(|f| f.bytes).sum();
                 (
-                    drain(&mut h2d, step_start, &flows),
+                    drain(&mut h2d, &mut audit, step_start, &flows),
                     Some(layers[next_index].layer().kind()),
                     bytes,
                 )
             };
 
             // Compute runs in parallel with the loads.
-            let compute = compute_time(inp, lp.layer(), stage, token) * micro as f64;
+            let compute = compute_time(inp, lp.layer(), stage, token) * f64::from(micro);
             let compute_done = step_start + compute;
 
             // KV write-back: enqueue after compute; stall only if the
@@ -128,7 +143,7 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
                     Stage::Decode => 1,
                 };
                 let bytes = ByteSize::from_bytes(
-                    effective_batch as u64
+                    u64::from(effective_batch)
                         * new_tokens as u64
                         * llm::kv::kv_bytes_per_token_per_block(inp.model),
                 );
@@ -143,18 +158,21 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
                 let start = compute_done.max(stall_until);
                 writeback_done = Some(drain(
                     &mut d2h,
+                    &mut audit,
                     start,
                     &[Flow {
                         bytes,
                         cap,
                         fixed: full - cap.time_for(bytes),
+                        channel: "d2h:kv",
                     }],
                 ));
                 d2h_bytes = bytes;
             }
 
-            now = compute_done.max(load_done).max(stall_until)
-                + SimDuration::from_millis(SYNC_OVERHEAD_MS);
+            now = compute_done.max(load_done).max(stall_until) + SYNC_OVERHEAD;
+            audit.check_duration("compute", compute);
+            audit.observe_time("des", now);
             records.push(LayerStepRecord {
                 token,
                 layer_index: j,
@@ -192,16 +210,19 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
         tokens_generated: inp.workload.tokens_generated(effective_batch),
         records,
         achieved_distribution: inp.placement.achieved_distribution(),
+        audit: audit.finish_if_active(),
     }
 }
 
-/// One host↔GPU stream: payload, rate cap, and the fixed
-/// setup/latency share of its standalone transfer time.
+/// One host↔GPU stream: payload, rate cap, the fixed setup/latency
+/// share of its standalone transfer time, and the audit ledger
+/// channel its bytes are accounted on.
 #[derive(Debug, Clone, Copy)]
 struct Flow {
     bytes: ByteSize,
     cap: Bandwidth,
     fixed: SimDuration,
+    channel: &'static str,
 }
 
 /// The host→GPU flows for one layer: per-tier weight portions, plus
@@ -232,6 +253,11 @@ fn host_flows(
             bytes,
             cap,
             fixed: full - cap.time_for(bytes),
+            channel: match tier {
+                Tier::Cpu => "h2d:cpu",
+                Tier::Disk => "h2d:disk",
+                Tier::Gpu => "h2d:gpu",
+            },
         });
     };
     push(Tier::Cpu, lp.bytes_on(Tier::Cpu, dtype), cpu_ws);
@@ -249,6 +275,7 @@ fn host_flows(
                 bytes: kv,
                 cap,
                 fixed: SimDuration::ZERO,
+                channel: "h2d:kv",
             });
         }
     }
@@ -298,10 +325,13 @@ mod tests {
         for placement in [PlacementKind::Baseline, PlacementKind::Helm] {
             let (analytic, des) = both(HostMemoryConfig::nvdram(), placement, false, 1);
             let rel = (des.tbt_ms() - analytic.tbt_ms()).abs() / analytic.tbt_ms();
-            assert!(rel < 1e-6, "{placement}: {} vs {}", des.tbt_ms(), analytic.tbt_ms());
             assert!(
-                (des.ttft_ms() - analytic.ttft_ms()).abs() / analytic.ttft_ms() < 1e-6
+                rel < 1e-6,
+                "{placement}: {} vs {}",
+                des.tbt_ms(),
+                analytic.tbt_ms()
             );
+            assert!((des.ttft_ms() - analytic.ttft_ms()).abs() / analytic.ttft_ms() < 1e-6);
         }
     }
 

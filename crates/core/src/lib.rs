@@ -60,7 +60,7 @@ pub mod projection;
 pub mod server;
 pub mod system;
 
-pub use error::ServeError;
+pub use error::{HelmError, ServeError};
 pub use metrics::RunReport;
 pub use placement::{ModelPlacement, PlacementKind, Tier};
 pub use policy::Policy;

@@ -82,6 +82,10 @@ pub struct RunReport {
     pub records: Vec<LayerStepRecord>,
     /// Achieved (disk, cpu, gpu) weight distribution.
     pub achieved_distribution: [f64; 3],
+    /// Invariant-audit outcome, when auditing was active for the run
+    /// (debug builds, or `--audit`): byte-conservation ledgers per
+    /// transfer channel plus any violations observed.
+    pub audit: Option<simaudit::AuditReport>,
 }
 
 impl RunReport {
@@ -92,7 +96,7 @@ impl RunReport {
 
     /// Mean time between tokens in milliseconds (first discarded).
     pub fn tbt_ms(&self) -> f64 {
-        self.tbt.mean_discard_first() * 1e3
+        SimDuration::from_secs(self.tbt.mean_discard_first()).as_millis()
     }
 
     /// Overall generation throughput in tokens/second.
@@ -104,9 +108,7 @@ impl RunReport {
     /// (the bars of Figs 5, 6, 8, 11a, 12d/e), first sample
     /// discarded.
     pub fn avg_weight_transfer(&self, stage: Stage, kind: LayerKind) -> SimDuration {
-        self.mean_over(|r| {
-            (r.stage == stage && r.next_kind == Some(kind)).then_some(r.load_next)
-        })
+        self.mean_over(|r| (r.stage == stage && r.next_kind == Some(kind)).then_some(r.load_next))
     }
 
     /// Mean compute time of `kind` layers during `stage` (the lines
@@ -125,9 +127,7 @@ impl RunReport {
 
     /// Mean compute time across both hidden-layer kinds.
     pub fn avg_hidden_compute(&self, stage: Stage) -> SimDuration {
-        self.mean_over(|r| {
-            (r.stage == stage && r.kind.is_hidden()).then_some(r.compute)
-        })
+        self.mean_over(|r| (r.stage == stage && r.kind.is_hidden()).then_some(r.compute))
     }
 
     /// Per-layer weight-load times of the first decode pass, in layer
@@ -169,7 +169,7 @@ impl RunReport {
         let stats: SeriesStats = self
             .records
             .iter()
-            .filter_map(|r| pick(r).map(|d| d.as_secs()))
+            .filter_map(|r| pick(r).map(SimDuration::as_secs))
             .collect();
         SimDuration::from_secs(stats.mean_discard_first())
     }
@@ -223,11 +223,8 @@ impl RunReport {
     /// layer  5 FFN  c ##########    | l ####         (MHA)
     /// ```
     pub fn timeline(&self, token: usize, width: usize) -> String {
-        let steps: Vec<&LayerStepRecord> = self
-            .records
-            .iter()
-            .filter(|r| r.token == token)
-            .collect();
+        let steps: Vec<&LayerStepRecord> =
+            self.records.iter().filter(|r| r.token == token).collect();
         let longest = steps
             .iter()
             .map(|r| r.step.as_secs())
@@ -247,9 +244,7 @@ impl RunReport {
                 r.kind.to_string(),
                 "#".repeat(c.min(width)),
                 "#".repeat(l.min(width)),
-                r.next_kind
-                    .map(|k| format!("({k})"))
-                    .unwrap_or_default(),
+                r.next_kind.map(|k| format!("({k})")).unwrap_or_default(),
                 w = width,
             );
         }
@@ -313,13 +308,54 @@ mod tests {
             records: vec![
                 // Two decode MHA steps loading FFN weights (first is
                 // the cold sample and gets discarded).
-                record(1, 1, LayerKind::Mha, Stage::Decode, 99.0, 99.0, Some(LayerKind::Ffn)),
-                record(2, 1, LayerKind::Mha, Stage::Decode, 10.0, 30.0, Some(LayerKind::Ffn)),
-                record(3, 1, LayerKind::Mha, Stage::Decode, 10.0, 30.0, Some(LayerKind::Ffn)),
-                record(2, 2, LayerKind::Ffn, Stage::Decode, 20.0, 15.0, Some(LayerKind::Mha)),
-                record(3, 2, LayerKind::Ffn, Stage::Decode, 20.0, 15.0, Some(LayerKind::Mha)),
+                record(
+                    1,
+                    1,
+                    LayerKind::Mha,
+                    Stage::Decode,
+                    99.0,
+                    99.0,
+                    Some(LayerKind::Ffn),
+                ),
+                record(
+                    2,
+                    1,
+                    LayerKind::Mha,
+                    Stage::Decode,
+                    10.0,
+                    30.0,
+                    Some(LayerKind::Ffn),
+                ),
+                record(
+                    3,
+                    1,
+                    LayerKind::Mha,
+                    Stage::Decode,
+                    10.0,
+                    30.0,
+                    Some(LayerKind::Ffn),
+                ),
+                record(
+                    2,
+                    2,
+                    LayerKind::Ffn,
+                    Stage::Decode,
+                    20.0,
+                    15.0,
+                    Some(LayerKind::Mha),
+                ),
+                record(
+                    3,
+                    2,
+                    LayerKind::Ffn,
+                    Stage::Decode,
+                    20.0,
+                    15.0,
+                    Some(LayerKind::Mha),
+                ),
             ],
             achieved_distribution: [0.0, 91.7, 8.3],
+            audit: None,
         }
     }
 

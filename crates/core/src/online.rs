@@ -11,7 +11,7 @@
 //! batch (All-CPU) sustains higher arrival rates, a balanced pipeline
 //! (HeLM) serves each batch faster.
 
-use crate::error::ServeError;
+use crate::error::HelmError;
 use crate::server::Server;
 use simcore::rng::SimRng;
 use simcore::stats::SeriesStats;
@@ -78,12 +78,12 @@ pub struct OnlineReport {
 impl OnlineReport {
     /// Mean queueing delay in milliseconds.
     pub fn mean_queue_delay_ms(&self) -> f64 {
-        self.queue_delay.mean() * 1e3
+        SimDuration::from_secs(self.queue_delay.mean()).as_millis()
     }
 
     /// A latency percentile (end-to-end) in milliseconds.
     pub fn e2e_percentile_ms(&self, p: f64) -> f64 {
-        self.e2e_latency.percentile(p).unwrap_or(0.0) * 1e3
+        SimDuration::from_secs(self.e2e_latency.percentile(p).unwrap_or(0.0)).as_millis()
     }
 }
 
@@ -105,7 +105,7 @@ pub fn run_online(
     workload: &WorkloadSpec,
     arrivals: &mut PoissonArrivals,
     num_requests: usize,
-) -> Result<OnlineReport, ServeError> {
+) -> Result<OnlineReport, HelmError> {
     let max_batch = server.policy().effective_batch();
     // Calibrate service times at the batch extremes.
     let full = server.run(workload)?;
@@ -113,7 +113,11 @@ pub fn run_online(
         let one = Server::new(
             server.system().clone(),
             server.model().clone(),
-            server.policy().clone().with_batch_size(1).with_gpu_batches(1),
+            server
+                .policy()
+                .clone()
+                .with_batch_size(1)
+                .with_gpu_batches(1),
         )?;
         one.run(workload)?
     } else {
@@ -127,7 +131,7 @@ pub fn run_online(
         // totals (decode is batch-flat; prefill grows with batch).
         let t1 = single.total_time.as_secs();
         let tn = full.total_time.as_secs();
-        let frac = (batch - 1) as f64 / (max_batch - 1) as f64;
+        let frac = f64::from(batch - 1) / f64::from(max_batch - 1);
         SimDuration::from_secs(t1 + frac * (tn - t1))
     };
 
@@ -196,7 +200,7 @@ pub fn run_online_des(
     workload: &WorkloadSpec,
     arrivals: &mut PoissonArrivals,
     num_requests: usize,
-) -> Result<OnlineReport, ServeError> {
+) -> Result<OnlineReport, HelmError> {
     use simcore::engine::{Context, Simulator};
     use std::collections::VecDeque;
 
@@ -206,7 +210,11 @@ pub fn run_online_des(
         Server::new(
             server.system().clone(),
             server.model().clone(),
-            server.policy().clone().with_batch_size(1).with_gpu_batches(1),
+            server
+                .policy()
+                .clone()
+                .with_batch_size(1)
+                .with_gpu_batches(1),
         )?
         .run(workload)?
     } else {
@@ -232,7 +240,7 @@ pub fn run_online_des(
         if st.max_batch <= 1 {
             return SimDuration::from_secs(st.tn);
         }
-        let frac = (batch - 1) as f64 / (st.max_batch - 1) as f64;
+        let frac = f64::from(batch - 1) / f64::from(st.max_batch - 1);
         SimDuration::from_secs(st.t1 + frac * (st.tn - st.t1))
     }
 
@@ -416,8 +424,7 @@ mod tests {
         ] {
             let s = server(placement, batch);
             let a = run_online(&s, &ws, &mut PoissonArrivals::new(lambda, 11), 60).unwrap();
-            let b =
-                run_online_des(&s, &ws, &mut PoissonArrivals::new(lambda, 11), 60).unwrap();
+            let b = run_online_des(&s, &ws, &mut PoissonArrivals::new(lambda, 11), 60).unwrap();
             assert_eq!(a.batch_sizes, b.batch_sizes, "{placement} batches");
             assert!(
                 (a.makespan.as_secs() - b.makespan.as_secs()).abs() < 1e-9,

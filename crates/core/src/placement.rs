@@ -148,6 +148,28 @@ impl ModelPlacement {
         Self::compute_inner(model, policy, false)
     }
 
+    /// Like [`ModelPlacement::compute`], but validates the policy's
+    /// percentage distribution first instead of silently normalizing:
+    /// every component must be finite and non-negative, and the three
+    /// must sum to 100 (within floating-point slack).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HelmError::InvalidDistribution`] when the distribution
+    /// is malformed.
+    pub fn try_compute(
+        model: &ModelConfig,
+        policy: &Policy,
+    ) -> Result<ModelPlacement, crate::HelmError> {
+        let percents = policy.dist().as_array();
+        let valid = percents.iter().all(|p| p.is_finite() && *p >= 0.0)
+            && (percents.iter().sum::<f64>() - 100.0).abs() < 1e-6;
+        if !valid {
+            return Err(crate::HelmError::InvalidDistribution { percents });
+        }
+        Ok(Self::compute_inner(model, policy, false))
+    }
+
     /// HeLM's capacity fallback: when FC1-on-GPU cannot coexist with
     /// the serving batch's KV cache, the FFN share demotes to host
     /// and only biases/norms stay GPU-resident. This reproduces the
@@ -219,10 +241,7 @@ impl ModelPlacement {
             .into_iter()
             .map(|layer| {
                 let specs = layer.weight_specs();
-                let pinned = layer
-                    .block()
-                    .map(|b| b < pinned_blocks)
-                    .unwrap_or(false);
+                let pinned = layer.block().map(|b| b < pinned_blocks).unwrap_or(false);
                 let tier = if pinned { Tier::Gpu } else { Tier::Cpu };
                 let weights = specs
                     .into_iter()
@@ -241,22 +260,15 @@ impl ModelPlacement {
             .map(|layer| {
                 let specs = layer.weight_specs();
                 let tiers = match policy.placement() {
-                    PlacementKind::Baseline => baseline_init_weight_list(
-                        &specs,
-                        policy.dist().as_array(),
-                        dtype,
-                    ),
+                    PlacementKind::Baseline => {
+                        baseline_init_weight_list(&specs, policy.dist().as_array(), dtype)
+                    }
                     PlacementKind::Helm => {
                         let kind = layer.kind();
                         if demote_ffn && kind == LayerKind::Ffn {
                             helm_allocate(&specs, [0.0, 100.0, 0.0], dtype)
                         } else {
-                            helm_init_weight_list(
-                                &specs,
-                                kind,
-                                policy.dist().as_array(),
-                                dtype,
-                            )
+                            helm_init_weight_list(&specs, kind, policy.dist().as_array(), dtype)
                         }
                     }
                     PlacementKind::AllCpu => vec![Tier::Cpu; specs.len()],
@@ -460,6 +472,32 @@ mod tests {
             .with_placement(kind)
             .with_compression(compressed);
         (model, policy)
+    }
+
+    #[test]
+    fn try_compute_matches_compute_on_valid_policies() {
+        let (model, policy) = opt175b_policy(PlacementKind::Helm, true);
+        let fallible = ModelPlacement::try_compute(&model, &policy).expect("valid distribution");
+        assert_eq!(fallible, ModelPlacement::compute(&model, &policy));
+    }
+
+    #[test]
+    fn try_new_distribution_rejects_garbage() {
+        use crate::HelmError;
+        assert!(matches!(
+            PercentDist::try_new(-10.0, 90.0, 20.0),
+            Err(HelmError::InvalidDistribution { .. })
+        ));
+        assert!(matches!(
+            PercentDist::try_new(f64::NAN, 50.0, 50.0),
+            Err(HelmError::InvalidDistribution { .. })
+        ));
+        assert!(matches!(
+            PercentDist::try_new(10.0, 20.0, 30.0),
+            Err(HelmError::InvalidDistribution { .. })
+        ));
+        let ok = PercentDist::try_new(0.0, 80.0, 20.0).expect("sums to 100");
+        assert_eq!(ok.as_array(), [0.0, 80.0, 20.0]);
     }
 
     #[test]

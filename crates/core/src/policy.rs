@@ -41,6 +41,25 @@ impl PercentDist {
         PercentDist { disk, cpu, gpu }
     }
 
+    /// Fallible form of [`PercentDist::new`] for untrusted input
+    /// (config files, CLI flags).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::HelmError::InvalidDistribution`] on a NaN or negative
+    /// share, or a sum away from 100.
+    pub fn try_new(disk: f64, cpu: f64, gpu: f64) -> Result<Self, crate::HelmError> {
+        let valid = [disk, cpu, gpu].iter().all(|p| p.is_finite() && *p >= 0.0)
+            && ((disk + cpu + gpu) - 100.0).abs() < 1e-9;
+        if valid {
+            Ok(PercentDist { disk, cpu, gpu })
+        } else {
+            Err(crate::HelmError::InvalidDistribution {
+                percents: [disk, cpu, gpu],
+            })
+        }
+    }
+
     /// As the `(disk, cpu, gpu)` array FlexGen's allocator walks.
     pub fn as_array(&self) -> [f64; 3] {
         [self.disk, self.cpu, self.gpu]
@@ -80,7 +99,9 @@ impl Policy {
     pub fn paper_default(model: &ModelConfig, memory: MemoryConfigKind) -> Self {
         let dist = if model.num_blocks() >= 96 {
             match memory {
-                MemoryConfigKind::Ssd | MemoryConfigKind::FsDax => PercentDist::new(65.0, 15.0, 20.0),
+                MemoryConfigKind::Ssd | MemoryConfigKind::FsDax => {
+                    PercentDist::new(65.0, 15.0, 20.0)
+                }
                 _ => PercentDist::new(0.0, 80.0, 20.0),
             }
         } else {

@@ -10,7 +10,7 @@
 //!
 //! [`cxl_asic`]: hetmem::HostMemoryConfig::cxl_asic
 
-use crate::error::ServeError;
+use crate::error::HelmError;
 use crate::metrics::{RunReport, Stage};
 use crate::placement::PlacementKind;
 use crate::policy::Policy;
@@ -71,7 +71,7 @@ pub fn run_config(
     placement: PlacementKind,
     batch: u32,
     workload: &WorkloadSpec,
-) -> Result<RunReport, ServeError> {
+) -> Result<RunReport, HelmError> {
     let model = ModelConfig::opt_175b();
     let policy = Policy::paper_default(&model, memory.kind())
         .with_placement(placement)
@@ -85,7 +85,7 @@ pub fn run_config(
 /// # Errors
 ///
 /// Propagates the first failing cell.
-pub fn table_iv(workload: &WorkloadSpec) -> Result<Vec<OverlapRow>, ServeError> {
+pub fn table_iv(workload: &WorkloadSpec) -> Result<Vec<OverlapRow>, HelmError> {
     let mut rows = Vec::new();
     for (placement, batch) in table_iv_policies() {
         for config in table_iv_configs() {
@@ -121,9 +121,7 @@ pub fn table_iv(workload: &WorkloadSpec) -> Result<Vec<OverlapRow>, ServeError> 
 /// # Errors
 ///
 /// Propagates serving failures.
-pub fn fig13_helm_gains(
-    workload: &WorkloadSpec,
-) -> Result<Vec<(String, f64, f64)>, ServeError> {
+pub fn fig13_helm_gains(workload: &WorkloadSpec) -> Result<Vec<(String, f64, f64)>, HelmError> {
     let mut out = Vec::new();
     for config in table_iv_configs() {
         let label = config.kind().to_string();
@@ -147,7 +145,7 @@ pub fn fig13_helm_gains(
 /// Propagates serving failures.
 pub fn fig13_allcpu_throughput(
     workload: &WorkloadSpec,
-) -> Result<Vec<(String, f64, f64, f64)>, ServeError> {
+) -> Result<Vec<(String, f64, f64, f64)>, HelmError> {
     let mut out = Vec::new();
     for config in table_iv_configs() {
         let label = config.kind().to_string();
@@ -174,10 +172,20 @@ mod tests {
 
     #[test]
     fn cxl_asic_outperforms_fpga() {
-        let fpga = run_config(HostMemoryConfig::cxl_fpga(), PlacementKind::Baseline, 1, &ws())
-            .unwrap();
-        let asic = run_config(HostMemoryConfig::cxl_asic(), PlacementKind::Baseline, 1, &ws())
-            .unwrap();
+        let fpga = run_config(
+            HostMemoryConfig::cxl_fpga(),
+            PlacementKind::Baseline,
+            1,
+            &ws(),
+        )
+        .unwrap();
+        let asic = run_config(
+            HostMemoryConfig::cxl_asic(),
+            PlacementKind::Baseline,
+            1,
+            &ws(),
+        )
+        .unwrap();
         assert!(asic.tbt_ms() < fpga.tbt_ms() / 2.0);
     }
 

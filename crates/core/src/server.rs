@@ -1,6 +1,6 @@
 //! The high-level serving entry point.
 
-use crate::error::ServeError;
+use crate::error::HelmError;
 use crate::exec::{run_pipeline, PipelineInputs};
 use crate::metrics::RunReport;
 use crate::placement::{ModelPlacement, Tier};
@@ -53,14 +53,14 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`ServeError::NoDiskTier`] when the policy targets storage the
-    /// configuration lacks; [`ServeError::CapacityExceeded`] when a
+    /// [`HelmError::NoDiskTier`] when the policy targets storage the
+    /// configuration lacks; [`HelmError::CapacityExceeded`] when a
     /// tier overflows.
     pub fn new(
         system: SystemConfig,
         model: ModelConfig,
         policy: Policy,
-    ) -> Result<Self, ServeError> {
+    ) -> Result<Self, HelmError> {
         let mut placement = ModelPlacement::compute(&model, &policy);
         // HeLM's GPU-resident share (FC1 of every block) may not fit
         // at all for large uncompressed models; its capacity fallback
@@ -74,7 +74,7 @@ impl Server {
         }
         let disk_bytes = placement.total_on(Tier::Disk);
         if disk_bytes > ByteSize::ZERO && system.memory().disk_device().is_none() {
-            return Err(ServeError::NoDiskTier);
+            return Err(HelmError::NoDiskTier);
         }
         // Drive the host-side placement through the memkind-like
         // tiered allocator: every layer's per-tier bytes are real
@@ -83,25 +83,26 @@ impl Server {
         let cpu_tier = allocator.add_tier("cpu", system.tier_capacity(Tier::Cpu));
         let disk_tier = allocator.add_tier("disk", system.tier_capacity(Tier::Disk));
         for lp in placement.layers() {
-            for (tier, id, name) in
-                [(Tier::Cpu, cpu_tier, "cpu"), (Tier::Disk, disk_tier, "disk")]
-            {
+            for (tier, id, name) in [
+                (Tier::Cpu, cpu_tier, "cpu"),
+                (Tier::Disk, disk_tier, "disk"),
+            ] {
                 let bytes = lp.bytes_on(tier, placement.dtype());
                 if bytes > ByteSize::ZERO {
-                    allocator.allocate(id, bytes).map_err(|e| {
-                        ServeError::CapacityExceeded {
+                    allocator
+                        .allocate(id, bytes)
+                        .map_err(|e| HelmError::CapacityExceeded {
                             tier: name,
                             requested: placement.total_on(tier),
                             capacity: e.available + allocator.used(id),
-                        }
-                    })?;
+                        })?;
                 }
             }
         }
         // The batch-independent GPU residents must fit outright.
         let gpu_resident = placement.total_on(Tier::Gpu) + placement.staging_bytes();
         if gpu_resident > system.gpu().hbm_capacity() {
-            return Err(ServeError::CapacityExceeded {
+            return Err(HelmError::CapacityExceeded {
                 tier: "gpu",
                 requested: gpu_resident,
                 capacity: system.gpu().hbm_capacity(),
@@ -140,7 +141,7 @@ impl Server {
         let kv_per_sequence = if self.policy.kv_offload() {
             // Only the live layer's cache (double-buffered) stays in
             // HBM; the rest lives on the host tier.
-            simcore::units::ByteSize::from_bytes(
+            ByteSize::from_bytes(
                 2 * context as u64 * llm::kv::kv_bytes_per_token_per_block(&self.model),
             )
         } else {
@@ -185,12 +186,12 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`ServeError::BatchTooLarge`] when the policy's batch exceeds
+    /// [`HelmError::BatchTooLarge`] when the policy's batch exceeds
     /// what GPU memory allows for this workload.
-    pub fn run(&self, workload: &WorkloadSpec) -> Result<RunReport, ServeError> {
+    pub fn run(&self, workload: &WorkloadSpec) -> Result<RunReport, HelmError> {
         let max = self.max_batch(workload);
         if self.policy.effective_batch() > max {
-            return Err(ServeError::BatchTooLarge {
+            return Err(HelmError::BatchTooLarge {
                 requested: self.policy.effective_batch(),
                 max_batch: max,
             });
@@ -206,11 +207,11 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// [`ServeError::BatchTooLarge`] as for [`Server::run`].
-    pub fn run_des(&self, workload: &WorkloadSpec) -> Result<RunReport, ServeError> {
+    /// [`HelmError::BatchTooLarge`] as for [`Server::run`].
+    pub fn run_des(&self, workload: &WorkloadSpec) -> Result<RunReport, HelmError> {
         let max = self.max_batch(workload);
         if self.policy.effective_batch() > max {
-            return Err(ServeError::BatchTooLarge {
+            return Err(HelmError::BatchTooLarge {
                 requested: self.policy.effective_batch(),
                 max_batch: max,
             });
@@ -253,7 +254,7 @@ mod tests {
         kind: PlacementKind,
         compressed: bool,
         batch: u32,
-    ) -> Result<Server, ServeError> {
+    ) -> Result<Server, HelmError> {
         let model = ModelConfig::opt_175b();
         let policy = Policy::paper_default(&model, memory.kind())
             .with_placement(kind)
@@ -266,9 +267,11 @@ mod tests {
     fn opt175b_uncompressed_rejected_on_dram() {
         // ~320 GB host-resident weights vs 256 GB DRAM.
         let err = server(HostMemoryConfig::dram(), PlacementKind::Baseline, false, 1)
-            .err()
-            .expect("should not fit");
-        assert!(matches!(err, ServeError::CapacityExceeded { tier: "cpu", .. }));
+            .expect_err("should not fit");
+        assert!(matches!(
+            err,
+            HelmError::CapacityExceeded { tier: "cpu", .. }
+        ));
     }
 
     #[test]
@@ -279,13 +282,25 @@ mod tests {
 
     #[test]
     fn opt175b_fits_nvdram_uncompressed() {
-        assert!(server(HostMemoryConfig::nvdram(), PlacementKind::Baseline, false, 1).is_ok());
+        assert!(server(
+            HostMemoryConfig::nvdram(),
+            PlacementKind::Baseline,
+            false,
+            1
+        )
+        .is_ok());
     }
 
     #[test]
     fn baseline_max_batch_is_8_uncompressed() {
         // Paper Fig 4: maximum permissible batch for OPT-175B is 8.
-        let s = server(HostMemoryConfig::nvdram(), PlacementKind::Baseline, false, 1).unwrap();
+        let s = server(
+            HostMemoryConfig::nvdram(),
+            PlacementKind::Baseline,
+            false,
+            1,
+        )
+        .unwrap();
         assert_eq!(s.max_batch(&WorkloadSpec::paper_default()), 8);
     }
 
@@ -298,11 +313,17 @@ mod tests {
 
     #[test]
     fn oversized_batch_rejected_at_run() {
-        let s = server(HostMemoryConfig::nvdram(), PlacementKind::Baseline, false, 32).unwrap();
+        let s = server(
+            HostMemoryConfig::nvdram(),
+            PlacementKind::Baseline,
+            false,
+            32,
+        )
+        .unwrap();
         let err = s.run(&WorkloadSpec::paper_default()).unwrap_err();
         assert!(matches!(
             err,
-            ServeError::BatchTooLarge { requested: 32, .. }
+            HelmError::BatchTooLarge { requested: 32, .. }
         ));
     }
 
@@ -318,7 +339,7 @@ mod tests {
             policy,
         )
         .unwrap_err();
-        assert_eq!(err, ServeError::NoDiskTier);
+        assert_eq!(err, HelmError::NoDiskTier);
     }
 
     #[test]
@@ -366,7 +387,7 @@ mod tests {
         let err = s.run(&WorkloadSpec::paper_default()).unwrap_err();
         assert!(matches!(
             err,
-            ServeError::BatchTooLarge { requested: 55, .. }
+            HelmError::BatchTooLarge { requested: 55, .. }
         ));
     }
 

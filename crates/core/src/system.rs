@@ -1,10 +1,10 @@
 //! The full platform assembly (Table I + Table II).
 
 use crate::placement::Tier;
+use gpusim::GpuSpec;
 use hetmem::config::DeviceHandle;
 use hetmem::numa::{NodeId, NumaTopology};
 use hetmem::HostMemoryConfig;
-use gpusim::GpuSpec;
 use simcore::time::SimDuration;
 use simcore::units::{Bandwidth, ByteSize};
 use xfer::path::{HostEndpoint, PathModel, TransferRequest};
@@ -412,7 +412,10 @@ mod node_policy_tests {
 
     #[test]
     fn policy_accessor_round_trips() {
-        assert_eq!(sys(NodePolicy::Interleaved).node_policy(), NodePolicy::Interleaved);
+        assert_eq!(
+            sys(NodePolicy::Interleaved).node_policy(),
+            NodePolicy::Interleaved
+        );
         assert_eq!(
             SystemConfig::paper_platform(HostMemoryConfig::dram()).node_policy(),
             NodePolicy::GpuLocal

@@ -12,6 +12,7 @@
 
 use crate::spec::GpuSpec;
 use simcore::time::SimDuration;
+use simcore::units::Bandwidth;
 
 /// Fraction of peak FP16 tensor FLOPs realized by serving GEMMs.
 pub const GEMM_EFFICIENCY: f64 = 0.45;
@@ -20,7 +21,7 @@ pub const GEMV_HBM_EFFICIENCY: f64 = 0.60;
 /// Effective group-wise dequantization throughput over *compressed*
 /// bytes. Calibrated to Table IV: baseline batch-1 MHA-compute /
 /// FFN-load = 0.36 on NVDRAM with 4-bit weights.
-pub const DEQUANT_GBPS: f64 = 25.6;
+pub const DEQUANT_BW: Bandwidth = Bandwidth::from_gb_per_s_const(25.6);
 /// Fraction of HBM bandwidth realized by elementwise kernels
 /// (layernorm, residual adds, activation functions).
 pub const ELEMENTWISE_HBM_EFFICIENCY: f64 = 0.70;
@@ -125,7 +126,7 @@ impl KernelProfile {
             KernelKind::Gemv | KernelKind::Attention => {
                 self.hbm_bytes / (hbm * GEMV_HBM_EFFICIENCY)
             }
-            KernelKind::Dequant => self.hbm_bytes / (DEQUANT_GBPS * 1e9),
+            KernelKind::Dequant => self.hbm_bytes / DEQUANT_BW.as_bytes_per_s(),
             KernelKind::Elementwise => self.hbm_bytes / (hbm * ELEMENTWISE_HBM_EFFICIENCY),
         };
         gpu.kernel_launch_overhead() + SimDuration::from_secs(busy)

@@ -85,8 +85,10 @@ impl MemoryBudget {
 
     /// Bytes needed to serve `batch` sequences under `costs`.
     pub fn required(&self, costs: &ResidentCosts, batch: u32) -> ByteSize {
-        costs.weights + costs.staging + WORKSPACE_RESERVE
-            + Self::per_sequence(costs) * batch as u64
+        costs.weights
+            + costs.staging
+            + WORKSPACE_RESERVE
+            + Self::per_sequence(costs) * u64::from(batch)
     }
 
     /// Whether `batch` sequences fit.

@@ -114,10 +114,7 @@ impl GpuSpec {
     where
         I: IntoIterator<Item = &'a KernelProfile>,
     {
-        kernels
-            .into_iter()
-            .map(|k| self.kernel_time(k))
-            .sum()
+        kernels.into_iter().map(|k| self.kernel_time(k)).sum()
     }
 }
 

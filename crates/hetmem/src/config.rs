@@ -8,7 +8,7 @@ use crate::dram::DramDevice;
 use crate::memmode::MemoryModeDevice;
 use crate::optane::OptaneDevice;
 use crate::storage::StorageDevice;
-use simcore::units::{Bandwidth, ByteSize};
+use simcore::units::{Bandwidth, ByteSize, UnitError};
 use std::fmt;
 use std::sync::Arc;
 
@@ -83,8 +83,8 @@ impl HostMemoryConfig {
             kind: MemoryConfigKind::Dram,
             cpu: Arc::new(DramDevice::new(
                 ByteSize::from_gib(256.0),
-                Bandwidth::from_gb_per_s(crate::dram::DDR4_2933_SOCKET_READ_GBPS),
-                Bandwidth::from_gb_per_s(crate::dram::PER_STREAM_GBPS),
+                crate::dram::DDR4_2933_SOCKET_READ,
+                crate::dram::PER_STREAM,
             )),
             disk: None,
         }
@@ -93,11 +93,7 @@ impl HostMemoryConfig {
     /// An all-DRAM host with custom capacity and rates, for what-if
     /// studies (e.g. the hypothetical 1 TB DRAM system that OPT-175B
     /// would need without heterogeneous memory).
-    pub fn custom_dram(
-        capacity: ByteSize,
-        socket_read: Bandwidth,
-        per_stream: Bandwidth,
-    ) -> Self {
+    pub fn custom_dram(capacity: ByteSize, socket_read: Bandwidth, per_stream: Bandwidth) -> Self {
         HostMemoryConfig {
             kind: MemoryConfigKind::Dram,
             cpu: Arc::new(DramDevice::new(capacity, socket_read, per_stream)),
@@ -109,7 +105,7 @@ impl HostMemoryConfig {
     pub fn nvdram() -> Self {
         HostMemoryConfig {
             kind: MemoryConfigKind::NvDram,
-            cpu: Arc::new(OptaneDevice::with_capacity(ByteSize::from_gib(1024.0))),
+            cpu: Arc::new(OptaneDevice::with_capacity(ByteSize::from_tib(1.0))),
             disk: None,
         }
     }
@@ -121,10 +117,10 @@ impl HostMemoryConfig {
             cpu: Arc::new(MemoryModeDevice::new(
                 DramDevice::new(
                     ByteSize::from_gib(256.0),
-                    Bandwidth::from_gb_per_s(crate::dram::DDR4_2933_SOCKET_READ_GBPS),
-                    Bandwidth::from_gb_per_s(crate::dram::PER_STREAM_GBPS),
+                    crate::dram::DDR4_2933_SOCKET_READ,
+                    crate::dram::PER_STREAM,
                 ),
-                OptaneDevice::with_capacity(ByteSize::from_gib(1024.0)),
+                OptaneDevice::with_capacity(ByteSize::from_tib(1.0)),
             )),
             disk: None,
         }
@@ -178,7 +174,7 @@ impl HostMemoryConfig {
     pub fn cxl_custom(read_bw: Bandwidth) -> Self {
         HostMemoryConfig {
             kind: MemoryConfigKind::CxlCustom,
-            cpu: Arc::new(CxlDevice::custom(read_bw, ByteSize::from_gib(1024.0))),
+            cpu: Arc::new(CxlDevice::custom(read_bw, ByteSize::from_tib(1.0))),
             disk: None,
         }
     }
@@ -194,6 +190,28 @@ impl HostMemoryConfig {
             latency_factor,
         ));
         self
+    }
+
+    /// Fallible form of [`HostMemoryConfig::with_cpu_throttle`] for
+    /// untrusted factors (sweep configs, CLI flags).
+    ///
+    /// # Errors
+    ///
+    /// [`UnitError::InvalidBandwidth`] when `bandwidth_factor` is not
+    /// in `(0, 1]`; [`UnitError::InvalidTime`] when `latency_factor`
+    /// is not `>= 1` (a throttle can only slow the device down).
+    pub fn try_with_cpu_throttle(
+        self,
+        bandwidth_factor: f64,
+        latency_factor: f64,
+    ) -> Result<Self, UnitError> {
+        if !(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0) {
+            return Err(UnitError::InvalidBandwidth(bandwidth_factor));
+        }
+        if !(latency_factor >= 1.0 && latency_factor.is_finite()) {
+            return Err(UnitError::InvalidTime(latency_factor));
+        }
+        Ok(self.with_cpu_throttle(bandwidth_factor, latency_factor))
     }
 
     /// The configuration label.
@@ -271,10 +289,7 @@ mod tests {
             assert!(cfg.disk_device().is_some());
             assert_eq!(cfg.cpu_device().technology(), MemoryTechnology::Dram);
             assert!(!cfg.cpu_needs_bounce());
-            assert_eq!(
-                cfg.disk_device().unwrap().staging(),
-                crate::device::Staging::BounceBuffer
-            );
+            assert_eq!(cfg.disk_device().unwrap().staging(), Staging::BounceBuffer);
         }
     }
 
@@ -286,6 +301,25 @@ mod tests {
         // ...but not in 256 GB of DRAM.
         let dram = HostMemoryConfig::dram();
         assert!(dram.cpu_device().capacity() < ByteSize::from_gb(324.0));
+    }
+
+    #[test]
+    fn try_with_cpu_throttle_validates_factors() {
+        assert_eq!(
+            HostMemoryConfig::dram()
+                .try_with_cpu_throttle(-0.5, 1.0)
+                .unwrap_err(),
+            UnitError::InvalidBandwidth(-0.5)
+        );
+        assert_eq!(
+            HostMemoryConfig::dram()
+                .try_with_cpu_throttle(0.5, 0.9)
+                .unwrap_err(),
+            UnitError::InvalidTime(0.9)
+        );
+        assert!(HostMemoryConfig::dram()
+            .try_with_cpu_throttle(0.5, 1.5)
+            .is_ok());
     }
 
     #[test]

@@ -19,13 +19,16 @@ use simcore::time::SimDuration;
 use simcore::units::{Bandwidth, ByteSize};
 
 /// Effective bandwidth of the FPGA-controller device (Table III).
-pub const CXL_FPGA_GBPS: f64 = 5.12;
+pub const CXL_FPGA_BW: Bandwidth = Bandwidth::from_gb_per_s_const(5.12);
 /// Effective bandwidth of the ASIC-controller device (Table III).
-pub const CXL_ASIC_GBPS: f64 = 28.0;
+pub const CXL_ASIC_BW: Bandwidth = Bandwidth::from_gb_per_s_const(28.0);
 /// Minimum added round-trip latency of the CXL hop (§II-D).
-pub const CXL_ADDED_LATENCY_NS: f64 = 70.0;
+pub const CXL_ADDED_LATENCY: SimDuration = SimDuration::from_nanos_const(70.0);
 /// Base latency of the expander-side memory.
-pub const MEDIA_LATENCY_NS: f64 = 85.0;
+pub const MEDIA_LATENCY: SimDuration = SimDuration::from_nanos_const(85.0);
+/// Extra cross-socket (UPI) latency when the CXL port hangs off the
+/// other socket.
+pub const CXL_REMOTE_HOP: SimDuration = SimDuration::from_nanos_const(58.0);
 /// Write derating relative to reads across the CXL link.
 pub const WRITE_DERATE: f64 = 0.85;
 /// Random-access derating at the expander.
@@ -71,7 +74,7 @@ impl CxlDevice {
             controller: CxlController::Fpga,
             media: "DDR4-3200 x1".to_owned(),
             capacity: ByteSize::from_gib(512.0),
-            read_bw: Bandwidth::from_gb_per_s(CXL_FPGA_GBPS),
+            read_bw: CXL_FPGA_BW,
         }
     }
 
@@ -81,7 +84,7 @@ impl CxlDevice {
             controller: CxlController::Asic,
             media: "DDR5-4800 x1".to_owned(),
             capacity: ByteSize::from_gib(512.0),
-            read_bw: Bandwidth::from_gb_per_s(CXL_ASIC_GBPS),
+            read_bw: CXL_ASIC_BW,
         }
     }
 
@@ -138,8 +141,12 @@ impl MemoryDevice for CxlDevice {
     }
 
     fn idle_latency(&self, _kind: AccessKind, remote: bool) -> SimDuration {
-        let upi = if remote { 58.0 } else { 0.0 };
-        SimDuration::from_nanos(MEDIA_LATENCY_NS + CXL_ADDED_LATENCY_NS + upi)
+        let upi = if remote {
+            CXL_REMOTE_HOP
+        } else {
+            SimDuration::ZERO
+        };
+        MEDIA_LATENCY + CXL_ADDED_LATENCY + upi
     }
 }
 
@@ -153,28 +160,30 @@ mod tests {
 
     #[test]
     fn table_iii_bandwidths() {
-        assert!((CxlDevice::fpga_ddr4().bandwidth(&p()).as_gb_per_s() - CXL_FPGA_GBPS).abs() < 1e-9);
-        assert!((CxlDevice::asic_ddr5().bandwidth(&p()).as_gb_per_s() - CXL_ASIC_GBPS).abs() < 1e-9);
+        assert!(
+            (CxlDevice::fpga_ddr4().bandwidth(&p()).as_gb_per_s() - CXL_FPGA_BW.as_gb_per_s())
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (CxlDevice::asic_ddr5().bandwidth(&p()).as_gb_per_s() - CXL_ASIC_BW.as_gb_per_s())
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]
     fn latency_includes_cxl_hop() {
         let d = CxlDevice::asic_ddr5();
         let lat = d.idle_latency(AccessKind::RandRead, false);
-        assert!(lat >= SimDuration::from_nanos(CXL_ADDED_LATENCY_NS + MEDIA_LATENCY_NS));
+        assert!(lat >= CXL_ADDED_LATENCY + MEDIA_LATENCY);
         assert!(d.idle_latency(AccessKind::RandRead, true) > lat);
     }
 
     #[test]
     fn custom_device_spans_the_spectrum() {
-        let lo = CxlDevice::custom(
-            Bandwidth::from_gb_per_s(2.0),
-            ByteSize::from_gib(256.0),
-        );
-        let hi = CxlDevice::custom(
-            Bandwidth::from_gb_per_s(60.0),
-            ByteSize::from_gib(256.0),
-        );
+        let lo = CxlDevice::custom(Bandwidth::from_gb_per_s(2.0), ByteSize::from_gib(256.0));
+        let hi = CxlDevice::custom(Bandwidth::from_gb_per_s(60.0), ByteSize::from_gib(256.0));
         assert!(hi.bandwidth(&p()) > lo.bandwidth(&p()));
         assert_eq!(lo.controller(), CxlController::Custom);
     }

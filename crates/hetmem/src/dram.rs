@@ -14,22 +14,22 @@ use simcore::units::{Bandwidth, ByteSize};
 /// Achieved aggregate sequential-read bandwidth per socket (paper
 /// §II-D: "our DDR4-based evaluation system achieves 157 GB/s across
 /// 8 memory channels").
-pub const DDR4_2933_SOCKET_READ_GBPS: f64 = 157.0;
+pub const DDR4_2933_SOCKET_READ: Bandwidth = Bandwidth::from_gb_per_s_const(157.0);
 /// Sequential-write derating relative to reads (typical DDR4 ~0.9).
 pub const WRITE_DERATE: f64 = 0.90;
 /// Random-access derating relative to streaming.
 pub const RANDOM_DERATE: f64 = 0.30;
 /// Usable cross-socket (UPI) bandwidth cap on Ice Lake (3 links).
-pub const UPI_CAP_GBPS: f64 = 50.0;
+pub const UPI_CAP: Bandwidth = Bandwidth::from_gb_per_s_const(50.0);
 /// Local idle load-to-use latency.
-pub const LOCAL_LATENCY_NS: f64 = 81.0;
+pub const LOCAL_LATENCY: SimDuration = SimDuration::from_nanos_const(81.0);
 /// Remote (cross-socket) idle latency.
-pub const REMOTE_LATENCY_NS: f64 = 139.0;
+pub const REMOTE_LATENCY: SimDuration = SimDuration::from_nanos_const(139.0);
 /// Per-stream DMA-class sequential bandwidth before channel-level
 /// parallelism saturates the socket. High enough that a single DMA
 /// stream out of DRAM is never the bottleneck on the PCIe path
 /// (paper Fig 3: DRAM host-to-GPU copies run at the PCIe ceiling).
-pub const PER_STREAM_GBPS: f64 = 40.0;
+pub const PER_STREAM: Bandwidth = Bandwidth::from_gb_per_s_const(40.0);
 
 /// A DDR DRAM device (one socket's worth of channels).
 ///
@@ -60,8 +60,8 @@ impl DramDevice {
     pub fn ddr4_2933_socket() -> Self {
         DramDevice {
             capacity: ByteSize::from_gib(128.0),
-            socket_read: Bandwidth::from_gb_per_s(DDR4_2933_SOCKET_READ_GBPS),
-            per_stream: Bandwidth::from_gb_per_s(PER_STREAM_GBPS),
+            socket_read: DDR4_2933_SOCKET_READ,
+            per_stream: PER_STREAM,
         }
     }
 
@@ -91,7 +91,7 @@ impl MemoryDevice for DramDevice {
     fn bandwidth(&self, profile: &AccessProfile) -> Bandwidth {
         let mut bw = self
             .per_stream
-            .scale(profile.concurrency as f64)
+            .scale(f64::from(profile.concurrency))
             .min(self.socket_read);
         if !profile.kind.is_read() {
             bw = bw.scale(WRITE_DERATE);
@@ -100,16 +100,16 @@ impl MemoryDevice for DramDevice {
             bw = bw.scale(RANDOM_DERATE);
         }
         if profile.remote {
-            bw = bw.min(Bandwidth::from_gb_per_s(UPI_CAP_GBPS));
+            bw = bw.min(UPI_CAP);
         }
         bw
     }
 
     fn idle_latency(&self, _kind: AccessKind, remote: bool) -> SimDuration {
         if remote {
-            SimDuration::from_nanos(REMOTE_LATENCY_NS)
+            REMOTE_LATENCY
         } else {
-            SimDuration::from_nanos(LOCAL_LATENCY_NS)
+            LOCAL_LATENCY
         }
     }
 }
@@ -126,7 +126,7 @@ mod tests {
     fn saturates_at_socket_bandwidth() {
         let d = DramDevice::ddr4_2933_socket();
         let bw = d.bandwidth(&AccessProfile::sequential_read(gb(1.0)).with_concurrency(64));
-        assert!((bw.as_gb_per_s() - DDR4_2933_SOCKET_READ_GBPS).abs() < 1e-9);
+        assert!((bw.as_gb_per_s() - DDR4_2933_SOCKET_READ.as_gb_per_s()).abs() < 1e-9);
     }
 
     #[test]
@@ -164,14 +164,15 @@ mod tests {
                 .with_concurrency(64)
                 .remote(),
         );
-        assert!((bw.as_gb_per_s() - UPI_CAP_GBPS).abs() < 1e-9);
+        assert!((bw.as_gb_per_s() - UPI_CAP.as_gb_per_s()).abs() < 1e-9);
     }
 
     #[test]
     fn remote_latency_exceeds_local() {
         let d = DramDevice::ddr4_2933_socket();
         assert!(
-            d.idle_latency(AccessKind::RandRead, true) > d.idle_latency(AccessKind::RandRead, false)
+            d.idle_latency(AccessKind::RandRead, true)
+                > d.idle_latency(AccessKind::RandRead, false)
         );
     }
 

@@ -143,10 +143,7 @@ mod tests {
         let t = ThrottledDevice::new(MemoryModeDevice::paper_socket(), 0.5, 1.0);
         let p = probe().with_working_set(ByteSize::from_gb(300.0));
         let comps = t.service_components(&p);
-        let inv: f64 = comps
-            .iter()
-            .map(|(f, bw)| f / bw.as_bytes_per_s())
-            .sum();
+        let inv: f64 = comps.iter().map(|(f, bw)| f / bw.as_bytes_per_s()).sum();
         let blended = 1.0 / inv;
         assert!((blended - t.bandwidth(&p).as_bytes_per_s()).abs() / blended < 1e-9);
     }

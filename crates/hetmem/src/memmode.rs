@@ -154,9 +154,8 @@ mod tests {
     fn degrades_when_footprint_exceeds_cache() {
         let mm = MemoryModeDevice::paper_socket();
         let in_cache = mm.bandwidth(&AccessProfile::sequential_read(gb(32.0)));
-        let out = mm.bandwidth(
-            &AccessProfile::sequential_read(gb(1.0)).with_working_set(gb(400.0)),
-        );
+        let out =
+            mm.bandwidth(&AccessProfile::sequential_read(gb(1.0)).with_working_set(gb(400.0)));
         assert!(out < in_cache);
     }
 

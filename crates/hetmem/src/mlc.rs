@@ -91,8 +91,7 @@ pub fn run(topology: &NumaTopology, buffer: ByteSize) -> MlcReport {
                     initiator: initiator.node().0,
                     target: target.node().0,
                     device: device.name(),
-                    idle_latency_ns: device.idle_latency(AccessKind::RandRead, remote).as_secs()
-                        * 1e9,
+                    idle_latency_ns: device.idle_latency(AccessKind::RandRead, remote).as_nanos(),
                     read_gbps: device.bandwidth(&read).as_gb_per_s(),
                     write_gbps: device.bandwidth(&write).as_gb_per_s(),
                 });

@@ -81,7 +81,7 @@ impl NumaTopology {
         NumaTopology {
             sockets,
             gpu_node: NodeId(0),
-            upi: Bandwidth::from_gb_per_s(crate::dram::UPI_CAP_GBPS),
+            upi: crate::dram::UPI_CAP,
         }
     }
 
@@ -94,7 +94,7 @@ impl NumaTopology {
                 optane: None,
             }],
             gpu_node: NodeId(0),
-            upi: Bandwidth::from_gb_per_s(crate::dram::UPI_CAP_GBPS),
+            upi: crate::dram::UPI_CAP,
         }
     }
 
@@ -127,7 +127,7 @@ impl NumaTopology {
     pub fn total_optane(&self) -> simcore::units::ByteSize {
         self.sockets
             .iter()
-            .filter_map(|s| s.optane.as_ref().map(|o| o.capacity()))
+            .filter_map(|s| s.optane.as_ref().map(MemoryDevice::capacity))
             .sum()
     }
 }

@@ -50,9 +50,9 @@ pub const REMOTE_WRITE_DERATE: f64 = 0.60;
 /// Remote read derating (mild; UPI has headroom at these rates).
 pub const REMOTE_READ_DERATE: f64 = 0.95;
 /// Local idle read latency (3D-XPoint media, ~3-4x DRAM).
-pub const LOCAL_READ_LATENCY_NS: f64 = 305.0;
+pub const LOCAL_READ_LATENCY: SimDuration = SimDuration::from_nanos_const(305.0);
 /// Remote idle read latency.
-pub const REMOTE_READ_LATENCY_NS: f64 = 391.0;
+pub const REMOTE_READ_LATENCY: SimDuration = SimDuration::from_nanos_const(391.0);
 
 /// An Intel Optane DCPMM device (one socket's worth of DIMMs, exposed
 /// as a memory-only NUMA node via Memkind/KMEM-DAX).
@@ -114,14 +114,13 @@ impl OptaneDevice {
     /// system improves OPT-175B (~300 GB resident) weight transfers by
     /// ~33% over NVDIMM (Fig 5, ~16.7 GB/s effective).
     pub fn cyclic_degradation(working_set: ByteSize) -> f64 {
-        const KNEE_GB: f64 = 22.4;
+        const KNEE: ByteSize = ByteSize::from_bytes(22_400_000_000);
         const SLOPE: f64 = 0.0622;
         const FLOOR: f64 = 0.75;
-        let ws_gb = working_set.as_gb();
-        if ws_gb <= KNEE_GB {
+        if working_set <= KNEE {
             return 1.0;
         }
-        (1.0 - SLOPE * (ws_gb / KNEE_GB).ln()).max(FLOOR)
+        (1.0 - SLOPE * (working_set / KNEE).ln()).max(FLOOR)
     }
 
     /// Combined read degradation: AIT thrash on the transfer buffer
@@ -139,10 +138,10 @@ impl OptaneDevice {
     /// ramps 256 MB -> 1 GB, mild decline beyond (paper Fig 3b).
     pub fn write_curve(footprint: ByteSize) -> f64 {
         let f = footprint.as_f64();
-        let peak_at = 1e9;
+        let peak_at = ByteSize::from_gb(1.0).as_f64();
         if f <= peak_at {
             // Linear ramp from the 256 MB point to the 1 GB peak.
-            let lo = 0.256e9;
+            let lo = ByteSize::from_mb(256.0).as_f64();
             let t = ((f - lo) / (peak_at - lo)).clamp(0.0, 1.0);
             SEQ_WRITE_256MB_GBPS + t * (SEQ_WRITE_PEAK_GBPS - SEQ_WRITE_256MB_GBPS)
         } else {
@@ -157,8 +156,8 @@ impl OptaneDevice {
     /// the peak concurrency, then degradation from internal buffer
     /// contention (Yang et al.).
     pub fn write_concurrency_factor(concurrency: u32) -> f64 {
-        let c = concurrency.max(1) as f64;
-        let peak = WRITE_PEAK_CONCURRENCY as f64;
+        let c = f64::from(concurrency.max(1));
+        let peak = f64::from(WRITE_PEAK_CONCURRENCY);
         if c <= peak {
             c.powf(0.75)
         } else {
@@ -173,7 +172,7 @@ impl OptaneDevice {
 /// (Intel datasheet: ~292 PB written over 5 years).
 pub const MODULE_ENDURANCE_PBW: f64 = 292.0;
 /// Capacity of one module in the rated figure.
-pub const MODULE_CAPACITY_GB: f64 = 128.0;
+pub const MODULE_CAPACITY: ByteSize = ByteSize::from_bytes(128_000_000_000);
 
 impl OptaneDevice {
     /// Years until the rated endurance is consumed at a sustained
@@ -195,7 +194,7 @@ impl OptaneDevice {
         if bytes_per_s == 0.0 {
             return f64::INFINITY;
         }
-        let modules = self.capacity().as_gb() / MODULE_CAPACITY_GB;
+        let modules = self.capacity() / MODULE_CAPACITY;
         let budget_bytes = modules * MODULE_ENDURANCE_PBW * 1e15;
         budget_bytes / bytes_per_s / (365.25 * 24.0 * 3600.0)
     }
@@ -219,7 +218,7 @@ impl MemoryDevice for OptaneDevice {
         let mut gbps = if profile.kind.is_read() {
             let single =
                 SEQ_READ_BASE_GBPS * Self::read_degradation(profile.buffer, profile.working_set);
-            (single * (profile.concurrency as f64).powf(0.85)).min(SOCKET_READ_CAP_GBPS)
+            (single * f64::from(profile.concurrency).powf(0.85)).min(SOCKET_READ_CAP_GBPS)
         } else {
             let single = Self::write_curve(footprint);
             (single * Self::write_concurrency_factor(profile.concurrency))
@@ -240,9 +239,9 @@ impl MemoryDevice for OptaneDevice {
 
     fn idle_latency(&self, _kind: AccessKind, remote: bool) -> SimDuration {
         if remote {
-            SimDuration::from_nanos(REMOTE_READ_LATENCY_NS)
+            REMOTE_READ_LATENCY
         } else {
-            SimDuration::from_nanos(LOCAL_READ_LATENCY_NS)
+            LOCAL_READ_LATENCY
         }
     }
 }
@@ -355,8 +354,8 @@ mod tests {
         let d = OptaneDevice::dcpmm_200_socket();
         // A small per-transfer buffer cycling over a huge footprint
         // still sees AIT thrash.
-        let p = AccessProfile::sequential_read(ByteSize::from_mb(300.0))
-            .with_working_set(gb(300.0));
+        let p =
+            AccessProfile::sequential_read(ByteSize::from_mb(300.0)).with_working_set(gb(300.0));
         let degraded = d.bandwidth(&p);
         let fresh = d.bandwidth(&AccessProfile::sequential_read(ByteSize::from_mb(300.0)));
         assert!(degraded < fresh);

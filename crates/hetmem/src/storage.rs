@@ -23,18 +23,18 @@ use simcore::units::{Bandwidth, ByteSize};
 
 /// Effective sequential-read bandwidth of the block-device path
 /// (file system + page cache over Optane media).
-pub const SSD_READ_GBPS: f64 = 2.10;
+pub const SSD_READ_BW: Bandwidth = Bandwidth::from_gb_per_s_const(2.10);
 /// Effective sequential-write bandwidth of the block-device path.
-pub const SSD_WRITE_GBPS: f64 = 1.10;
+pub const SSD_WRITE_BW: Bandwidth = Bandwidth::from_gb_per_s_const(1.10);
 /// FSDAX speedup over the page-cache path (calibrated so FSDAX
 /// improves SSD latency metrics by the paper's ~33.4%).
 pub const FSDAX_SPEEDUP: f64 = 1.50;
 /// Random-access derating for storage paths.
 pub const RANDOM_DERATE: f64 = 0.40;
 /// Software-stack access latency for the block path.
-pub const SSD_LATENCY_US: f64 = 12.0;
+pub const SSD_LATENCY: SimDuration = SimDuration::from_micros_const(12.0);
 /// Software-stack access latency for the DAX path.
-pub const FSDAX_LATENCY_US: f64 = 2.0;
+pub const FSDAX_LATENCY: SimDuration = SimDuration::from_micros_const(2.0);
 
 /// Which software interface fronts the storage media.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,9 +115,9 @@ impl MemoryDevice for StorageDevice {
 
     fn bandwidth(&self, profile: &AccessProfile) -> Bandwidth {
         let base = if profile.kind.is_read() {
-            SSD_READ_GBPS
+            SSD_READ_BW.as_gb_per_s()
         } else {
-            SSD_WRITE_GBPS
+            SSD_WRITE_BW.as_gb_per_s()
         };
         let mut gbps = base * self.speedup();
         if !profile.kind.is_sequential() {
@@ -125,15 +125,15 @@ impl MemoryDevice for StorageDevice {
         }
         // Concurrency helps the block path modestly (queue depth),
         // with quick saturation.
-        let c = profile.concurrency.min(4) as f64;
+        let c = f64::from(profile.concurrency.min(4));
         gbps *= c.powf(0.3);
         Bandwidth::from_gb_per_s(gbps)
     }
 
     fn idle_latency(&self, _kind: AccessKind, _remote: bool) -> SimDuration {
         match self.interface {
-            StorageInterface::BlockFs => SimDuration::from_micros(SSD_LATENCY_US),
-            StorageInterface::FsDax => SimDuration::from_micros(FSDAX_LATENCY_US),
+            StorageInterface::BlockFs => SSD_LATENCY,
+            StorageInterface::FsDax => FSDAX_LATENCY,
         }
     }
 
@@ -161,8 +161,14 @@ mod tests {
 
     #[test]
     fn both_require_bounce_buffers() {
-        assert_eq!(StorageDevice::optane_block().staging(), Staging::BounceBuffer);
-        assert_eq!(StorageDevice::optane_fsdax().staging(), Staging::BounceBuffer);
+        assert_eq!(
+            StorageDevice::optane_block().staging(),
+            Staging::BounceBuffer
+        );
+        assert_eq!(
+            StorageDevice::optane_fsdax().staging(),
+            Staging::BounceBuffer
+        );
     }
 
     #[test]

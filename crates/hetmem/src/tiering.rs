@@ -61,10 +61,10 @@ impl TppTieredDevice {
         TppTieredDevice {
             dram: DramDevice::new(
                 ByteSize::from_gib(256.0),
-                Bandwidth::from_gb_per_s(crate::dram::DDR4_2933_SOCKET_READ_GBPS),
-                Bandwidth::from_gb_per_s(crate::dram::PER_STREAM_GBPS),
+                crate::dram::DDR4_2933_SOCKET_READ,
+                crate::dram::PER_STREAM,
             ),
-            slow: OptaneDevice::with_capacity(ByteSize::from_gib(1024.0)),
+            slow: OptaneDevice::with_capacity(ByteSize::from_tib(1.0)),
         }
     }
 
@@ -195,8 +195,8 @@ mod tests {
         let hit = tpp.dram_hit_rate(p.footprint());
         let dram = tpp.dram.bandwidth(&p);
         let slow = tpp.slow.bandwidth(&p);
-        let no_migration = 1.0
-            / (hit / dram.as_bytes_per_s() + (1.0 - hit) / slow.as_bytes_per_s());
+        let no_migration =
+            1.0 / (hit / dram.as_bytes_per_s() + (1.0 - hit) / slow.as_bytes_per_s());
         assert!(tpp.bandwidth(&p).as_bytes_per_s() < no_migration);
     }
 
@@ -214,7 +214,7 @@ mod tests {
                 Bandwidth::from_gb_per_s(157.0),
                 Bandwidth::from_gb_per_s(40.0),
             ),
-            OptaneDevice::with_capacity(ByteSize::from_gib(1024.0)),
+            OptaneDevice::with_capacity(ByteSize::from_tib(1.0)),
         );
         assert!(h300 < mm.hit_rate(ByteSize::from_gb(300.0)));
     }

@@ -153,17 +153,50 @@ impl ModelConfig {
 
     /// LLaMA-2 7B: gated FFN, full multi-head attention, no biases.
     pub fn llama_2_7b() -> Self {
-        Self::custom("LLaMA-2-7B", 4096, 32, 32, 32, 11008, true, false, 32000, 4096)
+        Self::custom(
+            "LLaMA-2-7B",
+            4096,
+            32,
+            32,
+            32,
+            11008,
+            true,
+            false,
+            32000,
+            4096,
+        )
     }
 
     /// LLaMA-2 70B: gated FFN with GQA (8 KV heads).
     pub fn llama_2_70b() -> Self {
-        Self::custom("LLaMA-2-70B", 8192, 64, 8, 80, 28672, true, false, 32000, 4096)
+        Self::custom(
+            "LLaMA-2-70B",
+            8192,
+            64,
+            8,
+            80,
+            28672,
+            true,
+            false,
+            32000,
+            4096,
+        )
     }
 
     /// LLaMA-3 8B: gated FFN with GQA and a large vocabulary.
     pub fn llama_3_8b() -> Self {
-        Self::custom("LLaMA-3-8B", 4096, 32, 8, 32, 14336, true, false, 128256, 8192)
+        Self::custom(
+            "LLaMA-3-8B",
+            4096,
+            32,
+            8,
+            32,
+            14336,
+            true,
+            false,
+            128256,
+            8192,
+        )
     }
 
     /// Model name.
@@ -246,8 +279,7 @@ impl ModelConfig {
         let inter = self.ffn_intermediate as u64;
         let mha = h * h * 2 + h * kv * 2 + if self.biases { 2 * h + 2 * kv } else { 0 };
         let ffn_matrices = if self.gated_ffn { 3 } else { 2 };
-        let ffn = ffn_matrices * inter * h
-            + if self.biases { inter + h } else { 0 };
+        let ffn = ffn_matrices * inter * h + if self.biases { inter + h } else { 0 };
         let norms = if self.biases { 4 * h } else { 2 * h };
         let per_block = mha + ffn + norms;
         let blocks = per_block * self.num_blocks as u64;

@@ -24,7 +24,7 @@ pub fn kv_bytes_per_sequence(config: &ModelConfig, context_len: usize) -> ByteSi
 
 /// KV bytes a whole batch pins at `context_len`.
 pub fn kv_bytes_total(config: &ModelConfig, context_len: usize, batch: u32) -> ByteSize {
-    kv_bytes_per_sequence(config, context_len) * batch as u64
+    kv_bytes_per_sequence(config, context_len) * u64::from(batch)
 }
 
 /// Hidden-state bytes one sequence carries between layers at
@@ -42,9 +42,8 @@ mod tests {
         let cfg = ModelConfig::opt_175b();
         // Paper: 47.98 MB per self-attention block at context 2048 =
         // one 2048 x 12288 FP16 plane (K or V), i.e. 48 MiB.
-        let per_block_single_plane =
-            2048u64 * cfg.hidden_size() as u64 * 2;
-        assert!((per_block_single_plane as f64 / (1 << 20) as f64 - 48.0).abs() < 0.01);
+        let per_block_single_plane = 2048u64 * cfg.hidden_size() as u64 * 2;
+        assert!((per_block_single_plane as f64 / f64::from(1 << 20) - 48.0).abs() < 0.01);
         // Paper: total KV footprint 4.5 GB (per-plane accounting).
         let total_planes = ByteSize::from_bytes(per_block_single_plane * cfg.num_blocks() as u64);
         assert!((total_planes.as_gib() - 4.5).abs() < 0.01);
@@ -56,10 +55,7 @@ mod tests {
         let one = kv_bytes_per_sequence(&cfg, 149);
         let batch = kv_bytes_total(&cfg, 149, 32);
         assert_eq!(batch, one * 32u64);
-        assert_eq!(
-            kv_bytes_per_sequence(&cfg, 298).as_u64(),
-            one.as_u64() * 2
-        );
+        assert_eq!(kv_bytes_per_sequence(&cfg, 298).as_u64(), one.as_u64() * 2);
     }
 
     #[test]
@@ -78,7 +74,16 @@ mod tests {
         // cache per token than an MHA model of the same width.
         let llama = ModelConfig::llama_2_70b();
         let mha_equiv = ModelConfig::custom(
-            "mha-equiv", 8192, 64, 64, 80, 28672, true, false, 32000, 4096,
+            "mha-equiv",
+            8192,
+            64,
+            64,
+            80,
+            28672,
+            true,
+            false,
+            32000,
+            4096,
         );
         assert_eq!(
             kv_bytes_per_token_per_block(&mha_equiv),

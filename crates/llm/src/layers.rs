@@ -153,7 +153,7 @@ impl Layer {
             return 0.0;
         }
         let h = self.config.hidden_size() as f64;
-        2.0 * 2.0 * batch as f64 * new_tokens as f64 * context_len as f64 * h
+        2.0 * 2.0 * f64::from(batch) * new_tokens as f64 * context_len as f64 * h
     }
 
     /// KV-cache bytes the attention of this layer streams for `batch`
@@ -163,7 +163,7 @@ impl Layer {
             return ByteSize::ZERO;
         }
         ByteSize::from_bytes(
-            batch as u64
+            u64::from(batch)
                 * context_len as u64
                 * crate::kv::kv_bytes_per_token_per_block(&self.config),
         )

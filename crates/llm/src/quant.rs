@@ -82,7 +82,7 @@ impl GroupQuant {
     /// Storage bytes for `elems` elements: packed codes plus two FP16
     /// metadata values per group.
     pub fn compressed_bytes(&self, elems: u64) -> u64 {
-        let code_bits = elems * self.bits as u64;
+        let code_bits = elems * u64::from(self.bits);
         let code_bytes = code_bits.div_ceil(8);
         let groups = elems.div_ceil(self.group_size as u64);
         code_bytes + groups * 4
@@ -154,7 +154,7 @@ impl GroupQuant {
         for b in 0..bits as usize {
             let idx = bit_index + b;
             let bit = (buf[idx / 8] >> (idx % 8)) & 1;
-            value |= (bit as u32) << b;
+            value |= u32::from(bit) << b;
         }
         value
     }

@@ -89,9 +89,7 @@ impl WeightSpec {
     /// compression (FlexGen quantizes matrices only).
     pub fn bytes(&self, dtype: DType) -> ByteSize {
         let effective = match (dtype, self.kind) {
-            (DType::Int4Grouped, WeightKind::Linear | WeightKind::Embedding) => {
-                DType::Int4Grouped
-            }
+            (DType::Int4Grouped, WeightKind::Linear | WeightKind::Embedding) => DType::Int4Grouped,
             (DType::Int4Grouped, _) => DType::F16,
             (other, _) => other,
         };
@@ -225,10 +223,7 @@ mod tests {
         let specs = WeightSpec::mha_specs(&cfg);
         let wq = &specs[0];
         let ratio = wq.bytes(DType::Int4Grouped).as_f64() / wq.bytes(DType::F16).as_f64();
-        assert!(
-            ratio < 0.30,
-            "matrices compress to ~28% of FP16: {ratio}"
-        );
+        assert!(ratio < 0.30, "matrices compress to ~28% of FP16: {ratio}");
         let ln = specs.iter().find(|s| s.name() == "w_ln").unwrap();
         assert_eq!(ln.bytes(DType::Int4Grouped), ln.bytes(DType::F16));
     }
@@ -238,13 +233,16 @@ mod tests {
         let cfg = ModelConfig::opt_30b();
         let names: Vec<_> = WeightSpec::mha_specs(&cfg)
             .iter()
-            .map(|s| s.name())
+            .map(WeightSpec::name)
             .collect();
         assert_eq!(
             names,
             ["w_q", "b_q", "w_k", "b_k", "w_v", "b_v", "w_out", "b_out", "w_ln", "b_ln"]
         );
-        let ffn: Vec<_> = WeightSpec::ffn_specs(&cfg).iter().map(|s| s.name()).collect();
+        let ffn: Vec<_> = WeightSpec::ffn_specs(&cfg)
+            .iter()
+            .map(WeightSpec::name)
+            .collect();
         assert_eq!(ffn, ["wi", "bi", "wo", "bo", "w_ln", "b_ln"]);
     }
 
@@ -267,7 +265,10 @@ mod tests {
         let wk = mha.iter().find(|s| s.name() == "w_k").unwrap();
         assert_eq!(wq.elems(), 8 * wk.elems());
         let ffn = WeightSpec::ffn_specs(&cfg);
-        let linears = ffn.iter().filter(|s| s.kind() == WeightKind::Linear).count();
+        let linears = ffn
+            .iter()
+            .filter(|s| s.kind() == WeightKind::Linear)
+            .count();
         assert_eq!(linears, 3, "SwiGLU gate+up+down");
     }
 

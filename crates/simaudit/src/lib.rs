@@ -1,0 +1,561 @@
+//! # simaudit — runtime invariant auditor
+//!
+//! Conservation-law and sanity checking for the helmsim executors.
+//! The simulator's correctness rests on a handful of invariants that
+//! no single unit test can pin down globally:
+//!
+//! * **byte conservation** — every byte scheduled on a transfer path
+//!   is eventually delivered or explicitly dropped ([`ByteLedger`]);
+//! * **time monotonicity** — simulated clocks never run backwards
+//!   ([`Auditor::observe_time`], plus the engine-level check in
+//!   [`simcore::engine`]);
+//! * **unit sanity** — durations and bandwidths stay finite and
+//!   non-negative ([`Auditor::check_duration`],
+//!   [`Auditor::check_bandwidth`]);
+//! * **placement feasibility** — percent splits sum to 100 and tier
+//!   capacities are never exceeded ([`Auditor::check_percent_split`],
+//!   [`Auditor::check_tier_capacity`]).
+//!
+//! An [`Auditor`] is cheap to create and no-ops entirely when auditing
+//! is disabled ([`enabled`]); it is on by default in debug builds and
+//! can be forced on in release builds (the CLI's `--audit` flag, via
+//! [`force_enable`]). Violations are *recorded*, not panicked on, so a
+//! run always completes and reports everything it found at once
+//! ([`AuditReport`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use simaudit::Auditor;
+//! use simcore::units::ByteSize;
+//!
+//! let mut audit = Auditor::new();
+//! audit.scheduled("h2d:cpu", ByteSize::from_mb(8.0));
+//! audit.delivered("h2d:cpu", ByteSize::from_mb(8.0));
+//! let report = audit.finish();
+//! assert!(report.is_clean());
+//! ```
+
+use simcore::time::{SimDuration, SimTime};
+use simcore::units::{Bandwidth, ByteSize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use simcore::audit::{enabled, force_enable, is_forced};
+
+/// One byte-conservation ledger: a named transfer channel on which
+/// every scheduled byte must be delivered or explicitly dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteLedger {
+    /// Bytes handed to the channel for transfer.
+    pub scheduled: ByteSize,
+    /// Bytes that arrived.
+    pub delivered: ByteSize,
+    /// Bytes intentionally abandoned (cancelled transfers).
+    pub dropped: ByteSize,
+}
+
+impl ByteLedger {
+    /// Bytes scheduled but neither delivered nor dropped.
+    pub fn outstanding(&self) -> ByteSize {
+        self.scheduled.saturating_sub(self.delivered + self.dropped)
+    }
+
+    /// Whether the ledger balances: delivered + dropped == scheduled.
+    pub fn is_balanced(&self) -> bool {
+        self.delivered + self.dropped == self.scheduled
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A channel's ledger did not balance at the end of the run.
+    LedgerImbalance {
+        /// Channel name (e.g. `"h2d:cpu"`).
+        channel: String,
+        /// Final ledger state.
+        ledger: ByteLedger,
+    },
+    /// More bytes were delivered or dropped on a channel than were
+    /// ever scheduled.
+    OverDelivery {
+        /// Channel name.
+        channel: String,
+        /// Final ledger state.
+        ledger: ByteLedger,
+    },
+    /// A clock was observed running backwards.
+    TimeRegression {
+        /// Which clock.
+        clock: String,
+        /// The previously observed instant.
+        previous: SimTime,
+        /// The regressed observation.
+        observed: SimTime,
+    },
+    /// A duration was NaN or negative.
+    InvalidDuration {
+        /// What the duration measured.
+        label: String,
+        /// The offending value in seconds.
+        secs: f64,
+    },
+    /// A bandwidth was NaN, infinite, or non-positive.
+    InvalidBandwidth {
+        /// What the rate described.
+        label: String,
+        /// The offending value in bytes/second.
+        bytes_per_s: f64,
+    },
+    /// A (disk, cpu, gpu) percent split did not sum to 100, or a
+    /// component fell outside [0, 100].
+    BadPercentSplit {
+        /// Which split.
+        label: String,
+        /// The offending (disk, cpu, gpu) percentages.
+        percents: [f64; 3],
+    },
+    /// A tier held more bytes than its capacity.
+    CapacityExceeded {
+        /// Tier name.
+        tier: String,
+        /// Bytes placed on the tier.
+        used: ByteSize,
+        /// The tier's capacity.
+        capacity: ByteSize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::LedgerImbalance { channel, ledger } => write!(
+                f,
+                "ledger imbalance on {channel}: scheduled {}, delivered {}, dropped {} ({} outstanding)",
+                ledger.scheduled,
+                ledger.delivered,
+                ledger.dropped,
+                ledger.outstanding()
+            ),
+            Violation::OverDelivery { channel, ledger } => write!(
+                f,
+                "over-delivery on {channel}: scheduled {}, delivered {}, dropped {}",
+                ledger.scheduled, ledger.delivered, ledger.dropped
+            ),
+            Violation::TimeRegression {
+                clock,
+                previous,
+                observed,
+            } => write!(
+                f,
+                "clock {clock} ran backwards: {:.9}s after {:.9}s",
+                observed.as_secs(),
+                previous.as_secs()
+            ),
+            Violation::InvalidDuration { label, secs } => {
+                write!(f, "invalid duration for {label}: {secs}s")
+            }
+            Violation::InvalidBandwidth { label, bytes_per_s } => {
+                write!(f, "invalid bandwidth for {label}: {bytes_per_s} B/s")
+            }
+            Violation::BadPercentSplit { label, percents } => write!(
+                f,
+                "bad percent split for {label}: ({:.3}, {:.3}, {:.3}) sums to {:.3}",
+                percents[0],
+                percents[1],
+                percents[2],
+                percents.iter().sum::<f64>()
+            ),
+            Violation::CapacityExceeded {
+                tier,
+                used,
+                capacity,
+            } => write!(f, "tier {tier} over capacity: {used} placed in {capacity}"),
+        }
+    }
+}
+
+/// The outcome of one audited run: every channel's final ledger plus
+/// every violation observed along the way.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Final per-channel ledgers, in channel-name order.
+    pub ledgers: Vec<(String, ByteLedger)>,
+    /// Everything that went wrong (empty on a clean run).
+    pub violations: Vec<Violation>,
+}
+
+impl AuditReport {
+    /// Whether the run upheld every audited invariant.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The final ledger of `channel`, if any bytes moved on it.
+    pub fn ledger(&self, channel: &str) -> Option<&ByteLedger> {
+        self.ledgers
+            .iter()
+            .find(|(name, _)| name == channel)
+            .map(|(_, l)| l)
+    }
+
+    /// Total bytes delivered across all channels with the given
+    /// prefix (e.g. `"h2d:"`).
+    pub fn delivered_with_prefix(&self, prefix: &str) -> ByteSize {
+        self.ledgers
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, l)| l.delivered)
+            .sum()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "audit: {} ({} channel(s), {} violation(s))",
+            if self.is_clean() { "clean" } else { "VIOLATED" },
+            self.ledgers.len(),
+            self.violations.len()
+        )?;
+        for (channel, ledger) in &self.ledgers {
+            writeln!(
+                f,
+                "  {channel:<12} scheduled {:>12} delivered {:>12} dropped {:>10} [{}]",
+                ledger.scheduled.to_string(),
+                ledger.delivered.to_string(),
+                ledger.dropped.to_string(),
+                if ledger.is_balanced() {
+                    "ok"
+                } else {
+                    "IMBALANCED"
+                }
+            )?;
+        }
+        for v in &self.violations {
+            writeln!(f, "  violation: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Records invariant observations during one run.
+///
+/// Create with [`Auditor::capture`] in executor code (no-ops when
+/// auditing is off) or [`Auditor::new`] in tests (always on). Feed it
+/// observations as the run progresses and call [`Auditor::finish`] at
+/// the end; un-balanced ledgers become violations there.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    active: bool,
+    ledgers: BTreeMap<String, ByteLedger>,
+    clocks: BTreeMap<String, SimTime>,
+    violations: Vec<Violation>,
+}
+
+impl Auditor {
+    /// An always-active auditor.
+    pub fn new() -> Self {
+        Auditor {
+            active: true,
+            ..Auditor::default()
+        }
+    }
+
+    /// An auditor that is active only when auditing is [`enabled`] —
+    /// the constructor executor code uses. When inactive, every
+    /// method is a no-op and [`Auditor::finish_if_active`] returns
+    /// `None`.
+    pub fn capture() -> Self {
+        Auditor {
+            active: enabled(),
+            ..Auditor::default()
+        }
+    }
+
+    /// Whether observations are being recorded.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Records bytes handed to `channel` for transfer.
+    pub fn scheduled(&mut self, channel: &str, bytes: ByteSize) {
+        if !self.active {
+            return;
+        }
+        self.ledgers
+            .entry(channel.to_owned())
+            .or_default()
+            .scheduled += bytes;
+    }
+
+    /// Records bytes arriving on `channel`.
+    pub fn delivered(&mut self, channel: &str, bytes: ByteSize) {
+        if !self.active {
+            return;
+        }
+        self.ledgers
+            .entry(channel.to_owned())
+            .or_default()
+            .delivered += bytes;
+    }
+
+    /// Records bytes abandoned on `channel` (a cancelled transfer):
+    /// they are accounted for, not lost.
+    pub fn dropped(&mut self, channel: &str, bytes: ByteSize) {
+        if !self.active {
+            return;
+        }
+        self.ledgers.entry(channel.to_owned()).or_default().dropped += bytes;
+    }
+
+    /// Observes `clock` at instant `now`, recording a violation if it
+    /// moved backwards since the previous observation.
+    pub fn observe_time(&mut self, clock: &str, now: SimTime) {
+        if !self.active {
+            return;
+        }
+        match self.clocks.get_mut(clock) {
+            Some(prev) if now < *prev => {
+                let previous = *prev;
+                self.violations.push(Violation::TimeRegression {
+                    clock: clock.to_owned(),
+                    previous,
+                    observed: now,
+                });
+            }
+            Some(prev) => *prev = now,
+            None => {
+                self.clocks.insert(clock.to_owned(), now);
+            }
+        }
+    }
+
+    /// Checks a duration for NaN/negative values. The
+    /// [`SimDuration::INFINITY`] sentinel is deliberately allowed.
+    pub fn check_duration(&mut self, label: &str, d: SimDuration) {
+        if !self.active {
+            return;
+        }
+        let secs = d.as_secs();
+        if secs.is_nan() || secs < 0.0 {
+            self.violations.push(Violation::InvalidDuration {
+                label: label.to_owned(),
+                secs,
+            });
+        }
+    }
+
+    /// Checks a bandwidth for NaN/infinite/non-positive rates.
+    pub fn check_bandwidth(&mut self, label: &str, bw: Bandwidth) {
+        if !self.active {
+            return;
+        }
+        let bps = bw.as_bytes_per_s();
+        if !bps.is_finite() || bps <= 0.0 {
+            self.violations.push(Violation::InvalidBandwidth {
+                label: label.to_owned(),
+                bytes_per_s: bps,
+            });
+        }
+    }
+
+    /// Checks a (disk, cpu, gpu) percent split: each component in
+    /// [0, 100] and the total within `0.5` of 100 (placement math is
+    /// floating-point; achieved splits carry rounding).
+    pub fn check_percent_split(&mut self, label: &str, percents: [f64; 3]) {
+        if !self.active {
+            return;
+        }
+        let sum: f64 = percents.iter().sum();
+        let components_ok = percents
+            .iter()
+            .all(|p| p.is_finite() && (-1e-9..=100.0 + 1e-9).contains(p));
+        if !components_ok || (sum - 100.0).abs() > 0.5 {
+            self.violations.push(Violation::BadPercentSplit {
+                label: label.to_owned(),
+                percents,
+            });
+        }
+    }
+
+    /// Checks that a tier's placed bytes fit its capacity.
+    pub fn check_tier_capacity(&mut self, tier: &str, used: ByteSize, capacity: ByteSize) {
+        if !self.active {
+            return;
+        }
+        if used > capacity {
+            self.violations.push(Violation::CapacityExceeded {
+                tier: tier.to_owned(),
+                used,
+                capacity,
+            });
+        }
+    }
+
+    /// Closes the books: un-balanced ledgers become violations and
+    /// everything recorded is returned.
+    pub fn finish(self) -> AuditReport {
+        let mut violations = self.violations;
+        let mut ledgers = Vec::with_capacity(self.ledgers.len());
+        for (channel, ledger) in self.ledgers {
+            if ledger.delivered + ledger.dropped > ledger.scheduled {
+                violations.push(Violation::OverDelivery {
+                    channel: channel.clone(),
+                    ledger,
+                });
+            } else if !ledger.is_balanced() {
+                violations.push(Violation::LedgerImbalance {
+                    channel: channel.clone(),
+                    ledger,
+                });
+            }
+            ledgers.push((channel, ledger));
+        }
+        AuditReport {
+            ledgers,
+            violations,
+        }
+    }
+
+    /// Like [`Auditor::finish`], but `None` for an inactive auditor —
+    /// what executors store into their run reports.
+    pub fn finish_if_active(self) -> Option<AuditReport> {
+        if self.active {
+            Some(self.finish())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(x: f64) -> ByteSize {
+        ByteSize::from_mb(x)
+    }
+
+    #[test]
+    fn balanced_ledger_is_clean() {
+        let mut a = Auditor::new();
+        a.scheduled("h2d:cpu", mb(10.0));
+        a.delivered("h2d:cpu", mb(6.0));
+        a.delivered("h2d:cpu", mb(4.0));
+        let report = a.finish();
+        assert!(report.is_clean(), "{report}");
+        assert!(report.ledger("h2d:cpu").unwrap().is_balanced());
+    }
+
+    #[test]
+    fn outstanding_bytes_are_an_imbalance() {
+        let mut a = Auditor::new();
+        a.scheduled("h2d:disk", mb(10.0));
+        a.delivered("h2d:disk", mb(7.0));
+        let report = a.finish();
+        assert!(!report.is_clean());
+        assert!(matches!(
+            &report.violations[0],
+            Violation::LedgerImbalance { channel, ledger }
+                if channel == "h2d:disk" && ledger.outstanding() == mb(3.0)
+        ));
+    }
+
+    #[test]
+    fn dropped_bytes_balance_the_ledger() {
+        let mut a = Auditor::new();
+        a.scheduled("d2h:kv", mb(5.0));
+        a.delivered("d2h:kv", mb(3.0));
+        a.dropped("d2h:kv", mb(2.0));
+        assert!(a.finish().is_clean());
+    }
+
+    #[test]
+    fn over_delivery_is_flagged() {
+        let mut a = Auditor::new();
+        a.scheduled("h2d:kv", mb(1.0));
+        a.delivered("h2d:kv", mb(2.0));
+        let report = a.finish();
+        assert!(matches!(
+            &report.violations[0],
+            Violation::OverDelivery { channel, .. } if channel == "h2d:kv"
+        ));
+    }
+
+    #[test]
+    fn clocks_must_be_monotone() {
+        let mut a = Auditor::new();
+        a.observe_time("des", SimTime::from_secs(1.0));
+        a.observe_time("des", SimTime::from_secs(2.0));
+        a.observe_time("des", SimTime::from_secs(1.5));
+        let report = a.finish();
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            &report.violations[0],
+            Violation::TimeRegression { clock, .. } if clock == "des"
+        ));
+    }
+
+    #[test]
+    fn unit_guards_catch_nan_and_nonpositive() {
+        let mut a = Auditor::new();
+        a.check_duration("step", SimDuration::from_secs(0.25));
+        a.check_duration("step", SimDuration::INFINITY); // sentinel: allowed
+        a.check_bandwidth("link", Bandwidth::from_gb_per_s(32.0));
+        let report = a.finish();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn percent_split_checks_sum_and_range() {
+        let mut a = Auditor::new();
+        a.check_percent_split("ok", [20.0, 70.0, 10.0]);
+        a.check_percent_split("rounded", [19.9, 70.2, 10.0]);
+        a.check_percent_split("short", [20.0, 20.0, 10.0]);
+        a.check_percent_split("negative", [-10.0, 100.0, 10.0]);
+        let report = a.finish();
+        assert_eq!(report.violations.len(), 2);
+    }
+
+    #[test]
+    fn capacity_check_flags_overflow_only() {
+        let mut a = Auditor::new();
+        a.check_tier_capacity("cpu", mb(100.0), mb(100.0));
+        a.check_tier_capacity("gpu", mb(101.0), mb(100.0));
+        let report = a.finish();
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            &report.violations[0],
+            Violation::CapacityExceeded { tier, .. } if tier == "gpu"
+        ));
+    }
+
+    #[test]
+    fn inactive_auditor_records_nothing() {
+        let mut a = Auditor {
+            active: false,
+            ..Auditor::default()
+        };
+        a.scheduled("h2d:cpu", mb(10.0));
+        a.observe_time("des", SimTime::from_secs(1.0));
+        assert!(a.finish_if_active().is_none());
+    }
+
+    #[test]
+    fn report_aggregates_by_prefix_and_renders() {
+        let mut a = Auditor::new();
+        a.scheduled("h2d:cpu", mb(4.0));
+        a.delivered("h2d:cpu", mb(4.0));
+        a.scheduled("h2d:kv", mb(2.0));
+        a.delivered("h2d:kv", mb(2.0));
+        a.scheduled("d2h:kv", mb(1.0));
+        a.delivered("d2h:kv", mb(1.0));
+        let report = a.finish();
+        assert_eq!(report.delivered_with_prefix("h2d:"), mb(6.0));
+        let text = report.to_string();
+        assert!(text.contains("clean") && text.contains("h2d:cpu"));
+    }
+}

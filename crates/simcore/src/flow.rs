@@ -167,7 +167,10 @@ impl FlowScheduler {
 
     /// Advances internal progress accounting to `now`.
     fn advance_to(&mut self, now: SimTime) {
-        assert!(now >= self.last_update, "flow scheduler time went backwards");
+        assert!(
+            now >= self.last_update,
+            "flow scheduler time went backwards"
+        );
         let elapsed = (now - self.last_update).as_secs();
         self.last_update = now;
         if elapsed == 0.0 || self.flows.is_empty() {

@@ -30,6 +30,7 @@
 //! assert_eq!(log, vec!["first", "second"]);
 //! ```
 
+pub mod audit;
 pub mod engine;
 pub mod flow;
 pub mod queue;
@@ -43,4 +44,4 @@ pub use flow::{FlowId, FlowScheduler};
 pub use queue::EventQueue;
 pub use stats::{Accumulator, SeriesStats};
 pub use time::{SimDuration, SimTime};
-pub use units::{Bandwidth, ByteSize};
+pub use units::{Bandwidth, ByteSize, UnitError};

@@ -33,7 +33,7 @@ impl SimRng {
         // and well-distributed enough to decorrelate streams.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in stream.bytes() {
-            h ^= b as u64;
+            h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         Self {

@@ -221,7 +221,9 @@ mod tests {
 
     #[test]
     fn accumulator_moments() {
-        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(acc.mean(), 5.0);
         assert_eq!(acc.variance(), 4.0);
         assert_eq!(acc.std_dev(), 2.0);
@@ -253,7 +255,7 @@ mod tests {
 
     #[test]
     fn percentiles_interpolate() {
-        let s: SeriesStats = (1..=5).map(|x| x as f64).collect();
+        let s: SeriesStats = (1..=5).map(f64::from).collect();
         assert_eq!(s.percentile(0.0), Some(1.0));
         assert_eq!(s.percentile(50.0), Some(3.0));
         assert_eq!(s.percentile(100.0), Some(5.0));

@@ -6,6 +6,7 @@
 //! constructors reject NaN and negative values, so the ordering always
 //! agrees with numeric intuition.
 
+use crate::units::UnitError;
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
@@ -50,6 +51,19 @@ impl SimTime {
     pub fn from_secs(secs: f64) -> Self {
         assert!(secs >= 0.0 && !secs.is_nan(), "invalid sim time: {secs}");
         SimTime(secs)
+    }
+
+    /// Fallible form of [`SimTime::from_secs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::InvalidTime`] if `secs` is negative or NaN.
+    pub fn try_from_secs(secs: f64) -> Result<Self, UnitError> {
+        if secs >= 0.0 && !secs.is_nan() {
+            Ok(SimTime(secs))
+        } else {
+            Err(UnitError::InvalidTime(secs))
+        }
     }
 
     /// Seconds since simulation start.
@@ -110,6 +124,47 @@ impl SimDuration {
         SimDuration(secs)
     }
 
+    /// Fallible form of [`SimDuration::from_secs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::InvalidTime`] if `secs` is negative or NaN.
+    pub fn try_from_secs(secs: f64) -> Result<Self, UnitError> {
+        if secs >= 0.0 && !secs.is_nan() {
+            Ok(SimDuration(secs))
+        } else {
+            Err(UnitError::InvalidTime(secs))
+        }
+    }
+
+    /// `const` form of [`SimDuration::from_secs`], for typed duration
+    /// constants (the panic message is unformatted — `const`
+    /// evaluation cannot build one).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time when used in a `const`) if `secs` is
+    /// negative or NaN.
+    pub const fn from_secs_const(secs: f64) -> Self {
+        assert!(secs >= 0.0 && !secs.is_nan(), "invalid duration");
+        SimDuration(secs)
+    }
+
+    /// `const` form of [`SimDuration::from_millis`].
+    pub const fn from_millis_const(ms: f64) -> Self {
+        Self::from_secs_const(ms * 1e-3)
+    }
+
+    /// `const` form of [`SimDuration::from_micros`].
+    pub const fn from_micros_const(us: f64) -> Self {
+        Self::from_secs_const(us * 1e-6)
+    }
+
+    /// `const` form of [`SimDuration::from_nanos`].
+    pub const fn from_nanos_const(ns: f64) -> Self {
+        Self::from_secs_const(ns * 1e-9)
+    }
+
     /// Creates a span of `ms` milliseconds.
     ///
     /// # Panics
@@ -150,6 +205,11 @@ impl SimDuration {
     /// The span in microseconds.
     pub fn as_micros(self) -> f64 {
         self.0 * 1e6
+    }
+
+    /// The span in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
     }
 
     /// Whether this is the [`SimDuration::INFINITY`] sentinel.
@@ -348,8 +408,36 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = (1..=4).map(|i| SimDuration::from_secs(i as f64)).sum();
+        let total: SimDuration = (1..=4).map(|i| SimDuration::from_secs(f64::from(i))).sum();
         assert_eq!(total, SimDuration::from_secs(10.0));
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(SimTime::try_from_secs(1.0), Ok(SimTime::from_secs(1.0)));
+        assert_eq!(
+            SimTime::try_from_secs(-1.0),
+            Err(UnitError::InvalidTime(-1.0))
+        );
+        assert_eq!(
+            SimDuration::try_from_secs(0.5),
+            Ok(SimDuration::from_secs(0.5))
+        );
+        assert!(SimDuration::try_from_secs(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn const_constructors_agree_with_runtime_ones() {
+        const QUARTER_MS: SimDuration = SimDuration::from_millis_const(0.25);
+        const TEN_US: SimDuration = SimDuration::from_micros_const(10.0);
+        const SEVENTY_NS: SimDuration = SimDuration::from_nanos_const(70.0);
+        assert_eq!(QUARTER_MS, SimDuration::from_millis(0.25));
+        assert_eq!(TEN_US, SimDuration::from_micros(10.0));
+        assert_eq!(SEVENTY_NS, SimDuration::from_nanos(70.0));
+        assert_eq!(
+            SimDuration::from_secs_const(2.0),
+            SimDuration::from_secs(2.0)
+        );
     }
 
     #[test]

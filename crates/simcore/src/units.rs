@@ -11,6 +11,33 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
+/// A numeric value that cannot represent the unit it was given.
+///
+/// Returned by the `try_from_*` constructors on [`ByteSize`],
+/// [`Bandwidth`], [`crate::SimTime`], and [`crate::SimDuration`]; the
+/// panicking constructors reject the same inputs with an assert.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UnitError {
+    /// Byte size from a negative or non-finite number.
+    InvalidByteSize(f64),
+    /// Bandwidth that is not finite and positive.
+    InvalidBandwidth(f64),
+    /// Time value (instant or span, in seconds) that is negative or NaN.
+    InvalidTime(f64),
+}
+
+impl fmt::Display for UnitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnitError::InvalidByteSize(v) => write!(f, "invalid byte size: {v}"),
+            UnitError::InvalidBandwidth(v) => write!(f, "invalid bandwidth: {v}"),
+            UnitError::InvalidTime(v) => write!(f, "invalid time value: {v}s"),
+        }
+    }
+}
+
+impl std::error::Error for UnitError {}
+
 /// A size in bytes.
 ///
 /// # Examples
@@ -57,6 +84,49 @@ impl ByteSize {
     /// Binary gibibytes (2^30).
     pub fn from_gib(gib: f64) -> Self {
         Self::from_f64(gib * (1u64 << 30) as f64)
+    }
+
+    /// Binary tebibytes (2^40).
+    pub fn from_tib(tib: f64) -> Self {
+        Self::from_f64(tib * (1u64 << 40) as f64)
+    }
+
+    /// `const` whole mebibytes, for typed size constants.
+    pub const fn from_mib_const(mib: u64) -> Self {
+        ByteSize(mib << 20)
+    }
+
+    /// `const` whole gibibytes, for typed size constants.
+    pub const fn from_gib_const(gib: u64) -> Self {
+        ByteSize(gib << 30)
+    }
+
+    /// Fallible decimal-gigabyte constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::InvalidByteSize`] if `gb` is negative or
+    /// not finite.
+    pub fn try_from_gb(gb: f64) -> Result<Self, UnitError> {
+        Self::try_from_f64(gb * 1e9)
+    }
+
+    /// Fallible binary-gibibyte constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::InvalidByteSize`] if `gib` is negative or
+    /// not finite.
+    pub fn try_from_gib(gib: f64) -> Result<Self, UnitError> {
+        Self::try_from_f64(gib * (1u64 << 30) as f64)
+    }
+
+    fn try_from_f64(bytes: f64) -> Result<Self, UnitError> {
+        if bytes >= 0.0 && bytes.is_finite() {
+            Ok(ByteSize(bytes.round() as u64))
+        } else {
+            Err(UnitError::InvalidByteSize(bytes))
+        }
     }
 
     fn from_f64(bytes: f64) -> Self {
@@ -214,6 +284,47 @@ impl Bandwidth {
         Bandwidth(bps)
     }
 
+    /// `const` form of [`Bandwidth::from_gb_per_s`], for typed rate
+    /// constants (the panic message is unformatted — `const`
+    /// evaluation cannot build one).
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time when used in a `const`) if the rate is
+    /// not finite and positive.
+    pub const fn from_gb_per_s_const(gbps: f64) -> Self {
+        assert!(gbps.is_finite() && gbps > 0.0, "invalid bandwidth");
+        Bandwidth(gbps * 1e9)
+    }
+
+    /// Fallible form of [`Bandwidth::from_gb_per_s`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::InvalidBandwidth`] if the rate is not
+    /// finite and positive.
+    pub fn try_from_gb_per_s(gbps: f64) -> Result<Self, UnitError> {
+        if gbps.is_finite() && gbps > 0.0 {
+            Ok(Bandwidth(gbps * 1e9))
+        } else {
+            Err(UnitError::InvalidBandwidth(gbps))
+        }
+    }
+
+    /// Fallible form of [`Bandwidth::from_bytes_per_s`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitError::InvalidBandwidth`] if the rate is not
+    /// finite and positive.
+    pub fn try_from_bytes_per_s(bps: f64) -> Result<Self, UnitError> {
+        if bps.is_finite() && bps > 0.0 {
+            Ok(Bandwidth(bps))
+        } else {
+            Err(UnitError::InvalidBandwidth(bps))
+        }
+    }
+
     /// Rate in bytes/second.
     pub fn as_bytes_per_s(self) -> f64 {
         self.0
@@ -351,8 +462,40 @@ mod tests {
     }
 
     #[test]
+    fn tib_and_const_constructors() {
+        assert_eq!(ByteSize::from_tib(1.0), ByteSize::from_gib(1024.0));
+        const CHUNK: ByteSize = ByteSize::from_mib_const(64);
+        assert_eq!(CHUNK, ByteSize::from_mib(64.0));
+        const BIG: ByteSize = ByteSize::from_gib_const(2);
+        assert_eq!(BIG, ByteSize::from_gib(2.0));
+        const PCIE: Bandwidth = Bandwidth::from_gb_per_s_const(32.0);
+        assert_eq!(PCIE, Bandwidth::from_gb_per_s(32.0));
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(ByteSize::try_from_gb(2.0), Ok(ByteSize::from_gb(2.0)));
+        assert_eq!(ByteSize::try_from_gib(1.0), Ok(ByteSize::from_gib(1.0)));
+        assert!(matches!(
+            ByteSize::try_from_gb(-1.0),
+            Err(UnitError::InvalidByteSize(_))
+        ));
+        assert_eq!(
+            Bandwidth::try_from_gb_per_s(10.0),
+            Ok(Bandwidth::from_gb_per_s(10.0))
+        );
+        assert_eq!(
+            Bandwidth::try_from_gb_per_s(0.0),
+            Err(UnitError::InvalidBandwidth(0.0))
+        );
+        assert!(Bandwidth::try_from_bytes_per_s(f64::NAN).is_err());
+        let msg = UnitError::InvalidBandwidth(-2.0).to_string();
+        assert!(msg.contains("invalid bandwidth"));
+    }
+
+    #[test]
     fn byte_size_sums() {
-        let total: ByteSize = (1..=3).map(|i| ByteSize::from_bytes(i)).sum();
+        let total: ByteSize = (1..=3).map(ByteSize::from_bytes).sum();
         assert_eq!(total, ByteSize::from_bytes(6));
     }
 }

@@ -113,11 +113,8 @@ impl CappedLink {
         // Water-filling: repeatedly hand every unassigned flow an
         // equal share; flows whose cap is below the share are clamped
         // and their slack returned to the pool.
-        let mut unassigned: Vec<(TransferId, f64)> = self
-            .flows
-            .iter()
-            .map(|(&id, f)| (id, f.cap))
-            .collect();
+        let mut unassigned: Vec<(TransferId, f64)> =
+            self.flows.iter().map(|(&id, f)| (id, f.cap)).collect();
         unassigned.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         let mut remaining_capacity = self.capacity;
         let mut i = 0;

@@ -179,7 +179,13 @@ mod tests {
         let pts = points();
         let dram = find(&pts, SweepMemory::Dram, 0, Direction::HostToGpu, 4.096);
         let nv = find(&pts, SweepMemory::NvDram, 0, Direction::HostToGpu, 4.096);
-        let mm = find(&pts, SweepMemory::MemoryMode, 0, Direction::HostToGpu, 4.096);
+        let mm = find(
+            &pts,
+            SweepMemory::MemoryMode,
+            0,
+            Direction::HostToGpu,
+            4.096,
+        );
         // ~20% deficit at 4 GB (paper: "near constant loss of 20%").
         let deficit = 1.0 - nv / dram;
         assert!((deficit - 0.20).abs() < 0.03, "deficit {deficit}");
@@ -214,8 +220,20 @@ mod tests {
         assert!(nv1 > nv0);
         // MM-1 overlaps DRAM; MM-0 sits below.
         let dram1 = find(&pts, SweepMemory::Dram, 1, Direction::GpuToHost, 1.024);
-        let mm1 = find(&pts, SweepMemory::MemoryMode, 1, Direction::GpuToHost, 1.024);
-        let mm0 = find(&pts, SweepMemory::MemoryMode, 0, Direction::GpuToHost, 1.024);
+        let mm1 = find(
+            &pts,
+            SweepMemory::MemoryMode,
+            1,
+            Direction::GpuToHost,
+            1.024,
+        );
+        let mm0 = find(
+            &pts,
+            SweepMemory::MemoryMode,
+            0,
+            Direction::GpuToHost,
+            1.024,
+        );
         assert!((mm1 - dram1).abs() / dram1 < 0.01);
         assert!(mm0 < mm1);
     }

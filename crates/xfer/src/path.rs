@@ -24,7 +24,7 @@ use simcore::units::{Bandwidth, ByteSize};
 /// way to the GPU (Fig 3a: NVDRAM node-1 slightly below node-0).
 pub const REMOTE_READ_FACTOR: f64 = 0.97;
 /// Usable UPI bandwidth cap for GPU-bound traffic.
-pub const UPI_CAP_GBPS: f64 = 50.0;
+pub const UPI_CAP: Bandwidth = Bandwidth::from_gb_per_s_const(50.0);
 /// Derate for writes landing in PCM-class memory on the GPU's own
 /// socket, which contend with inbound PCIe traffic on the mesh
 /// (Fig 3b: NVDRAM-0 and MM-0 below NVDRAM-1/MM-1).
@@ -32,7 +32,7 @@ pub const MESH_PCM_WRITE_CONTENTION: f64 = 0.80;
 /// Pipelining efficiency of a chunked bounce-buffer relay.
 pub const BOUNCE_PIPELINE_EFFICIENCY: f64 = 0.95;
 /// Chunk size used for bounce-buffer staging.
-pub const BOUNCE_CHUNK: ByteSize = ByteSize::from_bytes(64 << 20);
+pub const BOUNCE_CHUNK: ByteSize = ByteSize::from_mib_const(64);
 
 /// Direction of a host/GPU transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -231,7 +231,7 @@ impl PathModel {
             .map(|(frac, bw)| {
                 let mut capped = bw.scale(feed_factor).min(pcie_bw);
                 if remote {
-                    capped = capped.min(Bandwidth::from_gb_per_s(UPI_CAP_GBPS));
+                    capped = capped.min(UPI_CAP);
                 }
                 frac / capped.scale(mesh_factor).as_bytes_per_s()
             })
@@ -362,7 +362,8 @@ mod tests {
         assert!((mm_bw.as_gb_per_s() - dram_bw.as_gb_per_s()).abs() < 0.1);
         // With a 300 GB cyclic working set the DRAM cache thrashes.
         let thrash = TransferRequest::host_to_gpu(gb(0.3)).with_working_set(gb(300.0));
-        let mm_thrash = p.effective_bandwidth(&HostEndpoint::direct(mm.as_ref(), NodeId(0)), &thrash);
+        let mm_thrash =
+            p.effective_bandwidth(&HostEndpoint::direct(mm.as_ref(), NodeId(0)), &thrash);
         assert!(mm_thrash < dram_bw.scale(0.9));
         // ...but still beats flat Optane.
         let optane = OptaneDevice::dcpmm_200_socket();

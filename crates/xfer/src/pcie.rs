@@ -14,9 +14,9 @@ pub const H2D_EFFICIENCY: f64 = 0.778;
 /// Plateau DMA efficiency, GPU-to-host (26.1 / 32.0, Fig 3b).
 pub const D2H_EFFICIENCY: f64 = 0.816;
 /// Message-size ramp constant: effective = plateau * s/(s + RAMP).
-pub const RAMP_BYTES: f64 = 8.0e6;
+pub const RAMP: ByteSize = ByteSize::from_bytes(8_000_000);
 /// Fixed DMA setup cost per transfer (driver + doorbell + engine).
-pub const DMA_SETUP_US: f64 = 12.0;
+pub const DMA_SETUP: SimDuration = SimDuration::from_micros_const(12.0);
 
 /// PCI Express generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,7 +102,7 @@ impl PcieLink {
 
     /// Theoretical payload bandwidth.
     pub fn theoretical(self) -> Bandwidth {
-        Bandwidth::from_gb_per_s(self.gen.per_lane_gbps() * self.lanes as f64)
+        Bandwidth::from_gb_per_s(self.gen.per_lane_gbps() * f64::from(self.lanes))
     }
 
     /// Achievable DMA bandwidth for a transfer of `bytes` in
@@ -114,13 +114,13 @@ impl PcieLink {
             LinkDirection::DeviceToHost => D2H_EFFICIENCY,
         };
         let s = bytes.as_f64().max(1.0);
-        let ramp = s / (s + RAMP_BYTES);
+        let ramp = s / (s + RAMP.as_f64());
         self.theoretical().scale(eff * ramp)
     }
 
     /// Fixed setup latency for one DMA transfer.
     pub fn setup_latency(self) -> SimDuration {
-        SimDuration::from_micros(DMA_SETUP_US)
+        DMA_SETUP
     }
 }
 
@@ -131,9 +131,7 @@ mod tests {
     #[test]
     fn generation_table() {
         assert_eq!(PcieLink::gen4_x16().theoretical().as_gb_per_s(), 32.0);
-        assert!(
-            (PcieLink::new(PcieGen::Gen5, 16).theoretical().as_gb_per_s() - 64.0).abs() < 1e-9
-        );
+        assert!((PcieLink::new(PcieGen::Gen5, 16).theoretical().as_gb_per_s() - 64.0).abs() < 1e-9);
         let gen6 = PcieLink::new(PcieGen::Gen6, 16).theoretical().as_gb_per_s();
         assert!((gen6 - 121.0).abs() < 1.0, "PCIe 6 x16 ~121 GB/s: {gen6}");
     }

@@ -1,0 +1,251 @@
+//! The ratcheted lint allowlist.
+//!
+//! `lint-allowlist.txt` at the repo root budgets the known violations
+//! per `(rule, file)`. Every entry must carry a justification comment;
+//! the budget may only go down over time — `cargo xtask lint` fails
+//! both when a file exceeds its budget and when it improves without
+//! the budget being lowered.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The allowlist's location, relative to the workspace root.
+pub const FILE_NAME: &str = "lint-allowlist.txt";
+
+const HEADER: &str = "\
+# helmsim lint allowlist — ratcheted budgets for known violations.
+#
+# Format:  <rule> <file> <count>  # justification (required)
+#
+# `cargo xtask lint` fails when a file EXCEEDS its budget (new
+# violations) and when it comes in UNDER it (lower the budget in the
+# same change — the list only shrinks). Regenerate counts with
+# `cargo xtask lint --update-allowlist`, then justify any new entries.
+";
+
+/// One budgeted `(rule, file)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Number of tolerated violations.
+    pub count: usize,
+    /// Why these violations are acceptable (for now).
+    pub justification: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    entries: BTreeMap<(String, String), Entry>,
+}
+
+impl Allowlist {
+    /// Loads the allowlist, treating a missing file as empty.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Allowlist::default());
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut entries = BTreeMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (fields, justification) = match line.split_once('#') {
+                Some((f, j)) if !j.trim().is_empty() => (f, j.trim().to_owned()),
+                _ => {
+                    return Err(format!(
+                        "{}:{}: allowlist entry without a justification comment",
+                        path.display(),
+                        lineno + 1
+                    ))
+                }
+            };
+            let parts: Vec<&str> = fields.split_whitespace().collect();
+            let [rule, file, count] = parts[..] else {
+                return Err(format!(
+                    "{}:{}: expected `<rule> <file> <count>  # justification`",
+                    path.display(),
+                    lineno + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("{}:{}: bad count '{count}'", path.display(), lineno + 1))?;
+            entries.insert(
+                (rule.to_owned(), file.to_owned()),
+                Entry {
+                    rule: rule.to_owned(),
+                    file: file.to_owned(),
+                    count,
+                    justification,
+                },
+            );
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// The budget for `(rule, file)`; zero when unlisted.
+    pub fn budget(&self, rule: &str, file: &str) -> usize {
+        self.entries
+            .get(&(rule.to_owned(), file.to_owned()))
+            .map_or(0, |e| e.count)
+    }
+
+    /// All entries, in `(rule, file)` order.
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the allowlist is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// A new allowlist matching `found` exactly: existing
+    /// justifications are preserved, new entries get a placeholder
+    /// that must be edited before the list parses as justified.
+    pub fn rebudget(&self, found: &BTreeMap<(String, String), Vec<usize>>) -> Allowlist {
+        let mut entries = BTreeMap::new();
+        for ((rule, file), lines) in found {
+            let justification = self
+                .entries
+                .get(&(rule.clone(), file.clone()))
+                .map(|e| e.justification.clone())
+                .unwrap_or_else(|| "TODO: justify this entry".to_owned());
+            entries.insert(
+                (rule.clone(), file.clone()),
+                Entry {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    count: lines.len(),
+                    justification,
+                },
+            );
+        }
+        Allowlist { entries }
+    }
+
+    /// Serializes and writes the allowlist.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        let width = self
+            .entries
+            .values()
+            .map(|e| e.rule.len() + e.file.len())
+            .max()
+            .unwrap_or(0);
+        for e in self.entries.values() {
+            let key = format!("{} {}", e.rule, e.file);
+            let _ = writeln!(
+                out,
+                "{key:<w$} {:>3}  # {}",
+                e.count,
+                e.justification,
+                w = width + 1
+            );
+        }
+        std::fs::write(path, out).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Allowlist, String> {
+        let dir = std::env::temp_dir().join("helmsim-xtask-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("allow-{}.txt", text.len()));
+        std::fs::write(&path, text).expect("write");
+        let result = Allowlist::load(&path);
+        std::fs::remove_file(&path).ok();
+        result
+    }
+
+    #[test]
+    fn parses_entries_and_budgets() {
+        let a = parse(
+            "# header\n\nno-panic crates/cli/src/args.rs 3  # flag parser aborts with usage\n",
+        )
+        .expect("parses");
+        assert_eq!(a.budget("no-panic", "crates/cli/src/args.rs"), 3);
+        assert_eq!(a.budget("no-panic", "crates/cli/src/other.rs"), 0);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unjustified_entries() {
+        let err = parse("no-panic crates/x/src/lib.rs 1\n").expect_err("must fail");
+        assert!(err.contains("justification"));
+    }
+
+    #[test]
+    fn rejects_malformed_fields() {
+        assert!(parse("no-panic 3  # missing file\n").is_err());
+        assert!(parse("no-panic a.rs many  # bad count\n").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let a = Allowlist::load(Path::new("/nonexistent/allow.txt")).expect("empty");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn rebudget_keeps_justifications_and_counts() {
+        let a = parse("no-panic crates/x/src/lib.rs 5  # legacy path\n").expect("parses");
+        let mut found = BTreeMap::new();
+        found.insert(
+            ("no-panic".to_owned(), "crates/x/src/lib.rs".to_owned()),
+            vec![1, 2, 3],
+        );
+        found.insert(
+            (
+                "raw-unit-arith".to_owned(),
+                "crates/y/src/lib.rs".to_owned(),
+            ),
+            vec![9],
+        );
+        let b = a.rebudget(&found);
+        assert_eq!(b.budget("no-panic", "crates/x/src/lib.rs"), 3);
+        let new_entry = b
+            .entries()
+            .find(|e| e.rule == "raw-unit-arith")
+            .expect("new entry");
+        assert!(new_entry.justification.contains("TODO"));
+        let kept = b.entries().find(|e| e.rule == "no-panic").expect("kept");
+        assert_eq!(kept.justification, "legacy path");
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join("helmsim-xtask-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("roundtrip.txt");
+        let mut found = BTreeMap::new();
+        found.insert(
+            ("no-panic".to_owned(), "crates/x/src/lib.rs".to_owned()),
+            vec![4, 7],
+        );
+        let a = Allowlist::default().rebudget(&found);
+        a.save(&path).expect("save");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.starts_with("# helmsim lint allowlist"));
+        // The regenerated TODO placeholder still parses as a comment.
+        let b = Allowlist::load(&path).expect("load");
+        assert_eq!(b.budget("no-panic", "crates/x/src/lib.rs"), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

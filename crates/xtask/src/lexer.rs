@@ -1,0 +1,294 @@
+//! A minimal Rust source scanner for the lint pass.
+//!
+//! Not a real lexer: it blanks out the *contents* of comments and
+//! string/char literals (1:1, preserving newlines and character
+//! offsets) so the rule matchers never fire inside text, and it
+//! locates `#[cfg(test)]` item spans so test-only code is exempt from
+//! the library-code rules. The `syn`-style AST pass the design calls
+//! for is not available offline, so this is deliberately conservative:
+//! it prefers the occasional allowlisted false positive over silently
+//! missing real violations.
+
+/// Returns `src` with comment and literal contents replaced by
+/// spaces. Output has the same character count and the same newline
+/// positions as the input, so char offsets and line numbers carry
+/// over directly.
+pub fn blank_noncode(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            '/' if matches!(b.get(i + 1), Some('/')) => {
+                while i < b.len() && b[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if matches!(b.get(i + 1), Some('*')) => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    if b[i] == '/' && matches!(b.get(i + 1), Some('*')) {
+                        depth += 1;
+                        out.push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && matches!(b.get(i + 1), Some('/')) {
+                        depth -= 1;
+                        out.push_str("  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => i = blank_string(&b, i, &mut out),
+            'r' if raw_string_at(&b, i) && !ident_before(&b, i) => {
+                i = blank_raw_string(&b, i, &mut out);
+            }
+            'b' if matches!(b.get(i + 1), Some('"')) && !ident_before(&b, i) => {
+                out.push('b');
+                i = blank_string(&b, i + 1, &mut out);
+            }
+            'b' if matches!(b.get(i + 1), Some('r'))
+                && raw_string_at(&b, i + 1)
+                && !ident_before(&b, i) =>
+            {
+                out.push('b');
+                i = blank_raw_string(&b, i + 1, &mut out);
+            }
+            '\'' => i = blank_char_or_lifetime(&b, i, &mut out),
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Blanks a `"..."` literal starting at `b[i] == '"'`; returns the
+/// index past the closing quote.
+fn blank_string(b: &[char], mut i: usize, out: &mut String) -> usize {
+    out.push('"');
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\\' && i + 1 < b.len() {
+            out.push_str("  ");
+            i += 2;
+        } else if b[i] == '"' {
+            out.push('"');
+            return i + 1;
+        } else {
+            out.push(if b[i] == '\n' { '\n' } else { ' ' });
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Whether `b[i..]` starts a raw string: `r`, zero or more `#`, `"`.
+fn raw_string_at(b: &[char], i: usize) -> bool {
+    let mut j = i + 1;
+    while matches!(b.get(j), Some('#')) {
+        j += 1;
+    }
+    matches!(b.get(j), Some('"'))
+}
+
+/// Whether the char before `b[i]` continues an identifier (so this
+/// `r`/`b` is part of a name, not a literal prefix).
+fn ident_before(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// Blanks a raw string starting at `b[i] == 'r'`; returns the index
+/// past the closing delimiter.
+fn blank_raw_string(b: &[char], mut i: usize, out: &mut String) -> usize {
+    out.push('r');
+    i += 1;
+    let mut hashes = 0usize;
+    while matches!(b.get(i), Some('#')) {
+        out.push('#');
+        hashes += 1;
+        i += 1;
+    }
+    out.push('"');
+    i += 1;
+    while i < b.len() {
+        if b[i] == '"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            out.push('"');
+            i += 1;
+            for _ in 0..hashes {
+                out.push('#');
+                i += 1;
+            }
+            return i;
+        }
+        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+        i += 1;
+    }
+    i
+}
+
+/// Blanks a char literal, or passes a lifetime through unchanged;
+/// returns the index past what was consumed.
+fn blank_char_or_lifetime(b: &[char], i: usize, out: &mut String) -> usize {
+    // '\x' escape form: always a char literal.
+    if matches!(b.get(i + 1), Some('\\')) {
+        out.push('\'');
+        let mut j = i + 1;
+        while j < b.len() && b[j] != '\'' {
+            if b[j] == '\\' && j + 1 < b.len() {
+                out.push_str("  ");
+                j += 2;
+            } else {
+                out.push(' ');
+                j += 1;
+            }
+        }
+        if j < b.len() {
+            out.push('\'');
+            j += 1;
+        }
+        return j;
+    }
+    // 'x' form: char literal iff a closing quote follows one char.
+    if matches!(b.get(i + 2), Some('\'')) {
+        out.push('\'');
+        out.push(' ');
+        out.push('\'');
+        return i + 3;
+    }
+    // Otherwise a lifetime: pass through.
+    out.push('\'');
+    i + 1
+}
+
+/// Char-index spans of `#[cfg(test)]`-gated items in blanked source
+/// (the attribute through the matching close brace of the item body).
+pub fn cfg_test_spans(blanked: &str) -> Vec<(usize, usize)> {
+    let b: Vec<char> = blanked.chars().collect();
+    let needle: Vec<char> = "#[cfg(test)]".chars().collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + needle.len() <= b.len() {
+        if b[i..i + needle.len()] != needle[..] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + needle.len();
+        // Find the gated item's opening brace (or bail at a `;` —
+        // e.g. `#[cfg(test)] mod external;`).
+        while j < b.len() && b[j] != '{' && b[j] != ';' {
+            j += 1;
+        }
+        if j >= b.len() || b[j] == ';' {
+            spans.push((start, j.min(b.len())));
+            i = j;
+            continue;
+        }
+        let mut depth = 0usize;
+        while j < b.len() {
+            match b[j] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        spans.push((start, j.min(b.len())));
+        i = j + 1;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_line_and_block_comments() {
+        let out = blank_noncode("let x = 1; // unwrap() here\n/* panic!( */ let y = 2;");
+        assert!(!out.contains("unwrap"));
+        assert!(!out.contains("panic"));
+        assert!(out.contains("let x = 1;"));
+        assert!(out.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let out = blank_noncode("a /* outer /* inner */ still */ b");
+        assert!(out.starts_with('a'));
+        assert!(out.ends_with('b'));
+        assert!(!out.contains("inner"));
+        assert!(!out.contains("still"));
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let out = blank_noncode(r#"let s = "call .unwrap() now"; s.len()"#);
+        assert!(!out.contains("unwrap"));
+        assert!(out.contains("s.len()"));
+        assert_eq!(out.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn handles_escapes_and_raw_strings() {
+        let out = blank_noncode(r##"let a = "q\"panic!(\""; let b = r#"1e9 "inner" 1e9"#;"##);
+        assert!(!out.contains("panic"));
+        assert!(!out.contains("1e9"));
+        assert!(out.contains("let b = r#\""));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let out = blank_noncode("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\n'; }");
+        assert!(out.contains("<'a>"));
+        assert!(out.contains("&'a str"));
+        assert!(!out.contains('x') || !out.contains("'x'"));
+    }
+
+    #[test]
+    fn preserves_length_and_newlines() {
+        let src = "let a = \"two\nlines\"; // c\nlet b = 1;";
+        let out = blank_noncode(src);
+        assert_eq!(src.chars().count(), out.chars().count());
+        assert_eq!(
+            src.chars().filter(|&c| c == '\n').count(),
+            out.chars().filter(|&c| c == '\n').count()
+        );
+    }
+
+    #[test]
+    fn finds_cfg_test_mod_spans() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap() }\n}\nfn after() {}";
+        let blanked = blank_noncode(src);
+        let spans = cfg_test_spans(&blanked);
+        assert_eq!(spans.len(), 1);
+        let chars: Vec<char> = blanked.chars().collect();
+        let inside: String = chars[spans[0].0..spans[0].1].iter().collect();
+        assert!(inside.contains("unwrap"));
+        let lib_pos = blanked.find("fn lib").unwrap();
+        let after_pos = blanked.find("fn after").unwrap();
+        assert!(lib_pos < spans[0].0);
+        assert!(after_pos > spans[0].1);
+    }
+}

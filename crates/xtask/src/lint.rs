@@ -1,0 +1,366 @@
+//! The lint rules and the scan driver.
+//!
+//! Three rules, all applied to non-test library code in
+//! `crates/*/src` (vendor stubs and the `tests/` package are out of
+//! scope; `#[cfg(test)]` items are exempt):
+//!
+//! * `raw-unit-arith` — bare decimal/binary unit factors (`1e3`,
+//!   `1e6`, `1e9`, `1e12`, `1024.0`, `<< 20`, `<< 30`) outside
+//!   `simcore`'s `units.rs`/`time.rs`, where conversions are supposed
+//!   to live. Use `ByteSize`/`Bandwidth`/`SimDuration` constructors
+//!   and accessors instead.
+//! * `no-panic` — `.unwrap()`, `.expect(...)`, `panic!`, `todo!`,
+//!   `unimplemented!` in library code. Return a typed error instead.
+//! * `untyped-unit-const` — `const` items whose name carries a unit
+//!   suffix (`_MS`, `_BYTES`, `_GB`, ...) but whose type is a bare
+//!   numeric. Give them a `SimDuration`/`ByteSize`/`Bandwidth` type.
+//!
+//! Known violations are budgeted in `lint-allowlist.txt` at the repo
+//! root. The budget ratchets: a file exceeding its budget fails the
+//! build, and so does a file that *improved* without its budget being
+//! lowered, so the allowlist can only shrink.
+
+use crate::allowlist::{self, Allowlist};
+use crate::lexer;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One rule hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+}
+
+const UNIT_FACTORS: &[&str] = &["1e3", "1e6", "1e9", "1e12", "1024.0"];
+const UNIT_SHIFTS: &[&str] = &["<< 20", "<< 30"];
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+];
+const UNIT_SUFFIXES: &[&str] = &[
+    "_MS", "_SECS", "_US", "_NS", "_BYTES", "_KB", "_MB", "_GB", "_KIB", "_MIB", "_GIB", "_GBPS",
+    "_BPS",
+];
+const BARE_NUMERIC_TYPES: &[&str] = &["f64", "f32", "u64", "u32", "u128", "usize", "i64", "i32"];
+
+/// Files where raw unit factors are the point: the conversion layer.
+const UNIT_HOME_FILES: &[&str] = &["units.rs", "time.rs"];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// All start offsets of `pat` in `chars`.
+fn find_all(chars: &[char], pat: &str) -> Vec<usize> {
+    let p: Vec<char> = pat.chars().collect();
+    if p.is_empty() || p.len() > chars.len() {
+        return Vec::new();
+    }
+    (0..=chars.len() - p.len())
+        .filter(|&i| chars[i..i + p.len()] == p[..])
+        .collect()
+}
+
+/// Scans one file's source, returning every rule hit.
+pub fn scan_file(rel_path: &str, source: &str) -> Vec<Finding> {
+    let blanked = lexer::blank_noncode(source);
+    let chars: Vec<char> = blanked.chars().collect();
+    let test_spans = lexer::cfg_test_spans(&blanked);
+    let in_test = |idx: usize| test_spans.iter().any(|&(s, e)| (s..=e).contains(&idx));
+    let line_of = |idx: usize| 1 + chars[..idx].iter().filter(|&&c| c == '\n').count();
+    let basename = rel_path.rsplit('/').next().unwrap_or(rel_path);
+
+    let mut findings = Vec::new();
+    let mut push = |rule: &'static str, idx: usize| {
+        findings.push(Finding {
+            rule,
+            file: rel_path.to_owned(),
+            line: line_of(idx),
+        });
+    };
+
+    // raw-unit-arith: unit factors with identifier boundaries on both
+    // sides (so `21e3`, `1e30`, `0.1e3` never match).
+    if !UNIT_HOME_FILES.contains(&basename) {
+        for pat in UNIT_FACTORS {
+            let plen = pat.chars().count();
+            for idx in find_all(&chars, pat) {
+                let prev_ok = idx == 0 || (!is_ident_char(chars[idx - 1]) && chars[idx - 1] != '.');
+                let next_ok =
+                    !matches!(chars.get(idx + plen), Some(&c) if is_ident_char(c) || c == '.');
+                if prev_ok && next_ok && !in_test(idx) {
+                    push("raw-unit-arith", idx);
+                }
+            }
+        }
+        for pat in UNIT_SHIFTS {
+            for idx in find_all(&chars, pat) {
+                let after = chars.get(idx + pat.chars().count());
+                if !matches!(after, Some(&c) if c.is_ascii_digit()) && !in_test(idx) {
+                    push("raw-unit-arith", idx);
+                }
+            }
+        }
+    }
+
+    // no-panic: explicit aborts in library code.
+    for pat in PANIC_TOKENS {
+        for idx in find_all(&chars, pat) {
+            let macro_like = !pat.starts_with('.');
+            if macro_like && idx > 0 && is_ident_char(chars[idx - 1]) {
+                continue;
+            }
+            if !in_test(idx) {
+                push("no-panic", idx);
+            }
+        }
+    }
+
+    // untyped-unit-const: `const NAME_<UNIT>: <bare numeric>`.
+    for idx in find_all(&chars, "const ") {
+        if idx > 0 && is_ident_char(chars[idx - 1]) {
+            continue;
+        }
+        if in_test(idx) {
+            continue;
+        }
+        let mut j = idx + "const ".chars().count();
+        while matches!(chars.get(j), Some(&c) if c.is_whitespace()) {
+            j += 1;
+        }
+        let name_start = j;
+        while matches!(chars.get(j), Some(&c) if is_ident_char(c)) {
+            j += 1;
+        }
+        let name: String = chars[name_start..j].iter().collect();
+        if !UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            continue;
+        }
+        while matches!(chars.get(j), Some(&c) if c.is_whitespace()) {
+            j += 1;
+        }
+        if chars.get(j) != Some(&':') {
+            continue;
+        }
+        j += 1;
+        while matches!(chars.get(j), Some(&c) if c.is_whitespace()) {
+            j += 1;
+        }
+        let ty_start = j;
+        while matches!(chars.get(j), Some(&c) if is_ident_char(c)) {
+            j += 1;
+        }
+        let ty: String = chars[ty_start..j].iter().collect();
+        if BARE_NUMERIC_TYPES.contains(&ty.as_str()) {
+            push("untyped-unit-const", idx);
+        }
+    }
+
+    findings.sort_by_key(|f| (f.rule, f.line));
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+/// Scans every workspace crate's `src/`, returning findings keyed by
+/// `(rule, file)` with the hit lines.
+pub fn scan_workspace(root: &Path) -> Result<BTreeMap<(String, String), Vec<usize>>, String> {
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+    let mut files = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", crates_dir.display()))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut by_key: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        for f in scan_file(&rel, &source) {
+            by_key
+                .entry((f.rule.to_owned(), f.file.clone()))
+                .or_default()
+                .push(f.line);
+        }
+    }
+    Ok(by_key)
+}
+
+/// Runs the lint: scan, compare against the allowlist (or rewrite it
+/// with `update`), and return a process exit code.
+pub fn run(root: &Path, update: bool) -> Result<i32, String> {
+    let found = scan_workspace(root)?;
+    let allow_path = root.join(allowlist::FILE_NAME);
+
+    if update {
+        let previous = Allowlist::load(&allow_path)?;
+        let updated = previous.rebudget(&found);
+        updated.save(&allow_path)?;
+        println!(
+            "wrote {} with {} entr{}",
+            allowlist::FILE_NAME,
+            updated.len(),
+            if updated.len() == 1 { "y" } else { "ies" }
+        );
+        return Ok(0);
+    }
+
+    let allow = Allowlist::load(&allow_path)?;
+    let mut errors = String::new();
+    let mut allowed_total = 0usize;
+
+    for ((rule, file), lines) in &found {
+        let budget = allow.budget(rule, file);
+        let actual = lines.len();
+        if actual > budget {
+            let shown: Vec<String> = lines.iter().map(|l| format!("{file}:{l}")).collect();
+            let _ = writeln!(
+                errors,
+                "{rule}: {file} has {actual} violation(s), allowlist budget is {budget}:\n    {}",
+                shown.join("\n    ")
+            );
+        } else if actual < budget {
+            let _ = writeln!(
+                errors,
+                "{rule}: {file} improved to {actual} violation(s) but the allowlist still \
+                 budgets {budget} — lower the budget in {} (ratchet)",
+                allowlist::FILE_NAME
+            );
+        } else {
+            allowed_total += actual;
+        }
+    }
+    for entry in allow.entries() {
+        if !found.contains_key(&(entry.rule.clone(), entry.file.clone())) {
+            let _ = writeln!(
+                errors,
+                "{}: stale allowlist entry for {} — the file is clean (or gone); remove the entry",
+                entry.rule, entry.file
+            );
+        }
+    }
+
+    if errors.is_empty() {
+        if allow.is_empty() {
+            println!("lint clean: no violations, empty allowlist");
+        } else {
+            println!(
+                "lint clean: {} budgeted finding(s) across {} allowlist entr{}",
+                allowed_total,
+                allow.len(),
+                if allow.len() == 1 { "y" } else { "ies" }
+            );
+        }
+        Ok(0)
+    } else {
+        eprint!("{errors}");
+        eprintln!(
+            "\nlint failed. Fix the violations (preferred), or update budgets in {} \
+             with a justification comment per entry.",
+            allowlist::FILE_NAME
+        );
+        Ok(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panics() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g() { panic!(\"boom\") }\n";
+        let found = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&found), vec!["no-panic", "no-panic"]);
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_match() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_are_exempt() {
+        let src = "// calls .unwrap() and panic!()\nfn f() -> &'static str { \"1e9 .unwrap()\" }\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_raw_unit_factors_with_boundaries() {
+        let src = "fn f(gb: f64) -> f64 { gb * 1e9 }\nfn g() -> f64 { 21e3 + 1e30 + 0.1e3 }\n";
+        let found = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "raw-unit-arith");
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn unit_home_files_may_convert() {
+        let src = "pub fn from_gb(gb: f64) -> u64 { (gb * 1e9) as u64 }\n";
+        assert!(scan_file("crates/simcore/src/units.rs", src).is_empty());
+        assert_eq!(scan_file("crates/other/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flags_binary_shifts_but_not_other_shifts() {
+        let src = "fn f(x: u64) -> u64 { (1u64 << 20) + (x << 7) + (x << 203) }\n";
+        let found = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn flags_untyped_unit_consts_only() {
+        let src = "pub const SYNC_MS: f64 = 0.25;\npub const GOOD_MS: SimDuration = SimDuration::ZERO;\npub const COUNT: u64 = 3;\n";
+        let found = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "untyped-unit-const");
+        assert_eq!(found[0].line, 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Workspace automation, invoked as `cargo xtask <command>`.
+//!
+//! Commands:
+//!
+//! * `lint` — run the unit-safety / panic-hygiene lint over every
+//!   workspace crate's `src/`, checked against `lint-allowlist.txt`.
+//! * `lint --update-allowlist` — rewrite the allowlist to match the
+//!   current findings (existing justifications are preserved; new
+//!   entries get a TODO placeholder that must be filled in).
+
+mod allowlist;
+mod lexer;
+mod lint;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo xtask lint [--update-allowlist]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+
+    // xtask lives at <root>/crates/xtask, so the workspace root is
+    // two levels up from the manifest dir.
+    let Some(root) = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2) else {
+        eprintln!("xtask: cannot locate the workspace root");
+        return ExitCode::from(2);
+    };
+
+    let code = match args[..] {
+        ["lint"] => lint::run(root, false),
+        ["lint", "--update-allowlist"] => lint::run(root, true),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match code {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(n) => ExitCode::from(n.clamp(0, i32::from(u8::MAX)) as u8),
+        Err(msg) => {
+            eprintln!("xtask: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

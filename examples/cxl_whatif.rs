@@ -27,7 +27,9 @@ fn main() -> Result<(), helm_core::ServeError> {
         "CXL GB/s", "base TBT", "HeLM TBT", "HeLM gain", "MHAc/FFNl"
     );
     let mut crossover: Option<f64> = None;
-    for gbps in [2.0, 4.0, 5.12, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 36.0, 48.0] {
+    for gbps in [
+        2.0, 4.0, 5.12, 8.0, 12.0, 16.0, 20.0, 24.0, 28.0, 36.0, 48.0,
+    ] {
         let memory = HostMemoryConfig::cxl_custom(Bandwidth::from_gb_per_s(gbps));
         let mut tbt = [0.0f64; 2];
         let mut ratio = 0.0;

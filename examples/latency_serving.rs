@@ -40,7 +40,11 @@ fn main() -> Result<(), helm_core::ServeError> {
                 .with_compression(true)
                 .with_placement(placement)
                 .with_batch_size(1);
-            let server = Server::new(SystemConfig::paper_platform(memory.clone()), model.clone(), policy)?;
+            let server = Server::new(
+                SystemConfig::paper_platform(memory.clone()),
+                model.clone(),
+                policy,
+            )?;
             let report = server.run(&workload)?;
             let tbt = report.tbt_ms();
             if placement == PlacementKind::Baseline {
@@ -60,7 +64,10 @@ fn main() -> Result<(), helm_core::ServeError> {
             }
         }
         let (winner, tbt) = best.expect("ran policies");
-        println!("  -> best for latency on {}: {winner} ({tbt:.1} ms)\n", memory.kind());
+        println!(
+            "  -> best for latency on {}: {winner} ({tbt:.1} ms)\n",
+            memory.kind()
+        );
     }
     Ok(())
 }

@@ -37,7 +37,10 @@ fn main() -> Result<(), helm_core::ServeError> {
     println!();
     println!("time to first token : {:>10.1} ms", report.ttft_ms());
     println!("time between tokens : {:>10.1} ms", report.tbt_ms());
-    println!("throughput          : {:>10.3} tokens/s", report.throughput_tps());
+    println!(
+        "throughput          : {:>10.3} tokens/s",
+        report.throughput_tps()
+    );
     let [disk, cpu, gpu] = report.achieved_distribution;
     println!("weight distribution : disk {disk:.1}% / cpu {cpu:.1}% / gpu {gpu:.1}%");
     Ok(())

@@ -3,7 +3,7 @@
 //! discrete-event executors, over randomized small models and
 //! policies.
 
-use helm_core::exec::{run_pipeline, PipelineInputs, SYNC_OVERHEAD_MS};
+use helm_core::exec::{run_pipeline, PipelineInputs, SYNC_OVERHEAD};
 use helm_core::exec_des::run_pipeline_des;
 use helm_core::placement::{ModelPlacement, PlacementKind};
 use helm_core::policy::{PercentDist, Policy};
@@ -78,7 +78,7 @@ proptest! {
         // One record per (token, layer).
         prop_assert_eq!(report.records.len(), gen_len * model.num_layers());
         // Every step covers its compute, its load, and the sync.
-        let sync = SYNC_OVERHEAD_MS * 1e-3;
+        let sync = SYNC_OVERHEAD.as_secs();
         for r in &report.records {
             prop_assert!(r.step.as_secs() + 1e-12 >= r.compute.as_secs().max(r.load_next.as_secs()) + sync);
         }
@@ -98,7 +98,7 @@ proptest! {
         prop_assert!((report.throughput_tps() - expect).abs() < 1e-9);
         prop_assert_eq!(
             report.tokens_generated,
-            policy.effective_batch() as u64 * gen_len as u64
+            u64::from(policy.effective_batch()) * gen_len as u64
         );
     }
 

@@ -208,8 +208,7 @@ fn helm_rebalances_the_pipeline() {
     assert!((0.25..=0.40).contains(&mha_rise), "MHA rise {mha_rise}");
     // The increased MHA load stays below FFN compute: fully hidden.
     assert!(
-        helm.avg_weight_transfer(stage, LayerKind::Mha)
-            < helm.avg_compute(stage, LayerKind::Ffn)
+        helm.avg_weight_transfer(stage, LayerKind::Mha) < helm.avg_compute(stage, LayerKind::Ffn)
     );
 }
 

@@ -27,20 +27,97 @@ fn goldens() -> Vec<Golden> {
     use PlacementKind::{AllCpu, Baseline, Helm};
     vec![
         // OPT-175B: the paper's reported achieved distributions.
-        Golden { model: ModelConfig::opt_175b, placement: Baseline, compressed: false, memory: NvDram, expect: [0.0, 91.709, 8.291], staging: 3_651_551_232 },
-        Golden { model: ModelConfig::opt_175b, placement: Baseline, compressed: false, memory: Ssd, expect: [58.618, 33.091, 8.291], staging: 3_651_551_232 },
-        Golden { model: ModelConfig::opt_175b, placement: Baseline, compressed: true, memory: NvDram, expect: [0.0, 91.700, 8.300], staging: 1_027_104_768 },
-        Golden { model: ModelConfig::opt_175b, placement: Helm, compressed: true, memory: NvDram, expect: [0.0, 66.871, 33.129], staging: 694_960_128 },
-        Golden { model: ModelConfig::opt_175b, placement: Helm, compressed: true, memory: Ssd, expect: [0.705, 66.166, 33.129], staging: 694_960_128 },
-        Golden { model: ModelConfig::opt_175b, placement: AllCpu, compressed: true, memory: NvDram, expect: [0.0, 100.0, 0.0], staging: 1_027_178_496 },
+        Golden {
+            model: ModelConfig::opt_175b,
+            placement: Baseline,
+            compressed: false,
+            memory: NvDram,
+            expect: [0.0, 91.709, 8.291],
+            staging: 3_651_551_232,
+        },
+        Golden {
+            model: ModelConfig::opt_175b,
+            placement: Baseline,
+            compressed: false,
+            memory: Ssd,
+            expect: [58.618, 33.091, 8.291],
+            staging: 3_651_551_232,
+        },
+        Golden {
+            model: ModelConfig::opt_175b,
+            placement: Baseline,
+            compressed: true,
+            memory: NvDram,
+            expect: [0.0, 91.700, 8.300],
+            staging: 1_027_104_768,
+        },
+        Golden {
+            model: ModelConfig::opt_175b,
+            placement: Helm,
+            compressed: true,
+            memory: NvDram,
+            expect: [0.0, 66.871, 33.129],
+            staging: 694_960_128,
+        },
+        Golden {
+            model: ModelConfig::opt_175b,
+            placement: Helm,
+            compressed: true,
+            memory: Ssd,
+            expect: [0.705, 66.166, 33.129],
+            staging: 694_960_128,
+        },
+        Golden {
+            model: ModelConfig::opt_175b,
+            placement: AllCpu,
+            compressed: true,
+            memory: NvDram,
+            expect: [0.0, 100.0, 0.0],
+            staging: 1_027_178_496,
+        },
         // OPT-30B: all-host default; HeLM carves out its third.
-        Golden { model: ModelConfig::opt_30b, placement: Baseline, compressed: false, memory: NvDram, expect: [0.0, 100.0, 0.0], staging: 1_542_912_000 },
-        Golden { model: ModelConfig::opt_30b, placement: Helm, compressed: false, memory: NvDram, expect: [0.0, 67.465, 32.535], staging: 1_470_816_256 },
+        Golden {
+            model: ModelConfig::opt_30b,
+            placement: Baseline,
+            compressed: false,
+            memory: NvDram,
+            expect: [0.0, 100.0, 0.0],
+            staging: 1_542_912_000,
+        },
+        Golden {
+            model: ModelConfig::opt_30b,
+            placement: Helm,
+            compressed: false,
+            memory: NvDram,
+            expect: [0.0, 67.465, 32.535],
+            staging: 1_470_816_256,
+        },
         // OPT-66B.
-        Golden { model: ModelConfig::opt_66b, placement: Helm, compressed: true, memory: NvDram, expect: [0.0, 67.115, 32.885], staging: 531_884_160 },
+        Golden {
+            model: ModelConfig::opt_66b,
+            placement: Helm,
+            compressed: true,
+            memory: NvDram,
+            expect: [0.0, 67.115, 32.885],
+            staging: 531_884_160,
+        },
         // LLaMA-2-70B: the gated FFN shifts HeLM's share slightly.
-        Golden { model: ModelConfig::llama_2_70b, placement: Helm, compressed: true, memory: NvDram, expect: [0.0, 70.821, 29.179], staging: 411_729_920 },
-        Golden { model: ModelConfig::llama_2_70b, placement: Baseline, compressed: true, memory: NvDram, expect: [0.0, 100.0, 0.0], staging: 543_866_880 },
+        Golden {
+            model: ModelConfig::llama_2_70b,
+            placement: Helm,
+            compressed: true,
+            memory: NvDram,
+            expect: [0.0, 70.821, 29.179],
+            staging: 411_729_920,
+        },
+        Golden {
+            model: ModelConfig::llama_2_70b,
+            placement: Baseline,
+            compressed: true,
+            memory: NvDram,
+            expect: [0.0, 100.0, 0.0],
+            staging: 543_866_880,
+        },
     ]
 }
 

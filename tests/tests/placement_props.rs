@@ -23,15 +23,7 @@ fn dist_strategy() -> impl Strategy<Value = PercentDist> {
 /// Arbitrary small model shapes (heads divide hidden).
 fn model_strategy() -> impl Strategy<Value = ModelConfig> {
     (1usize..=8, 1usize..=6, 2usize..=4).prop_map(|(heads, blocks, mult)| {
-        ModelConfig::new(
-            "prop-model",
-            heads * 64,
-            heads,
-            blocks,
-            mult,
-            1000,
-            256,
-        )
+        ModelConfig::new("prop-model", heads * 64, heads, blocks, mult, 1000, 256)
     })
 }
 

@@ -73,7 +73,7 @@ proptest! {
         batch in 1u32..=8,
         seed in 0u64..1000,
     ) {
-        let lambda = lambda_milli as f64 / 1000.0;
+        let lambda = f64::from(lambda_milli) / 1000.0;
         let server = small_server(batch, true);
         let ws = WorkloadSpec::paper_default();
         let a = run_online(&server, &ws, &mut PoissonArrivals::new(lambda, seed), n)

@@ -40,7 +40,11 @@ fn try_serve(
 
 #[test]
 fn every_viable_combination_serves_sanely() {
-    let models = [ModelConfig::opt_6_7b(), ModelConfig::opt_30b(), ModelConfig::opt_175b()];
+    let models = [
+        ModelConfig::opt_6_7b(),
+        ModelConfig::opt_30b(),
+        ModelConfig::opt_175b(),
+    ];
     let mut ran = 0;
     let mut rejected = 0;
     for model in &models {
@@ -82,7 +86,10 @@ fn every_viable_combination_serves_sanely() {
             }
         }
     }
-    assert!(ran >= 80, "only {ran} combinations served ({rejected} rejected)");
+    assert!(
+        ran >= 80,
+        "only {ran} combinations served ({rejected} rejected)"
+    );
     // OPT-175B uncompressed on DRAM must be among the rejections.
     assert!(rejected >= 1);
 }
@@ -112,7 +119,11 @@ fn tbt_is_monotone_in_host_bandwidth() {
 #[test]
 fn larger_models_are_slower() {
     let mut last = 0.0;
-    for model in [ModelConfig::opt_6_7b(), ModelConfig::opt_13b(), ModelConfig::opt_30b()] {
+    for model in [
+        ModelConfig::opt_6_7b(),
+        ModelConfig::opt_13b(),
+        ModelConfig::opt_30b(),
+    ] {
         let tbt = try_serve(
             &model,
             HostMemoryConfig::nvdram(),
@@ -130,8 +141,7 @@ fn larger_models_are_slower() {
 #[test]
 fn ttft_grows_with_prompt_length() {
     let model = ModelConfig::opt_30b();
-    let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::Dram)
-        .with_batch_size(16);
+    let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::Dram).with_batch_size(16);
     let server = Server::new(
         SystemConfig::paper_platform(HostMemoryConfig::dram()),
         model,
@@ -171,8 +181,22 @@ fn longer_generation_increases_total_time_not_tbt() {
 #[test]
 fn deterministic_reports() {
     let model = ModelConfig::opt_175b();
-    let a = try_serve(&model, HostMemoryConfig::nvdram(), PlacementKind::Helm, true, 4).unwrap();
-    let b = try_serve(&model, HostMemoryConfig::nvdram(), PlacementKind::Helm, true, 4).unwrap();
+    let a = try_serve(
+        &model,
+        HostMemoryConfig::nvdram(),
+        PlacementKind::Helm,
+        true,
+        4,
+    )
+    .unwrap();
+    let b = try_serve(
+        &model,
+        HostMemoryConfig::nvdram(),
+        PlacementKind::Helm,
+        true,
+        4,
+    )
+    .unwrap();
     assert_eq!(a.ttft, b.ttft);
     assert_eq!(a.tbt.samples(), b.tbt.samples());
     assert_eq!(a.records.len(), b.records.len());

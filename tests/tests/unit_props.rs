@@ -1,0 +1,136 @@
+//! Property tests over the `simcore::units` / `simcore::time`
+//! arithmetic: the algebraic laws the rest of the workspace leans on
+//! (conservation under `+`/`-`, monotone scaling, rate/time duality)
+//! plus the contract of the fallible `try_from_*` constructors.
+
+use proptest::prelude::*;
+use simcore::time::{SimDuration, SimTime};
+use simcore::units::{Bandwidth, ByteSize, UnitError};
+
+fn bytes_strategy() -> impl Strategy<Value = ByteSize> {
+    (0.0f64..=64.0).prop_map(ByteSize::from_gb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ByteSize addition is exact (integer-backed), commutative, and
+    /// inverted by subtraction — the foundation of ledger balancing.
+    #[test]
+    fn byte_addition_is_exact_and_invertible(
+        a in bytes_strategy(),
+        b in bytes_strategy(),
+    ) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) - b, a);
+        prop_assert_eq!(a.saturating_sub(a + b), ByteSize::ZERO);
+        prop_assert!(a + b >= a.max(b));
+    }
+
+    /// Integer scaling distributes over addition exactly.
+    #[test]
+    fn byte_scaling_distributes(
+        a in bytes_strategy(),
+        b in bytes_strategy(),
+        k in 0u64..16,
+    ) {
+        prop_assert_eq!((a + b) * k, a * k + b * k);
+    }
+
+    /// Unit conversions round-trip within f64 precision.
+    #[test]
+    fn byte_conversions_round_trip(gb in 0.0f64..=1024.0) {
+        let b = ByteSize::from_gb(gb);
+        prop_assert!((b.as_gb() - gb).abs() < 1e-6);
+        let mib = ByteSize::from_mib(gb);
+        prop_assert!((mib.as_mib() - gb).abs() < 1e-6);
+    }
+
+    /// `Bandwidth::time_for` is the inverse of rate x time: moving
+    /// the computed duration at the same rate reproduces the bytes.
+    #[test]
+    fn rate_time_duality(
+        bytes in bytes_strategy(),
+        gbps in 0.1f64..=400.0,
+    ) {
+        let bw = Bandwidth::from_gb_per_s(gbps);
+        let t = bw.time_for(bytes);
+        let back = bw.as_bytes_per_s() * t.as_secs();
+        let expect = bytes.as_f64();
+        prop_assert!((back - expect).abs() <= 1.0 + expect * 1e-12,
+            "{back} vs {expect}");
+    }
+
+    /// Scaling a bandwidth scales transfer time inversely; `serial`
+    /// composition is never faster than its slowest stage.
+    #[test]
+    fn bandwidth_scaling_and_serial_composition(
+        gbps in 0.1f64..=400.0,
+        factor in 0.1f64..=1.0,
+        bytes in bytes_strategy(),
+    ) {
+        let bw = Bandwidth::from_gb_per_s(gbps);
+        let slow = bw.scale(factor);
+        prop_assert!(slow <= bw);
+        prop_assert!(slow.time_for(bytes) >= bw.time_for(bytes));
+        let serial = Bandwidth::serial(&[bw, slow]);
+        prop_assert!(serial <= slow.min(bw));
+    }
+
+    /// Duration arithmetic: addition commutes, `Sum` agrees with a
+    /// fold, and millisecond/second views stay consistent.
+    #[test]
+    fn duration_arithmetic_is_consistent(
+        a in 0.0f64..=100.0,
+        b in 0.0f64..=100.0,
+    ) {
+        let (da, db) = (SimDuration::from_secs(a), SimDuration::from_secs(b));
+        prop_assert_eq!(da + db, db + da);
+        let summed: SimDuration = [da, db, da].into_iter().sum();
+        prop_assert!(((da + db + da).as_secs() - summed.as_secs()).abs() < 1e-12);
+        prop_assert!((da.as_millis() - a * 1e3).abs() < 1e-6);
+        let t = SimTime::ZERO + da + db;
+        prop_assert!((t.duration_since(SimTime::ZERO + da).as_secs() - db.as_secs()).abs() < 1e-9);
+    }
+
+    /// The fallible constructors accept exactly the values the
+    /// panicking ones accept, and name the offending value.
+    #[test]
+    fn try_constructors_partition_the_domain(v in -100.0f64..=100.0) {
+        match Bandwidth::try_from_gb_per_s(v) {
+            Ok(bw) => {
+                prop_assert!(v >= 0.0);
+                prop_assert!((bw.as_gb_per_s() - v).abs() < 1e-9);
+            }
+            Err(UnitError::InvalidBandwidth(bad)) => {
+                prop_assert!(v < 0.0);
+                prop_assert_eq!(bad, v);
+            }
+            Err(other) => prop_assert!(false, "wrong error kind: {other:?}"),
+        }
+        match SimDuration::try_from_secs(v) {
+            Ok(d) => prop_assert!(v >= 0.0 && (d.as_secs() - v).abs() < 1e-12),
+            Err(UnitError::InvalidTime(bad)) => {
+                prop_assert!(v < 0.0);
+                prop_assert_eq!(bad, v);
+            }
+            Err(other) => prop_assert!(false, "wrong error kind: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn try_constructors_reject_nan() {
+    assert!(matches!(
+        Bandwidth::try_from_gb_per_s(f64::NAN),
+        Err(UnitError::InvalidBandwidth(_))
+    ));
+    assert!(matches!(
+        ByteSize::try_from_gb(f64::NAN),
+        Err(UnitError::InvalidByteSize(_))
+    ));
+    assert!(matches!(
+        SimTime::try_from_secs(f64::NAN),
+        Err(UnitError::InvalidTime(_))
+    ));
+}

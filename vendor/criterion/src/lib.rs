@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface helmsim's benches use (`Criterion`,
+//! benchmark groups, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros) backed by a
+//! plain wall-clock timer: each benchmark is warmed up once and then
+//! timed over a fixed iteration budget, reporting mean time per
+//! iteration (and bytes/s where a throughput is declared). No
+//! statistics, plots, or baselines — this exists so `cargo bench`
+//! runs offline, not to replace criterion's analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Label for one parameterized benchmark instance.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id carrying a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id distinguished by its parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.function {
+            Some(func) => write!(f, "{func}/{}", self.parameter),
+            None => f.write_str(&self.parameter),
+        }
+    }
+}
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes handled per iteration.
+    Bytes(u64),
+    /// Abstract elements handled per iteration.
+    Elements(u64),
+}
+
+/// Runs the measured closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up pass.
+        let _ = routine();
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            let _ = routine();
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_STUB_ITERS trades precision for runtime; the
+        // default keeps full-pipeline benches tolerable in debug.
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3);
+        Criterion { iters }
+    }
+}
+
+fn report(name: &str, iters: u64, elapsed: Duration, throughput: Option<Throughput>) {
+    let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
+            format!("  {:>10.3} MB/s", b as f64 / per_iter / 1e6)
+        }
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            format!("  {:>10.1} elem/s", n as f64 / per_iter)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<48} {:>12.3} ms/iter{rate}", per_iter * 1e3);
+}
+
+impl Criterion {
+    /// Benchmarks `routine` under `name`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, name: &str, mut routine: R) {
+        let mut b = Bencher {
+            iters: self.iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        report(name, b.iters, b.elapsed, None);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; the stub's iteration budget is
+    /// fixed by `CRITERION_STUB_ITERS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` within the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: R,
+    ) {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let label = format!("{}/{id}", self.name);
+        report(&label, b.iters, b.elapsed, self.throughput);
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) {
+        let mut b = Bencher {
+            iters: self.criterion.iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b, input);
+        let label = format!("{}/{id}", self.name);
+        report(&label, b.iters, b.elapsed, self.throughput);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a set of groups. Ignores harness arguments
+/// (`--bench`, filters) the way `cargo bench`/`cargo test` pass them.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion { iters: 5 };
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        // 1 warm-up + 5 timed.
+        assert_eq!(runs, 6);
+    }
+
+    #[test]
+    fn groups_run_with_inputs_and_throughput() {
+        let mut c = Criterion { iters: 2 };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(1024));
+        group.sample_size(10);
+        let data = vec![1u8; 16];
+        let mut total = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter(16), &data, |b, d| {
+            b.iter(|| total += d.len())
+        });
+        group.finish();
+        assert_eq!(total, 3 * 16);
+    }
+
+    #[test]
+    fn ids_render_both_forms() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

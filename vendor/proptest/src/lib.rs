@@ -1,0 +1,316 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest the helmsim test suite uses:
+//! range and tuple strategies, `prop_map`, `any::<T>()`,
+//! `prop::collection::vec`, the `proptest!` macro, and the
+//! `prop_assert!`/`prop_assert_eq!` assertions. Sampling is
+//! deterministic — each test's RNG stream is seeded from the test
+//! name — so failures reproduce exactly. There is **no shrinking**:
+//! a failing case reports its case index and panics with the original
+//! values in the assertion message.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleRange, Standard};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of values for one generated test argument.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Clone,
+        Range<T>: SampleRange<Output = T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Clone,
+        RangeInclusive<T>: SampleRange<Output = T>,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// Uniform over `T`'s whole domain (`any::<bool>()` etc.).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Standard> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// A strategy drawing uniformly from `T`'s standard distribution.
+    pub fn any<T: Standard>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    /// Always produces a clone of `value`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Strategy factories namespaced like upstream's `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from
+        /// `size` (half-open, like upstream's `SizeRange`).
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// The [`vec`] strategy.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test execution settings.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    /// Upstream's name for [`Config`].
+    pub type ProptestConfig = Config;
+
+    impl Config {
+        /// A config running `cases` generated cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Drives one property test: owns the deterministic RNG stream.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A runner whose stream is derived from the test name, so
+        /// each property sees decorrelated but reproducible inputs.
+        pub fn new(test_name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRunner {
+                rng: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The runner's RNG.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+}
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` that samples `config.cases` inputs and runs
+/// the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = (<$crate::test_runner::Config as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(stringify!($name));
+            for __proptest_case in 0..config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::sample(&($strat), runner.rng());
+                )+
+                let case: u32 = __proptest_case;
+                let _ = case;
+                $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// `assert!` that reports the failing generated case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// `assert_eq!` that reports the failing generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(
+            x in 1u32..=16,
+            (a, b) in (0.0f64..1.0, 10usize..20).prop_map(|(a, b)| (a, b)),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((1..=16).contains(&x));
+            prop_assert!((0.0..1.0).contains(&a), "a = {a}");
+            prop_assert!((10..20).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0i32..5, 2..7)) {
+            prop_assert!((2..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| (0..5).contains(&e)));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let mut r1 = crate::test_runner::TestRunner::new("stable-name");
+        let mut r2 = crate::test_runner::TestRunner::new("stable-name");
+        for _ in 0..16 {
+            assert_eq!(strat.sample(r1.rng()), strat.sample(r2.rng()));
+        }
+    }
+}
