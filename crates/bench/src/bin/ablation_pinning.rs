@@ -19,7 +19,7 @@ use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let memory = HostMemoryConfig::nvdram();
     let system = SystemConfig::paper_platform(memory.clone());
@@ -83,10 +83,9 @@ fn main() {
         true,
         1,
         &workload,
-    )
-    .expect("serves");
-    let helm_run = run(&helm);
-    let pinned_run = run(&pinned);
+    )?;
+    let helm_run = run(&helm)?;
+    let pinned_run = run(&pinned)?;
     print_table(
         &["placement", "TTFT(ms)", "TBT(ms)"],
         &[
@@ -112,4 +111,5 @@ fn main() {
          spends the same bytes equalizing compute with communication in\n\
          every block -- the paper's central placement insight."
     );
+    Ok(())
 }

@@ -25,27 +25,25 @@ fn serve(
     batch: u32,
     gpu_batches: u32,
     workload: &WorkloadSpec,
-) -> helm_core::RunReport {
+) -> Result<helm_core::RunReport, helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let policy = Policy::paper_default(&model, memory.kind())
         .with_placement(placement)
         .with_compression(true)
         .with_batch_size(batch)
         .with_gpu_batches(gpu_batches);
-    Server::new(SystemConfig::paper_platform(memory), model, policy)
-        .expect("fits")
-        .run_unchecked(workload)
+    Server::new(SystemConfig::paper_platform(memory), model, policy)?.run_unchecked(workload)
 }
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let ws = WorkloadSpec::paper_default();
 
     section("1. host-bandwidth continuum (OPT-175B, compressed, batch 1)");
     let mut rows = Vec::new();
     for gbps in [2.0, 5.12, 10.0, 16.0, 28.0, 40.0, 64.0] {
         let memory = HostMemoryConfig::cxl_custom(Bandwidth::from_gb_per_s(gbps));
-        let base = serve(memory.clone(), PlacementKind::Baseline, 1, 1, &ws);
-        let helm = serve(memory, PlacementKind::Helm, 1, 1, &ws);
+        let base = serve(memory.clone(), PlacementKind::Baseline, 1, 1, &ws)?;
+        let helm = serve(memory, PlacementKind::Helm, 1, 1, &ws)?;
         rows.push((
             format!("{gbps:.2} GB/s"),
             vec![
@@ -65,7 +63,7 @@ fn main() {
     let mut rows = Vec::new();
     for prompt in [64usize, 128, 256, 512, 1024] {
         let ws = WorkloadSpec::new(prompt, 21, 1);
-        let r = serve(HostMemoryConfig::nvdram(), PlacementKind::Helm, 1, 1, &ws);
+        let r = serve(HostMemoryConfig::nvdram(), PlacementKind::Helm, 1, 1, &ws)?;
         rows.push((
             format!("prompt {prompt}"),
             vec![r.ttft_ms(), r.tbt_ms(), r.throughput_tps()],
@@ -76,7 +74,7 @@ fn main() {
     section("3. micro-batching sweep (NVDRAM, All-CPU, gpu-batch 4)");
     let mut rows = Vec::new();
     for k in [1u32, 2, 4, 8, 11] {
-        let r = serve(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, 4, k, &ws);
+        let r = serve(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, 4, k, &ws)?;
         rows.push((
             format!("4 x {k} = {}", 4 * k),
             vec![r.tbt_ms(), r.throughput_tps()],
@@ -90,4 +88,5 @@ fn main() {
          (3) micro-batching buys throughput at constant weight traffic until\n\
          compute saturates the pipeline."
     );
+    Ok(())
 }

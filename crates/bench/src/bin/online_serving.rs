@@ -18,7 +18,7 @@ use llm::ModelConfig;
 use simcore::SimDuration;
 use workload::WorkloadSpec;
 
-fn server(placement: PlacementKind, batch: u32) -> Server {
+fn server(placement: PlacementKind, batch: u32) -> Result<Server, helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::NvDram)
         .with_placement(placement)
@@ -29,10 +29,9 @@ fn server(placement: PlacementKind, batch: u32) -> Server {
         model,
         policy,
     )
-    .expect("fits")
 }
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let ws = WorkloadSpec::paper_default();
     let n = 120;
 
@@ -44,11 +43,11 @@ fn main() {
         section(&format!(
             "{label} under Poisson load (OPT-175B, NVDRAM, compressed)"
         ));
-        let s = server(placement, batch);
+        let s = server(placement, batch)?;
         let mut rows = Vec::new();
         for lambda in [0.01f64, 0.03, 0.06, 0.10, 0.15, 0.25] {
             let mut arrivals = PoissonArrivals::new(lambda, 42);
-            let r = run_online(&s, &ws, &mut arrivals, n).expect("serves");
+            let r = run_online(&s, &ws, &mut arrivals, n)?;
             rows.push((
                 format!("{lambda:.2} req/s"),
                 vec![
@@ -80,4 +79,5 @@ fn main() {
          latency/throughput dial as the paper's two placement schemes,\n\
          expressed as serving QoS."
     );
+    Ok(())
 }

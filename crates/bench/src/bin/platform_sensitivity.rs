@@ -33,7 +33,7 @@ fn system(gpu: GpuSpec, gen: PcieGen) -> SystemConfig {
     )
 }
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let workload = WorkloadSpec::paper_default();
 
@@ -48,12 +48,9 @@ fn main() {
         let policy = Policy::paper_default(&model, sys.memory().kind())
             .with_compression(true)
             .with_placement(PlacementKind::AllCpu);
-        let server = Server::new(sys.clone(), model.clone(), policy.clone()).expect("fits");
+        let server = Server::new(sys.clone(), model.clone(), policy.clone())?;
         let max = server.max_batch(&workload);
-        let best = Server::new(sys, model.clone(), policy.with_batch_size(max))
-            .expect("fits")
-            .run(&workload)
-            .expect("serves");
+        let best = Server::new(sys, model.clone(), policy.with_batch_size(max))?.run(&workload)?;
         rows.push((
             gpu.name().to_owned(),
             vec![f64::from(max), best.throughput_tps()],
@@ -78,7 +75,7 @@ fn main() {
                 policy: &policy,
                 placement: &placement,
                 workload: &workload,
-            });
+            })?;
             tbt.push(report.tbt_ms());
         }
         rows.push((
@@ -98,4 +95,5 @@ fn main() {
          HeLM's balancing gain persists on every link, because the\n\
          imbalance it fixes is relative, not absolute."
     );
+    Ok(())
 }

@@ -16,7 +16,7 @@ use helm_core::placement::PlacementKind;
 use helm_core::policy::Policy;
 use helm_core::server::Server;
 use helm_core::system::SystemConfig;
-use helm_core::ServeError;
+use helm_core::HelmError;
 use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
@@ -35,13 +35,13 @@ pub fn run_serving(
     compressed: bool,
     batch: u32,
     workload: &WorkloadSpec,
-) -> Result<RunReport, ServeError> {
+) -> Result<RunReport, HelmError> {
     let policy = Policy::paper_default(&model, memory.kind())
         .with_placement(placement)
         .with_compression(compressed)
         .with_batch_size(batch);
     let server = Server::new(SystemConfig::paper_platform(memory), model, policy)?;
-    Ok(server.run_unchecked(workload))
+    server.run_unchecked(workload)
 }
 
 /// A paper-vs-measured comparison row.

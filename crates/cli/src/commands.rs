@@ -22,6 +22,12 @@ const SERVE_FLAGS: &[&str] = &[
     "gen",
     "csv",
     "audit",
+    "pipelines",
+    "scheduler",
+    "continuous",
+    "lambda",
+    "requests",
+    "seed",
 ];
 
 struct Session {
@@ -57,6 +63,9 @@ fn session(args: &Args) -> Result<Session, ArgError> {
 /// `helmsim serve`.
 pub fn serve(args: &Args) -> Result<(), ArgError> {
     args.reject_unknown(SERVE_FLAGS)?;
+    if args.get("pipelines").is_some() || args.get("lambda").is_some() {
+        return serve_online(args);
+    }
     let Session { server, workload } = session(args)?;
     let report = server.run(&workload).map_err(|e| ArgError(e.to_string()))?;
     println!("{}", report.summary());
@@ -79,6 +88,77 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
             "  timeline    : wrote {} steps to {path}",
             report.records.len()
         );
+    }
+    Ok(())
+}
+
+/// `helmsim serve --pipelines N`: online serving through a cluster of
+/// pipeline replicas under Poisson load.
+fn serve_online(args: &Args) -> Result<(), ArgError> {
+    use helm_core::online::{run_cluster, ClusterSpec, PoissonArrivals, SchedulerKind};
+
+    let Session { server, workload } = session(args)?;
+    let pipelines = args.get_num("pipelines", 1usize)?;
+    if pipelines == 0 {
+        return Err(ArgError("--pipelines must be at least 1".to_owned()));
+    }
+    let scheduler: SchedulerKind = args.get_or("scheduler", "rr").parse().map_err(ArgError)?;
+    let spec = ClusterSpec::new(pipelines)
+        .with_scheduler(scheduler)
+        .with_continuous(args.get_bool("continuous")?);
+    let lambda = args.get_num("lambda", 0.05f64)?;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(ArgError(format!(
+            "--lambda must be a positive arrival rate, got {lambda}"
+        )));
+    }
+    let requests = args.get_num("requests", 60usize)?;
+    let seed = args.get_num("seed", 42u64)?;
+    let mut arrivals = PoissonArrivals::new(lambda, seed);
+    let report = run_cluster(&server, &workload, &mut arrivals, requests, spec)
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    println!(
+        "{} on {} [{} b={}], {} pipeline(s), {} dispatch, {} batching",
+        server.model().name(),
+        server.system().memory().kind(),
+        server.policy().placement(),
+        server.policy().effective_batch(),
+        spec.pipelines,
+        spec.scheduler,
+        if spec.continuous {
+            "continuous"
+        } else {
+            "run-to-completion"
+        },
+    );
+    println!("  load        : lambda {lambda} req/s, {requests} requests, seed {seed}");
+    println!("  served      : {:>12}", report.served);
+    println!("  makespan    : {:>12.1} s", report.makespan.as_secs());
+    println!(
+        "  queue delay : {:>12.1} ms mean",
+        report.mean_queue_delay_ms()
+    );
+    println!(
+        "  e2e latency : {:>12.1} ms p50 / {:.1} ms p95",
+        report.e2e_percentile_ms(50.0),
+        report.e2e_percentile_ms(95.0)
+    );
+    println!("  throughput  : {:>12.3} tok/s", report.tokens_per_s);
+    println!("  utilization : {:>12.3}", report.utilization);
+    for (i, p) in report.per_pipeline.iter().enumerate() {
+        println!(
+            "  pipe{i:<7} : served {:>4}, {} batches, busy {:.1} s, util {:.3}",
+            p.served,
+            p.batches,
+            p.busy.as_secs(),
+            p.utilization
+        );
+    }
+    if let Some(audit) = &report.audit {
+        for line in audit.to_string().lines() {
+            println!("  {line}");
+        }
     }
     Ok(())
 }
@@ -204,7 +284,8 @@ pub fn explain(args: &Args) -> Result<(), ArgError> {
         }
         let compute =
             helm_core::exec::compute_time(&inputs, layer, helm_core::metrics::Stage::Decode, 1);
-        let load = helm_core::exec::load_time(&inputs, lp, cpu_ws, disk_ws);
+        let load = helm_core::exec::load_time(&inputs, lp, cpu_ws, disk_ws)
+            .map_err(|e| ArgError(e.to_string()))?;
         println!("  total compute      {:>10.3} ms", compute.as_millis());
         println!(
             "  weight transfer    {:>10.3} ms ({} offloaded)",
@@ -292,7 +373,9 @@ fn reconstruct_flags(args: &Args, except: &[&str]) -> Vec<String> {
             continue;
         }
         match (*key, args.get(key)) {
-            ("compress" | "kv-offload" | "audit", _) if args.get_bool(key).unwrap_or(false) => {
+            ("compress" | "kv-offload" | "audit" | "continuous", _)
+                if args.get_bool(key).unwrap_or(false) =>
+            {
                 out.push(format!("--{key}"));
             }
             (_, Some(value)) => {
@@ -326,6 +409,56 @@ mod tests {
     fn serve_small_model_end_to_end() {
         let args = parse(&["--model", "opt-1.3b", "--memory", "dram", "--gen", "3"]);
         serve(&args).unwrap();
+    }
+
+    #[test]
+    fn serve_online_cluster_end_to_end() {
+        let args = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--gen",
+            "3",
+            "--pipelines",
+            "2",
+            "--scheduler",
+            "jsq",
+            "--continuous",
+            "--lambda",
+            "0.5",
+            "--requests",
+            "8",
+            "--seed",
+            "7",
+        ]);
+        serve(&args).unwrap();
+    }
+
+    #[test]
+    fn serve_online_validates_flags() {
+        let zero = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--pipelines",
+            "0",
+        ]);
+        assert!(serve(&zero).unwrap_err().to_string().contains("pipelines"));
+        let sched = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--pipelines",
+            "2",
+            "--scheduler",
+            "lifo",
+        ]);
+        assert!(serve(&sched).unwrap_err().to_string().contains("scheduler"));
+        let lambda = parse(&["--model", "opt-1.3b", "--memory", "dram", "--lambda", "-1"]);
+        assert!(serve(&lambda).unwrap_err().to_string().contains("lambda"));
     }
 
     #[test]

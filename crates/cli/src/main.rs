@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! helmsim serve    --model opt-175b --memory nvdram --placement helm --compress
+//! helmsim serve    --pipelines 4 --scheduler jsq --continuous --lambda 0.1
 //! helmsim maxbatch --model opt-175b --memory nvdram --placement all-cpu --compress
 //! helmsim autoplace --objective throughput --memory nvdram
 //! helmsim energy   --model opt-175b --memory nvdram --placement all-cpu --batch 44
@@ -25,6 +26,7 @@ USAGE:
 
 COMMANDS:
   serve       run one serving configuration, print TTFT/TBT/throughput
+              (--pipelines switches to online cluster serving)
   maxbatch    solve the largest batch GPU memory allows
   autoplace   search per-layer-kind placements for a QoS objective
   energy      serve and report the energy breakdown (J/token)
@@ -45,6 +47,12 @@ COMMON FLAGS:
   --prompt <n>          input tokens (default 128)
   --gen <n>             output tokens (default 21)
   --csv <path>          also write the per-step timeline as CSV
+  --pipelines <n>       serve online through n pipeline replicas
+  --scheduler <s>       cluster dispatch: rr|jsq (default rr)
+  --continuous          admit requests at decode-step boundaries
+  --lambda <r>          Poisson arrival rate, req/s (default 0.05)
+  --requests <n>        requests to serve online (default 60)
+  --seed <n>            arrival-process seed (default 42)
   --objective <o>       autoplace: latency|throughput (default latency)
   --what <w>            probe: bandwidth|mlc (default bandwidth)
   --axis <a>            sweep: batch|prompt|cxl (default batch)

@@ -117,7 +117,7 @@ pub fn optimize(
                 policy: &candidate_policy,
                 placement: &placement,
                 workload,
-            });
+            })?;
             evaluated += 1;
             let better = match (&best, objective) {
                 (None, _) => true,

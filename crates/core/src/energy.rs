@@ -160,7 +160,7 @@ pub fn tech_energy(tech: MemoryTechnology) -> TechEnergy {
 /// let report = server.run(&WorkloadSpec::paper_default())?;
 /// let energy = assess(&report, server.system());
 /// assert!(energy.j_per_token() > 0.0);
-/// # Ok::<(), helm_core::ServeError>(())
+/// # Ok::<(), helm_core::HelmError>(())
 /// ```
 pub fn assess(report: &RunReport, system: &SystemConfig) -> EnergyReport {
     let cpu_dev = system.memory().cpu_device();

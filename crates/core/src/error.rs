@@ -33,10 +33,13 @@ pub enum HelmError {
     },
     /// A quantity (bytes, bandwidth, time) was NaN or negative.
     InvalidUnit(UnitError),
+    /// An executor needed a memory tier the platform does not
+    /// provide (e.g. a disk transfer on a diskless configuration).
+    TierUnavailable {
+        /// Tier name ("gpu", "cpu", "disk").
+        tier: &'static str,
+    },
 }
-
-/// Former name of [`HelmError`], kept for source compatibility.
-pub type ServeError = HelmError;
 
 impl From<UnitError> for HelmError {
     fn from(e: UnitError) -> Self {
@@ -74,6 +77,9 @@ impl fmt::Display for HelmError {
                 percents[0], percents[1], percents[2]
             ),
             HelmError::InvalidUnit(e) => write!(f, "invalid unit value: {e}"),
+            HelmError::TierUnavailable { tier } => {
+                write!(f, "the {tier} tier is not available on this platform")
+            }
         }
     }
 }
@@ -106,6 +112,8 @@ mod tests {
             max_batch: 44,
         };
         assert!(b.to_string().contains("44"));
+        let t = HelmError::TierUnavailable { tier: "disk" };
+        assert!(t.to_string().contains("disk"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! two transfers share the PCIe link ([`xfer::CappedLink`]) with
 //! per-tier rate caps.
 
+use crate::error::HelmError;
 use crate::metrics::{LayerStepRecord, RunReport, Stage};
 use crate::placement::{LayerPlacement, ModelPlacement, Tier};
 use crate::policy::Policy;
@@ -49,8 +50,22 @@ pub struct PipelineInputs<'a> {
     pub workload: &'a WorkloadSpec,
 }
 
+/// Name of a tier for error reporting.
+pub(crate) fn tier_name(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Gpu => "gpu",
+        Tier::Cpu => "cpu",
+        Tier::Disk => "disk",
+    }
+}
+
 /// Runs the full prefill + decode pipeline and reports metrics.
-pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
+///
+/// # Errors
+///
+/// Returns [`HelmError::TierUnavailable`] if the placement routes
+/// traffic through a memory tier the platform does not provide.
+pub fn run_pipeline(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError> {
     let layers = inp.placement.layers();
     let num_layers = layers.len();
     let gen_len = inp.workload.gen_len;
@@ -70,7 +85,7 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
 
     // Pipeline fill: the first layer's weights stream before any
     // compute can overlap them.
-    elapsed += load_time(inp, &layers[0], cpu_ws, disk_ws);
+    elapsed += load_time(inp, &layers[0], cpu_ws, disk_ws)?;
     audit_weight_traffic(&mut audit, &layers[0], dtype);
 
     for token in 0..gen_len {
@@ -88,7 +103,7 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
             } else {
                 let next = &layers[next_index];
                 (
-                    load_time(inp, next, cpu_ws, disk_ws),
+                    load_time(inp, next, cpu_ws, disk_ws)?,
                     Some(next.layer().kind()),
                     next.offloaded_bytes(dtype),
                 )
@@ -110,7 +125,7 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
                         load += inp
                             .system
                             .kv_stream_bandwidth(kv_in, Some(cpu_ws))
-                            .expect("cpu tier")
+                            .ok_or(HelmError::TierUnavailable { tier: "cpu" })?
                             .time_for(kv_in);
                         h2d += kv_in;
                         audit.scheduled("h2d:kv", kv_in);
@@ -136,7 +151,7 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
                 let t = inp
                     .system
                     .tier_writeback_time(Tier::Cpu, bytes, Some(cpu_ws))
-                    .expect("cpu tier");
+                    .ok_or(HelmError::TierUnavailable { tier: "cpu" })?;
                 (t, bytes)
             } else {
                 (SimDuration::ZERO, ByteSize::ZERO)
@@ -171,7 +186,7 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
         }
     }
 
-    RunReport {
+    Ok(RunReport {
         model: inp.model.name().to_owned(),
         config: inp.system.memory().kind().to_string(),
         placement: inp.policy.placement(),
@@ -184,7 +199,7 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> RunReport {
         records,
         achieved_distribution: inp.placement.achieved_distribution(),
         audit: audit.finish_if_active(),
-    }
+    })
 }
 
 /// Feasibility checks shared by both executors: the achieved percent
@@ -226,12 +241,17 @@ fn audit_weight_traffic(audit: &mut Auditor, lp: &LayerPlacement, dtype: DType) 
 /// portions stream concurrently over PCIe, each capped by its tier's
 /// effective path rate; fixed costs (DMA setup, device latency,
 /// bounce fill) are paid once per tier, overlapped across tiers.
+///
+/// # Errors
+///
+/// Returns [`HelmError::TierUnavailable`] when the layer places bytes
+/// on a tier the platform has no device for.
 pub fn load_time(
     inp: &PipelineInputs<'_>,
     lp: &LayerPlacement,
     cpu_ws: ByteSize,
     disk_ws: ByteSize,
-) -> SimDuration {
+) -> Result<SimDuration, HelmError> {
     let dtype = inp.placement.dtype();
     let portions: Vec<(Tier, ByteSize, ByteSize)> = [(Tier::Cpu, cpu_ws), (Tier::Disk, disk_ws)]
         .into_iter()
@@ -241,26 +261,31 @@ pub fn load_time(
         })
         .collect();
     match portions.len() {
-        0 => SimDuration::ZERO,
+        0 => Ok(SimDuration::ZERO),
         1 => {
             let (tier, bytes, ws) = portions[0];
             inp.system
                 .tier_transfer_time(tier, bytes, Some(ws))
-                .expect("tier present (validated at server construction)")
+                .ok_or(HelmError::TierUnavailable {
+                    tier: tier_name(tier),
+                })
         }
         _ => {
             let total: ByteSize = portions.iter().map(|&(_, b, _)| b).sum();
             let mut link = CappedLink::new(inp.system.link_capacity(total));
             let mut fixed = SimDuration::ZERO;
             for &(tier, bytes, ws) in &portions {
+                let unavailable = HelmError::TierUnavailable {
+                    tier: tier_name(tier),
+                };
                 let cap: Bandwidth = inp
                     .system
                     .tier_bandwidth(tier, bytes, Some(ws))
-                    .expect("tier present");
+                    .ok_or(unavailable.clone())?;
                 let full = inp
                     .system
                     .tier_transfer_time(tier, bytes, Some(ws))
-                    .expect("tier present");
+                    .ok_or(unavailable)?;
                 // The non-streaming share of the standalone transfer.
                 fixed = fixed.max(full - cap.time_for(bytes));
                 link.start(SimTime::ZERO, bytes.as_f64(), cap);
@@ -270,7 +295,7 @@ pub fn load_time(
                 now = at;
                 link.complete(now, id);
             }
-            fixed + (now - SimTime::ZERO)
+            Ok(fixed + (now - SimTime::ZERO))
         }
     }
 }
@@ -388,6 +413,7 @@ mod tests {
             placement: &placement,
             workload: &workload,
         })
+        .expect("pipeline runs")
     }
 
     #[test]
@@ -490,7 +516,8 @@ mod tests {
             policy: &policy,
             placement: &placement,
             workload: &workload,
-        });
+        })
+        .expect("single runs");
         let micro_policy = policy.clone().with_gpu_batches(4);
         let micro = run_pipeline(&PipelineInputs {
             system: &system,
@@ -498,7 +525,8 @@ mod tests {
             policy: &micro_policy,
             placement: &placement,
             workload: &workload,
-        });
+        })
+        .expect("micro runs");
         assert_eq!(micro.batch, 32);
         assert_eq!(micro.tokens_generated, 32 * 21);
         let gain = micro.throughput_tps() / single.throughput_tps();
@@ -520,14 +548,16 @@ mod tests {
             policy: &resident_policy,
             placement: &placement,
             workload: &workload,
-        });
+        })
+        .expect("resident runs");
         let offload = run_pipeline(&PipelineInputs {
             system: &system,
             model: &model,
             policy: &offload_policy,
             placement: &placement,
             workload: &workload,
-        });
+        })
+        .expect("offload runs");
         // Resident KV produces no D2H traffic; offloading does.
         assert_eq!(resident.total_d2h_bytes(), ByteSize::ZERO);
         assert!(offload.total_d2h_bytes() > ByteSize::ZERO);

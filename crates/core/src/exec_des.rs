@@ -17,7 +17,10 @@
 //! (no KV offloading, single-tier placement) — a cross-validation
 //! property the test suite pins down — and the DES is never slower.
 
-use crate::exec::{audit_placement_feasibility, compute_time, PipelineInputs, SYNC_OVERHEAD};
+use crate::error::HelmError;
+use crate::exec::{
+    audit_placement_feasibility, compute_time, tier_name, PipelineInputs, SYNC_OVERHEAD,
+};
 use crate::metrics::{LayerStepRecord, RunReport, Stage};
 use crate::placement::Tier;
 use llm::layers::LayerKind;
@@ -29,7 +32,12 @@ use std::collections::HashMap;
 use xfer::link::CappedLink;
 
 /// Runs the pipeline on the discrete-event link models.
-pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
+///
+/// # Errors
+///
+/// Returns [`HelmError::TierUnavailable`] if the placement routes
+/// traffic through a memory tier the platform does not provide.
+pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError> {
     let layers = inp.placement.layers();
     let num_layers = layers.len();
     let gen_len = inp.workload.gen_len;
@@ -88,7 +96,7 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
     };
 
     // Pipeline fill: layer 0's weights stream alone.
-    let fill_flows = host_flows(inp, 0, cpu_ws, disk_ws, None);
+    let fill_flows = host_flows(inp, 0, cpu_ws, disk_ws, None)?;
     now = drain(&mut h2d, &mut audit, now, &fill_flows);
 
     for token in 0..gen_len {
@@ -117,7 +125,7 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
                 } else {
                     None
                 };
-                let flows = host_flows(inp, next_index, cpu_ws, disk_ws, kv_ctx);
+                let flows = host_flows(inp, next_index, cpu_ws, disk_ws, kv_ctx)?;
                 let bytes = flows.iter().map(|f| f.bytes).sum();
                 (
                     drain(&mut h2d, &mut audit, step_start, &flows),
@@ -150,11 +158,11 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
                 let cap = inp
                     .system
                     .tier_writeback_bandwidth(Tier::Cpu, bytes, Some(cpu_ws))
-                    .expect("cpu tier");
+                    .ok_or(HelmError::TierUnavailable { tier: "cpu" })?;
                 let full = inp
                     .system
                     .tier_writeback_time(Tier::Cpu, bytes, Some(cpu_ws))
-                    .expect("cpu tier");
+                    .ok_or(HelmError::TierUnavailable { tier: "cpu" })?;
                 let start = compute_done.max(stall_until);
                 writeback_done = Some(drain(
                     &mut d2h,
@@ -198,7 +206,7 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
         now = now.max(done);
     }
 
-    RunReport {
+    Ok(RunReport {
         model: inp.model.name().to_owned(),
         config: inp.system.memory().kind().to_string(),
         placement: inp.policy.placement(),
@@ -211,7 +219,7 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> RunReport {
         records,
         achieved_distribution: inp.placement.achieved_distribution(),
         audit: audit.finish_if_active(),
-    }
+    })
 }
 
 /// One host↔GPU stream: payload, rate cap, the fixed setup/latency
@@ -233,22 +241,28 @@ fn host_flows(
     cpu_ws: ByteSize,
     disk_ws: ByteSize,
     kv_context: Option<usize>,
-) -> Vec<Flow> {
+) -> Result<Vec<Flow>, HelmError> {
     let lp = &inp.placement.layers()[layer_index];
     let dtype = inp.placement.dtype();
     let mut flows = Vec::with_capacity(3);
-    let mut push = |tier: Tier, bytes: ByteSize, ws: ByteSize| {
+    for (tier, bytes, ws) in [
+        (Tier::Cpu, lp.bytes_on(Tier::Cpu, dtype), cpu_ws),
+        (Tier::Disk, lp.bytes_on(Tier::Disk, dtype), disk_ws),
+    ] {
         if bytes == ByteSize::ZERO {
-            return;
+            continue;
         }
+        let unavailable = HelmError::TierUnavailable {
+            tier: tier_name(tier),
+        };
         let cap = inp
             .system
             .tier_bandwidth(tier, bytes, Some(ws))
-            .expect("tier present");
+            .ok_or(unavailable.clone())?;
         let full = inp
             .system
             .tier_transfer_time(tier, bytes, Some(ws))
-            .expect("tier present");
+            .ok_or(unavailable)?;
         flows.push(Flow {
             bytes,
             cap,
@@ -259,9 +273,7 @@ fn host_flows(
                 Tier::Gpu => "h2d:gpu",
             },
         });
-    };
-    push(Tier::Cpu, lp.bytes_on(Tier::Cpu, dtype), cpu_ws);
-    push(Tier::Disk, lp.bytes_on(Tier::Disk, dtype), disk_ws);
+    }
     if let Some(context) = kv_context {
         let kv = lp
             .layer()
@@ -270,7 +282,7 @@ fn host_flows(
             let cap = inp
                 .system
                 .kv_stream_bandwidth(kv, Some(cpu_ws))
-                .expect("cpu tier");
+                .ok_or(HelmError::TierUnavailable { tier: "cpu" })?;
             flows.push(Flow {
                 bytes: kv,
                 cap,
@@ -279,7 +291,7 @@ fn host_flows(
             });
         }
     }
-    flows
+    Ok(flows)
 }
 
 #[cfg(test)]
@@ -315,7 +327,10 @@ mod tests {
             placement: &p,
             workload: &workload,
         };
-        (run_pipeline(&inputs), run_pipeline_des(&inputs))
+        (
+            run_pipeline(&inputs).expect("analytic runs"),
+            run_pipeline_des(&inputs).expect("des runs"),
+        )
     }
 
     #[test]

@@ -44,7 +44,7 @@
 //!     .with_batch_size(1);
 //! let report = Server::new(system, model, policy)?.run(&WorkloadSpec::paper_default())?;
 //! assert!(report.tbt_ms() > 0.0);
-//! # Ok::<(), helm_core::error::ServeError>(())
+//! # Ok::<(), helm_core::error::HelmError>(())
 //! ```
 
 pub mod autoplace;
@@ -60,7 +60,7 @@ pub mod projection;
 pub mod server;
 pub mod system;
 
-pub use error::{HelmError, ServeError};
+pub use error::HelmError;
 pub use metrics::RunReport;
 pub use placement::{ModelPlacement, PlacementKind, Tier};
 pub use policy::Policy;

@@ -104,6 +104,13 @@ impl RunReport {
         self.tokens_generated as f64 / self.total_time.as_secs()
     }
 
+    /// Mean decode-step duration (all steps weighted equally) — the
+    /// per-step decode cost a serving-layer service model calibrates
+    /// against.
+    pub fn mean_tbt(&self) -> SimDuration {
+        SimDuration::from_secs(self.tbt.mean())
+    }
+
     /// Mean transfer time of `kind`-layer weights during `stage`
     /// (the bars of Figs 5, 6, 8, 11a, 12d/e), first sample
     /// discarded.

@@ -10,19 +10,49 @@
 //! expose the QoS consequences of each placement policy: a bigger
 //! batch (All-CPU) sustains higher arrival rates, a balanced pipeline
 //! (HeLM) serves each batch faster.
+//!
+//! Two serving granularities are modelled:
+//!
+//! * **Run-to-completion** ([`run_online`], and [`run_cluster`] with
+//!   [`ClusterSpec::continuous`] off): FlexGen-style static batches —
+//!   whoever is queued when the pipeline frees up is ground through
+//!   the full prompt+generate pass together.
+//! * **Continuous batching** ([`ClusterSpec::continuous`]): Orca-style
+//!   iteration-level scheduling — waiting requests are admitted at
+//!   decode-step boundaries, so a newcomer no longer waits out the
+//!   whole in-flight batch. Service times come from the same
+//!   [`ServiceModel`], split into per-batch prefill and per-step
+//!   decode costs calibrated from two pipeline runs.
+//!
+//! [`run_cluster`] generalizes both to `N` independent pipelines fed
+//! by a pluggable dispatcher ([`SchedulerKind`]) and wires the
+//! [`simaudit`] conservation auditor through the serving path: every
+//! arrival is ledgered against its pipeline, every completion balances
+//! the ledger, and per-pipeline busy time is checked against the
+//! cluster makespan.
 
 use crate::error::HelmError;
 use crate::server::Server;
+use simaudit::{AuditReport, Auditor};
+use simcore::engine::{Context, Simulator};
 use simcore::rng::SimRng;
 use simcore::stats::SeriesStats;
 use simcore::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 use workload::WorkloadSpec;
 
 /// A Poisson arrival process.
+///
+/// The clock is part of the process state: successive [`take`] calls
+/// continue where the previous one stopped, so arrival instants are
+/// strictly increasing across calls.
+///
+/// [`take`]: PoissonArrivals::take
 #[derive(Debug, Clone)]
 pub struct PoissonArrivals {
     rate_per_s: f64,
     rng: SimRng,
+    t: f64,
 }
 
 impl PoissonArrivals {
@@ -40,19 +70,258 @@ impl PoissonArrivals {
         PoissonArrivals {
             rate_per_s,
             rng: SimRng::from_seed_and_stream(seed, "poisson-arrivals"),
+            t: 0.0,
         }
     }
 
-    /// The first `n` arrival instants.
+    /// The next `n` arrival instants.
+    ///
+    /// The process resumes from the last drawn instant rather than
+    /// restarting at zero, so `take(2)` twice draws the same four
+    /// arrivals as `take(4)` once.
     pub fn take(&mut self, n: usize) -> Vec<SimTime> {
-        let mut t = 0.0f64;
         (0..n)
             .map(|_| {
                 let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
-                t += -u.ln() / self.rate_per_s;
-                SimTime::from_secs(t)
+                self.t += -u.ln() / self.rate_per_s;
+                SimTime::from_secs(self.t)
             })
             .collect()
+    }
+}
+
+/// Per-batch service times calibrated from two pipeline runs.
+///
+/// The pipeline is run once at batch 1 and once at the policy batch;
+/// every other batch size is linearly interpolated between the two
+/// (decode is batch-flat on an out-of-core pipeline, prefill grows
+/// with batch). Beyond the run-to-completion total the model keeps
+/// the prefill/decode split — time-to-first-token and mean
+/// time-between-tokens at each calibration point — which is what
+/// continuous batching needs to price a single decode step.
+#[derive(Debug, Clone)]
+pub struct ServiceModel {
+    max_batch: u32,
+    gen_len: usize,
+    /// Batch-1 / batch-max run-to-completion totals, seconds.
+    t1: f64,
+    tn: f64,
+    /// Batch-1 / batch-max time-to-first-token, seconds.
+    ttft1: f64,
+    ttftn: f64,
+    /// Batch-1 / batch-max mean decode-step time, seconds.
+    tbt1: f64,
+    tbtn: f64,
+}
+
+impl ServiceModel {
+    /// Calibrates the model by running `server`'s pipeline at batch 1
+    /// and at the policy's full batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and tier errors from the underlying
+    /// [`Server`] runs.
+    pub fn calibrate(server: &Server, workload: &WorkloadSpec) -> Result<ServiceModel, HelmError> {
+        let max_batch = server.policy().effective_batch();
+        let full = server.run(workload)?;
+        let single = if max_batch > 1 {
+            Server::new(
+                server.system().clone(),
+                server.model().clone(),
+                server
+                    .policy()
+                    .clone()
+                    .with_batch_size(1)
+                    .with_gpu_batches(1),
+            )?
+            .run(workload)?
+        } else {
+            full.clone()
+        };
+        Ok(ServiceModel {
+            max_batch,
+            gen_len: workload.gen_len,
+            t1: single.total_time.as_secs(),
+            tn: full.total_time.as_secs(),
+            ttft1: single.ttft.as_secs(),
+            ttftn: full.ttft.as_secs(),
+            tbt1: single.mean_tbt().as_secs(),
+            tbtn: full.mean_tbt().as_secs(),
+        })
+    }
+
+    /// The batch cap this model was calibrated for.
+    pub fn max_batch(&self) -> u32 {
+        self.max_batch
+    }
+
+    /// Output tokens per request in the calibration workload.
+    pub fn gen_len(&self) -> usize {
+        self.gen_len
+    }
+
+    fn lerp(&self, batch: u32, lo: f64, hi: f64) -> f64 {
+        let frac = f64::from(batch - 1) / f64::from(self.max_batch - 1);
+        lo + frac * (hi - lo)
+    }
+
+    /// Run-to-completion service time for a batch of `batch`.
+    pub fn total(&self, batch: u32) -> SimDuration {
+        if self.max_batch <= 1 {
+            return SimDuration::from_secs(self.tn);
+        }
+        SimDuration::from_secs(self.lerp(batch, self.t1, self.tn))
+    }
+
+    /// Prefill time for `batch` prompts entering together (their
+    /// first output token is produced by this pass).
+    pub fn prefill(&self, batch: u32) -> SimDuration {
+        if self.max_batch <= 1 {
+            return SimDuration::from_secs(self.ttftn);
+        }
+        SimDuration::from_secs(self.lerp(batch, self.ttft1, self.ttftn))
+    }
+
+    /// One decode step over an active set of `batch` requests (one
+    /// output token each).
+    pub fn decode_step(&self, batch: u32) -> SimDuration {
+        if self.max_batch <= 1 {
+            return SimDuration::from_secs(self.tbtn);
+        }
+        SimDuration::from_secs(self.lerp(batch, self.tbt1, self.tbtn))
+    }
+}
+
+/// How a cluster spreads arriving requests over its pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Arrival `i` goes to pipeline `i mod N`, load-blind.
+    RoundRobin,
+    /// Each arrival joins the pipeline with the fewest queued plus
+    /// in-flight requests (ties broken by lowest index).
+    JoinShortestQueue,
+}
+
+impl SchedulerKind {
+    /// Canonical CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedulerKind::RoundRobin => "rr",
+            SchedulerKind::JoinShortestQueue => "jsq",
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "rr" | "round-robin" => Ok(SchedulerKind::RoundRobin),
+            "jsq" | "join-shortest-queue" => Ok(SchedulerKind::JoinShortestQueue),
+            other => Err(format!("unknown scheduler '{other}' (expected rr or jsq)")),
+        }
+    }
+}
+
+/// Shape of a serving cluster: how many pipelines, how requests are
+/// dispatched to them, and at what granularity batches admit work.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSpec {
+    /// Number of independent pipeline replicas.
+    pub pipelines: usize,
+    /// Dispatch policy for arriving requests.
+    pub scheduler: SchedulerKind,
+    /// Admit requests at decode-step boundaries (continuous batching)
+    /// instead of run-to-completion batches.
+    pub continuous: bool,
+}
+
+impl ClusterSpec {
+    /// `pipelines` replicas, round-robin dispatch, run-to-completion
+    /// batching.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipelines` is zero.
+    pub fn new(pipelines: usize) -> Self {
+        assert!(pipelines >= 1, "a cluster needs at least one pipeline");
+        ClusterSpec {
+            pipelines,
+            scheduler: SchedulerKind::RoundRobin,
+            continuous: false,
+        }
+    }
+
+    /// Replaces the dispatch policy.
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables or disables continuous batching.
+    #[must_use]
+    pub fn with_continuous(mut self, continuous: bool) -> Self {
+        self.continuous = continuous;
+        self
+    }
+}
+
+/// Per-pipeline accounting from a cluster run.
+#[derive(Debug, Clone)]
+pub struct PipelineStats {
+    /// Requests completed on this pipeline.
+    pub served: usize,
+    /// Total time this pipeline spent serving.
+    pub busy: SimDuration,
+    /// Batches (run-to-completion) or steps (continuous) executed.
+    pub batches: usize,
+    /// `busy` as a fraction of the cluster makespan.
+    pub utilization: f64,
+}
+
+/// Aggregate and per-pipeline results of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Requests served across all pipelines.
+    pub served: usize,
+    /// Wall-clock span from first arrival to last completion.
+    pub makespan: SimDuration,
+    /// Queueing delays (arrival → batch/step admission), seconds.
+    pub queue_delay: SeriesStats,
+    /// End-to-end latencies (arrival → last token), seconds.
+    pub e2e_latency: SeriesStats,
+    /// Batch (or active-set) sizes in execution order, interleaved
+    /// across pipelines.
+    pub batch_sizes: Vec<u32>,
+    /// Mean per-pipeline busy fraction of the makespan.
+    pub utilization: f64,
+    /// Sustained output-token throughput over the makespan.
+    pub tokens_per_s: f64,
+    /// Per-pipeline breakdown, indexed by pipeline.
+    pub per_pipeline: Vec<PipelineStats>,
+    /// Conservation audit, when auditing is enabled (debug builds or
+    /// [`simaudit::force_enable`]).
+    pub audit: Option<AuditReport>,
+}
+
+impl ClusterReport {
+    /// Mean queueing delay in milliseconds.
+    pub fn mean_queue_delay_ms(&self) -> f64 {
+        SimDuration::from_secs(self.queue_delay.mean()).as_millis()
+    }
+
+    /// A latency percentile (end-to-end) in milliseconds.
+    pub fn e2e_percentile_ms(&self, p: f64) -> f64 {
+        SimDuration::from_secs(self.e2e_latency.percentile(p).unwrap_or(0.0)).as_millis()
     }
 }
 
@@ -92,10 +361,10 @@ impl OnlineReport {
 /// when the pipeline frees up (run-to-completion batching, FlexGen
 /// style — no continuous batching).
 ///
-/// The per-batch service time is interpolated from two pipeline runs
-/// (batch 1 and the policy batch) rather than re-simulated per batch,
-/// keeping λ-sweeps cheap while preserving the batch-size dependence
-/// of prefill.
+/// The per-batch service time comes from a [`ServiceModel`]
+/// interpolated between two pipeline runs (batch 1 and the policy
+/// batch) rather than re-simulated per batch, keeping λ-sweeps cheap
+/// while preserving the batch-size dependence of prefill.
 ///
 /// # Errors
 ///
@@ -106,34 +375,8 @@ pub fn run_online(
     arrivals: &mut PoissonArrivals,
     num_requests: usize,
 ) -> Result<OnlineReport, HelmError> {
-    let max_batch = server.policy().effective_batch();
-    // Calibrate service times at the batch extremes.
-    let full = server.run(workload)?;
-    let single = if max_batch > 1 {
-        let one = Server::new(
-            server.system().clone(),
-            server.model().clone(),
-            server
-                .policy()
-                .clone()
-                .with_batch_size(1)
-                .with_gpu_batches(1),
-        )?;
-        one.run(workload)?
-    } else {
-        full.clone()
-    };
-    let service_time = |batch: u32| -> SimDuration {
-        if max_batch <= 1 {
-            return full.total_time;
-        }
-        // Linear interpolation in batch between the two calibrated
-        // totals (decode is batch-flat; prefill grows with batch).
-        let t1 = single.total_time.as_secs();
-        let tn = full.total_time.as_secs();
-        let frac = f64::from(batch - 1) / f64::from(max_batch - 1);
-        SimDuration::from_secs(t1 + frac * (tn - t1))
-    };
+    let model = ServiceModel::calibrate(server, workload)?;
+    let max_batch = model.max_batch();
 
     let times = arrivals.take(num_requests);
     let mut queue_delay = SeriesStats::new();
@@ -155,7 +398,7 @@ pub fn run_online(
             batch += 1;
             next += 1;
         }
-        let service = service_time(batch);
+        let service = model.total(batch);
         let done = start + service;
         // All requests in the batch finish together (static batch).
         for i in 0..batch as usize {
@@ -185,12 +428,10 @@ pub fn run_online(
     })
 }
 
-/// Event-driven variant of [`run_online`], built on
-/// [`simcore::Simulator`]: arrivals and batch completions are
-/// scheduled events rather than a hand-rolled loop. Semantically
-/// identical (the test suite cross-validates the two); useful as the
-/// extension point for richer serving policies (deadlines,
-/// preemption, multiple pipelines).
+/// Event-driven variant of [`run_online`]: a thin wrapper over
+/// [`run_cluster`] with a single pipeline, round-robin dispatch, and
+/// run-to-completion batching, which reproduces the hand-rolled loop
+/// bit for bit (the test suite cross-validates the two).
 ///
 /// # Errors
 ///
@@ -201,121 +442,285 @@ pub fn run_online_des(
     arrivals: &mut PoissonArrivals,
     num_requests: usize,
 ) -> Result<OnlineReport, HelmError> {
-    use simcore::engine::{Context, Simulator};
-    use std::collections::VecDeque;
+    let r = run_cluster(
+        server,
+        workload,
+        arrivals,
+        num_requests,
+        ClusterSpec::new(1),
+    )?;
+    Ok(OnlineReport {
+        served: r.served,
+        makespan: r.makespan,
+        queue_delay: r.queue_delay,
+        e2e_latency: r.e2e_latency,
+        batch_sizes: r.batch_sizes,
+        utilization: r.utilization,
+        tokens_per_s: r.tokens_per_s,
+    })
+}
 
-    let max_batch = server.policy().effective_batch();
-    let full = server.run(workload)?;
-    let single = if max_batch > 1 {
-        Server::new(
-            server.system().clone(),
-            server.model().clone(),
-            server
-                .policy()
-                .clone()
-                .with_batch_size(1)
-                .with_gpu_batches(1),
-        )?
-        .run(workload)?
+/// One pipeline replica's live state inside the cluster simulation.
+struct Pipe {
+    /// Arrival instants waiting for admission, in arrival order.
+    queue: VecDeque<SimTime>,
+    /// Whether the pipeline is between batches/steps.
+    idle: bool,
+    /// In-flight request count (run-to-completion mode).
+    in_flight: usize,
+    /// Active set: (arrival instant, output tokens still owed).
+    /// Continuous mode only.
+    active: Vec<(SimTime, usize)>,
+    busy: SimDuration,
+    served: usize,
+    batches: usize,
+}
+
+impl Pipe {
+    fn new() -> Self {
+        Pipe {
+            queue: VecDeque::new(),
+            idle: true,
+            in_flight: 0,
+            active: Vec::new(),
+            busy: SimDuration::ZERO,
+            served: 0,
+            batches: 0,
+        }
+    }
+
+    /// Queued plus in-flight requests — the JSQ load signal.
+    fn load(&self) -> usize {
+        self.queue.len() + self.in_flight + self.active.len()
+    }
+}
+
+struct ClusterSt {
+    pipes: Vec<Pipe>,
+    model: ServiceModel,
+    continuous: bool,
+    queue_delay: SeriesStats,
+    e2e: SeriesStats,
+    batch_sizes: Vec<u32>,
+    last_completion: SimTime,
+    audit: Auditor,
+}
+
+fn req_channel(p: usize) -> String {
+    format!("requests:pipe{p}")
+}
+
+/// Kicks `p` when it is idle with work queued: one run-to-completion
+/// batch or one continuous step, depending on the mode.
+fn start_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
+    if st.continuous {
+        step_pipe(ctx, st, p);
     } else {
-        full.clone()
-    };
-    let t1 = single.total_time.as_secs();
-    let tn = full.total_time.as_secs();
-
-    struct St {
-        queue: VecDeque<SimTime>,
-        idle: bool,
-        max_batch: u32,
-        t1: f64,
-        tn: f64,
-        queue_delay: SeriesStats,
-        e2e: SeriesStats,
-        batch_sizes: Vec<u32>,
-        busy: SimDuration,
-        last_completion: SimTime,
+        batch_pipe(ctx, st, p);
     }
+}
 
-    fn service(st: &St, batch: u32) -> SimDuration {
-        if st.max_batch <= 1 {
-            return SimDuration::from_secs(st.tn);
+/// Run-to-completion: whoever is queued joins, up to the cap, and the
+/// whole batch occupies the pipeline for its full service time.
+fn batch_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
+    debug_assert!(st.pipes[p].idle && !st.pipes[p].queue.is_empty());
+    st.pipes[p].idle = false;
+    let now = ctx.now();
+    let mut members = Vec::new();
+    while members.len() < st.model.max_batch() as usize {
+        match st.pipes[p].queue.pop_front() {
+            Some(at) if at <= now => {
+                st.queue_delay.add((now - at).as_secs());
+                members.push(at);
+            }
+            Some(at) => {
+                st.pipes[p].queue.push_front(at);
+                break;
+            }
+            None => break,
         }
-        let frac = f64::from(batch - 1) / f64::from(st.max_batch - 1);
-        SimDuration::from_secs(st.t1 + frac * (st.tn - st.t1))
     }
+    let batch = members.len() as u32;
+    st.batch_sizes.push(batch);
+    st.pipes[p].in_flight = members.len();
+    st.pipes[p].batches += 1;
+    let dur = st.model.total(batch);
+    st.pipes[p].busy += dur;
+    ctx.schedule_in(dur, move |ctx, st: &mut ClusterSt| {
+        let done = ctx.now();
+        st.audit.observe_time("cluster", done);
+        for at in &members {
+            st.e2e.add((done - *at).as_secs());
+        }
+        st.audit.completed(&req_channel(p), members.len() as u64);
+        st.pipes[p].served += members.len();
+        st.pipes[p].in_flight = 0;
+        st.last_completion = done;
+        st.pipes[p].idle = true;
+        if !st.pipes[p].queue.is_empty() {
+            batch_pipe(ctx, st, p);
+        }
+    });
+}
 
-    fn start_batch(ctx: &mut Context<St>, st: &mut St) {
-        debug_assert!(st.idle && !st.queue.is_empty());
-        st.idle = false;
-        let now = ctx.now();
-        let mut members = Vec::new();
-        while members.len() < st.max_batch as usize {
-            match st.queue.pop_front() {
-                Some(at) if at <= now => {
-                    st.queue_delay.add((now - at).as_secs());
-                    members.push(at);
-                }
-                Some(at) => {
-                    st.queue.push_front(at);
-                    break;
-                }
-                None => break,
+/// Continuous batching: admit whoever is queued into the active set
+/// (up to the cap), run one iteration — prefill for the newcomers,
+/// one decode step for requests already past prefill — and hand every
+/// active request one output token at the step boundary.
+fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
+    debug_assert!(st.pipes[p].idle);
+    st.pipes[p].idle = false;
+    let now = ctx.now();
+    let continuing = st.pipes[p].active.len() as u32;
+    let mut admitted = 0u32;
+    while st.pipes[p].active.len() < st.model.max_batch() as usize {
+        match st.pipes[p].queue.pop_front() {
+            Some(at) if at <= now => {
+                st.queue_delay.add((now - at).as_secs());
+                st.pipes[p].active.push((at, st.model.gen_len()));
+                admitted += 1;
+            }
+            Some(at) => {
+                st.pipes[p].queue.push_front(at);
+                break;
+            }
+            None => break,
+        }
+    }
+    let batch = st.pipes[p].active.len() as u32;
+    debug_assert!(batch > 0);
+    st.batch_sizes.push(batch);
+    st.pipes[p].batches += 1;
+    // The newcomers' first token comes out of their prefill pass; the
+    // continuing requests each decode one token alongside it.
+    let mut dur = SimDuration::ZERO;
+    if admitted > 0 {
+        dur += st.model.prefill(admitted);
+    }
+    if continuing > 0 {
+        dur += st.model.decode_step(continuing);
+    }
+    st.pipes[p].busy += dur;
+    ctx.schedule_in(dur, move |ctx, st: &mut ClusterSt| {
+        let done = ctx.now();
+        st.audit.observe_time("cluster", done);
+        let active = std::mem::take(&mut st.pipes[p].active);
+        let mut still = Vec::with_capacity(active.len());
+        let mut finished = 0u64;
+        for (at, owed) in active {
+            if owed <= 1 {
+                st.e2e.add((done - at).as_secs());
+                finished += 1;
+            } else {
+                still.push((at, owed - 1));
             }
         }
-        let batch = members.len() as u32;
-        st.batch_sizes.push(batch);
-        let dur = service(st, batch);
-        st.busy += dur;
-        ctx.schedule_in(dur, move |ctx, st: &mut St| {
-            let done = ctx.now();
-            for at in &members {
-                st.e2e.add((done - *at).as_secs());
-            }
+        st.pipes[p].active = still;
+        st.pipes[p].served += finished as usize;
+        if finished > 0 {
+            st.audit.completed(&req_channel(p), finished);
             st.last_completion = done;
-            st.idle = true;
-            if !st.queue.is_empty() {
-                start_batch(ctx, st);
-            }
-        });
-    }
+        }
+        st.pipes[p].idle = true;
+        if !st.pipes[p].active.is_empty() || !st.pipes[p].queue.is_empty() {
+            step_pipe(ctx, st, p);
+        }
+    });
+}
+
+/// Serves `num_requests` Poisson arrivals through a cluster of
+/// `spec.pipelines` independent replicas of `server`'s pipeline,
+/// dispatched by `spec.scheduler` and batched at the granularity
+/// `spec.continuous` selects.
+///
+/// With one pipeline, round-robin dispatch, and continuous batching
+/// off this reproduces [`run_online`]'s statistics bit for bit; the
+/// extra pipelines, JSQ dispatch, and step-granularity admission are
+/// strict generalizations on the same [`ServiceModel`].
+///
+/// Request conservation and per-pipeline busy time are tracked with a
+/// [`simaudit::Auditor`]; the resulting report (when auditing is
+/// active) is attached to the returned [`ClusterReport`].
+///
+/// # Errors
+///
+/// Propagates batch validation from the underlying [`Server`].
+pub fn run_cluster(
+    server: &Server,
+    workload: &WorkloadSpec,
+    arrivals: &mut PoissonArrivals,
+    num_requests: usize,
+    spec: ClusterSpec,
+) -> Result<ClusterReport, HelmError> {
+    let model = ServiceModel::calibrate(server, workload)?;
+    let n = spec.pipelines.max(1);
 
     let times = arrivals.take(num_requests);
     let first_arrival = times.first().copied().unwrap_or(SimTime::ZERO);
-    let mut sim = Simulator::new(St {
-        queue: VecDeque::new(),
-        idle: true,
-        max_batch,
-        t1,
-        tn,
+    let mut sim = Simulator::new(ClusterSt {
+        pipes: (0..n).map(|_| Pipe::new()).collect(),
+        model,
+        continuous: spec.continuous,
         queue_delay: SeriesStats::new(),
         e2e: SeriesStats::new(),
         batch_sizes: Vec::new(),
-        busy: SimDuration::ZERO,
         last_completion: SimTime::ZERO,
+        audit: Auditor::capture(),
     });
-    for &at in &times {
-        sim.schedule_at(at, move |ctx, st: &mut St| {
-            st.queue.push_back(at);
-            if st.idle {
-                start_batch(ctx, st);
+    let scheduler = spec.scheduler;
+    for (i, &at) in times.iter().enumerate() {
+        sim.schedule_at(at, move |ctx, st: &mut ClusterSt| {
+            let p = match scheduler {
+                SchedulerKind::RoundRobin => i % st.pipes.len(),
+                SchedulerKind::JoinShortestQueue => st
+                    .pipes
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, pipe)| pipe.load())
+                    .map_or(0, |(idx, _)| idx),
+            };
+            st.audit.observe_time("cluster", ctx.now());
+            st.audit.enqueued(&req_channel(p), 1);
+            st.pipes[p].queue.push_back(at);
+            if st.pipes[p].idle {
+                start_pipe(ctx, st, p);
             }
         });
     }
     let st = sim.run();
+
     let makespan = st.last_completion.max(first_arrival) - first_arrival;
+    let mut audit = st.audit;
+    let mut per_pipeline = Vec::with_capacity(n);
+    let mut util_sum = 0.0;
+    let mut served = 0usize;
+    for (p, pipe) in st.pipes.iter().enumerate() {
+        audit.check_busy_time(&format!("pipe{p}"), pipe.busy, makespan);
+        let utilization = if makespan > SimDuration::ZERO {
+            (pipe.busy / makespan).min(1.0)
+        } else {
+            0.0
+        };
+        util_sum += utilization;
+        served += pipe.served;
+        per_pipeline.push(PipelineStats {
+            served: pipe.served,
+            busy: pipe.busy,
+            batches: pipe.batches,
+            utilization,
+        });
+    }
     let tokens = num_requests as u64 * workload.gen_len as u64;
-    Ok(OnlineReport {
-        served: num_requests,
+    Ok(ClusterReport {
+        served,
         makespan,
         queue_delay: st.queue_delay,
         e2e_latency: st.e2e,
         batch_sizes: st.batch_sizes,
-        utilization: if makespan > SimDuration::ZERO {
-            (st.busy / makespan).min(1.0)
-        } else {
-            0.0
-        },
+        utilization: util_sum / n as f64,
         tokens_per_s: tokens as f64 / makespan.as_secs().max(f64::MIN_POSITIVE),
+        per_pipeline,
+        audit: audit.finish_if_active(),
     })
 }
 
@@ -350,6 +755,22 @@ mod tests {
         let rate = 4000.0 / span;
         assert!((rate - 10.0).abs() < 0.6, "rate {rate}");
         assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn successive_takes_continue_the_process() {
+        // The regression this guards: `take` once reset the clock to
+        // zero on every call, so a second draw restarted the process
+        // and handed out arrival times from the past.
+        let mut split = PoissonArrivals::new(2.0, 13);
+        let mut a = split.take(5);
+        a.extend(split.take(5));
+        let whole = PoissonArrivals::new(2.0, 13).take(10);
+        assert_eq!(a, whole);
+        assert!(
+            a.windows(2).all(|w| w[0] < w[1]),
+            "arrivals must be strictly increasing across take calls: {a:?}"
+        );
     }
 
     #[test]
@@ -452,5 +873,205 @@ mod tests {
         assert_eq!(r.queue_delay.count(), 20);
         assert_eq!(r.e2e_latency.count(), 20);
         assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+    }
+
+    #[test]
+    fn service_model_interpolates_between_calibration_points() {
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        let m = ServiceModel::calibrate(&s, &ws).unwrap();
+        assert_eq!(m.max_batch(), 8);
+        assert_eq!(m.gen_len(), ws.gen_len);
+        // Totals at the calibration points match the reports.
+        let full = s.run(&ws).unwrap();
+        assert_eq!(m.total(8), full.total_time);
+        // Interpolation is monotone between the points.
+        assert!(m.total(1) <= m.total(4) && m.total(4) <= m.total(8));
+        // The split is consistent with the total at both calibration
+        // points: total ≈ ttft + (gen_len-1) * mean tbt.
+        for b in [1u32, 8] {
+            let rebuilt =
+                m.prefill(b).as_secs() + (ws.gen_len - 1) as f64 * m.decode_step(b).as_secs();
+            let total = m.total(b).as_secs();
+            assert!(
+                (rebuilt - total).abs() / total < 0.05,
+                "batch {b}: split {rebuilt} vs total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_pipeline_cluster_is_bit_identical_to_run_online() {
+        // The acceptance bar for the cluster path: with one pipeline,
+        // round-robin dispatch, and continuous batching off, every
+        // statistic reproduces the hand-rolled loop exactly — same
+        // floats, not merely close.
+        let ws = WorkloadSpec::paper_default();
+        for (placement, batch, lambda) in [
+            (PlacementKind::Baseline, 8u32, 0.05f64),
+            (PlacementKind::Helm, 4, 0.02),
+            (PlacementKind::AllCpu, 44, 0.15),
+        ] {
+            let s = server(placement, batch);
+            let loop_r = run_online(&s, &ws, &mut PoissonArrivals::new(lambda, 17), 50).unwrap();
+            let cluster = run_cluster(
+                &s,
+                &ws,
+                &mut PoissonArrivals::new(lambda, 17),
+                50,
+                ClusterSpec::new(1),
+            )
+            .unwrap();
+            assert_eq!(cluster.batch_sizes, loop_r.batch_sizes, "{placement}");
+            assert_eq!(
+                cluster.makespan.as_secs().to_bits(),
+                loop_r.makespan.as_secs().to_bits(),
+                "{placement} makespan"
+            );
+            assert_eq!(
+                cluster.queue_delay.samples(),
+                loop_r.queue_delay.samples(),
+                "{placement} queue delays"
+            );
+            assert_eq!(
+                cluster.e2e_latency.percentile(95.0).unwrap().to_bits(),
+                loop_r.e2e_latency.percentile(95.0).unwrap().to_bits(),
+                "{placement} p95"
+            );
+            assert_eq!(
+                cluster.utilization.to_bits(),
+                loop_r.utilization.to_bits(),
+                "{placement} utilization"
+            );
+        }
+    }
+
+    #[test]
+    fn jsq_tracks_load_where_round_robin_is_blind() {
+        // With identical replicas and smooth Poisson traffic the two
+        // dispatchers perform comparably, but they are genuinely
+        // different policies: round-robin splits by arrival parity
+        // while JSQ reacts to transient imbalance, and neither loses
+        // a request doing so.
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        let mk = |sched| {
+            run_cluster(
+                &s,
+                &ws,
+                &mut PoissonArrivals::new(0.08, 23),
+                80,
+                ClusterSpec::new(2).with_scheduler(sched),
+            )
+            .unwrap()
+        };
+        let rr = mk(SchedulerKind::RoundRobin);
+        let jsq = mk(SchedulerKind::JoinShortestQueue);
+        assert_eq!(rr.served, 80);
+        assert_eq!(jsq.served, 80);
+        // Round-robin alternates, so its per-pipeline split is exact.
+        assert!(rr.per_pipeline.iter().all(|p| p.served == 40));
+        // The dispatch decisions differ observably...
+        assert_ne!(rr.batch_sizes, jsq.batch_sizes);
+        // ...without JSQ giving up meaningful queueing performance.
+        assert!(
+            jsq.queue_delay.mean() <= rr.queue_delay.mean() * 1.25,
+            "jsq {} vs rr {}",
+            jsq.queue_delay.mean(),
+            rr.queue_delay.mean()
+        );
+    }
+
+    #[test]
+    fn more_pipelines_absorb_a_saturating_rate() {
+        // A λ that saturates one All-CPU pipeline is comfortably
+        // absorbed by four: p95 latency collapses and throughput
+        // scales with the replica count.
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        let lambda = 0.10;
+        let one = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(lambda, 5),
+            80,
+            ClusterSpec::new(1),
+        )
+        .unwrap();
+        let four = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(lambda, 5),
+            80,
+            ClusterSpec::new(4).with_scheduler(SchedulerKind::JoinShortestQueue),
+        )
+        .unwrap();
+        assert!(one.utilization > 0.95, "N=1 util {}", one.utilization);
+        assert!(
+            four.e2e_percentile_ms(95.0) < one.e2e_percentile_ms(95.0) / 2.0,
+            "p95 {} vs {}",
+            four.e2e_percentile_ms(95.0),
+            one.e2e_percentile_ms(95.0)
+        );
+        assert!(four.tokens_per_s > one.tokens_per_s * 1.5);
+        assert_eq!(four.per_pipeline.len(), 4);
+        let per_pipe_served: usize = four.per_pipeline.iter().map(|p| p.served).sum();
+        assert_eq!(per_pipe_served, 80);
+    }
+
+    #[test]
+    fn continuous_batching_admits_mid_flight() {
+        // Run-to-completion makes a late arrival wait out the whole
+        // in-flight batch; continuous batching admits it at the next
+        // step boundary, so its queueing delay collapses.
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        // Moderate load: the pipeline is often mid-batch when a new
+        // request lands, but no standing backlog builds up (at
+        // saturation both modes are backlog-dominated and the
+        // admission granularity stops mattering).
+        let lambda = 1.0 / 300.0;
+        let spec = ClusterSpec::new(1);
+        let rtc = run_cluster(&s, &ws, &mut PoissonArrivals::new(lambda, 31), 40, spec).unwrap();
+        let cont = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(lambda, 31),
+            40,
+            spec.with_continuous(true),
+        )
+        .unwrap();
+        assert_eq!(cont.served, 40);
+        assert!(
+            cont.queue_delay.mean() < rtc.queue_delay.mean() * 0.25,
+            "continuous queue {} vs rtc {}",
+            cont.queue_delay.mean(),
+            rtc.queue_delay.mean()
+        );
+        // Every request still completes, and the audit balances.
+        if let Some(audit) = &cont.audit {
+            assert!(audit.is_clean(), "audit: {audit}");
+            assert_eq!(audit.completed_with_prefix("requests:"), 40);
+        }
+    }
+
+    #[test]
+    fn cluster_audit_conserves_requests() {
+        let s = server(PlacementKind::Helm, 4);
+        let ws = WorkloadSpec::paper_default();
+        simaudit::force_enable();
+        let r = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(0.05, 41),
+            30,
+            ClusterSpec::new(3).with_scheduler(SchedulerKind::JoinShortestQueue),
+        )
+        .unwrap();
+        let audit = r.audit.expect("auditing forced on");
+        assert!(audit.is_clean(), "audit: {audit}");
+        assert_eq!(audit.completed_with_prefix("requests:"), 30);
+        assert_eq!(r.served, 30);
+        assert_eq!(r.e2e_latency.count(), 30);
     }
 }

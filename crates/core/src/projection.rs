@@ -77,7 +77,7 @@ pub fn run_config(
         .with_placement(placement)
         .with_compression(true)
         .with_batch_size(batch);
-    Ok(Server::new(SystemConfig::paper_platform(memory), model, policy)?.run_unchecked(workload))
+    Server::new(SystemConfig::paper_platform(memory), model, policy)?.run_unchecked(workload)
 }
 
 /// Produces the full Table IV overlap matrix.

@@ -196,7 +196,7 @@ impl Server {
                 max_batch: max,
             });
         }
-        Ok(self.run_unchecked(workload))
+        self.run_unchecked(workload)
     }
 
     /// Runs the serving pipeline on the discrete-event executor
@@ -217,13 +217,13 @@ impl Server {
             });
         }
         let placement = self.effective_placement(workload);
-        Ok(crate::exec_des::run_pipeline_des(&PipelineInputs {
+        crate::exec_des::run_pipeline_des(&PipelineInputs {
             system: &self.system,
             model: &self.model,
             policy: &self.policy,
             placement: &placement,
             workload,
-        }))
+        })
     }
 
     /// Runs the pipeline without the GPU-memory batch check (the
@@ -231,7 +231,12 @@ impl Server {
     /// projections probing configurations right at the capacity edge;
     /// prefer [`Server::run`] for anything presented as a serving
     /// result.
-    pub fn run_unchecked(&self, workload: &WorkloadSpec) -> RunReport {
+    ///
+    /// # Errors
+    ///
+    /// [`HelmError::TierUnavailable`] when the placement routes
+    /// traffic through a tier the platform does not provide.
+    pub fn run_unchecked(&self, workload: &WorkloadSpec) -> Result<RunReport, HelmError> {
         let placement = self.effective_placement(workload);
         run_pipeline(&PipelineInputs {
             system: &self.system,

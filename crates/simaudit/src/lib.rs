@@ -67,6 +67,34 @@ impl ByteLedger {
     }
 }
 
+/// One request-conservation ledger: a named service channel on which
+/// every enqueued request must complete or be explicitly abandoned —
+/// the discrete analogue of [`ByteLedger`] for the online serving
+/// layer (arrived = queued + in-flight + completed at all times, and
+/// everything completes by the end of the run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountLedger {
+    /// Requests handed to the channel.
+    pub enqueued: u64,
+    /// Requests that finished service.
+    pub completed: u64,
+    /// Requests intentionally abandoned (cancelled / shed load).
+    pub abandoned: u64,
+}
+
+impl CountLedger {
+    /// Requests enqueued but neither completed nor abandoned.
+    pub fn outstanding(&self) -> u64 {
+        self.enqueued
+            .saturating_sub(self.completed + self.abandoned)
+    }
+
+    /// Whether the ledger balances: completed + abandoned == enqueued.
+    pub fn is_balanced(&self) -> bool {
+        self.completed + self.abandoned == self.enqueued
+    }
+}
+
 /// One recorded invariant violation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
@@ -125,6 +153,25 @@ pub enum Violation {
         /// The tier's capacity.
         capacity: ByteSize,
     },
+    /// A channel's request counts did not conserve: completed plus
+    /// abandoned differs from enqueued at the end of the run.
+    CountImbalance {
+        /// Channel name (e.g. `"req:pipe0"`).
+        channel: String,
+        /// Final ledger state.
+        ledger: CountLedger,
+    },
+    /// A server's accumulated busy time exceeded the wall-clock span
+    /// it fit inside — a single pipeline cannot be busy for longer
+    /// than it exists.
+    BusyExceedsElapsed {
+        /// Which busy-time ledger.
+        label: String,
+        /// Accumulated busy time.
+        busy: SimDuration,
+        /// Wall-clock span available.
+        elapsed: SimDuration,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -172,6 +219,24 @@ impl fmt::Display for Violation {
                 used,
                 capacity,
             } => write!(f, "tier {tier} over capacity: {used} placed in {capacity}"),
+            Violation::CountImbalance { channel, ledger } => write!(
+                f,
+                "request imbalance on {channel}: enqueued {}, completed {}, abandoned {} ({} outstanding)",
+                ledger.enqueued,
+                ledger.completed,
+                ledger.abandoned,
+                ledger.outstanding()
+            ),
+            Violation::BusyExceedsElapsed {
+                label,
+                busy,
+                elapsed,
+            } => write!(
+                f,
+                "busy time for {label} exceeds the elapsed span: {:.6}s busy in {:.6}s",
+                busy.as_secs(),
+                elapsed.as_secs()
+            ),
         }
     }
 }
@@ -182,6 +247,8 @@ impl fmt::Display for Violation {
 pub struct AuditReport {
     /// Final per-channel ledgers, in channel-name order.
     pub ledgers: Vec<(String, ByteLedger)>,
+    /// Final per-channel request-count ledgers, in channel-name order.
+    pub counts: Vec<(String, CountLedger)>,
     /// Everything that went wrong (empty on a clean run).
     pub violations: Vec<Violation>,
 }
@@ -198,6 +265,25 @@ impl AuditReport {
             .iter()
             .find(|(name, _)| name == channel)
             .map(|(_, l)| l)
+    }
+
+    /// The final request-count ledger of `channel`, if any requests
+    /// moved on it.
+    pub fn count_ledger(&self, channel: &str) -> Option<&CountLedger> {
+        self.counts
+            .iter()
+            .find(|(name, _)| name == channel)
+            .map(|(_, l)| l)
+    }
+
+    /// Total requests completed across all count channels with the
+    /// given prefix (e.g. `"req:"`).
+    pub fn completed_with_prefix(&self, prefix: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, l)| l.completed)
+            .sum()
     }
 
     /// Total bytes delivered across all channels with the given
@@ -234,6 +320,20 @@ impl fmt::Display for AuditReport {
                 }
             )?;
         }
+        for (channel, ledger) in &self.counts {
+            writeln!(
+                f,
+                "  {channel:<12} enqueued  {:>12} completed {:>12} abandoned {:>9} [{}]",
+                ledger.enqueued,
+                ledger.completed,
+                ledger.abandoned,
+                if ledger.is_balanced() {
+                    "ok"
+                } else {
+                    "IMBALANCED"
+                }
+            )?;
+        }
         for v in &self.violations {
             writeln!(f, "  violation: {v}")?;
         }
@@ -251,6 +351,7 @@ impl fmt::Display for AuditReport {
 pub struct Auditor {
     active: bool,
     ledgers: BTreeMap<String, ByteLedger>,
+    counts: BTreeMap<String, CountLedger>,
     clocks: BTreeMap<String, SimTime>,
     violations: Vec<Violation>,
 }
@@ -309,6 +410,47 @@ impl Auditor {
             return;
         }
         self.ledgers.entry(channel.to_owned()).or_default().dropped += bytes;
+    }
+
+    /// Records `n` requests handed to service channel `channel`.
+    pub fn enqueued(&mut self, channel: &str, n: u64) {
+        if !self.active {
+            return;
+        }
+        self.counts.entry(channel.to_owned()).or_default().enqueued += n;
+    }
+
+    /// Records `n` requests finishing service on `channel`.
+    pub fn completed(&mut self, channel: &str, n: u64) {
+        if !self.active {
+            return;
+        }
+        self.counts.entry(channel.to_owned()).or_default().completed += n;
+    }
+
+    /// Records `n` requests abandoned on `channel` (cancelled or shed
+    /// load): they are accounted for, not lost.
+    pub fn abandoned(&mut self, channel: &str, n: u64) {
+        if !self.active {
+            return;
+        }
+        self.counts.entry(channel.to_owned()).or_default().abandoned += n;
+    }
+
+    /// Checks a busy-time ledger against the wall-clock span it must
+    /// fit inside (a small relative tolerance absorbs floating-point
+    /// accumulation).
+    pub fn check_busy_time(&mut self, label: &str, busy: SimDuration, elapsed: SimDuration) {
+        if !self.active {
+            return;
+        }
+        if busy.as_secs() > elapsed.as_secs() * (1.0 + 1e-9) + 1e-12 {
+            self.violations.push(Violation::BusyExceedsElapsed {
+                label: label.to_owned(),
+                busy,
+                elapsed,
+            });
+        }
     }
 
     /// Observes `clock` at instant `now`, recording a violation if it
@@ -414,8 +556,19 @@ impl Auditor {
             }
             ledgers.push((channel, ledger));
         }
+        let mut counts = Vec::with_capacity(self.counts.len());
+        for (channel, ledger) in self.counts {
+            if !ledger.is_balanced() {
+                violations.push(Violation::CountImbalance {
+                    channel: channel.clone(),
+                    ledger,
+                });
+            }
+            counts.push((channel, ledger));
+        }
         AuditReport {
             ledgers,
+            counts,
             violations,
         }
     }
@@ -542,6 +695,54 @@ mod tests {
         a.scheduled("h2d:cpu", mb(10.0));
         a.observe_time("des", SimTime::from_secs(1.0));
         assert!(a.finish_if_active().is_none());
+    }
+
+    #[test]
+    fn balanced_request_counts_are_clean() {
+        let mut a = Auditor::new();
+        a.enqueued("req:pipe0", 10);
+        a.completed("req:pipe0", 8);
+        a.abandoned("req:pipe0", 2);
+        let report = a.finish();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.count_ledger("req:pipe0").unwrap().outstanding(), 0);
+        assert_eq!(report.completed_with_prefix("req:"), 8);
+    }
+
+    #[test]
+    fn outstanding_requests_are_an_imbalance() {
+        let mut a = Auditor::new();
+        a.enqueued("req:pipe1", 5);
+        a.completed("req:pipe1", 3);
+        let report = a.finish();
+        assert!(!report.is_clean());
+        assert!(matches!(
+            &report.violations[0],
+            Violation::CountImbalance { channel, ledger }
+                if channel == "req:pipe1" && ledger.outstanding() == 2
+        ));
+        assert!(report.to_string().contains("req:pipe1"));
+    }
+
+    #[test]
+    fn busy_time_must_fit_the_elapsed_span() {
+        let mut a = Auditor::new();
+        a.check_busy_time(
+            "pipe0",
+            SimDuration::from_secs(5.0),
+            SimDuration::from_secs(5.0),
+        );
+        a.check_busy_time(
+            "pipe1",
+            SimDuration::from_secs(6.0),
+            SimDuration::from_secs(5.0),
+        );
+        let report = a.finish();
+        assert_eq!(report.violations.len(), 1);
+        assert!(matches!(
+            &report.violations[0],
+            Violation::BusyExceedsElapsed { label, .. } if label == "pipe1"
+        ));
     }
 
     #[test]

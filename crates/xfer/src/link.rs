@@ -176,6 +176,21 @@ impl CappedLink {
         self.flows.remove(&id).expect("unknown transfer id");
     }
 
+    /// Cancels `id` at `now`, returning the bytes it had left to
+    /// move. Progress up to `now` counts as transferred; the returned
+    /// remainder is what a conservation ledger must account as
+    /// dropped rather than delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not active.
+    pub fn cancel(&mut self, now: SimTime, id: TransferId) -> f64 {
+        self.advance_to(now);
+        let flow = self.flows.remove(&id);
+        assert!(flow.is_some(), "unknown transfer id");
+        flow.map_or(0.0, |f| f.remaining)
+    }
+
     fn advance_to(&mut self, now: SimTime) {
         assert!(now >= self.last_update, "link time went backwards");
         let elapsed = (now - self.last_update).as_secs();
@@ -289,5 +304,20 @@ mod tests {
     fn completing_unknown_panics() {
         let mut link = CappedLink::new(gbps(1.0));
         link.complete(SimTime::ZERO, TransferId(3));
+    }
+
+    #[test]
+    fn cancel_returns_the_unmoved_remainder() {
+        let mut link = CappedLink::new(gbps(20.0));
+        let a = link.start(t(0.0), 10e9, gbps(100.0));
+        let b = link.start(t(0.0), 10e9, gbps(100.0));
+        // Shared 10/10 GB/s: after 0.5 s each flow has moved 5 GB.
+        let remaining = link.cancel(t(0.5), a);
+        assert!((remaining - 5e9).abs() < 1.0, "remaining {remaining}");
+        assert_eq!(link.active(), 1);
+        // The survivor speeds up to the full link: 5 GB at 20 GB/s.
+        let (done, id) = link.next_completion(t(0.5)).unwrap();
+        assert_eq!(id, b);
+        assert!((done.as_secs() - 0.75).abs() < 1e-9);
     }
 }

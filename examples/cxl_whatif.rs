@@ -18,7 +18,7 @@ use llm::ModelConfig;
 use simcore::units::Bandwidth;
 use workload::WorkloadSpec;
 
-fn main() -> Result<(), helm_core::ServeError> {
+fn main() -> Result<(), helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let workload = WorkloadSpec::paper_default();
 

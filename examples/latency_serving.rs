@@ -14,7 +14,7 @@ use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn main() -> Result<(), helm_core::ServeError> {
+fn main() -> Result<(), helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let workload = WorkloadSpec::paper_default();
     let policies = [

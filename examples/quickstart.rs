@@ -13,7 +13,7 @@ use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn main() -> Result<(), helm_core::ServeError> {
+fn main() -> Result<(), helm_core::HelmError> {
     // 1. Pick a platform: the paper's dual-socket Ice Lake + A100,
     //    with Optane DCPMM as flat main memory ("NVDRAM").
     let memory = HostMemoryConfig::nvdram();

@@ -74,7 +74,7 @@ proptest! {
             policy: &policy,
             placement: &placement,
             workload: &workload,
-        });
+        }).unwrap();
         // One record per (token, layer).
         prop_assert_eq!(report.records.len(), gen_len * model.num_layers());
         // Every step covers its compute, its load, and the sync.
@@ -121,8 +121,8 @@ proptest! {
             placement: &placement,
             workload: &workload,
         };
-        let analytic = run_pipeline(&inputs);
-        let des = run_pipeline_des(&inputs);
+        let analytic = run_pipeline(&inputs).unwrap();
+        let des = run_pipeline_des(&inputs).unwrap();
         prop_assert!(
             des.total_time.as_secs() <= analytic.total_time.as_secs() * (1.0 + 1e-9),
             "DES {} > analytic {}",
@@ -162,7 +162,7 @@ proptest! {
                 policy: &policy,
                 placement: &placement,
                 workload: &workload,
-            });
+            }).unwrap();
             results.push(report);
         }
         let (raw, comp) = (&results[0], &results[1]);

@@ -1,0 +1,206 @@
+//! Integration tests for the multi-pipeline online serving path:
+//! cross-validation of the hand-rolled loop against the event-driven
+//! cluster with arrivals landing mid-batch, request conservation
+//! under randomized load/dispatch, saturation absorption by extra
+//! replicas, and the cancelled-transfer path of the byte auditor.
+
+use helm_core::online::{
+    run_cluster, run_online, run_online_des, ClusterSpec, PoissonArrivals, SchedulerKind,
+};
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::{HostMemoryConfig, MemoryConfigKind};
+use llm::ModelConfig;
+use proptest::prelude::*;
+use simaudit::Auditor;
+use simcore::units::{Bandwidth, ByteSize};
+use simcore::SimTime;
+use workload::WorkloadSpec;
+use xfer::link::CappedLink;
+
+fn server(placement: PlacementKind, batch: u32) -> Server {
+    let model = ModelConfig::opt_175b();
+    let policy = Policy::paper_default(&model, MemoryConfigKind::NvDram)
+        .with_placement(placement)
+        .with_compression(true)
+        .with_batch_size(batch);
+    Server::new(
+        SystemConfig::paper_platform(HostMemoryConfig::nvdram()),
+        model,
+        policy,
+    )
+    .expect("paper config fits")
+}
+
+#[test]
+fn loop_and_des_agree_with_arrivals_landing_mid_batch() {
+    // λ chosen so the mean inter-arrival (~10 s) is far below the
+    // pipeline service time (minutes): nearly every arrival lands
+    // while a batch is in flight and must wait for the free-up
+    // instant. The loop and the event engine must then agree on the
+    // exact batch formation, not just on aggregate statistics.
+    let ws = WorkloadSpec::paper_default();
+    for (placement, batch) in [(PlacementKind::Baseline, 8u32), (PlacementKind::AllCpu, 44)] {
+        let s = server(placement, batch);
+        let a = run_online(&s, &ws, &mut PoissonArrivals::new(0.1, 77), 64).expect("loop");
+        let b = run_online_des(&s, &ws, &mut PoissonArrivals::new(0.1, 77), 64).expect("des");
+        // Mid-batch arrivals actually happened: some batch is > 1.
+        assert!(
+            a.batch_sizes.iter().any(|&x| x > 1),
+            "{placement}: load too light to exercise mid-batch arrivals"
+        );
+        assert_eq!(a.batch_sizes, b.batch_sizes, "{placement} batches");
+        assert_eq!(
+            a.makespan.as_secs().to_bits(),
+            b.makespan.as_secs().to_bits(),
+            "{placement} makespan"
+        );
+        assert_eq!(
+            a.queue_delay.samples(),
+            b.queue_delay.samples(),
+            "{placement} queue delays"
+        );
+        assert_eq!(
+            a.e2e_latency.samples(),
+            b.e2e_latency.samples(),
+            "{placement} latencies"
+        );
+    }
+}
+
+#[test]
+fn four_pipelines_absorb_a_rate_that_saturates_one() {
+    // Acceptance scenario from the issue: a λ that saturates the N=1
+    // All-CPU pipeline is sustained by N=4, with the online simaudit
+    // conservation checks passing.
+    simaudit::force_enable();
+    let s = server(PlacementKind::AllCpu, 8);
+    let ws = WorkloadSpec::paper_default();
+    let lambda = 0.10;
+    let one = run_cluster(
+        &s,
+        &ws,
+        &mut PoissonArrivals::new(lambda, 5),
+        100,
+        ClusterSpec::new(1),
+    )
+    .expect("N=1");
+    let four = run_cluster(
+        &s,
+        &ws,
+        &mut PoissonArrivals::new(lambda, 5),
+        100,
+        ClusterSpec::new(4).with_scheduler(SchedulerKind::JoinShortestQueue),
+    )
+    .expect("N=4");
+    assert!(
+        one.utilization > 0.95,
+        "N=1 not saturated: {}",
+        one.utilization
+    );
+    assert!(
+        four.e2e_percentile_ms(95.0) < one.e2e_percentile_ms(95.0) / 2.0,
+        "N=4 p95 {} vs N=1 {}",
+        four.e2e_percentile_ms(95.0),
+        one.e2e_percentile_ms(95.0)
+    );
+    assert!(four.tokens_per_s > one.tokens_per_s * 1.5);
+    for r in [&one, &four] {
+        let audit = r.audit.as_ref().expect("auditing forced on");
+        assert!(audit.is_clean(), "audit:\n{audit}");
+        assert_eq!(audit.completed_with_prefix("requests:"), 100);
+    }
+}
+
+#[test]
+fn audit_dropped_balances_a_cancelled_transfer() {
+    // The DES transfer path can abandon an in-flight DMA (e.g. a
+    // prefetch made useless by a placement change). The byte auditor
+    // must then balance the channel through `dropped`, not lose the
+    // bytes: scheduled = delivered + dropped.
+    simaudit::force_enable();
+    let mut audit = Auditor::capture();
+    let mut link = CappedLink::new(Bandwidth::from_gb_per_s(20.0));
+    let total = 10e9;
+    audit.scheduled("h2d:weights", ByteSize::from_bytes(total as u64));
+    audit.scheduled("h2d:weights", ByteSize::from_bytes(total as u64));
+    let keep = link.start(SimTime::ZERO, total, Bandwidth::from_gb_per_s(100.0));
+    let cancel = link.start(SimTime::ZERO, total, Bandwidth::from_gb_per_s(100.0));
+
+    // Cancel the second flow mid-flight; its progress so far counts
+    // as delivered, the remainder as dropped.
+    let at = SimTime::from_secs(0.5);
+    let remaining = link.cancel(at, cancel);
+    assert!(remaining > 0.0 && remaining < total);
+    audit.delivered(
+        "h2d:weights",
+        ByteSize::from_bytes((total - remaining) as u64),
+    );
+    audit.dropped("h2d:weights", ByteSize::from_bytes(remaining as u64));
+
+    // The surviving flow finishes and delivers everything.
+    let (done, id) = link.next_completion(at).expect("one flow left");
+    assert_eq!(id, keep);
+    link.complete(done, keep);
+    audit.delivered("h2d:weights", ByteSize::from_bytes(total as u64));
+
+    let report = audit.finish();
+    assert!(report.is_clean(), "audit:\n{report}");
+    let (_, ledger) = report
+        .ledgers
+        .iter()
+        .find(|(name, _)| name == "h2d:weights")
+        .expect("channel ledgered");
+    assert_eq!(ledger.dropped.as_u64(), remaining as u64);
+    assert_eq!(
+        ledger.scheduled.as_u64(),
+        ledger.delivered.as_u64() + ledger.dropped.as_u64()
+    );
+}
+
+proptest! {
+    // Each case runs two full pipeline calibrations; keep the count
+    // modest so the suite stays fast.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sharded dispatch conserves requests: whatever the arrival
+    /// rate, seed, replica count, scheduler, and batching granularity,
+    /// every arrival is served exactly once and the audit ledgers
+    /// balance.
+    #[test]
+    fn sharded_dispatch_conserves_requests(
+        lambda in 0.01f64..0.5,
+        seed in 0u64..1000,
+        pipelines in 1usize..=5,
+        jsq in any::<bool>(),
+        continuous in any::<bool>(),
+        n in 1usize..=40,
+    ) {
+        simaudit::force_enable();
+        let s = server(PlacementKind::Helm, 4);
+        let spec = ClusterSpec::new(pipelines)
+            .with_scheduler(if jsq {
+                SchedulerKind::JoinShortestQueue
+            } else {
+                SchedulerKind::RoundRobin
+            })
+            .with_continuous(continuous);
+        let ws = WorkloadSpec::paper_default();
+        let r = run_cluster(&s, &ws, &mut PoissonArrivals::new(lambda, seed), n, spec)
+            .expect("cluster run");
+        prop_assert_eq!(r.served, n);
+        prop_assert_eq!(r.queue_delay.count(), n);
+        prop_assert_eq!(r.e2e_latency.count(), n);
+        let per_pipe: usize = r.per_pipeline.iter().map(|p| p.served).sum();
+        prop_assert_eq!(per_pipe, n);
+        if !continuous {
+            let batched: u32 = r.batch_sizes.iter().sum();
+            prop_assert_eq!(batched as usize, n);
+        }
+        let audit = r.audit.as_ref().expect("auditing forced on");
+        prop_assert!(audit.is_clean(), "audit:\n{}", audit);
+        prop_assert_eq!(audit.completed_with_prefix("requests:"), n as u64);
+    }
+}

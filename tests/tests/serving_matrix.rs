@@ -6,7 +6,7 @@ use helm_core::placement::PlacementKind;
 use helm_core::policy::Policy;
 use helm_core::server::Server;
 use helm_core::system::SystemConfig;
-use helm_core::ServeError;
+use helm_core::HelmError;
 use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
@@ -29,7 +29,7 @@ fn try_serve(
     placement: PlacementKind,
     compressed: bool,
     batch: u32,
-) -> Result<helm_core::RunReport, ServeError> {
+) -> Result<helm_core::RunReport, HelmError> {
     let policy = Policy::paper_default(model, memory.kind())
         .with_placement(placement)
         .with_compression(compressed)
@@ -76,7 +76,7 @@ fn every_viable_combination_serves_sanely() {
                             assert!(
                                 matches!(
                                     e,
-                                    ServeError::CapacityExceeded { .. } | ServeError::NoDiskTier
+                                    HelmError::CapacityExceeded { .. } | HelmError::NoDiskTier
                                 ),
                                 "unexpected rejection: {e}"
                             );
