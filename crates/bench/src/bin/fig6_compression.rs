@@ -5,11 +5,12 @@
 use bench::{print_comparisons, print_table, run_serving, section, Comparison};
 use helm_core::metrics::{RunReport, Stage};
 use helm_core::placement::PlacementKind;
+use helm_core::HelmError;
 use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn run(memory: HostMemoryConfig, compressed: bool) -> RunReport {
+fn run(memory: HostMemoryConfig, compressed: bool) -> Result<RunReport, HelmError> {
     run_serving(
         ModelConfig::opt_175b(),
         memory,
@@ -18,15 +19,14 @@ fn run(memory: HostMemoryConfig, compressed: bool) -> RunReport {
         1,
         &WorkloadSpec::paper_default(),
     )
-    .expect("serves")
 }
 
-fn main() {
-    let nv = run(HostMemoryConfig::nvdram(), false);
-    let nv_c = run(HostMemoryConfig::nvdram(), true);
-    let mm = run(HostMemoryConfig::memory_mode(), false);
-    let mm_c = run(HostMemoryConfig::memory_mode(), true);
-    let dram_c = run(HostMemoryConfig::dram(), true);
+fn main() -> Result<(), HelmError> {
+    let nv = run(HostMemoryConfig::nvdram(), false)?;
+    let nv_c = run(HostMemoryConfig::nvdram(), true)?;
+    let mm = run(HostMemoryConfig::memory_mode(), false)?;
+    let mm_c = run(HostMemoryConfig::memory_mode(), true)?;
+    let dram_c = run(HostMemoryConfig::dram(), true)?;
 
     section("Fig 6: OPT-175B prefill/decode overlap with compression");
     let mut rows = Vec::new();
@@ -84,4 +84,5 @@ fn main() {
             "x",
         ),
     ]);
+    Ok(())
 }

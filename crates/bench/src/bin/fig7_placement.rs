@@ -11,7 +11,7 @@ use llm::layers::LayerKind;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
 
     section("Fig 7a: per-layer load latency, NVDRAM compressed (first 24 of 194)");
@@ -22,8 +22,7 @@ fn main() {
         true,
         1,
         &WorkloadSpec::paper_default(),
-    )
-    .expect("serves");
+    )?;
     println!("{:>6} {:>12}", "layer", "load(ms)");
     for (layer, load) in report.decode_load_profile().into_iter().take(24) {
         let bar = "#".repeat((load.as_millis() * 1.2) as usize);
@@ -78,4 +77,5 @@ fn main() {
         max / min,
         "x",
     )]);
+    Ok(())
 }

@@ -10,7 +10,7 @@ use llm::layers::LayerKind;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let ws = WorkloadSpec::paper_default();
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
@@ -22,8 +22,7 @@ fn main() {
             true,
             batch,
             &ws,
-        )
-        .expect("serves");
+        )?;
         for stage in [Stage::Prefill, Stage::Decode] {
             let mha_c = report.avg_compute(stage, LayerKind::Mha).as_millis();
             let ffn_c = report.avg_compute(stage, LayerKind::Ffn).as_millis();
@@ -67,4 +66,5 @@ fn main() {
         "\nNote (paper Fig 8 caption): decode overlap at both batch sizes is nearly\n\
          identical to prefill at batch 1 -- visible in the table above."
     );
+    Ok(())
 }

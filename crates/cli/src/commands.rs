@@ -2,7 +2,7 @@
 
 use crate::args::{ArgError, Args};
 use crate::select;
-use helm_core::autoplace::{self, Objective};
+use helm_core::autoplace::{Objective, SearchBudget};
 use helm_core::energy::assess;
 use helm_core::policy::Policy;
 use helm_core::server::Server;
@@ -178,7 +178,7 @@ pub fn maxbatch(args: &Args) -> Result<(), ArgError> {
 /// `helmsim autoplace`.
 pub fn autoplace(args: &Args) -> Result<(), ArgError> {
     let mut allowed = SERVE_FLAGS.to_vec();
-    allowed.push("objective");
+    allowed.extend(["objective", "threads", "max-evals"]);
     args.reject_unknown(&allowed)?;
     let objective = match args.get_or("objective", "latency") {
         "latency" => Objective::Latency,
@@ -189,20 +189,39 @@ pub fn autoplace(args: &Args) -> Result<(), ArgError> {
             )))
         }
     };
+    let budget = SearchBudget {
+        threads: args.get_num("threads", 0usize)?,
+        max_evals: args.get_num("max-evals", 0usize)?,
+    };
     let Session { server, workload } = session(args)?;
-    let result = autoplace::optimize(
-        server.system(),
-        server.model(),
-        server.policy(),
-        &workload,
-        objective,
-    )
-    .map_err(|e| ArgError(e.to_string()))?;
+    let result = server
+        .autoplace(&workload, objective, budget)
+        .map_err(|e| ArgError(e.to_string()))?;
     println!(
-        "best of {} candidates: MHA {}% / FFN {}% on GPU, batch {}",
-        result.evaluated, result.mha_gpu_percent, result.ffn_gpu_percent, result.batch
+        "winner: MHA {}% / FFN {}% on GPU, batch {}",
+        result.mha_gpu_percent, result.ffn_gpu_percent, result.batch
     );
     println!("{}", result.report.summary());
+    let stats = &result.stats;
+    println!(
+        "search: {} evaluated + {} pruned in {:.1} ms ({:.0} evals/s)",
+        stats.evaluated,
+        stats.pruned,
+        stats.wall_ms,
+        if stats.wall_ms > 0.0 {
+            stats.evaluated as f64 / (stats.wall_ms / 1000.0)
+        } else {
+            0.0
+        }
+    );
+    println!("pareto frontier (TBT-optimal to throughput-optimal):");
+    println!("  MHA%   FFN%   batch     TBT(ms)       tok/s");
+    for p in result.frontier.pareto() {
+        println!(
+            "  {:>4}  {:>5}  {:>6}  {:>10.1}  {:>10.3}",
+            p.mha_gpu_percent, p.ffn_gpu_percent, p.batch, p.tbt_ms, p.throughput_tps
+        );
+    }
     Ok(())
 }
 

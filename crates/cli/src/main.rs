@@ -54,6 +54,8 @@ COMMON FLAGS:
   --requests <n>        requests to serve online (default 60)
   --seed <n>            arrival-process seed (default 42)
   --objective <o>       autoplace: latency|throughput (default latency)
+  --threads <n>         autoplace: search threads (default 0 = auto)
+  --max-evals <n>       autoplace: cap pipeline evaluations (0 = unlimited)
   --what <w>            probe: bandwidth|mlc (default bandwidth)
   --axis <a>            sweep: batch|prompt|cxl (default batch)
 ";

@@ -1,0 +1,534 @@
+//! The parallel, pruned, multi-resolution search driver.
+//!
+//! # Search order: screen, sort, evaluate, mass-prune
+//!
+//! Each resolution level runs in two passes. A cheap *screen* pass
+//! builds every candidate's placement, rejects infeasible ones, and
+//! computes its analytical objective-space bound ([`super::prune`]) —
+//! all without touching the pipeline executor. Candidates are then
+//! sorted best-bound-first and costed in chunks. Because the schedule
+//! is bound-sorted and an incumbent's objective only ever improves,
+//! the first pruned candidate proves every candidate after it in the
+//! schedule is dominated too — the whole tail is pruned in one step
+//! without being touched. The expensive `run_pipeline` therefore runs
+//! only for the bound-ordered prefix that might actually win.
+//!
+//! # Determinism
+//!
+//! The winner must be bit-identical to a serial sweep whatever the
+//! thread count. Three mechanisms guarantee it:
+//!
+//! 1. the candidate schedule is fixed before parallel evaluation
+//!    begins: the screen pass is a pure function of each candidate,
+//!    and the sort key (bound, mha, ffn) is a total order, so the
+//!    ranked schedule and its fixed-size chunk boundaries depend only
+//!    on the evaluation history, never on the thread count;
+//! 2. each chunk's candidates are evaluated against a pruning
+//!    threshold *frozen at chunk launch*, so every per-candidate
+//!    outcome is a pure function of (candidate, threshold) — and the
+//!    vendored rayon's `collect` returns outcomes in input order;
+//! 3. the reduction over a chunk's outcomes is serial and in order,
+//!    applying the same strict-improvement rule as the serial sweep.
+//!
+//! Pruning is winner-preserving: a candidate is pruned only when its
+//! lower bound says it cannot *strictly* beat an incumbent that came
+//! earlier in schedule order, and the strict-improvement rule would
+//! have kept that earlier incumbent on a tie anyway.
+//!
+//! # Multi-resolution schedule
+//!
+//! A coarse 10%-step sweep of the full `(mha, ffn)` square is
+//! followed by pattern descent around the incumbent: at each step
+//! size in [`ZOOM_STEPS`] (5%, 2%, then 1%) the four axis neighbors
+//! are probed and the search re-centers for as long as one improves.
+//! The descent reaches the 1% lattice in a handful of probes instead
+//! of the 10201 candidates a full fine grid would cost, and spends
+//! extra evaluations only when they actually move the incumbent.
+
+use std::cmp::Ordering;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+use crate::error::HelmError;
+use crate::exec::{run_pipeline, PipelineInputs};
+use crate::metrics::RunReport;
+use crate::placement::{ModelPlacement, Tier};
+use crate::policy::Policy;
+use crate::system::SystemConfig;
+use gpusim::{MemoryBudget, ResidentCosts};
+use llm::ModelConfig;
+use simcore::units::ByteSize;
+use workload::WorkloadSpec;
+
+use super::frontier::{Frontier, FrontierPoint};
+use super::prune::{bound_dominated, BoundContext};
+use super::{AutoPlacement, Objective};
+
+/// Coarse sweep step (percent).
+const COARSE_STEP: u32 = 10;
+/// Pattern-descent step sizes (percent), coarse to fine.
+const ZOOM_STEPS: [u32; 3] = [5, 2, 1];
+/// Candidates per parallel chunk. Fixed (not thread-derived) so chunk
+/// boundaries — and therefore pruning thresholds — are identical
+/// whatever the thread count.
+const CHUNK: usize = 8;
+/// Chunk size while no incumbent exists yet. Smaller, so a (likely
+/// near-optimal, thanks to the bound-sorted schedule) incumbent is
+/// established after a handful of evaluations and pruning can start.
+const FIRST_CHUNK: usize = 4;
+
+/// Resource knobs for one search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchBudget {
+    /// Worker threads for candidate evaluation; 0 means auto
+    /// (`RAYON_NUM_THREADS` or the machine's available parallelism).
+    pub threads: usize,
+    /// Cap on pipeline evaluations; 0 means unlimited. When the cap
+    /// truncates the search, the best candidate found so far wins
+    /// (pruned and infeasible candidates are free and don't count).
+    pub max_evals: usize,
+}
+
+/// How much work one search did.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SearchStats {
+    /// Candidates costed with a full pipeline run.
+    pub evaluated: usize,
+    /// Candidates skipped by the analytical lower bound.
+    pub pruned: usize,
+    /// Wall-clock time of the whole search (milliseconds).
+    pub wall_ms: f64,
+}
+
+/// A feasible candidate after the cheap screening pass: its placement,
+/// the batch the objective assigns it, and its objective-space bound
+/// (`None` when no sound bound exists — those sort first and are
+/// always costed).
+struct Screened {
+    mha: u32,
+    ffn: u32,
+    batch: u32,
+    placement: ModelPlacement,
+    bound: Option<f64>,
+}
+
+/// One costed candidate, kept boxed because a `RunReport` dwarfs the
+/// other `Outcome` variants.
+struct Evaluation {
+    mha: u32,
+    ffn: u32,
+    batch: u32,
+    placement: ModelPlacement,
+    report: RunReport,
+}
+
+/// What happened to one candidate.
+enum Outcome {
+    Evaluated(Box<Evaluation>),
+    Pruned(u32, u32),
+    Failed(HelmError),
+}
+
+/// Mutable search state threaded through the per-level driver.
+struct SearchState {
+    stats: SearchStats,
+    frontier: Frontier,
+    best: Option<Box<Evaluation>>,
+    seen: BTreeSet<(u32, u32)>,
+}
+
+/// One placement search: the hoisted workload-invariant state plus
+/// the candidate schedule driver.
+pub(super) struct SearchEngine<'a> {
+    system: &'a SystemConfig,
+    model: &'a ModelConfig,
+    policy: &'a Policy,
+    workload: &'a WorkloadSpec,
+    objective: Objective,
+    budget: SearchBudget,
+    // Candidate-invariant pieces, computed once per search instead of
+    // once per grid point.
+    mem_budget: MemoryBudget,
+    kv_per_sequence: ByteSize,
+    hidden_per_sequence: ByteSize,
+    host_capacity: ByteSize,
+    bounds: BoundContext,
+}
+
+impl<'a> SearchEngine<'a> {
+    pub(super) fn new(
+        system: &'a SystemConfig,
+        model: &'a ModelConfig,
+        policy: &'a Policy,
+        workload: &'a WorkloadSpec,
+        objective: Objective,
+        budget: SearchBudget,
+    ) -> Self {
+        SearchEngine {
+            system,
+            model,
+            policy,
+            workload,
+            objective,
+            budget,
+            mem_budget: MemoryBudget::for_gpu(system.gpu()),
+            kv_per_sequence: llm::kv::kv_bytes_per_sequence(model, workload.context_len()),
+            hidden_per_sequence: llm::kv::hidden_bytes_per_sequence(model, workload.context_len()),
+            host_capacity: system.tier_capacity(Tier::Cpu),
+            bounds: BoundContext::new(system, model, workload),
+        }
+    }
+
+    pub(super) fn run(self) -> Result<AutoPlacement, HelmError> {
+        let started = Instant::now();
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(self.budget.threads)
+            .build()
+            .unwrap_or_else(|_| unreachable!("vendored rayon pool build is infallible"));
+
+        let mut state = SearchState {
+            stats: SearchStats::default(),
+            frontier: Frontier::new(),
+            best: None,
+            seen: BTreeSet::new(),
+        };
+
+        let mut budget_left = self.run_level(&pool, &coarse_grid(), &mut state)?;
+        for &step in &ZOOM_STEPS {
+            while budget_left {
+                let Some(center) = state.best.as_ref().map(|b| (b.mha, b.ffn)) else {
+                    break;
+                };
+                budget_left = self.run_level(&pool, &plus_neighbors(center, step), &mut state)?;
+                let moved = state.best.as_ref().map(|b| (b.mha, b.ffn)) != Some(center);
+                if !moved {
+                    break;
+                }
+            }
+        }
+
+        state.stats.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let winner = state.best.ok_or_else(|| self.no_feasible_candidate())?;
+        Ok(AutoPlacement {
+            mha_gpu_percent: f64::from(winner.mha),
+            ffn_gpu_percent: f64::from(winner.ffn),
+            batch: winner.batch,
+            placement: winner.placement,
+            report: winner.report,
+            stats: state.stats,
+            frontier: state.frontier,
+        })
+    }
+
+    /// Screens, ranks, and evaluates one level's candidates. Returns
+    /// `Ok(false)` when the `max_evals` budget ran out (the caller
+    /// must stop scheduling further levels).
+    fn run_level(
+        &self,
+        pool: &rayon::ThreadPool,
+        schedule: &[(u32, u32)],
+        state: &mut SearchState,
+    ) -> Result<bool, HelmError> {
+        let pending: Vec<(u32, u32)> = schedule
+            .iter()
+            .copied()
+            .filter(|c| state.seen.insert(*c))
+            .collect();
+        let mut ranked: Vec<Screened> = pool
+            .install(|| {
+                pending
+                    .par_iter()
+                    .map(|&c| self.screen(c))
+                    .collect::<Vec<Option<Screened>>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        ranked.sort_by(|a, b| self.promise_order(a, b));
+        let mut cursor = 0usize;
+        while cursor < ranked.len() {
+            let cap = if self.budget.max_evals > 0 {
+                self.budget.max_evals.saturating_sub(state.stats.evaluated)
+            } else {
+                usize::MAX
+            };
+            if cap == 0 {
+                return Ok(false);
+            }
+            let chunk_size = if state.best.is_none() {
+                FIRST_CHUNK
+            } else {
+                CHUNK
+            };
+            let take = chunk_size.min(cap).min(ranked.len() - cursor);
+            let chunk = &ranked[cursor..cursor + take];
+            cursor += take;
+            let threshold = state.best.as_ref().map(|b| self.objective_value(&b.report));
+            let outcomes: Vec<Outcome> = pool.install(|| {
+                chunk
+                    .par_iter()
+                    .map(|s| self.evaluate(s, threshold))
+                    .collect()
+            });
+            let mut chunk_pruned = false;
+            for outcome in outcomes {
+                match outcome {
+                    Outcome::Evaluated(eval) => {
+                        state.stats.evaluated += 1;
+                        state.frontier.record(FrontierPoint {
+                            mha_gpu_percent: f64::from(eval.mha),
+                            ffn_gpu_percent: f64::from(eval.ffn),
+                            batch: eval.batch,
+                            tbt_ms: eval.report.tbt_ms(),
+                            throughput_tps: eval.report.throughput_tps(),
+                        });
+                        let improved = match &state.best {
+                            None => true,
+                            Some(b) => self.is_better(&eval.report, &b.report),
+                        };
+                        if improved {
+                            state.best = Some(eval);
+                        }
+                    }
+                    Outcome::Pruned(mha, ffn) => {
+                        chunk_pruned = true;
+                        state.stats.pruned += 1;
+                        state.frontier.record_pruned(f64::from(mha), f64::from(ffn));
+                    }
+                    Outcome::Failed(e) => return Err(e),
+                }
+            }
+            if chunk_pruned {
+                // The schedule is bound-sorted and the frozen
+                // threshold only ever tightens, so every candidate
+                // after a pruned one is dominated by the same
+                // threshold that pruned it: prune the whole tail
+                // without touching it.
+                for s in &ranked[cursor..] {
+                    state.stats.pruned += 1;
+                    state
+                        .frontier
+                        .record_pruned(f64::from(s.mha), f64::from(s.ffn));
+                }
+                break;
+            }
+        }
+        Ok(true)
+    }
+
+    /// The cheap feasibility-and-bound pass for one candidate: builds
+    /// the placement, picks the objective's batch, and computes the
+    /// analytical bound — no pipeline run. `None` means infeasible.
+    /// Pure in the candidate, so it can run on any worker.
+    fn screen(&self, (mha, ffn): (u32, u32)) -> Option<Screened> {
+        let placement = ModelPlacement::compute_custom(
+            self.model,
+            self.policy.compressed(),
+            [f64::from(mha), f64::from(100 - mha), 0.0],
+            [f64::from(ffn), f64::from(100 - ffn), 0.0],
+            [0.0, 100.0, 0.0],
+        );
+        if placement.total_on(Tier::Cpu) > self.host_capacity {
+            return None;
+        }
+        let costs = ResidentCosts {
+            weights: placement.total_on(Tier::Gpu),
+            staging: placement.staging_bytes(),
+            kv_per_sequence: self.kv_per_sequence,
+            hidden_per_sequence: self.hidden_per_sequence,
+        };
+        let batch = match self.objective {
+            Objective::Latency => {
+                if !self.mem_budget.fits(&costs, self.policy.effective_batch()) {
+                    return None;
+                }
+                self.policy.batch_size()
+            }
+            Objective::Throughput => {
+                let max = self.mem_budget.max_batch(&costs);
+                if max == 0 {
+                    return None;
+                }
+                max
+            }
+        };
+        let candidate_policy = self.policy.clone().with_batch_size(batch);
+        let bound = self.bounds.objective_bound(
+            self.objective,
+            &PipelineInputs {
+                system: self.system,
+                model: self.model,
+                policy: &candidate_policy,
+                placement: &placement,
+                workload: self.workload,
+            },
+        );
+        Some(Screened {
+            mha,
+            ffn,
+            batch,
+            placement,
+            bound,
+        })
+    }
+
+    /// Best-bound-first total order: unbounded candidates (which must
+    /// always be costed) come first, then ascending TBT floor /
+    /// descending tokens-per-second ceiling, with `(mha, ffn)` as the
+    /// deterministic tie-break.
+    fn promise_order(&self, a: &Screened, b: &Screened) -> Ordering {
+        let key = |s: &Screened| (s.mha, s.ffn);
+        match (a.bound, b.bound) {
+            (None, None) => key(a).cmp(&key(b)),
+            (None, Some(_)) => Ordering::Less,
+            (Some(_), None) => Ordering::Greater,
+            (Some(x), Some(y)) => {
+                let by_bound = match self.objective {
+                    Objective::Latency => x.total_cmp(&y),
+                    Objective::Throughput => y.total_cmp(&x),
+                };
+                by_bound.then_with(|| key(a).cmp(&key(b)))
+            }
+        }
+    }
+
+    /// Costs one screened candidate. Pure in `(candidate, threshold)`,
+    /// so it can run on any worker without affecting the result.
+    fn evaluate(&self, screened: &Screened, threshold: Option<f64>) -> Outcome {
+        if let (Some(bound), Some(best)) = (screened.bound, threshold) {
+            if bound_dominated(self.objective, bound, best) {
+                return Outcome::Pruned(screened.mha, screened.ffn);
+            }
+        }
+        let candidate_policy = self.policy.clone().with_batch_size(screened.batch);
+        let inputs = PipelineInputs {
+            system: self.system,
+            model: self.model,
+            policy: &candidate_policy,
+            placement: &screened.placement,
+            workload: self.workload,
+        };
+        match run_pipeline(&inputs) {
+            Ok(report) => Outcome::Evaluated(Box::new(Evaluation {
+                mha: screened.mha,
+                ffn: screened.ffn,
+                batch: screened.batch,
+                placement: screened.placement.clone(),
+                report,
+            })),
+            Err(e) => Outcome::Failed(e),
+        }
+    }
+
+    fn objective_value(&self, report: &RunReport) -> f64 {
+        match self.objective {
+            Objective::Latency => report.tbt_ms(),
+            Objective::Throughput => report.throughput_tps(),
+        }
+    }
+
+    fn is_better(&self, new: &RunReport, current: &RunReport) -> bool {
+        match self.objective {
+            Objective::Latency => new.tbt_ms() < current.tbt_ms(),
+            Objective::Throughput => new.throughput_tps() > current.throughput_tps(),
+        }
+    }
+
+    fn no_feasible_candidate(&self) -> HelmError {
+        HelmError::CapacityExceeded {
+            tier: "cpu",
+            requested: ModelPlacement::compute_custom(
+                self.model,
+                self.policy.compressed(),
+                [0.0, 100.0, 0.0],
+                [0.0, 100.0, 0.0],
+                [0.0, 100.0, 0.0],
+            )
+            .total_on(Tier::Cpu),
+            capacity: self.host_capacity,
+        }
+    }
+}
+
+/// The full coarse grid, row-major: every `(mha, ffn)` multiple of
+/// [`COARSE_STEP`] in `[0, 100]`.
+fn coarse_grid() -> Vec<(u32, u32)> {
+    let axis: Vec<u32> = (0..=100).step_by(COARSE_STEP as usize).collect();
+    let mut grid = Vec::with_capacity(axis.len() * axis.len());
+    for &mha in &axis {
+        for &ffn in &axis {
+            grid.push((mha, ffn));
+        }
+    }
+    grid
+}
+
+/// The four axis neighbors of `center` at distance `step`, clamped to
+/// `[0, 100]`. Neighbors that clamp onto `center` itself are dropped.
+fn plus_neighbors((mha, ffn): (u32, u32), step: u32) -> Vec<(u32, u32)> {
+    let shift = |v: u32, delta: i64| {
+        let moved = (i64::from(v) + delta).clamp(0, 100);
+        u32::try_from(moved).unwrap_or(0)
+    };
+    let candidates = [
+        (shift(mha, -i64::from(step)), ffn),
+        (shift(mha, i64::from(step)), ffn),
+        (mha, shift(ffn, -i64::from(step))),
+        (mha, shift(ffn, i64::from(step))),
+    ];
+    candidates
+        .into_iter()
+        .filter(|&c| c != (mha, ffn))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_grid_is_the_11x11_lattice() {
+        let grid = coarse_grid();
+        assert_eq!(grid.len(), 121);
+        assert_eq!(grid[0], (0, 0));
+        assert_eq!(grid[120], (100, 100));
+        assert!(grid.iter().all(|&(m, f)| m % 10 == 0 && f % 10 == 0));
+    }
+
+    #[test]
+    fn plus_neighbors_probe_all_four_directions() {
+        assert_eq!(
+            plus_neighbors((50, 60), 5),
+            vec![(45, 60), (55, 60), (50, 55), (50, 65)]
+        );
+        assert_eq!(
+            plus_neighbors((10, 30), 1),
+            vec![(9, 30), (11, 30), (10, 29), (10, 31)]
+        );
+    }
+
+    #[test]
+    fn plus_neighbors_clamp_and_drop_degenerates() {
+        // Clamping at the square's corner folds two probes onto the
+        // center; they must be dropped, not re-evaluated.
+        assert_eq!(plus_neighbors((0, 0), 5), vec![(5, 0), (0, 5)]);
+        assert_eq!(plus_neighbors((100, 100), 2), vec![(98, 100), (100, 98)]);
+        // One step from the edge, clamping still yields a real probe.
+        assert_eq!(
+            plus_neighbors((1, 50), 2),
+            vec![(0, 50), (3, 50), (1, 48), (1, 52)]
+        );
+    }
+
+    #[test]
+    fn descent_steps_reach_the_fine_lattice() {
+        // Steps shrink to 1%, so the returned optimum sits on the
+        // finest lattice; a stalled descent costs 4 probes per step.
+        assert_eq!(ZOOM_STEPS.last(), Some(&1));
+        let stalled_probes = ZOOM_STEPS.len() * 4;
+        assert!(121 + stalled_probes < 10201 / 50);
+    }
+}

@@ -1,0 +1,133 @@
+//! The set of candidates a search touched, and its Pareto surface.
+//!
+//! Every candidate the engine costs becomes a [`FrontierPoint`]
+//! carrying both objective values (TBT and tokens/s), so one search
+//! exposes the latency/throughput tradeoff curve the paper's §VII
+//! asks placement algorithms to navigate. Pruned candidates are
+//! remembered by coordinate only — they never ran, but recording them
+//! lets tests re-cost every skipped point and prove pruning soundness.
+
+/// One costed candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontierPoint {
+    /// GPU share of MHA layers (percent).
+    pub mha_gpu_percent: f64,
+    /// GPU share of FFN layers (percent).
+    pub ffn_gpu_percent: f64,
+    /// Batch size this candidate ran at.
+    pub batch: u32,
+    /// Mean time between tokens (ms).
+    pub tbt_ms: f64,
+    /// Decode throughput (tokens/s).
+    pub throughput_tps: f64,
+}
+
+impl FrontierPoint {
+    /// Whether `self` dominates `other`: at least as good on both
+    /// objectives and strictly better on one.
+    fn dominates(&self, other: &FrontierPoint) -> bool {
+        let no_worse = self.tbt_ms <= other.tbt_ms && self.throughput_tps >= other.throughput_tps;
+        let better = self.tbt_ms < other.tbt_ms || self.throughput_tps > other.throughput_tps;
+        no_worse && better
+    }
+}
+
+/// Candidates touched by one search, in evaluation order.
+#[derive(Debug, Clone, Default)]
+pub struct Frontier {
+    points: Vec<FrontierPoint>,
+    pruned: Vec<(f64, f64)>,
+}
+
+impl Frontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Frontier::default()
+    }
+
+    pub(super) fn record(&mut self, point: FrontierPoint) {
+        self.points.push(point);
+    }
+
+    pub(super) fn record_pruned(&mut self, mha_gpu_percent: f64, ffn_gpu_percent: f64) {
+        self.pruned.push((mha_gpu_percent, ffn_gpu_percent));
+    }
+
+    /// Every candidate that ran the pipeline, in evaluation order
+    /// (deterministic: the engine reduces chunks serially).
+    pub fn points(&self) -> &[FrontierPoint] {
+        &self.points
+    }
+
+    /// `(mha_gpu_percent, ffn_gpu_percent)` of every candidate pruned
+    /// by the analytical bound, in schedule order.
+    pub fn pruned_candidates(&self) -> &[(f64, f64)] {
+        &self.pruned
+    }
+
+    /// The Pareto-optimal subset (minimize TBT, maximize tokens/s),
+    /// sorted by ascending TBT.
+    pub fn pareto(&self) -> Vec<FrontierPoint> {
+        let mut surface: Vec<FrontierPoint> = self
+            .points
+            .iter()
+            .filter(|p| !self.points.iter().any(|q| q.dominates(p)))
+            .copied()
+            .collect();
+        surface.sort_by(|a, b| {
+            a.tbt_ms
+                .total_cmp(&b.tbt_ms)
+                .then(a.mha_gpu_percent.total_cmp(&b.mha_gpu_percent))
+                .then(a.ffn_gpu_percent.total_cmp(&b.ffn_gpu_percent))
+        });
+        surface.dedup_by(|a, b| a == b);
+        surface
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(tbt_ms: f64, tps: f64) -> FrontierPoint {
+        FrontierPoint {
+            mha_gpu_percent: 10.0,
+            ffn_gpu_percent: 30.0,
+            batch: 1,
+            tbt_ms,
+            throughput_tps: tps,
+        }
+    }
+
+    #[test]
+    fn pareto_drops_dominated_points() {
+        let mut f = Frontier::new();
+        f.record(point(10.0, 5.0)); // dominated by (8, 6)
+        f.record(point(8.0, 6.0));
+        f.record(point(12.0, 9.0)); // worse TBT, better tput: kept
+        let surface = f.pareto();
+        assert_eq!(surface.len(), 2);
+        assert_eq!(surface[0].tbt_ms, 8.0);
+        assert_eq!(surface[1].tbt_ms, 12.0);
+    }
+
+    #[test]
+    fn pareto_keeps_incomparable_chain_sorted() {
+        let mut f = Frontier::new();
+        f.record(point(3.0, 1.0));
+        f.record(point(1.0, 0.5));
+        f.record(point(2.0, 0.8));
+        let surface = f.pareto();
+        let tbts: Vec<f64> = surface.iter().map(|p| p.tbt_ms).collect();
+        assert_eq!(tbts, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn pruned_candidates_are_tracked_separately() {
+        let mut f = Frontier::new();
+        f.record(point(1.0, 1.0));
+        f.record_pruned(50.0, 70.0);
+        assert_eq!(f.points().len(), 1);
+        assert_eq!(f.pruned_candidates(), &[(50.0, 70.0)]);
+    }
+}

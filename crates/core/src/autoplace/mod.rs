@@ -4,24 +4,40 @@
 //! weight placement algorithms that can automatically make
 //! latency/throughput tradeoffs based on desired quality of service
 //! requirements" (§VII). This module is that algorithm over the
-//! simulator: a grid search across per-layer-kind GPU shares
-//! (generalizing HeLM's hand-picked 10%/30%) that
+//! simulator — rebuilt as a search engine fast enough to sit on the
+//! serving path rather than an offline sweep:
 //!
-//! * for [`Objective::Latency`] minimizes TBT at the policy's batch,
-//! * for [`Objective::Throughput`] maximizes tokens/second, letting
-//!   each candidate use the largest batch its GPU residency allows.
+//! * [`engine`] evaluates candidates in parallel (vendored rayon) in
+//!   bound-sorted fixed chunks with a serial in-order reduction, so
+//!   the winner is bit-identical to the serial sweep whatever the
+//!   thread count;
+//! * [`prune`] skips candidates whose analytical lower bound on
+//!   decode-token time already loses to the incumbent — those never
+//!   pay for a pipeline run, and since the schedule is sorted
+//!   best-bound-first, one pruned candidate prunes the whole tail;
+//! * the search is multi-resolution: a coarse 10% sweep followed by
+//!   pattern descent at 5%, 2%, then 1% steps around the incumbent,
+//!   reaching the fine lattice with ~0.3% of its evaluations.
 //!
-//! Each candidate is costed with the same pipeline executor the
-//! serving path uses, so the optimizer sees exactly the
-//! compute/communication overlap the paper analyzes.
+//! For [`Objective::Latency`] the search minimizes TBT at the
+//! policy's batch; for [`Objective::Throughput`] it maximizes
+//! tokens/second, letting each candidate use the largest batch its
+//! GPU residency allows. Surviving candidates are costed with the
+//! same pipeline executor the serving path uses, so the optimizer
+//! sees exactly the compute/communication overlap the paper analyzes.
+
+mod engine;
+mod frontier;
+mod prune;
+
+pub use engine::{SearchBudget, SearchStats};
+pub use frontier::{Frontier, FrontierPoint};
 
 use crate::error::HelmError;
-use crate::exec::{run_pipeline, PipelineInputs};
 use crate::metrics::RunReport;
-use crate::placement::{ModelPlacement, Tier};
+use crate::placement::ModelPlacement;
 use crate::policy::Policy;
 use crate::system::SystemConfig;
-use gpusim::{MemoryBudget, ResidentCosts};
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
@@ -47,11 +63,14 @@ pub struct AutoPlacement {
     pub placement: ModelPlacement,
     /// The winning evaluation run.
     pub report: RunReport,
-    /// Candidates evaluated (after feasibility filtering).
-    pub evaluated: usize,
+    /// How much work the search did to find the winner.
+    pub stats: SearchStats,
+    /// Every candidate the search touched (evaluated or pruned).
+    pub frontier: Frontier,
 }
 
-/// Grid-searches per-kind GPU shares for `objective`.
+/// Grid-searches per-kind GPU shares for `objective` with the default
+/// [`SearchBudget`] (auto thread count, unlimited evaluations).
 ///
 /// The search keeps embeddings host-resident (they are a rounding
 /// error of the footprint) and storage unused (matching the paper's
@@ -68,97 +87,40 @@ pub fn optimize(
     workload: &WorkloadSpec,
     objective: Objective,
 ) -> Result<AutoPlacement, HelmError> {
-    let budget = MemoryBudget::for_gpu(system.gpu());
-    let grid: Vec<f64> = (0..=10).map(|i| f64::from(i) * 10.0).collect();
-    let mut best: Option<AutoPlacement> = None;
-    let mut evaluated = 0usize;
+    search(
+        system,
+        model,
+        policy,
+        workload,
+        objective,
+        SearchBudget::default(),
+    )
+}
 
-    for &mha_gpu in &grid {
-        for &ffn_gpu in &grid {
-            let placement = ModelPlacement::compute_custom(
-                model,
-                policy.compressed(),
-                [mha_gpu, 100.0 - mha_gpu, 0.0],
-                [ffn_gpu, 100.0 - ffn_gpu, 0.0],
-                [0.0, 100.0, 0.0],
-            );
-            // Host capacity check.
-            if placement.total_on(Tier::Cpu) > system.tier_capacity(Tier::Cpu) {
-                continue;
-            }
-            let costs = ResidentCosts {
-                weights: placement.total_on(Tier::Gpu),
-                staging: placement.staging_bytes(),
-                kv_per_sequence: llm::kv::kv_bytes_per_sequence(model, workload.context_len()),
-                hidden_per_sequence: llm::kv::hidden_bytes_per_sequence(
-                    model,
-                    workload.context_len(),
-                ),
-            };
-            let batch = match objective {
-                Objective::Latency => {
-                    if !budget.fits(&costs, policy.effective_batch()) {
-                        continue;
-                    }
-                    policy.batch_size()
-                }
-                Objective::Throughput => {
-                    let max = budget.max_batch(&costs);
-                    if max == 0 {
-                        continue;
-                    }
-                    max
-                }
-            };
-            let candidate_policy = policy.clone().with_batch_size(batch);
-            let report = run_pipeline(&PipelineInputs {
-                system,
-                model,
-                policy: &candidate_policy,
-                placement: &placement,
-                workload,
-            })?;
-            evaluated += 1;
-            let better = match (&best, objective) {
-                (None, _) => true,
-                (Some(b), Objective::Latency) => report.tbt_ms() < b.report.tbt_ms(),
-                (Some(b), Objective::Throughput) => {
-                    report.throughput_tps() > b.report.throughput_tps()
-                }
-            };
-            if better {
-                best = Some(AutoPlacement {
-                    mha_gpu_percent: mha_gpu,
-                    ffn_gpu_percent: ffn_gpu,
-                    batch,
-                    placement: placement.clone(),
-                    report,
-                    evaluated,
-                });
-            }
-        }
-    }
-
-    let mut result = best.ok_or(HelmError::CapacityExceeded {
-        tier: "cpu",
-        requested: ModelPlacement::compute_custom(
-            model,
-            policy.compressed(),
-            [0.0, 100.0, 0.0],
-            [0.0, 100.0, 0.0],
-            [0.0, 100.0, 0.0],
-        )
-        .total_on(Tier::Cpu),
-        capacity: system.tier_capacity(Tier::Cpu),
-    })?;
-    result.evaluated = evaluated;
-    Ok(result)
+/// [`optimize`] with an explicit [`SearchBudget`] — thread count for
+/// the parallel candidate evaluation and an optional cap on pipeline
+/// evaluations (the search returns its best-so-far when the cap
+/// truncates it).
+///
+/// # Errors
+///
+/// Returns [`HelmError::CapacityExceeded`] when no candidate is
+/// feasible (see [`optimize`]).
+pub fn search(
+    system: &SystemConfig,
+    model: &ModelConfig,
+    policy: &Policy,
+    workload: &WorkloadSpec,
+    objective: Objective,
+    budget: SearchBudget,
+) -> Result<AutoPlacement, HelmError> {
+    engine::SearchEngine::new(system, model, policy, workload, objective, budget).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::placement::PlacementKind;
+    use crate::placement::{PlacementKind, Tier};
     use crate::server::Server;
     use hetmem::HostMemoryConfig;
 
@@ -189,7 +151,10 @@ mod tests {
             auto.report.tbt_ms(),
             helm.tbt_ms()
         );
-        assert!(auto.evaluated > 20);
+        // The multi-resolution schedule visits well beyond the coarse
+        // grid, and pruning must be doing real work.
+        assert!(auto.stats.evaluated + auto.stats.pruned > 20);
+        assert!(auto.stats.pruned > 0, "pruning never fired");
     }
 
     #[test]
@@ -246,5 +211,46 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, HelmError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn max_evals_truncation_returns_best_so_far() {
+        let (system, model, policy, workload) = setup();
+        let budget = SearchBudget {
+            threads: 1,
+            max_evals: 8,
+        };
+        let auto = search(
+            &system,
+            &model,
+            &policy,
+            &workload,
+            Objective::Latency,
+            budget,
+        )
+        .unwrap();
+        assert!(
+            auto.stats.evaluated <= 8,
+            "evaluated {}",
+            auto.stats.evaluated
+        );
+        assert!(auto.report.tbt_ms() > 0.0);
+    }
+
+    #[test]
+    fn zoom_reaches_fine_resolution() {
+        // The winner's shares sit on the 1% lattice but the search
+        // never enumerates the 101x101 fine grid.
+        let (system, model, policy, workload) = setup();
+        let auto = optimize(&system, &model, &policy, &workload, Objective::Latency).unwrap();
+        let fine_grid_candidates = 101 * 101;
+        assert!(
+            auto.stats.evaluated + auto.stats.pruned < fine_grid_candidates,
+            "search did {} + {} touches",
+            auto.stats.evaluated,
+            auto.stats.pruned
+        );
+        assert_eq!(auto.mha_gpu_percent, auto.mha_gpu_percent.round());
+        assert_eq!(auto.ffn_gpu_percent, auto.ffn_gpu_percent.round());
     }
 }

@@ -246,6 +246,32 @@ impl Server {
             workload,
         })
     }
+
+    /// Searches per-kind GPU shares for the best placement under this
+    /// server's platform, model, and policy — the serving-time entry
+    /// to [`crate::autoplace`]. The server's own placement is the
+    /// starting policy; the search explores alternatives without
+    /// mutating the server.
+    ///
+    /// # Errors
+    ///
+    /// [`HelmError::CapacityExceeded`] when no candidate placement is
+    /// feasible (see [`crate::autoplace::optimize`]).
+    pub fn autoplace(
+        &self,
+        workload: &WorkloadSpec,
+        objective: crate::autoplace::Objective,
+        budget: crate::autoplace::SearchBudget,
+    ) -> Result<crate::autoplace::AutoPlacement, HelmError> {
+        crate::autoplace::search(
+            &self.system,
+            &self.model,
+            &self.policy,
+            workload,
+            objective,
+            budget,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,197 @@
+//! The parallel iterator surface: indexed map/collect over slices.
+//!
+//! The execution model is deliberately simple: a parallel chain knows
+//! its length and how to compute the item at one index, and
+//! [`ParallelIterator::collect`] drives every index through the chain
+//! on `current_num_threads()` scoped worker threads pulling indices
+//! from a shared atomic counter. Workers buffer `(index, value)`
+//! pairs locally and the driver reassembles them in index order, so
+//! the collected `Vec` is identical whatever the thread count — the
+//! property deterministic reductions downstream rely on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A parallel chain over a fixed index range.
+///
+/// The `pi_*` methods are the stub's internal driver interface (not
+/// part of upstream rayon's API); user code only calls [`map`] and
+/// [`collect`].
+///
+/// [`map`]: ParallelIterator::map
+/// [`collect`]: ParallelIterator::collect
+pub trait ParallelIterator: Sized + Sync {
+    /// The item the chain yields.
+    type Item: Send;
+
+    /// Number of items in the chain.
+    #[doc(hidden)]
+    fn pi_len(&self) -> usize;
+
+    /// Computes the item at `index` (pure; called from any worker).
+    #[doc(hidden)]
+    fn pi_get(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `op` in parallel.
+    fn map<R, F>(self, op: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, op }
+    }
+
+    /// Executes the chain and gathers the results in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_ordered_results(execute(&self))
+    }
+}
+
+/// Collection types a parallel chain can gather into.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_results(results: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_results(results: Vec<T>) -> Self {
+        results
+    }
+}
+
+/// Borrowing conversion into a parallel iterator
+/// (`slice.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: Send + 'data;
+    /// The chain `par_iter` produces.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a borrowed slice.
+#[derive(Debug)]
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+
+    fn pi_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn pi_get(&self, index: usize) -> &'data T {
+        &self.items[index]
+    }
+}
+
+/// A mapped parallel chain.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    op: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_get(&self, index: usize) -> R {
+        (self.op)(self.base.pi_get(index))
+    }
+}
+
+/// Drives every index of `chain` across scoped workers, returning the
+/// results in index order.
+fn execute<P: ParallelIterator>(chain: &P) -> Vec<P::Item> {
+    let len = chain.pi_len();
+    let workers = crate::current_num_threads().max(1).min(len.max(1));
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(|i| chain.pi_get(i)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let gathered: Mutex<Vec<(usize, P::Item)>> = Mutex::new(Vec::with_capacity(len));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= len {
+                        break;
+                    }
+                    local.push((index, chain.pi_get(index)));
+                }
+                match gathered.lock() {
+                    Ok(mut all) => all.extend(local),
+                    Err(poisoned) => poisoned.into_inner().extend(local),
+                }
+            });
+        }
+    });
+    let mut all = match gathered.into_inner() {
+        Ok(all) => all,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    debug_assert_eq!(all.len(), len);
+    all.sort_by_key(|&(index, _)| index);
+    all.into_iter().map(|(_, item)| item).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chains_compose() {
+        let items = [1u32, 2, 3, 4];
+        let out: Vec<String> = items
+            .par_iter()
+            .map(|x| x * 10)
+            .map(|x| format!("v{x}"))
+            .collect();
+        assert_eq!(out, vec!["v10", "v20", "v30", "v40"]);
+    }
+
+    #[test]
+    fn large_input_is_fully_covered() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let out: Vec<usize> = items.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), items.len());
+        assert_eq!(out.first(), Some(&1));
+        assert_eq!(out.last(), Some(&10_000));
+    }
+}

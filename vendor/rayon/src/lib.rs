@@ -1,0 +1,225 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The helmsim workspace pins its dependencies to in-tree vendor
+//! crates so that `cargo build` / `cargo test` work with no registry
+//! access. This crate implements exactly the API surface the
+//! workspace uses — [`ThreadPoolBuilder`] / [`ThreadPool::install`]
+//! and `slice.par_iter().map(f).collect::<Vec<_>>()` — on top of
+//! `std::thread::scope` with an atomic work counter for dynamic load
+//! balancing. Like upstream rayon:
+//!
+//! * `collect` into a `Vec` preserves input order regardless of which
+//!   worker computed which item, so a deterministic serial reduction
+//!   over the collected results is thread-count independent;
+//! * the default worker count honors the `RAYON_NUM_THREADS`
+//!   environment variable, falling back to the machine's available
+//!   parallelism;
+//! * a panic in any worker propagates to the caller when the scope
+//!   joins.
+//!
+//! It does **not** implement work stealing, splitting heuristics, or
+//! the broader `ParallelIterator` combinator zoo.
+
+use std::cell::Cell;
+
+pub mod iter;
+
+/// Everything needed to use the parallel iterator surface:
+/// `use rayon::prelude::*;`
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Worker count installed by the innermost [`ThreadPool::install`]
+    /// on this thread; 0 when outside any pool.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The worker count parallel iterators on this thread will use: the
+/// installed pool's size inside [`ThreadPool::install`], otherwise
+/// `RAYON_NUM_THREADS` when set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    default_num_threads()
+}
+
+fn default_num_threads() -> usize {
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Error building a thread pool. The stub's builder cannot actually
+/// fail; the type exists so callers match upstream rayon's fallible
+/// signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (auto-detected) worker count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the worker count; 0 keeps the default behavior
+    /// (`RAYON_NUM_THREADS` or available parallelism).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in the stub; the `Result` matches upstream rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let num_threads = if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            default_num_threads()
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// A scoped worker-count context. The stub spawns fresh scoped
+/// threads per parallel call instead of keeping a resident pool;
+/// [`ThreadPool::install`] only pins the worker count the iterators
+/// inside `op` will use.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Restores the previously installed worker count even if `op`
+/// unwinds.
+struct InstallGuard {
+    previous: usize,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED_THREADS.with(|c| c.set(self.previous));
+    }
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's worker count governing every
+    /// parallel iterator it executes.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let _guard = InstallGuard {
+            previous: INSTALLED_THREADS.with(|c| c.replace(self.num_threads)),
+        };
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn pool_reports_requested_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        assert!(
+            ThreadPoolBuilder::new()
+                .build()
+                .unwrap()
+                .current_num_threads()
+                .max(1)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        let outside = current_num_threads();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 5);
+        assert_eq!(current_num_threads(), outside);
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let items: Vec<u64> = (0..997).collect();
+        for threads in [1usize, 2, 7] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let doubled: Vec<u64> = pool.install(|| items.par_iter().map(|x| x * 2).collect());
+            assert_eq!(doubled.len(), items.len());
+            for (i, v) in doubled.iter().enumerate() {
+                assert_eq!(*v, 2 * items[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..500).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let par: Vec<u64> = pool.install(|| {
+                items
+                    .par_iter()
+                    .map(|x| x.wrapping_mul(2654435761))
+                    .collect()
+            });
+            assert_eq!(par, serial, "thread count {threads}");
+        }
+    }
+}
