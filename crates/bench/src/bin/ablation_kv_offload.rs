@@ -17,7 +17,7 @@ use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let workload = WorkloadSpec::paper_default();
 
@@ -38,10 +38,8 @@ fn main() {
             system.clone(),
             model.clone(),
             base_policy.clone().with_batch_size(44),
-        )
-        .expect("fits")
-        .run(&workload)
-        .expect("serves");
+        )?
+        .run(&workload)?;
         rows.push((
             "resident KV, b=44".to_owned(),
             vec![
@@ -60,8 +58,7 @@ fn main() {
                     .clone()
                     .with_batch_size(batch)
                     .with_kv_offload(true),
-            )
-            .expect("fits");
+            )?;
             let max = server.max_batch(&workload);
             if batch > max {
                 rows.push((
@@ -70,7 +67,7 @@ fn main() {
                 ));
                 continue;
             }
-            let report = server.run(&workload).expect("serves");
+            let report = server.run(&workload)?;
             rows.push((
                 format!("offloaded KV, b={batch}"),
                 vec![
@@ -92,9 +89,8 @@ fn main() {
             .with_compression(true)
             .with_batch_size(128)
             .with_kv_offload(true),
-    )
-    .expect("fits");
-    let report = server.run(&workload).expect("serves");
+    )?;
+    let report = server.run(&workload)?;
     let write_rate = simcore::units::Bandwidth::from_bytes_per_s(
         report.total_d2h_bytes().as_f64() / report.total_time.as_secs(),
     );
@@ -114,4 +110,5 @@ fn main() {
          step pay for its KV write-back, eroding (or erasing) the gain --\n\
          placement decisions must respect Optane's read/write asymmetry."
     );
+    Ok(())
 }

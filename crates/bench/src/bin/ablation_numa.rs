@@ -17,7 +17,11 @@ use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn run(policy_node: NodePolicy, kv_offload: bool, batch: u32) -> helm_core::RunReport {
+fn run(
+    policy_node: NodePolicy,
+    kv_offload: bool,
+    batch: u32,
+) -> Result<helm_core::RunReport, helm_core::HelmError> {
     run_split(policy_node, policy_node, kv_offload, batch)
 }
 
@@ -26,7 +30,7 @@ fn run_split(
     kv_node: NodePolicy,
     kv_offload: bool,
     batch: u32,
-) -> helm_core::RunReport {
+) -> Result<helm_core::RunReport, helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let system = SystemConfig::paper_platform(HostMemoryConfig::nvdram())
         .with_node_policy(weight_node)
@@ -36,13 +40,10 @@ fn run_split(
         .with_compression(true)
         .with_kv_offload(kv_offload)
         .with_batch_size(batch);
-    Server::new(system, model, policy)
-        .expect("fits")
-        .run(&WorkloadSpec::paper_default())
-        .expect("serves")
+    Server::new(system, model, policy)?.run(&WorkloadSpec::paper_default())
 }
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     section("read-dominated serving (resident KV, batch 44): node choice for weights");
     let mut rows = Vec::new();
     for (label, node) in [
@@ -50,7 +51,7 @@ fn main() {
         ("remote (node 1)", NodePolicy::Remote),
         ("interleaved", NodePolicy::Interleaved),
     ] {
-        let r = run(node, false, 44);
+        let r = run(node, false, 44)?;
         rows.push((label.to_owned(), vec![r.tbt_ms(), r.throughput_tps()]));
     }
     print_table(&["node policy", "TBT(ms)", "tok/s"], &rows);
@@ -71,7 +72,7 @@ fn main() {
             NodePolicy::Interleaved,
         ),
     ] {
-        let r = run_split(weight_node, kv_node, true, 128);
+        let r = run_split(weight_node, kv_node, true, 128)?;
         rows.push((label.to_owned(), vec![r.tbt_ms(), r.throughput_tps()]));
     }
     print_table(&["placement", "TBT(ms)", "tok/s"], &rows);
@@ -85,4 +86,5 @@ fn main() {
          paper's own characterization implies the rule without spelling\n\
          it out."
     );
+    Ok(())
 }

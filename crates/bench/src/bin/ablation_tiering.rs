@@ -17,7 +17,7 @@ use llm::ModelConfig;
 use simcore::units::ByteSize;
 use workload::WorkloadSpec;
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let workload = WorkloadSpec::paper_default();
     let model = ModelConfig::opt_175b();
 
@@ -52,8 +52,7 @@ fn main() {
             false,
             1,
             &workload,
-        )
-        .expect("serves");
+        )?;
         rows.push((label, vec![report.ttft_ms(), report.tbt_ms()]));
     }
     print_table(&["substrate", "TTFT(ms)", "TBT(ms)"], &rows);
@@ -67,8 +66,7 @@ fn main() {
         false,
         1,
         &workload,
-    )
-    .expect("serves");
+    )?;
     rows.push((
         "TPP, uncompressed".to_owned(),
         vec![tpp.ttft_ms(), tpp.tbt_ms()],
@@ -80,8 +78,7 @@ fn main() {
         true,
         1,
         &workload,
-    )
-    .expect("serves");
+    )?;
     rows.push((
         "NVDRAM, HeLM + 4-bit (paper)".to_owned(),
         vec![recipe.ttft_ms(), recipe.tbt_ms()],
@@ -97,4 +94,5 @@ fn main() {
          share (96 x 2.4 GB) cannot fit, and the capacity fallback demotes\n\
          it to an all-host layout."
     );
+    Ok(())
 }

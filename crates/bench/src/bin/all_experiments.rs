@@ -32,21 +32,21 @@ const BINS: &[&str] = &[
     "platform_sensitivity",
 ];
 
-fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exe = std::env::current_exe()?;
+    let dir = exe.parent().ok_or("executable has no parent directory")?;
     let mut failures = Vec::new();
     for bin in BINS {
         println!();
         println!("########################################################");
         println!("# {bin}");
         println!("########################################################");
-        let status = Command::new(dir.join(bin)).status().unwrap_or_else(|e| {
-            panic!(
+        let status = Command::new(dir.join(bin)).status().map_err(|e| {
+            format!(
                 "failed to spawn {bin}: {e}\n\
                  (build all harnesses first: cargo build -p bench --release --bins)"
             )
-        });
+        })?;
         if !status.success() {
             failures.push(*bin);
         }
@@ -54,8 +54,8 @@ fn main() {
     println!();
     if failures.is_empty() {
         println!("All {} experiment harnesses completed.", BINS.len());
+        Ok(())
     } else {
-        println!("FAILED harnesses: {failures:?}");
-        std::process::exit(1);
+        Err(format!("FAILED harnesses: {failures:?}").into())
     }
 }

@@ -25,7 +25,7 @@ fn dram_1tb() -> HostMemoryConfig {
     HostMemoryConfig::custom_dram(ByteSize::from_tib(1.0), DDR4_2933_SOCKET_READ, PER_STREAM)
 }
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let workload = WorkloadSpec::paper_default();
 
@@ -73,9 +73,8 @@ fn main() {
             .with_placement(placement)
             .with_compression(true)
             .with_batch_size(batch);
-        let server =
-            Server::new(SystemConfig::paper_platform(memory), model.clone(), policy).expect("fits");
-        let report = server.run(&workload).expect("serves");
+        let server = Server::new(SystemConfig::paper_platform(memory), model.clone(), policy)?;
+        let report = server.run(&workload)?;
         let energy = assess(&report, server.system());
         rows.push((
             label.to_owned(),
@@ -112,4 +111,5 @@ fn main() {
          the substitution nets lower J/token at batch 44 -- the abstract's\n\
          energy-efficiency argument, quantified."
     );
+    Ok(())
 }

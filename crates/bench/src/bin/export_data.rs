@@ -18,17 +18,18 @@ use workload::WorkloadSpec;
 use xfer::nvbandwidth;
 use xfer::path::PathModel;
 
-fn write(dir: &Path, name: &str, contents: &str) {
+fn write(dir: &Path, name: &str, contents: &str) -> Result<(), Box<dyn std::error::Error>> {
     let path = dir.join(name);
-    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+    std::fs::write(&path, contents).map_err(|e| format!("writing {path:?}: {e}"))?;
     println!(
         "wrote {} ({} lines)",
         path.display(),
         contents.lines().count()
     );
+    Ok(())
 }
 
-fn fig3(dir: &Path) {
+fn fig3(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
     let points = nvbandwidth::sweep(&PathModel::paper_system());
     let mut csv = String::from("direction,memory,node,buffer_bytes,gbps\n");
     for p in &points {
@@ -42,7 +43,7 @@ fn fig3(dir: &Path) {
             p.gbps
         );
     }
-    write(dir, "fig3_bandwidth.csv", &csv);
+    write(dir, "fig3_bandwidth.csv", &csv)
 }
 
 fn serving_rows(runs: &[(&str, RunReport)]) -> String {
@@ -83,15 +84,15 @@ fn overlap_rows(runs: &[(&str, RunReport)]) -> String {
     csv
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "output".to_owned());
     let dir = Path::new(&out);
-    std::fs::create_dir_all(dir).expect("create output dir");
+    std::fs::create_dir_all(dir)?;
     let ws = WorkloadSpec::paper_default();
 
-    fig3(dir);
+    fig3(dir)?;
 
     // Fig 4: uncompressed serving matrix.
     let mut runs = Vec::new();
@@ -117,16 +118,15 @@ fn main() {
                     false,
                     batch,
                     &ws,
-                )
-                .expect("serves");
+                )?;
                 runs.push((label, report));
             }
         }
     }
     let borrowed: Vec<(&str, RunReport)> =
         runs.iter().map(|(l, r)| (l.as_str(), r.clone())).collect();
-    write(dir, "fig4_serving.csv", &serving_rows(&borrowed));
-    write(dir, "fig5_overlap.csv", &overlap_rows(&borrowed));
+    write(dir, "fig4_serving.csv", &serving_rows(&borrowed))?;
+    write(dir, "fig5_overlap.csv", &overlap_rows(&borrowed))?;
 
     // Figs 6-12: the compressed OPT-175B study.
     let mut runs = Vec::new();
@@ -145,14 +145,13 @@ fn main() {
         (HostMemoryConfig::dram(), PlacementKind::AllCpu, 44),
     ] {
         let label = cfg.kind().to_string();
-        let report =
-            run_serving(ModelConfig::opt_175b(), cfg, placement, true, batch, &ws).expect("serves");
+        let report = run_serving(ModelConfig::opt_175b(), cfg, placement, true, batch, &ws)?;
         runs.push((label, report));
     }
     let borrowed: Vec<(&str, RunReport)> =
         runs.iter().map(|(l, r)| (l.as_str(), r.clone())).collect();
-    write(dir, "fig11_12_serving.csv", &serving_rows(&borrowed));
-    write(dir, "fig11_12_overlap.csv", &overlap_rows(&borrowed));
+    write(dir, "fig11_12_serving.csv", &serving_rows(&borrowed))?;
+    write(dir, "fig11_12_overlap.csv", &overlap_rows(&borrowed))?;
 
     // Fig 7a: the sawtooth, per-layer load latencies.
     let baseline = &borrowed[0].1;
@@ -160,10 +159,10 @@ fn main() {
     for (layer, load) in baseline.decode_load_profile() {
         let _ = writeln!(csv, "{layer},{:.4}", load.as_millis());
     }
-    write(dir, "fig7a_sawtooth.csv", &csv);
+    write(dir, "fig7a_sawtooth.csv", &csv)?;
 
     // Table IV / Fig 13: projections.
-    let rows = helm_core::projection::table_iv(&ws).expect("projects");
+    let rows = helm_core::projection::table_iv(&ws)?;
     let mut csv = String::from(
         "policy,batch,stage,config,mha_compute_over_ffn_load,ffn_compute_over_mha_load\n",
     );
@@ -179,7 +178,8 @@ fn main() {
             r.ffn_compute_over_mha_load
         );
     }
-    write(dir, "table4_overlap.csv", &csv);
+    write(dir, "table4_overlap.csv", &csv)?;
 
     println!("\nAll figure data exported to {}/", dir.display());
+    Ok(())
 }

@@ -10,7 +10,10 @@ use llm::layers::LayerKind;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn run(memory: HostMemoryConfig, placement: PlacementKind) -> RunReport {
+fn run(
+    memory: HostMemoryConfig,
+    placement: PlacementKind,
+) -> Result<RunReport, helm_core::HelmError> {
     run_serving(
         ModelConfig::opt_175b(),
         memory,
@@ -19,16 +22,15 @@ fn run(memory: HostMemoryConfig, placement: PlacementKind) -> RunReport {
         1,
         &WorkloadSpec::paper_default(),
     )
-    .expect("serves")
 }
 
-fn main() {
-    let nv_base = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline);
-    let nv_helm = run(HostMemoryConfig::nvdram(), PlacementKind::Helm);
-    let mm_base = run(HostMemoryConfig::memory_mode(), PlacementKind::Baseline);
-    let mm_helm = run(HostMemoryConfig::memory_mode(), PlacementKind::Helm);
-    let dram_helm = run(HostMemoryConfig::dram(), PlacementKind::Helm);
-    let dram_base = run(HostMemoryConfig::dram(), PlacementKind::Baseline);
+fn main() -> Result<(), helm_core::HelmError> {
+    let nv_base = run(HostMemoryConfig::nvdram(), PlacementKind::Baseline)?;
+    let nv_helm = run(HostMemoryConfig::nvdram(), PlacementKind::Helm)?;
+    let mm_base = run(HostMemoryConfig::memory_mode(), PlacementKind::Baseline)?;
+    let mm_helm = run(HostMemoryConfig::memory_mode(), PlacementKind::Helm)?;
+    let dram_helm = run(HostMemoryConfig::dram(), PlacementKind::Helm)?;
+    let dram_base = run(HostMemoryConfig::dram(), PlacementKind::Baseline)?;
 
     section("Fig 11a: decode overlap, NVDRAM (c), batch 1");
     let stage = Stage::Decode;
@@ -117,4 +119,5 @@ fn main() {
             "%",
         ),
     ]);
+    Ok(())
 }

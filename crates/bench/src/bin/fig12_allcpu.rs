@@ -13,7 +13,11 @@ use llm::layers::LayerKind;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn run(memory: HostMemoryConfig, placement: PlacementKind, batch: u32) -> RunReport {
+fn run(
+    memory: HostMemoryConfig,
+    placement: PlacementKind,
+    batch: u32,
+) -> Result<RunReport, helm_core::HelmError> {
     run_serving(
         ModelConfig::opt_175b(),
         memory,
@@ -22,23 +26,27 @@ fn run(memory: HostMemoryConfig, placement: PlacementKind, batch: u32) -> RunRep
         batch,
         &WorkloadSpec::paper_default(),
     )
-    .expect("serves")
 }
 
-fn max_batch(memory: HostMemoryConfig, placement: PlacementKind, compressed: bool) -> u32 {
+fn max_batch(
+    memory: HostMemoryConfig,
+    placement: PlacementKind,
+    compressed: bool,
+) -> Result<u32, helm_core::HelmError> {
     let model = ModelConfig::opt_175b();
     let policy = Policy::paper_default(&model, memory.kind())
         .with_placement(placement)
         .with_compression(compressed);
-    Server::new(SystemConfig::paper_platform(memory), model, policy)
-        .expect("placement fits")
-        .max_batch(&WorkloadSpec::paper_default())
+    Ok(
+        Server::new(SystemConfig::paper_platform(memory), model, policy)?
+            .max_batch(&WorkloadSpec::paper_default()),
+    )
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     section("Maximum batch sizes (paper: 8 baseline -> 44 All-CPU)");
-    let base_max = max_batch(HostMemoryConfig::nvdram(), PlacementKind::Baseline, false);
-    let all_max = max_batch(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, true);
+    let base_max = max_batch(HostMemoryConfig::nvdram(), PlacementKind::Baseline, false)?;
+    let all_max = max_batch(HostMemoryConfig::nvdram(), PlacementKind::AllCpu, true)?;
     print_comparisons(&[
         Comparison::new(
             "baseline (uncompressed) max batch",
@@ -64,13 +72,13 @@ fn main() {
         for batch in [1u32, 8] {
             reports.push((
                 format!("{label} baseline b={batch}"),
-                run(memory.clone(), PlacementKind::Baseline, batch),
+                run(memory.clone(), PlacementKind::Baseline, batch)?,
             ));
         }
         for batch in [1u32, 8, 44] {
             reports.push((
                 format!("{label} All-CPU b={batch}"),
-                run(memory.clone(), PlacementKind::AllCpu, batch),
+                run(memory.clone(), PlacementKind::AllCpu, batch)?,
             ));
         }
     }
@@ -86,17 +94,17 @@ fn main() {
     print_table(&["config", "TTFT(ms)", "TBT(ms)", "tok/s"], &rows);
 
     let find = |label: &str| {
-        &reports
+        reports
             .iter()
             .find(|(l, _)| l == label)
-            .expect("report present")
-            .1
+            .map(|(_, r)| r)
+            .ok_or_else(|| format!("report {label:?} missing"))
     };
-    let nv_base8 = find("NVDIMM baseline b=8");
-    let nv_all8 = find("NVDIMM All-CPU b=8");
-    let nv_all44 = find("NVDIMM All-CPU b=44");
-    let mm_all44 = find("MemoryMode All-CPU b=44");
-    let dram_all44 = find("DRAM All-CPU b=44");
+    let nv_base8 = find("NVDIMM baseline b=8")?;
+    let nv_all8 = find("NVDIMM All-CPU b=8")?;
+    let nv_all44 = find("NVDIMM All-CPU b=44")?;
+    let mm_all44 = find("MemoryMode All-CPU b=44")?;
+    let dram_all44 = find("DRAM All-CPU b=44")?;
 
     section("Fig 12d/12e: overlap, baseline b=8 vs All-CPU b=44 (NVDIMM)");
     let mut rows = Vec::new();
@@ -170,4 +178,5 @@ fn main() {
             "%",
         ),
     ]);
+    Ok(())
 }

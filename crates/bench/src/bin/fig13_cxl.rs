@@ -5,11 +5,11 @@ use bench::{print_comparisons, print_table, section, Comparison};
 use helm_core::projection::{fig13_allcpu_throughput, fig13_helm_gains};
 use workload::WorkloadSpec;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ws = WorkloadSpec::paper_default();
 
     section("Fig 13a: HeLM TTFT/TBT improvement over baseline (batch 1)");
-    let gains = fig13_helm_gains(&ws).expect("projections run");
+    let gains = fig13_helm_gains(&ws)?;
     let rows: Vec<(String, Vec<f64>)> = gains
         .iter()
         .map(|(label, ttft, tbt)| (label.clone(), vec![ttft * 100.0, tbt * 100.0]))
@@ -17,7 +17,7 @@ fn main() {
     print_table(&["config", "TTFT gain %", "TBT gain %"], &rows);
 
     section("Fig 13b: All-CPU throughput (tokens/s)");
-    let tps = fig13_allcpu_throughput(&ws).expect("projections run");
+    let tps = fig13_allcpu_throughput(&ws)?;
     let rows: Vec<(String, Vec<f64>)> = tps
         .iter()
         .map(|(label, b8, a8, a44)| (label.clone(), vec![*b8, *a8, *a44]))
@@ -28,12 +28,21 @@ fn main() {
     );
 
     section("Fig 13 / SS V-D: paper claims");
-    let find_gain = |name: &str| gains.iter().find(|(l, _, _)| l == name).unwrap();
-    let find_tps = |name: &str| tps.iter().find(|(l, _, _, _)| l == name).unwrap();
-    let (_, fpga_ttft, _) = find_gain("CXL-FPGA");
-    let (_, asic_ttft, _) = find_gain("CXL-ASIC");
-    let (_, fpga_b8, fpga_all8, fpga_44) = find_tps("CXL-FPGA");
-    let (_, asic_b8, _, asic_44) = find_tps("CXL-ASIC");
+    let find_gain = |name: &str| {
+        gains
+            .iter()
+            .find(|(l, _, _)| l == name)
+            .ok_or_else(|| format!("gain row {name:?} missing"))
+    };
+    let find_tps = |name: &str| {
+        tps.iter()
+            .find(|(l, _, _, _)| l == name)
+            .ok_or_else(|| format!("throughput row {name:?} missing"))
+    };
+    let (_, fpga_ttft, _) = find_gain("CXL-FPGA")?;
+    let (_, asic_ttft, _) = find_gain("CXL-ASIC")?;
+    let (_, fpga_b8, fpga_all8, fpga_44) = find_tps("CXL-FPGA")?;
+    let (_, asic_b8, _, asic_44) = find_tps("CXL-ASIC")?;
     print_comparisons(&[
         Comparison::new("HeLM TTFT gain, CXL-FPGA", 27.0, fpga_ttft * 100.0, "%"),
         Comparison::new("HeLM TTFT gain, CXL-ASIC", 21.0, asic_ttft * 100.0, "%"),
@@ -56,4 +65,5 @@ fn main() {
             "x",
         ),
     ]);
+    Ok(())
 }

@@ -12,7 +12,7 @@ fn find(
     node: usize,
     direction: Direction,
     buffer_gb: f64,
-) -> f64 {
+) -> Result<f64, String> {
     points
         .iter()
         .find(|p| {
@@ -22,10 +22,10 @@ fn find(
                 && (p.buffer.as_gb() - buffer_gb).abs() < 1e-6
         })
         .map(|p| p.gbps)
-        .expect("sweep point present")
+        .ok_or_else(|| format!("sweep point {memory:?}/{node}/{direction:?}/{buffer_gb} missing"))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let points = sweep(&PathModel::paper_system());
 
     section("Fig 3a: host -> GPU bandwidth (GB/s)");
@@ -37,13 +37,13 @@ fn main() {
     section("Fig 3: paper calibration points");
     let h2d = Direction::HostToGpu;
     let d2h = Direction::GpuToHost;
-    let nv4 = find(&points, SweepMemory::NvDram, 0, h2d, 4.096);
-    let nv32 = find(&points, SweepMemory::NvDram, 0, h2d, 32.768);
-    let dram4 = find(&points, SweepMemory::Dram, 0, h2d, 4.096);
-    let dram32 = find(&points, SweepMemory::Dram, 0, h2d, 32.768);
-    let nv_w = find(&points, SweepMemory::NvDram, 1, d2h, 1.024);
-    let dram_w = find(&points, SweepMemory::Dram, 1, d2h, 1.024);
-    let mm4 = find(&points, SweepMemory::MemoryMode, 0, h2d, 4.096);
+    let nv4 = find(&points, SweepMemory::NvDram, 0, h2d, 4.096)?;
+    let nv32 = find(&points, SweepMemory::NvDram, 0, h2d, 32.768)?;
+    let dram4 = find(&points, SweepMemory::Dram, 0, h2d, 4.096)?;
+    let dram32 = find(&points, SweepMemory::Dram, 0, h2d, 32.768)?;
+    let nv_w = find(&points, SweepMemory::NvDram, 1, d2h, 1.024)?;
+    let dram_w = find(&points, SweepMemory::Dram, 1, d2h, 1.024)?;
+    let mm4 = find(&points, SweepMemory::MemoryMode, 0, h2d, 4.096)?;
     print_comparisons(&[
         Comparison::new("NVDRAM H2D at 4 GB", 19.91, nv4, "GB/s"),
         Comparison::new("NVDRAM H2D at 32 GB", 15.52, nv32, "GB/s"),
@@ -73,4 +73,5 @@ fn main() {
             "%",
         ),
     ]);
+    Ok(())
 }

@@ -9,7 +9,11 @@ use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn run(model: ModelConfig, memory: HostMemoryConfig, batch: u32) -> RunReport {
+fn run(
+    model: ModelConfig,
+    memory: HostMemoryConfig,
+    batch: u32,
+) -> Result<RunReport, helm_core::HelmError> {
     run_serving(
         model,
         memory,
@@ -18,17 +22,20 @@ fn run(model: ModelConfig, memory: HostMemoryConfig, batch: u32) -> RunReport {
         batch,
         &WorkloadSpec::paper_default(),
     )
-    .expect("configuration serves")
 }
 
-fn block(model: ModelConfig, configs: Vec<HostMemoryConfig>, batches: [u32; 2]) -> Vec<RunReport> {
+fn block(
+    model: ModelConfig,
+    configs: Vec<HostMemoryConfig>,
+    batches: [u32; 2],
+) -> Result<Vec<RunReport>, helm_core::HelmError> {
     let mut out = Vec::new();
     for batch in batches {
         for cfg in &configs {
-            out.push(run(model.clone(), cfg.clone(), batch));
+            out.push(run(model.clone(), cfg.clone(), batch)?);
         }
     }
-    out
+    Ok(out)
 }
 
 fn print_block(title: &str, reports: &[RunReport]) {
@@ -45,30 +52,30 @@ fn print_block(title: &str, reports: &[RunReport]) {
     print_table(&["config", "TTFT(ms)", "TBT(ms)", "tok/s"], &rows);
 }
 
-fn get<'a>(reports: &'a [RunReport], config: &str, batch: u32) -> &'a RunReport {
+fn get<'a>(reports: &'a [RunReport], config: &str, batch: u32) -> Result<&'a RunReport, String> {
     reports
         .iter()
         .find(|r| r.config == config && r.batch == batch)
-        .expect("report present")
+        .ok_or_else(|| format!("report {config:?} b={batch} missing"))
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m30 = ModelConfig::opt_30b();
     let m175 = ModelConfig::opt_175b();
 
-    let r30 = block(m30, HostMemoryConfig::opt30b_set(), [1, 32]);
+    let r30 = block(m30, HostMemoryConfig::opt30b_set(), [1, 32])?;
     print_block("Fig 4a/4c/4e: OPT-30B", &r30);
 
-    let r175 = block(m175, HostMemoryConfig::opt175b_set(), [1, 8]);
+    let r175 = block(m175, HostMemoryConfig::opt175b_set(), [1, 8])?;
     print_block("Fig 4b/4d/4f: OPT-175B", &r175);
 
     section("Fig 4: paper claims (OPT-30B, NVDRAM vs DRAM)");
     let pct = |a: f64, b: f64| (a / b - 1.0) * 100.0;
-    let d1 = get(&r30, "DRAM", 1);
-    let n1 = get(&r30, "NVDRAM", 1);
-    let d32 = get(&r30, "DRAM", 32);
-    let n32 = get(&r30, "NVDRAM", 32);
-    let mm32 = get(&r30, "MemoryMode", 32);
+    let d1 = get(&r30, "DRAM", 1)?;
+    let n1 = get(&r30, "NVDRAM", 1)?;
+    let d32 = get(&r30, "DRAM", 32)?;
+    let n32 = get(&r30, "NVDRAM", 32)?;
+    let mm32 = get(&r30, "MemoryMode", 32)?;
     print_comparisons(&[
         Comparison::new(
             "TTFT increase b=1",
@@ -115,14 +122,14 @@ fn main() {
     ]);
 
     section("Fig 4: paper claims (OPT-175B)");
-    let ssd1 = get(&r175, "SSD", 1);
-    let dax1 = get(&r175, "FSDAX", 1);
-    let ssd8 = get(&r175, "SSD", 8);
-    let dax8 = get(&r175, "FSDAX", 8);
-    let nv1 = get(&r175, "NVDRAM", 1);
-    let mm1 = get(&r175, "MemoryMode", 1);
-    let nv8 = get(&r175, "NVDRAM", 8);
-    let mm8 = get(&r175, "MemoryMode", 8);
+    let ssd1 = get(&r175, "SSD", 1)?;
+    let dax1 = get(&r175, "FSDAX", 1)?;
+    let ssd8 = get(&r175, "SSD", 8)?;
+    let dax8 = get(&r175, "FSDAX", 8)?;
+    let nv1 = get(&r175, "NVDRAM", 1)?;
+    let mm1 = get(&r175, "MemoryMode", 1)?;
+    let nv8 = get(&r175, "NVDRAM", 8)?;
+    let mm8 = get(&r175, "MemoryMode", 8)?;
     print_comparisons(&[
         Comparison::new(
             "FSDAX TTFT improvement over SSD b=1",
@@ -187,4 +194,5 @@ fn main() {
             "x",
         ),
     ]);
+    Ok(())
 }

@@ -12,7 +12,11 @@ use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn run(model: &ModelConfig, memory: HostMemoryConfig, batch: u32) -> RunReport {
+fn run(
+    model: &ModelConfig,
+    memory: HostMemoryConfig,
+    batch: u32,
+) -> Result<RunReport, helm_core::HelmError> {
     run_serving(
         model.clone(),
         memory,
@@ -21,13 +25,12 @@ fn run(model: &ModelConfig, memory: HostMemoryConfig, batch: u32) -> RunReport {
         batch,
         &WorkloadSpec::paper_default(),
     )
-    .expect("serves")
 }
 
 /// The "ideal" average hidden-layer transfer time on an all-DRAM
 /// system (the paper measures it with an 8-block model so the weights
 /// fit DRAM; analytically that is just bytes over the DRAM path rate).
-fn dram_ideal_ms(model: &ModelConfig) -> f64 {
+fn dram_ideal_ms(model: &ModelConfig) -> Result<f64, helm_core::HelmError> {
     let system = SystemConfig::paper_platform(HostMemoryConfig::dram());
     let policy = Policy::paper_default(model, hetmem::MemoryConfigKind::NvDram);
     let placement = helm_core::ModelPlacement::compute(model, &policy);
@@ -36,17 +39,15 @@ fn dram_ideal_ms(model: &ModelConfig) -> f64 {
         .iter()
         .filter(|l| l.layer().kind().is_hidden())
         .collect();
-    let total_ms: f64 = hidden
-        .iter()
-        .map(|l| {
-            let bytes = l.bytes_on(Tier::Cpu, placement.dtype());
-            system
-                .tier_transfer_time(Tier::Cpu, bytes, None)
-                .expect("dram tier")
-                .as_millis()
-        })
-        .sum();
-    total_ms / hidden.len() as f64
+    let mut total_ms = 0.0;
+    for l in &hidden {
+        let bytes = l.bytes_on(Tier::Cpu, placement.dtype());
+        total_ms += system
+            .tier_transfer_time(Tier::Cpu, bytes, None)
+            .ok_or(helm_core::HelmError::TierUnavailable { tier: "cpu" })?
+            .as_millis();
+    }
+    Ok(total_ms / hidden.len() as f64)
 }
 
 fn print_stage_table(title: &str, reports: &[RunReport], ideal_ms: f64) {
@@ -67,7 +68,7 @@ fn print_stage_table(title: &str, reports: &[RunReport], ideal_ms: f64) {
     println!("ideal all-DRAM transfer: {ideal_ms:.2} ms/layer");
 }
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let m30 = ModelConfig::opt_30b();
     let r30: Vec<RunReport> = [1u32, 32]
         .iter()
@@ -77,8 +78,8 @@ fn main() {
                 .map(move |cfg| (b, cfg))
         })
         .map(|(b, cfg)| run(&m30, cfg, b))
-        .collect();
-    print_stage_table("Fig 5a/5c: OPT-30B", &r30, dram_ideal_ms(&m30));
+        .collect::<Result<_, _>>()?;
+    print_stage_table("Fig 5a/5c: OPT-30B", &r30, dram_ideal_ms(&m30)?);
 
     let m175 = ModelConfig::opt_175b();
     let r175: Vec<RunReport> = [1u32, 8]
@@ -89,8 +90,8 @@ fn main() {
                 .map(move |cfg| (b, cfg))
         })
         .map(|(b, cfg)| run(&m175, cfg, b))
-        .collect();
-    let ideal175 = dram_ideal_ms(&m175);
+        .collect::<Result<_, _>>()?;
+    let ideal175 = dram_ideal_ms(&m175)?;
     print_stage_table("Fig 5b/5d: OPT-175B", &r175, ideal175);
 
     section("Fig 5: paper claims");
@@ -127,4 +128,5 @@ fn main() {
             "x",
         ),
     ]);
+    Ok(())
 }

@@ -16,7 +16,7 @@ use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use workload::WorkloadSpec;
 
-fn main() {
+fn main() -> Result<(), helm_core::HelmError> {
     let workload = WorkloadSpec::paper_default();
     let memory = HostMemoryConfig::nvdram();
 
@@ -35,8 +35,7 @@ fn main() {
             SystemConfig::paper_platform(memory.clone()),
             model.clone(),
             policy,
-        )
-        .expect("fits");
+        )?;
         let max = server.max_batch(&workload);
         let kv = llm::kv::kv_bytes_per_sequence(&model, workload.context_len());
         rows.push((
@@ -59,10 +58,8 @@ fn main() {
                 SystemConfig::paper_platform(memory.clone()),
                 model.clone(),
                 policy,
-            )
-            .expect("fits")
-            .run(&workload)
-            .expect("serves");
+            )?
+            .run(&workload)?;
             tbt.push(report.tbt_ms());
         }
         rows.push((
@@ -77,4 +74,5 @@ fn main() {
          cache, not the weights, walls the batch; and HeLM's balance carries\n\
          over to the three-matrix gated FFN unchanged."
     );
+    Ok(())
 }

@@ -60,14 +60,14 @@ fn cell<'a>(
     batch: u32,
     stage: Stage,
     config: &str,
-) -> &'a OverlapRow {
+) -> Result<&'a OverlapRow, String> {
     rows.iter()
         .find(|r| r.policy == policy && r.batch == batch && r.stage == stage && r.config == config)
-        .expect("cell present")
+        .ok_or_else(|| format!("cell {policy:?} b={batch} {stage} {config:?} missing"))
 }
 
-fn main() {
-    let rows = table_iv(&WorkloadSpec::paper_default()).expect("table runs");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = table_iv(&WorkloadSpec::paper_default())?;
 
     section("Table IV: MHA-compute/FFN-load and FFN-compute/MHA-load ratios");
     println!(
@@ -88,7 +88,7 @@ fn main() {
         };
         let mut ours = [0.0f64; 6];
         for (i, config) in ["NVDRAM", "CXL-FPGA", "CXL-ASIC"].iter().enumerate() {
-            let c = cell(&rows, policy, batch, stage, config);
+            let c = cell(&rows, policy, batch, stage, config)?;
             ours[i] = c.mha_compute_over_ffn_load;
             ours[i + 3] = c.ffn_compute_over_mha_load;
         }
@@ -124,4 +124,5 @@ fn main() {
         within,
         comparisons.len()
     );
+    Ok(())
 }

@@ -53,7 +53,7 @@ use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
 use crate::error::HelmError;
-use crate::exec::{run_pipeline, PipelineInputs};
+use crate::exec::{run_pipeline, run_pipeline_with, LayerCostTable, PipelineInputs, RecordMode};
 use crate::metrics::RunReport;
 use crate::placement::{ModelPlacement, Tier};
 use crate::policy::Policy;
@@ -104,14 +104,17 @@ pub struct SearchStats {
 }
 
 /// A feasible candidate after the cheap screening pass: its placement,
-/// the batch the objective assigns it, and its objective-space bound
-/// (`None` when no sound bound exists — those sort first and are
-/// always costed).
+/// the batch the objective assigns it, its precomputed cost table
+/// (reused by the pipeline evaluation; `None` when the table cannot
+/// be built — the evaluation then surfaces the error), and its
+/// objective-space bound (`None` when no sound bound exists — those
+/// sort first and are always costed).
 struct Screened {
     mha: u32,
     ffn: u32,
     batch: u32,
     placement: ModelPlacement,
+    table: Option<LayerCostTable>,
     bound: Option<f64>,
 }
 
@@ -210,14 +213,27 @@ impl<'a> SearchEngine<'a> {
             }
         }
 
-        state.stats.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
         let winner = state.best.ok_or_else(|| self.no_feasible_candidate())?;
+        // Candidates were costed in aggregate mode; re-cost the winner
+        // once with full step records so the returned report supports
+        // timelines/CSV. Aggregates are bit-identical between modes
+        // (the equivalence property the test suite pins down), so this
+        // cannot change the winner. Not counted in `stats.evaluated`.
+        let winner_policy = self.policy.clone().with_batch_size(winner.batch);
+        let report = run_pipeline(&PipelineInputs {
+            system: self.system,
+            model: self.model,
+            policy: &winner_policy,
+            placement: &winner.placement,
+            workload: self.workload,
+        })?;
+        state.stats.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
         Ok(AutoPlacement {
             mha_gpu_percent: f64::from(winner.mha),
             ffn_gpu_percent: f64::from(winner.ffn),
             batch: winner.batch,
             placement: winner.placement,
-            report: winner.report,
+            report,
             stats: state.stats,
             frontier: state.frontier,
         })
@@ -356,21 +372,26 @@ impl<'a> SearchEngine<'a> {
             }
         };
         let candidate_policy = self.policy.clone().with_batch_size(batch);
-        let bound = self.bounds.objective_bound(
-            self.objective,
-            &PipelineInputs {
-                system: self.system,
-                model: self.model,
-                policy: &candidate_policy,
-                placement: &placement,
-                workload: self.workload,
-            },
-        );
+        let inputs = PipelineInputs {
+            system: self.system,
+            model: self.model,
+            policy: &candidate_policy,
+            placement: &placement,
+            workload: self.workload,
+        };
+        // The cost table built here is the one the evaluation replays
+        // — screening's bound and the pipeline run share the memoized
+        // per-layer costs.
+        let table = LayerCostTable::build(&inputs).ok();
+        let bound = table
+            .as_ref()
+            .and_then(|t| self.bounds.objective_bound(self.objective, &inputs, t));
         Some(Screened {
             mha,
             ffn,
             batch,
             placement,
+            table,
             bound,
         })
     }
@@ -411,7 +432,14 @@ impl<'a> SearchEngine<'a> {
             placement: &screened.placement,
             workload: self.workload,
         };
-        match run_pipeline(&inputs) {
+        // Aggregate mode: the search only compares TBT / throughput,
+        // so no candidate pays for per-step record materialization.
+        let result = match &screened.table {
+            Some(table) => run_pipeline_with(&inputs, table, RecordMode::Aggregate),
+            None => LayerCostTable::build(&inputs)
+                .and_then(|table| run_pipeline_with(&inputs, &table, RecordMode::Aggregate)),
+        };
+        match result {
             Ok(report) => Outcome::Evaluated(Box::new(Evaluation {
                 mha: screened.mha,
                 ffn: screened.ffn,

@@ -28,9 +28,8 @@
 //! floor; throughput divides a fixed token count by at least `gen_len`
 //! floors.
 
-use crate::exec::{compute_time, load_time, PipelineInputs, SYNC_OVERHEAD};
+use crate::exec::{LayerCostTable, PipelineInputs, SYNC_OVERHEAD};
 use crate::metrics::Stage;
-use crate::placement::Tier;
 use crate::system::SystemConfig;
 use llm::ModelConfig;
 use simcore::time::SimDuration;
@@ -62,19 +61,17 @@ impl BoundContext {
     }
 
     /// Lower bound on the time one decode token spends traversing all
-    /// layers under `inp`'s placement and policy. `None` when the
-    /// placement routes through an unavailable tier — no sound bound
-    /// exists, and the caller should let the evaluation surface the
-    /// error instead of pruning it away.
-    fn decode_token_floor(&self, inp: &PipelineInputs<'_>) -> Option<SimDuration> {
-        let cpu_ws = inp.placement.total_on(Tier::Cpu);
-        let disk_ws = inp.placement.total_on(Tier::Disk);
+    /// layers under `inp`'s placement and policy, read from the
+    /// candidate's prebuilt cost table (whose construction already
+    /// proved every routed tier available).
+    fn decode_token_floor(&self, inp: &PipelineInputs<'_>, table: &LayerCostTable) -> SimDuration {
+        let gpu = inp.system.gpu();
         let micro = f64::from(inp.policy.num_gpu_batches());
-        let mut loads = Vec::with_capacity(inp.placement.layers().len());
+        let mut loads = Vec::with_capacity(table.num_layers());
         let mut computes = Vec::with_capacity(loads.capacity());
-        for lp in inp.placement.layers() {
-            loads.push(load_time(inp, lp, cpu_ws, disk_ws).ok()?);
-            computes.push(compute_time(inp, lp.layer(), Stage::Decode, 1) * micro);
+        for j in 0..table.num_layers() {
+            loads.push(table.load(j));
+            computes.push(table.compute_time(gpu, j, Stage::Decode, 1) * micro);
         }
         // Drop the largest load (the final token may skip exactly one
         // prefetch) and pair the remainder with a zero-load step.
@@ -92,18 +89,18 @@ impl BoundContext {
         let working_set = inp.placement.offloaded_working_set();
         let skipped = inp.placement.largest_offloaded_layer();
         let link_floor = self.peak_link.time_for(working_set - skipped);
-        Some(paired.max(link_floor) + self.sync_per_pass)
+        paired.max(link_floor) + self.sync_per_pass
     }
 
     /// The candidate's bound in objective space: a lower bound on TBT
     /// (ms) for [`Objective::Latency`], an upper bound on tokens/s for
     /// [`Objective::Throughput`]. `None` when no sound bound exists
-    /// (degenerate workload or unavailable tier) — such candidates
-    /// must always be costed.
+    /// (degenerate workload) — such candidates must always be costed.
     pub(super) fn objective_bound(
         &self,
         objective: Objective,
         inp: &PipelineInputs<'_>,
+        table: &LayerCostTable,
     ) -> Option<f64> {
         match objective {
             Objective::Latency => {
@@ -112,10 +109,10 @@ impl BoundContext {
                 if self.gen_len < 2 {
                     return None;
                 }
-                Some(self.decode_token_floor(inp)?.as_millis())
+                Some(self.decode_token_floor(inp, table).as_millis())
             }
             Objective::Throughput => {
-                let floor = self.decode_token_floor(inp)?;
+                let floor = self.decode_token_floor(inp, table);
                 let tokens = inp.workload.tokens_generated(inp.policy.effective_batch());
                 let floor_secs = floor.as_secs() * (self.gen_len as f64);
                 if floor_secs <= 0.0 {
@@ -134,9 +131,10 @@ impl BoundContext {
         &self,
         objective: Objective,
         inp: &PipelineInputs<'_>,
+        table: &LayerCostTable,
         best: f64,
     ) -> bool {
-        self.objective_bound(objective, inp)
+        self.objective_bound(objective, inp, table)
             .is_some_and(|bound| bound_dominated(objective, bound, best))
     }
 }
@@ -181,8 +179,9 @@ mod tests {
             workload: &workload,
         };
         let ctx = BoundContext::new(&system, &model, &workload);
+        let table = LayerCostTable::build(&inp).expect("table builds");
         let report = run_pipeline(&inp).expect("pipeline runs");
-        let floor = ctx.decode_token_floor(&inp).expect("bound exists");
+        let floor = ctx.decode_token_floor(&inp, &table);
 
         let floor_ms = floor.as_millis();
         assert!(
@@ -233,13 +232,11 @@ mod tests {
             workload: &workload,
         };
         let ctx = BoundContext::new(&system, &model, &workload);
-        let floor_ms = ctx
-            .decode_token_floor(&inp)
-            .expect("bound exists")
-            .as_millis();
+        let table = LayerCostTable::build(&inp).expect("table builds");
+        let floor_ms = ctx.decode_token_floor(&inp, &table).as_millis();
         // An incumbent exactly at the floor cannot be strictly beaten.
-        assert!(ctx.cannot_beat(Objective::Latency, &inp, floor_ms));
+        assert!(ctx.cannot_beat(Objective::Latency, &inp, &table, floor_ms));
         // An incumbent far above the floor might be.
-        assert!(!ctx.cannot_beat(Objective::Latency, &inp, floor_ms * 10.0));
+        assert!(!ctx.cannot_beat(Objective::Latency, &inp, &table, floor_ms * 10.0));
     }
 }

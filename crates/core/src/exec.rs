@@ -16,11 +16,12 @@
 //! per-tier rate caps.
 
 use crate::error::HelmError;
-use crate::metrics::{LayerStepRecord, RunReport, Stage};
+use crate::exec_des::Flow;
+use crate::metrics::{LayerStepRecord, RunReport, Stage, StepTotals};
 use crate::placement::{LayerPlacement, ModelPlacement, Tier};
 use crate::policy::Policy;
 use crate::system::SystemConfig;
-use gpusim::KernelProfile;
+use gpusim::{GpuSpec, KernelProfile};
 use llm::layers::{Layer, LayerKind};
 use llm::weights::{DType, WeightKind};
 use llm::ModelConfig;
@@ -59,13 +60,472 @@ pub(crate) fn tier_name(tier: Tier) -> &'static str {
     }
 }
 
-/// Runs the full prefill + decode pipeline and reports metrics.
+/// How much per-step detail a pipeline run materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordMode {
+    /// Keep every [`LayerStepRecord`] — timelines, CSV export, and
+    /// the per-stage/per-kind averages behind the paper's figures.
+    #[default]
+    Full,
+    /// Skip the per-step record vector entirely and keep only the
+    /// run-wide aggregates ([`RunReport::totals`], TTFT, TBT,
+    /// throughput, audit ledgers). This is the allocation-free mode
+    /// the autoplace engine and online calibration run in; all
+    /// aggregates are bit-identical to a [`RecordMode::Full`] run.
+    Aggregate,
+}
+
+/// The context-dependent decode compute of one layer.
+///
+/// Decode compute is token-invariant for every layer except MHA,
+/// whose attention GEMM grows with the context length. For MHA the
+/// cache keeps the GEMM's operands split exactly at the
+/// context-dependent terms of the seed evaluator's expressions —
+/// f64 addition and multiplication are not associative, so the
+/// evaluator replays the same left-associated operation order
+/// ([`Layer::attention_flops`], [`kernel_plan`]) and stays
+/// bit-identical to recomputing from scratch.
+#[derive(Debug, Clone, Copy)]
+enum DecodeCompute {
+    /// Kernels never touch the KV cache: one duration serves every
+    /// token.
+    Invariant(SimDuration),
+    /// MHA decode: `pre + gemm(flops(ctx), bytes(ctx)) + post`.
+    Attention {
+        /// Kernel-time fold up to the GEMM (`ZERO` + dequant, when
+        /// compressed).
+        pre: SimDuration,
+        /// Kernel time after the GEMM (norm+residual elementwise).
+        post: SimDuration,
+        /// Projection FLOPs for decode's one new token per sequence.
+        matmul_flops: f64,
+        /// `2.0 * 2.0 * batch * new_tokens(=1)` — the prefix of the
+        /// attention-FLOP product before the context-length factor.
+        att_prefix: f64,
+        /// Hidden size (the product's final factor).
+        hidden: f64,
+        /// F16 weight bytes the GEMM streams.
+        weight_bytes: f64,
+        /// Activation bytes the GEMM reads/writes.
+        act_bytes: f64,
+        /// Compute batch ([`Policy::batch_size`]) for the KV read.
+        batch: u32,
+    },
+}
+
+/// Per-stage KV write-back costs under `kv_offload` (`new_tokens` is
+/// `prompt_len` at prefill, 1 at decode — both token-invariant).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WritebackCost {
+    /// D2H payload of one MHA step.
+    pub(crate) bytes: ByteSize,
+    /// Full standalone write-back time (analytic executor).
+    pub(crate) time: SimDuration,
+    /// Streaming rate cap (DES executor).
+    pub(crate) cap: Bandwidth,
+    /// Fixed (non-streaming) share of `time` (DES executor).
+    pub(crate) fixed: SimDuration,
+}
+
+/// Everything about a pipeline run that does not depend on the token
+/// index, precomputed once per [`PipelineInputs`].
+///
+/// The zig-zag executor's hot loop runs `gen_len × num_layers` steps,
+/// and almost everything it used to recompute per step is
+/// token-invariant: per-layer weight [`load_time`] (the CPU/disk
+/// split and its capped-link water-filling), per-layer offloaded H2D
+/// byte counts, per-layer DES weight flows, the KV write-back cost of
+/// each stage, and all decode compute except the attention GEMM —
+/// which is cached as coefficients of the context length
+/// ([`DecodeCompute`]). Both executors ([`run_pipeline_with`],
+/// [`crate::exec_des::run_pipeline_des_with`]) and the autoplace
+/// bound ([`crate::autoplace`]) consume the same table.
+#[derive(Debug, Clone)]
+pub struct LayerCostTable {
+    layers: Vec<LayerCosts>,
+    /// `[prefill, decode]` write-back costs; `None` without
+    /// `kv_offload`.
+    writeback: Option<[WritebackCost; 2]>,
+    prompt_len: usize,
+    effective_batch: u32,
+    kv_per_token: u64,
+    cpu_ws: ByteSize,
+}
+
+/// The cached token-invariant costs of one layer.
+#[derive(Debug, Clone)]
+struct LayerCosts {
+    kind: LayerKind,
+    /// Transfer time of this layer's offloaded weights.
+    load: SimDuration,
+    /// Host-resident weight bytes (audit ledger `h2d:cpu`).
+    cpu_bytes: ByteSize,
+    /// Storage-resident weight bytes (audit ledger `h2d:disk`).
+    disk_bytes: ByteSize,
+    /// Total offloaded (streamed) weight bytes.
+    offloaded: ByteSize,
+    prefill_compute: SimDuration,
+    decode_compute: DecodeCompute,
+    /// The layer's weight streams for the DES executor.
+    flows: Vec<Flow>,
+}
+
+impl LayerCostTable {
+    /// Precomputes the table for one run configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HelmError::TierUnavailable`] if the placement routes
+    /// traffic through a memory tier the platform does not provide —
+    /// the same failures the executors would surface mid-run.
+    pub fn build(inp: &PipelineInputs<'_>) -> Result<Self, HelmError> {
+        let placed = inp.placement.layers();
+        let cpu_ws = inp.placement.total_on(Tier::Cpu);
+        let disk_ws = inp.placement.total_on(Tier::Disk);
+        let dtype = inp.placement.dtype();
+        let batch = inp.policy.batch_size();
+        let effective_batch = inp.policy.effective_batch();
+        let kv_per_token = llm::kv::kv_bytes_per_token_per_block(inp.model);
+        let gpu = inp.system.gpu();
+
+        let mut layers = Vec::with_capacity(placed.len());
+        for (j, lp) in placed.iter().enumerate() {
+            let layer = lp.layer();
+            let decode_compute = match layer.kind() {
+                LayerKind::Mha => {
+                    // Split kernel_plan(Decode) at the attention GEMM,
+                    // whose flop/byte operands depend on the context.
+                    let tokens = u64::from(batch); // one new token each
+                    let act = layer.activation_bytes(tokens).as_f64();
+                    let mut pre = SimDuration::ZERO;
+                    if inp.policy.compressed() {
+                        let compressed: ByteSize = layer
+                            .weight_specs()
+                            .iter()
+                            .filter(|s| {
+                                matches!(s.kind(), WeightKind::Linear | WeightKind::Embedding)
+                            })
+                            .map(|s| s.bytes(DType::Int4Grouped))
+                            .sum();
+                        if compressed > ByteSize::ZERO {
+                            pre += gpu.kernel_time(&KernelProfile::dequant(compressed.as_f64()));
+                        }
+                    }
+                    DecodeCompute::Attention {
+                        pre,
+                        post: gpu.kernel_time(&KernelProfile::elementwise(act)),
+                        matmul_flops: layer.matmul_flops(tokens),
+                        att_prefix: 2.0 * 2.0 * f64::from(batch) * 1.0,
+                        hidden: inp.model.hidden_size() as f64,
+                        weight_bytes: layer.weight_bytes(DType::F16).as_f64(),
+                        act_bytes: act,
+                        batch,
+                    }
+                }
+                _ => DecodeCompute::Invariant(compute_time(inp, layer, Stage::Decode, 1)),
+            };
+            layers.push(LayerCosts {
+                kind: layer.kind(),
+                load: load_time(inp, lp, cpu_ws, disk_ws)?,
+                cpu_bytes: lp.bytes_on(Tier::Cpu, dtype),
+                disk_bytes: lp.bytes_on(Tier::Disk, dtype),
+                offloaded: lp.offloaded_bytes(dtype),
+                prefill_compute: compute_time(inp, layer, Stage::Prefill, 0),
+                decode_compute,
+                flows: crate::exec_des::host_flows(inp, j, cpu_ws, disk_ws, None)?,
+            });
+        }
+
+        let writeback = if inp.policy.kv_offload() {
+            let cost = |new_tokens: usize| -> Result<WritebackCost, HelmError> {
+                let bytes = ByteSize::from_bytes(
+                    u64::from(effective_batch) * new_tokens as u64 * kv_per_token,
+                );
+                let unavailable = HelmError::TierUnavailable { tier: "cpu" };
+                let time = inp
+                    .system
+                    .tier_writeback_time(Tier::Cpu, bytes, Some(cpu_ws))
+                    .ok_or(unavailable.clone())?;
+                let cap = inp
+                    .system
+                    .tier_writeback_bandwidth(Tier::Cpu, bytes, Some(cpu_ws))
+                    .ok_or(unavailable)?;
+                Ok(WritebackCost {
+                    bytes,
+                    time,
+                    cap,
+                    fixed: time - cap.time_for(bytes),
+                })
+            };
+            Some([cost(inp.workload.prompt_len)?, cost(1)?])
+        } else {
+            None
+        };
+
+        Ok(LayerCostTable {
+            layers,
+            writeback,
+            prompt_len: inp.workload.prompt_len,
+            effective_batch,
+            kv_per_token,
+            cpu_ws,
+        })
+    }
+
+    /// Layers in the flattened pipeline sequence.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub(crate) fn kind(&self, j: usize) -> LayerKind {
+        self.layers[j].kind
+    }
+
+    /// Cached [`load_time`] of layer `j`'s offloaded weights.
+    pub fn load(&self, j: usize) -> SimDuration {
+        self.layers[j].load
+    }
+
+    pub(crate) fn offloaded_bytes(&self, j: usize) -> ByteSize {
+        self.layers[j].offloaded
+    }
+
+    pub(crate) fn weight_flows(&self, j: usize) -> &[Flow] {
+        &self.layers[j].flows
+    }
+
+    pub(crate) fn writeback(&self, stage: Stage) -> Option<&WritebackCost> {
+        self.writeback.as_ref().map(|wb| match stage {
+            Stage::Prefill => &wb[0],
+            Stage::Decode => &wb[1],
+        })
+    }
+
+    pub(crate) fn cpu_ws(&self) -> ByteSize {
+        self.cpu_ws
+    }
+
+    /// KV bytes layer `j` streams for `context` positions — exactly
+    /// [`Layer::kv_read_bytes`] at the policy's effective batch.
+    pub(crate) fn kv_read_bytes(&self, j: usize, context: usize) -> ByteSize {
+        if self.layers[j].kind != LayerKind::Mha {
+            return ByteSize::ZERO;
+        }
+        ByteSize::from_bytes(u64::from(self.effective_batch) * context as u64 * self.kv_per_token)
+    }
+
+    /// GPU compute time of layer `j` at pipeline step (`stage`,
+    /// `token`) — bit-identical to [`compute_time`] on the same
+    /// inputs.
+    pub fn compute_time(&self, gpu: &GpuSpec, j: usize, stage: Stage, token: usize) -> SimDuration {
+        match stage {
+            Stage::Prefill => self.layers[j].prefill_compute,
+            Stage::Decode => match self.layers[j].decode_compute {
+                DecodeCompute::Invariant(d) => d,
+                DecodeCompute::Attention {
+                    pre,
+                    post,
+                    matmul_flops,
+                    att_prefix,
+                    hidden,
+                    weight_bytes,
+                    act_bytes,
+                    batch,
+                } => {
+                    let context = self.prompt_len + token;
+                    // Replays attention_flops' association order:
+                    // ((((2*2)*b)*nt)*ctx)*h with the prefix cached.
+                    let att = att_prefix * context as f64 * hidden;
+                    let flops = matmul_flops + att;
+                    let kv = u64::from(batch) * context as u64 * self.kv_per_token;
+                    let bytes = weight_bytes + kv as f64 + act_bytes;
+                    pre + gpu.kernel_time(&KernelProfile::gemm(flops, bytes)) + post
+                }
+            },
+        }
+    }
+
+    fn audit_weight_traffic(&self, audit: &mut Auditor, j: usize) {
+        if !audit.is_active() {
+            return;
+        }
+        let lc = &self.layers[j];
+        for (bytes, channel) in [(lc.cpu_bytes, "h2d:cpu"), (lc.disk_bytes, "h2d:disk")] {
+            if bytes > ByteSize::ZERO {
+                audit.scheduled(channel, bytes);
+                audit.delivered(channel, bytes);
+            }
+        }
+    }
+}
+
+/// Runs the full prefill + decode pipeline and reports metrics,
+/// keeping full step records. Builds a [`LayerCostTable`] internally;
+/// callers evaluating one configuration many times (or wanting
+/// [`RecordMode::Aggregate`]) should build the table once and call
+/// [`run_pipeline_with`].
 ///
 /// # Errors
 ///
 /// Returns [`HelmError::TierUnavailable`] if the placement routes
 /// traffic through a memory tier the platform does not provide.
 pub fn run_pipeline(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError> {
+    let table = LayerCostTable::build(inp)?;
+    run_pipeline_with(inp, &table, RecordMode::Full)
+}
+
+/// [`run_pipeline`] over a prebuilt [`LayerCostTable`] with an
+/// explicit [`RecordMode`] — the memoized hot path. Every reported
+/// aggregate (TTFT, TBT samples, total time, traffic totals, audit
+/// ledgers) is bit-identical to the seed evaluator
+/// ([`run_pipeline_reference`]); under [`RecordMode::Full`] the step
+/// records are too.
+///
+/// # Errors
+///
+/// Returns [`HelmError::TierUnavailable`] as [`run_pipeline`] does.
+pub fn run_pipeline_with(
+    inp: &PipelineInputs<'_>,
+    table: &LayerCostTable,
+    mode: RecordMode,
+) -> Result<RunReport, HelmError> {
+    let num_layers = table.num_layers();
+    let gen_len = inp.workload.gen_len;
+    let gpu = inp.system.gpu();
+    let cpu_ws = table.cpu_ws();
+
+    // Sized from the actual step count — `records` holds one entry
+    // per (token, layer) step; micro-batching scales compute, it does
+    // not replay steps.
+    let mut records = match mode {
+        RecordMode::Full => Vec::with_capacity(num_layers * gen_len),
+        RecordMode::Aggregate => Vec::new(),
+    };
+    let mut totals = StepTotals::default();
+    let mut elapsed = SimDuration::ZERO;
+    let mut tbt = SeriesStats::new();
+    let mut ttft = SimDuration::ZERO;
+
+    let mut audit = Auditor::capture();
+    audit_placement_feasibility(&mut audit, inp);
+    let micro = inp.policy.num_gpu_batches();
+    let effective_batch = inp.policy.effective_batch();
+
+    // Pipeline fill: the first layer's weights stream before any
+    // compute can overlap them.
+    elapsed += table.load(0);
+    table.audit_weight_traffic(&mut audit, 0);
+
+    for token in 0..gen_len {
+        let stage = if token == 0 {
+            Stage::Prefill
+        } else {
+            Stage::Decode
+        };
+        let token_start = elapsed;
+        for j in 0..num_layers {
+            let last_step = token + 1 == gen_len && j + 1 == num_layers;
+            let next_index = (j + 1) % num_layers;
+            let (mut load, next_kind, mut h2d) = if last_step {
+                (SimDuration::ZERO, None, ByteSize::ZERO)
+            } else {
+                (
+                    table.load(next_index),
+                    Some(table.kind(next_index)),
+                    table.offloaded_bytes(next_index),
+                )
+            };
+            if !last_step {
+                table.audit_weight_traffic(&mut audit, next_index);
+            }
+            // Under KV offloading, the next layer's cache streams in
+            // alongside its weights and shares the same H2D budget.
+            if inp.policy.kv_offload() {
+                if let Some(LayerKind::Mha) = next_kind {
+                    let context = match stage {
+                        Stage::Prefill => 0, // no cache yet at prefill
+                        Stage::Decode => inp.workload.prompt_len + token,
+                    };
+                    let kv_in = table.kv_read_bytes(next_index, context);
+                    if kv_in > ByteSize::ZERO {
+                        load += inp
+                            .system
+                            .kv_stream_bandwidth(kv_in, Some(cpu_ws))
+                            .ok_or(HelmError::TierUnavailable { tier: "cpu" })?
+                            .time_for(kv_in);
+                        h2d += kv_in;
+                        audit.scheduled("h2d:kv", kv_in);
+                        audit.delivered("h2d:kv", kv_in);
+                    }
+                }
+            }
+            // Micro-batching amortizes one weight load across several
+            // GPU batches (FlexGen's block schedule).
+            let compute = table.compute_time(gpu, j, stage, token) * f64::from(micro);
+            // KV write-back for the tokens this step produced.
+            let (writeback, d2h) = match table.writeback(stage) {
+                Some(wb) if table.kind(j) == LayerKind::Mha => (wb.time, wb.bytes),
+                _ => (SimDuration::ZERO, ByteSize::ZERO),
+            };
+            if d2h > ByteSize::ZERO {
+                audit.scheduled("d2h:kv", d2h);
+                audit.delivered("d2h:kv", d2h);
+            }
+            let step = compute.max(load).max(writeback) + SYNC_OVERHEAD;
+            audit.check_duration("compute", compute);
+            audit.check_duration("load", load);
+            audit.check_duration("step", step);
+            totals.record(compute, h2d, d2h);
+            if mode == RecordMode::Full {
+                records.push(LayerStepRecord {
+                    token,
+                    layer_index: j,
+                    kind: table.kind(j),
+                    stage,
+                    compute,
+                    load_next: load,
+                    next_kind,
+                    h2d_bytes: h2d,
+                    d2h_bytes: d2h,
+                    step,
+                });
+            }
+            elapsed += step;
+            audit.observe_time("analytic", SimTime::ZERO + elapsed);
+        }
+        if token == 0 {
+            ttft = elapsed;
+        } else {
+            tbt.add((elapsed - token_start).as_secs());
+        }
+    }
+
+    Ok(RunReport {
+        model: inp.model.name().to_owned(),
+        config: inp.system.memory().kind().to_string(),
+        placement: inp.policy.placement(),
+        batch: effective_batch,
+        compressed: inp.policy.compressed(),
+        ttft,
+        tbt,
+        total_time: elapsed,
+        tokens_generated: inp.workload.tokens_generated(effective_batch),
+        records,
+        totals,
+        achieved_distribution: inp.placement.achieved_distribution(),
+        audit: audit.finish_if_active(),
+    })
+}
+
+/// The seed evaluator: costs every step from scratch with no
+/// memoization. Kept as the golden reference the cost-table fast path
+/// is proven bit-identical against (equivalence proptests, and the
+/// `bench_pipeline` baseline).
+///
+/// # Errors
+///
+/// Returns [`HelmError::TierUnavailable`] as [`run_pipeline`] does.
+pub fn run_pipeline_reference(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError> {
     let layers = inp.placement.layers();
     let num_layers = layers.len();
     let gen_len = inp.workload.gen_len;
@@ -196,6 +656,7 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError> {
         tbt,
         total_time: elapsed,
         tokens_generated: inp.workload.tokens_generated(effective_batch),
+        totals: StepTotals::from_records(&records),
         records,
         achieved_distribution: inp.placement.achieved_distribution(),
         audit: audit.finish_if_active(),

@@ -19,9 +19,10 @@
 
 use crate::error::HelmError;
 use crate::exec::{
-    audit_placement_feasibility, compute_time, tier_name, PipelineInputs, SYNC_OVERHEAD,
+    audit_placement_feasibility, tier_name, LayerCostTable, PipelineInputs, RecordMode,
+    SYNC_OVERHEAD,
 };
-use crate::metrics::{LayerStepRecord, RunReport, Stage};
+use crate::metrics::{LayerStepRecord, RunReport, Stage, StepTotals};
 use crate::placement::Tier;
 use llm::layers::LayerKind;
 use simaudit::Auditor;
@@ -38,11 +39,27 @@ use xfer::link::CappedLink;
 /// Returns [`HelmError::TierUnavailable`] if the placement routes
 /// traffic through a memory tier the platform does not provide.
 pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError> {
-    let layers = inp.placement.layers();
-    let num_layers = layers.len();
+    let table = LayerCostTable::build(inp)?;
+    run_pipeline_des_with(inp, &table, RecordMode::Full)
+}
+
+/// [`run_pipeline_des`] over a prebuilt [`LayerCostTable`] with an
+/// explicit [`RecordMode`]: per-layer weight flows, compute, and
+/// write-back costs come from the table; only the context-dependent
+/// KV inbound stream is priced live.
+///
+/// # Errors
+///
+/// Returns [`HelmError::TierUnavailable`] as [`run_pipeline_des`]
+/// does.
+pub fn run_pipeline_des_with(
+    inp: &PipelineInputs<'_>,
+    table: &LayerCostTable,
+    mode: RecordMode,
+) -> Result<RunReport, HelmError> {
+    let num_layers = table.num_layers();
     let gen_len = inp.workload.gen_len;
-    let cpu_ws = inp.placement.total_on(Tier::Cpu);
-    let disk_ws = inp.placement.total_on(Tier::Disk);
+    let gpu = inp.system.gpu();
     let micro = inp.policy.num_gpu_batches();
     let effective_batch = inp.policy.effective_batch();
 
@@ -54,7 +71,11 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError
     // The outstanding write-back, if any: its drain time.
     let mut writeback_done: Option<SimTime> = None;
 
-    let mut records = Vec::with_capacity(num_layers * gen_len);
+    let mut records = match mode {
+        RecordMode::Full => Vec::with_capacity(num_layers * gen_len),
+        RecordMode::Aggregate => Vec::new(),
+    };
+    let mut totals = StepTotals::default();
     let mut tbt = SeriesStats::new();
     let mut ttft = SimDuration::ZERO;
 
@@ -96,8 +117,7 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError
     };
 
     // Pipeline fill: layer 0's weights stream alone.
-    let fill_flows = host_flows(inp, 0, cpu_ws, disk_ws, None)?;
-    now = drain(&mut h2d, &mut audit, now, &fill_flows);
+    now = drain(&mut h2d, &mut audit, now, table.weight_flows(0));
 
     for token in 0..gen_len {
         let stage = if token == 0 {
@@ -106,7 +126,7 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError
             Stage::Decode
         };
         let token_start = now;
-        for (j, lp) in layers.iter().enumerate() {
+        for j in 0..num_layers {
             let last_step = token + 1 == gen_len && j + 1 == num_layers;
             let next_index = (j + 1) % num_layers;
             let step_start = now;
@@ -115,84 +135,81 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError
             let (load_done, next_kind, h2d_bytes) = if last_step {
                 (step_start, None, ByteSize::ZERO)
             } else {
-                let kv_ctx = if inp.policy.kv_offload()
-                    && layers[next_index].layer().kind() == LayerKind::Mha
-                {
-                    Some(match stage {
+                let kv = if inp.policy.kv_offload() && table.kind(next_index) == LayerKind::Mha {
+                    let context = match stage {
                         Stage::Prefill => 0,
                         Stage::Decode => inp.workload.prompt_len + token,
-                    })
+                    };
+                    kv_flow(inp, table, next_index, context)?
                 } else {
                     None
                 };
-                let flows = host_flows(inp, next_index, cpu_ws, disk_ws, kv_ctx)?;
-                let bytes = flows.iter().map(|f| f.bytes).sum();
-                (
-                    drain(&mut h2d, &mut audit, step_start, &flows),
-                    Some(layers[next_index].layer().kind()),
-                    bytes,
-                )
+                let weights = table.weight_flows(next_index);
+                let (done, bytes) = match kv {
+                    // No KV stream: the cached flow slice is used
+                    // as-is — no per-step allocation.
+                    None => (
+                        drain(&mut h2d, &mut audit, step_start, weights),
+                        weights.iter().map(|f| f.bytes).sum(),
+                    ),
+                    Some(f) => {
+                        let mut flows = Vec::with_capacity(weights.len() + 1);
+                        flows.extend_from_slice(weights);
+                        flows.push(f);
+                        let bytes = flows.iter().map(|f| f.bytes).sum();
+                        (drain(&mut h2d, &mut audit, step_start, &flows), bytes)
+                    }
+                };
+                (done, Some(table.kind(next_index)), bytes)
             };
 
             // Compute runs in parallel with the loads.
-            let compute = compute_time(inp, lp.layer(), stage, token) * f64::from(micro);
+            let compute = table.compute_time(gpu, j, stage, token) * f64::from(micro);
             let compute_done = step_start + compute;
 
             // KV write-back: enqueue after compute; stall only if the
             // previous write-back is still draining.
             let mut d2h_bytes = ByteSize::ZERO;
             let mut stall_until = step_start;
-            if inp.policy.kv_offload() && lp.layer().kind() == LayerKind::Mha {
-                if let Some(prev) = writeback_done.take() {
-                    stall_until = stall_until.max(prev);
+            if let Some(wb) = table.writeback(stage) {
+                if table.kind(j) == LayerKind::Mha {
+                    if let Some(prev) = writeback_done.take() {
+                        stall_until = stall_until.max(prev);
+                    }
+                    let start = compute_done.max(stall_until);
+                    writeback_done = Some(drain(
+                        &mut d2h,
+                        &mut audit,
+                        start,
+                        &[Flow {
+                            bytes: wb.bytes,
+                            cap: wb.cap,
+                            fixed: wb.fixed,
+                            channel: "d2h:kv",
+                        }],
+                    ));
+                    d2h_bytes = wb.bytes;
                 }
-                let new_tokens = match stage {
-                    Stage::Prefill => inp.workload.prompt_len,
-                    Stage::Decode => 1,
-                };
-                let bytes = ByteSize::from_bytes(
-                    u64::from(effective_batch)
-                        * new_tokens as u64
-                        * llm::kv::kv_bytes_per_token_per_block(inp.model),
-                );
-                let cap = inp
-                    .system
-                    .tier_writeback_bandwidth(Tier::Cpu, bytes, Some(cpu_ws))
-                    .ok_or(HelmError::TierUnavailable { tier: "cpu" })?;
-                let full = inp
-                    .system
-                    .tier_writeback_time(Tier::Cpu, bytes, Some(cpu_ws))
-                    .ok_or(HelmError::TierUnavailable { tier: "cpu" })?;
-                let start = compute_done.max(stall_until);
-                writeback_done = Some(drain(
-                    &mut d2h,
-                    &mut audit,
-                    start,
-                    &[Flow {
-                        bytes,
-                        cap,
-                        fixed: full - cap.time_for(bytes),
-                        channel: "d2h:kv",
-                    }],
-                ));
-                d2h_bytes = bytes;
             }
 
             now = compute_done.max(load_done).max(stall_until) + SYNC_OVERHEAD;
             audit.check_duration("compute", compute);
             audit.observe_time("des", now);
-            records.push(LayerStepRecord {
-                token,
-                layer_index: j,
-                kind: lp.layer().kind(),
-                stage,
-                compute,
-                load_next: load_done - step_start,
-                next_kind,
-                h2d_bytes,
-                d2h_bytes,
-                step: now - step_start,
-            });
+            totals.record(compute, h2d_bytes, d2h_bytes);
+            if mode == RecordMode::Full {
+                records.push(LayerStepRecord {
+                    token,
+                    layer_index: j,
+                    kind: table.kind(j),
+                    stage,
+                    compute,
+                    load_next: load_done - step_start,
+                    next_kind,
+                    h2d_bytes,
+                    d2h_bytes,
+                    step: now - step_start,
+                });
+            }
         }
         if token == 0 {
             ttft = now - SimTime::ZERO;
@@ -216,6 +233,7 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError
         tbt,
         total_time: now - SimTime::ZERO,
         tokens_generated: inp.workload.tokens_generated(effective_batch),
+        totals,
         records,
         achieved_distribution: inp.placement.achieved_distribution(),
         audit: audit.finish_if_active(),
@@ -226,16 +244,41 @@ pub fn run_pipeline_des(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError
 /// share of its standalone transfer time, and the audit ledger
 /// channel its bytes are accounted on.
 #[derive(Debug, Clone, Copy)]
-struct Flow {
-    bytes: ByteSize,
-    cap: Bandwidth,
-    fixed: SimDuration,
-    channel: &'static str,
+pub(crate) struct Flow {
+    pub(crate) bytes: ByteSize,
+    pub(crate) cap: Bandwidth,
+    pub(crate) fixed: SimDuration,
+    pub(crate) channel: &'static str,
+}
+
+/// The inbound KV stream of MHA layer `j` at `context`, `None` when
+/// nothing streams — the one per-step flow the cost table cannot
+/// cache (its size and bandwidth curve depend on the context).
+fn kv_flow(
+    inp: &PipelineInputs<'_>,
+    table: &LayerCostTable,
+    j: usize,
+    context: usize,
+) -> Result<Option<Flow>, HelmError> {
+    let kv = table.kv_read_bytes(j, context);
+    if kv == ByteSize::ZERO {
+        return Ok(None);
+    }
+    let cap = inp
+        .system
+        .kv_stream_bandwidth(kv, Some(table.cpu_ws()))
+        .ok_or(HelmError::TierUnavailable { tier: "cpu" })?;
+    Ok(Some(Flow {
+        bytes: kv,
+        cap,
+        fixed: SimDuration::ZERO,
+        channel: "h2d:kv",
+    }))
 }
 
 /// The host→GPU flows for one layer: per-tier weight portions, plus
 /// the layer's KV cache when offloaded (`kv_context`).
-fn host_flows(
+pub(crate) fn host_flows(
     inp: &PipelineInputs<'_>,
     layer_index: usize,
     cpu_ws: ByteSize,

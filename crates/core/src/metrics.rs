@@ -54,6 +54,53 @@ pub struct LayerStepRecord {
     pub step: SimDuration,
 }
 
+/// Run-wide aggregates over a pipeline's steps, accumulated by the
+/// executors in step order — the same order the per-step record sums
+/// used to run in, so the totals are bit-identical whether or not the
+/// records themselves are materialized
+/// ([`crate::exec::RecordMode::Aggregate`] drops them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepTotals {
+    /// Pipeline steps executed (`gen_len × num_layers`).
+    pub steps: usize,
+    /// Host→GPU bytes moved (weights plus any streamed KV cache).
+    pub h2d_bytes: ByteSize,
+    /// GPU→host bytes moved (KV-cache write-back under offloading).
+    pub d2h_bytes: ByteSize,
+    /// GPU busy (compute) time.
+    pub compute: SimDuration,
+}
+
+impl Default for StepTotals {
+    fn default() -> Self {
+        StepTotals {
+            steps: 0,
+            h2d_bytes: ByteSize::ZERO,
+            d2h_bytes: ByteSize::ZERO,
+            compute: SimDuration::ZERO,
+        }
+    }
+}
+
+impl StepTotals {
+    /// Folds one step into the totals.
+    pub fn record(&mut self, compute: SimDuration, h2d: ByteSize, d2h: ByteSize) {
+        self.steps += 1;
+        self.compute += compute;
+        self.h2d_bytes += h2d;
+        self.d2h_bytes += d2h;
+    }
+
+    /// The totals of an already-materialized record list.
+    pub fn from_records(records: &[LayerStepRecord]) -> Self {
+        let mut totals = StepTotals::default();
+        for r in records {
+            totals.record(r.compute, r.h2d_bytes, r.d2h_bytes);
+        }
+        totals
+    }
+}
+
 /// The result of one serving run.
 ///
 /// All averages follow the paper's §III-C rule: arithmetic mean with
@@ -78,8 +125,13 @@ pub struct RunReport {
     pub total_time: SimDuration,
     /// Tokens generated (batch x gen_len).
     pub tokens_generated: u64,
-    /// Every pipeline step.
+    /// Every pipeline step. Empty when the run used
+    /// [`crate::exec::RecordMode::Aggregate`]; the per-record
+    /// breakdowns (timelines, CSV, stage/kind averages) then report
+    /// nothing, while [`RunReport::totals`] stays exact.
     pub records: Vec<LayerStepRecord>,
+    /// Step aggregates, valid in both record modes.
+    pub totals: StepTotals,
     /// Achieved (disk, cpu, gpu) weight distribution.
     pub achieved_distribution: [f64; 3],
     /// Invariant-audit outcome, when auditing was active for the run
@@ -183,17 +235,17 @@ impl RunReport {
 
     /// Total host→GPU traffic of the run.
     pub fn total_h2d_bytes(&self) -> ByteSize {
-        self.records.iter().map(|r| r.h2d_bytes).sum()
+        self.totals.h2d_bytes
     }
 
     /// Total GPU→host traffic of the run.
     pub fn total_d2h_bytes(&self) -> ByteSize {
-        self.records.iter().map(|r| r.d2h_bytes).sum()
+        self.totals.d2h_bytes
     }
 
     /// Total GPU busy (compute) time of the run.
     pub fn total_compute_time(&self) -> SimDuration {
-        self.records.iter().map(|r| r.compute).sum()
+        self.totals.compute
     }
 
     /// Exports every pipeline step as CSV (header + one row per
@@ -302,6 +354,55 @@ mod tests {
     }
 
     fn report() -> RunReport {
+        let records = vec![
+            // Two decode MHA steps loading FFN weights (first is
+            // the cold sample and gets discarded).
+            record(
+                1,
+                1,
+                LayerKind::Mha,
+                Stage::Decode,
+                99.0,
+                99.0,
+                Some(LayerKind::Ffn),
+            ),
+            record(
+                2,
+                1,
+                LayerKind::Mha,
+                Stage::Decode,
+                10.0,
+                30.0,
+                Some(LayerKind::Ffn),
+            ),
+            record(
+                3,
+                1,
+                LayerKind::Mha,
+                Stage::Decode,
+                10.0,
+                30.0,
+                Some(LayerKind::Ffn),
+            ),
+            record(
+                2,
+                2,
+                LayerKind::Ffn,
+                Stage::Decode,
+                20.0,
+                15.0,
+                Some(LayerKind::Mha),
+            ),
+            record(
+                3,
+                2,
+                LayerKind::Ffn,
+                Stage::Decode,
+                20.0,
+                15.0,
+                Some(LayerKind::Mha),
+            ),
+        ];
         RunReport {
             model: "test".into(),
             config: "DRAM".into(),
@@ -312,55 +413,8 @@ mod tests {
             tbt: [0.5, 0.01, 0.02, 0.03].into_iter().collect(),
             total_time: SimDuration::from_secs(1.0),
             tokens_generated: 21,
-            records: vec![
-                // Two decode MHA steps loading FFN weights (first is
-                // the cold sample and gets discarded).
-                record(
-                    1,
-                    1,
-                    LayerKind::Mha,
-                    Stage::Decode,
-                    99.0,
-                    99.0,
-                    Some(LayerKind::Ffn),
-                ),
-                record(
-                    2,
-                    1,
-                    LayerKind::Mha,
-                    Stage::Decode,
-                    10.0,
-                    30.0,
-                    Some(LayerKind::Ffn),
-                ),
-                record(
-                    3,
-                    1,
-                    LayerKind::Mha,
-                    Stage::Decode,
-                    10.0,
-                    30.0,
-                    Some(LayerKind::Ffn),
-                ),
-                record(
-                    2,
-                    2,
-                    LayerKind::Ffn,
-                    Stage::Decode,
-                    20.0,
-                    15.0,
-                    Some(LayerKind::Mha),
-                ),
-                record(
-                    3,
-                    2,
-                    LayerKind::Ffn,
-                    Stage::Decode,
-                    20.0,
-                    15.0,
-                    Some(LayerKind::Mha),
-                ),
-            ],
+            totals: StepTotals::from_records(&records),
+            records,
             achieved_distribution: [0.0, 91.7, 8.3],
             audit: None,
         }

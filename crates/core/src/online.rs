@@ -124,7 +124,9 @@ impl ServiceModel {
     /// [`Server`] runs.
     pub fn calibrate(server: &Server, workload: &WorkloadSpec) -> Result<ServiceModel, HelmError> {
         let max_batch = server.policy().effective_batch();
-        let full = server.run(workload)?;
+        // Calibration reads only aggregates (totals, TTFT, mean TBT),
+        // so both runs skip per-step record materialization.
+        let full = server.run_aggregate(workload)?;
         let single = if max_batch > 1 {
             Server::new(
                 server.system().clone(),
@@ -135,7 +137,7 @@ impl ServiceModel {
                     .with_batch_size(1)
                     .with_gpu_batches(1),
             )?
-            .run(workload)?
+            .run_aggregate(workload)?
         } else {
             full.clone()
         };

@@ -1,7 +1,7 @@
 //! The high-level serving entry point.
 
 use crate::error::HelmError;
-use crate::exec::{run_pipeline, PipelineInputs};
+use crate::exec::{run_pipeline, run_pipeline_with, LayerCostTable, PipelineInputs, RecordMode};
 use crate::metrics::RunReport;
 use crate::placement::{ModelPlacement, Tier};
 use crate::policy::Policy;
@@ -189,6 +189,23 @@ impl Server {
     /// [`HelmError::BatchTooLarge`] when the policy's batch exceeds
     /// what GPU memory allows for this workload.
     pub fn run(&self, workload: &WorkloadSpec) -> Result<RunReport, HelmError> {
+        self.run_mode(workload, RecordMode::Full)
+    }
+
+    /// [`Server::run`] in [`RecordMode::Aggregate`]: the same
+    /// validated pipeline run with bit-identical aggregates (TTFT,
+    /// TBT, throughput, traffic totals) but no per-step records — the
+    /// allocation-free path online calibration and repeated
+    /// evaluations use.
+    ///
+    /// # Errors
+    ///
+    /// [`HelmError::BatchTooLarge`] as for [`Server::run`].
+    pub fn run_aggregate(&self, workload: &WorkloadSpec) -> Result<RunReport, HelmError> {
+        self.run_mode(workload, RecordMode::Aggregate)
+    }
+
+    fn run_mode(&self, workload: &WorkloadSpec, mode: RecordMode) -> Result<RunReport, HelmError> {
         let max = self.max_batch(workload);
         if self.policy.effective_batch() > max {
             return Err(HelmError::BatchTooLarge {
@@ -196,7 +213,16 @@ impl Server {
                 max_batch: max,
             });
         }
-        self.run_unchecked(workload)
+        let placement = self.effective_placement(workload);
+        let inputs = PipelineInputs {
+            system: &self.system,
+            model: &self.model,
+            policy: &self.policy,
+            placement: &placement,
+            workload,
+        };
+        let table = LayerCostTable::build(&inputs)?;
+        run_pipeline_with(&inputs, &table, mode)
     }
 
     /// Runs the serving pipeline on the discrete-event executor

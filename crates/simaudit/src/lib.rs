@@ -243,7 +243,7 @@ impl fmt::Display for Violation {
 
 /// The outcome of one audited run: every channel's final ledger plus
 /// every violation observed along the way.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AuditReport {
     /// Final per-channel ledgers, in channel-name order.
     pub ledgers: Vec<(String, ByteLedger)>,
