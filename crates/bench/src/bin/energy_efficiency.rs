@@ -97,11 +97,17 @@ fn main() -> Result<(), helm_core::HelmError> {
         &[
             (
                 "DDR4 DRAM".to_owned(),
-                vec![DRAM_STATIC_W_PER_GB, DRAM_STATIC_W_PER_GB * 1000.0],
+                vec![
+                    DRAM_STATIC_W_PER_GB.as_w_per_gb(),
+                    DRAM_STATIC_W_PER_GB.static_watts(ByteSize::from_gb(1000.0)),
+                ],
             ),
             (
                 "Optane DCPMM".to_owned(),
-                vec![OPTANE_STATIC_W_PER_GB, OPTANE_STATIC_W_PER_GB * 1000.0],
+                vec![
+                    OPTANE_STATIC_W_PER_GB.as_w_per_gb(),
+                    OPTANE_STATIC_W_PER_GB.static_watts(ByteSize::from_gb(1000.0)),
+                ],
             ),
         ],
     );

@@ -28,6 +28,9 @@ const SERVE_FLAGS: &[&str] = &[
     "lambda",
     "requests",
     "seed",
+    "mix",
+    "admission",
+    "slo-ms",
 ];
 
 struct Session {
@@ -63,7 +66,8 @@ fn session(args: &Args) -> Result<Session, ArgError> {
 /// `helmsim serve`.
 pub fn serve(args: &Args) -> Result<(), ArgError> {
     args.reject_unknown(SERVE_FLAGS)?;
-    if args.get("pipelines").is_some() || args.get("lambda").is_some() {
+    if args.get("pipelines").is_some() || args.get("lambda").is_some() || args.get("mix").is_some()
+    {
         return serve_online(args);
     }
     let Session { server, workload } = session(args)?;
@@ -92,20 +96,96 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
-/// `helmsim serve --pipelines N`: online serving through a cluster of
-/// pipeline replicas under Poisson load.
+/// One `--mix` replica group: placement, batch, replica count.
+struct MixGroup {
+    placement: helm_core::placement::PlacementKind,
+    batch: u32,
+    count: usize,
+}
+
+/// Parses `--mix helm:4,allcpu:44` (each entry `placement:batch`,
+/// with an optional `xN` replica count as in `helm:4x2`).
+fn parse_mix(spec: &str) -> Result<Vec<MixGroup>, ArgError> {
+    let mut groups = Vec::new();
+    for entry in spec.split(',') {
+        let (name, rest) = entry.split_once(':').ok_or_else(|| {
+            ArgError(format!(
+                "bad --mix entry '{entry}' (expected placement:batch, e.g. helm:4)"
+            ))
+        })?;
+        let placement = select::placement(name)?;
+        let (batch, count) = match rest.split_once('x') {
+            Some((b, n)) => (
+                b.parse::<u32>()
+                    .map_err(|e| ArgError(format!("bad batch in --mix entry '{entry}': {e}")))?,
+                n.parse::<usize>().map_err(|e| {
+                    ArgError(format!("bad replica count in --mix entry '{entry}': {e}"))
+                })?,
+            ),
+            None => (
+                rest.parse::<u32>()
+                    .map_err(|e| ArgError(format!("bad batch in --mix entry '{entry}': {e}")))?,
+                1,
+            ),
+        };
+        if batch == 0 || count == 0 {
+            return Err(ArgError(format!(
+                "--mix entry '{entry}' needs a positive batch and replica count"
+            )));
+        }
+        groups.push(MixGroup {
+            placement,
+            batch,
+            count,
+        });
+    }
+    Ok(groups)
+}
+
+/// `helmsim serve --pipelines N` / `--mix a:4,b:44`: online serving
+/// through a cluster of pipeline replicas — identical or mixed —
+/// under Poisson load, with optional deadlines and admission control.
 fn serve_online(args: &Args) -> Result<(), ArgError> {
-    use helm_core::online::{run_cluster, ClusterSpec, PoissonArrivals, SchedulerKind};
+    use helm_core::online::{
+        run_cluster, run_cluster_mix, AdmissionPolicy, ClusterSpec, DeadlineSpec, PoissonArrivals,
+        SchedulerKind,
+    };
+    use simcore::time::SimDuration;
 
     let Session { server, workload } = session(args)?;
+    let mix = args.get("mix").map(parse_mix).transpose()?;
+    if mix.is_some() && args.get("pipelines").is_some() {
+        return Err(ArgError(
+            "--mix and --pipelines are mutually exclusive (the mix determines the cluster size)"
+                .to_owned(),
+        ));
+    }
     let pipelines = args.get_num("pipelines", 1usize)?;
     if pipelines == 0 {
         return Err(ArgError("--pipelines must be at least 1".to_owned()));
     }
     let scheduler: SchedulerKind = args.get_or("scheduler", "rr").parse().map_err(ArgError)?;
+    let admission: AdmissionPolicy = args
+        .get_or("admission", "accept")
+        .parse()
+        .map_err(ArgError)?;
+    let deadlines = match args.get("slo-ms") {
+        Some(_) => {
+            let slo_ms = args.get_num("slo-ms", 0.0f64)?;
+            if !(slo_ms.is_finite() && slo_ms > 0.0) {
+                return Err(ArgError(format!(
+                    "--slo-ms must be a positive deadline, got {slo_ms}"
+                )));
+            }
+            DeadlineSpec::Fixed(SimDuration::from_millis(slo_ms))
+        }
+        None => DeadlineSpec::None,
+    };
     let spec = ClusterSpec::new(pipelines)
         .with_scheduler(scheduler)
-        .with_continuous(args.get_bool("continuous")?);
+        .with_continuous(args.get_bool("continuous")?)
+        .with_admission(admission)
+        .with_deadlines(deadlines);
     let lambda = args.get_num("lambda", 0.05f64)?;
     if !(lambda.is_finite() && lambda > 0.0) {
         return Err(ArgError(format!(
@@ -115,25 +195,77 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
     let requests = args.get_num("requests", 60usize)?;
     let seed = args.get_num("seed", 42u64)?;
     let mut arrivals = PoissonArrivals::new(lambda, seed);
-    let report = run_cluster(&server, &workload, &mut arrivals, requests, spec)
-        .map_err(|e| ArgError(e.to_string()))?;
+
+    let (report, cluster_size) = match &mix {
+        Some(groups) => {
+            let servers = groups
+                .iter()
+                .map(|g| {
+                    server
+                        .reconfigured(g.placement, g.batch)
+                        .map_err(|e| ArgError(e.to_string()))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let refs: Vec<(&Server, usize)> = servers
+                .iter()
+                .zip(groups.iter())
+                .map(|(s, g)| (s, g.count))
+                .collect();
+            let report = run_cluster_mix(&refs, &workload, &mut arrivals, requests, spec)
+                .map_err(|e| ArgError(e.to_string()))?;
+            (report, groups.iter().map(|g| g.count).sum::<usize>())
+        }
+        None => {
+            let report = run_cluster(&server, &workload, &mut arrivals, requests, spec)
+                .map_err(|e| ArgError(e.to_string()))?;
+            (report, pipelines)
+        }
+    };
 
     println!(
-        "{} on {} [{} b={}], {} pipeline(s), {} dispatch, {} batching",
+        "{} on {}, {} pipeline(s), {} dispatch, {} admission, {} batching",
         server.model().name(),
         server.system().memory().kind(),
-        server.policy().placement(),
-        server.policy().effective_batch(),
-        spec.pipelines,
+        cluster_size,
         spec.scheduler,
+        admission,
         if spec.continuous {
             "continuous"
         } else {
             "run-to-completion"
         },
     );
+    match &mix {
+        Some(groups) => {
+            for (g, group) in groups.iter().enumerate() {
+                println!(
+                    "  config {g}    : {} b={} x{}",
+                    group.placement, group.batch, group.count
+                );
+            }
+        }
+        None => println!(
+            "  config 0    : {} b={} x{}",
+            server.policy().placement(),
+            server.policy().effective_batch(),
+            pipelines
+        ),
+    }
     println!("  load        : lambda {lambda} req/s, {requests} requests, seed {seed}");
+    if let DeadlineSpec::Fixed(slo) = deadlines {
+        println!("  SLO         : {:>12.1} ms", slo.as_millis());
+    }
     println!("  served      : {:>12}", report.served);
+    if report.rejected > 0 || report.expired > 0 || !matches!(deadlines, DeadlineSpec::None) {
+        println!("  rejected    : {:>12}", report.rejected);
+        println!("  expired     : {:>12}", report.expired);
+        println!(
+            "  SLO met     : {:>12} ({} violated, attainment {:.3})",
+            report.met,
+            report.slo_violations,
+            report.slo_attainment()
+        );
+    }
     println!("  makespan    : {:>12.1} s", report.makespan.as_secs());
     println!(
         "  queue delay : {:>12.1} ms mean",
@@ -145,11 +277,20 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
         report.e2e_percentile_ms(95.0)
     );
     println!("  throughput  : {:>12.3} tok/s", report.tokens_per_s);
+    if !matches!(deadlines, DeadlineSpec::None) {
+        println!(
+            "  goodput     : {:>12.3} tok/s (SLO-met)",
+            report.tokens_per_s_met
+        );
+    }
     println!("  utilization : {:>12.3}", report.utilization);
     for (i, p) in report.per_pipeline.iter().enumerate() {
         println!(
-            "  pipe{i:<7} : served {:>4}, {} batches, busy {:.1} s, util {:.3}",
+            "  pipe{i:<7} : cfg {} served {:>4}, rejected {:>3}, expired {:>3}, {} batches, busy {:.1} s, util {:.3}",
+            p.config,
             p.served,
+            p.rejected,
+            p.expired,
             p.batches,
             p.busy.as_secs(),
             p.utilization
@@ -478,6 +619,83 @@ mod tests {
         assert!(serve(&sched).unwrap_err().to_string().contains("scheduler"));
         let lambda = parse(&["--model", "opt-1.3b", "--memory", "dram", "--lambda", "-1"]);
         assert!(serve(&lambda).unwrap_err().to_string().contains("lambda"));
+    }
+
+    #[test]
+    fn serve_mix_cluster_end_to_end() {
+        let args = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--gen",
+            "3",
+            "--mix",
+            "helm:2,all-cpu:4x2",
+            "--scheduler",
+            "edf",
+            "--admission",
+            "deadline",
+            "--slo-ms",
+            "30000",
+            "--lambda",
+            "0.5",
+            "--requests",
+            "10",
+            "--seed",
+            "7",
+        ]);
+        serve(&args).unwrap();
+    }
+
+    #[test]
+    fn serve_mix_validates_flags() {
+        let base = ["--model", "opt-1.3b", "--memory", "dram"];
+        let bad_entry = |mix: &str| {
+            let mut v = base.to_vec();
+            v.extend(["--mix", mix]);
+            serve(&parse(&v)).unwrap_err().to_string()
+        };
+        assert!(bad_entry("helm").contains("placement:batch"));
+        assert!(bad_entry("helm:0").contains("positive"));
+        assert!(bad_entry("helm:2x0").contains("positive"));
+        assert!(bad_entry("helm:abc").contains("batch"));
+        assert!(bad_entry("tarot:4").contains("placement"));
+
+        let conflict = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--mix",
+            "helm:2",
+            "--pipelines",
+            "3",
+        ]);
+        assert!(serve(&conflict)
+            .unwrap_err()
+            .to_string()
+            .contains("mutually exclusive"));
+
+        let admission = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--lambda",
+            "0.5",
+            "--admission",
+            "lottery",
+        ]);
+        assert!(serve(&admission)
+            .unwrap_err()
+            .to_string()
+            .contains("admission"));
+
+        let slo = parse(&[
+            "--model", "opt-1.3b", "--memory", "dram", "--lambda", "0.5", "--slo-ms", "-5",
+        ]);
+        assert!(serve(&slo).unwrap_err().to_string().contains("slo-ms"));
     }
 
     #[test]

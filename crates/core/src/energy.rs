@@ -17,6 +17,7 @@
 use crate::metrics::RunReport;
 use crate::system::SystemConfig;
 use hetmem::MemoryTechnology;
+use simcore::PowerDensity;
 use std::fmt;
 
 /// DDR4 DRAM access energy, J/byte (~20 pJ/bit).
@@ -32,11 +33,11 @@ pub const STORAGE_ACCESS_J_PER_BYTE: f64 = 500e-12;
 /// PCIe transfer energy, J/byte (~6 pJ/bit).
 pub const PCIE_J_PER_BYTE: f64 = 48e-12;
 /// DRAM background power, W per GB (refresh + standby, DDR4 DIMMs).
-pub const DRAM_STATIC_W_PER_GB: f64 = 0.075;
+pub const DRAM_STATIC_W_PER_GB: PowerDensity = PowerDensity::from_w_per_gb(0.075);
 /// Optane background power, W per GB (DCPMM idle ~4 W / 128 GB DIMM).
-pub const OPTANE_STATIC_W_PER_GB: f64 = 0.031;
+pub const OPTANE_STATIC_W_PER_GB: PowerDensity = PowerDensity::from_w_per_gb(0.031);
 /// CXL expander background power, W per GB (device + controller).
-pub const CXL_STATIC_W_PER_GB: f64 = 0.040;
+pub const CXL_STATIC_W_PER_GB: PowerDensity = PowerDensity::from_w_per_gb(0.040);
 /// GPU board power while kernels execute (A100 under serving load).
 pub const GPU_ACTIVE_W: f64 = 300.0;
 /// GPU board power while idle/stalled on transfers.
@@ -104,8 +105,8 @@ pub struct TechEnergy {
     pub read_j_per_byte: f64,
     /// J/byte for writes.
     pub write_j_per_byte: f64,
-    /// Background W per GB of capacity.
-    pub static_w_per_gb: f64,
+    /// Background power density of the capacity.
+    pub static_w_per_gb: PowerDensity,
 }
 
 /// Coefficients for a memory technology class.
@@ -171,10 +172,10 @@ pub fn assess(report: &RunReport, system: &SystemConfig) -> EnergyReport {
     let busy = report.total_compute_time().as_secs().min(wall);
 
     let mut host_dynamic_j = h2d * host.read_j_per_byte + d2h * host.write_j_per_byte;
-    let mut host_static_w = cpu_dev.capacity().as_gb() * host.static_w_per_gb;
+    let mut host_static_w = host.static_w_per_gb.static_watts(cpu_dev.capacity());
     if let Some(disk) = system.memory().disk_device() {
         let dt = tech_energy(disk.technology());
-        host_static_w += disk.capacity().as_gb() * dt.static_w_per_gb;
+        host_static_w += dt.static_w_per_gb.static_watts(disk.capacity());
         // Disk-tier traffic additionally crosses DRAM bounce buffers.
         host_dynamic_j += h2d * DRAM_ACCESS_J_PER_BYTE;
     }
@@ -247,7 +248,11 @@ mod tests {
     #[test]
     fn optane_static_power_beats_dram_per_gb() {
         // The substitution argument's foundation.
-        const { assert!(OPTANE_STATIC_W_PER_GB < DRAM_STATIC_W_PER_GB / 2.0) };
+        const {
+            assert!(
+                OPTANE_STATIC_W_PER_GB.as_w_per_gb() < DRAM_STATIC_W_PER_GB.as_w_per_gb() / 2.0
+            );
+        };
         let dram = tech_energy(MemoryTechnology::Dram);
         let pcm = tech_energy(MemoryTechnology::Pcm);
         assert!(pcm.static_w_per_gb < dram.static_w_per_gb);

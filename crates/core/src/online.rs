@@ -24,12 +24,25 @@
 //!   [`ServiceModel`], split into per-batch prefill and per-step
 //!   decode costs calibrated from two pipeline runs.
 //!
-//! [`run_cluster`] generalizes both to `N` independent pipelines fed
-//! by a pluggable dispatcher ([`SchedulerKind`]) and wires the
-//! [`simaudit`] conservation auditor through the serving path: every
-//! arrival is ledgered against its pipeline, every completion balances
-//! the ledger, and per-pipeline busy time is checked against the
-//! cluster makespan.
+//! [`run_cluster`] generalizes both to `N` identical pipelines fed by
+//! a pluggable dispatcher ([`SchedulerKind`]); [`run_cluster_mix`]
+//! generalizes further to a **heterogeneous** cluster — each replica
+//! group carries its own [`Server`]-derived [`ServiceModel`] (e.g. a
+//! latency-tuned HeLM batch-4 replica next to a throughput-tuned
+//! All-CPU batch-44 replica), calibrated once per distinct
+//! configuration. On top of dispatch, an [`AdmissionPolicy`] can
+//! reject requests at arrival and a [`DeadlineSpec`] attaches
+//! per-request completion deadlines, turning the cluster into the QoS
+//! engine the paper's conclusion asks for: [`ClusterReport`] then
+//! separates goodput (tokens from SLO-met requests) from raw
+//! throughput and counts rejections, expiries, and SLO violations.
+//!
+//! The [`simaudit`] conservation auditor is wired through the serving
+//! path: every arrival is ledgered against its pipeline, every
+//! completion or abandonment (rejection, expiry) balances the ledger
+//! — `enqueued == completed + abandoned` holds per pipeline — and
+//! per-pipeline busy time is checked against the cluster makespan
+//! instead of being silently clamped.
 
 use crate::error::HelmError;
 use crate::server::Server;
@@ -99,6 +112,11 @@ impl PoissonArrivals {
 /// the prefill/decode split — time-to-first-token and mean
 /// time-between-tokens at each calibration point — which is what
 /// continuous batching needs to price a single decode step.
+///
+/// Queries outside the calibrated range are clamped, never
+/// extrapolated: batch 0 prices as batch 1 (a degenerate batch still
+/// pays the single-request cost) and batches beyond
+/// [`ServiceModel::max_batch`] price as the cap.
 #[derive(Debug, Clone)]
 pub struct ServiceModel {
     max_batch: u32,
@@ -164,11 +182,17 @@ impl ServiceModel {
     }
 
     fn lerp(&self, batch: u32, lo: f64, hi: f64) -> f64 {
-        let frac = f64::from(batch - 1) / f64::from(self.max_batch - 1);
+        // Clamp into the calibrated range. The seed code computed
+        // `batch - 1` unguarded — a `u32` underflow for batch 0
+        // (panic in debug, wraparound garbage in release) — and
+        // silently extrapolated past `max_batch`.
+        let b = batch.clamp(1, self.max_batch.max(1));
+        let frac = f64::from(b - 1) / f64::from(self.max_batch - 1);
         lo + frac * (hi - lo)
     }
 
-    /// Run-to-completion service time for a batch of `batch`.
+    /// Run-to-completion service time for a batch of `batch`
+    /// (clamped into the calibrated range `1..=max_batch`).
     pub fn total(&self, batch: u32) -> SimDuration {
         if self.max_batch <= 1 {
             return SimDuration::from_secs(self.tn);
@@ -177,7 +201,8 @@ impl ServiceModel {
     }
 
     /// Prefill time for `batch` prompts entering together (their
-    /// first output token is produced by this pass).
+    /// first output token is produced by this pass; the batch is
+    /// clamped into the calibrated range).
     pub fn prefill(&self, batch: u32) -> SimDuration {
         if self.max_batch <= 1 {
             return SimDuration::from_secs(self.ttftn);
@@ -186,7 +211,8 @@ impl ServiceModel {
     }
 
     /// One decode step over an active set of `batch` requests (one
-    /// output token each).
+    /// output token each; the batch is clamped into the calibrated
+    /// range).
     pub fn decode_step(&self, batch: u32) -> SimDuration {
         if self.max_batch <= 1 {
             return SimDuration::from_secs(self.tbtn);
@@ -203,6 +229,28 @@ pub enum SchedulerKind {
     /// Each arrival joins the pipeline with the fewest queued plus
     /// in-flight requests (ties broken by lowest index).
     JoinShortestQueue,
+    /// Each arrival joins the pipeline whose *modeled* completion of
+    /// this request is earliest, priced with that replica's own
+    /// [`ServiceModel`] — the dispatcher that makes a heterogeneous
+    /// mix useful: small-batch replicas win when their queue is
+    /// short, big-batch replicas absorb backlog because one more
+    /// request rarely starts a new batch (ties broken by lowest
+    /// index).
+    LeastFinishTime,
+    /// Deadline-aware dispatch and queueing. Dispatch is *best-fit*:
+    /// a deadlined request goes to the **slowest replica
+    /// configuration** whose modeled finish still meets its deadline
+    /// (load-balanced by least finish time within that
+    /// configuration) — loose-deadline traffic soaks into the
+    /// big-batch replicas, preserving the fast small-batch replicas
+    /// for requests only they can serve in time. Requests with no
+    /// deadline, or with no feasible replica, fall back to
+    /// least-finish-time. Within each pipeline, queues are kept in
+    /// earliest-deadline-first order (requests without a deadline
+    /// sort last), and at batch/step admission a request that can no
+    /// longer meet its deadline even if served alone immediately is
+    /// shed as expired instead of wasting service on it.
+    DeadlineAware,
 }
 
 impl SchedulerKind {
@@ -211,6 +259,8 @@ impl SchedulerKind {
         match self {
             SchedulerKind::RoundRobin => "rr",
             SchedulerKind::JoinShortestQueue => "jsq",
+            SchedulerKind::LeastFinishTime => "lft",
+            SchedulerKind::DeadlineAware => "edf",
         }
     }
 }
@@ -228,27 +278,151 @@ impl std::str::FromStr for SchedulerKind {
         match s {
             "rr" | "round-robin" => Ok(SchedulerKind::RoundRobin),
             "jsq" | "join-shortest-queue" => Ok(SchedulerKind::JoinShortestQueue),
-            other => Err(format!("unknown scheduler '{other}' (expected rr or jsq)")),
+            "lft" | "least-finish-time" => Ok(SchedulerKind::LeastFinishTime),
+            "edf" | "deadline-aware" => Ok(SchedulerKind::DeadlineAware),
+            other => Err(format!(
+                "unknown scheduler '{other}' (expected rr, jsq, lft, or edf)"
+            )),
+        }
+    }
+}
+
+/// Whether an arriving request is accepted into its dispatched
+/// pipeline's queue or rejected on the spot.
+///
+/// A rejected request is ledgered as enqueued-then-abandoned on the
+/// pipeline the scheduler picked for it, so the per-pipeline
+/// conservation invariant `enqueued == completed + abandoned` keeps
+/// holding with admission control on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Every request is accepted (the pre-admission-control
+    /// behaviour).
+    AcceptAll,
+    /// Reject when the dispatched pipeline already holds this many
+    /// requests (queued + in-flight + active).
+    QueueCap(usize),
+    /// Reject a deadlined request whose modeled completion on the
+    /// dispatched pipeline — current backlog drained in batches,
+    /// priced with that replica's [`ServiceModel`] — would land past
+    /// its deadline. Requests without a deadline are always accepted.
+    ///
+    /// The check is against the pipeline the scheduler picked; under
+    /// [`SchedulerKind::LeastFinishTime`] / [`SchedulerKind::DeadlineAware`]
+    /// that is the earliest-finishing replica, so rejection means no
+    /// replica could make the deadline.
+    DeadlineFeasible,
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionPolicy::AcceptAll => f.write_str("accept-all"),
+            AdmissionPolicy::QueueCap(n) => write!(f, "cap:{n}"),
+            AdmissionPolicy::DeadlineFeasible => f.write_str("deadline"),
+        }
+    }
+}
+
+impl std::str::FromStr for AdmissionPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        if let Some(n) = s.strip_prefix("cap:") {
+            return n
+                .parse::<usize>()
+                .map(AdmissionPolicy::QueueCap)
+                .map_err(|e| format!("bad queue cap '{n}': {e}"));
+        }
+        match s {
+            "accept" | "accept-all" => Ok(AdmissionPolicy::AcceptAll),
+            "deadline" | "deadline-feasible" => Ok(AdmissionPolicy::DeadlineFeasible),
+            other => Err(format!(
+                "unknown admission policy '{other}' (expected accept, cap:N, or deadline)"
+            )),
+        }
+    }
+}
+
+/// How requests acquire completion deadlines.
+///
+/// Deadlines are assigned per request at arrival, deterministically
+/// in the arrival order (independent of scheduler and admission
+/// decisions), as `arrival + slo`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeadlineSpec {
+    /// No deadlines: every request trivially meets its SLO.
+    None,
+    /// Every request gets the same relative deadline (a
+    /// workload-level SLO).
+    Fixed(SimDuration),
+    /// Mixed traffic: a `tight_fraction` of requests draw the
+    /// `tight` SLO (latency-critical), the rest draw `loose` (batch
+    /// traffic), deterministically in `seed`.
+    Bimodal {
+        /// Relative deadline of the latency-critical class.
+        tight: SimDuration,
+        /// Relative deadline of the throughput class.
+        loose: SimDuration,
+        /// Fraction of arrivals in the latency-critical class.
+        tight_fraction: f64,
+        /// Seed of the per-request class draw.
+        seed: u64,
+    },
+}
+
+impl DeadlineSpec {
+    /// The absolute deadline of each arrival in `times`.
+    fn assign(self, times: &[SimTime]) -> Vec<Option<SimTime>> {
+        match self {
+            DeadlineSpec::None => vec![None; times.len()],
+            DeadlineSpec::Fixed(slo) => times.iter().map(|&t| Some(t + slo)).collect(),
+            DeadlineSpec::Bimodal {
+                tight,
+                loose,
+                tight_fraction,
+                seed,
+            } => {
+                let mut rng = SimRng::from_seed_and_stream(seed, "deadline-mix");
+                times
+                    .iter()
+                    .map(|&t| {
+                        let slo = if rng.next_f64() < tight_fraction {
+                            tight
+                        } else {
+                            loose
+                        };
+                        Some(t + slo)
+                    })
+                    .collect()
+            }
         }
     }
 }
 
 /// Shape of a serving cluster: how many pipelines, how requests are
-/// dispatched to them, and at what granularity batches admit work.
+/// dispatched to them, at what granularity batches admit work, which
+/// arrivals are admitted at all, and what deadlines requests carry.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterSpec {
-    /// Number of independent pipeline replicas.
+    /// Number of independent pipeline replicas ([`run_cluster`] only;
+    /// [`run_cluster_mix`] derives the count from its replica
+    /// groups).
     pub pipelines: usize,
     /// Dispatch policy for arriving requests.
     pub scheduler: SchedulerKind,
     /// Admit requests at decode-step boundaries (continuous batching)
     /// instead of run-to-completion batches.
     pub continuous: bool,
+    /// Arrival-time admission control.
+    pub admission: AdmissionPolicy,
+    /// Per-request deadline assignment.
+    pub deadlines: DeadlineSpec,
 }
 
 impl ClusterSpec {
     /// `pipelines` replicas, round-robin dispatch, run-to-completion
-    /// batching.
+    /// batching, accept-all admission, no deadlines.
     ///
     /// # Panics
     ///
@@ -259,6 +433,8 @@ impl ClusterSpec {
             pipelines,
             scheduler: SchedulerKind::RoundRobin,
             continuous: false,
+            admission: AdmissionPolicy::AcceptAll,
+            deadlines: DeadlineSpec::None,
         }
     }
 
@@ -275,18 +451,42 @@ impl ClusterSpec {
         self.continuous = continuous;
         self
     }
+
+    /// Replaces the admission policy.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Replaces the deadline assignment.
+    #[must_use]
+    pub fn with_deadlines(mut self, deadlines: DeadlineSpec) -> Self {
+        self.deadlines = deadlines;
+        self
+    }
 }
 
 /// Per-pipeline accounting from a cluster run.
 #[derive(Debug, Clone)]
 pub struct PipelineStats {
+    /// Index of the replica group this pipeline was built from
+    /// (always 0 for homogeneous clusters).
+    pub config: usize,
     /// Requests completed on this pipeline.
     pub served: usize,
+    /// Requests rejected at arrival by the admission policy.
+    pub rejected: usize,
+    /// Requests shed at batch/step admission because their deadline
+    /// had become infeasible ([`SchedulerKind::DeadlineAware`] only).
+    pub expired: usize,
     /// Total time this pipeline spent serving.
     pub busy: SimDuration,
     /// Batches (run-to-completion) or steps (continuous) executed.
     pub batches: usize,
-    /// `busy` as a fraction of the cluster makespan.
+    /// `busy` as a fraction of the cluster makespan (not clamped; a
+    /// value above 1 means over-accounted busy time, which the audit
+    /// flags via [`Auditor::check_busy_time`]).
     pub utilization: f64,
 }
 
@@ -295,6 +495,16 @@ pub struct PipelineStats {
 pub struct ClusterReport {
     /// Requests served across all pipelines.
     pub served: usize,
+    /// Requests rejected at arrival by the admission policy.
+    pub rejected: usize,
+    /// Requests shed as expired at batch/step admission
+    /// ([`SchedulerKind::DeadlineAware`] only).
+    pub expired: usize,
+    /// Served requests that finished past their deadline.
+    pub slo_violations: usize,
+    /// Served requests that met their deadline (requests without a
+    /// deadline count as met).
+    pub met: usize,
     /// Wall-clock span from first arrival to last completion.
     pub makespan: SimDuration,
     /// Queueing delays (arrival → batch/step admission), seconds.
@@ -306,8 +516,11 @@ pub struct ClusterReport {
     pub batch_sizes: Vec<u32>,
     /// Mean per-pipeline busy fraction of the makespan.
     pub utilization: f64,
-    /// Sustained output-token throughput over the makespan.
+    /// Sustained output-token throughput over the makespan, computed
+    /// from requests actually served (not offered load).
     pub tokens_per_s: f64,
+    /// Goodput: output-token throughput from SLO-met requests only.
+    pub tokens_per_s_met: f64,
     /// Per-pipeline breakdown, indexed by pipeline.
     pub per_pipeline: Vec<PipelineStats>,
     /// Conservation audit, when auditing is enabled (debug builds or
@@ -325,6 +538,21 @@ impl ClusterReport {
     pub fn e2e_percentile_ms(&self, p: f64) -> f64 {
         SimDuration::from_secs(self.e2e_latency.percentile(p).unwrap_or(0.0)).as_millis()
     }
+
+    /// Requests offered to the cluster: served + rejected + expired.
+    pub fn offered(&self) -> usize {
+        self.served + self.rejected + self.expired
+    }
+
+    /// Fraction of offered requests that completed within their
+    /// deadline (rejected and expired requests count against it).
+    pub fn slo_attainment(&self) -> f64 {
+        if self.offered() == 0 {
+            0.0
+        } else {
+            self.met as f64 / self.offered() as f64
+        }
+    }
 }
 
 /// Per-request and aggregate results of an online run.
@@ -340,10 +568,16 @@ pub struct OnlineReport {
     pub e2e_latency: SeriesStats,
     /// Batch sizes actually formed.
     pub batch_sizes: Vec<u32>,
-    /// Fraction of the makespan the pipeline was busy.
+    /// Fraction of the makespan the pipeline was busy (not clamped;
+    /// over-accounted busy time is an audit finding, not a silent
+    /// saturation).
     pub utilization: f64,
-    /// Sustained output-token throughput over the makespan.
+    /// Sustained output-token throughput over the makespan, computed
+    /// from requests actually served.
     pub tokens_per_s: f64,
+    /// Conservation audit, when auditing is enabled (debug builds or
+    /// [`simaudit::force_enable`]).
+    pub audit: Option<AuditReport>,
 }
 
 impl OnlineReport {
@@ -414,19 +648,22 @@ pub fn run_online(
 
     let first_arrival = times.first().copied().unwrap_or(SimTime::ZERO);
     let makespan = last_completion.max(first_arrival) - first_arrival;
-    let tokens = num_requests as u64 * workload.gen_len as u64;
+    // Every request the loop admitted to a batch completed; count
+    // completions rather than trusting the offered load.
+    let served = e2e.count();
+    debug_assert_eq!(served, queue_delay.count());
+    let tokens = served as u64 * workload.gen_len as u64;
+    let mut audit = Auditor::capture();
+    let utilization = busy_fraction(&mut audit, "online", busy, makespan);
     Ok(OnlineReport {
-        served: num_requests,
+        served,
         makespan,
         queue_delay,
         e2e_latency: e2e,
         batch_sizes,
-        utilization: if makespan > SimDuration::ZERO {
-            (busy / makespan).min(1.0)
-        } else {
-            0.0
-        },
+        utilization,
         tokens_per_s: tokens as f64 / makespan.as_secs().max(f64::MIN_POSITIVE),
+        audit: audit.finish_if_active(),
     })
 }
 
@@ -459,34 +696,82 @@ pub fn run_online_des(
         batch_sizes: r.batch_sizes,
         utilization: r.utilization,
         tokens_per_s: r.tokens_per_s,
+        audit: r.audit,
     })
+}
+
+/// Busy fraction of `makespan`, reported raw. The seed code clamped
+/// this with `.min(1.0)`, which silently masked over-accounted busy
+/// time; a ratio above 1 now surfaces as a
+/// [`Auditor::check_busy_time`] finding and is returned as-is.
+fn busy_fraction(
+    audit: &mut Auditor,
+    label: &str,
+    busy: SimDuration,
+    makespan: SimDuration,
+) -> f64 {
+    audit.check_busy_time(label, busy, makespan);
+    if makespan > SimDuration::ZERO {
+        busy / makespan
+    } else {
+        0.0
+    }
+}
+
+/// One request in flight through the cluster: its arrival instant and
+/// optional absolute completion deadline.
+#[derive(Debug, Clone, Copy)]
+struct Req {
+    at: SimTime,
+    deadline: Option<SimTime>,
+}
+
+impl Req {
+    /// EDF sort key: requests without a deadline sort last.
+    fn edf_key(&self) -> SimTime {
+        self.deadline
+            .unwrap_or(SimTime::from_secs(f64::INFINITY).max(SimTime::ZERO))
+    }
 }
 
 /// One pipeline replica's live state inside the cluster simulation.
 struct Pipe {
-    /// Arrival instants waiting for admission, in arrival order.
-    queue: VecDeque<SimTime>,
+    /// Index into the cluster's [`ServiceModel`] list (one model per
+    /// distinct replica configuration).
+    model: usize,
+    /// Requests waiting for admission, in arrival order (or EDF order
+    /// under [`SchedulerKind::DeadlineAware`]).
+    queue: VecDeque<Req>,
     /// Whether the pipeline is between batches/steps.
     idle: bool,
     /// In-flight request count (run-to-completion mode).
     in_flight: usize,
-    /// Active set: (arrival instant, output tokens still owed).
+    /// Active set: request plus output tokens still owed.
     /// Continuous mode only.
-    active: Vec<(SimTime, usize)>,
+    active: Vec<(Req, usize)>,
+    /// Modeled instant the in-flight batch/step completes — the base
+    /// of finish-time estimates for dispatch and admission.
+    free_at: SimTime,
     busy: SimDuration,
     served: usize,
+    rejected: usize,
+    expired: usize,
     batches: usize,
 }
 
 impl Pipe {
-    fn new() -> Self {
+    fn new(model: usize) -> Self {
         Pipe {
+            model,
             queue: VecDeque::new(),
             idle: true,
             in_flight: 0,
             active: Vec::new(),
+            free_at: SimTime::ZERO,
             busy: SimDuration::ZERO,
             served: 0,
+            rejected: 0,
+            expired: 0,
             batches: 0,
         }
     }
@@ -499,17 +784,128 @@ impl Pipe {
 
 struct ClusterSt {
     pipes: Vec<Pipe>,
-    model: ServiceModel,
+    models: Vec<ServiceModel>,
     continuous: bool,
+    scheduler: SchedulerKind,
+    admission: AdmissionPolicy,
     queue_delay: SeriesStats,
     e2e: SeriesStats,
     batch_sizes: Vec<u32>,
     last_completion: SimTime,
+    slo_violations: usize,
+    met: usize,
     audit: Auditor,
 }
 
 fn req_channel(p: usize) -> String {
     format!("requests:pipe{p}")
+}
+
+/// Modeled completion instant of one more request landing on `pipe`:
+/// the in-flight work finishes at `free_at`, then the backlog (plus
+/// the candidate) drains in run-to-completion batches priced by the
+/// pipe's own model. In continuous mode the active set's residual
+/// decode steps are added first; the batched drain of the queue is a
+/// deliberate upper-bound approximation of step-granularity
+/// admission.
+fn modeled_finish(pipe: &Pipe, model: &ServiceModel, continuous: bool, now: SimTime) -> SimTime {
+    let mut t = pipe.free_at.max(now);
+    if continuous {
+        if let Some(owed) = pipe.active.iter().map(|(_, owed)| *owed).max() {
+            t += model.decode_step(pipe.active.len() as u32) * owed as f64;
+        }
+    }
+    let mut backlog = pipe.queue.len() + 1;
+    let cap = model.max_batch().max(1) as usize;
+    while backlog > 0 {
+        let b = backlog.min(cap);
+        t += model.total(b as u32);
+        backlog -= b;
+    }
+    t
+}
+
+/// Whether `req` can no longer meet its deadline even if served alone
+/// starting right now — the optimistic bound ([`ServiceModel::total`]
+/// at batch 1 is the fastest any admission could finish it), so a
+/// request is only ever shed when it is provably lost.
+fn infeasible(req: &Req, model: &ServiceModel, now: SimTime) -> bool {
+    req.deadline.is_some_and(|d| now + model.total(1) > d)
+}
+
+/// The pipeline `spec.scheduler` dispatches an arrival to.
+fn dispatch(st: &ClusterSt, i: usize, deadline: Option<SimTime>, now: SimTime) -> usize {
+    let finish = |pipe: &Pipe| modeled_finish(pipe, &st.models[pipe.model], st.continuous, now);
+    match st.scheduler {
+        SchedulerKind::RoundRobin => i % st.pipes.len(),
+        SchedulerKind::JoinShortestQueue => st
+            .pipes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, pipe)| pipe.load())
+            .map_or(0, |(idx, _)| idx),
+        SchedulerKind::LeastFinishTime => st
+            .pipes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, pipe)| finish(pipe))
+            .map_or(0, |(idx, _)| idx),
+        SchedulerKind::DeadlineAware => {
+            // Best-fit: the slowest replica *configuration* that can
+            // still meet the deadline, load-balanced by least finish
+            // time within that configuration (ties to the lowest
+            // index). Keying on intrinsic service speed — not current
+            // backlog — keeps fast replicas free for requests only
+            // they can serve in time without the feedback loop where
+            // the most-backlogged replica keeps "winning". No deadline
+            // or no feasible replica: least finish time.
+            let best_fit = deadline.and_then(|d| {
+                st.pipes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, pipe)| finish(pipe) <= d)
+                    .min_by_key(|(_, pipe)| {
+                        (
+                            std::cmp::Reverse(st.models[pipe.model].total(1)),
+                            finish(pipe),
+                        )
+                    })
+                    .map(|(idx, _)| idx)
+            });
+            best_fit.unwrap_or_else(|| {
+                st.pipes
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, pipe)| finish(pipe))
+                    .map_or(0, |(idx, _)| idx)
+            })
+        }
+    }
+}
+
+/// Whether the admission policy accepts `req` on pipeline `p`.
+fn admit(st: &ClusterSt, p: usize, req: &Req, now: SimTime) -> bool {
+    let pipe = &st.pipes[p];
+    match st.admission {
+        AdmissionPolicy::AcceptAll => true,
+        AdmissionPolicy::QueueCap(cap) => pipe.load() < cap,
+        AdmissionPolicy::DeadlineFeasible => match req.deadline {
+            None => true,
+            Some(d) => modeled_finish(pipe, &st.models[pipe.model], st.continuous, now) <= d,
+        },
+    }
+}
+
+/// Queues `req` on pipeline `p`: FIFO normally, EDF order (ties FIFO)
+/// under [`SchedulerKind::DeadlineAware`].
+fn push_request(st: &mut ClusterSt, p: usize, req: Req) {
+    let queue = &mut st.pipes[p].queue;
+    if st.scheduler == SchedulerKind::DeadlineAware {
+        let pos = queue.partition_point(|q| q.edf_key() <= req.edf_key());
+        queue.insert(pos, req);
+    } else {
+        queue.push_back(req);
+    }
 }
 
 /// Kicks `p` when it is idle with work queued: one run-to-completion
@@ -524,35 +920,57 @@ fn start_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
 
 /// Run-to-completion: whoever is queued joins, up to the cap, and the
 /// whole batch occupies the pipeline for its full service time.
+/// Under [`SchedulerKind::DeadlineAware`], requests whose deadline
+/// has become infeasible are shed as expired instead of joining.
 fn batch_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
-    debug_assert!(st.pipes[p].idle && !st.pipes[p].queue.is_empty());
+    debug_assert!(st.pipes[p].idle);
     st.pipes[p].idle = false;
     let now = ctx.now();
+    let model_idx = st.pipes[p].model;
+    let max_batch = st.models[model_idx].max_batch();
     let mut members = Vec::new();
-    while members.len() < st.model.max_batch() as usize {
+    while members.len() < max_batch as usize {
         match st.pipes[p].queue.pop_front() {
-            Some(at) if at <= now => {
-                st.queue_delay.add((now - at).as_secs());
-                members.push(at);
+            Some(req) if req.at <= now => {
+                if st.scheduler == SchedulerKind::DeadlineAware
+                    && infeasible(&req, &st.models[model_idx], now)
+                {
+                    st.audit.abandoned(&req_channel(p), 1);
+                    st.pipes[p].expired += 1;
+                    continue;
+                }
+                st.queue_delay.add((now - req.at).as_secs());
+                members.push(req);
             }
-            Some(at) => {
-                st.pipes[p].queue.push_front(at);
+            Some(req) => {
+                st.pipes[p].queue.push_front(req);
                 break;
             }
             None => break,
         }
     }
     let batch = members.len() as u32;
+    if batch == 0 {
+        // Everything ready was shed as expired; the pipe goes back to
+        // sleep until the next arrival wakes it.
+        st.pipes[p].idle = true;
+        return;
+    }
     st.batch_sizes.push(batch);
     st.pipes[p].in_flight = members.len();
     st.pipes[p].batches += 1;
-    let dur = st.model.total(batch);
+    let dur = st.models[model_idx].total(batch);
     st.pipes[p].busy += dur;
+    st.pipes[p].free_at = now + dur;
     ctx.schedule_in(dur, move |ctx, st: &mut ClusterSt| {
         let done = ctx.now();
         st.audit.observe_time("cluster", done);
-        for at in &members {
-            st.e2e.add((done - *at).as_secs());
+        for req in &members {
+            st.e2e.add((done - req.at).as_secs());
+            match req.deadline {
+                Some(d) if done > d => st.slo_violations += 1,
+                _ => st.met += 1,
+            }
         }
         st.audit.completed(&req_channel(p), members.len() as u64);
         st.pipes[p].served += members.len();
@@ -568,53 +986,75 @@ fn batch_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
 /// Continuous batching: admit whoever is queued into the active set
 /// (up to the cap), run one iteration — prefill for the newcomers,
 /// one decode step for requests already past prefill — and hand every
-/// active request one output token at the step boundary.
+/// active request one output token at the step boundary. Under
+/// [`SchedulerKind::DeadlineAware`], infeasible requests are shed at
+/// the admission boundary.
 fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
     debug_assert!(st.pipes[p].idle);
     st.pipes[p].idle = false;
     let now = ctx.now();
+    let model_idx = st.pipes[p].model;
+    let gen_len = st.models[model_idx].gen_len();
+    let max_batch = st.models[model_idx].max_batch();
     let continuing = st.pipes[p].active.len() as u32;
     let mut admitted = 0u32;
-    while st.pipes[p].active.len() < st.model.max_batch() as usize {
+    while st.pipes[p].active.len() < max_batch as usize {
         match st.pipes[p].queue.pop_front() {
-            Some(at) if at <= now => {
-                st.queue_delay.add((now - at).as_secs());
-                st.pipes[p].active.push((at, st.model.gen_len()));
+            Some(req) if req.at <= now => {
+                if st.scheduler == SchedulerKind::DeadlineAware
+                    && infeasible(&req, &st.models[model_idx], now)
+                {
+                    st.audit.abandoned(&req_channel(p), 1);
+                    st.pipes[p].expired += 1;
+                    continue;
+                }
+                st.queue_delay.add((now - req.at).as_secs());
+                st.pipes[p].active.push((req, gen_len));
                 admitted += 1;
             }
-            Some(at) => {
-                st.pipes[p].queue.push_front(at);
+            Some(req) => {
+                st.pipes[p].queue.push_front(req);
                 break;
             }
             None => break,
         }
     }
     let batch = st.pipes[p].active.len() as u32;
-    debug_assert!(batch > 0);
+    if batch == 0 {
+        // The queue drained entirely into expiries and nothing is in
+        // flight; sleep until the next arrival.
+        st.pipes[p].idle = true;
+        return;
+    }
     st.batch_sizes.push(batch);
     st.pipes[p].batches += 1;
     // The newcomers' first token comes out of their prefill pass; the
     // continuing requests each decode one token alongside it.
     let mut dur = SimDuration::ZERO;
     if admitted > 0 {
-        dur += st.model.prefill(admitted);
+        dur += st.models[model_idx].prefill(admitted);
     }
     if continuing > 0 {
-        dur += st.model.decode_step(continuing);
+        dur += st.models[model_idx].decode_step(continuing);
     }
     st.pipes[p].busy += dur;
+    st.pipes[p].free_at = now + dur;
     ctx.schedule_in(dur, move |ctx, st: &mut ClusterSt| {
         let done = ctx.now();
         st.audit.observe_time("cluster", done);
         let active = std::mem::take(&mut st.pipes[p].active);
         let mut still = Vec::with_capacity(active.len());
         let mut finished = 0u64;
-        for (at, owed) in active {
+        for (req, owed) in active {
             if owed <= 1 {
-                st.e2e.add((done - at).as_secs());
+                st.e2e.add((done - req.at).as_secs());
+                match req.deadline {
+                    Some(d) if done > d => st.slo_violations += 1,
+                    _ => st.met += 1,
+                }
                 finished += 1;
             } else {
-                still.push((at, owed - 1));
+                still.push((req, owed - 1));
             }
         }
         st.pipes[p].active = still;
@@ -635,10 +1075,12 @@ fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
 /// dispatched by `spec.scheduler` and batched at the granularity
 /// `spec.continuous` selects.
 ///
-/// With one pipeline, round-robin dispatch, and continuous batching
-/// off this reproduces [`run_online`]'s statistics bit for bit; the
-/// extra pipelines, JSQ dispatch, and step-granularity admission are
-/// strict generalizations on the same [`ServiceModel`].
+/// With one pipeline, round-robin dispatch, continuous batching off,
+/// accept-all admission, and no deadlines this reproduces
+/// [`run_online`]'s statistics bit for bit; the extra pipelines,
+/// alternative dispatchers, admission policies, deadlines, and
+/// step-granularity admission are strict generalizations on the same
+/// [`ServiceModel`].
 ///
 /// Request conservation and per-pipeline busy time are tracked with a
 /// [`simaudit::Auditor`]; the resulting report (when auditing is
@@ -656,34 +1098,94 @@ pub fn run_cluster(
 ) -> Result<ClusterReport, HelmError> {
     let model = ServiceModel::calibrate(server, workload)?;
     let n = spec.pipelines.max(1);
+    let pipes = (0..n).map(|_| Pipe::new(0)).collect();
+    run_cluster_engine(vec![model], pipes, workload, arrivals, num_requests, spec)
+}
 
+/// Serves `num_requests` Poisson arrivals through a **heterogeneous**
+/// cluster: each `(server, count)` group contributes `count` replicas
+/// of that server's pipeline, with the [`ServiceModel`] calibrated
+/// once per group (the caller expresses "distinct configuration" by
+/// the grouping). `spec.pipelines` is ignored; the cluster size is
+/// the sum of the group counts.
+///
+/// The point of mixing: a latency-tuned small-batch replica and a
+/// throughput-tuned large-batch replica behind one
+/// [`SchedulerKind::LeastFinishTime`] or
+/// [`SchedulerKind::DeadlineAware`] dispatcher serve mixed-SLO
+/// traffic better than either homogeneous cluster — the dispatcher
+/// prices each replica with its own model and routes accordingly.
+///
+/// # Errors
+///
+/// Propagates batch validation from the underlying [`Server`] runs.
+///
+/// # Panics
+///
+/// Panics if the groups contribute no pipeline at all.
+pub fn run_cluster_mix(
+    groups: &[(&Server, usize)],
+    workload: &WorkloadSpec,
+    arrivals: &mut PoissonArrivals,
+    num_requests: usize,
+    spec: ClusterSpec,
+) -> Result<ClusterReport, HelmError> {
+    let mut models = Vec::with_capacity(groups.len());
+    let mut pipes: Vec<Pipe> = Vec::new();
+    for (g, (server, count)) in groups.iter().enumerate() {
+        models.push(ServiceModel::calibrate(server, workload)?);
+        pipes.extend((0..*count).map(|_| Pipe::new(g)));
+    }
+    assert!(
+        !pipes.is_empty(),
+        "a cluster mix needs at least one pipeline"
+    );
+    run_cluster_engine(models, pipes, workload, arrivals, num_requests, spec)
+}
+
+/// The shared cluster simulation: `pipes` (each bound to one of
+/// `models`) serving Poisson arrivals under `spec`'s dispatch,
+/// admission, and deadline policies.
+fn run_cluster_engine(
+    models: Vec<ServiceModel>,
+    pipes: Vec<Pipe>,
+    workload: &WorkloadSpec,
+    arrivals: &mut PoissonArrivals,
+    num_requests: usize,
+    spec: ClusterSpec,
+) -> Result<ClusterReport, HelmError> {
+    let n = pipes.len();
     let times = arrivals.take(num_requests);
+    let deadlines = spec.deadlines.assign(&times);
     let first_arrival = times.first().copied().unwrap_or(SimTime::ZERO);
     let mut sim = Simulator::new(ClusterSt {
-        pipes: (0..n).map(|_| Pipe::new()).collect(),
-        model,
+        pipes,
+        models,
         continuous: spec.continuous,
+        scheduler: spec.scheduler,
+        admission: spec.admission,
         queue_delay: SeriesStats::new(),
         e2e: SeriesStats::new(),
         batch_sizes: Vec::new(),
         last_completion: SimTime::ZERO,
+        slo_violations: 0,
+        met: 0,
         audit: Auditor::capture(),
     });
-    let scheduler = spec.scheduler;
     for (i, &at) in times.iter().enumerate() {
+        let deadline = deadlines[i];
         sim.schedule_at(at, move |ctx, st: &mut ClusterSt| {
-            let p = match scheduler {
-                SchedulerKind::RoundRobin => i % st.pipes.len(),
-                SchedulerKind::JoinShortestQueue => st
-                    .pipes
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, pipe)| pipe.load())
-                    .map_or(0, |(idx, _)| idx),
-            };
-            st.audit.observe_time("cluster", ctx.now());
+            let now = ctx.now();
+            let p = dispatch(st, i, deadline, now);
+            st.audit.observe_time("cluster", now);
             st.audit.enqueued(&req_channel(p), 1);
-            st.pipes[p].queue.push_back(at);
+            let req = Req { at, deadline };
+            if !admit(st, p, &req, now) {
+                st.audit.abandoned(&req_channel(p), 1);
+                st.pipes[p].rejected += 1;
+                return;
+            }
+            push_request(st, p, req);
             if st.pipes[p].idle {
                 start_pipe(ctx, st, p);
             }
@@ -696,36 +1198,48 @@ pub fn run_cluster(
     let mut per_pipeline = Vec::with_capacity(n);
     let mut util_sum = 0.0;
     let mut served = 0usize;
+    let mut rejected = 0usize;
+    let mut expired = 0usize;
     for (p, pipe) in st.pipes.iter().enumerate() {
-        audit.check_busy_time(&format!("pipe{p}"), pipe.busy, makespan);
-        let utilization = if makespan > SimDuration::ZERO {
-            (pipe.busy / makespan).min(1.0)
-        } else {
-            0.0
-        };
+        let utilization = busy_fraction(&mut audit, &format!("pipe{p}"), pipe.busy, makespan);
         util_sum += utilization;
         served += pipe.served;
+        rejected += pipe.rejected;
+        expired += pipe.expired;
         per_pipeline.push(PipelineStats {
+            config: pipe.model,
             served: pipe.served,
+            rejected: pipe.rejected,
+            expired: pipe.expired,
             busy: pipe.busy,
             batches: pipe.batches,
             utilization,
         });
     }
-    let tokens = num_requests as u64 * workload.gen_len as u64;
+    // Every admitted request completes, so the throughput base and
+    // the queue-delay sample count must agree whatever the admission
+    // policy sheds.
+    debug_assert_eq!(served, st.queue_delay.count());
+    let secs = makespan.as_secs().max(f64::MIN_POSITIVE);
+    let tokens = served as u64 * workload.gen_len as u64;
+    let tokens_met = st.met as u64 * workload.gen_len as u64;
     Ok(ClusterReport {
         served,
+        rejected,
+        expired,
+        slo_violations: st.slo_violations,
+        met: st.met,
         makespan,
         queue_delay: st.queue_delay,
         e2e_latency: st.e2e,
         batch_sizes: st.batch_sizes,
         utilization: util_sum / n as f64,
-        tokens_per_s: tokens as f64 / makespan.as_secs().max(f64::MIN_POSITIVE),
+        tokens_per_s: tokens as f64 / secs,
+        tokens_per_s_met: tokens_met as f64 / secs,
         per_pipeline,
         audit: audit.finish_if_active(),
     })
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1075,5 +1589,282 @@ mod tests {
         assert_eq!(audit.completed_with_prefix("requests:"), 30);
         assert_eq!(r.served, 30);
         assert_eq!(r.e2e_latency.count(), 30);
+    }
+
+    #[test]
+    fn service_model_clamps_out_of_range_batches() {
+        // Regression: `lerp` computed `batch - 1` unguarded — a u32
+        // underflow for batch 0 (debug panic, release garbage) — and
+        // silently extrapolated past the calibrated max batch.
+        let s = server(PlacementKind::AllCpu, 8);
+        let m = ServiceModel::calibrate(&s, &WorkloadSpec::paper_default()).unwrap();
+        assert_eq!(m.total(0), m.total(1));
+        assert_eq!(m.prefill(0), m.prefill(1));
+        assert_eq!(m.decode_step(0), m.decode_step(1));
+        assert_eq!(m.total(100), m.total(8));
+        assert_eq!(m.prefill(100), m.prefill(8));
+        assert_eq!(m.decode_step(100), m.decode_step(8));
+        // In-range queries are untouched by the clamp.
+        assert!(m.total(1) < m.total(8));
+    }
+
+    #[test]
+    fn busy_overrun_is_a_finding_not_a_clamp() {
+        // Regression: per-pipeline utilization was `.min(1.0)`-clamped,
+        // silently masking over-accounted busy time. The raw ratio must
+        // come through, and the overrun must surface as an audit
+        // violation.
+        let mut audit = Auditor::new();
+        let util = busy_fraction(
+            &mut audit,
+            "pipe0",
+            SimDuration::from_secs(6.0),
+            SimDuration::from_secs(5.0),
+        );
+        assert!((util - 1.2).abs() < 1e-12, "want the raw ratio, got {util}");
+        let report = audit.finish();
+        assert!(!report.is_clean(), "busy > makespan must be a finding");
+        // A healthy ratio stays finding-free.
+        let mut audit = Auditor::new();
+        let util = busy_fraction(
+            &mut audit,
+            "pipe0",
+            SimDuration::from_secs(4.0),
+            SimDuration::from_secs(5.0),
+        );
+        assert!((util - 0.8).abs() < 1e-12);
+        assert!(audit.finish().is_clean());
+    }
+
+    #[test]
+    fn throughput_counts_served_not_offered() {
+        // Regression: tokens_per_s was computed from the offered
+        // request count, overstating throughput the moment admission
+        // control rejects anything.
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        let r = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(0.5, 47),
+            60,
+            ClusterSpec::new(1).with_admission(AdmissionPolicy::QueueCap(4)),
+        )
+        .unwrap();
+        assert!(r.rejected > 0, "saturating load must trip the queue cap");
+        assert_eq!(r.served + r.rejected, 60);
+        assert_eq!(r.queue_delay.count(), r.served);
+        assert_eq!(r.e2e_latency.count(), r.served);
+        let from_served = (r.served * ws.gen_len) as f64 / r.makespan.as_secs();
+        assert_eq!(r.tokens_per_s.to_bits(), from_served.to_bits());
+        let from_offered = (60 * ws.gen_len) as f64 / r.makespan.as_secs();
+        assert!(r.tokens_per_s < from_offered);
+    }
+
+    #[test]
+    fn fixed_slo_splits_met_from_violated() {
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        // λ nearly twice the batch-8 capacity (~0.058 req/s) with an
+        // SLO between the unloaded e2e (~137 s) and the saturated
+        // tail: early requests meet it, backlogged ones violate it.
+        let r = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(0.1, 51),
+            40,
+            ClusterSpec::new(1).with_deadlines(DeadlineSpec::Fixed(SimDuration::from_secs(300.0))),
+        )
+        .unwrap();
+        assert_eq!(r.served, 40);
+        assert_eq!(r.met + r.slo_violations, r.served);
+        assert!(
+            r.met > 0 && r.slo_violations > 0,
+            "met {} violated {}",
+            r.met,
+            r.slo_violations
+        );
+        let goodput = (r.met * ws.gen_len) as f64 / r.makespan.as_secs();
+        assert_eq!(r.tokens_per_s_met.to_bits(), goodput.to_bits());
+        assert!(r.tokens_per_s_met < r.tokens_per_s);
+        assert!(r.slo_attainment() < 1.0 && r.slo_attainment() > 0.0);
+    }
+
+    #[test]
+    fn queue_cap_rejections_balance_the_ledger() {
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        simaudit::force_enable();
+        let r = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(0.5, 61),
+            50,
+            ClusterSpec::new(2)
+                .with_scheduler(SchedulerKind::JoinShortestQueue)
+                .with_admission(AdmissionPolicy::QueueCap(3)),
+        )
+        .unwrap();
+        assert!(r.rejected > 0);
+        assert_eq!(r.served + r.rejected, 50);
+        let audit = r.audit.expect("auditing forced on");
+        assert!(audit.is_clean(), "{audit}");
+        assert_eq!(audit.enqueued_with_prefix("requests:"), 50);
+        assert_eq!(
+            audit.completed_with_prefix("requests:") + audit.abandoned_with_prefix("requests:"),
+            50
+        );
+        let per_pipe_rejected: usize = r.per_pipeline.iter().map(|p| p.rejected).sum();
+        assert_eq!(per_pipe_rejected, r.rejected);
+    }
+
+    #[test]
+    fn deadline_aware_sheds_infeasible_requests() {
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        simaudit::force_enable();
+        let r = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(0.2, 53),
+            50,
+            ClusterSpec::new(1)
+                .with_scheduler(SchedulerKind::DeadlineAware)
+                .with_deadlines(DeadlineSpec::Fixed(SimDuration::from_secs(300.0))),
+        )
+        .unwrap();
+        assert!(r.expired > 0, "saturating load must shed expiries");
+        assert_eq!(r.rejected, 0, "admission is accept-all here");
+        assert_eq!(r.served + r.expired, 50);
+        assert_eq!(r.queue_delay.count(), r.served);
+        let audit = r.audit.expect("auditing forced on");
+        assert!(audit.is_clean(), "{audit}");
+        assert_eq!(audit.enqueued_with_prefix("requests:"), 50);
+        assert_eq!(
+            audit.completed_with_prefix("requests:") + audit.abandoned_with_prefix("requests:"),
+            50
+        );
+    }
+
+    #[test]
+    fn deadline_feasible_admission_beats_accept_all_on_attainment() {
+        // Rejecting provably-hopeless requests at arrival cannot hurt
+        // SLO attainment: the requests it sheds were lost anyway, and
+        // the ones it keeps see shorter queues.
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        let slo = DeadlineSpec::Fixed(SimDuration::from_secs(400.0));
+        let base = ClusterSpec::new(1)
+            .with_scheduler(SchedulerKind::LeastFinishTime)
+            .with_deadlines(slo);
+        let accept = run_cluster(&s, &ws, &mut PoissonArrivals::new(0.2, 67), 50, base).unwrap();
+        let feasible = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(0.2, 67),
+            50,
+            base.with_admission(AdmissionPolicy::DeadlineFeasible),
+        )
+        .unwrap();
+        assert!(feasible.rejected > 0, "saturation must trigger rejections");
+        assert_eq!(feasible.served + feasible.rejected, 50);
+        assert!(
+            feasible.met >= accept.met,
+            "feasible {} vs accept-all {}",
+            feasible.met,
+            accept.met
+        );
+        assert!(feasible.slo_violations <= accept.slo_violations);
+    }
+
+    #[test]
+    fn deadline_aware_queue_is_edf_ordered() {
+        let mut st = ClusterSt {
+            pipes: vec![Pipe::new(0)],
+            models: Vec::new(),
+            continuous: false,
+            scheduler: SchedulerKind::DeadlineAware,
+            admission: AdmissionPolicy::AcceptAll,
+            queue_delay: SeriesStats::new(),
+            e2e: SeriesStats::new(),
+            batch_sizes: Vec::new(),
+            last_completion: SimTime::ZERO,
+            slo_violations: 0,
+            met: 0,
+            audit: Auditor::capture(),
+        };
+        let t = SimTime::from_secs;
+        let req = |at: f64, d: Option<f64>| Req {
+            at: t(at),
+            deadline: d.map(t),
+        };
+        push_request(&mut st, 0, req(0.0, None));
+        push_request(&mut st, 0, req(1.0, Some(50.0)));
+        push_request(&mut st, 0, req(2.0, Some(10.0)));
+        push_request(&mut st, 0, req(3.0, Some(50.0)));
+        let order: Vec<f64> = st.pipes[0].queue.iter().map(|r| r.at.as_secs()).collect();
+        // Tightest deadline first, FIFO among equal deadlines,
+        // deadline-less requests last.
+        assert_eq!(order, vec![2.0, 1.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn mix_cluster_labels_configs_and_conserves() {
+        let helm = server(PlacementKind::Helm, 4);
+        let allcpu = server(PlacementKind::AllCpu, 44);
+        let ws = WorkloadSpec::paper_default();
+        simaudit::force_enable();
+        let r = run_cluster_mix(
+            &[(&helm, 1), (&allcpu, 2)],
+            &ws,
+            &mut PoissonArrivals::new(0.1, 59),
+            60,
+            ClusterSpec::new(1).with_scheduler(SchedulerKind::LeastFinishTime),
+        )
+        .unwrap();
+        assert_eq!(r.per_pipeline.len(), 3);
+        assert_eq!(r.per_pipeline[0].config, 0);
+        assert_eq!(r.per_pipeline[1].config, 1);
+        assert_eq!(r.per_pipeline[2].config, 1);
+        assert_eq!(r.served, 60);
+        let audit = r.audit.expect("auditing forced on");
+        assert!(audit.is_clean(), "{audit}");
+        assert_eq!(audit.completed_with_prefix("requests:"), 60);
+        // Under least-finish-time more than one replica class does
+        // real work at this load.
+        assert!(
+            r.per_pipeline.iter().filter(|p| p.served > 0).count() >= 2,
+            "per-pipeline served: {:?}",
+            r.per_pipeline.iter().map(|p| p.served).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn scheduler_and_admission_parse_round_trip() {
+        for s in [
+            SchedulerKind::RoundRobin,
+            SchedulerKind::JoinShortestQueue,
+            SchedulerKind::LeastFinishTime,
+            SchedulerKind::DeadlineAware,
+        ] {
+            assert_eq!(s.as_str().parse::<SchedulerKind>().unwrap(), s);
+            assert_eq!(s.to_string(), s.as_str());
+        }
+        assert_eq!(
+            "cap:7".parse::<AdmissionPolicy>().unwrap(),
+            AdmissionPolicy::QueueCap(7)
+        );
+        assert_eq!(
+            "deadline".parse::<AdmissionPolicy>().unwrap(),
+            AdmissionPolicy::DeadlineFeasible
+        );
+        assert_eq!(
+            "accept".parse::<AdmissionPolicy>().unwrap(),
+            AdmissionPolicy::AcceptAll
+        );
+        assert_eq!(AdmissionPolicy::QueueCap(7).to_string(), "cap:7");
+        assert!("bogus".parse::<AdmissionPolicy>().is_err());
+        assert!("cap:x".parse::<AdmissionPolicy>().is_err());
+        assert!("nope".parse::<SchedulerKind>().is_err());
     }
 }

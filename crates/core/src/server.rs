@@ -170,6 +170,31 @@ impl Server {
         &self.policy
     }
 
+    /// A new server on the same platform and model with a different
+    /// placement policy and batch size — the building block for
+    /// heterogeneous cluster mixes, where e.g. a latency-tuned HeLM
+    /// batch-4 replica serves beside a throughput-tuned All-CPU
+    /// batch-44 replica ([`crate::online::run_cluster_mix`]).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Server::new`]: the re-derived placement
+    /// must fit the platform's tiers.
+    pub fn reconfigured(
+        &self,
+        placement: crate::placement::PlacementKind,
+        batch: u32,
+    ) -> Result<Server, HelmError> {
+        Server::new(
+            self.system.clone(),
+            self.model.clone(),
+            self.policy
+                .clone()
+                .with_placement(placement)
+                .with_batch_size(batch),
+        )
+    }
+
     /// GPU-resident cost breakdown for `workload`, using the
     /// effective (fallback-aware) placement.
     pub fn resident_costs(&self, workload: &WorkloadSpec) -> ResidentCosts {

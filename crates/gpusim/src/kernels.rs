@@ -12,7 +12,7 @@
 
 use crate::spec::GpuSpec;
 use simcore::time::SimDuration;
-use simcore::units::Bandwidth;
+use simcore::units::{Bandwidth, ComputeRate};
 
 /// Fraction of peak FP16 tensor FLOPs realized by serving GEMMs.
 pub const GEMM_EFFICIENCY: f64 = 0.45;
@@ -115,7 +115,7 @@ impl KernelProfile {
     /// Execution time on `gpu`: launch overhead plus the roofline of
     /// the kind-specific FLOP and bandwidth terms.
     pub fn time_on(&self, gpu: &GpuSpec) -> SimDuration {
-        let peak_flops = gpu.fp16_tflops() * 1e12;
+        let peak_flops = ComputeRate::from_tflops(gpu.fp16_tflops()).as_flops_per_s();
         let hbm = gpu.hbm_bandwidth().as_bytes_per_s();
         let busy = match self.kind {
             KernelKind::Gemm => {

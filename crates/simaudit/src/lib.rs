@@ -286,6 +286,28 @@ impl AuditReport {
             .sum()
     }
 
+    /// Total requests enqueued across all count channels with the
+    /// given prefix — the offered load a conservation check balances
+    /// completions and abandonments against.
+    pub fn enqueued_with_prefix(&self, prefix: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, l)| l.enqueued)
+            .sum()
+    }
+
+    /// Total requests abandoned (rejected at admission, expired in
+    /// queue, or dropped mid-flight) across all count channels with
+    /// the given prefix.
+    pub fn abandoned_with_prefix(&self, prefix: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, l)| l.abandoned)
+            .sum()
+    }
+
     /// Total bytes delivered across all channels with the given
     /// prefix (e.g. `"h2d:"`).
     pub fn delivered_with_prefix(&self, prefix: &str) -> ByteSize {
@@ -707,6 +729,26 @@ mod tests {
         assert!(report.is_clean(), "{report}");
         assert_eq!(report.count_ledger("req:pipe0").unwrap().outstanding(), 0);
         assert_eq!(report.completed_with_prefix("req:"), 8);
+    }
+
+    #[test]
+    fn prefix_sums_cover_the_abandoned_path() {
+        // Conservation with admission control in play: everything
+        // offered is either completed or abandoned, across channels.
+        let mut a = Auditor::new();
+        a.enqueued("req:pipe0", 10);
+        a.completed("req:pipe0", 7);
+        a.abandoned("req:pipe0", 3);
+        a.enqueued("req:pipe1", 4);
+        a.completed("req:pipe1", 4);
+        let report = a.finish();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.enqueued_with_prefix("req:"), 14);
+        assert_eq!(report.abandoned_with_prefix("req:"), 3);
+        assert_eq!(
+            report.enqueued_with_prefix("req:"),
+            report.completed_with_prefix("req:") + report.abandoned_with_prefix("req:")
+        );
     }
 
     #[test]

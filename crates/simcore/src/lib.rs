@@ -44,4 +44,4 @@ pub use flow::{FlowId, FlowScheduler};
 pub use queue::EventQueue;
 pub use stats::{Accumulator, SeriesStats};
 pub use time::{SimDuration, SimTime};
-pub use units::{Bandwidth, ByteSize, UnitError};
+pub use units::{Bandwidth, ByteSize, ComputeRate, PowerDensity, UnitError};

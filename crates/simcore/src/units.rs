@@ -1,4 +1,5 @@
-//! Shared physical units: byte counts and bandwidths.
+//! Shared physical units: byte counts, bandwidths, compute rates, and
+//! power densities.
 //!
 //! Newtypes keep byte counts, bandwidths, and times from being mixed
 //! up in the performance models. Conventions follow the paper: decimal
@@ -391,6 +392,140 @@ impl PartialOrd for Bandwidth {
 impl fmt::Display for Bandwidth {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:.2} GB/s", self.as_gb_per_s())
+    }
+}
+
+/// A compute rate in floating-point operations per second.
+///
+/// Keeps the TFLOPS → FLOP/s decimal factor out of roofline code: a
+/// device declares its peak as TFLOPS, kernels divide work by a
+/// `ComputeRate`.
+///
+/// ```
+/// use simcore::ComputeRate;
+///
+/// let peak = ComputeRate::from_tflops(312.0);
+/// assert_eq!(peak.as_flops_per_s(), 312.0e12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ComputeRate(f64);
+
+impl ComputeRate {
+    /// Creates a rate from TFLOPS (decimal tera-FLOP/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not finite and positive.
+    pub fn from_tflops(tflops: f64) -> Self {
+        assert!(
+            tflops.is_finite() && tflops > 0.0,
+            "invalid compute rate: {tflops} TFLOPS"
+        );
+        ComputeRate(tflops * 1e12)
+    }
+
+    /// Rate in FLOP/s.
+    pub fn as_flops_per_s(self) -> f64 {
+        self.0
+    }
+
+    /// Rate in TFLOPS.
+    pub fn as_tflops(self) -> f64 {
+        self.0 / 1e12
+    }
+
+    /// Scales the rate by `factor` (e.g. an efficiency derating).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn scale(self, factor: f64) -> ComputeRate {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "invalid scale factor: {factor}"
+        );
+        ComputeRate(self.0 * factor)
+    }
+}
+
+impl fmt::Display for ComputeRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} TFLOPS", self.as_tflops())
+    }
+}
+
+/// A background power density in watts per decimal GB of capacity.
+///
+/// Types the W/GB coefficients of memory technologies (refresh,
+/// standby, controller power) so capacity × density conversions go
+/// through one audited method instead of ad-hoc scalar products.
+///
+/// ```
+/// use simcore::{ByteSize, PowerDensity};
+///
+/// let dram = PowerDensity::from_w_per_gb(0.075);
+/// assert_eq!(dram.static_watts(ByteSize::from_gb(128.0)), 9.6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerDensity(f64);
+
+impl PowerDensity {
+    /// Creates a density from W per decimal GB. `const` so technology
+    /// coefficients can be typed constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time when used in a `const`) if the density
+    /// is not finite and non-negative.
+    pub const fn from_w_per_gb(w_per_gb: f64) -> Self {
+        assert!(
+            w_per_gb.is_finite() && w_per_gb >= 0.0,
+            "invalid power density"
+        );
+        PowerDensity(w_per_gb)
+    }
+
+    /// Density in W per decimal GB.
+    pub const fn as_w_per_gb(self) -> f64 {
+        self.0
+    }
+
+    /// Background watts drawn by `capacity` at this density.
+    pub fn static_watts(self, capacity: ByteSize) -> f64 {
+        capacity.as_gb() * self.0
+    }
+}
+
+impl Add for PowerDensity {
+    type Output = PowerDensity;
+    fn add(self, rhs: PowerDensity) -> PowerDensity {
+        PowerDensity(self.0 + rhs.0)
+    }
+}
+
+impl Div<f64> for PowerDensity {
+    type Output = PowerDensity;
+    fn div(self, rhs: f64) -> PowerDensity {
+        assert!(rhs.is_finite() && rhs > 0.0, "invalid divisor: {rhs}");
+        PowerDensity(self.0 / rhs)
+    }
+}
+
+impl Eq for PowerDensity {}
+impl Ord for PowerDensity {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl PartialOrd for PowerDensity {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for PowerDensity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} W/GB", self.0)
     }
 }
 
