@@ -102,7 +102,7 @@ fn main() -> Result<(), helm_core::HelmError> {
          real budget, but serving-scale KV write-back does not threaten it;\n\
          bandwidth, not wear, is the binding constraint).",
         write_rate.as_gb_per_s(),
-        optane.endurance_years(write_rate.as_bytes_per_s()),
+        optane.endurance_years(write_rate),
     );
     println!(
         "\nReading: on DRAM the write-back is cheap and giant batches win;\n\

@@ -47,6 +47,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
+// lint: allow(wall-clock-in-sim): SearchStats.wall_ms reports real search cost, never simulated time
 use std::time::Instant;
 
 use rayon::prelude::*;
@@ -186,7 +187,7 @@ impl<'a> SearchEngine<'a> {
     }
 
     pub(super) fn run(self) -> Result<AutoPlacement, HelmError> {
-        let started = Instant::now();
+        let started = Instant::now(); // lint: allow(wall-clock-in-sim): feeds SearchStats.wall_ms run metadata only
         let pool = ThreadPoolBuilder::new()
             .num_threads(self.budget.threads)
             .build()

@@ -29,7 +29,7 @@ use simaudit::Auditor;
 use simcore::stats::SeriesStats;
 use simcore::time::{SimDuration, SimTime};
 use simcore::units::{Bandwidth, ByteSize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use xfer::link::CappedLink;
 
 /// Runs the pipeline on the discrete-event link models.
@@ -97,7 +97,9 @@ pub fn run_pipeline_des_with(
             .map(|f| f.fixed)
             .fold(SimDuration::ZERO, SimDuration::max);
         let begin = start + fixed;
-        let mut inflight: HashMap<_, &Flow> = HashMap::with_capacity(flows.len());
+        // BTreeMap, not HashMap: completion handling below iterates
+        // and accumulates f64s; hash order would be run-dependent.
+        let mut inflight: BTreeMap<_, &Flow> = BTreeMap::new();
         for f in flows {
             audit.scheduled(f.channel, f.bytes);
             audit.check_bandwidth(f.channel, f.cap);

@@ -66,6 +66,7 @@ pub struct KernelProfile {
 
 impl KernelProfile {
     /// A GEMM computing `flops` over `hbm_bytes` of operands.
+    // lint: allow(untyped-unit-fn): roofline operands stay f64 — callers pass fractional per-token byte/FLOP counts, and the cost-table equivalence proof pins these signatures
     pub fn gemm(flops: f64, hbm_bytes: f64) -> Self {
         KernelProfile {
             kind: KernelKind::Gemm,
@@ -76,6 +77,7 @@ impl KernelProfile {
 
     /// A GEMV streaming `hbm_bytes` of weights (2 FLOPs per 2-byte
     /// element).
+    // lint: allow(untyped-unit-fn): roofline operands stay f64 — callers pass fractional per-token byte/FLOP counts, and the cost-table equivalence proof pins these signatures
     pub fn gemv(hbm_bytes: f64) -> Self {
         KernelProfile {
             kind: KernelKind::Gemv,
@@ -86,6 +88,7 @@ impl KernelProfile {
 
     /// An attention pass streaming `kv_bytes` of cache and computing
     /// `flops`.
+    // lint: allow(untyped-unit-fn): roofline operands stay f64 — callers pass fractional per-token byte/FLOP counts, and the cost-table equivalence proof pins these signatures
     pub fn attention(flops: f64, kv_bytes: f64) -> Self {
         KernelProfile {
             kind: KernelKind::Attention,
@@ -95,6 +98,7 @@ impl KernelProfile {
     }
 
     /// A dequantization pass over `compressed_bytes`.
+    // lint: allow(untyped-unit-fn): roofline operands stay f64 — callers pass fractional per-token byte/FLOP counts, and the cost-table equivalence proof pins these signatures
     pub fn dequant(compressed_bytes: f64) -> Self {
         KernelProfile {
             kind: KernelKind::Dequant,
@@ -104,6 +108,7 @@ impl KernelProfile {
     }
 
     /// An elementwise pass over `hbm_bytes`.
+    // lint: allow(untyped-unit-fn): roofline operands stay f64 — callers pass fractional per-token byte/FLOP counts, and the cost-table equivalence proof pins these signatures
     pub fn elementwise(hbm_bytes: f64) -> Self {
         KernelProfile {
             kind: KernelKind::Elementwise,

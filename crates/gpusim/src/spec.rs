@@ -2,7 +2,7 @@
 
 use crate::kernels::KernelProfile;
 use simcore::time::SimDuration;
-use simcore::units::{Bandwidth, ByteSize};
+use simcore::units::{Bandwidth, ByteSize, ComputeRate};
 
 /// A GPU device model.
 ///
@@ -65,15 +65,14 @@ impl GpuSpec {
         name: impl Into<String>,
         hbm_capacity: ByteSize,
         hbm_bandwidth: Bandwidth,
-        fp16_tflops: f64,
+        fp16: ComputeRate,
         kernel_launch: SimDuration,
     ) -> Self {
-        assert!(fp16_tflops > 0.0, "invalid FLOP rate");
         GpuSpec {
             name: name.into(),
             hbm_capacity,
             hbm_bandwidth,
-            fp16_tflops,
+            fp16_tflops: fp16.as_tflops(),
             kernel_launch,
         }
     }
@@ -140,13 +139,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid FLOP rate")]
+    #[should_panic(expected = "invalid compute rate")]
     fn zero_flops_rejected() {
         let _ = GpuSpec::new(
             "bad",
             ByteSize::from_gb(1.0),
             Bandwidth::from_gb_per_s(1.0),
-            0.0,
+            ComputeRate::from_tflops(0.0),
             SimDuration::ZERO,
         );
     }

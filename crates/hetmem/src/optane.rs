@@ -176,7 +176,7 @@ pub const MODULE_CAPACITY: ByteSize = ByteSize::from_bytes(128_000_000_000);
 
 impl OptaneDevice {
     /// Years until the rated endurance is consumed at a sustained
-    /// write rate of `bytes_per_s` spread across this device's
+    /// write rate of `write_rate` spread across this device's
     /// modules (paper §II-C: "Being PCM-based also limits the life of
     /// each memory module in terms of its write endurance").
     ///
@@ -184,16 +184,16 @@ impl OptaneDevice {
     ///
     /// ```
     /// use hetmem::optane::OptaneDevice;
+    /// use simcore::units::Bandwidth;
     ///
     /// let d = OptaneDevice::dcpmm_200_socket();
     /// // Writing 1 GB/s into 4 modules: centuries of headroom.
-    /// assert!(d.endurance_years(1e9) > 30.0);
+    /// assert!(d.endurance_years(Bandwidth::from_gb_per_s(1.0)) > 30.0);
     /// ```
-    pub fn endurance_years(&self, bytes_per_s: f64) -> f64 {
-        assert!(bytes_per_s >= 0.0 && bytes_per_s.is_finite());
-        if bytes_per_s == 0.0 {
-            return f64::INFINITY;
-        }
+    pub fn endurance_years(&self, write_rate: Bandwidth) -> f64 {
+        // Bandwidth is finite and positive by construction, so idle
+        // media (infinite life) is unrepresentable here by design.
+        let bytes_per_s = write_rate.as_bytes_per_s();
         let modules = self.capacity() / MODULE_CAPACITY;
         let budget_bytes = modules * MODULE_ENDURANCE_PBW * 1e15;
         budget_bytes / bytes_per_s / (365.25 * 24.0 * 3600.0)
@@ -252,6 +252,10 @@ mod tests {
 
     fn gb(x: f64) -> ByteSize {
         ByteSize::from_gb(x)
+    }
+
+    fn gbs(x: f64) -> Bandwidth {
+        Bandwidth::from_gb_per_s(x)
     }
 
     #[test]
@@ -373,14 +377,13 @@ mod tests {
     fn endurance_scales_with_rate_and_capacity() {
         let socket = OptaneDevice::dcpmm_200_socket();
         let small = OptaneDevice::with_capacity(ByteSize::from_gib(128.0));
-        // Idle media lasts forever; doubling the write rate halves life.
-        assert_eq!(socket.endurance_years(0.0), f64::INFINITY);
-        let y1 = socket.endurance_years(1e9);
-        let y2 = socket.endurance_years(2e9);
+        // Doubling the write rate halves life.
+        let y1 = socket.endurance_years(gbs(1.0));
+        let y2 = socket.endurance_years(gbs(2.0));
         assert!((y1 / y2 - 2.0).abs() < 1e-9);
         // More modules spread the wear.
-        assert!(socket.endurance_years(1e9) > small.endurance_years(1e9) * 3.0);
+        assert!(socket.endurance_years(gbs(1.0)) > small.endurance_years(gbs(1.0)) * 3.0);
         // Sustained full-socket write rate (~9 GB/s) still gives years.
-        assert!(socket.endurance_years(9.2e9) > 3.0);
+        assert!(socket.endurance_years(gbs(9.2)) > 3.0);
     }
 }

@@ -12,7 +12,8 @@
 //! completion event.
 
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
+use crate::units::Bandwidth;
+use std::collections::BTreeMap;
 
 /// Identifier of an active flow within one [`FlowScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,9 +32,10 @@ struct Flow {
 /// Two equal flows share the link, so each takes twice as long:
 ///
 /// ```
+/// use simcore::units::Bandwidth;
 /// use simcore::{FlowScheduler, SimTime};
 ///
-/// let mut link = FlowScheduler::new(100.0); // 100 B/s
+/// let mut link = FlowScheduler::new(Bandwidth::from_bytes_per_s(100.0));
 /// let t0 = SimTime::ZERO;
 /// let a = link.start(t0, 100.0, 1.0);
 /// let b = link.start(t0, 100.0, 1.0);
@@ -47,26 +49,29 @@ struct Flow {
 #[derive(Debug)]
 pub struct FlowScheduler {
     capacity_bps: f64,
-    flows: HashMap<FlowId, Flow>,
+    // BTreeMap, not HashMap: iteration order reaches the f64 weight
+    // sums below, and hash order would make them run-dependent.
+    flows: BTreeMap<FlowId, Flow>,
     last_update: SimTime,
     next_id: u64,
     total_bytes_done: f64,
 }
 
 impl FlowScheduler {
-    /// Creates a scheduler for a link with `capacity_bps` bytes/second.
+    /// Creates a scheduler for a link with the given capacity.
     ///
     /// # Panics
     ///
     /// Panics if the capacity is not finite and positive.
-    pub fn new(capacity_bps: f64) -> Self {
+    pub fn new(capacity: Bandwidth) -> Self {
+        let capacity_bps = capacity.as_bytes_per_s();
         assert!(
             capacity_bps.is_finite() && capacity_bps > 0.0,
             "invalid capacity: {capacity_bps}"
         );
         FlowScheduler {
             capacity_bps,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             last_update: SimTime::ZERO,
             next_id: 0,
             total_bytes_done: 0.0,
@@ -95,6 +100,7 @@ impl FlowScheduler {
     ///
     /// Panics if `bytes` is negative/NaN, `weight` is not positive, or
     /// `now` precedes a previous update.
+    // lint: allow(untyped-unit-fn): fluid-flow model — fractional byte counts are meaningful, so `bytes` stays f64
     pub fn start(&mut self, now: SimTime, bytes: f64, weight: f64) -> FlowId {
         assert!(bytes >= 0.0 && !bytes.is_nan(), "invalid bytes: {bytes}");
         assert!(weight > 0.0 && weight.is_finite(), "invalid weight");
@@ -136,7 +142,7 @@ impl FlowScheduler {
                 Some(b) => b,
             });
         }
-        let (finish_in, id) = best.expect("non-empty");
+        let (finish_in, id) = best.expect("non-empty"); // lint: allow(no-panic): loop above ran over a non-empty map, so `best` is set
         Some((now + SimDuration::from_secs(finish_in.max(0.0)), id))
     }
 
@@ -151,8 +157,8 @@ impl FlowScheduler {
     /// Panics if `id` is not active.
     pub fn complete(&mut self, now: SimTime, id: FlowId) {
         self.advance_to(now);
-        let flow = self.flows.remove(&id).expect("unknown flow id");
-        // Any residue (from cancellation or float fuzz) is forfeited.
+        let flow = self.flows.remove(&id).expect("unknown flow id"); // lint: allow(no-panic): structural invariant — ids are issued by this scheduler itself
+                                                                     // Any residue (from cancellation or float fuzz) is forfeited.
         self.total_bytes_done += flow.remaining_bytes.max(0.0);
     }
 
@@ -194,9 +200,13 @@ mod tests {
         SimTime::from_secs(s)
     }
 
+    fn bps(b: f64) -> Bandwidth {
+        Bandwidth::from_bytes_per_s(b)
+    }
+
     #[test]
     fn single_flow_runs_at_full_capacity() {
-        let mut link = FlowScheduler::new(1e9); // 1 GB/s
+        let mut link = FlowScheduler::new(bps(1e9)); // 1 GB/s
         let id = link.start(SimTime::ZERO, 5e8, 1.0);
         let (done, got) = link.next_completion(SimTime::ZERO).unwrap();
         assert_eq!(got, id);
@@ -209,7 +219,7 @@ mod tests {
         // on a 100 B/s link. A runs alone for 0.5 s (50 B), then shares
         // at 50 B/s for its remaining 50 B -> finishes at 1.5 s. B then
         // runs alone: 50 B remain at 1.5 s -> finishes at 2.0 s.
-        let mut link = FlowScheduler::new(100.0);
+        let mut link = FlowScheduler::new(bps(100.0));
         let a = link.start(t(0.0), 100.0, 1.0);
         let b = link.start(t(0.5), 100.0, 1.0);
         let (ta, fa) = link.next_completion(t(0.5)).unwrap();
@@ -227,7 +237,7 @@ mod tests {
     #[test]
     fn weights_bias_shares() {
         // Weight-3 vs weight-1 on a 100 B/s link: shares are 75/25.
-        let mut link = FlowScheduler::new(100.0);
+        let mut link = FlowScheduler::new(bps(100.0));
         let heavy = link.start(t(0.0), 75.0, 3.0);
         let _light = link.start(t(0.0), 75.0, 1.0);
         let (th, fh) = link.next_completion(t(0.0)).unwrap();
@@ -237,7 +247,7 @@ mod tests {
 
     #[test]
     fn remaining_bytes_probe() {
-        let mut link = FlowScheduler::new(100.0);
+        let mut link = FlowScheduler::new(bps(100.0));
         let id = link.start(t(0.0), 100.0, 1.0);
         assert!((link.remaining_bytes(t(0.25), id).unwrap() - 75.0).abs() < 1e-12);
         assert_eq!(link.remaining_bytes(t(0.0), FlowId(999)), None);
@@ -245,13 +255,13 @@ mod tests {
 
     #[test]
     fn idle_link_reports_none() {
-        let link = FlowScheduler::new(1.0);
+        let link = FlowScheduler::new(bps(1.0));
         assert!(link.next_completion(SimTime::ZERO).is_none());
     }
 
     #[test]
     fn zero_byte_flow_completes_immediately() {
-        let mut link = FlowScheduler::new(100.0);
+        let mut link = FlowScheduler::new(bps(100.0));
         let id = link.start(t(1.0), 0.0, 1.0);
         let (done, got) = link.next_completion(t(1.0)).unwrap();
         assert_eq!(got, id);
@@ -261,7 +271,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "unknown flow id")]
     fn completing_unknown_flow_panics() {
-        let mut link = FlowScheduler::new(1.0);
+        let mut link = FlowScheduler::new(bps(1.0));
         link.complete(SimTime::ZERO, FlowId(7));
     }
 }

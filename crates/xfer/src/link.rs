@@ -14,7 +14,7 @@
 
 use simcore::time::{SimDuration, SimTime};
 use simcore::units::Bandwidth;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of an active transfer on one [`CappedLink`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -50,7 +50,10 @@ struct ActiveFlow {
 #[derive(Debug)]
 pub struct CappedLink {
     capacity: f64,
-    flows: HashMap<TransferId, ActiveFlow>,
+    // BTreeMap, not HashMap: iteration order reaches rate and
+    // progress arithmetic, and hash order would make it
+    // run-dependent.
+    flows: BTreeMap<TransferId, ActiveFlow>,
     last_update: SimTime,
     next_id: u64,
 }
@@ -60,7 +63,7 @@ impl CappedLink {
     pub fn new(capacity: Bandwidth) -> Self {
         CappedLink {
             capacity: capacity.as_bytes_per_s(),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             last_update: SimTime::ZERO,
             next_id: 0,
         }
@@ -82,6 +85,7 @@ impl CappedLink {
     ///
     /// Panics if `bytes` is negative/NaN or `now` precedes the last
     /// update.
+    // lint: allow(untyped-unit-fn): fluid-flow model — fractional byte counts are meaningful, so `bytes` stays f64
     pub fn start(&mut self, now: SimTime, bytes: f64, cap: Bandwidth) -> TransferId {
         assert!(bytes >= 0.0 && !bytes.is_nan(), "invalid bytes: {bytes}");
         self.advance_to(now);
@@ -98,15 +102,15 @@ impl CappedLink {
     }
 
     /// Current per-flow rates under water-filling.
-    pub fn rates(&self) -> HashMap<TransferId, Bandwidth> {
+    pub fn rates(&self) -> BTreeMap<TransferId, Bandwidth> {
         self.compute_rates()
             .into_iter()
             .map(|(id, r)| (id, Bandwidth::from_bytes_per_s(r.max(f64::MIN_POSITIVE))))
             .collect()
     }
 
-    fn compute_rates(&self) -> HashMap<TransferId, f64> {
-        let mut rates: HashMap<TransferId, f64> = HashMap::new();
+    fn compute_rates(&self) -> BTreeMap<TransferId, f64> {
+        let mut rates: BTreeMap<TransferId, f64> = BTreeMap::new();
         if self.flows.is_empty() {
             return rates;
         }
@@ -162,7 +166,7 @@ impl CappedLink {
                 Some(b) => b,
             });
         }
-        let (finish_in, id) = best.expect("non-empty");
+        let (finish_in, id) = best.expect("non-empty"); // lint: allow(no-panic): loop above ran over a non-empty map, so `best` is set
         Some((now + SimDuration::from_secs(finish_in.max(0.0)), id))
     }
 
@@ -173,7 +177,7 @@ impl CappedLink {
     /// Panics if `id` is not active.
     pub fn complete(&mut self, now: SimTime, id: TransferId) {
         self.advance_to(now);
-        self.flows.remove(&id).expect("unknown transfer id");
+        self.flows.remove(&id).expect("unknown transfer id"); // lint: allow(no-panic): structural invariant — ids are issued by this link itself
     }
 
     /// Cancels `id` at `now`, returning the bytes it had left to

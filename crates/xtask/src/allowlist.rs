@@ -13,6 +13,10 @@ use std::path::Path;
 /// The allowlist's location, relative to the workspace root.
 pub const FILE_NAME: &str = "lint-allowlist.txt";
 
+/// Active finding lines keyed by `(rule, file)` — the shape both the
+/// budget check and `--update-allowlist` consume.
+pub type FindingLines = BTreeMap<(String, String), Vec<usize>>;
+
 const HEADER: &str = "\
 # helmsim lint allowlist — ratcheted budgets for known violations.
 #
@@ -20,8 +24,10 @@ const HEADER: &str = "\
 #
 # `cargo xtask lint` fails when a file EXCEEDS its budget (new
 # violations) and when it comes in UNDER it (lower the budget in the
-# same change — the list only shrinks). Regenerate counts with
-# `cargo xtask lint --update-allowlist`, then justify any new entries.
+# same change — the list only shrinks). `--update-allowlist` refreshes
+# counts for existing entries and drops stale ones; it refuses to add
+# new entries — write those by hand, or waive single findings in
+# source with `// lint: allow(<rule>): <justification>`.
 ";
 
 /// One budgeted `(rule, file)` pair.
@@ -108,32 +114,45 @@ impl Allowlist {
     }
 
     /// Whether the allowlist is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// A new allowlist matching `found` exactly: existing
-    /// justifications are preserved, new entries get a placeholder
-    /// that must be edited before the list parses as justified.
-    pub fn rebudget(&self, found: &BTreeMap<(String, String), Vec<usize>>) -> Allowlist {
+    /// A new allowlist matching `found` exactly: existing entries
+    /// keep their justification with the refreshed count, stale
+    /// entries are dropped. Refuses to invent entries for `(rule,
+    /// file)` pairs not already on the list — a justification is a
+    /// human judgment, so new entries must be written by hand.
+    pub fn rebudget(&self, found: &FindingLines) -> Result<Allowlist, String> {
         let mut entries = BTreeMap::new();
+        let mut refused = Vec::new();
         for ((rule, file), lines) in found {
-            let justification = self
-                .entries
-                .get(&(rule.clone(), file.clone()))
-                .map(|e| e.justification.clone())
-                .unwrap_or_else(|| "TODO: justify this entry".to_owned());
-            entries.insert(
-                (rule.clone(), file.clone()),
-                Entry {
-                    rule: rule.clone(),
-                    file: file.clone(),
-                    count: lines.len(),
-                    justification,
-                },
-            );
+            match self.entries.get(&(rule.clone(), file.clone())) {
+                Some(existing) => {
+                    entries.insert(
+                        (rule.clone(), file.clone()),
+                        Entry {
+                            rule: rule.clone(),
+                            file: file.clone(),
+                            count: lines.len(),
+                            justification: existing.justification.clone(),
+                        },
+                    );
+                }
+                None => refused.push(format!("{rule} {file} {}", lines.len())),
+            }
         }
-        Allowlist { entries }
+        if refused.is_empty() {
+            Ok(Allowlist { entries })
+        } else {
+            Err(format!(
+                "refusing to add allowlist entries without a justification; fix the \
+                 violations, waive them in-source, or add these lines to {FILE_NAME} \
+                 by hand with a `# justification`:\n    {}",
+                refused.join("\n    ")
+            ))
+        }
     }
 
     /// Serializes and writes the allowlist.
@@ -211,6 +230,16 @@ mod tests {
             ("no-panic".to_owned(), "crates/x/src/lib.rs".to_owned()),
             vec![1, 2, 3],
         );
+        let b = a.rebudget(&found).expect("all entries known");
+        assert_eq!(b.budget("no-panic", "crates/x/src/lib.rs"), 3);
+        let kept = b.entries().find(|e| e.rule == "no-panic").expect("kept");
+        assert_eq!(kept.justification, "legacy path");
+    }
+
+    #[test]
+    fn rebudget_refuses_unjustified_new_entries() {
+        let a = parse("no-panic crates/x/src/lib.rs 5  # legacy path\n").expect("parses");
+        let mut found = BTreeMap::new();
         found.insert(
             (
                 "raw-unit-arith".to_owned(),
@@ -218,15 +247,16 @@ mod tests {
             ),
             vec![9],
         );
-        let b = a.rebudget(&found);
-        assert_eq!(b.budget("no-panic", "crates/x/src/lib.rs"), 3);
-        let new_entry = b
-            .entries()
-            .find(|e| e.rule == "raw-unit-arith")
-            .expect("new entry");
-        assert!(new_entry.justification.contains("TODO"));
-        let kept = b.entries().find(|e| e.rule == "no-panic").expect("kept");
-        assert_eq!(kept.justification, "legacy path");
+        let err = a.rebudget(&found).expect_err("must refuse");
+        assert!(err.contains("raw-unit-arith crates/y/src/lib.rs 1"));
+        assert!(err.contains("justification"));
+    }
+
+    #[test]
+    fn rebudget_drops_stale_entries() {
+        let a = parse("no-panic crates/x/src/lib.rs 5  # legacy path\n").expect("parses");
+        let b = a.rebudget(&BTreeMap::new()).expect("empty is fine");
+        assert!(b.is_empty());
     }
 
     #[test]
@@ -234,16 +264,10 @@ mod tests {
         let dir = std::env::temp_dir().join("helmsim-xtask-test");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("roundtrip.txt");
-        let mut found = BTreeMap::new();
-        found.insert(
-            ("no-panic".to_owned(), "crates/x/src/lib.rs".to_owned()),
-            vec![4, 7],
-        );
-        let a = Allowlist::default().rebudget(&found);
+        let a = parse("no-panic crates/x/src/lib.rs 2  # legacy path\n").expect("parses");
         a.save(&path).expect("save");
         let text = std::fs::read_to_string(&path).expect("read");
         assert!(text.starts_with("# helmsim lint allowlist"));
-        // The regenerated TODO placeholder still parses as a comment.
         let b = Allowlist::load(&path).expect("load");
         assert_eq!(b.budget("no-panic", "crates/x/src/lib.rs"), 2);
         std::fs::remove_file(&path).ok();

@@ -1,0 +1,215 @@
+//! The original 3-rule lexer scanner, kept verbatim.
+//!
+//! The multi-pass engine in [`crate::rules`] replaced this scanner,
+//! but it stays in-tree as an oracle: a workspace self-check test
+//! asserts that for the three original rules (`raw-unit-arith`,
+//! `no-panic`, `untyped-unit-const`) the token-based pass reports
+//! exactly the findings this substring scanner reports, file by file
+//! and line by line. A divergence means one of the two mis-lexed
+//! something, which is precisely the bug class the self-check exists
+//! to catch.
+
+use crate::lexer;
+use crate::rules::Finding;
+
+const UNIT_FACTORS: &[&str] = &["1e3", "1e6", "1e9", "1e12", "1024.0"];
+const UNIT_SHIFTS: &[&str] = &["<< 20", "<< 30"];
+const PANIC_TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "todo!(",
+    "unimplemented!(",
+];
+const UNIT_SUFFIXES: &[&str] = &[
+    "_MS", "_SECS", "_US", "_NS", "_BYTES", "_KB", "_MB", "_GB", "_KIB", "_MIB", "_GIB", "_GBPS",
+    "_BPS",
+];
+const BARE_NUMERIC_TYPES: &[&str] = &["f64", "f32", "u64", "u32", "u128", "usize", "i64", "i32"];
+
+/// Files where raw unit factors are the point: the conversion layer.
+const UNIT_HOME_FILES: &[&str] = &["units.rs", "time.rs"];
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// All start offsets of `pat` in `chars`.
+fn find_all(chars: &[char], pat: &str) -> Vec<usize> {
+    let p: Vec<char> = pat.chars().collect();
+    if p.is_empty() || p.len() > chars.len() {
+        return Vec::new();
+    }
+    (0..=chars.len() - p.len())
+        .filter(|&i| chars[i..i + p.len()] == p[..])
+        .collect()
+}
+
+/// Scans one file's source with the original substring rules,
+/// returning every hit of the three seed rules.
+pub fn scan_file(rel_path: &str, source: &str) -> Vec<Finding> {
+    let blanked = lexer::blank_noncode(source);
+    let chars: Vec<char> = blanked.chars().collect();
+    let test_spans = lexer::cfg_test_spans(&blanked);
+    let in_test = |idx: usize| test_spans.iter().any(|&(s, e)| (s..=e).contains(&idx));
+    let line_of = |idx: usize| 1 + chars[..idx].iter().filter(|&&c| c == '\n').count();
+    let basename = rel_path.rsplit('/').next().unwrap_or(rel_path);
+
+    let mut findings = Vec::new();
+    let mut push = |rule: &'static str, idx: usize| {
+        findings.push(Finding {
+            rule,
+            file: rel_path.to_owned(),
+            line: line_of(idx),
+            exempt: None,
+        });
+    };
+
+    // raw-unit-arith: unit factors with identifier boundaries on both
+    // sides (so `21e3`, `1e30`, `0.1e3` never match).
+    if !UNIT_HOME_FILES.contains(&basename) {
+        for pat in UNIT_FACTORS {
+            let plen = pat.chars().count();
+            for idx in find_all(&chars, pat) {
+                let prev_ok = idx == 0 || (!is_ident_char(chars[idx - 1]) && chars[idx - 1] != '.');
+                let next_ok =
+                    !matches!(chars.get(idx + plen), Some(&c) if is_ident_char(c) || c == '.');
+                if prev_ok && next_ok && !in_test(idx) {
+                    push("raw-unit-arith", idx);
+                }
+            }
+        }
+        for pat in UNIT_SHIFTS {
+            for idx in find_all(&chars, pat) {
+                let after = chars.get(idx + pat.chars().count());
+                if !matches!(after, Some(&c) if c.is_ascii_digit()) && !in_test(idx) {
+                    push("raw-unit-arith", idx);
+                }
+            }
+        }
+    }
+
+    // no-panic: explicit aborts in library code.
+    for pat in PANIC_TOKENS {
+        for idx in find_all(&chars, pat) {
+            let macro_like = !pat.starts_with('.');
+            if macro_like && idx > 0 && is_ident_char(chars[idx - 1]) {
+                continue;
+            }
+            if !in_test(idx) {
+                push("no-panic", idx);
+            }
+        }
+    }
+
+    // untyped-unit-const: `const NAME_<UNIT>: <bare numeric>`.
+    for idx in find_all(&chars, "const ") {
+        if idx > 0 && is_ident_char(chars[idx - 1]) {
+            continue;
+        }
+        if in_test(idx) {
+            continue;
+        }
+        let mut j = idx + "const ".chars().count();
+        while matches!(chars.get(j), Some(&c) if c.is_whitespace()) {
+            j += 1;
+        }
+        let name_start = j;
+        while matches!(chars.get(j), Some(&c) if is_ident_char(c)) {
+            j += 1;
+        }
+        let name: String = chars[name_start..j].iter().collect();
+        if !UNIT_SUFFIXES.iter().any(|s| name.ends_with(s)) {
+            continue;
+        }
+        while matches!(chars.get(j), Some(&c) if c.is_whitespace()) {
+            j += 1;
+        }
+        if chars.get(j) != Some(&':') {
+            continue;
+        }
+        j += 1;
+        while matches!(chars.get(j), Some(&c) if c.is_whitespace()) {
+            j += 1;
+        }
+        let ty_start = j;
+        while matches!(chars.get(j), Some(&c) if is_ident_char(c)) {
+            j += 1;
+        }
+        let ty: String = chars[ty_start..j].iter().collect();
+        if BARE_NUMERIC_TYPES.contains(&ty.as_str()) {
+            push("untyped-unit-const", idx);
+        }
+    }
+
+    findings.sort_by_key(|f| (f.rule, f.line));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_panics() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g() { panic!(\"boom\") }\n";
+        let found = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(rules_of(&found), vec!["no-panic", "no-panic"]);
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 2);
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_match() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_are_exempt() {
+        let src = "// calls .unwrap() and panic!()\nfn f() -> &'static str { \"1e9 .unwrap()\" }\n";
+        assert!(scan_file("crates/demo/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_raw_unit_factors_with_boundaries() {
+        let src = "fn f(gb: f64) -> f64 { gb * 1e9 }\nfn g() -> f64 { 21e3 + 1e30 + 0.1e3 }\n";
+        let found = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "raw-unit-arith");
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn unit_home_files_may_convert() {
+        let src = "pub fn from_gb(gb: f64) -> u64 { (gb * 1e9) as u64 }\n";
+        assert!(scan_file("crates/simcore/src/units.rs", src).is_empty());
+        assert_eq!(scan_file("crates/other/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn flags_binary_shifts_but_not_other_shifts() {
+        let src = "fn f(x: u64) -> u64 { (1u64 << 20) + (x << 7) + (x << 203) }\n";
+        let found = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn flags_untyped_unit_consts_only() {
+        let src = "pub const SYNC_MS: f64 = 0.25;\npub const GOOD_MS: SimDuration = SimDuration::ZERO;\npub const COUNT: u64 = 3;\n";
+        let found = scan_file("crates/demo/src/lib.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "untyped-unit-const");
+        assert_eq!(found[0].line, 1);
+    }
+}

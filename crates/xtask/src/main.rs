@@ -2,20 +2,32 @@
 //!
 //! Commands:
 //!
-//! * `lint` — run the unit-safety / panic-hygiene lint over every
-//!   workspace crate's `src/`, checked against `lint-allowlist.txt`.
-//! * `lint --update-allowlist` — rewrite the allowlist to match the
-//!   current findings (existing justifications are preserved; new
-//!   entries get a TODO placeholder that must be filled in).
+//! * `lint` — run the seven determinism / unit-soundness rules over
+//!   every workspace crate's `src/`, checked against in-source
+//!   waivers and `lint-allowlist.txt`.
+//! * `lint --format json` — same, with a versioned machine-readable
+//!   report on stdout (archived by CI).
+//! * `lint --update-allowlist` — refresh counts for existing
+//!   allowlist entries and drop stale ones. Refuses to add entries
+//!   for new `(rule, file)` pairs: those must be written by hand
+//!   with a justification, or waived in source.
+//! * `lint --self-check` — run the retired seed scanner next to the
+//!   token pass and fail on any divergence over the three original
+//!   rules (the engine's own regression gate).
 
 mod allowlist;
+mod legacy;
 mod lexer;
 mod lint;
+mod parse;
+mod report;
+mod rules;
 
 use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo xtask lint [--update-allowlist]";
+const USAGE: &str =
+    "usage: cargo xtask lint [--update-allowlist] [--self-check] [--format text|json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,16 +40,70 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let code = match args[..] {
-        ["lint"] => lint::run(root, false),
-        ["lint", "--update-allowlist"] => lint::run(root, true),
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
-        }
+    let Some((&"lint", flags)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
     };
+    let mut update = false;
+    let mut self_check = false;
+    let mut format = lint::Format::Text;
+    let mut rest = flags;
+    while let Some((&flag, tail)) = rest.split_first() {
+        match flag {
+            "--update-allowlist" => {
+                update = true;
+                rest = tail;
+            }
+            "--self-check" => {
+                self_check = true;
+                rest = tail;
+            }
+            "--format" => match tail.split_first() {
+                Some((&"text", tail2)) => {
+                    format = lint::Format::Text;
+                    rest = tail2;
+                }
+                Some((&"json", tail2)) => {
+                    format = lint::Format::Json;
+                    rest = tail2;
+                }
+                _ => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
-    match code {
+    if self_check {
+        return match lint::self_check(root) {
+            Ok(divergences) if divergences.is_empty() => {
+                println!("self-check clean: legacy scanner and token pass agree");
+                ExitCode::SUCCESS
+            }
+            Ok(divergences) => {
+                for d in &divergences {
+                    eprintln!("{d}");
+                }
+                eprintln!(
+                    "self-check failed: {} file(s) diverge between the legacy scanner \
+                     and the token pass",
+                    divergences.len()
+                );
+                ExitCode::FAILURE
+            }
+            Err(msg) => {
+                eprintln!("xtask: {msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    match lint::run(root, update, format) {
         Ok(0) => ExitCode::SUCCESS,
         Ok(n) => ExitCode::from(n.clamp(0, i32::from(u8::MAX)) as u8),
         Err(msg) => {

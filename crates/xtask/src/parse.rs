@@ -1,0 +1,596 @@
+//! Item-level parse pass over the token stream.
+//!
+//! [`parse`] turns a [`Lexed`] file into a [`ParsedFile`]: the raw
+//! tokens plus the syntactic *context* the rules need —
+//!
+//! * which token ranges are test code (`#[cfg(test)]` items and
+//!   `#[test]` functions),
+//! * which token ranges are operator-impl bodies (`impl Add for …`
+//!   and friends, where panicking on violated arithmetic invariants
+//!   is the only option — the trait cannot return `Result`),
+//! * every `fn` item (name, visibility, parameter names and types),
+//! * every `const` item (name and type),
+//! * every waiver comment (`// lint: allow(<rule>): <justification>`).
+//!
+//! This is deliberately not a full Rust parser: it recognizes exactly
+//! the item shapes the rules consume, and degrades to "no context"
+//! (rather than failing) on anything it does not understand.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// Traits whose impl bodies are exempt from `no-panic`: operator and
+/// aggregation traits with fixed signatures that cannot surface a
+/// `Result`, so a violated structural invariant can only panic.
+const OP_TRAITS: &[&str] = &[
+    "Add",
+    "Sub",
+    "Mul",
+    "Div",
+    "Rem",
+    "Neg",
+    "Not",
+    "AddAssign",
+    "SubAssign",
+    "MulAssign",
+    "DivAssign",
+    "RemAssign",
+    "Shl",
+    "Shr",
+    "ShlAssign",
+    "ShrAssign",
+    "BitAnd",
+    "BitOr",
+    "BitXor",
+    "BitAndAssign",
+    "BitOrAssign",
+    "BitXorAssign",
+    "Index",
+    "IndexMut",
+    "Deref",
+    "DerefMut",
+    "Sum",
+    "Product",
+    "Ord",
+    "PartialOrd",
+];
+
+/// One function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Binding name (the identifier before the `:`).
+    pub name: String,
+    /// `Some(type)` when the declared type is a single bare numeric
+    /// token (`f64`, `u64`, …); `None` for any richer type.
+    pub bare_numeric: Option<String>,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name (currently read only by unit tests).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub name: String,
+    /// Whether the item is `pub` (plain `pub` only — `pub(crate)` and
+    /// narrower do not cross the crate boundary and do not count).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index of the `fn` keyword (for context queries).
+    pub tok: usize,
+    /// Parameters, in order; `self` receivers are skipped.
+    pub params: Vec<Param>,
+}
+
+/// One `const` item.
+#[derive(Debug, Clone)]
+pub struct ConstItem {
+    /// Const name.
+    pub name: String,
+    /// `Some(type)` when the declared type is a single bare numeric
+    /// token; `None` otherwise.
+    pub bare_numeric: Option<String>,
+    /// 1-based line of the `const` keyword.
+    pub line: usize,
+    /// Token index of the `const` keyword.
+    pub tok: usize,
+}
+
+/// One waiver comment.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule the waiver suppresses.
+    pub rule: String,
+    /// 1-based source line the waiver applies to (the comment's own
+    /// line for a trailing comment, the next code line otherwise).
+    pub target_line: usize,
+    /// 1-based line of the comment itself.
+    pub comment_line: usize,
+    /// Required free-text justification.
+    pub justification: String,
+}
+
+/// A parsed file: tokens plus syntactic context.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// The token stream the rules scan.
+    pub tokens: Vec<Token>,
+    /// Inclusive token-index ranges of test code.
+    pub test_ranges: Vec<(usize, usize)>,
+    /// Inclusive token-index ranges of operator-impl bodies.
+    pub op_impl_ranges: Vec<(usize, usize)>,
+    /// All `fn` items.
+    pub fns: Vec<FnItem>,
+    /// All `const` items.
+    pub consts: Vec<ConstItem>,
+    /// All well-formed waiver comments.
+    pub waivers: Vec<Waiver>,
+    /// Malformed waiver comments, as human-readable errors.
+    pub waiver_errors: Vec<String>,
+}
+
+impl ParsedFile {
+    /// Whether token `idx` sits inside test code.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| (s..=e).contains(&idx))
+    }
+
+    /// Whether token `idx` sits inside an operator-impl body.
+    pub fn in_op_impl(&self, idx: usize) -> bool {
+        self.op_impl_ranges
+            .iter()
+            .any(|&(s, e)| (s..=e).contains(&idx))
+    }
+}
+
+/// Parses a lexed file into items and context ranges.
+pub fn parse(lexed: &Lexed, known_rules: &[&str]) -> ParsedFile {
+    let toks = &lexed.tokens;
+    let mut out = ParsedFile {
+        tokens: toks.clone(),
+        ..ParsedFile::default()
+    };
+    collect_test_ranges(toks, &mut out.test_ranges);
+    collect_op_impls(toks, &mut out.op_impl_ranges);
+    collect_fns(toks, &mut out.fns);
+    collect_consts(toks, &mut out.consts);
+    collect_waivers(lexed, known_rules, &mut out.waivers, &mut out.waiver_errors);
+    out
+}
+
+/// Skips a balanced `<…>` group starting at `toks[i] == '<'`; returns
+/// the index past the closing `>`. `->` arrows inside do not close
+/// the group.
+fn skip_angles(toks: &[Token], mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('<') {
+            depth += 1;
+        } else if toks[i].is_punct('>') {
+            let arrow = i > 0 && toks[i - 1].is_punct('-') && toks[i - 1].off + 1 == toks[i].off;
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Finds the matching `}` for the `{` at `toks[open]`; returns its
+/// index (or the last token on unbalanced input).
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Records token ranges of `#[cfg(test)]` items and `#[test]` fns.
+fn collect_test_ranges(toks: &[Token], out: &mut Vec<(usize, usize)>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        let is_cfg_test = toks.get(i + 2).is_some_and(|t| t.is_ident("cfg"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 4).is_some_and(|t| t.is_ident("test"))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(']'));
+        let is_test_attr = toks.get(i + 2).is_some_and(|t| t.is_ident("test"))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(']'));
+        if !is_cfg_test && !is_test_attr {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + if is_cfg_test { 7 } else { 4 };
+        // The gated item runs to its body's close brace, or to a `;`
+        // for brace-less items (`#[cfg(test)] mod external;`).
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        let end = if j < toks.len() && toks[j].is_punct('{') {
+            matching_brace(toks, j)
+        } else {
+            j.min(toks.len().saturating_sub(1))
+        };
+        out.push((start, end));
+        i = end + 1;
+    }
+}
+
+/// Records body token ranges of operator-trait impls.
+fn collect_op_impls(toks: &[Token], out: &mut Vec<(usize, usize)>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = skip_angles(toks, j);
+        }
+        // Walk the (possible) trait path up to `for`; an opening
+        // brace first means an inherent impl.
+        let mut last_ident: Option<&str> = None;
+        let mut trait_name: Option<&str> = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_ident("for") {
+                trait_name = last_ident;
+                break;
+            }
+            if t.is_punct('{') || t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('<') {
+                j = skip_angles(toks, j);
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                last_ident = Some(&t.text);
+            }
+            j += 1;
+        }
+        if trait_name.is_some_and(|n| OP_TRAITS.contains(&n)) {
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            if j < toks.len() {
+                let end = matching_brace(toks, j);
+                out.push((j, end));
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Whether the `fn` at `toks[i]` is preceded by a plain `pub`
+/// (qualifiers like `const`/`async`/`unsafe`/`extern "C"` may sit in
+/// between; `pub(crate)` and narrower do not count).
+fn fn_is_pub(toks: &[Token], i: usize) -> bool {
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        let qualifier = t.is_ident("const")
+            || t.is_ident("async")
+            || t.is_ident("unsafe")
+            || t.is_ident("extern")
+            || t.kind == TokKind::Str;
+        if qualifier {
+            continue;
+        }
+        return t.is_ident("pub");
+    }
+    false
+}
+
+/// Records every `fn` item with its visibility and parameters.
+fn collect_fns(toks: &[Token], out: &mut Vec<FnItem>) {
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        // `fn(` is a function-pointer type, not an item.
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        let mut j = i + 2;
+        if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+            j = skip_angles(toks, j);
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            is_pub: fn_is_pub(toks, i),
+            line: toks[i].line,
+            tok: i,
+            params: parse_params(toks, j),
+        });
+    }
+}
+
+/// Bare numeric type tokens `untyped-unit-fn` / `untyped-unit-const`
+/// care about.
+const BARE_NUMERIC_TYPES: &[&str] = &["f64", "f32", "u64", "u32", "u128", "usize", "i64", "i32"];
+
+/// Parses the parameter list whose `(` is at `toks[open]`.
+fn parse_params(toks: &[Token], open: usize) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut paren = 0usize;
+    let mut angle = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+            if paren == 0 {
+                break;
+            }
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = angle.saturating_sub(1);
+        } else if paren == 1
+            && angle == 0
+            && t.kind == TokKind::Ident
+            && t.text != "self"
+            && toks.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && !toks.get(j + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            // `name: Type` at the top level of the list (a lone `:`
+            // — `::` is a path inside a type, not a binding).
+            let ty = toks.get(j + 2);
+            let after = toks.get(j + 3);
+            let bare = ty
+                .filter(|t| {
+                    t.kind == TokKind::Ident && BARE_NUMERIC_TYPES.contains(&t.text.as_str())
+                })
+                .filter(|_| after.is_some_and(|a| a.is_punct(',') || a.is_punct(')')))
+                .map(|t| t.text.clone());
+            params.push(Param {
+                name: t.text.clone(),
+                bare_numeric: bare,
+            });
+            j += 2;
+            continue;
+        }
+        j += 1;
+    }
+    params
+}
+
+/// Records every `const NAME: Type` item (const generics and
+/// `const fn` never match the `name:` shape with a unit suffix).
+fn collect_consts(toks: &[Token], out: &mut Vec<ConstItem>) {
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("const") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !toks.get(i + 2).is_some_and(|t| t.is_punct(':')) {
+            continue;
+        }
+        let ty = toks.get(i + 3);
+        let after = toks.get(i + 4);
+        let bare = ty
+            .filter(|t| t.kind == TokKind::Ident && BARE_NUMERIC_TYPES.contains(&t.text.as_str()))
+            .filter(|_| after.is_some_and(|a| a.is_punct('=') || a.is_punct(';')))
+            .map(|t| t.text.clone());
+        out.push(ConstItem {
+            name: name_tok.text.clone(),
+            bare_numeric: bare,
+            line: toks[i].line,
+            tok: i,
+        });
+    }
+}
+
+/// Parses waiver comments (`lint: allow(<rule>): <justification>`).
+fn collect_waivers(
+    lexed: &Lexed,
+    known_rules: &[&str],
+    out: &mut Vec<Waiver>,
+    errors: &mut Vec<String>,
+) {
+    for c in &lexed.comments {
+        let text = c.text.trim_start_matches('/').trim();
+        if !text.starts_with("lint:") {
+            continue;
+        }
+        let rest = text["lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            errors.push(format!(
+                "line {}: malformed waiver `{}` — expected `lint: allow(<rule>): <justification>`",
+                c.line, text
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            errors.push(format!(
+                "line {}: waiver is missing `)` after the rule name",
+                c.line
+            ));
+            continue;
+        };
+        let rule = rest[..close].trim();
+        if !known_rules.contains(&rule) {
+            errors.push(format!(
+                "line {}: waiver names unknown rule `{rule}` (known: {})",
+                c.line,
+                known_rules.join(", ")
+            ));
+            continue;
+        }
+        let tail = rest[close + 1..].trim_start();
+        let justification = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+        if justification.is_empty() {
+            errors.push(format!(
+                "line {}: waiver for `{rule}` has no justification — add `: <why>`",
+                c.line
+            ));
+            continue;
+        }
+        // A trailing comment waives its own line; a standalone
+        // comment waives the next code line.
+        let trailing = lexed
+            .tokens
+            .iter()
+            .any(|t| t.line == c.line && t.off < c.off);
+        let target_line = if trailing {
+            c.line
+        } else {
+            lexed
+                .tokens
+                .iter()
+                .find(|t| t.off > c.off)
+                .map_or(c.line, |t| t.line)
+        };
+        out.push(Waiver {
+            rule: rule.to_owned(),
+            target_line,
+            comment_line: c.line,
+            justification: justification.to_owned(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+    use crate::rules::RULES;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse(&tokenize(src), RULES)
+    }
+
+    #[test]
+    fn finds_cfg_test_and_test_fn_ranges() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn helper() {}\n}\n#[test]\nfn standalone() {}\nfn tail() {}";
+        let p = parsed(src);
+        assert_eq!(p.test_ranges.len(), 2);
+        let helper = p.fns.iter().find(|f| f.name == "helper").unwrap();
+        let tail = p.fns.iter().find(|f| f.name == "tail").unwrap();
+        let standalone = p.fns.iter().find(|f| f.name == "standalone").unwrap();
+        assert!(p.in_test(helper.tok));
+        assert!(p.in_test(standalone.tok));
+        assert!(!p.in_test(tail.tok));
+    }
+
+    #[test]
+    fn finds_operator_impl_bodies() {
+        let src = "impl Add for B { fn add(self, o: B) -> B { panic!() } }\n\
+                   impl Mul<u64> for B { fn mul(self, r: u64) -> B { todo!() } }\n\
+                   impl B { fn plain(&self) {} }\n\
+                   impl Display for B { fn fmt(&self) {} }";
+        let p = parsed(src);
+        assert_eq!(p.op_impl_ranges.len(), 2);
+        let add = p.fns.iter().find(|f| f.name == "add").unwrap();
+        let mul = p.fns.iter().find(|f| f.name == "mul").unwrap();
+        let plain = p.fns.iter().find(|f| f.name == "plain").unwrap();
+        let fmt = p.fns.iter().find(|f| f.name == "fmt").unwrap();
+        assert!(p.in_op_impl(add.tok));
+        assert!(p.in_op_impl(mul.tok));
+        assert!(!p.in_op_impl(plain.tok));
+        assert!(!p.in_op_impl(fmt.tok));
+    }
+
+    #[test]
+    fn generic_impl_headers_parse() {
+        let src = "impl<'a, T: Fn() -> f64> AddAssign<&'a T> for W<T> { fn add_assign(&mut self, o: &'a T) { x.unwrap(); } }";
+        let p = parsed(src);
+        assert_eq!(p.op_impl_ranges.len(), 1);
+    }
+
+    #[test]
+    fn fn_visibility_and_params() {
+        let src = "pub fn a(bytes: f64, size: ByteSize) {}\n\
+                   pub(crate) fn b(secs: f64) {}\n\
+                   fn c(ns: u64) {}\n\
+                   pub const unsafe fn d(kv_bytes: u64) {}";
+        let p = parsed(src);
+        let a = p.fns.iter().find(|f| f.name == "a").unwrap();
+        assert!(a.is_pub);
+        assert_eq!(a.params.len(), 2);
+        assert_eq!(a.params[0].name, "bytes");
+        assert_eq!(a.params[0].bare_numeric.as_deref(), Some("f64"));
+        assert_eq!(a.params[1].bare_numeric, None);
+        assert!(!p.fns.iter().find(|f| f.name == "b").unwrap().is_pub);
+        assert!(!p.fns.iter().find(|f| f.name == "c").unwrap().is_pub);
+        assert!(p.fns.iter().find(|f| f.name == "d").unwrap().is_pub);
+    }
+
+    #[test]
+    fn params_with_generic_types_do_not_confuse_the_split() {
+        let src = "pub fn f(map: BTreeMap<String, Vec<f64>>, rate_bps: f64) {}";
+        let p = parsed(src);
+        let f = &p.fns[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "map");
+        assert_eq!(f.params[0].bare_numeric, None);
+        assert_eq!(f.params[1].bare_numeric.as_deref(), Some("f64"));
+    }
+
+    #[test]
+    fn consts_record_bare_types() {
+        let src = "pub const A_MS: f64 = 1.0;\npub const B_MS: SimDuration = SimDuration::ZERO;";
+        let p = parsed(src);
+        assert_eq!(p.consts.len(), 2);
+        assert_eq!(p.consts[0].bare_numeric.as_deref(), Some("f64"));
+        assert_eq!(p.consts[1].bare_numeric, None);
+    }
+
+    #[test]
+    fn waiver_trailing_and_standalone_targets() {
+        let src = "let a = x.unwrap(); // lint: allow(no-panic): invariant: id issued here\n\
+                   // lint: allow(wall-clock-in-sim): stats are wall-clock by definition\n\
+                   let started = Instant::now();";
+        let p = parsed(src);
+        assert_eq!(p.waiver_errors, Vec::<String>::new());
+        assert_eq!(p.waivers.len(), 2);
+        assert_eq!(p.waivers[0].rule, "no-panic");
+        assert_eq!(p.waivers[0].target_line, 1);
+        assert_eq!(p.waivers[0].justification, "invariant: id issued here");
+        assert_eq!(p.waivers[1].rule, "wall-clock-in-sim");
+        assert_eq!(p.waivers[1].target_line, 3);
+    }
+
+    #[test]
+    fn malformed_waivers_are_errors() {
+        let src = "// lint: allow(no-panic)\n// lint: allow(bogus-rule): x\n// lint: deny(no-panic): x\nfn f() {}";
+        let p = parsed(src);
+        assert!(p.waivers.is_empty());
+        assert_eq!(p.waiver_errors.len(), 3);
+        assert!(p.waiver_errors[0].contains("no justification"));
+        assert!(p.waiver_errors[1].contains("unknown rule"));
+        assert!(p.waiver_errors[2].contains("malformed waiver"));
+    }
+}

@@ -1,0 +1,88 @@
+//! The rule catalogue of the multi-pass lint.
+//!
+//! Every rule consumes a [`FileCtx`] — the parsed file plus its
+//! workspace coordinates — and emits [`Finding`]s. Rules never apply
+//! waivers themselves; they only *mark* findings that are
+//! auto-exempt by syntactic context (e.g. `no-panic` inside an
+//! operator impl). The driver in [`crate::lint`] applies waiver
+//! comments and the allowlist on top.
+//!
+//! | rule | guards against |
+//! |------|----------------|
+//! | `raw-unit-arith` | magic unit factors (`1e9`, `1024.0`, `<< 20`) outside the conversion layer |
+//! | `no-panic` | `.unwrap()`/`.expect`/`panic!` in library code |
+//! | `untyped-unit-const` | unit-suffixed consts with bare numeric types |
+//! | `nondeterministic-iteration` | `HashMap`/`HashSet` in simulation crates |
+//! | `wall-clock-in-sim` | `Instant`/`SystemTime` next to simulated time |
+//! | `unordered-float-reduce` | parallel f64 reductions outside the deterministic chunked path |
+//! | `untyped-unit-fn` | public fns taking raw numerics named like units |
+
+pub mod determinism;
+pub mod panics;
+pub mod units;
+
+use crate::parse::ParsedFile;
+
+/// Every rule the engine knows, in report order.
+pub const RULES: &[&str] = &[
+    "raw-unit-arith",
+    "no-panic",
+    "untyped-unit-const",
+    "nondeterministic-iteration",
+    "wall-clock-in-sim",
+    "unordered-float-reduce",
+    "untyped-unit-fn",
+];
+
+/// One rule hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// `Some(reason)` when syntactic context auto-exempts the hit
+    /// (it is reported but not counted against the allowlist).
+    pub exempt: Option<&'static str>,
+}
+
+/// A parsed file plus its workspace coordinates.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path (`crates/<name>/src/...`).
+    pub rel_path: &'a str,
+    /// Crate name extracted from the path.
+    pub crate_name: &'a str,
+    /// File basename.
+    pub basename: &'a str,
+    /// The parse-pass output.
+    pub parsed: &'a ParsedFile,
+}
+
+impl FileCtx<'_> {
+    /// Emits a finding at `line` for `rule`.
+    pub fn finding(&self, rule: &'static str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: self.rel_path.to_owned(),
+            line,
+            exempt: None,
+        }
+    }
+}
+
+/// Runs every rule over one file, returning findings sorted by
+/// (rule, line) — the same order the legacy scanner used.
+pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    units::raw_unit_arith(ctx, &mut findings);
+    panics::no_panic(ctx, &mut findings);
+    units::untyped_unit_const(ctx, &mut findings);
+    determinism::nondeterministic_iteration(ctx, &mut findings);
+    determinism::wall_clock_in_sim(ctx, &mut findings);
+    determinism::unordered_float_reduce(ctx, &mut findings);
+    units::untyped_unit_fn(ctx, &mut findings);
+    findings.sort_by_key(|f| (f.rule, f.line));
+    findings
+}

@@ -1,0 +1,48 @@
+//! Panic-hygiene rule: `no-panic`.
+
+use super::{FileCtx, Finding};
+use crate::lexer::TokKind;
+
+/// Macros that abort.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// `no-panic`: `.unwrap()`, `.expect(…)`, `panic!`, `todo!`,
+/// `unimplemented!` in library code. Context-aware: hits inside
+/// operator-trait impl bodies are auto-exempt — those traits cannot
+/// return `Result`, so a violated arithmetic invariant (e.g.
+/// `ByteSize` overflow inside `Add`) can only panic, and forcing an
+/// allowlist entry for each would teach people to ignore the list.
+pub fn no_panic(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let toks = &ctx.parsed.tokens;
+    let mut hit = |i: usize, line: usize| {
+        if ctx.parsed.in_test(i) {
+            return;
+        }
+        let mut f = ctx.finding("no-panic", line);
+        if ctx.parsed.in_op_impl(i) {
+            f.exempt = Some("operator-impl");
+        }
+        out.push(f);
+    };
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.is_punct('.') {
+            let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            let open = toks.get(i + 2).is_some_and(|n| n.is_punct('('));
+            let unwrap_call =
+                name.text == "unwrap" && open && toks.get(i + 3).is_some_and(|n| n.is_punct(')'));
+            let expect_call = name.text == "expect" && open;
+            if unwrap_call || expect_call {
+                hit(i, t.line);
+            }
+        } else if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            hit(i, t.line);
+        }
+    }
+}

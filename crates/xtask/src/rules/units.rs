@@ -1,0 +1,105 @@
+//! Unit-soundness rules: `raw-unit-arith`, `untyped-unit-const`,
+//! `untyped-unit-fn`.
+
+use super::{FileCtx, Finding};
+use crate::lexer::TokKind;
+
+/// Files where raw unit factors are the point: the conversion layer.
+pub const UNIT_HOME_FILES: &[&str] = &["units.rs", "time.rs"];
+
+/// Crates whose public APIs traffic in physical quantities and must
+/// use the typed unit structs (`ByteSize`, `Bandwidth`, `SimTime`,
+/// `SimDuration`) rather than raw numerics.
+pub const UNIT_CRATES: &[&str] = &["simcore", "hetmem", "xfer", "gpusim", "llm", "core"];
+
+const UNIT_FACTORS: &[&str] = &["1e3", "1e6", "1e9", "1e12", "1024.0"];
+const UNIT_SUFFIXES: &[&str] = &[
+    "_MS", "_SECS", "_US", "_NS", "_BYTES", "_KB", "_MB", "_GB", "_KIB", "_MIB", "_GIB", "_GBPS",
+    "_BPS",
+];
+
+/// Parameter-name vocabulary that marks a raw numeric as carrying a
+/// physical unit. Matched against `_`-separated name segments.
+const UNIT_VOCAB: &[&str] = &[
+    "bytes", "byte", "bps", "kbps", "mbps", "gbps", "kb", "mb", "gb", "tb", "kib", "mib", "gib",
+    "tib", "sec", "secs", "ms", "us", "ns", "millis", "micros", "nanos", "flops", "gflops",
+    "tflops", "hz", "khz", "mhz", "ghz", "watts", "joules",
+];
+
+/// `raw-unit-arith`: bare decimal/binary unit factors outside the
+/// conversion layer. Token-level: a factor is a hit only when it is
+/// a whole numeric token (so `21e3`, `1e30`, `1e9f64` never match)
+/// not glued to a `.` (float parts and method calls on literals).
+pub fn raw_unit_arith(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if UNIT_HOME_FILES.contains(&ctx.basename) {
+        return;
+    }
+    let toks = &ctx.parsed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.parsed.in_test(i) {
+            continue;
+        }
+        if t.kind == TokKind::Number && UNIT_FACTORS.contains(&t.text.as_str()) {
+            let glued_prev = i > 0 && toks[i - 1].is_punct('.') && toks[i - 1].off + 1 == t.off;
+            let glued_next = toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('.') && t.off + t.text.chars().count() == n.off);
+            if !glued_prev && !glued_next {
+                out.push(ctx.finding("raw-unit-arith", t.line));
+            }
+        }
+        // `<< 20` / `<< 30`: two adjacent `<` then the bare number.
+        if t.is_punct('<')
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct('<') && n.off == t.off + 1)
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| n.kind == TokKind::Number && (n.text == "20" || n.text == "30"))
+        {
+            out.push(ctx.finding("raw-unit-arith", t.line));
+        }
+    }
+}
+
+/// `untyped-unit-const`: `const NAME_<UNIT>: <bare numeric>` — unit
+/// constants must carry a `SimDuration`/`ByteSize`/`Bandwidth` type.
+pub fn untyped_unit_const(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for c in &ctx.parsed.consts {
+        if ctx.parsed.in_test(c.tok) || c.bare_numeric.is_none() {
+            continue;
+        }
+        if UNIT_SUFFIXES.iter().any(|s| c.name.ends_with(s)) {
+            out.push(ctx.finding("untyped-unit-const", c.line));
+        }
+    }
+}
+
+/// Whether a parameter name speaks the unit vocabulary.
+fn name_is_unit_like(name: &str) -> bool {
+    name.split('_')
+        .any(|seg| UNIT_VOCAB.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+/// `untyped-unit-fn`: public fns in unit-bearing crates whose raw
+/// `f64`/`u64` parameters are named like physical quantities must
+/// take the typed unit structs instead. One finding per offending
+/// fn, anchored at the `fn` line (so one waiver covers a signature
+/// however rustfmt wraps it).
+pub fn untyped_unit_fn(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if !UNIT_CRATES.contains(&ctx.crate_name) || UNIT_HOME_FILES.contains(&ctx.basename) {
+        return;
+    }
+    for f in &ctx.parsed.fns {
+        if !f.is_pub || ctx.parsed.in_test(f.tok) {
+            continue;
+        }
+        let offending = f
+            .params
+            .iter()
+            .any(|p| p.bare_numeric.is_some() && name_is_unit_like(&p.name));
+        if offending {
+            out.push(ctx.finding("untyped-unit-fn", f.line));
+        }
+    }
+}

@@ -32,7 +32,7 @@ proptest! {
     #[test]
     fn flow_scheduler_conserves_and_respects_capacity(arrivals in arrivals_strategy()) {
         let capacity = 10e9;
-        let mut link = FlowScheduler::new(capacity);
+        let mut link = FlowScheduler::new(Bandwidth::from_bytes_per_s(capacity));
         let mut sorted = arrivals.clone();
         sorted.sort_by(|a, b| a.at.total_cmp(&b.at));
         let mut now = SimTime::ZERO;
