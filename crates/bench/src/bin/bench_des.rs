@@ -1,0 +1,230 @@
+//! Scheduler-scale microbenchmark: events/s and requests/s of the
+//! DES core across request volumes n ∈ {1e4, 1e5, 1e6}.
+//!
+//! The north star is "millions of users": this bench proves the
+//! event loop itself — calendar-queue scheduling, pooled event and
+//! request state, the lazy arrival chain, and the allocation-free
+//! `RecordMode::Aggregate` cluster path — sustains a million-request
+//! mixed-cluster run in seconds, with the conservation audit forced
+//! on so every enqueue/complete/abandon count stays exact at scale.
+//!
+//! Two hard gates (the run errors, not warns):
+//!
+//! * the calendar queue's `ClusterReport` must match the binary-heap
+//!   scheduler's byte for byte at n = 1e4 (same `(time, seq)` total
+//!   order, so even float aggregates may not drift);
+//! * the largest run must clear [`EVENTS_PER_S_FLOOR`] and finish
+//!   with a clean audit ledger.
+//!
+//! Results land in `output/BENCH_des.json`. `--quick` drops the 1e6
+//! tier for CI smoke runs (the floor still applies at 1e5).
+
+use std::time::Instant;
+
+use bench::{print_table, section};
+use helm_core::exec::RecordMode;
+use helm_core::online::{run_cluster_mix, ClusterReport, ClusterSpec, PoissonArrivals};
+use helm_core::placement::PlacementKind;
+use helm_core::policy::Policy;
+use helm_core::server::Server;
+use helm_core::system::SystemConfig;
+use hetmem::HostMemoryConfig;
+use llm::ModelConfig;
+use simcore::queue::QueueBackend;
+use workload::WorkloadSpec;
+
+/// Hard floor on sustained events/s at the largest request volume.
+/// The calendar-queue core measures well above 1M events/s on a
+/// single CI core; a drop below this line means the event loop
+/// regressed structurally (per-event allocation, queue degeneration),
+/// not that the machine was slow.
+const EVENTS_PER_S_FLOOR: f64 = 100_000.0;
+
+/// Offered arrival rate (requests/s of simulated time). High enough
+/// to keep every replica's queue non-empty — the bench measures the
+/// scheduler under sustained load, not idle-tick dispatch.
+const ARRIVAL_RATE: f64 = 2.0;
+
+/// One measured volume tier.
+struct Tier {
+    num_requests: usize,
+    wall_s: f64,
+    report: ClusterReport,
+}
+
+fn run_tier(
+    groups: &[(&Server, usize)],
+    workload: &WorkloadSpec,
+    num_requests: usize,
+    backend: QueueBackend,
+    record: RecordMode,
+) -> Result<Tier, helm_core::HelmError> {
+    let spec = ClusterSpec::new(1)
+        .with_scheduler(helm_core::online::SchedulerKind::JoinShortestQueue)
+        .with_record(record)
+        .with_backend(backend);
+    let mut arrivals = PoissonArrivals::new(ARRIVAL_RATE, 4242);
+    let started = Instant::now();
+    let report = run_cluster_mix(groups, workload, &mut arrivals, num_requests, spec)?;
+    Ok(Tier {
+        num_requests,
+        wall_s: started.elapsed().as_secs_f64(),
+        report,
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Audits are compiled out of release builds by default; the whole
+    // point here is exact ledgers at 1e6 counts, so force them on and
+    // absorb their cost in the reported throughput.
+    simaudit::force_enable();
+
+    let model = ModelConfig::opt_175b();
+    let workload = WorkloadSpec::paper_default();
+    let memory = HostMemoryConfig::nvdram();
+    let system = SystemConfig::paper_platform(memory.clone());
+    let base = Policy::paper_default(&model, memory.kind()).with_compression(true);
+    // A heterogeneous mix: latency-shaped HeLM replicas next to
+    // throughput-shaped All-CPU replicas, so dispatch exercises the
+    // real multi-model path rather than a clone farm.
+    let helm = Server::new(
+        system.clone(),
+        model.clone(),
+        base.clone()
+            .with_placement(PlacementKind::Helm)
+            .with_batch_size(4),
+    )?;
+    let allcpu = Server::new(
+        system.clone(),
+        model.clone(),
+        base.with_placement(PlacementKind::AllCpu)
+            .with_batch_size(44),
+    )?;
+    let groups: &[(&Server, usize)] = &[(&helm, 2), (&allcpu, 2)];
+
+    section("backend equivalence: calendar vs heap at n = 1e4");
+    for record in [RecordMode::Full, RecordMode::Aggregate] {
+        let cal = run_tier(groups, &workload, 10_000, QueueBackend::Calendar, record)?;
+        let heap = run_tier(groups, &workload, 10_000, QueueBackend::Heap, record)?;
+        // Debug formatting prints every field including float bit
+        // patterns via their shortest round-trip form; equality here
+        // is byte-identity of the full report.
+        if format!("{:?}", cal.report) != format!("{:?}", heap.report) {
+            return Err(format!(
+                "calendar and heap schedulers diverged at n=1e4 ({record:?} mode)"
+            )
+            .into());
+        }
+        println!(
+            "{record:?}: identical reports ({} events, {} served)",
+            cal.report.events, cal.report.served
+        );
+    }
+
+    section("throughput: aggregate-mode mixed cluster, calendar queue");
+    let volumes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let mut tiers = Vec::new();
+    for &n in volumes {
+        let tier = run_tier(
+            groups,
+            &workload,
+            n,
+            QueueBackend::Calendar,
+            RecordMode::Aggregate,
+        )?;
+        let audit = tier
+            .report
+            .audit
+            .as_ref()
+            .ok_or("auditing was forced on but no report came back")?;
+        if !audit.is_clean() {
+            return Err(format!("audit ledger dirty at n={n}: {audit}").into());
+        }
+        if audit.completed_with_prefix("requests:") != tier.report.served {
+            return Err(format!("ledger/report served mismatch at n={n}").into());
+        }
+        tiers.push(tier);
+    }
+    let rows: Vec<(String, Vec<f64>)> = tiers
+        .iter()
+        .map(|t| {
+            (
+                format!("n = {}", t.num_requests),
+                vec![
+                    t.wall_s * 1000.0,
+                    t.report.events as f64,
+                    t.report.events as f64 / t.wall_s,
+                    t.num_requests as f64 / t.wall_s,
+                    t.report.served as f64,
+                ],
+            )
+        })
+        .collect();
+    print_table(
+        &[
+            "volume",
+            "wall(ms)",
+            "events",
+            "events/s",
+            "requests/s",
+            "served",
+        ],
+        &rows,
+    );
+
+    let largest = tiers.last().ok_or("no tier ran")?;
+    let events_per_s = largest.report.events as f64 / largest.wall_s;
+    if events_per_s < EVENTS_PER_S_FLOOR {
+        return Err(format!(
+            "event loop regressed: {events_per_s:.0} events/s at n={} is below the \
+             {EVENTS_PER_S_FLOOR:.0} floor",
+            largest.num_requests
+        )
+        .into());
+    }
+
+    let tier_json: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            format!(
+                "    {{\"num_requests\": {}, \"wall_s\": {:.3}, \"events\": {}, \
+                 \"events_per_s\": {:.1}, \"requests_per_s\": {:.1}, \"served\": {}, \
+                 \"audit_clean\": true}}",
+                t.num_requests,
+                t.wall_s,
+                t.report.events,
+                t.report.events as f64 / t.wall_s,
+                t.num_requests as f64 / t.wall_s,
+                t.report.served,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"model\": \"{}\",\n  \"memory\": \"{}\",\n  \"backend\": \"calendar\",\n  \
+         \"record_mode\": \"aggregate\",\n  \"arrival_rate_per_s\": {ARRIVAL_RATE},\n  \
+         \"backend_equivalence_n\": 10000,\n  \"backend_equivalence\": true,\n  \
+         \"events_per_s_floor\": {EVENTS_PER_S_FLOOR},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+        model.name(),
+        memory.kind(),
+        tier_json.join(",\n"),
+    );
+    std::fs::create_dir_all("output")?;
+    std::fs::write("output/BENCH_des.json", &json)?;
+    println!("\nwrote output/BENCH_des.json");
+
+    println!(
+        "\nReading: the calendar queue pops in the same (time, seq) total order\n\
+         as the heap (byte-identical reports above), so the only thing that\n\
+         changes with n is wall time. Events/s holding roughly flat from 1e4\n\
+         to 1e6 is the point: amortized O(1) scheduling plus pooled per-event\n\
+         state means a million-request mixed-cluster run costs seconds, which\n\
+         is what makes full lambda-sweeps of the paper's overlap results\n\
+         testable at datacenter scale."
+    );
+    Ok(())
+}

@@ -3,14 +3,19 @@
 //! # Search order: screen, sort, evaluate, mass-prune
 //!
 //! Each resolution level runs in two passes. A cheap *screen* pass
-//! builds every candidate's placement, rejects infeasible ones, and
-//! computes its analytical objective-space bound ([`super::prune`]) —
-//! all without touching the pipeline executor. Candidates are then
-//! sorted best-bound-first and costed in chunks. Because the schedule
-//! is bound-sorted and an incumbent's objective only ever improves,
-//! the first pruned candidate proves every candidate after it in the
-//! schedule is dominated too — the whole tail is pruned in one step
-//! without being touched. The expensive `run_pipeline` therefore runs
+//! rejects infeasible candidates on the placement template's byte
+//! totals (no per-layer placement is materialized for them), builds
+//! the placement for the survivors, and computes each survivor's
+//! analytical objective-space bound ([`super::prune`]) —
+//! without touching the pipeline executor and without building the
+//! candidate's cost table (the bound reads the same per-layer cost
+//! functions the table would cache, so pruned candidates never pay
+//! for a table at all). Candidates are then sorted best-bound-first
+//! and costed in chunks. Because the schedule is bound-sorted and an
+//! incumbent's objective only ever improves, the first pruned
+//! candidate proves every candidate after it in the schedule is
+//! dominated too — the whole tail is pruned in one step without being
+//! touched. The expensive table build + pipeline run therefore happen
 //! only for the bound-ordered prefix that might actually win.
 //!
 //! # Determinism
@@ -30,6 +35,14 @@
 //! 3. the reduction over a chunk's outcomes is serial and in order,
 //!    applying the same strict-improvement rule as the serial sweep.
 //!
+//! Because per-candidate outcomes are pure in (candidate, threshold),
+//! a level may also run entirely without the thread pool: when a
+//! level has fewer candidates than `threads × CHUNK`, fan-out costs
+//! more than it buys (the zoom levels are four probes each), so the
+//! driver evaluates the same chunks with the same frozen thresholds
+//! inline on the calling thread. The winner is bit-identical by
+//! construction — only wall-clock changes.
+//!
 //! Pruning is winner-preserving: a candidate is pruned only when its
 //! lower bound says it cannot *strictly* beat an incumbent that came
 //! earlier in schedule order, and the strict-improvement rule would
@@ -46,7 +59,8 @@
 //! extra evaluations only when they actually move the incumbent.
 
 use std::cmp::Ordering;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 // lint: allow(wall-clock-in-sim): SearchStats.wall_ms reports real search cost, never simulated time
 use std::time::Instant;
 
@@ -54,13 +68,14 @@ use rayon::prelude::*;
 use rayon::ThreadPoolBuilder;
 
 use crate::error::HelmError;
-use crate::exec::{run_pipeline, run_pipeline_with, LayerCostTable, PipelineInputs, RecordMode};
+use crate::exec::{run_pipeline_with, LayerCostTable, PipelineInputs, RecordMode};
 use crate::metrics::RunReport;
-use crate::placement::{ModelPlacement, Tier};
+use crate::placement::{CustomPlacementTemplate, ModelPlacement, Tier};
 use crate::policy::Policy;
 use crate::system::SystemConfig;
 use gpusim::{MemoryBudget, ResidentCosts};
 use llm::ModelConfig;
+use simcore::time::SimDuration;
 use simcore::units::ByteSize;
 use workload::WorkloadSpec;
 
@@ -105,27 +120,28 @@ pub struct SearchStats {
 }
 
 /// A feasible candidate after the cheap screening pass: its placement,
-/// the batch the objective assigns it, its precomputed cost table
-/// (reused by the pipeline evaluation; `None` when the table cannot
-/// be built — the evaluation then surfaces the error), and its
-/// objective-space bound (`None` when no sound bound exists — those
-/// sort first and are always costed).
+/// the batch the objective assigns it, and its objective-space bound
+/// (`None` when no sound bound exists — those sort first and are
+/// always costed). No cost table yet: screening's bound reads the
+/// per-layer cost functions directly, and only candidates that reach
+/// a pipeline run pay for a table build.
 struct Screened {
     mha: u32,
     ffn: u32,
     batch: u32,
     placement: ModelPlacement,
-    table: Option<LayerCostTable>,
     bound: Option<f64>,
 }
 
 /// One costed candidate, kept boxed because a `RunReport` dwarfs the
-/// other `Outcome` variants.
+/// other `Outcome` variants. Keeps the cost table its evaluation
+/// built so the winner's full-record re-cost reuses it.
 struct Evaluation {
     mha: u32,
     ffn: u32,
     batch: u32,
     placement: ModelPlacement,
+    table: LayerCostTable,
     report: RunReport,
 }
 
@@ -160,6 +176,19 @@ pub(super) struct SearchEngine<'a> {
     hidden_per_sequence: ByteSize,
     host_capacity: ByteSize,
     bounds: BoundContext,
+    /// Hoisted layer sequence + spec classes: per-candidate placement
+    /// work is one allocation per class, and infeasible candidates
+    /// are rejected on byte totals without building a placement.
+    template: CustomPlacementTemplate,
+    /// Per-batch memo of the micro-scaled, sorted token-1 decode
+    /// computes feeding the bound. Placement-invariant, so every
+    /// candidate at the same batch shares one vector: the latency
+    /// objective computes it exactly once per search, the throughput
+    /// objective once per distinct `max_batch`. Shared across the
+    /// pool's workers; the lock guards a tiny map, and a racing
+    /// double-compute is harmless (both sides produce the same
+    /// vector).
+    decode_computes: Mutex<BTreeMap<u32, Arc<Vec<SimDuration>>>>,
 }
 
 impl<'a> SearchEngine<'a> {
@@ -183,7 +212,31 @@ impl<'a> SearchEngine<'a> {
             hidden_per_sequence: llm::kv::hidden_bytes_per_sequence(model, workload.context_len()),
             host_capacity: system.tier_capacity(Tier::Cpu),
             bounds: BoundContext::new(system, model, workload),
+            template: CustomPlacementTemplate::new(model, policy.compressed()),
+            decode_computes: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// The memoized sorted decode-compute vector for `batch` (see the
+    /// field doc). Computes outside the lock on a miss so workers
+    /// never serialize on the kernel-model walk.
+    fn decode_computes_for(&self, inp: &PipelineInputs<'_>, batch: u32) -> Arc<Vec<SimDuration>> {
+        let cached = self
+            .decode_computes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&batch)
+            .cloned();
+        if let Some(computes) = cached {
+            return computes;
+        }
+        let computes = Arc::new(BoundContext::sorted_decode_computes(inp));
+        self.decode_computes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(batch)
+            .or_insert_with(|| computes.clone())
+            .clone()
     }
 
     pub(super) fn run(self) -> Result<AutoPlacement, HelmError> {
@@ -217,17 +270,22 @@ impl<'a> SearchEngine<'a> {
         let winner = state.best.ok_or_else(|| self.no_feasible_candidate())?;
         // Candidates were costed in aggregate mode; re-cost the winner
         // once with full step records so the returned report supports
-        // timelines/CSV. Aggregates are bit-identical between modes
-        // (the equivalence property the test suite pins down), so this
-        // cannot change the winner. Not counted in `stats.evaluated`.
+        // timelines/CSV, reusing the table its evaluation built.
+        // Aggregates are bit-identical between modes (the equivalence
+        // property the test suite pins down), so this cannot change
+        // the winner. Not counted in `stats.evaluated`.
         let winner_policy = self.policy.clone().with_batch_size(winner.batch);
-        let report = run_pipeline(&PipelineInputs {
-            system: self.system,
-            model: self.model,
-            policy: &winner_policy,
-            placement: &winner.placement,
-            workload: self.workload,
-        })?;
+        let report = run_pipeline_with(
+            &PipelineInputs {
+                system: self.system,
+                model: self.model,
+                policy: &winner_policy,
+                placement: &winner.placement,
+                workload: self.workload,
+            },
+            &winner.table,
+            RecordMode::Full,
+        )?;
         state.stats.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
         Ok(AutoPlacement {
             mha_gpu_percent: f64::from(winner.mha),
@@ -254,16 +312,24 @@ impl<'a> SearchEngine<'a> {
             .copied()
             .filter(|c| state.seen.insert(*c))
             .collect();
-        let mut ranked: Vec<Screened> = pool
-            .install(|| {
-                pending
-                    .par_iter()
-                    .map(|&c| self.screen(c))
-                    .collect::<Vec<Option<Screened>>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+        // Adaptive serial fallback: a level smaller than one chunk per
+        // worker can't keep the pool busy, and fan-out overhead beats
+        // the work (the zoom levels are four probes each). Workers are
+        // clamped to the machine's parallelism first — a requested
+        // thread count the hardware can't run concurrently is pure
+        // spawn overhead. Outcomes are pure in (candidate, threshold)
+        // and reduced in input order either way, so the winner is
+        // bit-identical.
+        let workers = pool
+            .current_num_threads()
+            .min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+        let serial = workers <= 1 || pending.len() < workers * CHUNK;
+        let screened: Vec<Option<Screened>> = if serial {
+            pending.iter().map(|&c| self.screen(c)).collect()
+        } else {
+            pool.install(|| pending.par_iter().map(|&c| self.screen(c)).collect())
+        };
+        let mut ranked: Vec<Screened> = screened.into_iter().flatten().collect();
         ranked.sort_by(|a, b| self.promise_order(a, b));
         let mut cursor = 0usize;
         while cursor < ranked.len() {
@@ -284,12 +350,16 @@ impl<'a> SearchEngine<'a> {
             let chunk = &ranked[cursor..cursor + take];
             cursor += take;
             let threshold = state.best.as_ref().map(|b| self.objective_value(&b.report));
-            let outcomes: Vec<Outcome> = pool.install(|| {
-                chunk
-                    .par_iter()
-                    .map(|s| self.evaluate(s, threshold))
-                    .collect()
-            });
+            let outcomes: Vec<Outcome> = if serial {
+                chunk.iter().map(|s| self.evaluate(s, threshold)).collect()
+            } else {
+                pool.install(|| {
+                    chunk
+                        .par_iter()
+                        .map(|s| self.evaluate(s, threshold))
+                        .collect()
+                })
+            };
             let mut chunk_pruned = false;
             for outcome in outcomes {
                 match outcome {
@@ -336,24 +406,28 @@ impl<'a> SearchEngine<'a> {
         Ok(true)
     }
 
-    /// The cheap feasibility-and-bound pass for one candidate: builds
-    /// the placement, picks the objective's batch, and computes the
-    /// analytical bound — no pipeline run. `None` means infeasible.
-    /// Pure in the candidate, so it can run on any worker.
+    /// The cheap feasibility-and-bound pass for one candidate: checks
+    /// feasibility on the template's byte totals, picks the
+    /// objective's batch, and computes the analytical bound — no
+    /// pipeline run. The placement itself is materialized only for
+    /// candidates that pass both memory checks (on the coarse grid,
+    /// more than half fail). `None` means infeasible. Pure in the
+    /// candidate, so it can run on any worker.
     fn screen(&self, (mha, ffn): (u32, u32)) -> Option<Screened> {
-        let placement = ModelPlacement::compute_custom(
-            self.model,
-            self.policy.compressed(),
-            [f64::from(mha), f64::from(100 - mha), 0.0],
-            [f64::from(ffn), f64::from(100 - ffn), 0.0],
-            [0.0, 100.0, 0.0],
-        );
-        if placement.total_on(Tier::Cpu) > self.host_capacity {
+        let mha_pct = [f64::from(mha), f64::from(100 - mha), 0.0];
+        let ffn_pct = [f64::from(ffn), f64::from(100 - ffn), 0.0];
+        let other_pct = [0.0, 100.0, 0.0];
+        // Byte totals alone decide both feasibility checks, and the
+        // template's totals are exactly the built placement's totals
+        // (a pinned invariant), so rejected candidates never pay for
+        // per-layer placement materialization.
+        let totals = self.template.totals(mha_pct, ffn_pct, other_pct);
+        if totals.cpu > self.host_capacity {
             return None;
         }
         let costs = ResidentCosts {
-            weights: placement.total_on(Tier::Gpu),
-            staging: placement.staging_bytes(),
+            weights: totals.gpu,
+            staging: totals.staging,
             kv_per_sequence: self.kv_per_sequence,
             hidden_per_sequence: self.hidden_per_sequence,
         };
@@ -372,6 +446,7 @@ impl<'a> SearchEngine<'a> {
                 max
             }
         };
+        let placement = self.template.build(mha_pct, ffn_pct, other_pct);
         let candidate_policy = self.policy.clone().with_batch_size(batch);
         let inputs = PipelineInputs {
             system: self.system,
@@ -380,19 +455,18 @@ impl<'a> SearchEngine<'a> {
             placement: &placement,
             workload: self.workload,
         };
-        // The cost table built here is the one the evaluation replays
-        // — screening's bound and the pipeline run share the memoized
-        // per-layer costs.
-        let table = LayerCostTable::build(&inputs).ok();
-        let bound = table
-            .as_ref()
-            .and_then(|t| self.bounds.objective_bound(self.objective, &inputs, t));
+        // The bound reads the same per-layer cost functions a table
+        // build would cache, so no table is built here — pruned
+        // candidates never pay for one.
+        let computes = self.decode_computes_for(&inputs, batch);
+        let bound = self
+            .bounds
+            .objective_bound(self.objective, &inputs, &computes);
         Some(Screened {
             mha,
             ffn,
             batch,
             placement,
-            table,
             bound,
         })
     }
@@ -433,19 +507,20 @@ impl<'a> SearchEngine<'a> {
             placement: &screened.placement,
             workload: self.workload,
         };
-        // Aggregate mode: the search only compares TBT / throughput,
-        // so no candidate pays for per-step record materialization.
-        let result = match &screened.table {
-            Some(table) => run_pipeline_with(&inputs, table, RecordMode::Aggregate),
-            None => LayerCostTable::build(&inputs)
-                .and_then(|table| run_pipeline_with(&inputs, &table, RecordMode::Aggregate)),
-        };
+        // Only here — past the bound check — does the candidate pay
+        // for its cost table. Aggregate mode: the search only compares
+        // TBT / throughput, so no candidate pays for per-step record
+        // materialization.
+        let result = LayerCostTable::build(&inputs).and_then(|table| {
+            run_pipeline_with(&inputs, &table, RecordMode::Aggregate).map(|report| (table, report))
+        });
         match result {
-            Ok(report) => Outcome::Evaluated(Box::new(Evaluation {
+            Ok((table, report)) => Outcome::Evaluated(Box::new(Evaluation {
                 mha: screened.mha,
                 ffn: screened.ffn,
                 batch: screened.batch,
                 placement: screened.placement.clone(),
+                table,
                 report,
             })),
             Err(e) => Outcome::Failed(e),

@@ -27,9 +27,17 @@
 //! bound. TBT is a mean of per-token times, each of which respects the
 //! floor; throughput divides a fixed token count by at least `gen_len`
 //! floors.
+//!
+//! The bound reads only each layer's [`load_time`] and its token-1
+//! decode [`compute_time`] — the exact scalars `LayerCostTable::build`
+//! would cache — so screening computes it directly from the free
+//! functions and never pays for the full table (prefill costs, DES
+//! flows, write-back modeling). Only candidates that survive to a
+//! pipeline run build a table.
 
-use crate::exec::{LayerCostTable, PipelineInputs, SYNC_OVERHEAD};
+use crate::exec::{compute_time, load_time, PipelineInputs, SYNC_OVERHEAD};
 use crate::metrics::Stage;
+use crate::placement::Tier;
 use crate::system::SystemConfig;
 use llm::ModelConfig;
 use simcore::time::SimDuration;
@@ -60,28 +68,50 @@ impl BoundContext {
         }
     }
 
-    /// Lower bound on the time one decode token spends traversing all
-    /// layers under `inp`'s placement and policy, read from the
-    /// candidate's prebuilt cost table (whose construction already
-    /// proved every routed tier available).
-    fn decode_token_floor(&self, inp: &PipelineInputs<'_>, table: &LayerCostTable) -> SimDuration {
-        let gpu = inp.system.gpu();
+    /// The per-layer token-1 decode compute times feeding
+    /// [`Self::objective_bound`], micro-scaled and sorted ascending
+    /// for the similarly-sorted pairing. Placement-invariant
+    /// ([`compute_time`] never reads the placement), so one vector
+    /// serves every candidate at the same batch — the engine memoizes
+    /// it per batch instead of recomputing it per grid point.
+    pub(super) fn sorted_decode_computes(inp: &PipelineInputs<'_>) -> Vec<SimDuration> {
         let micro = f64::from(inp.policy.num_gpu_batches());
-        let mut loads = Vec::with_capacity(table.num_layers());
-        let mut computes = Vec::with_capacity(loads.capacity());
-        for j in 0..table.num_layers() {
-            loads.push(table.load(j));
-            computes.push(table.compute_time(gpu, j, Stage::Decode, 1) * micro);
+        let mut computes: Vec<SimDuration> = inp
+            .placement
+            .layers()
+            .iter()
+            .map(|lp| compute_time(inp, lp.layer(), Stage::Decode, 1) * micro)
+            .collect();
+        computes.sort_unstable();
+        computes
+    }
+
+    /// Lower bound on the time one decode token spends traversing all
+    /// layers under `inp`'s placement and policy, computed straight
+    /// from the per-layer cost functions (bit-identical to the values
+    /// a `LayerCostTable` would cache, without building one). `None`
+    /// when the placement routes through an unavailable tier — the
+    /// pipeline run surfaces that error instead.
+    fn decode_token_floor(
+        &self,
+        inp: &PipelineInputs<'_>,
+        sorted_computes: &[SimDuration],
+    ) -> Option<SimDuration> {
+        let placed = inp.placement.layers();
+        let cpu_ws = inp.placement.total_on(Tier::Cpu);
+        let disk_ws = inp.placement.total_on(Tier::Disk);
+        let mut loads = Vec::with_capacity(placed.len());
+        for lp in placed {
+            loads.push(load_time(inp, lp, cpu_ws, disk_ws).ok()?);
         }
         // Drop the largest load (the final token may skip exactly one
         // prefetch) and pair the remainder with a zero-load step.
         loads.sort_unstable();
-        computes.sort_unstable();
         if let Some(last) = loads.last_mut() {
             *last = SimDuration::ZERO;
         }
         loads.rotate_right(1);
-        let paired: SimDuration = computes
+        let paired: SimDuration = sorted_computes
             .iter()
             .zip(&loads)
             .map(|(&c, &l)| c.max(l))
@@ -89,18 +119,19 @@ impl BoundContext {
         let working_set = inp.placement.offloaded_working_set();
         let skipped = inp.placement.largest_offloaded_layer();
         let link_floor = self.peak_link.time_for(working_set - skipped);
-        paired.max(link_floor) + self.sync_per_pass
+        Some(paired.max(link_floor) + self.sync_per_pass)
     }
 
     /// The candidate's bound in objective space: a lower bound on TBT
     /// (ms) for [`Objective::Latency`], an upper bound on tokens/s for
     /// [`Objective::Throughput`]. `None` when no sound bound exists
-    /// (degenerate workload) — such candidates must always be costed.
+    /// (degenerate workload, or a tier error the evaluation will
+    /// surface) — such candidates must always be costed.
     pub(super) fn objective_bound(
         &self,
         objective: Objective,
         inp: &PipelineInputs<'_>,
-        table: &LayerCostTable,
+        sorted_computes: &[SimDuration],
     ) -> Option<f64> {
         match objective {
             Objective::Latency => {
@@ -109,10 +140,10 @@ impl BoundContext {
                 if self.gen_len < 2 {
                     return None;
                 }
-                Some(self.decode_token_floor(inp, table).as_millis())
+                Some(self.decode_token_floor(inp, sorted_computes)?.as_millis())
             }
             Objective::Throughput => {
-                let floor = self.decode_token_floor(inp, table);
+                let floor = self.decode_token_floor(inp, sorted_computes)?;
                 let tokens = inp.workload.tokens_generated(inp.policy.effective_batch());
                 let floor_secs = floor.as_secs() * (self.gen_len as f64);
                 if floor_secs <= 0.0 {
@@ -131,10 +162,9 @@ impl BoundContext {
         &self,
         objective: Objective,
         inp: &PipelineInputs<'_>,
-        table: &LayerCostTable,
         best: f64,
     ) -> bool {
-        self.objective_bound(objective, inp, table)
+        self.objective_bound(objective, inp, &BoundContext::sorted_decode_computes(inp))
             .is_some_and(|bound| bound_dominated(objective, bound, best))
     }
 }
@@ -179,9 +209,10 @@ mod tests {
             workload: &workload,
         };
         let ctx = BoundContext::new(&system, &model, &workload);
-        let table = LayerCostTable::build(&inp).expect("table builds");
         let report = run_pipeline(&inp).expect("pipeline runs");
-        let floor = ctx.decode_token_floor(&inp, &table);
+        let floor = ctx
+            .decode_token_floor(&inp, &BoundContext::sorted_decode_computes(&inp))
+            .expect("tiers available");
 
         let floor_ms = floor.as_millis();
         assert!(
@@ -216,6 +247,43 @@ mod tests {
     }
 
     #[test]
+    fn direct_costs_match_table_cached_costs() {
+        // The bound's soundness story leans on reading the exact
+        // scalars `LayerCostTable::build` would cache; pin the
+        // bit-identity per layer.
+        use crate::exec::LayerCostTable;
+        let system = SystemConfig::paper_platform(HostMemoryConfig::nvdram());
+        let model = ModelConfig::opt_175b();
+        let policy = Policy::paper_default(&model, hetmem::MemoryConfigKind::NvDram)
+            .with_compression(true)
+            .with_batch_size(1);
+        let workload = WorkloadSpec::paper_default();
+        let placement = ModelPlacement::compute(&model, &policy);
+        let inp = PipelineInputs {
+            system: &system,
+            model: &model,
+            policy: &policy,
+            placement: &placement,
+            workload: &workload,
+        };
+        let table = LayerCostTable::build(&inp).expect("table builds");
+        let cpu_ws = placement.total_on(Tier::Cpu);
+        let disk_ws = placement.total_on(Tier::Disk);
+        for (j, lp) in placement.layers().iter().enumerate() {
+            assert_eq!(
+                table.load(j),
+                load_time(&inp, lp, cpu_ws, disk_ws).expect("tier available"),
+                "load mismatch at layer {j}"
+            );
+            assert_eq!(
+                table.compute_time(system.gpu(), j, Stage::Decode, 1),
+                compute_time(&inp, lp.layer(), Stage::Decode, 1),
+                "decode compute mismatch at layer {j}"
+            );
+        }
+    }
+
+    #[test]
     fn cannot_beat_respects_strict_improvement() {
         let system = SystemConfig::paper_platform(HostMemoryConfig::nvdram());
         let model = ModelConfig::opt_175b();
@@ -232,11 +300,13 @@ mod tests {
             workload: &workload,
         };
         let ctx = BoundContext::new(&system, &model, &workload);
-        let table = LayerCostTable::build(&inp).expect("table builds");
-        let floor_ms = ctx.decode_token_floor(&inp, &table).as_millis();
+        let floor_ms = ctx
+            .decode_token_floor(&inp, &BoundContext::sorted_decode_computes(&inp))
+            .expect("tiers available")
+            .as_millis();
         // An incumbent exactly at the floor cannot be strictly beaten.
-        assert!(ctx.cannot_beat(Objective::Latency, &inp, &table, floor_ms));
+        assert!(ctx.cannot_beat(Objective::Latency, &inp, floor_ms));
         // An incumbent far above the floor might be.
-        assert!(!ctx.cannot_beat(Objective::Latency, &inp, &table, floor_ms * 10.0));
+        assert!(!ctx.cannot_beat(Objective::Latency, &inp, floor_ms * 10.0));
     }
 }

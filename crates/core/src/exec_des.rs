@@ -82,6 +82,12 @@ pub fn run_pipeline_des_with(
     let mut audit = Auditor::capture();
     audit_placement_feasibility(&mut audit, inp);
 
+    // Reusable scratch for the one step shape that needs a combined
+    // flow list (cached weight flows + the live KV stream). Cleared
+    // per step, so the token loop allocates nothing after the first
+    // KV step regardless of run length.
+    let mut kv_scratch: Vec<Flow> = Vec::new();
+
     // A helper that streams a set of flows on a link starting at
     // `start` (each after its fixed setup/latency cost, overlapped
     // across flows as in the analytic model) and returns the drain
@@ -155,11 +161,11 @@ pub fn run_pipeline_des_with(
                         weights.iter().map(|f| f.bytes).sum(),
                     ),
                     Some(f) => {
-                        let mut flows = Vec::with_capacity(weights.len() + 1);
-                        flows.extend_from_slice(weights);
-                        flows.push(f);
-                        let bytes = flows.iter().map(|f| f.bytes).sum();
-                        (drain(&mut h2d, &mut audit, step_start, &flows), bytes)
+                        kv_scratch.clear();
+                        kv_scratch.extend_from_slice(weights);
+                        kv_scratch.push(f);
+                        let bytes = kv_scratch.iter().map(|f| f.bytes).sum();
+                        (drain(&mut h2d, &mut audit, step_start, &kv_scratch), bytes)
                     }
                 };
                 (done, Some(table.kind(next_index)), bytes)

@@ -45,12 +45,14 @@
 //! instead of being silently clamped.
 
 use crate::error::HelmError;
+use crate::exec::RecordMode;
 use crate::server::Server;
 use simaudit::{AuditReport, Auditor};
 use simcore::engine::{Context, Simulator};
 use simcore::rng::SimRng;
-use simcore::stats::SeriesStats;
+use simcore::stats::{Accumulator, Reservoir, SeriesStats};
 use simcore::time::{SimDuration, SimTime};
+use simcore::QueueBackend;
 use std::collections::VecDeque;
 use workload::WorkloadSpec;
 
@@ -87,19 +89,24 @@ impl PoissonArrivals {
         }
     }
 
+    /// The next arrival instant, advancing the process clock by one
+    /// exponential gap. [`take`] is this in a loop, so mixing the two
+    /// draws one continuous process.
+    ///
+    /// [`take`]: PoissonArrivals::take
+    pub fn next_arrival(&mut self) -> SimTime {
+        let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
+        self.t += -u.ln() / self.rate_per_s;
+        SimTime::from_secs(self.t)
+    }
+
     /// The next `n` arrival instants.
     ///
     /// The process resumes from the last drawn instant rather than
     /// restarting at zero, so `take(2)` twice draws the same four
     /// arrivals as `take(4)` once.
     pub fn take(&mut self, n: usize) -> Vec<SimTime> {
-        (0..n)
-            .map(|_| {
-                let u = self.rng.next_f64().max(f64::MIN_POSITIVE);
-                self.t += -u.ln() / self.rate_per_s;
-                SimTime::from_secs(self.t)
-            })
-            .collect()
+        (0..n).map(|_| self.next_arrival()).collect()
     }
 }
 
@@ -372,7 +379,10 @@ pub enum DeadlineSpec {
 }
 
 impl DeadlineSpec {
-    /// The absolute deadline of each arrival in `times`.
+    /// The absolute deadline of each arrival in `times` — the batch
+    /// reference implementation [`DeadlineAssigner`] must reproduce
+    /// draw for draw (pinned by a test).
+    #[cfg(test)]
     fn assign(self, times: &[SimTime]) -> Vec<Option<SimTime>> {
         match self {
             DeadlineSpec::None => vec![None; times.len()],
@@ -400,6 +410,64 @@ impl DeadlineSpec {
     }
 }
 
+/// Streaming form of [`DeadlineSpec`]: one deadline per call, drawing
+/// the Bimodal class picks in arrival order from the same seed stream
+/// as the batch assigner — lazy per-event assignment therefore sees
+/// exactly the sequence `DeadlineSpec::assign` produces up front,
+/// without materializing a deadline vector for the whole run.
+#[derive(Debug, Clone)]
+enum DeadlineAssigner {
+    None,
+    Fixed(SimDuration),
+    Bimodal {
+        tight: SimDuration,
+        loose: SimDuration,
+        tight_fraction: f64,
+        rng: SimRng,
+    },
+}
+
+impl DeadlineAssigner {
+    fn new(spec: DeadlineSpec) -> Self {
+        match spec {
+            DeadlineSpec::None => DeadlineAssigner::None,
+            DeadlineSpec::Fixed(slo) => DeadlineAssigner::Fixed(slo),
+            DeadlineSpec::Bimodal {
+                tight,
+                loose,
+                tight_fraction,
+                seed,
+            } => DeadlineAssigner::Bimodal {
+                tight,
+                loose,
+                tight_fraction,
+                rng: SimRng::from_seed_and_stream(seed, "deadline-mix"),
+            },
+        }
+    }
+
+    /// The absolute deadline of the next arrival, at instant `t`.
+    fn next(&mut self, t: SimTime) -> Option<SimTime> {
+        match self {
+            DeadlineAssigner::None => None,
+            DeadlineAssigner::Fixed(slo) => Some(t + *slo),
+            DeadlineAssigner::Bimodal {
+                tight,
+                loose,
+                tight_fraction,
+                rng,
+            } => {
+                let slo = if rng.next_f64() < *tight_fraction {
+                    *tight
+                } else {
+                    *loose
+                };
+                Some(t + slo)
+            }
+        }
+    }
+}
+
 /// Shape of a serving cluster: how many pipelines, how requests are
 /// dispatched to them, at what granularity batches admit work, which
 /// arrivals are admitted at all, and what deadlines requests carry.
@@ -418,6 +486,15 @@ pub struct ClusterSpec {
     pub admission: AdmissionPolicy,
     /// Per-request deadline assignment.
     pub deadlines: DeadlineSpec,
+    /// Recording granularity: [`RecordMode::Full`] retains every
+    /// latency sample and batch size; [`RecordMode::Aggregate`] keeps
+    /// streaming summaries plus a bounded latency reservoir, so
+    /// million-request runs stay allocation-bounded.
+    pub record: RecordMode,
+    /// Event-scheduler backend of the underlying simulator. The
+    /// backends share one `(time, seq)` total order, so reports are
+    /// bit-identical either way; only speed differs.
+    pub backend: QueueBackend,
 }
 
 impl ClusterSpec {
@@ -435,6 +512,8 @@ impl ClusterSpec {
             continuous: false,
             admission: AdmissionPolicy::AcceptAll,
             deadlines: DeadlineSpec::None,
+            record: RecordMode::Full,
+            backend: QueueBackend::default(),
         }
     }
 
@@ -465,25 +544,133 @@ impl ClusterSpec {
         self.deadlines = deadlines;
         self
     }
+
+    /// Replaces the recording granularity.
+    #[must_use]
+    pub fn with_record(mut self, record: RecordMode) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Replaces the event-scheduler backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: QueueBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+}
+
+/// Reservoir size for aggregate-mode latency percentiles: large
+/// enough that tail estimates are stable, small enough that a
+/// million-request run keeps O(1) latency state.
+const LATENCY_RESERVOIR: usize = 4096;
+
+/// Latency accounting at either [`RecordMode`] granularity.
+///
+/// [`RecordMode::Full`] retains every sample (a [`SeriesStats`]),
+/// which per-request analyses and the bit-identity cross-checks need.
+/// [`RecordMode::Aggregate`] keeps a streaming Welford summary plus a
+/// fixed-size uniform reservoir: count and mean stay exact, only
+/// percentiles become (deterministic) estimates, and a
+/// million-request cluster run no longer allocates per request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatencyStats {
+    /// Every sample retained.
+    Full(SeriesStats),
+    /// Streaming summary plus bounded percentile reservoir.
+    Sampled {
+        /// Exact count/mean/variance over all samples.
+        summary: Accumulator,
+        /// Uniform sample of the stream for percentile estimates.
+        reservoir: Reservoir,
+    },
+}
+
+impl LatencyStats {
+    fn full() -> Self {
+        LatencyStats::Full(SeriesStats::new())
+    }
+
+    fn sampled(rng: SimRng) -> Self {
+        LatencyStats::Sampled {
+            summary: Accumulator::new(),
+            reservoir: Reservoir::new(LATENCY_RESERVOIR, rng),
+        }
+    }
+
+    fn add(&mut self, x: f64) {
+        match self {
+            LatencyStats::Full(s) => s.add(x),
+            LatencyStats::Sampled { summary, reservoir } => {
+                summary.add(x);
+                reservoir.add(x);
+            }
+        }
+    }
+
+    /// Number of samples observed — all of them, in either mode.
+    pub fn count(&self) -> u64 {
+        match self {
+            LatencyStats::Full(s) => u64::try_from(s.count()).unwrap_or(u64::MAX),
+            LatencyStats::Sampled { summary, .. } => summary.count(),
+        }
+    }
+
+    /// Arithmetic mean over **all** samples; exact in both modes (the
+    /// aggregate mode streams the mean — only percentiles are
+    /// estimated).
+    pub fn mean(&self) -> f64 {
+        match self {
+            LatencyStats::Full(s) => s.mean(),
+            LatencyStats::Sampled { summary, .. } => summary.mean(),
+        }
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`: exact in
+    /// full mode, a uniform-reservoir estimate in aggregate mode
+    /// (exact there too while the sample count is within the
+    /// reservoir capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        match self {
+            LatencyStats::Full(s) => s.percentile(p),
+            LatencyStats::Sampled { reservoir, .. } => reservoir.percentile(p),
+        }
+    }
+
+    /// The retained samples: the complete series in full mode, the
+    /// reservoir's uniform subset in aggregate mode.
+    pub fn samples(&self) -> &[f64] {
+        match self {
+            LatencyStats::Full(s) => s.samples(),
+            LatencyStats::Sampled { reservoir, .. } => reservoir.samples(),
+        }
+    }
 }
 
 /// Per-pipeline accounting from a cluster run.
+///
+/// Counters are `u64`: at the million-request scale the DES core is
+/// sized for, 32-bit counters are one long soak away from wrapping.
 #[derive(Debug, Clone)]
 pub struct PipelineStats {
     /// Index of the replica group this pipeline was built from
     /// (always 0 for homogeneous clusters).
     pub config: usize,
     /// Requests completed on this pipeline.
-    pub served: usize,
+    pub served: u64,
     /// Requests rejected at arrival by the admission policy.
-    pub rejected: usize,
+    pub rejected: u64,
     /// Requests shed at batch/step admission because their deadline
     /// had become infeasible ([`SchedulerKind::DeadlineAware`] only).
-    pub expired: usize,
+    pub expired: u64,
     /// Total time this pipeline spent serving.
     pub busy: SimDuration,
     /// Batches (run-to-completion) or steps (continuous) executed.
-    pub batches: usize,
+    pub batches: u64,
     /// `busy` as a fraction of the cluster makespan (not clamped; a
     /// value above 1 means over-accounted busy time, which the audit
     /// flags via [`Auditor::check_busy_time`]).
@@ -494,25 +681,29 @@ pub struct PipelineStats {
 #[derive(Debug, Clone)]
 pub struct ClusterReport {
     /// Requests served across all pipelines.
-    pub served: usize,
+    pub served: u64,
     /// Requests rejected at arrival by the admission policy.
-    pub rejected: usize,
+    pub rejected: u64,
     /// Requests shed as expired at batch/step admission
     /// ([`SchedulerKind::DeadlineAware`] only).
-    pub expired: usize,
+    pub expired: u64,
     /// Served requests that finished past their deadline.
-    pub slo_violations: usize,
+    pub slo_violations: u64,
     /// Served requests that met their deadline (requests without a
     /// deadline count as met).
-    pub met: usize,
+    pub met: u64,
+    /// Simulator events fired during the run (arrivals plus
+    /// batch/step completions) — the denominator of events/s
+    /// scheduler benchmarks.
+    pub events: u64,
     /// Wall-clock span from first arrival to last completion.
     pub makespan: SimDuration,
     /// Queueing delays (arrival → batch/step admission), seconds.
-    pub queue_delay: SeriesStats,
+    pub queue_delay: LatencyStats,
     /// End-to-end latencies (arrival → last token), seconds.
-    pub e2e_latency: SeriesStats,
+    pub e2e_latency: LatencyStats,
     /// Batch (or active-set) sizes in execution order, interleaved
-    /// across pipelines.
+    /// across pipelines (empty under [`RecordMode::Aggregate`]).
     pub batch_sizes: Vec<u32>,
     /// Mean per-pipeline busy fraction of the makespan.
     pub utilization: f64,
@@ -540,7 +731,7 @@ impl ClusterReport {
     }
 
     /// Requests offered to the cluster: served + rejected + expired.
-    pub fn offered(&self) -> usize {
+    pub fn offered(&self) -> u64 {
         self.served + self.rejected + self.expired
     }
 
@@ -559,13 +750,13 @@ impl ClusterReport {
 #[derive(Debug, Clone)]
 pub struct OnlineReport {
     /// Requests served.
-    pub served: usize,
+    pub served: u64,
     /// Wall-clock span from first arrival to last completion.
     pub makespan: SimDuration,
     /// Queueing delays (arrival → batch start), seconds.
-    pub queue_delay: SeriesStats,
+    pub queue_delay: LatencyStats,
     /// End-to-end latencies (arrival → last token), seconds.
-    pub e2e_latency: SeriesStats,
+    pub e2e_latency: LatencyStats,
     /// Batch sizes actually formed.
     pub batch_sizes: Vec<u32>,
     /// Fraction of the makespan the pipeline was busy (not clamped;
@@ -650,16 +841,16 @@ pub fn run_online(
     let makespan = last_completion.max(first_arrival) - first_arrival;
     // Every request the loop admitted to a batch completed; count
     // completions rather than trusting the offered load.
-    let served = e2e.count();
-    debug_assert_eq!(served, queue_delay.count());
-    let tokens = served as u64 * workload.gen_len as u64;
+    debug_assert_eq!(e2e.count(), queue_delay.count());
+    let served = u64::try_from(e2e.count()).unwrap_or(u64::MAX);
+    let tokens = served * workload.gen_len as u64;
     let mut audit = Auditor::capture();
     let utilization = busy_fraction(&mut audit, "online", busy, makespan);
     Ok(OnlineReport {
         served,
         makespan,
-        queue_delay,
-        e2e_latency: e2e,
+        queue_delay: LatencyStats::Full(queue_delay),
+        e2e_latency: LatencyStats::Full(e2e),
         batch_sizes,
         utilization,
         tokens_per_s: tokens as f64 / makespan.as_secs().max(f64::MIN_POSITIVE),
@@ -753,10 +944,10 @@ struct Pipe {
     /// of finish-time estimates for dispatch and admission.
     free_at: SimTime,
     busy: SimDuration,
-    served: usize,
-    rejected: usize,
-    expired: usize,
-    batches: usize,
+    served: u64,
+    rejected: u64,
+    expired: u64,
+    batches: u64,
 }
 
 impl Pipe {
@@ -788,13 +979,27 @@ struct ClusterSt {
     continuous: bool,
     scheduler: SchedulerKind,
     admission: AdmissionPolicy,
-    queue_delay: SeriesStats,
-    e2e: SeriesStats,
+    record: RecordMode,
+    queue_delay: LatencyStats,
+    e2e: LatencyStats,
     batch_sizes: Vec<u32>,
     last_completion: SimTime,
-    slo_violations: usize,
-    met: usize,
+    slo_violations: u64,
+    met: u64,
     audit: Auditor,
+    /// The live arrival process: the chain of arrival events draws
+    /// from it lazily, one inter-arrival gap per event.
+    arrivals: PoissonArrivals,
+    /// Streaming deadline assignment, in arrival order.
+    deadliner: DeadlineAssigner,
+    /// Arrivals not yet drawn (beyond the one pending event).
+    remaining: usize,
+    /// Free list of batch member buffers: completions return theirs,
+    /// so steady state forms batches without allocating.
+    member_pool: Vec<Vec<Req>>,
+    /// Per-pipe audit channel names, formatted once — the ledger is
+    /// touched on every arrival and completion.
+    channels: Vec<String>,
 }
 
 fn req_channel(p: usize) -> String {
@@ -928,14 +1133,17 @@ fn batch_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
     let now = ctx.now();
     let model_idx = st.pipes[p].model;
     let max_batch = st.models[model_idx].max_batch();
-    let mut members = Vec::new();
+    // Pooled member buffer: the completion closure hands it back, so
+    // steady state forms batches allocation-free.
+    let mut members = st.member_pool.pop().unwrap_or_default();
+    debug_assert!(members.is_empty());
     while members.len() < max_batch as usize {
         match st.pipes[p].queue.pop_front() {
             Some(req) if req.at <= now => {
                 if st.scheduler == SchedulerKind::DeadlineAware
                     && infeasible(&req, &st.models[model_idx], now)
                 {
-                    st.audit.abandoned(&req_channel(p), 1);
+                    st.audit.abandoned(&st.channels[p], 1);
                     st.pipes[p].expired += 1;
                     continue;
                 }
@@ -953,10 +1161,13 @@ fn batch_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
     if batch == 0 {
         // Everything ready was shed as expired; the pipe goes back to
         // sleep until the next arrival wakes it.
+        st.member_pool.push(members);
         st.pipes[p].idle = true;
         return;
     }
-    st.batch_sizes.push(batch);
+    if st.record == RecordMode::Full {
+        st.batch_sizes.push(batch);
+    }
     st.pipes[p].in_flight = members.len();
     st.pipes[p].batches += 1;
     let dur = st.models[model_idx].total(batch);
@@ -972,11 +1183,15 @@ fn batch_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
                 _ => st.met += 1,
             }
         }
-        st.audit.completed(&req_channel(p), members.len() as u64);
-        st.pipes[p].served += members.len();
+        st.audit.completed(&st.channels[p], members.len() as u64);
+        st.pipes[p].served += members.len() as u64;
         st.pipes[p].in_flight = 0;
         st.last_completion = done;
         st.pipes[p].idle = true;
+        // Recycle the member buffer for the next batch.
+        let mut members = members;
+        members.clear();
+        st.member_pool.push(members);
         if !st.pipes[p].queue.is_empty() {
             batch_pipe(ctx, st, p);
         }
@@ -1004,7 +1219,7 @@ fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
                 if st.scheduler == SchedulerKind::DeadlineAware
                     && infeasible(&req, &st.models[model_idx], now)
                 {
-                    st.audit.abandoned(&req_channel(p), 1);
+                    st.audit.abandoned(&st.channels[p], 1);
                     st.pipes[p].expired += 1;
                     continue;
                 }
@@ -1026,7 +1241,9 @@ fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
         st.pipes[p].idle = true;
         return;
     }
-    st.batch_sizes.push(batch);
+    if st.record == RecordMode::Full {
+        st.batch_sizes.push(batch);
+    }
     st.pipes[p].batches += 1;
     // The newcomers' first token comes out of their prefill pass; the
     // continuing requests each decode one token alongside it.
@@ -1042,10 +1259,14 @@ fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
     ctx.schedule_in(dur, move |ctx, st: &mut ClusterSt| {
         let done = ctx.now();
         st.audit.observe_time("cluster", done);
-        let active = std::mem::take(&mut st.pipes[p].active);
-        let mut still = Vec::with_capacity(active.len());
+        // Compact the active set in place (order-preserving): finished
+        // requests drop out, survivors slide forward with one fewer
+        // token owed. No per-step replacement Vec.
+        let len = st.pipes[p].active.len();
+        let mut write = 0usize;
         let mut finished = 0u64;
-        for (req, owed) in active {
+        for read in 0..len {
+            let (req, owed) = st.pipes[p].active[read];
             if owed <= 1 {
                 st.e2e.add((done - req.at).as_secs());
                 match req.deadline {
@@ -1054,13 +1275,14 @@ fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
                 }
                 finished += 1;
             } else {
-                still.push((req, owed - 1));
+                st.pipes[p].active[write] = (req, owed - 1);
+                write += 1;
             }
         }
-        st.pipes[p].active = still;
-        st.pipes[p].served += finished as usize;
+        st.pipes[p].active.truncate(write);
+        st.pipes[p].served += finished;
         if finished > 0 {
-            st.audit.completed(&req_channel(p), finished);
+            st.audit.completed(&st.channels[p], finished);
             st.last_completion = done;
         }
         st.pipes[p].idle = true;
@@ -1143,9 +1365,46 @@ pub fn run_cluster_mix(
     run_cluster_engine(models, pipes, workload, arrivals, num_requests, spec)
 }
 
+/// One arrival landing in the cluster: dispatch, ledger, admission,
+/// queue, kick the pipe if idle — then schedule the successor in the
+/// lazy arrival chain.
+fn arrival(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, i: usize, req: Req) {
+    let now = ctx.now();
+    let p = dispatch(st, i, req.deadline, now);
+    st.audit.observe_time("cluster", now);
+    st.audit.enqueued(&st.channels[p], 1);
+    if !admit(st, p, &req, now) {
+        st.audit.abandoned(&st.channels[p], 1);
+        st.pipes[p].rejected += 1;
+    } else {
+        push_request(st, p, req);
+        if st.pipes[p].idle {
+            start_pipe(ctx, st, p);
+        }
+    }
+    schedule_next_arrival(ctx, st, i + 1);
+}
+
+/// Draws arrival `i`'s instant and deadline and schedules it. Exactly
+/// one arrival event is ever pending — the chain replaces the seed
+/// code's up-front loop that boxed one closure per request before the
+/// simulation started, which at a million requests dominated both
+/// allocation and peak queue population.
+fn schedule_next_arrival(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, i: usize) {
+    if st.remaining == 0 {
+        return;
+    }
+    st.remaining -= 1;
+    let at = st.arrivals.next_arrival();
+    let deadline = st.deadliner.next(at);
+    ctx.schedule_at(at, move |ctx, st: &mut ClusterSt| {
+        arrival(ctx, st, i, Req { at, deadline });
+    });
+}
+
 /// The shared cluster simulation: `pipes` (each bound to one of
 /// `models`) serving Poisson arrivals under `spec`'s dispatch,
-/// admission, and deadline policies.
+/// admission, deadline, and recording policies.
 fn run_cluster_engine(
     models: Vec<ServiceModel>,
     pipes: Vec<Pipe>,
@@ -1155,51 +1414,71 @@ fn run_cluster_engine(
     spec: ClusterSpec,
 ) -> Result<ClusterReport, HelmError> {
     let n = pipes.len();
-    let times = arrivals.take(num_requests);
-    let deadlines = spec.deadlines.assign(&times);
-    let first_arrival = times.first().copied().unwrap_or(SimTime::ZERO);
-    let mut sim = Simulator::new(ClusterSt {
-        pipes,
-        models,
-        continuous: spec.continuous,
-        scheduler: spec.scheduler,
-        admission: spec.admission,
-        queue_delay: SeriesStats::new(),
-        e2e: SeriesStats::new(),
-        batch_sizes: Vec::new(),
-        last_completion: SimTime::ZERO,
-        slo_violations: 0,
-        met: 0,
-        audit: Auditor::capture(),
-    });
-    for (i, &at) in times.iter().enumerate() {
-        let deadline = deadlines[i];
+    let (queue_delay, e2e) = match spec.record {
+        RecordMode::Full => (LatencyStats::full(), LatencyStats::full()),
+        // Fixed-stream reservoir seeds: replacement draws must not
+        // depend on the workload so aggregate runs replay bit for bit.
+        RecordMode::Aggregate => (
+            LatencyStats::sampled(SimRng::from_seed_and_stream(0, "cluster-queue-delay")),
+            LatencyStats::sampled(SimRng::from_seed_and_stream(0, "cluster-e2e")),
+        ),
+    };
+    let mut sim = Simulator::with_backend(
+        ClusterSt {
+            pipes,
+            models,
+            continuous: spec.continuous,
+            scheduler: spec.scheduler,
+            admission: spec.admission,
+            record: spec.record,
+            queue_delay,
+            e2e,
+            batch_sizes: Vec::new(),
+            last_completion: SimTime::ZERO,
+            slo_violations: 0,
+            met: 0,
+            audit: Auditor::capture(),
+            arrivals: arrivals.clone(),
+            deadliner: DeadlineAssigner::new(spec.deadlines),
+            remaining: num_requests,
+            member_pool: Vec::new(),
+            channels: (0..n).map(req_channel).collect(),
+        },
+        spec.backend,
+    );
+    // Seed the lazy chain with arrival 0; each arrival schedules its
+    // successor.
+    let first = {
+        let st = sim.state_mut();
+        if st.remaining > 0 {
+            st.remaining -= 1;
+            let at = st.arrivals.next_arrival();
+            let deadline = st.deadliner.next(at);
+            Some((at, deadline))
+        } else {
+            None
+        }
+    };
+    let first_arrival = first.map_or(SimTime::ZERO, |(at, _)| at);
+    if let Some((at, deadline)) = first {
         sim.schedule_at(at, move |ctx, st: &mut ClusterSt| {
-            let now = ctx.now();
-            let p = dispatch(st, i, deadline, now);
-            st.audit.observe_time("cluster", now);
-            st.audit.enqueued(&req_channel(p), 1);
-            let req = Req { at, deadline };
-            if !admit(st, p, &req, now) {
-                st.audit.abandoned(&req_channel(p), 1);
-                st.pipes[p].rejected += 1;
-                return;
-            }
-            push_request(st, p, req);
-            if st.pipes[p].idle {
-                start_pipe(ctx, st, p);
-            }
+            arrival(ctx, st, 0, Req { at, deadline });
         });
     }
+    sim.run_until(SimTime::from_secs(f64::MAX));
+    let events = sim.events_fired();
     let st = sim.run();
+    // Hand the advanced process back: successive cluster runs continue
+    // the arrival stream exactly as successive `take` calls would.
+    *arrivals = st.arrivals.clone();
 
     let makespan = st.last_completion.max(first_arrival) - first_arrival;
     let mut audit = st.audit;
     let mut per_pipeline = Vec::with_capacity(n);
     let mut util_sum = 0.0;
-    let mut served = 0usize;
-    let mut rejected = 0usize;
-    let mut expired = 0usize;
+    let mut served = 0u64;
+    let mut rejected = 0u64;
+    let mut expired = 0u64;
     for (p, pipe) in st.pipes.iter().enumerate() {
         let utilization = busy_fraction(&mut audit, &format!("pipe{p}"), pipe.busy, makespan);
         util_sum += utilization;
@@ -1221,14 +1500,15 @@ fn run_cluster_engine(
     // policy sheds.
     debug_assert_eq!(served, st.queue_delay.count());
     let secs = makespan.as_secs().max(f64::MIN_POSITIVE);
-    let tokens = served as u64 * workload.gen_len as u64;
-    let tokens_met = st.met as u64 * workload.gen_len as u64;
+    let tokens = served * workload.gen_len as u64;
+    let tokens_met = st.met * workload.gen_len as u64;
     Ok(ClusterReport {
         served,
         rejected,
         expired,
         slo_violations: st.slo_violations,
         met: st.met,
+        events,
         makespan,
         queue_delay: st.queue_delay,
         e2e_latency: st.e2e,
@@ -1531,7 +1811,7 @@ mod tests {
         );
         assert!(four.tokens_per_s > one.tokens_per_s * 1.5);
         assert_eq!(four.per_pipeline.len(), 4);
-        let per_pipe_served: usize = four.per_pipeline.iter().map(|p| p.served).sum();
+        let per_pipe_served: u64 = four.per_pipeline.iter().map(|p| p.served).sum();
         assert_eq!(per_pipe_served, 80);
     }
 
@@ -1655,7 +1935,7 @@ mod tests {
         assert_eq!(r.served + r.rejected, 60);
         assert_eq!(r.queue_delay.count(), r.served);
         assert_eq!(r.e2e_latency.count(), r.served);
-        let from_served = (r.served * ws.gen_len) as f64 / r.makespan.as_secs();
+        let from_served = (r.served * ws.gen_len as u64) as f64 / r.makespan.as_secs();
         assert_eq!(r.tokens_per_s.to_bits(), from_served.to_bits());
         let from_offered = (60 * ws.gen_len) as f64 / r.makespan.as_secs();
         assert!(r.tokens_per_s < from_offered);
@@ -1684,7 +1964,7 @@ mod tests {
             r.met,
             r.slo_violations
         );
-        let goodput = (r.met * ws.gen_len) as f64 / r.makespan.as_secs();
+        let goodput = (r.met * ws.gen_len as u64) as f64 / r.makespan.as_secs();
         assert_eq!(r.tokens_per_s_met.to_bits(), goodput.to_bits());
         assert!(r.tokens_per_s_met < r.tokens_per_s);
         assert!(r.slo_attainment() < 1.0 && r.slo_attainment() > 0.0);
@@ -1714,7 +1994,7 @@ mod tests {
             audit.completed_with_prefix("requests:") + audit.abandoned_with_prefix("requests:"),
             50
         );
-        let per_pipe_rejected: usize = r.per_pipeline.iter().map(|p| p.rejected).sum();
+        let per_pipe_rejected: u64 = r.per_pipeline.iter().map(|p| p.rejected).sum();
         assert_eq!(per_pipe_rejected, r.rejected);
     }
 
@@ -1785,13 +2065,19 @@ mod tests {
             continuous: false,
             scheduler: SchedulerKind::DeadlineAware,
             admission: AdmissionPolicy::AcceptAll,
-            queue_delay: SeriesStats::new(),
-            e2e: SeriesStats::new(),
+            record: RecordMode::Full,
+            queue_delay: LatencyStats::full(),
+            e2e: LatencyStats::full(),
             batch_sizes: Vec::new(),
             last_completion: SimTime::ZERO,
             slo_violations: 0,
             met: 0,
             audit: Auditor::capture(),
+            arrivals: PoissonArrivals::new(1.0, 0),
+            deadliner: DeadlineAssigner::new(DeadlineSpec::None),
+            remaining: 0,
+            member_pool: Vec::new(),
+            channels: vec![req_channel(0)],
         };
         let t = SimTime::from_secs;
         let req = |at: f64, d: Option<f64>| Req {
@@ -1806,6 +2092,111 @@ mod tests {
         // Tightest deadline first, FIFO among equal deadlines,
         // deadline-less requests last.
         assert_eq!(order, vec![2.0, 1.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn lazy_deadline_assignment_matches_batch() {
+        // The streaming assigner must replay the batch assigner's
+        // draws exactly — the lazy arrival chain depends on it.
+        let specs = [
+            DeadlineSpec::None,
+            DeadlineSpec::Fixed(SimDuration::from_secs(12.0)),
+            DeadlineSpec::Bimodal {
+                tight: SimDuration::from_secs(5.0),
+                loose: SimDuration::from_secs(60.0),
+                tight_fraction: 0.3,
+                seed: 9,
+            },
+        ];
+        let times = PoissonArrivals::new(1.0, 4).take(200);
+        for spec in specs {
+            let batch = spec.assign(&times);
+            let mut assigner = DeadlineAssigner::new(spec);
+            let lazy: Vec<_> = times.iter().map(|&t| assigner.next(t)).collect();
+            assert_eq!(batch, lazy, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_runs_continue_the_arrival_process() {
+        // The engine draws arrivals lazily from a clone of the
+        // caller's process and must hand the advanced clock back —
+        // two cluster runs consume the stream exactly like two takes.
+        let s = server(PlacementKind::Helm, 4);
+        let ws = WorkloadSpec::paper_default();
+        let mut a = PoissonArrivals::new(0.05, 77);
+        let _ = run_cluster(&s, &ws, &mut a, 10, ClusterSpec::new(1)).unwrap();
+        let mut b = PoissonArrivals::new(0.05, 77);
+        let _ = b.take(10);
+        assert_eq!(a.take(5), b.take(5));
+    }
+
+    #[test]
+    fn aggregate_mode_matches_full_aggregates() {
+        // RecordMode::Aggregate skips the per-request sample vectors;
+        // everything it still reports must agree with the Full run —
+        // exactly for counts, makespan, utilization, and (below the
+        // reservoir capacity) percentiles.
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        let spec = ClusterSpec::new(2).with_scheduler(SchedulerKind::JoinShortestQueue);
+        let full = run_cluster(&s, &ws, &mut PoissonArrivals::new(0.08, 81), 80, spec).unwrap();
+        let agg = run_cluster(
+            &s,
+            &ws,
+            &mut PoissonArrivals::new(0.08, 81),
+            80,
+            spec.with_record(RecordMode::Aggregate),
+        )
+        .unwrap();
+        assert_eq!(agg.served, full.served);
+        assert_eq!(agg.events, full.events);
+        assert_eq!(agg.queue_delay.count(), full.queue_delay.count());
+        assert_eq!(agg.e2e_latency.count(), full.e2e_latency.count());
+        assert!(agg.batch_sizes.is_empty(), "aggregate keeps no batch log");
+        assert!(!full.batch_sizes.is_empty());
+        assert_eq!(
+            agg.makespan.as_secs().to_bits(),
+            full.makespan.as_secs().to_bits()
+        );
+        assert_eq!(agg.utilization.to_bits(), full.utilization.to_bits());
+        assert_eq!(agg.tokens_per_s.to_bits(), full.tokens_per_s.to_bits());
+        // Streaming mean vs compensated-sum mean: same samples, only
+        // accumulation order differs.
+        let rel = (agg.queue_delay.mean() - full.queue_delay.mean()).abs()
+            / full.queue_delay.mean().max(f64::MIN_POSITIVE);
+        assert!(rel < 1e-9, "aggregate mean drifted: rel {rel}");
+        // 80 samples fit the reservoir, so the percentile is exact.
+        assert_eq!(
+            agg.e2e_latency.percentile(95.0).unwrap().to_bits(),
+            full.e2e_latency.percentile(95.0).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn scheduler_backends_agree_on_cluster_reports() {
+        // Calendar queue vs binary heap: one (time, seq) total order,
+        // so the whole report — floats included — must match byte for
+        // byte in both recording modes.
+        let s = server(PlacementKind::AllCpu, 8);
+        let ws = WorkloadSpec::paper_default();
+        for record in [RecordMode::Full, RecordMode::Aggregate] {
+            let spec = ClusterSpec::new(2)
+                .with_scheduler(SchedulerKind::JoinShortestQueue)
+                .with_continuous(true)
+                .with_record(record);
+            let cal = run_cluster(&s, &ws, &mut PoissonArrivals::new(0.1, 71), 60, spec).unwrap();
+            let heap = run_cluster(
+                &s,
+                &ws,
+                &mut PoissonArrivals::new(0.1, 71),
+                60,
+                spec.with_backend(QueueBackend::Heap),
+            )
+            .unwrap();
+            assert_eq!(cal.events, heap.events, "{record:?}");
+            assert_eq!(format!("{cal:?}"), format!("{heap:?}"), "{record:?}");
+        }
     }
 
     #[test]

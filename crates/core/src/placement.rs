@@ -194,30 +194,7 @@ impl ModelPlacement {
         ffn: [f64; 3],
         other: [f64; 3],
     ) -> ModelPlacement {
-        let dtype = if compressed {
-            DType::Int4Grouped
-        } else {
-            DType::F16
-        };
-        let layers = Layer::sequence(model)
-            .into_iter()
-            .map(|layer| {
-                let specs = layer.weight_specs();
-                let percents = match layer.kind() {
-                    LayerKind::Mha => mha,
-                    LayerKind::Ffn => ffn,
-                    _ => other,
-                };
-                let tiers = helm_allocate(&specs, percents, dtype);
-                let weights = specs
-                    .into_iter()
-                    .zip(tiers)
-                    .map(|(spec, tier)| PlacedWeight { spec, tier })
-                    .collect();
-                LayerPlacement { layer, weights }
-            })
-            .collect();
-        ModelPlacement { layers, dtype }
+        CustomPlacementTemplate::new(model, compressed).build(mha, ffn, other)
     }
 
     /// A pinned-prefix placement: the first `pinned_blocks` decoder
@@ -360,6 +337,176 @@ impl ModelPlacement {
         }
         let total: f64 = by_tier.iter().sum();
         by_tier.map(|b| 100.0 * b / total)
+    }
+}
+
+/// Byte totals a [`ModelPlacement::compute_custom`] placement would
+/// produce, computed without building it. Feeds the autoplace
+/// screen's feasibility checks, where most candidates are rejected
+/// on these totals alone and never pay for a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustomTotals {
+    /// GPU-resident weight bytes ([`ModelPlacement::total_on`] `Gpu`).
+    pub gpu: ByteSize,
+    /// Host-resident weight bytes ([`ModelPlacement::total_on`] `Cpu`).
+    pub cpu: ByteSize,
+    /// Storage-resident weight bytes ([`ModelPlacement::total_on`] `Disk`).
+    pub disk: ByteSize,
+    /// Double-buffer staging bytes ([`ModelPlacement::staging_bytes`]).
+    pub staging: ByteSize,
+}
+
+/// A reusable generator of custom placements over one model.
+///
+/// [`ModelPlacement::compute_custom`] walks the whole flattened layer
+/// sequence and allocates every layer's tensors; a grid search calls
+/// it once per candidate, re-deriving the identical layer sequence
+/// and spec lists every time. The template hoists that invariant work
+/// once: layers are grouped into classes with identical
+/// `(kind, weight specs)` — one MHA class and one FFN class for the
+/// uniform decoder stacks of the OPT family, plus the embeddings —
+/// and per-candidate work shrinks to one [`helm_allocate`] call per
+/// class. [`Self::build`] is bit-identical to `compute_custom` by
+/// construction (`compute_custom` delegates to it), and
+/// [`Self::totals`] returns the byte totals the built placement
+/// would report without materializing per-layer assignments.
+#[derive(Debug, Clone)]
+pub struct CustomPlacementTemplate {
+    dtype: DType,
+    layers: Vec<Layer>,
+    /// Class index of each layer in sequence order.
+    class_of: Vec<usize>,
+    /// The distinct `(kind, specs)` allocation classes.
+    classes: Vec<(LayerKind, Vec<WeightSpec>)>,
+}
+
+impl CustomPlacementTemplate {
+    /// Derives the template for `model` at the placement dtype
+    /// `compressed` selects.
+    pub fn new(model: &ModelConfig, compressed: bool) -> Self {
+        let dtype = if compressed {
+            DType::Int4Grouped
+        } else {
+            DType::F16
+        };
+        let layers = Layer::sequence(model);
+        let mut classes: Vec<(LayerKind, Vec<WeightSpec>)> = Vec::new();
+        let class_of = layers
+            .iter()
+            .map(|layer| {
+                let specs = layer.weight_specs();
+                match classes
+                    .iter()
+                    .position(|(kind, cached)| *kind == layer.kind() && *cached == specs)
+                {
+                    Some(class) => class,
+                    None => {
+                        classes.push((layer.kind(), specs));
+                        classes.len() - 1
+                    }
+                }
+            })
+            .collect();
+        CustomPlacementTemplate {
+            dtype,
+            layers,
+            class_of,
+            classes,
+        }
+    }
+
+    /// One tier assignment per class — exactly what
+    /// [`ModelPlacement::compute_custom`] would compute per layer.
+    fn class_tiers(&self, mha: [f64; 3], ffn: [f64; 3], other: [f64; 3]) -> Vec<Vec<Tier>> {
+        self.classes
+            .iter()
+            .map(|(kind, specs)| {
+                let percents = match kind {
+                    LayerKind::Mha => mha,
+                    LayerKind::Ffn => ffn,
+                    _ => other,
+                };
+                helm_allocate(specs, percents, self.dtype)
+            })
+            .collect()
+    }
+
+    /// The byte totals of the placement [`Self::build`] would return
+    /// for these percentages, at one allocation per class instead of
+    /// one per layer.
+    pub fn totals(&self, mha: [f64; 3], ffn: [f64; 3], other: [f64; 3]) -> CustomTotals {
+        let tiers = self.class_tiers(mha, ffn, other);
+        // Per-class (gpu, cpu, disk) byte sums.
+        let per_class: Vec<[ByteSize; 3]> = self
+            .classes
+            .iter()
+            .zip(&tiers)
+            .map(|((_, specs), assigned)| {
+                let mut sums = [ByteSize::ZERO; 3];
+                for (spec, tier) in specs.iter().zip(assigned) {
+                    let slot = match tier {
+                        Tier::Gpu => 0,
+                        Tier::Cpu => 1,
+                        Tier::Disk => 2,
+                    };
+                    sums[slot] += spec.bytes(self.dtype);
+                }
+                sums
+            })
+            .collect();
+        let mut totals = [ByteSize::ZERO; 3];
+        for &class in &self.class_of {
+            for (total, sum) in totals.iter_mut().zip(per_class[class]) {
+                *total += sum;
+            }
+        }
+        // staging_bytes: max offloaded bytes over adjacent layer
+        // pairs (wrapping), with offloaded = cpu + disk.
+        let offloaded = |i: usize| -> ByteSize {
+            per_class[self.class_of[i]][1] + per_class[self.class_of[i]][2]
+        };
+        let n = self.class_of.len();
+        let staging = (0..n)
+            .map(|i| offloaded(i) + offloaded((i + 1) % n))
+            .max()
+            .unwrap_or(ByteSize::ZERO);
+        CustomTotals {
+            gpu: totals[0],
+            cpu: totals[1],
+            disk: totals[2],
+            staging,
+        }
+    }
+
+    /// Materializes the full placement — the same output
+    /// [`ModelPlacement::compute_custom`] returns for these
+    /// percentages.
+    pub fn build(&self, mha: [f64; 3], ffn: [f64; 3], other: [f64; 3]) -> ModelPlacement {
+        let tiers = self.class_tiers(mha, ffn, other);
+        let layers = self
+            .layers
+            .iter()
+            .zip(&self.class_of)
+            .map(|(layer, &class)| {
+                let (_, specs) = &self.classes[class];
+                let weights = specs
+                    .iter()
+                    .zip(&tiers[class])
+                    .map(|(spec, &tier)| PlacedWeight {
+                        spec: spec.clone(),
+                        tier,
+                    })
+                    .collect();
+                LayerPlacement {
+                    layer: layer.clone(),
+                    weights,
+                }
+            })
+            .collect();
+        ModelPlacement {
+            layers,
+            dtype: self.dtype,
+        }
     }
 }
 
@@ -698,5 +845,52 @@ mod tests {
         // *hidden* group.
         assert!(largest >= ffn);
         assert!((ffn.as_gb() - 2.416).abs() < 0.01, "ffn {ffn}");
+    }
+
+    #[test]
+    fn template_totals_match_built_placement() {
+        // The autoplace screen rejects candidates on the template's
+        // analytic byte totals alone. Soundness requires those totals
+        // to equal the built placement's — for every tier and for the
+        // staging ring — across the percent space the search sweeps.
+        for compressed in [false, true] {
+            let model = ModelConfig::opt_175b();
+            let template = CustomPlacementTemplate::new(&model, compressed);
+            for (mha, ffn) in [(0u32, 0u32), (10, 30), (37, 61), (50, 100), (100, 0)] {
+                let mha_pct = [f64::from(mha), f64::from(100 - mha), 0.0];
+                let ffn_pct = [f64::from(ffn), f64::from(100 - ffn), 0.0];
+                let other_pct = [0.0, 100.0, 0.0];
+                let totals = template.totals(mha_pct, ffn_pct, other_pct);
+                let built = template.build(mha_pct, ffn_pct, other_pct);
+                assert_eq!(totals.gpu, built.total_on(Tier::Gpu), "gpu at {mha}/{ffn}");
+                assert_eq!(totals.cpu, built.total_on(Tier::Cpu), "cpu at {mha}/{ffn}");
+                assert_eq!(
+                    totals.disk,
+                    built.total_on(Tier::Disk),
+                    "disk at {mha}/{ffn}"
+                );
+                assert_eq!(
+                    totals.staging,
+                    built.staging_bytes(),
+                    "staging at {mha}/{ffn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn template_build_matches_compute_custom() {
+        // `compute_custom` delegates to the template, so the two
+        // construction paths cannot drift; pin it anyway so a future
+        // split reintroducing a second path fails loudly.
+        let model = ModelConfig::opt_30b();
+        let template = CustomPlacementTemplate::new(&model, true);
+        let mha = [30.0, 70.0, 0.0];
+        let ffn = [10.0, 90.0, 0.0];
+        let other = [0.0, 100.0, 0.0];
+        assert_eq!(
+            template.build(mha, ffn, other),
+            ModelPlacement::compute_custom(&model, true, mha, ffn, other)
+        );
     }
 }

@@ -766,6 +766,38 @@ mod tests {
         assert!(report.to_string().contains("req:pipe1"));
     }
 
+    /// Million-request-scale guard: counts past `u32::MAX` — fed both
+    /// as one large increment and as many batched increments whose sum
+    /// exceeds 32 bits — must stay exact end to end. A 32-bit counter
+    /// anywhere on this path would wrap and either false-positive an
+    /// imbalance or, worse, silently balance a corrupted ledger.
+    #[test]
+    fn ledgers_stay_exact_past_u32_counts() {
+        let big = u64::from(u32::MAX) + 7;
+        let mut a = Auditor::new();
+        a.enqueued("req:pipe0", big);
+        a.completed("req:pipe0", big - 3);
+        a.abandoned("req:pipe0", 3);
+        let report = a.finish();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.enqueued_with_prefix("req:"), big);
+        assert_eq!(report.completed_with_prefix("req:"), big - 3);
+
+        let step = u64::from(u32::MAX) / 2;
+        let batches = 64u64;
+        let mut b = Auditor::new();
+        for _ in 0..batches {
+            b.enqueued("req:pipe1", step);
+            b.completed("req:pipe1", step);
+        }
+        let report = b.finish();
+        assert!(report.is_clean(), "{report}");
+        let total = step * batches;
+        assert!(total > u64::from(u32::MAX));
+        assert_eq!(report.count_ledger("req:pipe1").unwrap().enqueued, total);
+        assert_eq!(report.count_ledger("req:pipe1").unwrap().completed, total);
+    }
+
     #[test]
     fn busy_time_must_fit_the_elapsed_span() {
         let mut a = Auditor::new();

@@ -6,7 +6,7 @@
 //! executor loops until the queue drains or a configured horizon is
 //! reached.
 
-use crate::queue::EventQueue;
+use crate::queue::{EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 
 type BoxedEvent<S> = Box<dyn FnOnce(&mut Context<S>, &mut S)>;
@@ -79,6 +79,10 @@ pub struct Simulator<S> {
     queue: EventQueue<BoxedEvent<S>>,
     now: SimTime,
     fired: u64,
+    /// Recycled follow-up buffer: handed to each event's [`Context`],
+    /// drained back after the closure returns. Keeps the hot loop from
+    /// allocating one `Vec` per fired event.
+    spare: Vec<(SimTime, BoxedEvent<S>)>,
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for Simulator<S> {
@@ -93,14 +97,28 @@ impl<S: std::fmt::Debug> std::fmt::Debug for Simulator<S> {
 }
 
 impl<S> Simulator<S> {
-    /// Creates a simulator owning `state`, with the clock at zero.
+    /// Creates a simulator owning `state`, with the clock at zero, on
+    /// the default (calendar-queue) scheduler.
     pub fn new(state: S) -> Self {
+        Self::with_backend(state, QueueBackend::default())
+    }
+
+    /// Creates a simulator on an explicit scheduler backend. The
+    /// backends share one `(time, seq)` total order, so results are
+    /// bit-identical either way; the choice only affects speed.
+    pub fn with_backend(state: S, backend: QueueBackend) -> Self {
         Simulator {
             state: Some(state),
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(backend),
             now: SimTime::ZERO,
             fired: 0,
+            spare: Vec::new(),
         }
+    }
+
+    /// The scheduler backend this simulator runs on.
+    pub fn backend(&self) -> QueueBackend {
+        self.queue.backend()
     }
 
     /// Current simulated time.
@@ -143,11 +161,7 @@ impl<S> Simulator<S> {
     /// Runs until the queue drains or the next event would fire after
     /// `horizon`; the clock never advances past `horizon`.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(next) = self.queue.peek_time() {
-            if next > horizon {
-                break;
-            }
-            let (time, event) = self.queue.pop().expect("peeked");
+        while let Some((time, event)) = self.queue.pop_before(horizon) {
             // Monotonicity is a structural invariant of the queue; the
             // audit switch extends the check to release builds.
             if crate::audit::enabled() {
@@ -157,13 +171,15 @@ impl<S> Simulator<S> {
             self.fired += 1;
             let mut ctx = Context {
                 now: time,
-                pending: Vec::new(),
+                pending: std::mem::take(&mut self.spare),
             };
             let state = self.state.as_mut().expect("state present");
             event(&mut ctx, state);
-            for (at, ev) in ctx.pending {
+            let mut pending = ctx.pending;
+            for (at, ev) in pending.drain(..) {
                 self.queue.push(at, ev);
             }
+            self.spare = pending;
         }
     }
 

@@ -41,7 +41,7 @@ pub mod units;
 
 pub use engine::Simulator;
 pub use flow::{FlowId, FlowScheduler};
-pub use queue::EventQueue;
-pub use stats::{Accumulator, SeriesStats};
+pub use queue::{EventQueue, QueueBackend};
+pub use stats::{Accumulator, Reservoir, SeriesStats};
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize, ComputeRate, PowerDensity, UnitError};

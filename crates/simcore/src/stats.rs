@@ -1,12 +1,37 @@
 //! Statistic accumulators.
 //!
-//! Two flavours:
+//! Three flavours:
 //!
 //! * [`Accumulator`] — streaming count/mean/variance/min/max (Welford).
 //! * [`SeriesStats`] — retains all samples; implements the paper's
 //!   metric rule of reporting the arithmetic mean *discarding the
 //!   first sample* ("to account for cold start effects", §III-C), plus
-//!   percentiles.
+//!   percentiles. Sums are Neumaier-compensated so a million-sample
+//!   series does not drift measurably from the exact mean.
+//! * [`Reservoir`] — fixed-memory uniform sample of an unbounded
+//!   stream (Vitter's Algorithm R) on a deterministic [`SimRng`],
+//!   giving allocation-bounded percentile estimates for
+//!   million-request aggregate runs.
+
+use crate::rng::SimRng;
+
+/// Neumaier's improved Kahan–Babuška compensated summation: exact to
+/// within one ulp of the true sum for the sample counts the simulator
+/// sees, where naive left-to-right `sum()` drifts at 1e6+ samples.
+fn neumaier_sum(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    for &x in xs {
+        let t = sum + x;
+        if sum.abs() >= x.abs() {
+            comp += (sum - t) + x;
+        } else {
+            comp += (x - t) + sum;
+        }
+        sum = t;
+    }
+    sum + comp
+}
 
 /// Streaming moments accumulator (Welford's algorithm).
 ///
@@ -162,7 +187,7 @@ impl SeriesStats {
         if self.samples.is_empty() {
             0.0
         } else {
-            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+            neumaier_sum(&self.samples) / self.samples.len() as f64
         }
     }
 
@@ -173,7 +198,7 @@ impl SeriesStats {
         if self.samples.len() < 2 {
             return self.mean();
         }
-        self.samples[1..].iter().sum::<f64>() / (self.samples.len() - 1) as f64
+        neumaier_sum(&self.samples[1..]) / (self.samples.len() - 1) as f64
     }
 
     /// Linear-interpolated percentile, `p` in `[0, 100]`.
@@ -197,7 +222,7 @@ impl SeriesStats {
 
     /// Sum of all samples.
     pub fn sum(&self) -> f64 {
-        self.samples.iter().sum()
+        neumaier_sum(&self.samples)
     }
 }
 
@@ -212,6 +237,112 @@ impl FromIterator<f64> for SeriesStats {
         SeriesStats {
             samples: iter.into_iter().collect(),
         }
+    }
+}
+
+/// Fixed-memory uniform sample of an unbounded stream (Vitter's
+/// Algorithm R) over a deterministic [`SimRng`] stream: after `n ≥
+/// capacity` adds, each of the `n` samples is retained with equal
+/// probability `capacity / n`, so percentiles over the reservoir are
+/// unbiased estimates of the stream's percentiles at O(capacity)
+/// memory. Replays are bit-identical for a given seed stream.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::rng::SimRng;
+/// use simcore::stats::Reservoir;
+///
+/// let rng = SimRng::from_seed_and_stream(7, "latency-reservoir");
+/// let mut r = Reservoir::new(128, rng);
+/// for x in 0..1000 {
+///     r.add(f64::from(x));
+/// }
+/// assert_eq!(r.seen(), 1000);
+/// assert_eq!(r.samples().len(), 128);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    capacity: usize,
+    seen: u64,
+    samples: Vec<f64>,
+    rng: SimRng,
+}
+
+impl Reservoir {
+    /// Creates an empty reservoir retaining at most `capacity` samples,
+    /// drawing replacement indices from `rng`.
+    pub fn new(capacity: usize, rng: SimRng) -> Self {
+        Reservoir {
+            capacity,
+            seen: 0,
+            samples: Vec::with_capacity(capacity),
+            rng,
+        }
+    }
+
+    /// Offers one sample to the reservoir.
+    pub fn add(&mut self, x: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.capacity {
+            self.samples.push(x);
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        // Keep the newcomer with probability capacity/seen by drawing a
+        // slot uniformly over everything seen so far.
+        let slot = self
+            .rng
+            .uniform_usize(0, usize::try_from(self.seen - 1).unwrap_or(usize::MAX));
+        if slot < self.capacity {
+            self.samples[slot] = x;
+        }
+    }
+
+    /// Total number of samples offered (retained or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Maximum number of retained samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The retained samples, in reservoir order (not sorted).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Linear-interpolated percentile over the retained sample,
+    /// `p` in `[0, 100]`; an unbiased estimate of the stream
+    /// percentile once the reservoir has cycled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Reservoir equality compares the observable sample state (capacity,
+/// offered count, retained values); the RNG cursor is a replay detail.
+impl PartialEq for Reservoir {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.seen == other.seen && self.samples == other.samples
     }
 }
 
@@ -273,5 +404,126 @@ mod tests {
     fn percentile_rejects_out_of_range() {
         let s: SeriesStats = [1.0].into_iter().collect();
         let _ = s.percentile(101.0);
+    }
+
+    /// A million samples around 1e8 with 2^-20 offsets: every value is
+    /// exactly representable and the true sum is computable exactly in
+    /// scaled i128, yet the running f64 sum (magnitude ~1e14, ulp
+    /// ~2^-6) must round on nearly every addition. The compensated
+    /// mean must land within 2 ulp of exact; naive left-to-right
+    /// summation drifts measurably further.
+    #[test]
+    fn compensated_mean_matches_exact_reference_at_1e6() {
+        let n: usize = 1_000_000;
+        let scale = f64::from(1 << 20);
+        let samples: Vec<f64> = (0..n).map(|i| 1e8 + (i % 7) as f64 / scale).collect();
+        // Exact sum in units of 2^-20 (each scaled value is an integer
+        // needing ~47 bits, exact in f64 and in i128).
+        let exact_scaled: i128 = samples.iter().map(|&x| (x * scale) as i128).sum();
+        let exact_mean = exact_scaled as f64 / scale / n as f64;
+
+        let s: SeriesStats = samples.iter().copied().collect();
+        let err = (s.mean() - exact_mean).abs();
+        let tol = 2.0 * exact_mean * f64::EPSILON;
+        assert!(err <= tol, "compensated mean off by {err} (> 2 ulp {tol})");
+        let naive: f64 = samples.iter().sum::<f64>() / n as f64;
+        let naive_err = (naive - exact_mean).abs();
+        assert!(
+            naive_err > err,
+            "naive summation unexpectedly as accurate ({naive_err} vs {err}) — test is vacuous"
+        );
+
+        let exact_sum = exact_scaled as f64 / scale;
+        let sum_err = (s.sum() - exact_sum).abs();
+        assert!(sum_err <= 2.0 * exact_sum * f64::EPSILON);
+    }
+
+    /// Welford's streaming moments vs an exact two-pass reference at
+    /// n=1e6: mean and variance must agree to fine relative tolerance.
+    #[test]
+    fn welford_matches_two_pass_reference_at_1e6() {
+        let n: usize = 1_000_000;
+        // Deterministic pseudo-noise around a large offset — the regime
+        // where catastrophic cancellation punishes naive accumulators.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                1e9 + (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let acc: Accumulator = samples.iter().copied().collect();
+
+        let exact_mean = neumaier_sum(&samples) / n as f64;
+        let centred: Vec<f64> = samples.iter().map(|&s| (s - exact_mean).powi(2)).collect();
+        let exact_var = neumaier_sum(&centred) / n as f64;
+
+        let mean_rel = ((acc.mean() - exact_mean) / exact_mean).abs();
+        assert!(mean_rel < 1e-12, "Welford mean drifted: rel err {mean_rel}");
+        let var_rel = ((acc.variance() - exact_var) / exact_var).abs();
+        assert!(
+            var_rel < 1e-6,
+            "Welford variance drifted: rel err {var_rel}"
+        );
+    }
+
+    #[test]
+    fn reservoir_below_capacity_retains_everything() {
+        let rng = SimRng::from_seed_and_stream(1, "res");
+        let mut r = Reservoir::new(10, rng);
+        for i in 0..5 {
+            r.add(f64::from(i));
+        }
+        assert_eq!(r.samples(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(r.seen(), 5);
+        assert_eq!(r.percentile(100.0), Some(4.0));
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_and_bounded() {
+        let mk = || {
+            let rng = SimRng::from_seed_and_stream(42, "res");
+            let mut r = Reservoir::new(64, rng);
+            for i in 0..10_000 {
+                r.add(f64::from(i));
+            }
+            r
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a, b, "same seed must replay the same reservoir");
+        assert_eq!(a.samples().len(), 64);
+        assert_eq!(a.seen(), 10_000);
+    }
+
+    /// With a uniform ramp input, the reservoir's median must estimate
+    /// the stream median to within a few percent — i.e. the sample is
+    /// genuinely uniform over the stream, not biased to either end.
+    #[test]
+    fn reservoir_percentiles_track_the_stream() {
+        let rng = SimRng::from_seed_and_stream(3, "res");
+        let mut r = Reservoir::new(512, rng);
+        let n = 100_000;
+        for i in 0..n {
+            r.add(f64::from(i));
+        }
+        let median = r.percentile(50.0).unwrap();
+        let expected = f64::from(n) / 2.0;
+        assert!(
+            (median - expected).abs() / expected < 0.15,
+            "median estimate {median} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_reservoir_is_inert() {
+        let rng = SimRng::from_seed_and_stream(5, "res");
+        let mut r = Reservoir::new(0, rng);
+        r.add(1.0);
+        assert_eq!(r.seen(), 1);
+        assert!(r.samples().is_empty());
+        assert_eq!(r.percentile(50.0), None);
     }
 }

@@ -14,14 +14,17 @@
 //! single-threaded by design, but the matrix proves the ambient
 //! worker-pool size cannot reach its results either.
 
-use helm_core::exec::PipelineInputs;
+use helm_core::exec::{PipelineInputs, RecordMode};
 use helm_core::exec_des::run_pipeline_des;
+use helm_core::online::{run_cluster_mix, ClusterSpec, PoissonArrivals, SchedulerKind};
 use helm_core::placement::{ModelPlacement, PlacementKind};
 use helm_core::policy::{PercentDist, Policy};
+use helm_core::server::Server;
 use helm_core::system::SystemConfig;
 use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use proptest::prelude::*;
+use simcore::queue::QueueBackend;
 use workload::WorkloadSpec;
 
 const REPEATS: usize = 3;
@@ -81,6 +84,64 @@ fn des_reports_are_byte_identical_across_repeated_runs() {
                 assert_repeats_identical(&inp);
             }
         }
+    }
+}
+
+/// Determinism at production scale: a 100 000-request mixed-cluster
+/// run must render the *entire* `ClusterReport` byte-identically
+/// across repeated runs, and the calendar-queue scheduler must match
+/// the binary-heap scheduler byte for byte — in both recording
+/// modes. This is the scale the calendar queue and the pooled
+/// event/request state exist for; any pop-order or accumulation-order
+/// drift they introduced would surface here as a diff.
+#[test]
+fn cluster_reports_byte_identical_at_1e5_requests() {
+    let model = ModelConfig::opt_175b();
+    let workload = WorkloadSpec::paper_default();
+    let memory = HostMemoryConfig::nvdram();
+    let system = SystemConfig::paper_platform(memory.clone());
+    let base = Policy::paper_default(&model, memory.kind()).with_compression(true);
+    let helm = Server::new(
+        system.clone(),
+        model.clone(),
+        base.clone()
+            .with_placement(PlacementKind::Helm)
+            .with_batch_size(4),
+    )
+    .expect("helm server");
+    let allcpu = Server::new(
+        system,
+        model,
+        base.with_placement(PlacementKind::AllCpu)
+            .with_batch_size(44),
+    )
+    .expect("all-cpu server");
+    let groups: &[(&Server, usize)] = &[(&helm, 1), (&allcpu, 2)];
+    for record in [RecordMode::Full, RecordMode::Aggregate] {
+        let run = |backend: QueueBackend| {
+            let spec = ClusterSpec::new(1)
+                .with_scheduler(SchedulerKind::JoinShortestQueue)
+                .with_record(record)
+                .with_backend(backend);
+            // A fresh arrival process per run: identical draws, so any
+            // report diff comes from the engine, not the workload.
+            let mut arrivals = PoissonArrivals::new(2.0, 97);
+            let report = run_cluster_mix(groups, &workload, &mut arrivals, 100_000, spec)
+                .expect("cluster runs");
+            assert!(report.audit.is_some(), "audit ledgers absent in debug run");
+            format!("{report:?}")
+        };
+        let first = run(QueueBackend::Calendar);
+        assert_eq!(
+            first,
+            run(QueueBackend::Calendar),
+            "repeated cluster run diverged ({record:?})"
+        );
+        assert_eq!(
+            first,
+            run(QueueBackend::Heap),
+            "calendar and heap schedulers diverged ({record:?})"
+        );
     }
 }
 

@@ -191,11 +191,11 @@ proptest! {
         let ws = WorkloadSpec::paper_default();
         let r = run_cluster(&s, &ws, &mut PoissonArrivals::new(lambda, seed), n, spec)
             .expect("cluster run");
-        prop_assert_eq!(r.served, n);
-        prop_assert_eq!(r.queue_delay.count(), n);
-        prop_assert_eq!(r.e2e_latency.count(), n);
-        let per_pipe: usize = r.per_pipeline.iter().map(|p| p.served).sum();
-        prop_assert_eq!(per_pipe, n);
+        prop_assert_eq!(r.served, n as u64);
+        prop_assert_eq!(r.queue_delay.count(), n as u64);
+        prop_assert_eq!(r.e2e_latency.count(), n as u64);
+        let per_pipe: u64 = r.per_pipeline.iter().map(|p| p.served).sum();
+        prop_assert_eq!(per_pipe, n as u64);
         if !continuous {
             let batched: u32 = r.batch_sizes.iter().sum();
             prop_assert_eq!(batched as usize, n);
@@ -248,7 +248,7 @@ proptest! {
         let ws = WorkloadSpec::paper_default();
         let r = run_cluster_mix(&groups, &ws, &mut PoissonArrivals::new(lambda, seed), n, spec)
             .expect("cluster run");
-        prop_assert_eq!(r.served + r.rejected + r.expired, n);
+        prop_assert_eq!(r.served + r.rejected + r.expired, n as u64);
         prop_assert_eq!(r.queue_delay.count(), r.served);
         prop_assert_eq!(r.e2e_latency.count(), r.served);
         prop_assert_eq!(r.met + r.slo_violations, r.served);
@@ -263,8 +263,8 @@ proptest! {
             match audit.count_ledger(&format!("requests:pipe{p}")) {
                 Some(l) => {
                     prop_assert_eq!(l.enqueued, l.completed + l.abandoned);
-                    prop_assert_eq!(l.completed, stats.served as u64);
-                    prop_assert_eq!(l.abandoned, (stats.rejected + stats.expired) as u64);
+                    prop_assert_eq!(l.completed, stats.served);
+                    prop_assert_eq!(l.abandoned, stats.rejected + stats.expired);
                 }
                 None => prop_assert_eq!(stats.served + stats.rejected + stats.expired, 0),
             }
@@ -305,8 +305,8 @@ proptest! {
         };
         let tight = run(tight_s);
         let loose = run(tight_s + slack_s);
-        prop_assert_eq!(tight.served, n);
-        prop_assert_eq!(loose.served, n);
+        prop_assert_eq!(tight.served, n as u64);
+        prop_assert_eq!(loose.served, n as u64);
         // The deadline is observation-only here, so the trajectories
         // are identical and the comparison is exact, not statistical.
         prop_assert_eq!(
@@ -358,7 +358,11 @@ fn mix_beats_both_homogeneous_clusters_under_mixed_slo() {
         ("all-helm", &homog_helm),
         ("all-allcpu", &homog_allcpu),
     ] {
-        assert_eq!(r.served + r.rejected + r.expired, n, "{name} conservation");
+        assert_eq!(
+            r.served + r.rejected + r.expired,
+            n as u64,
+            "{name} conservation"
+        );
         let audit = r.audit.as_ref().expect("auditing forced on");
         assert!(audit.is_clean(), "{name} audit:\n{audit}");
     }

@@ -80,9 +80,9 @@ proptest! {
             .expect("serves");
         let b = run_online_des(&server, &ws, &mut PoissonArrivals::new(lambda, seed), n)
             .expect("serves");
-        prop_assert_eq!(a.served, n);
-        prop_assert_eq!(a.queue_delay.count(), n);
-        prop_assert_eq!(a.e2e_latency.count(), n);
+        prop_assert_eq!(a.served, n as u64);
+        prop_assert_eq!(a.queue_delay.count(), n as u64);
+        prop_assert_eq!(a.e2e_latency.count(), n as u64);
         let batched: u32 = a.batch_sizes.iter().sum();
         prop_assert_eq!(batched as usize, n);
         prop_assert!(a.batch_sizes.iter().all(|&bsz| bsz >= 1 && bsz <= batch));
