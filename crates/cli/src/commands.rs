@@ -31,11 +31,21 @@ const SERVE_FLAGS: &[&str] = &[
     "mix",
     "admission",
     "slo-ms",
+    "format",
 ];
 
 struct Session {
     server: Server,
     workload: WorkloadSpec,
+}
+
+/// Resolves `--format text|json`.
+fn wants_json(args: &Args) -> Result<bool, ArgError> {
+    match args.get_or("format", "text") {
+        "text" => Ok(false),
+        "json" => Ok(true),
+        other => Err(ArgError(format!("unknown format '{other}'; text|json"))),
+    }
 }
 
 fn session(args: &Args) -> Result<Session, ArgError> {
@@ -70,28 +80,49 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
     {
         return serve_online(args);
     }
+    let json = wants_json(args)?;
     let Session { server, workload } = session(args)?;
     let report = server.run(&workload).map_err(|e| ArgError(e.to_string()))?;
-    println!("{}", report.summary());
-    println!("  TTFT        : {:>12.1} ms", report.ttft_ms());
-    println!("  TBT         : {:>12.1} ms", report.tbt_ms());
-    println!("  throughput  : {:>12.3} tok/s", report.throughput_tps());
-    println!("  H2D traffic : {:>12}", report.total_h2d_bytes());
-    println!("  D2H traffic : {:>12}", report.total_d2h_bytes());
     let [disk, cpu, gpu] = report.achieved_distribution;
-    println!("  weights     : disk {disk:.1}% / cpu {cpu:.1}% / gpu {gpu:.1}%");
-    if let Some(audit) = &report.audit {
-        for line in audit.to_string().lines() {
-            println!("  {line}");
+    if json {
+        println!(
+            "{{\"model\":\"{}\",\"memory\":\"{}\",\"placement\":\"{}\",\"batch\":{},\
+             \"ttft_ms\":{:.3},\"tbt_ms\":{:.3},\"throughput_tps\":{:.6},\
+             \"h2d_bytes\":{},\"d2h_bytes\":{},\
+             \"weights_pct\":{{\"disk\":{disk:.3},\"cpu\":{cpu:.3},\"gpu\":{gpu:.3}}}}}",
+            server.model().name(),
+            server.system().memory().kind(),
+            server.policy().placement().as_str(),
+            server.policy().effective_batch(),
+            report.ttft_ms(),
+            report.tbt_ms(),
+            report.throughput_tps(),
+            report.total_h2d_bytes().as_u64(),
+            report.total_d2h_bytes().as_u64(),
+        );
+    } else {
+        println!("{}", report.summary());
+        println!("  TTFT        : {:>12.1} ms", report.ttft_ms());
+        println!("  TBT         : {:>12.1} ms", report.tbt_ms());
+        println!("  throughput  : {:>12.3} tok/s", report.throughput_tps());
+        println!("  H2D traffic : {:>12}", report.total_h2d_bytes());
+        println!("  D2H traffic : {:>12}", report.total_d2h_bytes());
+        println!("  weights     : disk {disk:.1}% / cpu {cpu:.1}% / gpu {gpu:.1}%");
+        if let Some(audit) = &report.audit {
+            for line in audit.to_string().lines() {
+                println!("  {line}");
+            }
         }
     }
     if let Some(path) = args.get("csv") {
         std::fs::write(path, report.to_csv())
             .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
-        println!(
-            "  timeline    : wrote {} steps to {path}",
-            report.records.len()
-        );
+        if !json {
+            println!(
+                "  timeline    : wrote {} steps to {path}",
+                report.records.len()
+            );
+        }
     }
     Ok(())
 }
@@ -152,6 +183,7 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
     };
     use simcore::time::SimDuration;
 
+    let json = wants_json(args)?;
     let Session { server, workload } = session(args)?;
     let mix = args.get("mix").map(parse_mix).transpose()?;
     if mix.is_some() && args.get("pipelines").is_some() {
@@ -222,6 +254,73 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
         }
     };
 
+    if json {
+        let groups: Vec<String> = match &mix {
+            Some(groups) => groups
+                .iter()
+                .map(|g| {
+                    format!(
+                        "{{\"placement\":\"{}\",\"batch\":{},\"replicas\":{}}}",
+                        g.placement.as_str(),
+                        g.batch,
+                        g.count
+                    )
+                })
+                .collect(),
+            None => vec![format!(
+                "{{\"placement\":\"{}\",\"batch\":{},\"replicas\":{pipelines}}}",
+                server.policy().placement().as_str(),
+                server.policy().effective_batch()
+            )],
+        };
+        let pipes: Vec<String> = report
+            .per_pipeline
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"config\":{},\"served\":{},\"rejected\":{},\"expired\":{},\
+                     \"batches\":{},\"busy_s\":{:.6},\"utilization\":{:.6}}}",
+                    p.config,
+                    p.served,
+                    p.rejected,
+                    p.expired,
+                    p.batches,
+                    p.busy.as_secs(),
+                    p.utilization
+                )
+            })
+            .collect();
+        println!(
+            "{{\"model\":\"{}\",\"memory\":\"{}\",\"scheduler\":\"{}\",\"admission\":\"{}\",\
+             \"continuous\":{},\"lambda\":{lambda},\"requests\":{requests},\"seed\":{seed},\
+             \"cluster_size\":{cluster_size},\"groups\":[{}],\
+             \"served\":{},\"rejected\":{},\"expired\":{},\"met\":{},\"slo_violations\":{},\
+             \"attainment\":{:.6},\"makespan_s\":{:.6},\"queue_delay_ms_mean\":{:.3},\
+             \"e2e_p50_ms\":{:.3},\"e2e_p95_ms\":{:.3},\"tokens_per_s\":{:.6},\
+             \"tokens_per_s_met\":{:.6},\"utilization\":{:.6},\"pipelines\":[{}]}}",
+            server.model().name(),
+            server.system().memory().kind(),
+            spec.scheduler.as_str(),
+            admission,
+            spec.continuous,
+            groups.join(","),
+            report.served,
+            report.rejected,
+            report.expired,
+            report.met,
+            report.slo_violations,
+            report.slo_attainment(),
+            report.makespan.as_secs(),
+            report.mean_queue_delay_ms(),
+            report.e2e_percentile_ms(50.0),
+            report.e2e_percentile_ms(95.0),
+            report.tokens_per_s,
+            report.tokens_per_s_met,
+            report.utilization,
+            pipes.join(",")
+        );
+        return Ok(());
+    }
     println!(
         "{} on {}, {} pipeline(s), {} dispatch, {} admission, {} batching",
         server.model().name(),
@@ -362,6 +461,209 @@ pub fn autoplace(args: &Args) -> Result<(), ArgError> {
             "  {:>4}  {:>5}  {:>6}  {:>10.1}  {:>10.3}",
             p.mha_gpu_percent, p.ffn_gpu_percent, p.batch, p.tbt_ms, p.throughput_tps
         );
+    }
+    Ok(())
+}
+
+/// `helmsim plan`: SLO-aware capacity planning — the minimum-resource
+/// cluster configuration meeting an attainment target under Poisson
+/// load, found by bound-pruned, calibration-cached, parallel search.
+pub fn plan(args: &Args) -> Result<(), ArgError> {
+    use helm_core::online::DeadlineSpec;
+    use helm_core::planner::{self, PlanSpace, PlanTarget, TrafficSpec};
+    use simcore::time::SimDuration;
+
+    let mut allowed = SERVE_FLAGS.to_vec();
+    allowed.extend([
+        "target",
+        "max-replicas",
+        "probe-requests",
+        "threads",
+        "max-evals",
+        "slo-tight-ms",
+        "slo-loose-ms",
+        "tight-frac",
+    ]);
+    args.reject_unknown(&allowed)?;
+    let json = wants_json(args)?;
+    let Session { server, workload } = session(args)?;
+
+    let lambda = args.get_num("lambda", 0.05f64)?;
+    if !(lambda.is_finite() && lambda > 0.0) {
+        return Err(ArgError(format!(
+            "--lambda must be a positive arrival rate, got {lambda}"
+        )));
+    }
+    let requests = args.get_num("requests", 200usize)?;
+    if requests == 0 {
+        return Err(ArgError("--requests must be at least 1".to_owned()));
+    }
+    let seed = args.get_num("seed", 42u64)?;
+    let target = args.get_num("target", 0.95f64)?;
+    if !(0.0..=1.0).contains(&target) {
+        return Err(ArgError(format!(
+            "--target must be an attainment fraction in [0, 1], got {target}"
+        )));
+    }
+
+    let positive_ms = |flag: &str| -> Result<SimDuration, ArgError> {
+        let ms = args.get_num(flag, 0.0f64)?;
+        if !(ms.is_finite() && ms > 0.0) {
+            return Err(ArgError(format!(
+                "--{flag} must be a positive deadline, got {ms}"
+            )));
+        }
+        Ok(SimDuration::from_millis(ms))
+    };
+    let deadlines = if args.get("slo-tight-ms").is_some() || args.get("slo-loose-ms").is_some() {
+        if args.get("slo-ms").is_some() {
+            return Err(ArgError(
+                "--slo-ms and --slo-tight-ms/--slo-loose-ms are mutually exclusive".to_owned(),
+            ));
+        }
+        let tight = positive_ms("slo-tight-ms")?;
+        let loose = positive_ms("slo-loose-ms")?;
+        let tight_fraction = args.get_num("tight-frac", 0.5f64)?;
+        if !(0.0..=1.0).contains(&tight_fraction) {
+            return Err(ArgError(format!(
+                "--tight-frac must be a fraction in [0, 1], got {tight_fraction}"
+            )));
+        }
+        DeadlineSpec::Bimodal {
+            tight,
+            loose,
+            tight_fraction,
+            seed,
+        }
+    } else if args.get("slo-ms").is_some() {
+        DeadlineSpec::Fixed(positive_ms("slo-ms")?)
+    } else {
+        DeadlineSpec::None
+    };
+
+    let traffic = TrafficSpec::new(lambda, requests, seed).with_deadlines(deadlines);
+    let mut space =
+        PlanSpace::for_server(&server, &workload).map_err(|e| ArgError(e.to_string()))?;
+    space.max_replicas = args.get_num("max-replicas", space.max_replicas)?;
+    if space.max_replicas == 0 {
+        return Err(ArgError("--max-replicas must be at least 1".to_owned()));
+    }
+    space.probe_requests = args.get_num("probe-requests", space.probe_requests)?;
+    if space.probe_requests == 0 {
+        return Err(ArgError("--probe-requests must be at least 1".to_owned()));
+    }
+    space.continuous = args.get_bool("continuous")?;
+    let budget = SearchBudget {
+        threads: args.get_num("threads", 0usize)?,
+        max_evals: args.get_num("max-evals", 0usize)?,
+    };
+    let report = planner::plan(
+        &server,
+        &workload,
+        &traffic,
+        PlanTarget::attainment(target),
+        &space,
+        budget,
+    )
+    .map_err(|e| ArgError(e.to_string()))?;
+
+    if json {
+        let groups: Vec<String> = report
+            .groups
+            .iter()
+            .map(|(t, count)| {
+                format!(
+                    "{{\"placement\":\"{}\",\"batch\":{},\"replicas\":{count}}}",
+                    t.placement.as_str(),
+                    t.batch
+                )
+            })
+            .collect();
+        println!(
+            "{{\"model\":\"{}\",\"memory\":\"{}\",\"target\":{target},\
+             \"lambda\":{lambda},\"requests\":{requests},\"seed\":{seed},\
+             \"feasible\":{},\"attainment\":{:.6},\"probe_attainment\":{:.6},\
+             \"total_replicas\":{},\"scheduler\":\"{}\",\"admission\":\"{}\",\
+             \"groups\":[{}],\"candidates\":{},\"evaluated\":{},\"pruned\":{},\
+             \"confirmations\":{},\"calibrations\":{},\"probe_requests\":{},\
+             \"wall_ms\":{:.3}}}",
+            server.model().name(),
+            server.system().memory().kind(),
+            report.feasible,
+            report.attainment,
+            report.probe_attainment,
+            report.chosen.total_replicas(),
+            report.chosen.scheduler.as_str(),
+            report.chosen.admission,
+            groups.join(","),
+            report.candidates,
+            report.stats.evaluated,
+            report.stats.pruned,
+            report.confirmations,
+            report.calibrations,
+            report.probe_requests,
+            report.stats.wall_ms
+        );
+        return Ok(());
+    }
+
+    println!(
+        "plan: {} on {}, target attainment {target:.3}",
+        server.model().name(),
+        server.system().memory().kind()
+    );
+    println!("  traffic     : lambda {lambda} req/s, {requests} requests, seed {seed}");
+    match deadlines {
+        DeadlineSpec::None => println!("  SLO         : none (every request trivially met)"),
+        DeadlineSpec::Fixed(slo) => println!("  SLO         : fixed {:.1} ms", slo.as_millis()),
+        DeadlineSpec::Bimodal {
+            tight,
+            loose,
+            tight_fraction,
+            ..
+        } => println!(
+            "  SLO         : bimodal {:.1} ms ({:.0}%) / {:.1} ms",
+            tight.as_millis(),
+            tight_fraction * 100.0,
+            loose.as_millis()
+        ),
+    }
+    if report.feasible {
+        println!(
+            "  feasible    : yes (attainment {:.3} on the full confirmation run)",
+            report.attainment
+        );
+    } else {
+        println!(
+            "  feasible    : no — best effort attains {:.3} on the full confirmation run",
+            report.attainment
+        );
+    }
+    println!(
+        "  chosen      : {} replica(s), {} dispatch, {} admission",
+        report.chosen.total_replicas(),
+        report.chosen.scheduler,
+        report.chosen.admission
+    );
+    for (t, count) in &report.groups {
+        println!("  group       : {} b={} x{count}", t.placement, t.batch);
+    }
+    println!(
+        "  probe       : attainment {:.3} over {}-request probes",
+        report.probe_attainment, report.probe_requests
+    );
+    println!(
+        "  search      : {} probed + {} pruned of {} candidates in {:.1} ms",
+        report.stats.evaluated, report.stats.pruned, report.candidates, report.stats.wall_ms
+    );
+    println!(
+        "  confirms    : {} full-length run(s), {} calibration(s)",
+        report.confirmations, report.calibrations
+    );
+    if let Some(audit) = &report.confirmed.audit {
+        for line in audit.to_string().lines() {
+            println!("  {line}");
+        }
     }
     Ok(())
 }
@@ -696,6 +998,94 @@ mod tests {
             "--model", "opt-1.3b", "--memory", "dram", "--lambda", "0.5", "--slo-ms", "-5",
         ]);
         assert!(serve(&slo).unwrap_err().to_string().contains("slo-ms"));
+    }
+
+    #[test]
+    fn plan_small_model_end_to_end() {
+        let args = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--gen",
+            "3",
+            "--lambda",
+            "0.5",
+            "--requests",
+            "20",
+            "--probe-requests",
+            "8",
+            "--slo-ms",
+            "30000",
+            "--target",
+            "0.9",
+            "--max-replicas",
+            "2",
+            "--format",
+            "json",
+        ]);
+        plan(&args).unwrap();
+    }
+
+    #[test]
+    fn plan_validates_flags() {
+        let base = ["--model", "opt-1.3b", "--memory", "dram", "--gen", "3"];
+        let with = |extra: &[&str]| {
+            let mut v = base.to_vec();
+            v.extend_from_slice(extra);
+            plan(&parse(&v)).unwrap_err().to_string()
+        };
+        assert!(with(&["--target", "1.5"]).contains("target"));
+        assert!(with(&["--max-replicas", "0"]).contains("max-replicas"));
+        assert!(with(&["--probe-requests", "0"]).contains("probe-requests"));
+        assert!(with(&["--lambda", "-1"]).contains("lambda"));
+        assert!(with(&["--slo-tight-ms", "100"]).contains("slo-loose-ms"));
+        assert!(with(&[
+            "--slo-ms",
+            "100",
+            "--slo-tight-ms",
+            "50",
+            "--slo-loose-ms",
+            "500"
+        ])
+        .contains("mutually exclusive"));
+        assert!(with(&[
+            "--tight-frac",
+            "2",
+            "--slo-tight-ms",
+            "50",
+            "--slo-loose-ms",
+            "500"
+        ])
+        .contains("tight-frac"));
+        assert!(with(&["--format", "yaml"]).contains("format"));
+    }
+
+    #[test]
+    fn serve_json_formats() {
+        let offline = parse(&[
+            "--model", "opt-1.3b", "--memory", "dram", "--gen", "3", "--format", "json",
+        ]);
+        serve(&offline).unwrap();
+        let online = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--gen",
+            "3",
+            "--lambda",
+            "0.5",
+            "--requests",
+            "6",
+            "--format",
+            "json",
+        ]);
+        serve(&online).unwrap();
+        let bad = parse(&[
+            "--model", "opt-1.3b", "--memory", "dram", "--format", "yaml",
+        ]);
+        assert!(serve(&bad).unwrap_err().to_string().contains("format"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! helmsim serve    --pipelines 4 --scheduler jsq --continuous --lambda 0.1
 //! helmsim maxbatch --model opt-175b --memory nvdram --placement all-cpu --compress
 //! helmsim autoplace --objective throughput --memory nvdram
+//! helmsim plan     --lambda 0.2 --slo-ms 60000 --target 0.9 --format json
 //! helmsim energy   --model opt-175b --memory nvdram --placement all-cpu --batch 44
 //! helmsim probe    --what bandwidth
 //! helmsim list
@@ -29,6 +30,7 @@ COMMANDS:
               (--pipelines switches to online cluster serving)
   maxbatch    solve the largest batch GPU memory allows
   autoplace   search per-layer-kind placements for a QoS objective
+  plan        find the minimum-resource cluster meeting an SLO target
   energy      serve and report the energy breakdown (J/token)
   explain     per-layer kernel plan + transfer costing breakdown
   sweep       one-axis sweep (--axis batch|prompt|cxl)
@@ -53,9 +55,17 @@ COMMON FLAGS:
   --lambda <r>          Poisson arrival rate, req/s (default 0.05)
   --requests <n>        requests to serve online (default 60)
   --seed <n>            arrival-process seed (default 42)
+  --format <f>          serve/plan output: text|json (default text)
   --objective <o>       autoplace: latency|throughput (default latency)
-  --threads <n>         autoplace: search threads (default 0 = auto)
-  --max-evals <n>       autoplace: cap pipeline evaluations (0 = unlimited)
+  --threads <n>         autoplace/plan: search threads (default 0 = auto)
+  --max-evals <n>       autoplace/plan: cap evaluations (0 = unlimited)
+  --target <a>          plan: SLO-attainment target in [0,1] (default 0.95)
+  --max-replicas <n>    plan: total replica cap (default 4)
+  --probe-requests <n>  plan: requests per screening probe (default 200)
+  --slo-ms <ms>         fixed per-request deadline (serve online / plan)
+  --slo-tight-ms <ms>   plan: bimodal tight-class deadline
+  --slo-loose-ms <ms>   plan: bimodal loose-class deadline
+  --tight-frac <f>      plan: tight-class fraction (default 0.5)
   --what <w>            probe: bandwidth|mlc (default bandwidth)
   --axis <a>            sweep: batch|prompt|cxl (default batch)
 ";
@@ -81,6 +91,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve(&parsed),
         "maxbatch" => commands::maxbatch(&parsed),
         "autoplace" => commands::autoplace(&parsed),
+        "plan" => commands::plan(&parsed),
         "energy" => commands::energy(&parsed),
         "probe" => commands::probe(&parsed),
         "explain" => commands::explain(&parsed),

@@ -88,16 +88,11 @@ pub fn memory(name: &str) -> Result<HostMemoryConfig, ArgError> {
 ///
 /// Lists the accepted names on mismatch.
 pub fn placement(name: &str) -> Result<PlacementKind, ArgError> {
-    Ok(match name {
-        "baseline" => PlacementKind::Baseline,
-        "helm" => PlacementKind::Helm,
-        "all-cpu" | "allcpu" => PlacementKind::AllCpu,
-        other => {
-            return Err(ArgError(format!(
-                "unknown placement '{other}'; one of: {}",
-                PLACEMENTS.join(", ")
-            )))
-        }
+    name.parse().map_err(|_| {
+        ArgError(format!(
+            "unknown placement '{name}'; one of: {}",
+            PLACEMENTS.join(", ")
+        ))
     })
 }
 

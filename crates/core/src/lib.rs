@@ -55,6 +55,7 @@ pub mod exec_des;
 pub mod metrics;
 pub mod online;
 pub mod placement;
+pub mod planner;
 pub mod policy;
 pub mod projection;
 pub mod server;

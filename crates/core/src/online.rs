@@ -228,6 +228,87 @@ impl ServiceModel {
     }
 }
 
+/// A shared memo for [`ServiceModel::calibrate`].
+///
+/// Calibration costs two pipeline runs per distinct replica
+/// configuration. A capacity-planning search probes thousands of
+/// cluster mixes drawn from a handful of templates, so without a
+/// cache the same two runs are re-paid on every probe — the dominant
+/// cost of the whole search. The cache keys on everything calibration
+/// reads (platform, model, policy, workload) and hands back the
+/// memoized model on a hit; [`run_cluster_mix_cached`] threads one
+/// cache through repeated cluster runs, and [`run_cluster_mix`] is
+/// the fresh-cache special case (which still dedupes identical groups
+/// *within* one call).
+///
+/// The key is the `Debug` rendering of the configuration tuple.
+/// Every field that feeds calibration derives `Debug` with
+/// shortest-round-trip float formatting, so two configurations
+/// collide only when they are value-identical — exactly when their
+/// calibrated models are bit-identical too.
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationCache {
+    models: std::collections::BTreeMap<String, ServiceModel>,
+    calibrations: u64,
+}
+
+impl CalibrationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CalibrationCache::default()
+    }
+
+    fn key(server: &Server, workload: &WorkloadSpec) -> String {
+        format!(
+            "{:?}|{:?}|{:?}|{:?}",
+            server.system(),
+            server.model(),
+            server.policy(),
+            workload
+        )
+    }
+
+    /// The calibrated model for `server` under `workload`, running
+    /// the two calibration pipelines only on a cache miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration errors from [`ServiceModel::calibrate`]
+    /// (failed calibrations are not cached).
+    pub fn get_or_calibrate(
+        &mut self,
+        server: &Server,
+        workload: &WorkloadSpec,
+    ) -> Result<ServiceModel, HelmError> {
+        let key = CalibrationCache::key(server, workload);
+        if let Some(model) = self.models.get(&key) {
+            return Ok(model.clone());
+        }
+        let model = ServiceModel::calibrate(server, workload)?;
+        self.calibrations += 1;
+        self.models.insert(key, model.clone());
+        Ok(model)
+    }
+
+    /// How many calibrations actually ran (cache misses). Repeated
+    /// mixes over the same configurations leave this at the number of
+    /// *distinct* configurations — the regression the cache exists to
+    /// prevent is this counter scaling with the number of runs.
+    pub fn calibrations(&self) -> u64 {
+        self.calibrations
+    }
+
+    /// Number of distinct configurations currently cached.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
 /// How a cluster spreads arriving requests over its pipelines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
@@ -416,7 +497,7 @@ impl DeadlineSpec {
 /// exactly the sequence `DeadlineSpec::assign` produces up front,
 /// without materializing a deadline vector for the whole run.
 #[derive(Debug, Clone)]
-enum DeadlineAssigner {
+pub(crate) enum DeadlineAssigner {
     None,
     Fixed(SimDuration),
     Bimodal {
@@ -428,7 +509,7 @@ enum DeadlineAssigner {
 }
 
 impl DeadlineAssigner {
-    fn new(spec: DeadlineSpec) -> Self {
+    pub(crate) fn new(spec: DeadlineSpec) -> Self {
         match spec {
             DeadlineSpec::None => DeadlineAssigner::None,
             DeadlineSpec::Fixed(slo) => DeadlineAssigner::Fixed(slo),
@@ -447,7 +528,7 @@ impl DeadlineAssigner {
     }
 
     /// The absolute deadline of the next arrival, at instant `t`.
-    fn next(&mut self, t: SimTime) -> Option<SimTime> {
+    pub(crate) fn next(&mut self, t: SimTime) -> Option<SimTime> {
         match self {
             DeadlineAssigner::None => None,
             DeadlineAssigner::Fixed(slo) => Some(t + *slo),
@@ -1352,10 +1433,43 @@ pub fn run_cluster_mix(
     num_requests: usize,
     spec: ClusterSpec,
 ) -> Result<ClusterReport, HelmError> {
+    run_cluster_mix_cached(
+        groups,
+        workload,
+        arrivals,
+        num_requests,
+        spec,
+        &mut CalibrationCache::new(),
+    )
+}
+
+/// [`run_cluster_mix`] with the calibration memo held by the caller:
+/// repeated runs over mixes drawn from the same replica
+/// configurations (a capacity-planning search, a λ sweep) pay the two
+/// calibration pipeline runs once per *distinct* configuration
+/// instead of once per group per call. A warm cache makes the
+/// per-call calibration cost zero; the simulation itself is
+/// unchanged, so reports are bit-identical to the uncached path.
+///
+/// # Errors
+///
+/// Propagates batch validation from the underlying [`Server`] runs.
+///
+/// # Panics
+///
+/// Panics if the groups contribute no pipeline at all.
+pub fn run_cluster_mix_cached(
+    groups: &[(&Server, usize)],
+    workload: &WorkloadSpec,
+    arrivals: &mut PoissonArrivals,
+    num_requests: usize,
+    spec: ClusterSpec,
+    cache: &mut CalibrationCache,
+) -> Result<ClusterReport, HelmError> {
     let mut models = Vec::with_capacity(groups.len());
     let mut pipes: Vec<Pipe> = Vec::new();
     for (g, (server, count)) in groups.iter().enumerate() {
-        models.push(ServiceModel::calibrate(server, workload)?);
+        models.push(cache.get_or_calibrate(server, workload)?);
         pipes.extend((0..*count).map(|_| Pipe::new(g)));
     }
     assert!(
@@ -2257,5 +2371,43 @@ mod tests {
         assert!("bogus".parse::<AdmissionPolicy>().is_err());
         assert!("cap:x".parse::<AdmissionPolicy>().is_err());
         assert!("nope".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn calibration_cache_runs_once_per_distinct_config() {
+        // The regression this guards: `run_cluster_mix` used to
+        // recalibrate every group on every call, so a search probing
+        // the same templates hundreds of times paid two pipeline runs
+        // per group per probe.
+        let helm = server(PlacementKind::Helm, 4);
+        let allcpu = server(PlacementKind::AllCpu, 44);
+        let ws = WorkloadSpec::paper_default();
+        let spec = ClusterSpec::new(1).with_scheduler(SchedulerKind::LeastFinishTime);
+        let mut cache = CalibrationCache::new();
+        // The HeLM config appears in two groups of the same mix, and
+        // the whole mix is run three times: still two calibrations.
+        for _ in 0..3 {
+            let groups: &[(&Server, usize)] = &[(&helm, 1), (&allcpu, 1), (&helm, 1)];
+            let mut arrivals = PoissonArrivals::new(0.05, 9);
+            run_cluster_mix_cached(groups, &ws, &mut arrivals, 10, spec, &mut cache).unwrap();
+        }
+        assert_eq!(cache.calibrations(), 2);
+        assert_eq!(cache.len(), 2);
+        // A warm cache changes nothing about the simulation itself:
+        // the cached run is bit-identical to the uncached path.
+        let groups: &[(&Server, usize)] = &[(&helm, 1), (&allcpu, 1)];
+        let cached = run_cluster_mix_cached(
+            groups,
+            &ws,
+            &mut PoissonArrivals::new(0.05, 9),
+            20,
+            spec,
+            &mut cache,
+        )
+        .unwrap();
+        let fresh =
+            run_cluster_mix(groups, &ws, &mut PoissonArrivals::new(0.05, 9), 20, spec).unwrap();
+        assert_eq!(format!("{cached:?}"), format!("{fresh:?}"));
+        assert_eq!(cache.calibrations(), 2, "warm run must not recalibrate");
     }
 }

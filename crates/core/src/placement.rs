@@ -58,6 +58,35 @@ pub enum PlacementKind {
     AllCpu,
 }
 
+impl PlacementKind {
+    /// Canonical CLI/JSON spelling — the name `helmsim` flags and
+    /// machine-readable reports use, round-tripping through
+    /// [`FromStr`](std::str::FromStr). Distinct from [`fmt::Display`],
+    /// which keeps the paper's human-facing capitalization.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlacementKind::Baseline => "baseline",
+            PlacementKind::Helm => "helm",
+            PlacementKind::AllCpu => "all-cpu",
+        }
+    }
+}
+
+impl std::str::FromStr for PlacementKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "baseline" => Ok(PlacementKind::Baseline),
+            "helm" => Ok(PlacementKind::Helm),
+            "all-cpu" | "allcpu" => Ok(PlacementKind::AllCpu),
+            other => Err(format!(
+                "unknown placement '{other}' (expected baseline, helm, or all-cpu)"
+            )),
+        }
+    }
+}
+
 impl fmt::Display for PlacementKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -892,5 +921,21 @@ mod tests {
             template.build(mha, ffn, other),
             ModelPlacement::compute_custom(&model, true, mha, ffn, other)
         );
+    }
+
+    #[test]
+    fn placement_kind_cli_names_round_trip() {
+        for kind in [
+            PlacementKind::Baseline,
+            PlacementKind::Helm,
+            PlacementKind::AllCpu,
+        ] {
+            assert_eq!(kind.as_str().parse::<PlacementKind>().unwrap(), kind);
+        }
+        assert_eq!(
+            "allcpu".parse::<PlacementKind>().unwrap(),
+            PlacementKind::AllCpu
+        );
+        assert!("helm-2".parse::<PlacementKind>().is_err());
     }
 }

@@ -1,0 +1,223 @@
+//! The analytical attainment bound that prunes cluster mixes.
+//!
+//! # Contract
+//!
+//! [`attainment_bound`] is a **sound optimistic bound**: for a given
+//! mix and traffic, no scheduler, admission policy, or dispatch
+//! decision can make the DES's
+//! [`ClusterReport::slo_attainment`](crate::online::ClusterReport::slo_attainment)
+//! exceed it. The planner prunes a mix — all of its scheduler ×
+//! admission variants at once — exactly when the bound is below the
+//! target, so pruning can never discard a configuration that would
+//! have met the SLO (bound-feasible ⊇ DES-feasible, the property the
+//! `planner_props` suite checks against random traffic).
+//!
+//! # Derivation
+//!
+//! Arrivals and deadlines are deterministic in the traffic seed
+//! ([`PoissonArrivals`] and the deadline draws are pure functions of
+//! it), so instead of reasoning about M/G/k distribution tails the
+//! bound *realizes* the actual request sequence once per plan
+//! ([`TrafficRealization`]) and combines three certificates over it,
+//! each an upper bound on how many requests can possibly be met:
+//!
+//! 1. **Service-rate capacity.** A replica serving run-to-completion
+//!    batches completes at most `max_b b / total(b)` requests per
+//!    busy second; under continuous batching every step of duration
+//!    `prefill(a) + decode_step(c)` grants exactly `a + c` output
+//!    tokens and a request needs `gen_len` grants, capping the
+//!    completion rate at `max_{a,c} (a+c) / dur / gen_len`. Every
+//!    met request completes by its own deadline, so all met service
+//!    fits in the window from the first arrival to the latest
+//!    realized deadline: `met ≤ Σ_replicas rate × window`.
+//! 2. **Per-class feasibility.** The fastest any replica in the mix
+//!    can finish one request served alone, immediately, is its
+//!    minimum solo service time (run-to-completion: the calibration
+//!    endpoints bound `total(b)` for every batch; continuous: one
+//!    minimal prefill plus `gen_len − 1` minimal decode steps). A
+//!    request whose relative deadline is shorter than the mix's
+//!    fastest solo service can never be met — queueing and batching
+//!    only add to it.
+//! 3. **The offered count** itself: `met ≤ n`.
+//!
+//! Deadline-free requests are always met when served (the DES counts
+//! them as met by definition and they may complete arbitrarily
+//! late), so they bypass certificates 1 and 2.
+
+use crate::online::{DeadlineAssigner, PoissonArrivals, ServiceModel};
+use crate::planner::TrafficSpec;
+use std::collections::BTreeMap;
+
+/// Slack added to feasibility comparisons so a request whose deadline
+/// *equals* its minimum service time — met in the DES, where `done >
+/// deadline` is a strict comparison — is never ruled infeasible by a
+/// different rounding of the same quantity. Loosening the bound is
+/// always sound.
+const FEASIBILITY_SLACK: f64 = 1e-9;
+
+/// The realized request sequence of one [`TrafficSpec`]: exactly the
+/// arrivals and deadline draws the DES will see, collapsed to what
+/// the bound needs. Computed once per plan and shared across every
+/// mix bound.
+#[derive(Debug, Clone)]
+pub(super) struct TrafficRealization {
+    /// Offered requests.
+    n: usize,
+    /// Requests with no deadline (met whenever served).
+    deadline_free: usize,
+    /// Distinct relative deadlines (seconds, keyed by bit pattern for
+    /// a deterministic order) with their request counts.
+    classes: Vec<(f64, usize)>,
+    /// First arrival instant, seconds.
+    first_arrival: f64,
+    /// Latest absolute deadline, seconds (no met deadline-carrying
+    /// request can complete later).
+    horizon: f64,
+}
+
+impl TrafficRealization {
+    pub(super) fn realize(traffic: &TrafficSpec) -> Self {
+        let mut arrivals = PoissonArrivals::new(traffic.lambda, traffic.seed);
+        let mut deadliner = DeadlineAssigner::new(traffic.deadlines);
+        let mut classes: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+        let mut deadline_free = 0usize;
+        let mut first_arrival = f64::INFINITY;
+        let mut horizon = 0.0f64;
+        for _ in 0..traffic.num_requests {
+            let at = arrivals.next_arrival();
+            first_arrival = first_arrival.min(at.as_secs());
+            match deadliner.next(at) {
+                None => deadline_free += 1,
+                Some(deadline) => {
+                    let delta = (deadline - at).as_secs();
+                    horizon = horizon.max(deadline.as_secs());
+                    classes.entry(delta.to_bits()).or_insert((delta, 0)).1 += 1;
+                }
+            }
+        }
+        TrafficRealization {
+            n: traffic.num_requests,
+            deadline_free,
+            classes: classes.into_values().collect(),
+            first_arrival,
+            horizon,
+        }
+    }
+}
+
+/// The most requests per second one replica of `model` can complete,
+/// maximized over every batch composition the service model admits.
+fn replica_rate_per_s(model: &ServiceModel, continuous: bool) -> f64 {
+    let cap = model.max_batch().max(1);
+    if !continuous {
+        return (1..=cap)
+            .map(|b| {
+                let dur = model.total(b).as_secs();
+                if dur > 0.0 {
+                    f64::from(b) / dur
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .fold(0.0, f64::max);
+    }
+    // Continuous batching: a step with `a` admitted and `c`
+    // continuing requests grants `a + c` tokens in `prefill(a) +
+    // decode_step(c)` seconds; a request completes after `gen_len`
+    // grants. Enumerate every split (the cap is small).
+    let gen_len = model.gen_len().max(1) as f64;
+    let mut grants_per_s: f64 = 0.0;
+    for a in 0..=cap {
+        for c in 0..=(cap - a) {
+            if a + c == 0 {
+                continue;
+            }
+            let mut dur = 0.0;
+            if a > 0 {
+                dur += model.prefill(a).as_secs();
+            }
+            if c > 0 {
+                dur += model.decode_step(c).as_secs();
+            }
+            if dur <= 0.0 {
+                return f64::INFINITY;
+            }
+            grants_per_s = grants_per_s.max(f64::from(a + c) / dur);
+        }
+    }
+    grants_per_s / gen_len
+}
+
+/// The fastest one replica of `model` can finish a single request
+/// served alone, immediately — a floor on any request's end-to-end
+/// latency on that replica.
+fn min_service_secs(model: &ServiceModel, continuous: bool) -> f64 {
+    let cap = model.max_batch().max(1);
+    if !continuous {
+        // `total` interpolates between the calibration endpoints, so
+        // the endpoints bound it for every batch size.
+        return model.total(1).as_secs().min(model.total(cap).as_secs());
+    }
+    let prefill = model.prefill(1).as_secs().min(model.prefill(cap).as_secs());
+    let decode = model
+        .decode_step(1)
+        .as_secs()
+        .min(model.decode_step(cap).as_secs());
+    prefill + decode * model.gen_len().saturating_sub(1) as f64
+}
+
+/// The bound over a pre-realized traffic sequence; see
+/// [`attainment_bound`].
+pub(super) fn bound_over(
+    realization: &TrafficRealization,
+    groups: &[(&ServiceModel, usize)],
+    continuous: bool,
+) -> f64 {
+    if realization.n == 0 {
+        return 0.0;
+    }
+    let replicas: usize = groups.iter().map(|(_, count)| *count).sum();
+    if replicas == 0 {
+        return 0.0;
+    }
+    // Certificate 2: the mix's fastest solo service time gates which
+    // deadline classes are reachable at all.
+    let fastest = groups
+        .iter()
+        .filter(|(_, count)| *count > 0)
+        .map(|(model, _)| min_service_secs(model, continuous))
+        .fold(f64::INFINITY, f64::min);
+    let feasible: usize = realization
+        .classes
+        .iter()
+        .filter(|(delta, _)| *delta + FEASIBILITY_SLACK >= fastest)
+        .map(|(_, count)| count)
+        .sum();
+    // Certificate 1: total completion capacity inside the window no
+    // met, deadline-carrying request can escape.
+    let window = (realization.horizon - realization.first_arrival).max(0.0);
+    let capacity: f64 = groups
+        .iter()
+        .map(|(model, count)| *count as f64 * replica_rate_per_s(model, continuous) * window)
+        .sum();
+    let met_deadline = (feasible as f64).min(capacity);
+    let met = (realization.deadline_free as f64 + met_deadline).min(realization.n as f64);
+    (met / realization.n as f64).min(1.0)
+}
+
+/// A sound optimistic upper bound on the SLO attainment any cluster
+/// built from `groups` — `(service model, replica count)` per group —
+/// can reach against `traffic`, whatever the scheduler, admission
+/// policy, and dispatch decisions (see the module docs for the
+/// derivation and the soundness contract). `continuous` selects the
+/// batching granularity the cluster would run with.
+///
+/// Used by [`super::plan`] to prune mixes; exposed so the soundness
+/// property (bound ≥ every DES attainment) is testable directly.
+pub fn attainment_bound(
+    groups: &[(&ServiceModel, usize)],
+    traffic: &TrafficSpec,
+    continuous: bool,
+) -> f64 {
+    bound_over(&TrafficRealization::realize(traffic), groups, continuous)
+}
