@@ -19,7 +19,7 @@
 use std::time::Instant;
 
 use bench::{print_table, section};
-use helm_core::autoplace::{search, Objective, SearchBudget};
+use helm_core::autoplace::{search, search_in, Objective, SearchBudget, SearchSpace};
 use helm_core::exec::{run_pipeline, PipelineInputs};
 use helm_core::placement::{ModelPlacement, PlacementKind, Tier};
 use helm_core::policy::Policy;
@@ -186,6 +186,90 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let auto = winner.ok_or("no search ran")?;
+
+    section("0.5% lattice: the finest descent, same no-regression gate");
+    // The half-percent space is 4x the 1% lattice (201x201 points);
+    // the multi-resolution schedule must still clear the serial 10%
+    // sweep outright at this larger budget — the hard gate below
+    // holds the line at the finest resolution shipped.
+    let fine = search_in(
+        &system,
+        &model,
+        &policy,
+        &workload,
+        Objective::Latency,
+        SearchBudget::default(),
+        SearchSpace {
+            fine_step_half_pct: 1,
+            batches: Vec::new(),
+        },
+    )?;
+    let fine_speedup = serial_ms / fine.stats.wall_ms;
+    print_table(
+        &[
+            "search", "wall(ms)", "evals", "pruned", "speedup", "TBT(ms)",
+        ],
+        &[(
+            "engine, 0.5% lattice".to_owned(),
+            vec![
+                fine.stats.wall_ms,
+                fine.stats.evaluated as f64,
+                fine.stats.pruned as f64,
+                fine_speedup,
+                fine.report.tbt_ms(),
+            ],
+        )],
+    );
+    if fine_speedup < 1.0 {
+        return Err(format!(
+            "0.5%-lattice search slower than the serial sweep: \
+             speedup_vs_serial = {fine_speedup:.3} < 1.0"
+        )
+        .into());
+    }
+    if fine.report.tbt_ms() > auto.report.tbt_ms() * (1.0 + 1e-12) {
+        return Err(format!(
+            "a strictly finer lattice lost quality: {} ms vs {} ms on the 1% grid",
+            fine.report.tbt_ms(),
+            auto.report.tbt_ms()
+        )
+        .into());
+    }
+
+    section("joint {placement x batch} space (throughput objective)");
+    let joint_batches = vec![1u32, 4, 8, 44];
+    let joint = search_in(
+        &system,
+        &model,
+        &policy,
+        &workload,
+        Objective::Throughput,
+        SearchBudget::default(),
+        SearchSpace {
+            fine_step_half_pct: 2,
+            batches: joint_batches.clone(),
+        },
+    )?;
+    print_table(
+        &["search", "tok/s", "batch", "MHA gpu%", "FFN gpu%"],
+        &[(
+            "joint batch list".to_owned(),
+            vec![
+                joint.report.throughput_tps(),
+                f64::from(joint.batch),
+                joint.mha_gpu_percent,
+                joint.ffn_gpu_percent,
+            ],
+        )],
+    );
+    if !joint_batches.contains(&joint.batch) {
+        return Err(format!(
+            "joint search chose batch {} outside its listed space {joint_batches:?}",
+            joint.batch
+        )
+        .into());
+    }
+
     section("quality: fine-search winner vs hand-built policies");
     let helm = Server::new(
         system.clone(),
@@ -251,6 +335,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{{\n  \"model\": \"{}\",\n  \"memory\": \"{}\",\n  \"objective\": \"latency\",\n  \
          \"serial_coarse\": {{\"wall_ms\": {:.3}, \"evaluated\": {}, \"best_tbt_ms\": {:.3}}},\n  \
          \"engine\": [\n{}\n  ],\n  \
+         \"half_percent_lattice\": {{\"wall_ms\": {:.3}, \"evaluated\": {}, \"pruned\": {}, \
+         \"speedup_vs_serial\": {:.3}, \"tbt_ms\": {:.3}, \"mha_gpu_percent\": {}, \
+         \"ffn_gpu_percent\": {}}},\n  \
+         \"joint_batch\": {{\"batches\": {:?}, \"winner_batch\": {}, \"tok_s\": {:.3}, \
+         \"ffn_gpu_percent\": {}}},\n  \
          \"winner\": {{\"mha_gpu_percent\": {}, \"ffn_gpu_percent\": {}, \"batch\": {}, \
          \"tbt_ms\": {:.3}}}\n}}\n",
         model.name(),
@@ -259,6 +348,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serial_evals,
         serial_tbt,
         json_runs.join(",\n"),
+        fine.stats.wall_ms,
+        fine.stats.evaluated,
+        fine.stats.pruned,
+        fine_speedup,
+        fine.report.tbt_ms(),
+        fine.mha_gpu_percent,
+        fine.ffn_gpu_percent,
+        joint_batches,
+        joint.batch,
+        joint.report.throughput_tps(),
+        joint.ffn_gpu_percent,
         auto.mha_gpu_percent,
         auto.ffn_gpu_percent,
         auto.batch,

@@ -8,22 +8,28 @@
 //! mixed-cluster run in seconds, with the conservation audit forced
 //! on so every enqueue/complete/abandon count stays exact at scale.
 //!
-//! Two hard gates (the run errors, not warns):
+//! Three hard gates (the run errors, not warns):
 //!
 //! * the calendar queue's `ClusterReport` must match the binary-heap
 //!   scheduler's byte for byte at n = 1e4 (same `(time, seq)` total
 //!   order, so even float aggregates may not drift);
 //! * the largest run must clear [`EVENTS_PER_S_FLOOR`] and finish
-//!   with a clean audit ledger.
+//!   with a clean audit ledger;
+//! * on the granularity axis (continuous batching, per-step vs
+//!   coalesced decode spans), the reports must stay byte-identical at
+//!   every volume and coalescing must clear
+//!   [`GRANULARITY_SPEEDUP_FLOOR`] at the largest.
 //!
 //! Results land in `output/BENCH_des.json`. `--quick` drops the 1e6
-//! tier for CI smoke runs (the floor still applies at 1e5).
+//! tier for CI smoke runs (the floors still apply at 1e5).
 
 use std::time::Instant;
 
 use bench::{print_table, section};
 use helm_core::exec::RecordMode;
-use helm_core::online::{run_cluster_mix, ClusterReport, ClusterSpec, PoissonArrivals};
+use helm_core::online::{
+    run_cluster_mix, ClusterReport, ClusterSpec, PoissonArrivals, StepGranularity,
+};
 use helm_core::placement::PlacementKind;
 use helm_core::policy::Policy;
 use helm_core::server::Server;
@@ -39,6 +45,14 @@ use workload::WorkloadSpec;
 /// regressed structurally (per-event allocation, queue degeneration),
 /// not that the machine was slow.
 const EVENTS_PER_S_FLOOR: f64 = 100_000.0;
+
+/// Hard floor on `per-step / coalesced` wall time at the largest
+/// granularity-axis volume, measured on the continuous-batching mix
+/// where decode spans dominate the event count. Coalescing replaces
+/// every per-step priority-queue round-trip with tight-loop
+/// arithmetic; losing this floor means the macro-stepping layer
+/// stopped paying for itself.
+const GRANULARITY_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Offered arrival rate (requests/s of simulated time). High enough
 /// to keep every replica's queue non-empty — the bench measures the
@@ -58,11 +72,15 @@ fn run_tier(
     num_requests: usize,
     backend: QueueBackend,
     record: RecordMode,
+    granularity: StepGranularity,
+    continuous: bool,
 ) -> Result<Tier, helm_core::HelmError> {
     let spec = ClusterSpec::new(1)
         .with_scheduler(helm_core::online::SchedulerKind::JoinShortestQueue)
         .with_record(record)
-        .with_backend(backend);
+        .with_backend(backend)
+        .with_granularity(granularity)
+        .with_continuous(continuous);
     let mut arrivals = PoissonArrivals::new(ARRIVAL_RATE, 4242);
     let started = Instant::now();
     let report = run_cluster_mix(groups, workload, &mut arrivals, num_requests, spec)?;
@@ -95,6 +113,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_placement(PlacementKind::Helm)
             .with_batch_size(4),
     )?;
+    // Batch-1 HeLM replicas for the granularity axis: every decode
+    // step serves exactly one request, so span events dominate the
+    // count and coalescing has the most queue traffic to remove.
+    let helm_b1 = Server::new(
+        system.clone(),
+        model.clone(),
+        base.clone()
+            .with_placement(PlacementKind::Helm)
+            .with_batch_size(1),
+    )?;
     let allcpu = Server::new(
         system.clone(),
         model.clone(),
@@ -105,8 +133,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     section("backend equivalence: calendar vs heap at n = 1e4");
     for record in [RecordMode::Full, RecordMode::Aggregate] {
-        let cal = run_tier(groups, &workload, 10_000, QueueBackend::Calendar, record)?;
-        let heap = run_tier(groups, &workload, 10_000, QueueBackend::Heap, record)?;
+        let cal = run_tier(
+            groups,
+            &workload,
+            10_000,
+            QueueBackend::Calendar,
+            record,
+            StepGranularity::default(),
+            false,
+        )?;
+        let heap = run_tier(
+            groups,
+            &workload,
+            10_000,
+            QueueBackend::Heap,
+            record,
+            StepGranularity::default(),
+            false,
+        )?;
         // Debug formatting prints every field including float bit
         // patterns via their shortest round-trip form; equality here
         // is byte-identity of the full report.
@@ -136,6 +180,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n,
             QueueBackend::Calendar,
             RecordMode::Aggregate,
+            StepGranularity::default(),
+            false,
         )?;
         let audit = tier
             .report
@@ -188,6 +234,93 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into());
     }
 
+    section("granularity axis: per-step vs coalesced, continuous batching");
+    // Continuous batching is where macro-stepping bites: every decode
+    // step is one work unit, so per-step granularity pays one
+    // priority-queue round-trip per token while coalesced replays the
+    // same arithmetic in a tight loop between scheduler epochs. The
+    // axis runs latency-shaped batch-1 replicas — each decode step
+    // advances a single request, so span events dominate the count
+    // (the big-batch mix above amortizes a step over 44 requests and
+    // hides the queue cost). The reports must stay byte-identical at
+    // every volume — coalescing is a perf knob, never a semantics
+    // knob.
+    let gran_groups: &[(&Server, usize)] = &[(&helm_b1, 4)];
+    let mut gran_rows = Vec::new();
+    let mut gran_json = Vec::new();
+    let mut gran_speedup = 0.0f64;
+    for &n in volumes {
+        let step = run_tier(
+            gran_groups,
+            &workload,
+            n,
+            QueueBackend::Calendar,
+            RecordMode::Aggregate,
+            StepGranularity::PerStep,
+            true,
+        )?;
+        let coal = run_tier(
+            gran_groups,
+            &workload,
+            n,
+            QueueBackend::Calendar,
+            RecordMode::Aggregate,
+            StepGranularity::Coalesced,
+            true,
+        )?;
+        if format!("{:?}", step.report) != format!("{:?}", coal.report) {
+            return Err(format!("per-step and coalesced granularities diverged at n={n}").into());
+        }
+        let audit = coal
+            .report
+            .audit
+            .as_ref()
+            .ok_or("auditing was forced on but the coalesced run has no ledger")?;
+        if !audit.is_clean() {
+            return Err(format!("coalesced audit ledger dirty at n={n}: {audit}").into());
+        }
+        gran_speedup = step.wall_s / coal.wall_s;
+        gran_rows.push((
+            format!("n = {n}"),
+            vec![
+                step.wall_s * 1000.0,
+                coal.wall_s * 1000.0,
+                gran_speedup,
+                coal.report.events as f64,
+                n as f64 / coal.wall_s,
+            ],
+        ));
+        gran_json.push(format!(
+            "    {{\"num_requests\": {n}, \"per_step_wall_s\": {:.3}, \
+             \"coalesced_wall_s\": {:.3}, \"speedup\": {:.2}, \"events\": {}, \
+             \"coalesced_requests_per_s\": {:.1}, \"reports_identical\": true, \
+             \"audit_clean\": true}}",
+            step.wall_s,
+            coal.wall_s,
+            gran_speedup,
+            coal.report.events,
+            n as f64 / coal.wall_s,
+        ));
+    }
+    print_table(
+        &[
+            "volume",
+            "step(ms)",
+            "coal(ms)",
+            "speedup",
+            "events",
+            "requests/s",
+        ],
+        &gran_rows,
+    );
+    if gran_speedup < GRANULARITY_SPEEDUP_FLOOR {
+        return Err(format!(
+            "coalescing regressed: {gran_speedup:.2}x over per-step at the largest volume \
+             is below the {GRANULARITY_SPEEDUP_FLOOR}x floor"
+        )
+        .into());
+    }
+
     let tier_json: Vec<String> = tiers
         .iter()
         .map(|t| {
@@ -208,10 +341,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{{\n  \"model\": \"{}\",\n  \"memory\": \"{}\",\n  \"backend\": \"calendar\",\n  \
          \"record_mode\": \"aggregate\",\n  \"arrival_rate_per_s\": {ARRIVAL_RATE},\n  \
          \"backend_equivalence_n\": 10000,\n  \"backend_equivalence\": true,\n  \
-         \"events_per_s_floor\": {EVENTS_PER_S_FLOOR},\n  \"tiers\": [\n{}\n  ]\n}}\n",
+         \"events_per_s_floor\": {EVENTS_PER_S_FLOOR},\n  \"tiers\": [\n{}\n  ],\n  \
+         \"granularity_speedup_floor\": {GRANULARITY_SPEEDUP_FLOOR},\n  \
+         \"granularity\": [\n{}\n  ]\n}}\n",
         model.name(),
         memory.kind(),
         tier_json.join(",\n"),
+        gran_json.join(",\n"),
     );
     std::fs::create_dir_all("output")?;
     std::fs::write("output/BENCH_des.json", &json)?;
@@ -224,7 +360,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          to 1e6 is the point: amortized O(1) scheduling plus pooled per-event\n\
          state means a million-request mixed-cluster run costs seconds, which\n\
          is what makes full lambda-sweeps of the paper's overlap results\n\
-         testable at datacenter scale."
+         testable at datacenter scale. The granularity axis shows the same\n\
+         lever one level up: coalescing decode spans between scheduler\n\
+         epochs removes the per-token queue round-trip entirely, with the\n\
+         byte-identity gate proving the reports never notice."
     );
     Ok(())
 }

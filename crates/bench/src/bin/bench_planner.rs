@@ -38,7 +38,7 @@ use bench::section;
 use helm_core::exec::RecordMode;
 use helm_core::online::{
     run_cluster_mix, run_cluster_mix_cached, AdmissionPolicy, CalibrationCache, ClusterSpec,
-    DeadlineSpec, PoissonArrivals, SchedulerKind,
+    DeadlineSpec, PoissonArrivals, SchedulerKind, StepGranularity,
 };
 use helm_core::planner::{plan, PlanReport, PlanSpace, PlanTarget, SearchBudget, TrafficSpec};
 use helm_core::policy::Policy;
@@ -195,11 +195,12 @@ fn naive_scan(
     })
 }
 
-/// Debug-renders a plan report with wall time zeroed, for
-/// bit-identity comparison across thread counts.
+/// Debug-renders a plan report with the wall clocks zeroed, for
+/// bit-identity comparison across thread counts and granularities.
 fn fingerprint(report: &PlanReport) -> String {
     let mut clone = report.clone();
     clone.stats.wall_ms = 0.0;
+    clone.confirm_wall_ms = 0.0;
     format!("{clone:?}")
 }
 
@@ -218,8 +219,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = Server::new(system, model.clone(), policy)?;
 
     let num_requests = if quick { 120 } else { 400 };
-    let traffic = TrafficSpec::new(ARRIVAL_RATE, num_requests, SEED)
-        .with_deadlines(DeadlineSpec::Fixed(SLO));
+    let traffic =
+        TrafficSpec::new(ARRIVAL_RATE, num_requests, SEED).with_deadlines(DeadlineSpec::Fixed(SLO));
     let mut space = PlanSpace::for_server(&server, &workload)?;
     space.max_replicas = if quick { 3 } else { 4 };
     space.probe_requests = 30;
@@ -286,6 +287,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         parallel.stats.evaluated, parallel.stats.pruned, parallel.stats.wall_ms
     );
 
+    section("confirmation granularity (coalesced vs per-step)");
+    let mut step_space = space.clone();
+    step_space.granularity = StepGranularity::PerStep;
+    let per_step = plan(
+        &server,
+        &workload,
+        &traffic,
+        target,
+        &step_space,
+        serial_budget,
+    )?;
+    println!(
+        "coalesced: {:.1} ms in {} confirmation(s); per-step: {:.1} ms in {}",
+        serial.confirm_wall_ms,
+        serial.confirmations,
+        per_step.confirm_wall_ms,
+        per_step.confirmations
+    );
+
     section("gates");
     if !serial.feasible || !cold.feasible {
         return Err(format!(
@@ -325,6 +345,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if fingerprint(&parallel) != reference {
         return Err("planner diverged between 1 and 4 threads".into());
     }
+    if fingerprint(&per_step) != reference {
+        return Err("planner diverged between per-step and coalesced granularity".into());
+    }
     let serial_wall_s = serial.stats.wall_ms / 1000.0;
     let speedup_cache = cold.wall_s / cached.wall_s;
     let speedup_prune = cached.wall_s / serial_wall_s;
@@ -349,8 +372,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          \"exhaustive\": {{\"probes\": {}, \"wall_ms\": {:.3}}},\n  \
          \"exhaustive_cached\": {{\"probes\": {}, \"wall_ms\": {:.3}, \"calibrations\": {}}},\n  \
          \"planner_serial\": {{\"evaluated\": {}, \"pruned\": {}, \"confirmations\": {}, \
-         \"calibrations\": {}, \"wall_ms\": {:.3}}},\n  \
+         \"calibrations\": {}, \"wall_ms\": {:.3}, \"confirm_wall_ms\": {:.3}}},\n  \
          \"planner_parallel\": {{\"threads\": 4, \"wall_ms\": {:.3}}},\n  \
+         \"granularity\": {{\"coalesced_confirm_wall_ms\": {:.3}, \
+         \"per_step_confirm_wall_ms\": {:.3}, \"report_identical\": true}},\n  \
          \"speedup\": {{\"cache\": {speedup_cache:.2}, \"prune\": {speedup_prune:.2}, \
          \"parallel\": {speedup_parallel:.2}, \"total\": {speedup_total:.2}, \
          \"floor\": {SPEEDUP_FLOOR}}},\n  \
@@ -370,7 +395,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         serial.confirmations,
         serial.calibrations,
         serial.stats.wall_ms,
+        serial.confirm_wall_ms,
         parallel.stats.wall_ms,
+        serial.confirm_wall_ms,
+        per_step.confirm_wall_ms,
         serial.chosen.total_replicas(),
         serial.chosen.counts,
         serial.chosen.scheduler,

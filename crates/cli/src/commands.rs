@@ -25,6 +25,7 @@ const SERVE_FLAGS: &[&str] = &[
     "pipelines",
     "scheduler",
     "continuous",
+    "granularity",
     "lambda",
     "requests",
     "seed",
@@ -179,7 +180,7 @@ fn parse_mix(spec: &str) -> Result<Vec<MixGroup>, ArgError> {
 fn serve_online(args: &Args) -> Result<(), ArgError> {
     use helm_core::online::{
         run_cluster, run_cluster_mix, AdmissionPolicy, ClusterSpec, DeadlineSpec, PoissonArrivals,
-        SchedulerKind,
+        SchedulerKind, StepGranularity,
     };
     use simcore::time::SimDuration;
 
@@ -197,6 +198,10 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("--pipelines must be at least 1".to_owned()));
     }
     let scheduler: SchedulerKind = args.get_or("scheduler", "rr").parse().map_err(ArgError)?;
+    let granularity: StepGranularity = args
+        .get_or("granularity", StepGranularity::default().as_str())
+        .parse()
+        .map_err(ArgError)?;
     let admission: AdmissionPolicy = args
         .get_or("admission", "accept")
         .parse()
@@ -216,6 +221,7 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
     let spec = ClusterSpec::new(pipelines)
         .with_scheduler(scheduler)
         .with_continuous(args.get_bool("continuous")?)
+        .with_granularity(granularity)
         .with_admission(admission)
         .with_deadlines(deadlines);
     let lambda = args.get_num("lambda", 0.05f64)?;
@@ -292,7 +298,8 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
             .collect();
         println!(
             "{{\"model\":\"{}\",\"memory\":\"{}\",\"scheduler\":\"{}\",\"admission\":\"{}\",\
-             \"continuous\":{},\"lambda\":{lambda},\"requests\":{requests},\"seed\":{seed},\
+             \"continuous\":{},\"granularity\":\"{}\",\
+             \"lambda\":{lambda},\"requests\":{requests},\"seed\":{seed},\
              \"cluster_size\":{cluster_size},\"groups\":[{}],\
              \"served\":{},\"rejected\":{},\"expired\":{},\"met\":{},\"slo_violations\":{},\
              \"attainment\":{:.6},\"makespan_s\":{:.6},\"queue_delay_ms_mean\":{:.3},\
@@ -303,6 +310,7 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
             spec.scheduler.as_str(),
             admission,
             spec.continuous,
+            spec.granularity.as_str(),
             groups.join(","),
             report.served,
             report.rejected,
@@ -322,7 +330,7 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
         return Ok(());
     }
     println!(
-        "{} on {}, {} pipeline(s), {} dispatch, {} admission, {} batching",
+        "{} on {}, {} pipeline(s), {} dispatch, {} admission, {} batching, {} events",
         server.model().name(),
         server.system().memory().kind(),
         cluster_size,
@@ -333,6 +341,7 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
         } else {
             "run-to-completion"
         },
+        spec.granularity,
     );
     match &mix {
         Some(groups) => {
@@ -553,6 +562,10 @@ pub fn plan(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError("--probe-requests must be at least 1".to_owned()));
     }
     space.continuous = args.get_bool("continuous")?;
+    space.granularity = args
+        .get_or("granularity", space.granularity.as_str())
+        .parse()
+        .map_err(ArgError)?;
     let budget = SearchBudget {
         threads: args.get_num("threads", 0usize)?,
         max_evals: args.get_num("max-evals", 0usize)?,
@@ -586,7 +599,7 @@ pub fn plan(args: &Args) -> Result<(), ArgError> {
              \"total_replicas\":{},\"scheduler\":\"{}\",\"admission\":\"{}\",\
              \"groups\":[{}],\"candidates\":{},\"evaluated\":{},\"pruned\":{},\
              \"confirmations\":{},\"calibrations\":{},\"probe_requests\":{},\
-             \"wall_ms\":{:.3}}}",
+             \"granularity\":\"{}\",\"wall_ms\":{:.3},\"confirm_wall_ms\":{:.3}}}",
             server.model().name(),
             server.system().memory().kind(),
             report.feasible,
@@ -602,7 +615,9 @@ pub fn plan(args: &Args) -> Result<(), ArgError> {
             report.confirmations,
             report.calibrations,
             report.probe_requests,
-            report.stats.wall_ms
+            space.granularity.as_str(),
+            report.stats.wall_ms,
+            report.confirm_wall_ms
         );
         return Ok(());
     }
@@ -657,8 +672,8 @@ pub fn plan(args: &Args) -> Result<(), ArgError> {
         report.stats.evaluated, report.stats.pruned, report.candidates, report.stats.wall_ms
     );
     println!(
-        "  confirms    : {} full-length run(s), {} calibration(s)",
-        report.confirmations, report.calibrations
+        "  confirms    : {} full-length run(s) in {:.1} ms ({} events), {} calibration(s)",
+        report.confirmations, report.confirm_wall_ms, space.granularity, report.calibrations
     );
     if let Some(audit) = &report.confirmed.audit {
         for line in audit.to_string().lines() {
@@ -921,6 +936,43 @@ mod tests {
         assert!(serve(&sched).unwrap_err().to_string().contains("scheduler"));
         let lambda = parse(&["--model", "opt-1.3b", "--memory", "dram", "--lambda", "-1"]);
         assert!(serve(&lambda).unwrap_err().to_string().contains("lambda"));
+        let gran = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--pipelines",
+            "2",
+            "--granularity",
+            "fine",
+        ]);
+        assert!(serve(&gran)
+            .unwrap_err()
+            .to_string()
+            .contains("granularity"));
+    }
+
+    #[test]
+    fn serve_online_accepts_per_step_granularity() {
+        let args = parse(&[
+            "--model",
+            "opt-1.3b",
+            "--memory",
+            "dram",
+            "--gen",
+            "3",
+            "--pipelines",
+            "2",
+            "--granularity",
+            "per-step",
+            "--lambda",
+            "0.5",
+            "--requests",
+            "8",
+            "--seed",
+            "7",
+        ]);
+        serve(&args).unwrap();
     }
 
     #[test]

@@ -83,10 +83,14 @@ use super::frontier::{Frontier, FrontierPoint};
 use super::prune::{bound_dominated, BoundContext};
 use super::{AutoPlacement, Objective};
 
-/// Coarse sweep step (percent).
-const COARSE_STEP: u32 = 10;
-/// Pattern-descent step sizes (percent), coarse to fine.
-const ZOOM_STEPS: [u32; 3] = [5, 2, 1];
+/// Coarse sweep step, in half-percent lattice units (10%).
+const COARSE_STEP: u32 = 20;
+/// Pattern-descent step sizes in half-percent units (5%, 2%, 1%),
+/// coarse to fine. [`zoom_steps`] appends the half-percent step when
+/// a [`SearchSpace`] asks for the finer lattice.
+const ZOOM_STEPS: [u32; 3] = [10, 4, 2];
+/// Upper bound of the GPU-share axis in half-percent units (100%).
+const AXIS_MAX: u32 = 200;
 /// Candidates per parallel chunk. Fixed (not thread-derived) so chunk
 /// boundaries — and therefore pruning thresholds — are identical
 /// whatever the thread count.
@@ -117,6 +121,43 @@ pub struct SearchStats {
     pub pruned: usize,
     /// Wall-clock time of the whole search (milliseconds).
     pub wall_ms: f64,
+}
+
+/// The candidate lattice one placement search walks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    /// Finest pattern-descent step, in half-percent units: `2` (the
+    /// default) stops the descent on the 1% lattice, `1` continues to
+    /// the 0.5% lattice the coarse grid could never afford to
+    /// enumerate (201×201 points).
+    pub fine_step_half_pct: u32,
+    /// Batch sizes searched jointly with the placement shares. Empty
+    /// (the default) keeps the objective's own batch rule — the
+    /// policy batch for latency, the residency-derived maximum for
+    /// throughput. Non-empty expands every feasible `(mha, ffn)`
+    /// point into one candidate per listed batch that fits GPU memory
+    /// alongside it, making the search a joint `{placement × batch}`
+    /// optimization.
+    pub batches: Vec<u32>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            fine_step_half_pct: 2,
+            batches: Vec::new(),
+        }
+    }
+}
+
+/// The descent schedule down to `fine` (half-percent units): the
+/// standard 5% → 2% → 1% ladder, extended to 0.5% when asked.
+fn zoom_steps(fine: u32) -> Vec<u32> {
+    let mut steps: Vec<u32> = ZOOM_STEPS.iter().copied().filter(|&s| s >= fine).collect();
+    if steps.last() != Some(&fine.max(1)) {
+        steps.push(fine.max(1));
+    }
+    steps
 }
 
 /// A feasible candidate after the cheap screening pass: its placement,
@@ -169,6 +210,7 @@ pub(super) struct SearchEngine<'a> {
     workload: &'a WorkloadSpec,
     objective: Objective,
     budget: SearchBudget,
+    space: SearchSpace,
     // Candidate-invariant pieces, computed once per search instead of
     // once per grid point.
     mem_budget: MemoryBudget,
@@ -199,6 +241,7 @@ impl<'a> SearchEngine<'a> {
         workload: &'a WorkloadSpec,
         objective: Objective,
         budget: SearchBudget,
+        space: SearchSpace,
     ) -> Self {
         SearchEngine {
             system,
@@ -207,6 +250,7 @@ impl<'a> SearchEngine<'a> {
             workload,
             objective,
             budget,
+            space,
             mem_budget: MemoryBudget::for_gpu(system.gpu()),
             kv_per_sequence: llm::kv::kv_bytes_per_sequence(model, workload.context_len()),
             hidden_per_sequence: llm::kv::hidden_bytes_per_sequence(model, workload.context_len()),
@@ -254,7 +298,7 @@ impl<'a> SearchEngine<'a> {
         };
 
         let mut budget_left = self.run_level(&pool, &coarse_grid(), &mut state)?;
-        for &step in &ZOOM_STEPS {
+        for step in zoom_steps(self.space.fine_step_half_pct) {
             while budget_left {
                 let Some(center) = state.best.as_ref().map(|b| (b.mha, b.ffn)) else {
                     break;
@@ -288,8 +332,8 @@ impl<'a> SearchEngine<'a> {
         )?;
         state.stats.wall_ms = started.elapsed().as_secs_f64() * 1000.0;
         Ok(AutoPlacement {
-            mha_gpu_percent: f64::from(winner.mha),
-            ffn_gpu_percent: f64::from(winner.ffn),
+            mha_gpu_percent: f64::from(winner.mha) / 2.0,
+            ffn_gpu_percent: f64::from(winner.ffn) / 2.0,
             batch: winner.batch,
             placement: winner.placement,
             report,
@@ -324,7 +368,7 @@ impl<'a> SearchEngine<'a> {
             .current_num_threads()
             .min(std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
         let serial = workers <= 1 || pending.len() < workers * CHUNK;
-        let screened: Vec<Option<Screened>> = if serial {
+        let screened: Vec<Vec<Screened>> = if serial {
             pending.iter().map(|&c| self.screen(c)).collect()
         } else {
             pool.install(|| pending.par_iter().map(|&c| self.screen(c)).collect())
@@ -366,8 +410,8 @@ impl<'a> SearchEngine<'a> {
                     Outcome::Evaluated(eval) => {
                         state.stats.evaluated += 1;
                         state.frontier.record(FrontierPoint {
-                            mha_gpu_percent: f64::from(eval.mha),
-                            ffn_gpu_percent: f64::from(eval.ffn),
+                            mha_gpu_percent: f64::from(eval.mha) / 2.0,
+                            ffn_gpu_percent: f64::from(eval.ffn) / 2.0,
                             batch: eval.batch,
                             tbt_ms: eval.report.tbt_ms(),
                             throughput_tps: eval.report.throughput_tps(),
@@ -383,7 +427,9 @@ impl<'a> SearchEngine<'a> {
                     Outcome::Pruned(mha, ffn) => {
                         chunk_pruned = true;
                         state.stats.pruned += 1;
-                        state.frontier.record_pruned(f64::from(mha), f64::from(ffn));
+                        state
+                            .frontier
+                            .record_pruned(f64::from(mha) / 2.0, f64::from(ffn) / 2.0);
                     }
                     Outcome::Failed(e) => return Err(e),
                 }
@@ -398,7 +444,7 @@ impl<'a> SearchEngine<'a> {
                     state.stats.pruned += 1;
                     state
                         .frontier
-                        .record_pruned(f64::from(s.mha), f64::from(s.ffn));
+                        .record_pruned(f64::from(s.mha) / 2.0, f64::from(s.ffn) / 2.0);
                 }
                 break;
             }
@@ -406,16 +452,23 @@ impl<'a> SearchEngine<'a> {
         Ok(true)
     }
 
-    /// The cheap feasibility-and-bound pass for one candidate: checks
-    /// feasibility on the template's byte totals, picks the
-    /// objective's batch, and computes the analytical bound — no
-    /// pipeline run. The placement itself is materialized only for
-    /// candidates that pass both memory checks (on the coarse grid,
-    /// more than half fail). `None` means infeasible. Pure in the
-    /// candidate, so it can run on any worker.
-    fn screen(&self, (mha, ffn): (u32, u32)) -> Option<Screened> {
-        let mha_pct = [f64::from(mha), f64::from(100 - mha), 0.0];
-        let ffn_pct = [f64::from(ffn), f64::from(100 - ffn), 0.0];
+    /// The cheap feasibility-and-bound pass for one `(mha, ffn)`
+    /// lattice point (half-percent units): checks feasibility on the
+    /// template's byte totals, picks the candidate batches, and
+    /// computes each analytical bound — no pipeline run. The
+    /// placement itself is materialized only for points that pass the
+    /// host-memory check (on the coarse grid, more than half fail).
+    /// An empty result means infeasible. With a joint batch space
+    /// ([`SearchSpace::batches`]) one point expands into one
+    /// candidate per listed batch that fits GPU memory alongside it.
+    /// Pure in the candidate, so it can run on any worker.
+    fn screen(&self, (mha, ffn): (u32, u32)) -> Vec<Screened> {
+        let share = |half: u32| {
+            let pct = f64::from(half) / 2.0;
+            [pct, 100.0 - pct, 0.0]
+        };
+        let mha_pct = share(mha);
+        let ffn_pct = share(ffn);
         let other_pct = [0.0, 100.0, 0.0];
         // Byte totals alone decide both feasibility checks, and the
         // template's totals are exactly the built placement's totals
@@ -423,7 +476,7 @@ impl<'a> SearchEngine<'a> {
         // per-layer placement materialization.
         let totals = self.template.totals(mha_pct, ffn_pct, other_pct);
         if totals.cpu > self.host_capacity {
-            return None;
+            return Vec::new();
         }
         let costs = ResidentCosts {
             weights: totals.gpu,
@@ -431,52 +484,69 @@ impl<'a> SearchEngine<'a> {
             kv_per_sequence: self.kv_per_sequence,
             hidden_per_sequence: self.hidden_per_sequence,
         };
-        let batch = match self.objective {
-            Objective::Latency => {
-                if !self.mem_budget.fits(&costs, self.policy.effective_batch()) {
-                    return None;
+        let batches: Vec<u32> = if self.space.batches.is_empty() {
+            match self.objective {
+                Objective::Latency => {
+                    if !self.mem_budget.fits(&costs, self.policy.effective_batch()) {
+                        return Vec::new();
+                    }
+                    vec![self.policy.batch_size()]
                 }
-                self.policy.batch_size()
-            }
-            Objective::Throughput => {
-                let max = self.mem_budget.max_batch(&costs);
-                if max == 0 {
-                    return None;
+                Objective::Throughput => {
+                    let max = self.mem_budget.max_batch(&costs);
+                    if max == 0 {
+                        return Vec::new();
+                    }
+                    vec![max]
                 }
-                max
             }
+        } else {
+            self.space
+                .batches
+                .iter()
+                .copied()
+                .filter(|&b| b >= 1 && self.mem_budget.fits(&costs, b))
+                .collect()
         };
+        if batches.is_empty() {
+            return Vec::new();
+        }
         let placement = self.template.build(mha_pct, ffn_pct, other_pct);
-        let candidate_policy = self.policy.clone().with_batch_size(batch);
-        let inputs = PipelineInputs {
-            system: self.system,
-            model: self.model,
-            policy: &candidate_policy,
-            placement: &placement,
-            workload: self.workload,
-        };
-        // The bound reads the same per-layer cost functions a table
-        // build would cache, so no table is built here — pruned
-        // candidates never pay for one.
-        let computes = self.decode_computes_for(&inputs, batch);
-        let bound = self
-            .bounds
-            .objective_bound(self.objective, &inputs, &computes);
-        Some(Screened {
-            mha,
-            ffn,
-            batch,
-            placement,
-            bound,
-        })
+        batches
+            .into_iter()
+            .map(|batch| {
+                let candidate_policy = self.policy.clone().with_batch_size(batch);
+                let inputs = PipelineInputs {
+                    system: self.system,
+                    model: self.model,
+                    policy: &candidate_policy,
+                    placement: &placement,
+                    workload: self.workload,
+                };
+                // The bound reads the same per-layer cost functions a
+                // table build would cache, so no table is built here —
+                // pruned candidates never pay for one.
+                let computes = self.decode_computes_for(&inputs, batch);
+                let bound = self
+                    .bounds
+                    .objective_bound(self.objective, &inputs, &computes);
+                Screened {
+                    mha,
+                    ffn,
+                    batch,
+                    placement: placement.clone(),
+                    bound,
+                }
+            })
+            .collect()
     }
 
     /// Best-bound-first total order: unbounded candidates (which must
     /// always be costed) come first, then ascending TBT floor /
-    /// descending tokens-per-second ceiling, with `(mha, ffn)` as the
-    /// deterministic tie-break.
+    /// descending tokens-per-second ceiling, with `(mha, ffn, batch)`
+    /// as the deterministic tie-break.
     fn promise_order(&self, a: &Screened, b: &Screened) -> Ordering {
-        let key = |s: &Screened| (s.mha, s.ffn);
+        let key = |s: &Screened| (s.mha, s.ffn, s.batch);
         match (a.bound, b.bound) {
             (None, None) => key(a).cmp(&key(b)),
             (None, Some(_)) => Ordering::Less,
@@ -558,9 +628,9 @@ impl<'a> SearchEngine<'a> {
 }
 
 /// The full coarse grid, row-major: every `(mha, ffn)` multiple of
-/// [`COARSE_STEP`] in `[0, 100]`.
+/// [`COARSE_STEP`] in `[0, AXIS_MAX]` half-percent units.
 fn coarse_grid() -> Vec<(u32, u32)> {
-    let axis: Vec<u32> = (0..=100).step_by(COARSE_STEP as usize).collect();
+    let axis: Vec<u32> = (0..=AXIS_MAX).step_by(COARSE_STEP as usize).collect();
     let mut grid = Vec::with_capacity(axis.len() * axis.len());
     for &mha in &axis {
         for &ffn in &axis {
@@ -571,10 +641,11 @@ fn coarse_grid() -> Vec<(u32, u32)> {
 }
 
 /// The four axis neighbors of `center` at distance `step`, clamped to
-/// `[0, 100]`. Neighbors that clamp onto `center` itself are dropped.
+/// `[0, AXIS_MAX]`. Neighbors that clamp onto `center` itself are
+/// dropped.
 fn plus_neighbors((mha, ffn): (u32, u32), step: u32) -> Vec<(u32, u32)> {
     let shift = |v: u32, delta: i64| {
-        let moved = (i64::from(v) + delta).clamp(0, 100);
+        let moved = (i64::from(v) + delta).clamp(0, i64::from(AXIS_MAX));
         u32::try_from(moved).unwrap_or(0)
     };
     let candidates = [
@@ -598,19 +669,21 @@ mod tests {
         let grid = coarse_grid();
         assert_eq!(grid.len(), 121);
         assert_eq!(grid[0], (0, 0));
-        assert_eq!(grid[120], (100, 100));
-        assert!(grid.iter().all(|&(m, f)| m % 10 == 0 && f % 10 == 0));
+        assert_eq!(grid[120], (AXIS_MAX, AXIS_MAX));
+        assert!(grid
+            .iter()
+            .all(|&(m, f)| m % COARSE_STEP == 0 && f % COARSE_STEP == 0));
     }
 
     #[test]
     fn plus_neighbors_probe_all_four_directions() {
         assert_eq!(
-            plus_neighbors((50, 60), 5),
-            vec![(45, 60), (55, 60), (50, 55), (50, 65)]
+            plus_neighbors((100, 120), 10),
+            vec![(90, 120), (110, 120), (100, 110), (100, 130)]
         );
         assert_eq!(
-            plus_neighbors((10, 30), 1),
-            vec![(9, 30), (11, 30), (10, 29), (10, 31)]
+            plus_neighbors((20, 60), 2),
+            vec![(18, 60), (22, 60), (20, 58), (20, 62)]
         );
     }
 
@@ -618,21 +691,27 @@ mod tests {
     fn plus_neighbors_clamp_and_drop_degenerates() {
         // Clamping at the square's corner folds two probes onto the
         // center; they must be dropped, not re-evaluated.
-        assert_eq!(plus_neighbors((0, 0), 5), vec![(5, 0), (0, 5)]);
-        assert_eq!(plus_neighbors((100, 100), 2), vec![(98, 100), (100, 98)]);
+        assert_eq!(plus_neighbors((0, 0), 10), vec![(10, 0), (0, 10)]);
+        assert_eq!(
+            plus_neighbors((AXIS_MAX, AXIS_MAX), 4),
+            vec![(AXIS_MAX - 4, AXIS_MAX), (AXIS_MAX, AXIS_MAX - 4)]
+        );
         // One step from the edge, clamping still yields a real probe.
         assert_eq!(
-            plus_neighbors((1, 50), 2),
-            vec![(0, 50), (3, 50), (1, 48), (1, 52)]
+            plus_neighbors((2, 100), 4),
+            vec![(0, 100), (6, 100), (2, 96), (2, 104)]
         );
     }
 
     #[test]
     fn descent_steps_reach_the_fine_lattice() {
-        // Steps shrink to 1%, so the returned optimum sits on the
-        // finest lattice; a stalled descent costs 4 probes per step.
-        assert_eq!(ZOOM_STEPS.last(), Some(&1));
-        let stalled_probes = ZOOM_STEPS.len() * 4;
-        assert!(121 + stalled_probes < 10201 / 50);
+        // The default descent stops on the 1% lattice (2 half-units);
+        // a 0.5% space appends the final half-unit step. A stalled
+        // descent costs 4 probes per step.
+        assert_eq!(zoom_steps(2), vec![10, 4, 2]);
+        assert_eq!(zoom_steps(1), vec![10, 4, 2, 1]);
+        assert_eq!(zoom_steps(4), vec![10, 4]);
+        let stalled_probes = zoom_steps(1).len() * 4;
+        assert!(121 + stalled_probes < 40401 / 50);
     }
 }

@@ -30,7 +30,7 @@ mod engine;
 mod frontier;
 mod prune;
 
-pub use engine::{SearchBudget, SearchStats};
+pub use engine::{SearchBudget, SearchSpace, SearchStats};
 pub use frontier::{Frontier, FrontierPoint};
 
 use crate::error::HelmError;
@@ -114,7 +114,37 @@ pub fn search(
     objective: Objective,
     budget: SearchBudget,
 ) -> Result<AutoPlacement, HelmError> {
-    engine::SearchEngine::new(system, model, policy, workload, objective, budget).run()
+    search_in(
+        system,
+        model,
+        policy,
+        workload,
+        objective,
+        budget,
+        SearchSpace::default(),
+    )
+}
+
+/// [`search`] over an explicit [`SearchSpace`]: a finer descent
+/// lattice (down to 0.5% GPU-share steps) and/or a joint
+/// `{placement × batch}` candidate space. The default space makes
+/// this identical to [`search`].
+///
+/// # Errors
+///
+/// Returns [`HelmError::CapacityExceeded`] when no candidate is
+/// feasible (see [`optimize`]).
+#[allow(clippy::too_many_arguments)]
+pub fn search_in(
+    system: &SystemConfig,
+    model: &ModelConfig,
+    policy: &Policy,
+    workload: &WorkloadSpec,
+    objective: Objective,
+    budget: SearchBudget,
+    space: SearchSpace,
+) -> Result<AutoPlacement, HelmError> {
+    engine::SearchEngine::new(system, model, policy, workload, objective, budget, space).run()
 }
 
 #[cfg(test)]
@@ -235,6 +265,54 @@ mod tests {
             auto.stats.evaluated
         );
         assert!(auto.report.tbt_ms() > 0.0);
+    }
+
+    #[test]
+    fn joint_batch_space_picks_among_listed_batches() {
+        // With an explicit batch list the search optimizes batch
+        // jointly with the shares — the winner's batch comes from the
+        // list, and for throughput it should find the large batch.
+        let (system, model, policy, workload) = setup();
+        let auto = search_in(
+            &system,
+            &model,
+            &policy,
+            &workload,
+            Objective::Throughput,
+            SearchBudget::default(),
+            SearchSpace {
+                fine_step_half_pct: 2,
+                batches: vec![4, 44],
+            },
+        )
+        .unwrap();
+        assert!(auto.batch == 4 || auto.batch == 44, "batch {}", auto.batch);
+        assert_eq!(auto.batch, 44, "throughput should pick the large batch");
+    }
+
+    #[test]
+    fn half_percent_lattice_stays_on_lattice() {
+        // fine_step_half_pct == 1 descends to the 0.5% lattice: the
+        // winner's shares are half-integer and at least as good as
+        // the default search's.
+        let (system, model, policy, workload) = setup();
+        let fine = search_in(
+            &system,
+            &model,
+            &policy,
+            &workload,
+            Objective::Latency,
+            SearchBudget::default(),
+            SearchSpace {
+                fine_step_half_pct: 1,
+                batches: Vec::new(),
+            },
+        )
+        .unwrap();
+        let on_half = |v: f64| (v * 2.0) == (v * 2.0).round();
+        assert!(on_half(fine.mha_gpu_percent) && on_half(fine.ffn_gpu_percent));
+        let coarse = optimize(&system, &model, &policy, &workload, Objective::Latency).unwrap();
+        assert!(fine.report.tbt_ms() <= coarse.report.tbt_ms() * (1.0 + 1e-12));
     }
 
     #[test]

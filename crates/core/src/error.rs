@@ -1,6 +1,7 @@
 //! Serving errors.
 
 use simcore::units::{ByteSize, UnitError};
+use simcore::SimError;
 use std::fmt;
 
 /// Errors raised while configuring or running a serving session.
@@ -39,11 +40,21 @@ pub enum HelmError {
         /// Tier name ("gpu", "cpu", "disk").
         tier: &'static str,
     },
+    /// The discrete-event executor recorded a structural fault
+    /// (scheduling into the past, a queue-order violation, an
+    /// unregistered span).
+    Simulation(SimError),
 }
 
 impl From<UnitError> for HelmError {
     fn from(e: UnitError) -> Self {
         HelmError::InvalidUnit(e)
+    }
+}
+
+impl From<SimError> for HelmError {
+    fn from(e: SimError) -> Self {
+        HelmError::Simulation(e)
     }
 }
 
@@ -80,6 +91,7 @@ impl fmt::Display for HelmError {
             HelmError::TierUnavailable { tier } => {
                 write!(f, "the {tier} tier is not available on this platform")
             }
+            HelmError::Simulation(e) => write!(f, "simulation fault: {e}"),
         }
     }
 }
@@ -88,6 +100,7 @@ impl std::error::Error for HelmError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HelmError::InvalidUnit(e) => Some(e),
+            HelmError::Simulation(e) => Some(e),
             _ => None,
         }
     }

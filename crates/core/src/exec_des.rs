@@ -113,15 +113,11 @@ pub fn run_pipeline_des_with(
             let id = link.start(begin, f.bytes.as_f64(), f.cap);
             inflight.insert(id, f);
         }
-        let mut t = begin;
-        while let Some((at, id)) = link.next_completion(t) {
-            t = at;
-            link.complete(t, id);
+        link.drain(begin, |_, id| {
             if let Some(f) = inflight.remove(&id) {
                 audit.delivered(f.channel, f.bytes);
             }
-        }
-        t
+        })
     };
 
     // Pipeline fill: layer 0's weights stream alone.

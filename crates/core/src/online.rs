@@ -48,7 +48,7 @@ use crate::error::HelmError;
 use crate::exec::RecordMode;
 use crate::server::Server;
 use simaudit::{AuditReport, Auditor};
-use simcore::engine::{Context, Simulator};
+use simcore::engine::{Context, Simulator, SpanId};
 use simcore::rng::SimRng;
 use simcore::stats::{Accumulator, Reservoir, SeriesStats};
 use simcore::time::{SimDuration, SimTime};
@@ -549,6 +549,60 @@ impl DeadlineAssigner {
     }
 }
 
+/// Event granularity of the cluster simulation.
+///
+/// Both granularities execute the **same per-step arithmetic in the
+/// same order** — [`ClusterReport`]s are byte-identical between them
+/// (pinned by proptests and a 1e5-request byte compare); only the
+/// event-queue traffic differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepGranularity {
+    /// Every batch/step completion is its own priority-queue event —
+    /// the reference backend: one boxed closure scheduled and popped
+    /// per decode step of every replica.
+    PerStep,
+    /// Macro-stepping (the default): between *epochs* where the
+    /// scheduler can act (the next arrival, and end-of-traffic
+    /// drain), each replica's pending batch/step completion lives as
+    /// a `(time, seq)` boundary in plain state. Epoch handlers replay
+    /// all due boundaries in the global `(time, seq)` order with a
+    /// tight min-scan loop — zero queue round-trips and zero
+    /// allocations per step. See DESIGN.md §11 for the identity
+    /// argument.
+    #[default]
+    Coalesced,
+}
+
+impl StepGranularity {
+    /// Canonical CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StepGranularity::PerStep => "per-step",
+            StepGranularity::Coalesced => "coalesced",
+        }
+    }
+}
+
+impl std::fmt::Display for StepGranularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for StepGranularity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "per-step" | "step" => Ok(StepGranularity::PerStep),
+            "coalesced" | "macro" => Ok(StepGranularity::Coalesced),
+            other => Err(format!(
+                "unknown granularity '{other}' (expected per-step or coalesced)"
+            )),
+        }
+    }
+}
+
 /// Shape of a serving cluster: how many pipelines, how requests are
 /// dispatched to them, at what granularity batches admit work, which
 /// arrivals are admitted at all, and what deadlines requests carry.
@@ -576,6 +630,10 @@ pub struct ClusterSpec {
     /// backends share one `(time, seq)` total order, so reports are
     /// bit-identical either way; only speed differs.
     pub backend: QueueBackend,
+    /// Event granularity: coalesced macro-stepping (default) or one
+    /// queue event per batch/step completion. Reports are
+    /// byte-identical either way; only speed differs.
+    pub granularity: StepGranularity,
 }
 
 impl ClusterSpec {
@@ -595,6 +653,7 @@ impl ClusterSpec {
             deadlines: DeadlineSpec::None,
             record: RecordMode::Full,
             backend: QueueBackend::default(),
+            granularity: StepGranularity::default(),
         }
     }
 
@@ -637,6 +696,13 @@ impl ClusterSpec {
     #[must_use]
     pub fn with_backend(mut self, backend: QueueBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Replaces the event granularity.
+    #[must_use]
+    pub fn with_granularity(mut self, granularity: StepGranularity) -> Self {
+        self.granularity = granularity;
         self
     }
 }
@@ -1021,9 +1087,18 @@ struct Pipe {
     /// Active set: request plus output tokens still owed.
     /// Continuous mode only.
     active: Vec<(Req, usize)>,
+    /// Members of the in-flight run-to-completion batch. Held in pipe
+    /// state (rather than captured in the completion closure) so both
+    /// granularities share one completion routine.
+    members: Vec<Req>,
     /// Modeled instant the in-flight batch/step completes — the base
     /// of finish-time estimates for dispatch and admission.
     free_at: SimTime,
+    /// Coalesced mode: the pending completion boundary as a
+    /// `(instant, virtual seq)` key replicating the per-step queue's
+    /// `(time, seq)` total order, held in state instead of the
+    /// priority queue.
+    boundary: Option<(SimTime, u64)>,
     busy: SimDuration,
     served: u64,
     rejected: u64,
@@ -1039,7 +1114,9 @@ impl Pipe {
             idle: true,
             in_flight: 0,
             active: Vec::new(),
+            members: Vec::new(),
             free_at: SimTime::ZERO,
+            boundary: None,
             busy: SimDuration::ZERO,
             served: 0,
             rejected: 0,
@@ -1081,6 +1158,27 @@ struct ClusterSt {
     /// Per-pipe audit channel names, formatted once — the ledger is
     /// touched on every arrival and completion.
     channels: Vec<String>,
+    /// Event granularity this run executes at.
+    granularity: StepGranularity,
+    /// Virtual sequence counter (coalesced mode): assigned in the
+    /// exact program order the per-step backend assigns queue
+    /// sequence numbers, so `(time, vseq)` boundary keys replicate
+    /// the per-step `(time, seq)` total order.
+    next_vseq: u64,
+    /// Logical events processed (arrivals plus batch/step
+    /// completions) — identical across granularities by construction,
+    /// and equal to the simulator's fired-event count in per-step
+    /// mode.
+    events: u64,
+    /// Payload of the single pending arrival: its index, request, and
+    /// virtual sequence number (the arrival chain is a registered
+    /// span, so the payload lives in state, not in a boxed closure).
+    arrival_pending: Option<(usize, Req, u64)>,
+    /// The registered arrival-chain span.
+    arrival_span: Option<SpanId>,
+    /// The registered end-of-traffic drain span (coalesced mode):
+    /// armed by the last arrival to replay every remaining boundary.
+    drain_span: Option<SpanId>,
 }
 
 fn req_channel(p: usize) -> String {
@@ -1194,28 +1292,19 @@ fn push_request(st: &mut ClusterSt, p: usize, req: Req) {
     }
 }
 
-/// Kicks `p` when it is idle with work queued: one run-to-completion
-/// batch or one continuous step, depending on the mode.
-fn start_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
-    if st.continuous {
-        step_pipe(ctx, st, p);
-    } else {
-        batch_pipe(ctx, st, p);
-    }
-}
-
-/// Run-to-completion: whoever is queued joins, up to the cap, and the
-/// whole batch occupies the pipeline for its full service time.
-/// Under [`SchedulerKind::DeadlineAware`], requests whose deadline
-/// has become infeasible are shed as expired instead of joining.
-fn batch_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
+/// Run-to-completion admission at `now`: whoever is queued joins, up
+/// to the cap, and the whole batch occupies the pipeline for its full
+/// service time. Under [`SchedulerKind::DeadlineAware`], requests
+/// whose deadline has become infeasible are shed as expired instead
+/// of joining. Returns the batch's completion instant, or `None` when
+/// everything ready was shed and the pipe went back to sleep.
+fn start_batch(st: &mut ClusterSt, p: usize, now: SimTime) -> Option<SimTime> {
     debug_assert!(st.pipes[p].idle);
     st.pipes[p].idle = false;
-    let now = ctx.now();
     let model_idx = st.pipes[p].model;
     let max_batch = st.models[model_idx].max_batch();
-    // Pooled member buffer: the completion closure hands it back, so
-    // steady state forms batches allocation-free.
+    // Pooled member buffer: the completion hands it back, so steady
+    // state forms batches allocation-free.
     let mut members = st.member_pool.pop().unwrap_or_default();
     debug_assert!(members.is_empty());
     while members.len() < max_batch as usize {
@@ -1244,51 +1333,53 @@ fn batch_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
         // sleep until the next arrival wakes it.
         st.member_pool.push(members);
         st.pipes[p].idle = true;
-        return;
+        return None;
     }
     if st.record == RecordMode::Full {
         st.batch_sizes.push(batch);
     }
     st.pipes[p].in_flight = members.len();
+    st.pipes[p].members = members;
     st.pipes[p].batches += 1;
     let dur = st.models[model_idx].total(batch);
     st.pipes[p].busy += dur;
     st.pipes[p].free_at = now + dur;
-    ctx.schedule_in(dur, move |ctx, st: &mut ClusterSt| {
-        let done = ctx.now();
-        st.audit.observe_time("cluster", done);
-        for req in &members {
-            st.e2e.add((done - req.at).as_secs());
-            match req.deadline {
-                Some(d) if done > d => st.slo_violations += 1,
-                _ => st.met += 1,
-            }
-        }
-        st.audit.completed(&st.channels[p], members.len() as u64);
-        st.pipes[p].served += members.len() as u64;
-        st.pipes[p].in_flight = 0;
-        st.last_completion = done;
-        st.pipes[p].idle = true;
-        // Recycle the member buffer for the next batch.
-        let mut members = members;
-        members.clear();
-        st.member_pool.push(members);
-        if !st.pipes[p].queue.is_empty() {
-            batch_pipe(ctx, st, p);
-        }
-    });
+    Some(st.pipes[p].free_at)
 }
 
-/// Continuous batching: admit whoever is queued into the active set
-/// (up to the cap), run one iteration — prefill for the newcomers,
-/// one decode step for requests already past prefill — and hand every
-/// active request one output token at the step boundary. Under
-/// [`SchedulerKind::DeadlineAware`], infeasible requests are shed at
-/// the admission boundary.
-fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
+/// Completion bookkeeping of a run-to-completion batch at `done`.
+/// Returns whether the pipe has queued work to restart on.
+fn complete_batch(st: &mut ClusterSt, p: usize, done: SimTime) -> bool {
+    st.audit.observe_time("cluster", done);
+    let members = std::mem::take(&mut st.pipes[p].members);
+    for req in &members {
+        st.e2e.add((done - req.at).as_secs());
+        match req.deadline {
+            Some(d) if done > d => st.slo_violations += 1,
+            _ => st.met += 1,
+        }
+    }
+    st.audit.completed(&st.channels[p], members.len() as u64);
+    st.pipes[p].served += members.len() as u64;
+    st.pipes[p].in_flight = 0;
+    st.last_completion = done;
+    st.pipes[p].idle = true;
+    // Recycle the member buffer for the next batch.
+    let mut members = members;
+    members.clear();
+    st.member_pool.push(members);
+    !st.pipes[p].queue.is_empty()
+}
+
+/// Continuous-batching admission at `now`: admit whoever is queued
+/// into the active set (up to the cap) and start one iteration —
+/// prefill for the newcomers, one decode step for requests already
+/// past prefill. Under [`SchedulerKind::DeadlineAware`], infeasible
+/// requests are shed at the admission boundary. Returns the step's
+/// completion instant, or `None` when the pipe went back to sleep.
+fn start_step(st: &mut ClusterSt, p: usize, now: SimTime) -> Option<SimTime> {
     debug_assert!(st.pipes[p].idle);
     st.pipes[p].idle = false;
-    let now = ctx.now();
     let model_idx = st.pipes[p].model;
     let gen_len = st.models[model_idx].gen_len();
     let max_batch = st.models[model_idx].max_batch();
@@ -1320,7 +1411,7 @@ fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
         // The queue drained entirely into expiries and nothing is in
         // flight; sleep until the next arrival.
         st.pipes[p].idle = true;
-        return;
+        return None;
     }
     if st.record == RecordMode::Full {
         st.batch_sizes.push(batch);
@@ -1337,40 +1428,137 @@ fn step_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
     }
     st.pipes[p].busy += dur;
     st.pipes[p].free_at = now + dur;
-    ctx.schedule_in(dur, move |ctx, st: &mut ClusterSt| {
-        let done = ctx.now();
-        st.audit.observe_time("cluster", done);
-        // Compact the active set in place (order-preserving): finished
-        // requests drop out, survivors slide forward with one fewer
-        // token owed. No per-step replacement Vec.
-        let len = st.pipes[p].active.len();
-        let mut write = 0usize;
-        let mut finished = 0u64;
-        for read in 0..len {
-            let (req, owed) = st.pipes[p].active[read];
-            if owed <= 1 {
-                st.e2e.add((done - req.at).as_secs());
-                match req.deadline {
-                    Some(d) if done > d => st.slo_violations += 1,
-                    _ => st.met += 1,
-                }
-                finished += 1;
-            } else {
-                st.pipes[p].active[write] = (req, owed - 1);
-                write += 1;
+    Some(st.pipes[p].free_at)
+}
+
+/// Completion bookkeeping of one continuous-batching step at `done`:
+/// every active request receives one output token. Returns whether
+/// the pipe has active or queued work to restart on.
+fn complete_step(st: &mut ClusterSt, p: usize, done: SimTime) -> bool {
+    st.audit.observe_time("cluster", done);
+    // Compact the active set in place (order-preserving): finished
+    // requests drop out, survivors slide forward with one fewer
+    // token owed. No per-step replacement Vec.
+    let len = st.pipes[p].active.len();
+    let mut write = 0usize;
+    let mut finished = 0u64;
+    for read in 0..len {
+        let (req, owed) = st.pipes[p].active[read];
+        if owed <= 1 {
+            st.e2e.add((done - req.at).as_secs());
+            match req.deadline {
+                Some(d) if done > d => st.slo_violations += 1,
+                _ => st.met += 1,
+            }
+            finished += 1;
+        } else {
+            st.pipes[p].active[write] = (req, owed - 1);
+            write += 1;
+        }
+    }
+    st.pipes[p].active.truncate(write);
+    st.pipes[p].served += finished;
+    if finished > 0 {
+        st.audit.completed(&st.channels[p], finished);
+        st.last_completion = done;
+    }
+    st.pipes[p].idle = true;
+    !st.pipes[p].active.is_empty() || !st.pipes[p].queue.is_empty()
+}
+
+/// Starts one run-to-completion batch or one continuous step on `p`
+/// at `now`, returning its completion instant (`None`: back to
+/// sleep).
+fn start_work(st: &mut ClusterSt, p: usize, now: SimTime) -> Option<SimTime> {
+    if st.continuous {
+        start_step(st, p, now)
+    } else {
+        start_batch(st, p, now)
+    }
+}
+
+/// Completion bookkeeping of `p`'s in-flight batch/step at `done` —
+/// one logical event in either granularity. Returns whether the pipe
+/// should restart immediately.
+fn complete_work(st: &mut ClusterSt, p: usize, done: SimTime) -> bool {
+    st.events += 1;
+    if st.continuous {
+        complete_step(st, p, done)
+    } else {
+        complete_batch(st, p, done)
+    }
+}
+
+/// Coalesced mode: starts work on `p` and parks its completion as a
+/// state-held `(time, vseq)` boundary instead of a queue event. The
+/// virtual sequence number is drawn at exactly the point the per-step
+/// backend would issue its `schedule` call, so boundary keys compare
+/// like per-step queue keys.
+fn arm_boundary(st: &mut ClusterSt, p: usize, now: SimTime) {
+    if let Some(done) = start_work(st, p, now) {
+        let vseq = st.next_vseq;
+        st.next_vseq += 1;
+        st.pipes[p].boundary = Some((done, vseq));
+    }
+}
+
+/// Per-step mode: a batch/step completion event.
+fn complete_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
+    let done = ctx.now();
+    if complete_work(st, p, done) {
+        start_pipe(ctx, st, p);
+    }
+}
+
+/// Kicks `p` when it is idle with work queued: one run-to-completion
+/// batch or one continuous step. Per-step granularity schedules the
+/// completion as its own queue event; coalesced granularity parks it
+/// as a state-held boundary for the next epoch's drain.
+fn start_pipe(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, p: usize) {
+    let now = ctx.now();
+    match st.granularity {
+        StepGranularity::PerStep => {
+            if let Some(done) = start_work(st, p, now) {
+                ctx.schedule_at(done, move |ctx, st: &mut ClusterSt| {
+                    complete_pipe(ctx, st, p);
+                });
             }
         }
-        st.pipes[p].active.truncate(write);
-        st.pipes[p].served += finished;
-        if finished > 0 {
-            st.audit.completed(&st.channels[p], finished);
-            st.last_completion = done;
+        StepGranularity::Coalesced => arm_boundary(st, p, now),
+    }
+}
+
+/// The coalesced macro-step: replays every pending boundary whose
+/// `(time, vseq)` key is strictly below `limit` (all of them when
+/// `limit` is `None`), in the exact global order the per-step backend
+/// would pop them — completion bookkeeping and the next batch/step
+/// start run inline, with a min-scan over the pipes instead of a
+/// priority-queue round-trip per step.
+fn drain_boundaries(st: &mut ClusterSt, limit: Option<(SimTime, u64)>) {
+    loop {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (p, pipe) in st.pipes.iter().enumerate() {
+            if let Some((at, vseq)) = pipe.boundary {
+                let better = match best {
+                    None => true,
+                    Some((bt, bv, _)) => (at, vseq) < (bt, bv),
+                };
+                if better {
+                    best = Some((at, vseq, p));
+                }
+            }
         }
-        st.pipes[p].idle = true;
-        if !st.pipes[p].active.is_empty() || !st.pipes[p].queue.is_empty() {
-            step_pipe(ctx, st, p);
+        let Some((at, vseq, p)) = best else { return };
+        if let Some((lt, lv)) = limit {
+            if (at, vseq) >= (lt, lv) {
+                return;
+            }
         }
-    });
+        st.pipes[p].boundary = None;
+        if complete_work(st, p, at) {
+            arm_boundary(st, p, at);
+        }
+    }
 }
 
 /// Serves `num_requests` Poisson arrivals through a cluster of
@@ -1479,10 +1667,20 @@ pub fn run_cluster_mix_cached(
     run_cluster_engine(models, pipes, workload, arrivals, num_requests, spec)
 }
 
-/// One arrival landing in the cluster: dispatch, ledger, admission,
-/// queue, kick the pipe if idle — then schedule the successor in the
-/// lazy arrival chain.
-fn arrival(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, i: usize, req: Req) {
+/// One arrival landing in the cluster (the registered arrival-span
+/// handler, shared by both granularities): in coalesced mode first
+/// replay every batch/step boundary ordered before this arrival's
+/// `(time, vseq)` key, then dispatch, ledger, admission, queue, kick
+/// the pipe if idle — and schedule the successor in the lazy arrival
+/// chain.
+fn fire_arrival(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt) {
+    let Some((i, req, vseq)) = st.arrival_pending.take() else {
+        return;
+    };
+    if st.granularity == StepGranularity::Coalesced {
+        drain_boundaries(st, Some((req.at, vseq)));
+    }
+    st.events += 1;
     let now = ctx.now();
     let p = dispatch(st, i, req.deadline, now);
     st.audit.observe_time("cluster", now);
@@ -1499,21 +1697,36 @@ fn arrival(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, i: usize, req: Req)
     schedule_next_arrival(ctx, st, i + 1);
 }
 
-/// Draws arrival `i`'s instant and deadline and schedules it. Exactly
-/// one arrival event is ever pending — the chain replaces the seed
-/// code's up-front loop that boxed one closure per request before the
-/// simulation started, which at a million requests dominated both
-/// allocation and peak queue population.
+/// Draws arrival `i`'s instant and deadline and arms the arrival span
+/// for it. Exactly one arrival is ever pending — the chain replaces
+/// the seed code's up-front loop that boxed one closure per request
+/// before the simulation started, which at a million requests
+/// dominated both allocation and peak queue population. The virtual
+/// sequence number is drawn here, at the same program point the
+/// per-step backend sequences its queue pushes, so arrival keys and
+/// boundary keys interleave identically across granularities. When
+/// the stream is exhausted, coalesced mode arms the terminal drain
+/// span at the earliest outstanding boundary so every in-flight
+/// batch/step still completes.
 fn schedule_next_arrival(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, i: usize) {
     if st.remaining == 0 {
+        if st.granularity == StepGranularity::Coalesced {
+            let earliest = st.pipes.iter().filter_map(|pipe| pipe.boundary).min();
+            if let (Some((at, _)), Some(span)) = (earliest, st.drain_span) {
+                ctx.schedule_span_at(at, span);
+            }
+        }
         return;
     }
     st.remaining -= 1;
     let at = st.arrivals.next_arrival();
     let deadline = st.deadliner.next(at);
-    ctx.schedule_at(at, move |ctx, st: &mut ClusterSt| {
-        arrival(ctx, st, i, Req { at, deadline });
-    });
+    let vseq = st.next_vseq;
+    st.next_vseq += 1;
+    st.arrival_pending = Some((i, Req { at, deadline }, vseq));
+    if let Some(span) = st.arrival_span {
+        ctx.schedule_span_at(at, span);
+    }
 }
 
 /// The shared cluster simulation: `pipes` (each bound to one of
@@ -1545,6 +1758,7 @@ fn run_cluster_engine(
             scheduler: spec.scheduler,
             admission: spec.admission,
             record: spec.record,
+            granularity: spec.granularity,
             queue_delay,
             e2e,
             batch_sizes: Vec::new(),
@@ -1557,31 +1771,51 @@ fn run_cluster_engine(
             remaining: num_requests,
             member_pool: Vec::new(),
             channels: (0..n).map(req_channel).collect(),
+            next_vseq: 0,
+            events: 0,
+            arrival_pending: None,
+            arrival_span: None,
+            drain_span: None,
         },
         spec.backend,
     );
+    // Both granularities route arrivals through one registered span
+    // (no per-arrival closure allocation); coalesced mode adds the
+    // terminal drain span that flushes in-flight work after the last
+    // arrival.
+    let arrival_span = sim.register_span(fire_arrival);
+    let drain_span = sim.register_span(|_, st: &mut ClusterSt| drain_boundaries(st, None));
     // Seed the lazy chain with arrival 0; each arrival schedules its
     // successor.
     let first = {
         let st = sim.state_mut();
+        st.arrival_span = Some(arrival_span);
+        st.drain_span = Some(drain_span);
         if st.remaining > 0 {
             st.remaining -= 1;
             let at = st.arrivals.next_arrival();
             let deadline = st.deadliner.next(at);
-            Some((at, deadline))
+            let vseq = st.next_vseq;
+            st.next_vseq += 1;
+            st.arrival_pending = Some((0, Req { at, deadline }, vseq));
+            Some(at)
         } else {
             None
         }
     };
-    let first_arrival = first.map_or(SimTime::ZERO, |(at, _)| at);
-    if let Some((at, deadline)) = first {
-        sim.schedule_at(at, move |ctx, st: &mut ClusterSt| {
-            arrival(ctx, st, 0, Req { at, deadline });
-        });
+    let first_arrival = first.unwrap_or(SimTime::ZERO);
+    if let Some(at) = first {
+        sim.schedule_span_at(at, arrival_span);
     }
     sim.run_until(SimTime::from_secs(f64::MAX));
-    let events = sim.events_fired();
-    let st = sim.run();
+    let fired = sim.events_fired();
+    let st = sim.run_checked()?;
+    // `events` is a logical count (arrivals + batch/step completions)
+    // so reports compare byte-for-byte across granularities; in
+    // per-step mode every logical event is its own queue event, and
+    // the two tallies must agree exactly.
+    debug_assert!(st.granularity == StepGranularity::Coalesced || st.events == fired);
+    let events = st.events;
     // Hand the advanced process back: successive cluster runs continue
     // the arrival stream exactly as successive `take` calls would.
     *arrivals = st.arrivals.clone();
@@ -2192,6 +2426,12 @@ mod tests {
             remaining: 0,
             member_pool: Vec::new(),
             channels: vec![req_channel(0)],
+            granularity: StepGranularity::default(),
+            next_vseq: 0,
+            events: 0,
+            arrival_pending: None,
+            arrival_span: None,
+            drain_span: None,
         };
         let t = SimTime::from_secs;
         let req = |at: f64, d: Option<f64>| Req {
@@ -2206,6 +2446,227 @@ mod tests {
         // Tightest deadline first, FIFO among equal deadlines,
         // deadline-less requests last.
         assert_eq!(order, vec![2.0, 1.0, 3.0, 0.0]);
+    }
+
+    /// Hand-priced service model with exact binary-float durations,
+    /// so span boundaries land on exact ticks the epoch edge-case
+    /// tests below can collide with deliberately.
+    fn toy_model(max_batch: u32) -> ServiceModel {
+        ServiceModel {
+            max_batch,
+            gen_len: 2,
+            t1: 10.0,
+            tn: 16.0,
+            ttft1: 2.0,
+            ttftn: 4.0,
+            tbt1: 1.0,
+            tbtn: 2.0,
+        }
+    }
+
+    fn toy_cluster(granularity: StepGranularity, scheduler: SchedulerKind) -> ClusterSt {
+        ClusterSt {
+            pipes: vec![Pipe::new(0)],
+            models: vec![toy_model(2)],
+            continuous: false,
+            scheduler,
+            admission: AdmissionPolicy::AcceptAll,
+            record: RecordMode::Full,
+            queue_delay: LatencyStats::full(),
+            e2e: LatencyStats::full(),
+            batch_sizes: Vec::new(),
+            last_completion: SimTime::ZERO,
+            slo_violations: 0,
+            met: 0,
+            audit: Auditor::capture(),
+            arrivals: PoissonArrivals::new(1.0, 0),
+            deadliner: DeadlineAssigner::new(DeadlineSpec::None),
+            remaining: 0,
+            member_pool: Vec::new(),
+            channels: vec![req_channel(0)],
+            granularity,
+            next_vseq: 0,
+            events: 0,
+            arrival_pending: None,
+            arrival_span: None,
+            drain_span: None,
+        }
+    }
+
+    #[test]
+    fn deadline_expiring_mid_span_sheds_identically_across_granularities() {
+        // A request's deadline (t = 5) expires strictly inside an
+        // in-flight span ([0, 10]): neither granularity may act on it
+        // until the epoch boundary, where DeadlineAware admission
+        // sheds it as expired. Both granularities must agree on every
+        // counter and balance the audit ledger.
+        simaudit::force_enable();
+        let run = |granularity| {
+            let t = SimTime::from_secs;
+            let mut sim = Simulator::new(toy_cluster(granularity, SchedulerKind::DeadlineAware));
+            let drain = sim.register_span(|_, st: &mut ClusterSt| drain_boundaries(st, None));
+            sim.state_mut().drain_span = Some(drain);
+            sim.schedule_at(t(0.0), move |ctx, st: &mut ClusterSt| {
+                st.audit.enqueued(&st.channels[0], 1);
+                push_request(
+                    st,
+                    0,
+                    Req {
+                        at: t(0.0),
+                        deadline: Some(t(100.0)),
+                    },
+                );
+                start_pipe(ctx, st, 0);
+            });
+            sim.schedule_at(t(1.0), move |ctx, st: &mut ClusterSt| {
+                st.audit.enqueued(&st.channels[0], 1);
+                push_request(
+                    st,
+                    0,
+                    Req {
+                        at: t(1.0),
+                        deadline: Some(t(5.0)),
+                    },
+                );
+                // The span is in flight and outlives the deadline:
+                // the shed decision can only happen at its boundary.
+                assert!(!st.pipes[0].idle);
+                assert!(t(5.0) < st.pipes[0].free_at);
+                if st.granularity == StepGranularity::Coalesced {
+                    let (at, _) = st.pipes[0].boundary.expect("span armed");
+                    ctx.schedule_span_at(at, st.drain_span.expect("drain registered"));
+                }
+            });
+            let st = sim.run_checked().expect("no engine fault");
+            assert_eq!(st.pipes[0].served, 1);
+            assert_eq!(st.pipes[0].expired, 1);
+            assert_eq!(st.met, 1);
+            assert_eq!(st.slo_violations, 0);
+            let audit = st.audit.finish();
+            assert!(audit.is_clean(), "audit:\n{audit}");
+            assert_eq!(audit.enqueued_with_prefix("requests:"), 2);
+            assert_eq!(audit.completed_with_prefix("requests:"), 1);
+            assert_eq!(audit.abandoned_with_prefix("requests:"), 1);
+            (st.events, st.e2e.samples().to_vec(), st.batch_sizes)
+        };
+        assert_eq!(
+            run(StepGranularity::PerStep),
+            run(StepGranularity::Coalesced)
+        );
+    }
+
+    #[test]
+    fn arrival_on_span_boundary_tick_orders_after_the_completion() {
+        // An arrival lands on the exact instant a span completes. The
+        // completion was sequenced first (smaller seq at the same
+        // time), so in both granularities the batch finishes before
+        // the arrival is admitted: the arrival sees an idle pipe and
+        // starts its own batch at the boundary tick.
+        simaudit::force_enable();
+        let run = |granularity| {
+            let t = SimTime::from_secs;
+            let mut sim =
+                Simulator::new(toy_cluster(granularity, SchedulerKind::JoinShortestQueue));
+            let drain = sim.register_span(|_, st: &mut ClusterSt| drain_boundaries(st, None));
+            sim.state_mut().drain_span = Some(drain);
+            sim.schedule_at(t(0.0), move |ctx, st: &mut ClusterSt| {
+                st.audit.enqueued(&st.channels[0], 1);
+                push_request(
+                    st,
+                    0,
+                    Req {
+                        at: t(0.0),
+                        deadline: None,
+                    },
+                );
+                // Arms the span [0, 10] — per-step as a queue event,
+                // coalesced as the boundary key (10, vseq 0).
+                start_pipe(ctx, st, 0);
+                // Mimic the arrival chain for an arrival at exactly
+                // t = 10: its vseq is drawn *after* the span was
+                // armed, precisely where schedule_next_arrival draws
+                // it, so the boundary precedes it in (time, seq)
+                // order.
+                let vseq = st.next_vseq;
+                st.next_vseq += 1;
+                ctx.schedule_at(t(10.0), move |ctx, st: &mut ClusterSt| {
+                    if st.granularity == StepGranularity::Coalesced {
+                        drain_boundaries(st, Some((t(10.0), vseq)));
+                    }
+                    assert!(
+                        st.pipes[0].idle,
+                        "the tied completion must order before the arrival"
+                    );
+                    assert_eq!(st.pipes[0].served, 1);
+                    st.audit.enqueued(&st.channels[0], 1);
+                    push_request(
+                        st,
+                        0,
+                        Req {
+                            at: t(10.0),
+                            deadline: None,
+                        },
+                    );
+                    start_pipe(ctx, st, 0);
+                    if st.granularity == StepGranularity::Coalesced {
+                        let (at, _) = st.pipes[0].boundary.expect("second span armed");
+                        ctx.schedule_span_at(at, st.drain_span.expect("drain registered"));
+                    }
+                });
+            });
+            let st = sim.run_checked().expect("no engine fault");
+            assert_eq!(st.pipes[0].served, 2);
+            assert_eq!(st.last_completion, t(20.0));
+            let audit = st.audit.finish();
+            assert!(audit.is_clean(), "audit:\n{audit}");
+            assert_eq!(audit.completed_with_prefix("requests:"), 2);
+            (
+                st.events,
+                st.batch_sizes,
+                st.queue_delay.samples().to_vec(),
+                st.e2e.samples().to_vec(),
+            )
+        };
+        let step = run(StepGranularity::PerStep);
+        assert_eq!(step.1, vec![1, 1], "two singleton batches");
+        assert_eq!(
+            step.2,
+            vec![0.0, 0.0],
+            "no queueing on either side of the tick"
+        );
+        assert_eq!(step, run(StepGranularity::Coalesced));
+    }
+
+    #[test]
+    fn boundary_key_equal_to_limit_is_not_drained() {
+        // The drain limit is strict: a boundary whose (time, vseq) key
+        // *equals* the epoch's key stays parked — exactly as the
+        // per-step queue would pop the epoch's own event first.
+        simaudit::force_enable();
+        let t = SimTime::from_secs;
+        let mut st = toy_cluster(StepGranularity::Coalesced, SchedulerKind::JoinShortestQueue);
+        st.audit.enqueued(&st.channels[0], 1);
+        push_request(
+            &mut st,
+            0,
+            Req {
+                at: SimTime::ZERO,
+                deadline: None,
+            },
+        );
+        st.next_vseq = 5;
+        arm_boundary(&mut st, 0, SimTime::ZERO);
+        assert_eq!(st.pipes[0].boundary, Some((t(10.0), 5)));
+        drain_boundaries(&mut st, Some((t(10.0), 5)));
+        assert!(
+            st.pipes[0].boundary.is_some(),
+            "a boundary tied with the limit key must not fire"
+        );
+        drain_boundaries(&mut st, Some((t(10.0), 6)));
+        assert!(st.pipes[0].boundary.is_none());
+        assert_eq!(st.pipes[0].served, 1);
+        let audit = st.audit.finish();
+        assert!(audit.is_clean(), "audit:\n{audit}");
     }
 
     #[test]
@@ -2311,6 +2772,67 @@ mod tests {
             assert_eq!(cal.events, heap.events, "{record:?}");
             assert_eq!(format!("{cal:?}"), format!("{heap:?}"), "{record:?}");
         }
+    }
+
+    #[test]
+    fn granularities_agree_on_cluster_reports() {
+        // Macro-stepped (coalesced) boundaries replay the per-step
+        // queue's (time, seq) total order exactly, so the whole report
+        // — floats, sample logs, reservoir draws — must match byte for
+        // byte in every mode combination, including the deadline-shed
+        // and run-to-completion paths.
+        let helm = server(PlacementKind::Helm, 4);
+        let allcpu = server(PlacementKind::AllCpu, 44);
+        let ws = WorkloadSpec::paper_default();
+        for continuous in [false, true] {
+            for record in [RecordMode::Full, RecordMode::Aggregate] {
+                let spec = ClusterSpec::new(1)
+                    .with_scheduler(SchedulerKind::DeadlineAware)
+                    .with_deadlines(DeadlineSpec::Fixed(SimDuration::from_secs(400.0)))
+                    .with_continuous(continuous)
+                    .with_record(record);
+                let groups = [(&helm, 1usize), (&allcpu, 2usize)];
+                let step = run_cluster_mix(
+                    &groups,
+                    &ws,
+                    &mut PoissonArrivals::new(0.1, 71),
+                    60,
+                    spec.with_granularity(StepGranularity::PerStep),
+                )
+                .unwrap();
+                let coal = run_cluster_mix(
+                    &groups,
+                    &ws,
+                    &mut PoissonArrivals::new(0.1, 71),
+                    60,
+                    spec.with_granularity(StepGranularity::Coalesced),
+                )
+                .unwrap();
+                assert_eq!(
+                    format!("{step:?}"),
+                    format!("{coal:?}"),
+                    "continuous={continuous} {record:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn granularity_parse_round_trips() {
+        for g in [StepGranularity::PerStep, StepGranularity::Coalesced] {
+            assert_eq!(g.as_str().parse::<StepGranularity>().unwrap(), g);
+            assert_eq!(g.to_string(), g.as_str());
+        }
+        assert_eq!(
+            "macro".parse::<StepGranularity>().unwrap(),
+            StepGranularity::Coalesced
+        );
+        assert_eq!(
+            "step".parse::<StepGranularity>().unwrap(),
+            StepGranularity::PerStep
+        );
+        assert!("fine".parse::<StepGranularity>().is_err());
+        assert_eq!(StepGranularity::default(), StepGranularity::Coalesced);
     }
 
     #[test]

@@ -165,6 +165,7 @@ impl<'a> PlanEngine<'a> {
             .with_admission(self.space.admissions[ranked.admission])
             .with_deadlines(self.traffic.deadlines)
             .with_continuous(self.space.continuous)
+            .with_granularity(self.space.granularity)
             .with_record(RecordMode::Aggregate);
         let mut arrivals = PoissonArrivals::new(self.traffic.lambda, self.traffic.seed);
         let mut cache = cache.clone();
@@ -212,6 +213,7 @@ impl<'a> PlanEngine<'a> {
         let mut stats = SearchStats::default();
         let mut candidates_total = 0usize;
         let mut confirmations = 0usize;
+        let mut confirm_wall_ms = 0.0f64;
         // Best probe attainment seen, for the infeasible fallback
         // (strict improvement keeps the earliest on ties — the
         // schedule order is deterministic, so this is too).
@@ -300,12 +302,15 @@ impl<'a> PlanEngine<'a> {
                     }
                     if attainment >= self.target.attainment {
                         confirmations += 1;
+                        // lint: allow(wall-clock-in-sim): feeds PlanReport.confirm_wall_ms run metadata only
+                        let confirm_started = Instant::now();
                         let confirmed = self.simulate(
                             &servers,
                             ranked_candidate,
                             self.traffic.num_requests,
                             &cache,
                         )?;
+                        confirm_wall_ms += confirm_started.elapsed().as_secs_f64() * 1000.0;
                         if confirmed.slo_attainment() >= self.target.attainment {
                             outcome =
                                 Some((self.candidate(ranked_candidate), attainment, confirmed));
@@ -361,8 +366,11 @@ impl<'a> PlanEngine<'a> {
                         .unwrap_or(0),
                 };
                 confirmations += 1;
+                // lint: allow(wall-clock-in-sim): feeds PlanReport.confirm_wall_ms run metadata only
+                let confirm_started = Instant::now();
                 let confirmed =
                     self.simulate(&servers, &ranked, self.traffic.num_requests, &cache)?;
+                confirm_wall_ms += confirm_started.elapsed().as_secs_f64() * 1000.0;
                 (candidate, probe_attainment, confirmed)
             }
         };
@@ -388,6 +396,7 @@ impl<'a> PlanEngine<'a> {
             candidates: candidates_total,
             confirmations,
             calibrations: cache.calibrations(),
+            confirm_wall_ms,
             probe_requests,
         })
     }

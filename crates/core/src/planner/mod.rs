@@ -56,7 +56,7 @@ pub use crate::autoplace::{SearchBudget, SearchStats};
 pub use bound::attainment_bound;
 
 use crate::error::HelmError;
-use crate::online::{AdmissionPolicy, ClusterReport, DeadlineSpec, SchedulerKind};
+use crate::online::{AdmissionPolicy, ClusterReport, DeadlineSpec, SchedulerKind, StepGranularity};
 use crate::placement::PlacementKind;
 use crate::server::Server;
 use workload::WorkloadSpec;
@@ -152,6 +152,10 @@ pub struct PlanSpace {
     pub admissions: Vec<AdmissionPolicy>,
     /// Serve with continuous (decode-step) batching.
     pub continuous: bool,
+    /// Event granularity of every probe and confirmation run. Reports
+    /// are byte-identical either way; coalesced macro-stepping only
+    /// changes how fast the confirmations finish.
+    pub granularity: StepGranularity,
     /// Requests per screening probe (capped at the traffic's
     /// `num_requests`). Probes rank candidates; the winner is always
     /// verified with a full-length confirmation run.
@@ -193,6 +197,7 @@ impl PlanSpace {
                 AdmissionPolicy::DeadlineFeasible,
             ],
             continuous: false,
+            granularity: StepGranularity::default(),
             probe_requests: 200,
         })
     }
@@ -260,6 +265,12 @@ pub struct PlanReport {
     /// Calibration pipeline pairs actually run — one per distinct
     /// template, however many probes the search made.
     pub calibrations: u64,
+    /// Wall-clock milliseconds spent inside full-length confirmation
+    /// runs (a subset of `stats.wall_ms`) — the cost the coalesced
+    /// granularity attacks. Run metadata, not simulation output: like
+    /// `stats.wall_ms` it must be zeroed before any determinism
+    /// fingerprint.
+    pub confirm_wall_ms: f64,
     /// Requests per screening probe.
     pub probe_requests: usize,
 }

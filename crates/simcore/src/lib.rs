@@ -39,7 +39,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
-pub use engine::Simulator;
+pub use engine::{SimError, Simulator, SpanId};
 pub use flow::{FlowId, FlowScheduler};
 pub use queue::{EventQueue, QueueBackend};
 pub use stats::{Accumulator, Reservoir, SeriesStats};

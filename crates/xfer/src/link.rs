@@ -170,6 +170,28 @@ impl CappedLink {
         Some((now + SimDuration::from_secs(finish_in.max(0.0)), id))
     }
 
+    /// Runs the link dry from `from`: repeatedly takes the next
+    /// completion, removes it, and reports it to `on_complete` in
+    /// completion order, returning the instant the last transfer
+    /// finished (`from` when the link was already idle). The loop is
+    /// the exact `next_completion`/`complete` sequence an event-driven
+    /// caller would issue, one call per step — coalescing it here
+    /// keeps the f64 water-filling arithmetic identical while sparing
+    /// the caller a scheduler round-trip per transfer.
+    pub fn drain(
+        &mut self,
+        from: SimTime,
+        mut on_complete: impl FnMut(SimTime, TransferId),
+    ) -> SimTime {
+        let mut t = from;
+        while let Some((at, id)) = self.next_completion(t) {
+            t = at;
+            self.complete(t, id);
+            on_complete(t, id);
+        }
+        t
+    }
+
     /// Declares `id` complete at `now`, removing it.
     ///
     /// # Panics
@@ -294,6 +316,34 @@ mod tests {
         assert!((rates[&a].as_gb_per_s() - 3.0).abs() < 1e-9);
         assert!((rates[&b].as_gb_per_s() - 13.5).abs() < 1e-9);
         assert!((rates[&c].as_gb_per_s() - 13.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drain_replays_the_stepwise_completion_sequence() {
+        let mk = || {
+            let mut link = CappedLink::new(gbps(25.0));
+            link.start(t(0.0), 5e9, gbps(5.0));
+            link.start(t(0.0), 20e9, gbps(100.0));
+            link.start(t(0.0), 1e9, gbps(2.0));
+            link
+        };
+        // Reference: the manual next_completion/complete loop.
+        let mut stepwise = mk();
+        let mut expected = Vec::new();
+        let mut tt = t(0.0);
+        while let Some((at, id)) = stepwise.next_completion(tt) {
+            tt = at;
+            stepwise.complete(tt, id);
+            expected.push((at.as_secs().to_bits(), id));
+        }
+        let mut coalesced = mk();
+        let mut got = Vec::new();
+        let end = coalesced.drain(t(0.0), |at, id| got.push((at.as_secs().to_bits(), id)));
+        assert_eq!(got, expected);
+        assert_eq!(end.as_secs().to_bits(), tt.as_secs().to_bits());
+        assert_eq!(coalesced.active(), 0);
+        // Idle drain is a no-op anchored at `from`.
+        assert_eq!(coalesced.drain(end, |_, _| unreachable!()), end);
     }
 
     #[test]

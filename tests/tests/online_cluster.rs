@@ -161,6 +161,51 @@ fn audit_dropped_balances_a_cancelled_transfer() {
     );
 }
 
+#[test]
+fn transfer_completing_one_step_before_batch_balances_the_ledger() {
+    // Epoch edge case on the transfer path: a weight prefetch whose
+    // completion lands exactly one decode step before the batch
+    // boundary. Coalesced spans replay flow completions through
+    // `CappedLink::drain`, so the completion instant and the
+    // delivered byte count must match the stepwise water-filling
+    // arithmetic exactly, and the drain anchored at the boundary
+    // itself must be a no-op with the ledger already balanced.
+    simaudit::force_enable();
+    let mut audit = Auditor::capture();
+    let bw = Bandwidth::from_gb_per_s(10.0);
+    let mut link = CappedLink::new(bw);
+    // Batch span [0, 10] s with 1 s decode steps; the flow's size at
+    // the link rate completes at exactly t = 9 s.
+    let step = SimDuration::from_secs(1.0);
+    let batch_done = SimTime::from_secs(10.0);
+    let bytes = 9.0 * bw.as_bytes_per_s();
+    audit.scheduled("h2d:weights", ByteSize::from_bytes(bytes as u64));
+    let id = link.start(SimTime::ZERO, bytes, bw);
+    let mut completions = Vec::new();
+    let end = link.drain(SimTime::ZERO, |at, done| completions.push((at, done)));
+    assert_eq!(completions.len(), 1);
+    let (at, done) = completions[0];
+    assert_eq!(done, id);
+    assert_eq!(
+        at.as_secs().to_bits(),
+        (batch_done.as_secs() - step.as_secs()).to_bits(),
+        "flow must complete exactly one step before the batch boundary"
+    );
+    assert_eq!(end.as_secs().to_bits(), at.as_secs().to_bits());
+    audit.delivered("h2d:weights", ByteSize::from_bytes(bytes as u64));
+    let idle = link.drain(batch_done, |_, _| unreachable!("no flows left"));
+    assert_eq!(idle.as_secs().to_bits(), batch_done.as_secs().to_bits());
+    let report = audit.finish();
+    assert!(report.is_clean(), "audit:\n{report}");
+    let (_, ledger) = report
+        .ledgers
+        .iter()
+        .find(|(name, _)| name == "h2d:weights")
+        .expect("channel ledgered");
+    assert_eq!(ledger.scheduled.as_u64(), ledger.delivered.as_u64());
+    assert_eq!(ledger.dropped.as_u64(), 0);
+}
+
 proptest! {
     // Each case runs two full pipeline calibrations; keep the count
     // modest so the suite stays fast.

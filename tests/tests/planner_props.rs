@@ -7,7 +7,7 @@
 use helm_core::exec::RecordMode;
 use helm_core::online::{
     run_cluster_mix_cached, AdmissionPolicy, CalibrationCache, ClusterSpec, DeadlineSpec,
-    PoissonArrivals, SchedulerKind, ServiceModel,
+    PoissonArrivals, SchedulerKind, ServiceModel, StepGranularity,
 };
 use helm_core::placement::PlacementKind;
 use helm_core::planner::{
@@ -63,13 +63,14 @@ fn deadline_strategy() -> impl Strategy<Value = DeadlineSpec> {
         )
 }
 
-/// Debug-renders a plan report with the wall clock zeroed — the one
-/// legitimately nondeterministic field — so equality of the strings
+/// Debug-renders a plan report with the wall clocks zeroed — the only
+/// legitimately nondeterministic fields — so equality of the strings
 /// is bit-identity of everything else (floats print as shortest
 /// round-trip).
 fn fingerprint(report: &PlanReport) -> String {
     let mut clone = report.clone();
     clone.stats.wall_ms = 0.0;
+    clone.confirm_wall_ms = 0.0;
     format!("{clone:?}")
 }
 
@@ -164,6 +165,7 @@ proptest! {
             schedulers: vec![SchedulerKind::JoinShortestQueue, SchedulerKind::DeadlineAware],
             admissions: vec![AdmissionPolicy::AcceptAll, AdmissionPolicy::DeadlineFeasible],
             continuous: false,
+            granularity: StepGranularity::default(),
             probe_requests: 8,
         };
         let traffic = TrafficSpec::new(lambda, 24, seed)
@@ -183,6 +185,45 @@ proptest! {
             );
             prop_assert_eq!(&parallel, &reference, "planner diverged at {} threads", threads);
         }
+    }
+
+    /// Step granularity is a pure perf knob: per-step and coalesced
+    /// probes/confirmations drive the planner to byte-identical
+    /// reports (wall clocks zeroed), in both batching modes.
+    #[test]
+    fn plan_is_granularity_invariant(
+        lambda in 0.1f64..1.0,
+        slo_ms in 1_000.0..30_000.0f64,
+        continuous in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        let workload = WorkloadSpec::new(32, 3, 1);
+        let base = server(PlacementKind::Baseline, 1);
+        let space = |granularity| PlanSpace {
+            templates: TEMPLATES
+                .iter()
+                .map(|&(p, b)| GroupTemplate::new(p, b))
+                .collect(),
+            max_replicas: 2,
+            schedulers: vec![SchedulerKind::JoinShortestQueue, SchedulerKind::DeadlineAware],
+            admissions: vec![AdmissionPolicy::AcceptAll, AdmissionPolicy::DeadlineFeasible],
+            continuous,
+            granularity,
+            probe_requests: 8,
+        };
+        let traffic = TrafficSpec::new(lambda, 24, seed)
+            .with_deadlines(DeadlineSpec::Fixed(SimDuration::from_millis(slo_ms)));
+        let target = PlanTarget::attainment(0.8);
+        let budget = SearchBudget { threads: 1, max_evals: 0 };
+        let step = fingerprint(
+            &plan(&base, &workload, &traffic, target, &space(StepGranularity::PerStep), budget)
+                .unwrap(),
+        );
+        let coalesced = fingerprint(
+            &plan(&base, &workload, &traffic, target, &space(StepGranularity::Coalesced), budget)
+                .unwrap(),
+        );
+        prop_assert_eq!(&coalesced, &step, "granularity changed the plan report");
     }
 }
 
@@ -205,6 +246,7 @@ fn planner_finds_minimal_feasible_cluster() {
         ],
         admissions: vec![AdmissionPolicy::AcceptAll],
         continuous: false,
+        granularity: StepGranularity::default(),
         probe_requests: 10,
     };
     let traffic = TrafficSpec::new(0.2, 30, 7)
@@ -250,6 +292,7 @@ fn plan_survives_unreachable_targets() {
         schedulers: vec![SchedulerKind::JoinShortestQueue],
         admissions: vec![AdmissionPolicy::AcceptAll],
         continuous: false,
+        granularity: StepGranularity::default(),
         probe_requests: 6,
     };
     let traffic = TrafficSpec::new(0.5, 20, 11)
