@@ -28,12 +28,14 @@ use std::time::Instant;
 use bench::{print_table, section};
 use helm_core::exec::RecordMode;
 use helm_core::online::{
-    run_cluster_mix, ClusterReport, ClusterSpec, PoissonArrivals, StepGranularity,
+    run_cluster_mix, run_cluster_mix_traced, CalibrationCache, ClusterReport, ClusterSpec,
+    PoissonArrivals, StepGranularity,
 };
 use helm_core::placement::PlacementKind;
 use helm_core::policy::Policy;
 use helm_core::server::Server;
 use helm_core::system::SystemConfig;
+use helm_core::trace::validate_chrome_trace;
 use hetmem::HostMemoryConfig;
 use llm::ModelConfig;
 use simcore::queue::QueueBackend;
@@ -320,6 +322,93 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .into());
     }
+
+    section("tracing axis: span collection on vs off at n = 1e4");
+    // Tracing is a side channel: the traced run must produce a
+    // byte-identical report (attribution is computed unconditionally;
+    // only the span trees ride the extra channel), and the untraced
+    // path — the one the events/s floor above gates — must not pay
+    // for spans it never collects. The collected trace is validated
+    // structurally and through the chrome-trace rendering, the same
+    // checks `helmsim trace-validate` runs on exported files.
+    let trace_n = volumes[0];
+    let untraced = run_tier(
+        groups,
+        &workload,
+        trace_n,
+        QueueBackend::Calendar,
+        RecordMode::Aggregate,
+        StepGranularity::default(),
+        false,
+    )?;
+    let spec = ClusterSpec::new(1)
+        .with_scheduler(helm_core::online::SchedulerKind::JoinShortestQueue)
+        .with_record(RecordMode::Aggregate)
+        .with_backend(QueueBackend::Calendar);
+    let mut arrivals = PoissonArrivals::new(ARRIVAL_RATE, 4242);
+    let traced_started = Instant::now();
+    let (traced_report, trace) = run_cluster_mix_traced(
+        groups,
+        &workload,
+        &mut arrivals,
+        trace_n,
+        spec,
+        &mut CalibrationCache::new(),
+    )?;
+    let traced_wall_s = traced_started.elapsed().as_secs_f64();
+    if format!("{:?}", untraced.report) != format!("{:?}", traced_report) {
+        return Err(format!("tracing changed the report at n={trace_n}").into());
+    }
+    trace
+        .validate()
+        .map_err(|(id, e)| format!("request {id}: malformed span tree: {e}"))?;
+    let chrome = trace.to_chrome_json();
+    let chrome_stats = validate_chrome_trace(&chrome)
+        .map_err(|e| format!("exported chrome trace invalid: {e}"))?;
+    let trace_overhead = traced_wall_s / untraced.wall_s;
+    print_table(
+        &["axis", "wall(ms)", "spans", "events", "requests/s"],
+        &[
+            (
+                "untraced".to_string(),
+                vec![
+                    untraced.wall_s * 1000.0,
+                    0.0,
+                    untraced.report.events as f64,
+                    trace_n as f64 / untraced.wall_s,
+                ],
+            ),
+            (
+                "traced".to_string(),
+                vec![
+                    traced_wall_s * 1000.0,
+                    trace.span_count() as f64,
+                    traced_report.events as f64,
+                    trace_n as f64 / traced_wall_s,
+                ],
+            ),
+        ],
+    );
+    let trace_json = format!(
+        "{{\n  \"model\": \"{}\",\n  \"memory\": \"{}\",\n  \"num_requests\": {trace_n},\n  \
+         \"untraced_wall_s\": {:.3},\n  \"traced_wall_s\": {:.3},\n  \
+         \"traced_over_untraced\": {:.2},\n  \"requests_traced\": {},\n  \
+         \"span_count\": {},\n  \"reports_identical\": true,\n  \
+         \"chrome_trace_events\": {},\n  \"chrome_trace_tracks\": {},\n  \
+         \"nesting_valid\": true\n}}\n",
+        model.name(),
+        memory.kind(),
+        untraced.wall_s,
+        traced_wall_s,
+        trace_overhead,
+        trace.requests.len(),
+        trace.span_count(),
+        chrome_stats.events,
+        chrome_stats.tracks,
+    );
+    std::fs::create_dir_all("output")?;
+    std::fs::write("output/BENCH_trace.json", &trace_json)?;
+    println!("\nwrote output/BENCH_trace.json");
 
     let tier_json: Vec<String> = tiers
         .iter()

@@ -33,6 +33,7 @@ const SERVE_FLAGS: &[&str] = &[
     "admission",
     "slo-ms",
     "format",
+    "trace-out",
 ];
 
 struct Session {
@@ -47,6 +48,21 @@ fn wants_json(args: &Args) -> Result<bool, ArgError> {
         "json" => Ok(true),
         other => Err(ArgError(format!("unknown format '{other}'; text|json"))),
     }
+}
+
+/// Writes a collected trace as chrome-trace JSON; in text mode also
+/// says where it went.
+fn write_trace(path: &str, trace: &helm_core::trace::Trace, json: bool) -> Result<(), ArgError> {
+    std::fs::write(path, trace.to_chrome_json())
+        .map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+    if !json {
+        println!(
+            "trace: wrote {} span(s) over {} request(s) to {path}",
+            trace.span_count(),
+            trace.requests.len()
+        );
+    }
+    Ok(())
 }
 
 fn session(args: &Args) -> Result<Session, ArgError> {
@@ -83,13 +99,26 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
     }
     let json = wants_json(args)?;
     let Session { server, workload } = session(args)?;
-    let report = server.run(&workload).map_err(|e| ArgError(e.to_string()))?;
+    // Span collection composes with the normal run: the traced report
+    // is byte-identical, so the printed numbers never depend on
+    // whether a trace was requested.
+    let report = match args.get("trace-out") {
+        Some(path) => {
+            let (report, trace) = server
+                .run_traced(&workload)
+                .map_err(|e| ArgError(e.to_string()))?;
+            write_trace(path, &trace, json)?;
+            report
+        }
+        None => server.run(&workload).map_err(|e| ArgError(e.to_string()))?,
+    };
     let [disk, cpu, gpu] = report.achieved_distribution;
     if json {
         println!(
             "{{\"model\":\"{}\",\"memory\":\"{}\",\"placement\":\"{}\",\"batch\":{},\
              \"ttft_ms\":{:.3},\"tbt_ms\":{:.3},\"throughput_tps\":{:.6},\
              \"h2d_bytes\":{},\"d2h_bytes\":{},\
+             \"compute_frac\":{:.6},\"transfer_frac\":{:.6},\
              \"weights_pct\":{{\"disk\":{disk:.3},\"cpu\":{cpu:.3},\"gpu\":{gpu:.3}}}}}",
             server.model().name(),
             server.system().memory().kind(),
@@ -100,6 +129,8 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
             report.throughput_tps(),
             report.total_h2d_bytes().as_u64(),
             report.total_d2h_bytes().as_u64(),
+            report.attribution.compute_fraction(),
+            report.attribution.transfer_fraction(),
         );
     } else {
         println!("{}", report.summary());
@@ -109,6 +140,11 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
         println!("  H2D traffic : {:>12}", report.total_h2d_bytes());
         println!("  D2H traffic : {:>12}", report.total_d2h_bytes());
         println!("  weights     : disk {disk:.1}% / cpu {cpu:.1}% / gpu {gpu:.1}%");
+        println!(
+            "  crit. path  : compute {:.1}% / transfer {:.1}%",
+            report.attribution.compute_fraction() * 100.0,
+            report.attribution.transfer_fraction() * 100.0
+        );
         if let Some(audit) = &report.audit {
             for line in audit.to_string().lines() {
                 println!("  {line}");
@@ -179,8 +215,9 @@ fn parse_mix(spec: &str) -> Result<Vec<MixGroup>, ArgError> {
 /// under Poisson load, with optional deadlines and admission control.
 fn serve_online(args: &Args) -> Result<(), ArgError> {
     use helm_core::online::{
-        run_cluster, run_cluster_mix, AdmissionPolicy, ClusterSpec, DeadlineSpec, PoissonArrivals,
-        SchedulerKind, StepGranularity,
+        run_cluster, run_cluster_mix, run_cluster_mix_traced, run_cluster_traced, AdmissionPolicy,
+        CalibrationCache, ClusterSpec, DeadlineSpec, PoissonArrivals, SchedulerKind,
+        StepGranularity,
     };
     use simcore::time::SimDuration;
 
@@ -234,6 +271,7 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
     let seed = args.get_num("seed", 42u64)?;
     let mut arrivals = PoissonArrivals::new(lambda, seed);
 
+    let trace_out = args.get("trace-out");
     let (report, cluster_size) = match &mix {
         Some(groups) => {
             let servers = groups
@@ -249,13 +287,39 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
                 .zip(groups.iter())
                 .map(|(s, g)| (s, g.count))
                 .collect();
-            let report = run_cluster_mix(&refs, &workload, &mut arrivals, requests, spec)
-                .map_err(|e| ArgError(e.to_string()))?;
+            // As offline: the traced report is byte-identical, so
+            // `--trace-out` never perturbs what gets printed.
+            let report = match trace_out {
+                Some(path) => {
+                    let (report, trace) = run_cluster_mix_traced(
+                        &refs,
+                        &workload,
+                        &mut arrivals,
+                        requests,
+                        spec,
+                        &mut CalibrationCache::new(),
+                    )
+                    .map_err(|e| ArgError(e.to_string()))?;
+                    write_trace(path, &trace, json)?;
+                    report
+                }
+                None => run_cluster_mix(&refs, &workload, &mut arrivals, requests, spec)
+                    .map_err(|e| ArgError(e.to_string()))?,
+            };
             (report, groups.iter().map(|g| g.count).sum::<usize>())
         }
         None => {
-            let report = run_cluster(&server, &workload, &mut arrivals, requests, spec)
-                .map_err(|e| ArgError(e.to_string()))?;
+            let report = match trace_out {
+                Some(path) => {
+                    let (report, trace) =
+                        run_cluster_traced(&server, &workload, &mut arrivals, requests, spec)
+                            .map_err(|e| ArgError(e.to_string()))?;
+                    write_trace(path, &trace, json)?;
+                    report
+                }
+                None => run_cluster(&server, &workload, &mut arrivals, requests, spec)
+                    .map_err(|e| ArgError(e.to_string()))?,
+            };
             (report, pipelines)
         }
     };
@@ -304,7 +368,9 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
              \"served\":{},\"rejected\":{},\"expired\":{},\"met\":{},\"slo_violations\":{},\
              \"attainment\":{:.6},\"makespan_s\":{:.6},\"queue_delay_ms_mean\":{:.3},\
              \"e2e_p50_ms\":{:.3},\"e2e_p95_ms\":{:.3},\"tokens_per_s\":{:.6},\
-             \"tokens_per_s_met\":{:.6},\"utilization\":{:.6},\"pipelines\":[{}]}}",
+             \"tokens_per_s_met\":{:.6},\"utilization\":{:.6},\
+             \"queue_frac\":{:.6},\"compute_frac\":{:.6},\"transfer_frac\":{:.6},\
+             \"pipelines\":[{}]}}",
             server.model().name(),
             server.system().memory().kind(),
             spec.scheduler.as_str(),
@@ -325,6 +391,9 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
             report.tokens_per_s,
             report.tokens_per_s_met,
             report.utilization,
+            report.attribution.queue_fraction(),
+            report.attribution.compute_fraction(),
+            report.attribution.transfer_fraction(),
             pipes.join(",")
         );
         return Ok(());
@@ -392,6 +461,12 @@ fn serve_online(args: &Args) -> Result<(), ArgError> {
         );
     }
     println!("  utilization : {:>12.3}", report.utilization);
+    println!(
+        "  crit. path  : queue {:.1}% / compute {:.1}% / transfer {:.1}%",
+        report.attribution.queue_fraction() * 100.0,
+        report.attribution.compute_fraction() * 100.0,
+        report.attribution.transfer_fraction() * 100.0
+    );
     for (i, p) in report.per_pipeline.iter().enumerate() {
         println!(
             "  pipe{i:<7} : cfg {} served {:>4}, rejected {:>3}, expired {:>3}, {} batches, busy {:.1} s, util {:.3}",
@@ -579,6 +654,14 @@ pub fn plan(args: &Args) -> Result<(), ArgError> {
         budget,
     )
     .map_err(|e| ArgError(e.to_string()))?;
+    if let Some(path) = args.get("trace-out") {
+        // Replays the chosen configuration's confirmation run with
+        // span collection on (the replay is deterministic in the
+        // traffic seed, so it reproduces the judged run exactly).
+        let (_, trace) = planner::replay_plan_traced(&server, &workload, &traffic, &space, &report)
+            .map_err(|e| ArgError(e.to_string()))?;
+        write_trace(path, &trace, json)?;
+    }
 
     if json {
         let groups: Vec<String> = report
@@ -599,7 +682,8 @@ pub fn plan(args: &Args) -> Result<(), ArgError> {
              \"total_replicas\":{},\"scheduler\":\"{}\",\"admission\":\"{}\",\
              \"groups\":[{}],\"candidates\":{},\"evaluated\":{},\"pruned\":{},\
              \"confirmations\":{},\"calibrations\":{},\"probe_requests\":{},\
-             \"granularity\":\"{}\",\"wall_ms\":{:.3},\"confirm_wall_ms\":{:.3}}}",
+             \"granularity\":\"{}\",\"wall_ms\":{:.3},\"confirm_wall_ms\":{:.3},\
+             \"queue_frac\":{:.6},\"compute_frac\":{:.6},\"transfer_frac\":{:.6}}}",
             server.model().name(),
             server.system().memory().kind(),
             report.feasible,
@@ -617,7 +701,10 @@ pub fn plan(args: &Args) -> Result<(), ArgError> {
             report.probe_requests,
             space.granularity.as_str(),
             report.stats.wall_ms,
-            report.confirm_wall_ms
+            report.confirm_wall_ms,
+            report.attribution.queue_fraction(),
+            report.attribution.compute_fraction(),
+            report.attribution.transfer_fraction()
         );
         return Ok(());
     }
@@ -674,6 +761,12 @@ pub fn plan(args: &Args) -> Result<(), ArgError> {
     println!(
         "  confirms    : {} full-length run(s) in {:.1} ms ({} events), {} calibration(s)",
         report.confirmations, report.confirm_wall_ms, space.granularity, report.calibrations
+    );
+    println!(
+        "  crit. path  : queue {:.1}% / compute {:.1}% / transfer {:.1}%",
+        report.attribution.queue_fraction() * 100.0,
+        report.attribution.compute_fraction() * 100.0,
+        report.attribution.transfer_fraction() * 100.0
     );
     if let Some(audit) = &report.confirmed.audit {
         for line in audit.to_string().lines() {
@@ -863,6 +956,27 @@ fn reconstruct_flags(args: &Args, except: &[&str]) -> Vec<String> {
         }
     }
     out
+}
+
+/// `helmsim trace-validate --file trace.json`: checks that an
+/// exported chrome-trace file parses, that every event is a complete
+/// `"X"` span with finite non-negative timestamps, and that spans on
+/// each `(pid, tid)` track nest without overlap — the structural
+/// contract CI holds `--trace-out` output to.
+pub fn trace_validate(args: &Args) -> Result<(), ArgError> {
+    args.reject_unknown(&["file"])?;
+    let path = args
+        .get("file")
+        .ok_or_else(|| ArgError("trace-validate needs --file <trace.json>".to_owned()))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+    let stats = helm_core::trace::validate_chrome_trace(&text)
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+    println!(
+        "{path}: ok — {} event(s) across {} track(s), all nested",
+        stats.events, stats.tracks
+    );
+    Ok(())
 }
 
 /// `helmsim list`.

@@ -35,6 +35,7 @@ COMMANDS:
   explain     per-layer kernel plan + transfer costing breakdown
   sweep       one-axis sweep (--axis batch|prompt|cxl)
   probe       platform characterization (--what bandwidth|mlc)
+  trace-validate  check an exported chrome-trace file (--file)
   list        show accepted model/memory/placement names
   help        this message
 
@@ -49,6 +50,8 @@ COMMON FLAGS:
   --prompt <n>          input tokens (default 128)
   --gen <n>             output tokens (default 21)
   --csv <path>          also write the per-step timeline as CSV
+  --trace-out <path>    serve/plan: export request span trees as
+                        chrome-trace JSON (load in a trace viewer)
   --pipelines <n>       serve online through n pipeline replicas
   --scheduler <s>       cluster dispatch: rr|jsq (default rr)
   --continuous          admit requests at decode-step boundaries
@@ -96,6 +99,7 @@ fn main() -> ExitCode {
         "probe" => commands::probe(&parsed),
         "explain" => commands::explain(&parsed),
         "sweep" => commands::sweep(&parsed),
+        "trace-validate" => commands::trace_validate(&parsed),
         "list" => commands::list(&parsed),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

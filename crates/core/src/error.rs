@@ -44,6 +44,10 @@ pub enum HelmError {
     /// (scheduling into the past, a queue-order violation, an
     /// unregistered span).
     Simulation(SimError),
+    /// A run or plan was asked for with degenerate inputs (an empty
+    /// pipeline mix, a zero-request calibration probe) that admit no
+    /// meaningful report.
+    InvalidConfig(&'static str),
 }
 
 impl From<UnitError> for HelmError {
@@ -92,6 +96,7 @@ impl fmt::Display for HelmError {
                 write!(f, "the {tier} tier is not available on this platform")
             }
             HelmError::Simulation(e) => write!(f, "simulation fault: {e}"),
+            HelmError::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
         }
     }
 }

@@ -21,6 +21,7 @@ use crate::metrics::{LayerStepRecord, RunReport, Stage, StepTotals};
 use crate::placement::{LayerPlacement, ModelPlacement, Tier};
 use crate::policy::Policy;
 use crate::system::SystemConfig;
+use crate::trace::{Attribution, RequestTrace, Trace};
 use gpusim::{GpuSpec, KernelProfile};
 use llm::layers::{Layer, LayerKind};
 use llm::weights::{DType, WeightKind};
@@ -28,6 +29,7 @@ use llm::ModelConfig;
 use simaudit::Auditor;
 use simcore::stats::SeriesStats;
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace::{duration_ticks, time_ticks, TraceSpan};
 use simcore::units::{Bandwidth, ByteSize};
 use workload::WorkloadSpec;
 use xfer::link::CappedLink;
@@ -359,6 +361,51 @@ impl LayerCostTable {
     }
 }
 
+/// Streaming critical-path attribution for the offline executors.
+///
+/// Each closed pipeline segment — the fill, then one entry per
+/// `max(compute, load, writeback) + sync` step — ends at a boundary
+/// quantized onto the tick lattice; the segment is the difference of
+/// consecutive boundaries, so the buckets telescope to the total
+/// exactly. The tracker reads only durations the executor already
+/// computed, so running it unconditionally perturbs nothing.
+#[derive(Default)]
+pub(crate) struct StepAttribution {
+    att: Attribution,
+    pub(crate) prev: u64,
+}
+
+impl StepAttribution {
+    /// Closes the segment ending at `elapsed`; returns its tick
+    /// bounds for span emission.
+    pub(crate) fn close(&mut self, elapsed: SimDuration, transfer_bound: bool) -> (u64, u64) {
+        self.close_ticks(duration_ticks(elapsed), transfer_bound)
+    }
+
+    /// [`StepAttribution::close`] against an absolute instant (the
+    /// DES executor tracks `SimTime`, not elapsed durations).
+    pub(crate) fn close_at(&mut self, at: SimTime, transfer_bound: bool) -> (u64, u64) {
+        self.close_ticks(time_ticks(at), transfer_bound)
+    }
+
+    fn close_ticks(&mut self, now: u64, transfer_bound: bool) -> (u64, u64) {
+        let seg = u128::from(now - self.prev);
+        if transfer_bound {
+            self.att.transfer_ticks += seg;
+        } else {
+            self.att.compute_ticks += seg;
+        }
+        let start = self.prev;
+        self.prev = now;
+        (start, now)
+    }
+
+    pub(crate) fn finish(mut self) -> Attribution {
+        self.att.total_ticks = u128::from(self.prev);
+        self.att
+    }
+}
+
 /// Runs the full prefill + decode pipeline and reports metrics,
 /// keeping full step records. Builds a [`LayerCostTable`] internally;
 /// callers evaluating one configuration many times (or wanting
@@ -377,7 +424,7 @@ pub fn run_pipeline(inp: &PipelineInputs<'_>) -> Result<RunReport, HelmError> {
 /// [`run_pipeline`] over a prebuilt [`LayerCostTable`] with an
 /// explicit [`RecordMode`] — the memoized hot path. Every reported
 /// aggregate (TTFT, TBT samples, total time, traffic totals, audit
-/// ledgers) is bit-identical to the seed evaluator
+/// ledgers, attribution) is bit-identical to the seed evaluator
 /// ([`run_pipeline_reference`]); under [`RecordMode::Full`] the step
 /// records are too.
 ///
@@ -388,6 +435,34 @@ pub fn run_pipeline_with(
     inp: &PipelineInputs<'_>,
     table: &LayerCostTable,
     mode: RecordMode,
+) -> Result<RunReport, HelmError> {
+    run_pipeline_inner(inp, table, mode, None)
+}
+
+/// [`run_pipeline_with`] that additionally collects the batch's span
+/// tree (the whole offline batch is one request track: fill →
+/// prefill → per-token decode, each step classified compute- or
+/// transfer-bound). The returned report is byte-identical to the
+/// untraced run — spans travel on the side channel only.
+///
+/// # Errors
+///
+/// Returns [`HelmError::TierUnavailable`] as [`run_pipeline`] does.
+pub fn run_pipeline_traced(
+    inp: &PipelineInputs<'_>,
+    table: &LayerCostTable,
+    mode: RecordMode,
+) -> Result<(RunReport, Trace), HelmError> {
+    let mut trace = Trace::default();
+    let report = run_pipeline_inner(inp, table, mode, Some(&mut trace))?;
+    Ok((report, trace))
+}
+
+fn run_pipeline_inner(
+    inp: &PipelineInputs<'_>,
+    table: &LayerCostTable,
+    mode: RecordMode,
+    trace: Option<&mut Trace>,
 ) -> Result<RunReport, HelmError> {
     let num_layers = table.num_layers();
     let gen_len = inp.workload.gen_len;
@@ -411,10 +486,32 @@ pub fn run_pipeline_with(
     let micro = inp.policy.num_gpu_batches();
     let effective_batch = inp.policy.effective_batch();
 
+    let mut att = StepAttribution::default();
+    let mut spans: Option<Vec<TraceSpan>> = trace.is_some().then(|| {
+        let mut s = Vec::with_capacity(2 + gen_len * (num_layers + 1));
+        // Root placeholder; its end is patched once the run closes.
+        s.push(TraceSpan {
+            name: "request",
+            depth: 0,
+            start: 0,
+            end: 0,
+        });
+        s
+    });
+
     // Pipeline fill: the first layer's weights stream before any
     // compute can overlap them.
     elapsed += table.load(0);
     table.audit_weight_traffic(&mut audit, 0);
+    let (fill_start, fill_end) = att.close(elapsed, true);
+    if let Some(s) = spans.as_mut() {
+        s.push(TraceSpan {
+            name: "fill",
+            depth: 1,
+            start: fill_start,
+            end: fill_end,
+        });
+    }
 
     for token in 0..gen_len {
         let stage = if token == 0 {
@@ -423,6 +520,15 @@ pub fn run_pipeline_with(
             Stage::Decode
         };
         let token_start = elapsed;
+        let token_span = spans.as_mut().map(|s| {
+            s.push(TraceSpan {
+                name: if token == 0 { "prefill" } else { "decode" },
+                depth: 1,
+                start: att.prev,
+                end: att.prev,
+            });
+            s.len() - 1
+        });
         for j in 0..num_layers {
             let last_step = token + 1 == gen_len && j + 1 == num_layers;
             let next_index = (j + 1) % num_layers;
@@ -492,12 +598,41 @@ pub fn run_pipeline_with(
             }
             elapsed += step;
             audit.observe_time("analytic", SimTime::ZERO + elapsed);
+            let transfer_bound = load.max(writeback) > compute;
+            let (seg_start, seg_end) = att.close(elapsed, transfer_bound);
+            if let Some(s) = spans.as_mut() {
+                s.push(TraceSpan {
+                    name: if transfer_bound {
+                        "transfer"
+                    } else {
+                        "compute"
+                    },
+                    depth: 2,
+                    start: seg_start,
+                    end: seg_end,
+                });
+            }
+        }
+        if let (Some(s), Some(ti)) = (spans.as_mut(), token_span) {
+            s[ti].end = att.prev;
         }
         if token == 0 {
             ttft = elapsed;
         } else {
             tbt.add((elapsed - token_start).as_secs());
         }
+    }
+
+    let root_end = att.prev;
+    let attribution = att.finish();
+    if let (Some(out), Some(mut s)) = (trace, spans) {
+        s[0].end = root_end;
+        out.requests.push(RequestTrace {
+            id: out.requests.len() as u64,
+            pipe: 0,
+            spans: s,
+            attribution,
+        });
     }
 
     Ok(RunReport {
@@ -513,6 +648,7 @@ pub fn run_pipeline_with(
         records,
         totals,
         achieved_distribution: inp.placement.achieved_distribution(),
+        attribution,
         audit: audit.finish_if_active(),
     })
 }
@@ -547,6 +683,8 @@ pub fn run_pipeline_reference(inp: &PipelineInputs<'_>) -> Result<RunReport, Hel
     // compute can overlap them.
     elapsed += load_time(inp, &layers[0], cpu_ws, disk_ws)?;
     audit_weight_traffic(&mut audit, &layers[0], dtype);
+    let mut att = StepAttribution::default();
+    att.close(elapsed, true);
 
     for token in 0..gen_len {
         let stage = if token == 0 {
@@ -638,6 +776,7 @@ pub fn run_pipeline_reference(inp: &PipelineInputs<'_>) -> Result<RunReport, Hel
             });
             elapsed += step;
             audit.observe_time("analytic", SimTime::ZERO + elapsed);
+            att.close(elapsed, load.max(writeback) > compute);
         }
         if token == 0 {
             ttft = elapsed;
@@ -659,6 +798,7 @@ pub fn run_pipeline_reference(inp: &PipelineInputs<'_>) -> Result<RunReport, Hel
         totals: StepTotals::from_records(&records),
         records,
         achieved_distribution: inp.placement.achieved_distribution(),
+        attribution: att.finish(),
         audit: audit.finish_if_active(),
     })
 }

@@ -20,7 +20,7 @@
 use crate::error::HelmError;
 use crate::exec::{
     audit_placement_feasibility, tier_name, LayerCostTable, PipelineInputs, RecordMode,
-    SYNC_OVERHEAD,
+    StepAttribution, SYNC_OVERHEAD,
 };
 use crate::metrics::{LayerStepRecord, RunReport, Stage, StepTotals};
 use crate::placement::Tier;
@@ -122,6 +122,8 @@ pub fn run_pipeline_des_with(
 
     // Pipeline fill: layer 0's weights stream alone.
     now = drain(&mut h2d, &mut audit, now, table.weight_flows(0));
+    let mut att = StepAttribution::default();
+    att.close_at(now, true);
 
     for token in 0..gen_len {
         let stage = if token == 0 {
@@ -197,6 +199,7 @@ pub fn run_pipeline_des_with(
             }
 
             now = compute_done.max(load_done).max(stall_until) + SYNC_OVERHEAD;
+            att.close_at(now, load_done.max(stall_until) > compute_done);
             audit.check_duration("compute", compute);
             audit.observe_time("des", now);
             totals.record(compute, h2d_bytes, d2h_bytes);
@@ -225,6 +228,7 @@ pub fn run_pipeline_des_with(
     // The final write-back must drain before the run is complete.
     if let Some(done) = writeback_done {
         now = now.max(done);
+        att.close_at(now, true);
     }
 
     Ok(RunReport {
@@ -240,6 +244,7 @@ pub fn run_pipeline_des_with(
         totals,
         records,
         achieved_distribution: inp.placement.achieved_distribution(),
+        attribution: att.finish(),
         audit: audit.finish_if_active(),
     })
 }

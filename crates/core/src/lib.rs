@@ -60,6 +60,7 @@ pub mod policy;
 pub mod projection;
 pub mod server;
 pub mod system;
+pub mod trace;
 
 pub use error::HelmError;
 pub use metrics::RunReport;
@@ -67,3 +68,4 @@ pub use placement::{ModelPlacement, PlacementKind, Tier};
 pub use policy::Policy;
 pub use server::Server;
 pub use system::SystemConfig;
+pub use trace::{Attribution, RequestTrace, Trace, TraceMode};

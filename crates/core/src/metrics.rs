@@ -2,6 +2,7 @@
 //! behind the paper's overlap analysis (§III-C).
 
 use crate::placement::PlacementKind;
+use crate::trace::Attribution;
 use llm::layers::LayerKind;
 use simcore::stats::SeriesStats;
 use simcore::time::SimDuration;
@@ -134,6 +135,10 @@ pub struct RunReport {
     pub totals: StepTotals,
     /// Achieved (disk, cpu, gpu) weight distribution.
     pub achieved_distribution: [f64; 3],
+    /// Exact critical-path attribution of the run: compute-bound vs
+    /// transfer-bound ticks partitioning the total wall-clock
+    /// (offline runs never queue, so `queue_ticks == 0`).
+    pub attribution: Attribution,
     /// Invariant-audit outcome, when auditing was active for the run
     /// (debug builds, or `--audit`): byte-conservation ledgers per
     /// transfer channel plus any violations observed.
@@ -416,6 +421,7 @@ mod tests {
             totals: StepTotals::from_records(&records),
             records,
             achieved_distribution: [0.0, 91.7, 8.3],
+            attribution: Attribution::default(),
             audit: None,
         }
     }

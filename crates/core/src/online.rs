@@ -47,11 +47,13 @@
 use crate::error::HelmError;
 use crate::exec::RecordMode;
 use crate::server::Server;
+use crate::trace::{Attribution, RequestTrace, Trace, TraceMode};
 use simaudit::{AuditReport, Auditor};
 use simcore::engine::{Context, Simulator, SpanId};
 use simcore::rng::SimRng;
 use simcore::stats::{Accumulator, Reservoir, SeriesStats};
 use simcore::time::{SimDuration, SimTime};
+use simcore::trace::{time_ticks, TraceSpan};
 use simcore::QueueBackend;
 use std::collections::VecDeque;
 use workload::WorkloadSpec;
@@ -137,6 +139,10 @@ pub struct ServiceModel {
     /// Batch-1 / batch-max mean decode-step time, seconds.
     tbt1: f64,
     tbtn: f64,
+    /// Batch-1 / batch-max transfer-bound fraction of the calibration
+    /// run, from the pipeline's exact critical-path attribution.
+    xfer1: f64,
+    xfern: f64,
 }
 
 impl ServiceModel {
@@ -175,6 +181,8 @@ impl ServiceModel {
             ttftn: full.ttft.as_secs(),
             tbt1: single.mean_tbt().as_secs(),
             tbtn: full.mean_tbt().as_secs(),
+            xfer1: single.attribution.transfer_fraction(),
+            xfern: full.attribution.transfer_fraction(),
         })
     }
 
@@ -225,6 +233,17 @@ impl ServiceModel {
             return SimDuration::from_secs(self.tbtn);
         }
         SimDuration::from_secs(self.lerp(batch, self.tbt1, self.tbtn))
+    }
+
+    /// Transfer-bound fraction of a batch's service time, lerped
+    /// between the two calibration runs' exact pipeline attributions
+    /// — how cluster-level service time is split into compute- and
+    /// transfer-bound buckets.
+    pub fn transfer_share(&self, batch: u32) -> f64 {
+        if self.max_batch <= 1 {
+            return self.xfern;
+        }
+        self.lerp(batch, self.xfer1, self.xfern)
     }
 }
 
@@ -634,6 +653,11 @@ pub struct ClusterSpec {
     /// queue event per batch/step completion. Reports are
     /// byte-identical either way; only speed differs.
     pub granularity: StepGranularity,
+    /// Span collection: [`TraceMode::Spans`] records a per-request
+    /// span tree (retrieved via the `*_traced` entry points). Reports
+    /// are byte-identical either way — attribution is always
+    /// computed; only the side-channel span trees are optional.
+    pub trace: TraceMode,
 }
 
 impl ClusterSpec {
@@ -654,6 +678,7 @@ impl ClusterSpec {
             record: RecordMode::Full,
             backend: QueueBackend::default(),
             granularity: StepGranularity::default(),
+            trace: TraceMode::default(),
         }
     }
 
@@ -703,6 +728,13 @@ impl ClusterSpec {
     #[must_use]
     pub fn with_granularity(mut self, granularity: StepGranularity) -> Self {
         self.granularity = granularity;
+        self
+    }
+
+    /// Replaces the span-collection mode.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -861,6 +893,11 @@ pub struct ClusterReport {
     pub tokens_per_s_met: f64,
     /// Per-pipeline breakdown, indexed by pipeline.
     pub per_pipeline: Vec<PipelineStats>,
+    /// Aggregate critical-path attribution over all served requests:
+    /// queue-bound vs compute-bound vs transfer-bound ticks, exact
+    /// (`sum(buckets) == total` as a `u64` equality). Identical
+    /// across granularities, backends, and [`TraceMode`]s.
+    pub attribution: Attribution,
     /// Conservation audit, when auditing is enabled (debug builds or
     /// [`simaudit::force_enable`]).
     pub audit: Option<AuditReport>,
@@ -1056,11 +1093,14 @@ fn busy_fraction(
     }
 }
 
-/// One request in flight through the cluster: its arrival instant and
-/// optional absolute completion deadline.
+/// One request in flight through the cluster: its arrival instant,
+/// the instant it was admitted into a batch/step (set at admission;
+/// equal to `at` until then), and optional absolute completion
+/// deadline.
 #[derive(Debug, Clone, Copy)]
 struct Req {
     at: SimTime,
+    admitted: SimTime,
     deadline: Option<SimTime>,
 }
 
@@ -1144,6 +1184,11 @@ struct ClusterSt {
     last_completion: SimTime,
     slo_violations: u64,
     met: u64,
+    /// Aggregate attribution over completed requests — always
+    /// accumulated, whatever the [`TraceMode`].
+    attribution: Attribution,
+    /// Span collection buffer ([`TraceMode::Spans`] only).
+    trace: Option<Trace>,
     audit: Auditor,
     /// The live arrival process: the chain of arrival events draws
     /// from it lazily, one inter-arrival gap per event.
@@ -1309,7 +1354,7 @@ fn start_batch(st: &mut ClusterSt, p: usize, now: SimTime) -> Option<SimTime> {
     debug_assert!(members.is_empty());
     while members.len() < max_batch as usize {
         match st.pipes[p].queue.pop_front() {
-            Some(req) if req.at <= now => {
+            Some(mut req) if req.at <= now => {
                 if st.scheduler == SchedulerKind::DeadlineAware
                     && infeasible(&req, &st.models[model_idx], now)
                 {
@@ -1318,6 +1363,7 @@ fn start_batch(st: &mut ClusterSt, p: usize, now: SimTime) -> Option<SimTime> {
                     continue;
                 }
                 st.queue_delay.add((now - req.at).as_secs());
+                req.admitted = now;
                 members.push(req);
             }
             Some(req) => {
@@ -1347,17 +1393,114 @@ fn start_batch(st: &mut ClusterSt, p: usize, now: SimTime) -> Option<SimTime> {
     Some(st.pipes[p].free_at)
 }
 
+/// Attribution and (optional) span tree of one completed request.
+///
+/// The three instants the engine already records — arrival,
+/// admission, completion — are quantized onto the tick lattice;
+/// queue is `admitted - arrival`, service is `done - admitted`, and
+/// the service interval is partitioned into transfer- and
+/// compute-bound ticks by the replica model's calibrated transfer
+/// share (transfer rounds, compute takes the integer remainder), so
+/// `queue + compute + transfer == e2e` holds exactly. `batch` is the
+/// batch/active-set size the request completed under.
+fn record_request(st: &mut ClusterSt, p: usize, req: &Req, done: SimTime, batch: u32) {
+    let model = &st.models[st.pipes[p].model];
+    let arrival = time_ticks(req.at);
+    let done_ticks = time_ticks(done);
+    let admitted = time_ticks(req.admitted).clamp(arrival, done_ticks);
+    let service = done_ticks - admitted;
+    let share = model.transfer_share(batch);
+    let transfer = ((service as f64 * share).round() as u64).min(service);
+    let att = Attribution {
+        queue_ticks: u128::from(admitted - arrival),
+        compute_ticks: u128::from(service - transfer),
+        transfer_ticks: u128::from(transfer),
+        total_ticks: u128::from(done_ticks - arrival),
+    };
+    st.attribution.absorb(att);
+    if let Some(trace) = st.trace.as_mut() {
+        let spans = request_spans(model, arrival, admitted, done_ticks, req.admitted, batch);
+        trace.requests.push(RequestTrace {
+            id: trace.requests.len() as u64,
+            pipe: p as u32,
+            spans,
+            attribution: att,
+        });
+    }
+}
+
+/// Synthesizes one request's span tree from the service model's span
+/// arithmetic: queue and service children under the request root,
+/// with per-step prefill/decode boundaries at
+/// `admitted + prefill(b) + k · decode_step(b)`. Both granularities
+/// call this with identical instants — the coalesced engine never
+/// re-runs per-step; it derives the same boundaries the per-step
+/// engine would schedule, so the trees are byte-identical across
+/// granularities by construction. Boundaries are clamped monotone
+/// into the service interval and the final step is pinned to the
+/// completion instant, so the tree always nests.
+fn request_spans(
+    model: &ServiceModel,
+    arrival: u64,
+    admitted: u64,
+    done: u64,
+    admitted_at: SimTime,
+    batch: u32,
+) -> Vec<TraceSpan> {
+    let gen_len = model.gen_len().max(1);
+    let mut spans = Vec::with_capacity(3 + gen_len);
+    spans.push(TraceSpan {
+        name: "request",
+        depth: 0,
+        start: arrival,
+        end: done,
+    });
+    spans.push(TraceSpan {
+        name: "queue",
+        depth: 1,
+        start: arrival,
+        end: admitted,
+    });
+    spans.push(TraceSpan {
+        name: "service",
+        depth: 1,
+        start: admitted,
+        end: done,
+    });
+    let step = model.decode_step(batch);
+    let mut boundary = admitted_at + model.prefill(batch);
+    let mut prev = admitted;
+    for k in 0..gen_len {
+        let end = if k + 1 == gen_len {
+            done
+        } else {
+            time_ticks(boundary).clamp(prev, done)
+        };
+        spans.push(TraceSpan {
+            name: if k == 0 { "prefill" } else { "decode" },
+            depth: 2,
+            start: prev,
+            end,
+        });
+        prev = end;
+        boundary += step;
+    }
+    spans
+}
+
 /// Completion bookkeeping of a run-to-completion batch at `done`.
 /// Returns whether the pipe has queued work to restart on.
 fn complete_batch(st: &mut ClusterSt, p: usize, done: SimTime) -> bool {
     st.audit.observe_time("cluster", done);
     let members = std::mem::take(&mut st.pipes[p].members);
+    let batch = members.len() as u32;
     for req in &members {
         st.e2e.add((done - req.at).as_secs());
         match req.deadline {
             Some(d) if done > d => st.slo_violations += 1,
             _ => st.met += 1,
         }
+        record_request(st, p, req, done, batch);
     }
     st.audit.completed(&st.channels[p], members.len() as u64);
     st.pipes[p].served += members.len() as u64;
@@ -1387,7 +1530,7 @@ fn start_step(st: &mut ClusterSt, p: usize, now: SimTime) -> Option<SimTime> {
     let mut admitted = 0u32;
     while st.pipes[p].active.len() < max_batch as usize {
         match st.pipes[p].queue.pop_front() {
-            Some(req) if req.at <= now => {
+            Some(mut req) if req.at <= now => {
                 if st.scheduler == SchedulerKind::DeadlineAware
                     && infeasible(&req, &st.models[model_idx], now)
                 {
@@ -1396,6 +1539,7 @@ fn start_step(st: &mut ClusterSt, p: usize, now: SimTime) -> Option<SimTime> {
                     continue;
                 }
                 st.queue_delay.add((now - req.at).as_secs());
+                req.admitted = now;
                 st.pipes[p].active.push((req, gen_len));
                 admitted += 1;
             }
@@ -1450,6 +1594,7 @@ fn complete_step(st: &mut ClusterSt, p: usize, done: SimTime) -> bool {
                 Some(d) if done > d => st.slo_violations += 1,
                 _ => st.met += 1,
             }
+            record_request(st, p, &req, done, len as u32);
             finished += 1;
         } else {
             st.pipes[p].active[write] = (req, owed - 1);
@@ -1590,7 +1735,45 @@ pub fn run_cluster(
     let model = ServiceModel::calibrate(server, workload)?;
     let n = spec.pipelines.max(1);
     let pipes = (0..n).map(|_| Pipe::new(0)).collect();
-    run_cluster_engine(vec![model], pipes, workload, arrivals, num_requests, spec)
+    run_cluster_engine(
+        vec![model],
+        pipes,
+        workload,
+        arrivals,
+        num_requests,
+        spec,
+        None,
+    )
+}
+
+/// [`run_cluster`] with span collection forced on: returns the report
+/// together with every served request's span tree. The report is
+/// byte-identical to the untraced run.
+///
+/// # Errors
+///
+/// Propagates batch validation from the underlying [`Server`].
+pub fn run_cluster_traced(
+    server: &Server,
+    workload: &WorkloadSpec,
+    arrivals: &mut PoissonArrivals,
+    num_requests: usize,
+    spec: ClusterSpec,
+) -> Result<(ClusterReport, Trace), HelmError> {
+    let model = ServiceModel::calibrate(server, workload)?;
+    let n = spec.pipelines.max(1);
+    let pipes = (0..n).map(|_| Pipe::new(0)).collect();
+    let mut trace = Trace::default();
+    let report = run_cluster_engine(
+        vec![model],
+        pipes,
+        workload,
+        arrivals,
+        num_requests,
+        spec.with_trace(TraceMode::Spans),
+        Some(&mut trace),
+    )?;
+    Ok((report, trace))
 }
 
 /// Serves `num_requests` Poisson arrivals through a **heterogeneous**
@@ -1609,11 +1792,9 @@ pub fn run_cluster(
 ///
 /// # Errors
 ///
-/// Propagates batch validation from the underlying [`Server`] runs.
-///
-/// # Panics
-///
-/// Panics if the groups contribute no pipeline at all.
+/// Propagates batch validation from the underlying [`Server`] runs;
+/// returns [`HelmError::InvalidConfig`] when the groups contribute no
+/// pipeline at all.
 pub fn run_cluster_mix(
     groups: &[(&Server, usize)],
     workload: &WorkloadSpec,
@@ -1631,6 +1812,45 @@ pub fn run_cluster_mix(
     )
 }
 
+/// [`run_cluster_mix`] with span collection forced on: returns the
+/// report together with every served request's span tree. The report
+/// is byte-identical to the untraced run.
+///
+/// # Errors
+///
+/// Same contract as [`run_cluster_mix`].
+pub fn run_cluster_mix_traced(
+    groups: &[(&Server, usize)],
+    workload: &WorkloadSpec,
+    arrivals: &mut PoissonArrivals,
+    num_requests: usize,
+    spec: ClusterSpec,
+    cache: &mut CalibrationCache,
+) -> Result<(ClusterReport, Trace), HelmError> {
+    let mut models = Vec::with_capacity(groups.len());
+    let mut pipes: Vec<Pipe> = Vec::new();
+    for (g, (server, count)) in groups.iter().enumerate() {
+        models.push(cache.get_or_calibrate(server, workload)?);
+        pipes.extend((0..*count).map(|_| Pipe::new(g)));
+    }
+    if pipes.is_empty() {
+        return Err(HelmError::InvalidConfig(
+            "a cluster mix needs at least one pipeline",
+        ));
+    }
+    let mut trace = Trace::default();
+    let report = run_cluster_engine(
+        models,
+        pipes,
+        workload,
+        arrivals,
+        num_requests,
+        spec.with_trace(TraceMode::Spans),
+        Some(&mut trace),
+    )?;
+    Ok((report, trace))
+}
+
 /// [`run_cluster_mix`] with the calibration memo held by the caller:
 /// repeated runs over mixes drawn from the same replica
 /// configurations (a capacity-planning search, a λ sweep) pay the two
@@ -1641,11 +1861,9 @@ pub fn run_cluster_mix(
 ///
 /// # Errors
 ///
-/// Propagates batch validation from the underlying [`Server`] runs.
-///
-/// # Panics
-///
-/// Panics if the groups contribute no pipeline at all.
+/// Propagates batch validation from the underlying [`Server`] runs;
+/// returns [`HelmError::InvalidConfig`] when the groups contribute no
+/// pipeline at all.
 pub fn run_cluster_mix_cached(
     groups: &[(&Server, usize)],
     workload: &WorkloadSpec,
@@ -1660,11 +1878,12 @@ pub fn run_cluster_mix_cached(
         models.push(cache.get_or_calibrate(server, workload)?);
         pipes.extend((0..*count).map(|_| Pipe::new(g)));
     }
-    assert!(
-        !pipes.is_empty(),
-        "a cluster mix needs at least one pipeline"
-    );
-    run_cluster_engine(models, pipes, workload, arrivals, num_requests, spec)
+    if pipes.is_empty() {
+        return Err(HelmError::InvalidConfig(
+            "a cluster mix needs at least one pipeline",
+        ));
+    }
+    run_cluster_engine(models, pipes, workload, arrivals, num_requests, spec, None)
 }
 
 /// One arrival landing in the cluster (the registered arrival-span
@@ -1723,7 +1942,15 @@ fn schedule_next_arrival(ctx: &mut Context<ClusterSt>, st: &mut ClusterSt, i: us
     let deadline = st.deadliner.next(at);
     let vseq = st.next_vseq;
     st.next_vseq += 1;
-    st.arrival_pending = Some((i, Req { at, deadline }, vseq));
+    st.arrival_pending = Some((
+        i,
+        Req {
+            at,
+            admitted: at,
+            deadline,
+        },
+        vseq,
+    ));
     if let Some(span) = st.arrival_span {
         ctx.schedule_span_at(at, span);
     }
@@ -1739,6 +1966,7 @@ fn run_cluster_engine(
     arrivals: &mut PoissonArrivals,
     num_requests: usize,
     spec: ClusterSpec,
+    trace_out: Option<&mut Trace>,
 ) -> Result<ClusterReport, HelmError> {
     let n = pipes.len();
     let (queue_delay, e2e) = match spec.record {
@@ -1765,6 +1993,8 @@ fn run_cluster_engine(
             last_completion: SimTime::ZERO,
             slo_violations: 0,
             met: 0,
+            attribution: Attribution::default(),
+            trace: spec.trace.enabled().then(Trace::default),
             audit: Auditor::capture(),
             arrivals: arrivals.clone(),
             deadliner: DeadlineAssigner::new(spec.deadlines),
@@ -1797,7 +2027,15 @@ fn run_cluster_engine(
             let deadline = st.deadliner.next(at);
             let vseq = st.next_vseq;
             st.next_vseq += 1;
-            st.arrival_pending = Some((0, Req { at, deadline }, vseq));
+            st.arrival_pending = Some((
+                0,
+                Req {
+                    at,
+                    admitted: at,
+                    deadline,
+                },
+                vseq,
+            ));
             Some(at)
         } else {
             None
@@ -1809,7 +2047,10 @@ fn run_cluster_engine(
     }
     sim.run_until(SimTime::from_secs(f64::MAX));
     let fired = sim.events_fired();
-    let st = sim.run_checked()?;
+    let mut st = sim.run_checked()?;
+    if let (Some(out), Some(collected)) = (trace_out, st.trace.take()) {
+        *out = collected;
+    }
     // `events` is a logical count (arrivals + batch/step completions)
     // so reports compare byte-for-byte across granularities; in
     // per-step mode every logical event is its own queue event, and
@@ -1864,6 +2105,7 @@ fn run_cluster_engine(
         utilization: util_sum / n as f64,
         tokens_per_s: tokens as f64 / secs,
         tokens_per_s_met: tokens_met as f64 / secs,
+        attribution: st.attribution,
         per_pipeline,
         audit: audit.finish_if_active(),
     })
@@ -2420,6 +2662,8 @@ mod tests {
             last_completion: SimTime::ZERO,
             slo_violations: 0,
             met: 0,
+            attribution: Attribution::default(),
+            trace: None,
             audit: Auditor::capture(),
             arrivals: PoissonArrivals::new(1.0, 0),
             deadliner: DeadlineAssigner::new(DeadlineSpec::None),
@@ -2436,6 +2680,7 @@ mod tests {
         let t = SimTime::from_secs;
         let req = |at: f64, d: Option<f64>| Req {
             at: t(at),
+            admitted: t(at),
             deadline: d.map(t),
         };
         push_request(&mut st, 0, req(0.0, None));
@@ -2461,6 +2706,8 @@ mod tests {
             ttftn: 4.0,
             tbt1: 1.0,
             tbtn: 2.0,
+            xfer1: 0.5,
+            xfern: 0.5,
         }
     }
 
@@ -2478,6 +2725,8 @@ mod tests {
             last_completion: SimTime::ZERO,
             slo_violations: 0,
             met: 0,
+            attribution: Attribution::default(),
+            trace: None,
             audit: Auditor::capture(),
             arrivals: PoissonArrivals::new(1.0, 0),
             deadliner: DeadlineAssigner::new(DeadlineSpec::None),
@@ -2513,6 +2762,7 @@ mod tests {
                     0,
                     Req {
                         at: t(0.0),
+                        admitted: t(0.0),
                         deadline: Some(t(100.0)),
                     },
                 );
@@ -2525,6 +2775,7 @@ mod tests {
                     0,
                     Req {
                         at: t(1.0),
+                        admitted: t(1.0),
                         deadline: Some(t(5.0)),
                     },
                 );
@@ -2576,6 +2827,7 @@ mod tests {
                     0,
                     Req {
                         at: t(0.0),
+                        admitted: t(0.0),
                         deadline: None,
                     },
                 );
@@ -2604,6 +2856,7 @@ mod tests {
                         0,
                         Req {
                             at: t(10.0),
+                            admitted: t(10.0),
                             deadline: None,
                         },
                     );
@@ -2651,6 +2904,7 @@ mod tests {
             0,
             Req {
                 at: SimTime::ZERO,
+                admitted: SimTime::ZERO,
                 deadline: None,
             },
         );

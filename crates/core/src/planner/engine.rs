@@ -391,6 +391,7 @@ impl<'a> PlanEngine<'a> {
             groups,
             probe_attainment,
             attainment,
+            attribution: confirmed.attribution,
             confirmed,
             stats,
             candidates: candidates_total,

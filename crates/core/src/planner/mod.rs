@@ -273,6 +273,10 @@ pub struct PlanReport {
     pub confirm_wall_ms: f64,
     /// Requests per screening probe.
     pub probe_requests: usize,
+    /// Critical-path attribution of the confirmation run, aggregated
+    /// over every served request (a copy of
+    /// `confirmed.attribution`, surfaced for report tooling).
+    pub attribution: crate::trace::Attribution,
 }
 
 /// Finds the minimum-resource configuration in `space` meeting
@@ -284,13 +288,10 @@ pub struct PlanReport {
 ///
 /// Propagates placement/batch validation from building the template
 /// servers and simulation errors from the probe and confirmation
-/// runs.
-///
-/// # Panics
-///
-/// Panics when `space` has no templates, no schedulers, no
-/// admissions, or a zero replica cap; when the traffic's arrival rate
-/// is not finite and positive or its request count is zero.
+/// runs. Returns [`HelmError::InvalidConfig`] when `space` has no
+/// templates, no schedulers, no admissions, a zero replica cap, or a
+/// zero probe size; or when the traffic's arrival rate is not finite
+/// and positive or its request count is zero.
 pub fn plan(
     server: &Server,
     workload: &WorkloadSpec,
@@ -299,15 +300,76 @@ pub fn plan(
     space: &PlanSpace,
     budget: SearchBudget,
 ) -> Result<PlanReport, HelmError> {
-    assert!(
-        !space.templates.is_empty() && !space.schedulers.is_empty() && !space.admissions.is_empty(),
-        "a plan space needs at least one template, scheduler, and admission policy"
-    );
-    assert!(space.max_replicas >= 1, "a plan needs at least one replica");
-    assert!(
-        traffic.lambda.is_finite() && traffic.lambda > 0.0,
-        "invalid arrival rate"
-    );
-    assert!(traffic.num_requests >= 1, "a plan needs traffic to serve");
+    if space.templates.is_empty() || space.schedulers.is_empty() || space.admissions.is_empty() {
+        return Err(HelmError::InvalidConfig(
+            "a plan space needs at least one template, scheduler, and admission policy",
+        ));
+    }
+    if space.max_replicas < 1 {
+        return Err(HelmError::InvalidConfig(
+            "a plan needs at least one replica",
+        ));
+    }
+    if space.probe_requests == 0 {
+        return Err(HelmError::InvalidConfig(
+            "a plan needs at least one probe request per candidate",
+        ));
+    }
+    if !(traffic.lambda.is_finite() && traffic.lambda > 0.0) {
+        return Err(HelmError::InvalidConfig(
+            "a plan needs a finite, positive arrival rate",
+        ));
+    }
+    if traffic.num_requests < 1 {
+        return Err(HelmError::InvalidConfig("a plan needs traffic to serve"));
+    }
     engine::PlanEngine::new(server, workload, traffic, target, space, budget).run()
+}
+
+/// Replays a finished plan's chosen configuration with span
+/// collection on, returning the cluster report together with every
+/// served request's span tree. The replay reruns the confirmation
+/// simulation — same arrival seed, same policies, same record mode —
+/// so its report is byte-identical to `report.confirmed` and the
+/// spans describe exactly the run the plan was judged on.
+///
+/// # Errors
+///
+/// Propagates placement/batch validation from rebuilding the group
+/// servers and simulation errors from the replay run.
+pub fn replay_plan_traced(
+    server: &Server,
+    workload: &WorkloadSpec,
+    traffic: &TrafficSpec,
+    space: &PlanSpace,
+    report: &PlanReport,
+) -> Result<(ClusterReport, crate::trace::Trace), HelmError> {
+    use crate::exec::RecordMode;
+    use crate::online::{run_cluster_mix_traced, CalibrationCache, ClusterSpec, PoissonArrivals};
+    let servers = report
+        .groups
+        .iter()
+        .map(|(t, _)| server.reconfigured(t.placement, t.batch))
+        .collect::<Result<Vec<_>, _>>()?;
+    let groups: Vec<(&Server, usize)> = servers
+        .iter()
+        .zip(&report.groups)
+        .map(|(s, (_, count))| (s, *count))
+        .collect();
+    let spec = ClusterSpec::new(1)
+        .with_scheduler(report.chosen.scheduler)
+        .with_admission(report.chosen.admission)
+        .with_deadlines(traffic.deadlines)
+        .with_continuous(space.continuous)
+        .with_granularity(space.granularity)
+        .with_record(RecordMode::Aggregate);
+    let mut arrivals = PoissonArrivals::new(traffic.lambda, traffic.seed);
+    run_cluster_mix_traced(
+        &groups,
+        workload,
+        &mut arrivals,
+        traffic.num_requests,
+        spec,
+        &mut CalibrationCache::new(),
+    )
 }

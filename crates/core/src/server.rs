@@ -1,11 +1,15 @@
 //! The high-level serving entry point.
 
 use crate::error::HelmError;
-use crate::exec::{run_pipeline, run_pipeline_with, LayerCostTable, PipelineInputs, RecordMode};
+use crate::exec::{
+    run_pipeline, run_pipeline_traced, run_pipeline_with, LayerCostTable, PipelineInputs,
+    RecordMode,
+};
 use crate::metrics::RunReport;
 use crate::placement::{ModelPlacement, Tier};
 use crate::policy::Policy;
 use crate::system::SystemConfig;
+use crate::trace::Trace;
 use gpusim::{MemoryBudget, ResidentCosts};
 use llm::ModelConfig;
 use simcore::units::ByteSize;
@@ -228,6 +232,34 @@ impl Server {
     /// [`HelmError::BatchTooLarge`] as for [`Server::run`].
     pub fn run_aggregate(&self, workload: &WorkloadSpec) -> Result<RunReport, HelmError> {
         self.run_mode(workload, RecordMode::Aggregate)
+    }
+
+    /// [`Server::run`] with span collection on: returns the report
+    /// together with every request's span tree (queue wait, weight
+    /// fill, per-token prefill/decode, per-step transfer/compute
+    /// segments). The report is byte-identical to [`Server::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`HelmError::BatchTooLarge`] as for [`Server::run`].
+    pub fn run_traced(&self, workload: &WorkloadSpec) -> Result<(RunReport, Trace), HelmError> {
+        let max = self.max_batch(workload);
+        if self.policy.effective_batch() > max {
+            return Err(HelmError::BatchTooLarge {
+                requested: self.policy.effective_batch(),
+                max_batch: max,
+            });
+        }
+        let placement = self.effective_placement(workload);
+        let inputs = PipelineInputs {
+            system: &self.system,
+            model: &self.model,
+            policy: &self.policy,
+            placement: &placement,
+            workload,
+        };
+        let table = LayerCostTable::build(&inputs)?;
+        run_pipeline_traced(&inputs, &table, RecordMode::Full)
     }
 
     fn run_mode(&self, workload: &WorkloadSpec, mode: RecordMode) -> Result<RunReport, HelmError> {

@@ -20,25 +20,25 @@ use simcore::units::{Bandwidth, ByteSize};
 
 /// Single-stream sequential-read bandwidth for footprints within the
 /// AIT-friendly regime (paper Fig 3a: NVDRAM host-to-GPU plateau).
-pub const SEQ_READ_BASE_GBPS: f64 = 19.91;
+pub const SEQ_READ_BASE: Bandwidth = Bandwidth::from_gb_per_s_const(19.91);
 /// Sequential-read bandwidth at a 32 GB footprint (paper Fig 3a).
-pub const SEQ_READ_32GB_GBPS: f64 = 15.52;
+pub const SEQ_READ_32GB: Bandwidth = Bandwidth::from_gb_per_s_const(15.52);
 /// Footprint up to which reads stay at the base rate (paper Fig 3a).
 pub const READ_KNEE: ByteSize = ByteSize::from_bytes(4_000_000_000);
 /// Footprint of the measured degraded point.
 pub const READ_DEGRADED_POINT: ByteSize = ByteSize::from_bytes(32_000_000_000);
 /// Peak single-stream sequential-write bandwidth (paper Fig 3b:
 /// "maxing out at 3.26 GB/s with a buffer size of 1 GB").
-pub const SEQ_WRITE_PEAK_GBPS: f64 = 3.26;
+pub const SEQ_WRITE_PEAK: Bandwidth = Bandwidth::from_gb_per_s_const(3.26);
 /// Write bandwidth at the smallest measured footprint (256 MB),
 /// before write-combining buffers are warm.
-pub const SEQ_WRITE_256MB_GBPS: f64 = 2.95;
+pub const SEQ_WRITE_256MB: Bandwidth = Bandwidth::from_gb_per_s_const(2.95);
 /// Write bandwidth at large (32 GB) footprints.
-pub const SEQ_WRITE_32GB_GBPS: f64 = 3.05;
+pub const SEQ_WRITE_32GB: Bandwidth = Bandwidth::from_gb_per_s_const(3.05);
 /// Aggregate socket sequential-read ceiling (4x Optane 200 DIMMs).
-pub const SOCKET_READ_CAP_GBPS: f64 = 29.8;
+pub const SOCKET_READ_CAP: Bandwidth = Bandwidth::from_gb_per_s_const(29.8);
 /// Aggregate socket write ceiling at the optimal concurrency.
-pub const SOCKET_WRITE_CAP_GBPS: f64 = 9.2;
+pub const SOCKET_WRITE_CAP: Bandwidth = Bandwidth::from_gb_per_s_const(9.2);
 /// Concurrency at which write bandwidth peaks (Yang et al. observe a
 /// non-linear concurrency/write-bandwidth relationship).
 pub const WRITE_PEAK_CONCURRENCY: u32 = 4;
@@ -94,7 +94,7 @@ impl OptaneDevice {
     /// the knee, log-interpolated to the measured 32 GB point,
     /// clamped beyond.
     pub fn ait_degradation(buffer: ByteSize) -> f64 {
-        let floor = SEQ_READ_32GB_GBPS / SEQ_READ_BASE_GBPS;
+        let floor = SEQ_READ_32GB.as_gb_per_s() / SEQ_READ_BASE.as_gb_per_s();
         if buffer <= READ_KNEE {
             return 1.0;
         }
@@ -143,12 +143,14 @@ impl OptaneDevice {
             // Linear ramp from the 256 MB point to the 1 GB peak.
             let lo = ByteSize::from_mb(256.0).as_f64();
             let t = ((f - lo) / (peak_at - lo)).clamp(0.0, 1.0);
-            SEQ_WRITE_256MB_GBPS + t * (SEQ_WRITE_PEAK_GBPS - SEQ_WRITE_256MB_GBPS)
+            SEQ_WRITE_256MB.as_gb_per_s()
+                + t * (SEQ_WRITE_PEAK.as_gb_per_s() - SEQ_WRITE_256MB.as_gb_per_s())
         } else {
             // Log-space decline toward the 32 GB point.
             let span = (32e9_f64 / peak_at).ln();
             let t = ((f / peak_at).ln() / span).min(1.0);
-            SEQ_WRITE_PEAK_GBPS + t * (SEQ_WRITE_32GB_GBPS - SEQ_WRITE_PEAK_GBPS)
+            SEQ_WRITE_PEAK.as_gb_per_s()
+                + t * (SEQ_WRITE_32GB.as_gb_per_s() - SEQ_WRITE_PEAK.as_gb_per_s())
         }
     }
 
@@ -216,13 +218,13 @@ impl MemoryDevice for OptaneDevice {
     fn bandwidth(&self, profile: &AccessProfile) -> Bandwidth {
         let footprint = profile.footprint();
         let mut gbps = if profile.kind.is_read() {
-            let single =
-                SEQ_READ_BASE_GBPS * Self::read_degradation(profile.buffer, profile.working_set);
-            (single * f64::from(profile.concurrency).powf(0.85)).min(SOCKET_READ_CAP_GBPS)
+            let single = SEQ_READ_BASE.as_gb_per_s()
+                * Self::read_degradation(profile.buffer, profile.working_set);
+            (single * f64::from(profile.concurrency).powf(0.85)).min(SOCKET_READ_CAP.as_gb_per_s())
         } else {
             let single = Self::write_curve(footprint);
             (single * Self::write_concurrency_factor(profile.concurrency))
-                .min(SOCKET_WRITE_CAP_GBPS)
+                .min(SOCKET_WRITE_CAP.as_gb_per_s())
         };
         if !profile.kind.is_sequential() {
             gbps *= RANDOM_DERATE;
@@ -262,9 +264,9 @@ mod tests {
     fn read_matches_paper_calibration_points() {
         let d = OptaneDevice::dcpmm_200_socket();
         let at_4gb = d.bandwidth(&AccessProfile::sequential_read(gb(4.0)));
-        assert!((at_4gb.as_gb_per_s() - SEQ_READ_BASE_GBPS).abs() < 0.01);
+        assert!((at_4gb.as_gb_per_s() - SEQ_READ_BASE.as_gb_per_s()).abs() < 0.01);
         let at_32gb = d.bandwidth(&AccessProfile::sequential_read(gb(32.0)));
-        assert!((at_32gb.as_gb_per_s() - SEQ_READ_32GB_GBPS).abs() < 0.01);
+        assert!((at_32gb.as_gb_per_s() - SEQ_READ_32GB.as_gb_per_s()).abs() < 0.01);
     }
 
     #[test]
@@ -281,10 +283,10 @@ mod tests {
     #[test]
     fn cyclic_degradation_matches_calibration_targets() {
         // OPT-30B resident set (~60 GB): ~18.7 GB/s effective.
-        let at60 = SEQ_READ_BASE_GBPS * OptaneDevice::cyclic_degradation(gb(60.0));
+        let at60 = SEQ_READ_BASE.as_gb_per_s() * OptaneDevice::cyclic_degradation(gb(60.0));
         assert!((at60 - 18.7).abs() < 0.3, "60 GB: {at60}");
         // OPT-175B resident set (~300 GB): ~16.7 GB/s effective.
-        let at300 = SEQ_READ_BASE_GBPS * OptaneDevice::cyclic_degradation(gb(300.0));
+        let at300 = SEQ_READ_BASE.as_gb_per_s() * OptaneDevice::cyclic_degradation(gb(300.0));
         assert!((at300 - 16.7).abs() < 0.3, "300 GB: {at300}");
         // Small sets are undegraded; huge sets are floored.
         assert_eq!(OptaneDevice::cyclic_degradation(gb(8.0)), 1.0);
@@ -304,7 +306,7 @@ mod tests {
     fn write_peaks_at_1gb_footprint() {
         let d = OptaneDevice::dcpmm_200_socket();
         let peak = d.bandwidth(&AccessProfile::sequential_write(gb(1.0)));
-        assert!((peak.as_gb_per_s() - SEQ_WRITE_PEAK_GBPS).abs() < 0.01);
+        assert!((peak.as_gb_per_s() - SEQ_WRITE_PEAK.as_gb_per_s()).abs() < 0.01);
         let small = d.bandwidth(&AccessProfile::sequential_write(ByteSize::from_mb(256.0)));
         let large = d.bandwidth(&AccessProfile::sequential_write(gb(32.0)));
         assert!(small < peak);

@@ -37,6 +37,7 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod units;
 
 pub use engine::{SimError, Simulator, SpanId};
@@ -44,4 +45,5 @@ pub use flow::{FlowId, FlowScheduler};
 pub use queue::{EventQueue, QueueBackend};
 pub use stats::{Accumulator, Reservoir, SeriesStats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{NestingError, TraceSpan};
 pub use units::{Bandwidth, ByteSize, ComputeRate, PowerDensity, UnitError};

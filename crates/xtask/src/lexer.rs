@@ -425,7 +425,11 @@ fn blank_string(b: &[char], mut i: usize, out: &mut String) -> usize {
     i += 1;
     while i < b.len() {
         if b[i] == '\\' && i + 1 < b.len() {
-            out.push_str("  ");
+            // An escaped newline (string line-continuation) must stay
+            // a newline in the blanked text, or every line number
+            // after it shifts by one.
+            out.push(' ');
+            out.push(if b[i + 1] == '\n' { '\n' } else { ' ' });
             i += 2;
         } else if b[i] == '"' {
             out.push('"');

@@ -16,7 +16,10 @@
 
 use helm_core::exec::{PipelineInputs, RecordMode};
 use helm_core::exec_des::run_pipeline_des;
-use helm_core::online::{run_cluster_mix, ClusterSpec, PoissonArrivals, SchedulerKind};
+use helm_core::online::{
+    run_cluster_mix, run_cluster_mix_traced, CalibrationCache, ClusterSpec, PoissonArrivals,
+    SchedulerKind,
+};
 use helm_core::placement::{ModelPlacement, PlacementKind};
 use helm_core::policy::{PercentDist, Policy};
 use helm_core::server::Server;
@@ -141,6 +144,76 @@ fn cluster_reports_byte_identical_at_1e5_requests() {
             first,
             run(QueueBackend::Heap),
             "calendar and heap schedulers diverged ({record:?})"
+        );
+    }
+}
+
+/// Tracing is a side channel, never a semantics knob: enabling
+/// `TraceMode::Spans` must leave every report — offline `RunReport`
+/// and online `ClusterReport`, in both recording modes — bit-identical
+/// to the untraced run. Attribution is computed unconditionally, so
+/// it appears (identically) in both renderings; only the span trees
+/// ride the separate channel.
+#[test]
+fn enabling_tracing_leaves_reports_bit_identical() {
+    let model = ModelConfig::opt_175b();
+    let workload = WorkloadSpec::paper_default();
+    let memory = HostMemoryConfig::nvdram();
+    let system = SystemConfig::paper_platform(memory.clone());
+    let base = Policy::paper_default(&model, memory.kind()).with_compression(true);
+    let helm = Server::new(
+        system.clone(),
+        model.clone(),
+        base.clone()
+            .with_placement(PlacementKind::Helm)
+            .with_batch_size(4),
+    )
+    .expect("helm server");
+    let allcpu = Server::new(
+        system,
+        model,
+        base.with_placement(PlacementKind::AllCpu)
+            .with_batch_size(44),
+    )
+    .expect("all-cpu server");
+
+    // Offline: the traced run's report equals the untraced one.
+    let plain = helm.run(&workload).expect("untraced run");
+    let (traced, trace) = helm.run_traced(&workload).expect("traced run");
+    assert!(trace.span_count() > 0, "traced run collected no spans");
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{traced:?}"),
+        "tracing changed the offline RunReport"
+    );
+
+    // Online: same, across both recording modes.
+    let groups: &[(&Server, usize)] = &[(&helm, 1), (&allcpu, 1)];
+    for record in [RecordMode::Full, RecordMode::Aggregate] {
+        let spec = ClusterSpec::new(1)
+            .with_scheduler(SchedulerKind::JoinShortestQueue)
+            .with_record(record);
+        let mut arrivals = PoissonArrivals::new(1.0, 97);
+        let plain = run_cluster_mix(groups, &workload, &mut arrivals, 2_000, spec)
+            .expect("untraced cluster run");
+        let mut arrivals = PoissonArrivals::new(1.0, 97);
+        let (traced, trace) = run_cluster_mix_traced(
+            groups,
+            &workload,
+            &mut arrivals,
+            2_000,
+            spec,
+            &mut CalibrationCache::new(),
+        )
+        .expect("traced cluster run");
+        assert!(
+            trace.span_count() > 0,
+            "traced cluster run collected no spans"
+        );
+        assert_eq!(
+            format!("{plain:?}"),
+            format!("{traced:?}"),
+            "tracing changed the ClusterReport ({record:?})"
         );
     }
 }

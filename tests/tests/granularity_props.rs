@@ -9,8 +9,8 @@
 
 use helm_core::exec::RecordMode;
 use helm_core::online::{
-    run_cluster_mix, run_cluster_mix_cached, AdmissionPolicy, CalibrationCache, ClusterSpec,
-    DeadlineSpec, PoissonArrivals, SchedulerKind, StepGranularity,
+    run_cluster_mix, run_cluster_mix_cached, run_cluster_mix_traced, AdmissionPolicy,
+    CalibrationCache, ClusterSpec, DeadlineSpec, PoissonArrivals, SchedulerKind, StepGranularity,
 };
 use helm_core::placement::PlacementKind;
 use helm_core::policy::Policy;
@@ -146,6 +146,65 @@ proptest! {
             "granularities diverged (scheduler {}, admission {}, continuous {}, \
              record {:?}, counts {:?})",
             scheduler, admission, continuous, record, counts
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Span trees are part of the byte-identity contract: the
+    /// coalesced engine synthesizes per-step decode boundaries from
+    /// span arithmetic (it never re-runs per-step), and whatever the
+    /// draw the resulting `Trace` — every span name, depth, and tick
+    /// boundary, every attribution bucket — must render byte-identical
+    /// to the per-step engine's. The reports must stay byte-identical
+    /// with tracing enabled too.
+    #[test]
+    fn span_trees_byte_identical_across_granularities(
+        lambda in 0.05f64..2.0,
+        deadlines in deadline_strategy(),
+        scheduler_sel in 0u8..4,
+        continuous in any::<bool>(),
+        num_requests in 5usize..=30,
+        seed in 0u64..100_000,
+    ) {
+        let workload = WorkloadSpec::new(32, 3, 1);
+        let servers = [
+            small_server(PlacementKind::Helm, 2),
+            small_server(PlacementKind::AllCpu, 4),
+        ];
+        let groups: Vec<(&Server, usize)> = servers.iter().map(|s| (s, 1)).collect();
+        let scheduler = [
+            SchedulerKind::RoundRobin,
+            SchedulerKind::JoinShortestQueue,
+            SchedulerKind::LeastFinishTime,
+            SchedulerKind::DeadlineAware,
+        ][scheduler_sel as usize];
+        let mut cache = CalibrationCache::new();
+        let mut run = |granularity| {
+            let spec = ClusterSpec::new(1)
+                .with_scheduler(scheduler)
+                .with_deadlines(deadlines)
+                .with_continuous(continuous)
+                .with_granularity(granularity);
+            let mut arrivals = PoissonArrivals::new(lambda, seed);
+            let (report, trace) = run_cluster_mix_traced(
+                &groups, &workload, &mut arrivals, num_requests, spec, &mut cache,
+            )
+            .unwrap();
+            (format!("{report:?}"), format!("{trace:?}"))
+        };
+        let (step_report, step_trace) = run(StepGranularity::PerStep);
+        let (coal_report, coal_trace) = run(StepGranularity::Coalesced);
+        prop_assert_eq!(
+            coal_trace, step_trace,
+            "span trees diverged across granularities (scheduler {}, continuous {})",
+            scheduler, continuous
+        );
+        prop_assert_eq!(
+            coal_report, step_report,
+            "traced reports diverged across granularities"
         );
     }
 }
